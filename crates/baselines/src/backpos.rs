@@ -1,0 +1,182 @@
+//! BackPos-style hyperbolic positioning (extra baseline).
+//!
+//! BackPos (Liu et al., IEEE TMC'15) positions a tag from *differences* of
+//! phase observations between antenna pairs, which cancels every
+//! tag-common term — including, in the multi-frequency form implemented
+//! here, the material slope `k_t`. Each pair constrains the tag to a
+//! hyperbola `d_i − d_j = Δ_ij`; the intersection is found by nonlinear
+//! least squares.
+//!
+//! This makes BackPos immune to material/orientation by construction, but
+//! it throws away the common-mode information RF-Prism keeps: it estimates
+//! position only (no orientation, no material parameters), and each
+//! difference carries √2 of the per-antenna ranging noise.
+
+use rfp_core::model::{extract_observation, ExtractConfig, ExtractError};
+use rfp_core::solver::levenberg_marquardt as lm;
+use rfp_dsp::preprocess::RawRead;
+use rfp_geom::{AntennaPose, Region2, Vec2};
+use rfp_phys::propagation;
+
+/// Errors from [`BackPos::localize`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum BackPosError {
+    /// Fewer than three antennas yielded observations (two hyperbolas are
+    /// needed for a 2-D fix).
+    TooFewObservations {
+        /// Usable antennas.
+        usable: usize,
+        /// First extraction failure, if any.
+        first_error: Option<ExtractError>,
+    },
+}
+
+impl std::fmt::Display for BackPosError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BackPosError::TooFewObservations { usable, .. } => {
+                write!(f, "only {usable} usable antennas; BackPos needs at least 3")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BackPosError {}
+
+/// The BackPos baseline localizer.
+#[derive(Debug, Clone)]
+pub struct BackPos {
+    poses: Vec<AntennaPose>,
+    region: Region2,
+}
+
+impl BackPos {
+    /// Creates a localizer for antennas at `poses`, seeding its search over
+    /// `region`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than 3 poses are supplied.
+    pub fn new(poses: Vec<AntennaPose>, region: Region2) -> Self {
+        assert!(poses.len() >= 3, "BackPos needs at least three antennas");
+        BackPos { poses, region }
+    }
+
+    /// Localizes a tag from one hop round of raw reads.
+    ///
+    /// # Errors
+    ///
+    /// [`BackPosError::TooFewObservations`] when fewer than 3 antennas
+    /// yield usable observations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `reads_per_antenna.len()` differs from the pose count.
+    pub fn localize(&self, reads_per_antenna: &[Vec<RawRead>]) -> Result<Vec2, BackPosError> {
+        assert_eq!(
+            reads_per_antenna.len(),
+            self.poses.len(),
+            "one read group per antenna"
+        );
+        let mut observations = Vec::new();
+        let mut first_error = None;
+        for (pose, reads) in self.poses.iter().zip(reads_per_antenna) {
+            match extract_observation(*pose, reads, &ExtractConfig::paper()) {
+                Ok(o) => observations.push(o),
+                Err(e) => {
+                    if first_error.is_none() {
+                        first_error = Some(e);
+                    }
+                }
+            }
+        }
+        if observations.len() < 3 {
+            return Err(BackPosError::TooFewObservations {
+                usable: observations.len(),
+                first_error,
+            });
+        }
+
+        // Pairwise range differences from slope differences (k_t cancels).
+        let mut pairs = Vec::new();
+        for i in 0..observations.len() {
+            for j in (i + 1)..observations.len() {
+                let delta = propagation::distance_from_slope(
+                    observations[i].slope - observations[j].slope,
+                );
+                pairs.push((i, j, delta));
+            }
+        }
+        let obs = &observations;
+        let residual = move |p: &[f64], out: &mut Vec<f64>| {
+            out.clear();
+            let pos = Vec2::new(p[0], p[1]).with_z(0.0);
+            for &(i, j, delta) in &pairs {
+                let di = obs[i].pose.position().distance(pos);
+                let dj = obs[j].pose.position().distance(pos);
+                out.push((di - dj - delta) / 0.01);
+            }
+        };
+
+        let mut best: Option<(Vec<f64>, f64)> = None;
+        for seed in self.region.grid(5, 5) {
+            let (p, cost) = lm(&residual, vec![seed.x, seed.y], &[1e-4, 1e-4], 60, 1e-12);
+            let inside = self.region.expanded(0.3).contains(Vec2::new(p[0], p[1]));
+            if inside && best.as_ref().map_or(true, |(_, c)| cost < *c) {
+                best = Some((p, cost));
+            }
+        }
+        let (p, _) = best.unwrap_or_else(|| {
+            let c = self.region.center();
+            (vec![c.x, c.y], f64::INFINITY)
+        });
+        Ok(Vec2::new(p[0], p[1]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rfp_phys::Material;
+    use rfp_sim::{Motion, NoiseModel, ReaderConfig, Scene, SimTag};
+
+    #[test]
+    fn localizes_and_ignores_material() {
+        let scene = Scene::standard_2d()
+            .with_noise(NoiseModel::clean())
+            .with_reader(ReaderConfig::ideal());
+        let truth = Vec2::new(0.8, 1.3);
+        let bp = BackPos::new(scene.antenna_poses(), scene.region());
+        for m in [Material::Plastic, Material::Metal, Material::Water] {
+            let tag = SimTag::nominal(1)
+                .attached_to(m)
+                .with_motion(Motion::planar_static(truth, 0.4));
+            let survey = scene.survey(&tag, 9);
+            let est = bp.localize(&survey.per_antenna).unwrap();
+            let err_cm = est.distance(truth) * 100.0;
+            assert!(err_cm < 15.0, "{m}: error {err_cm} cm");
+        }
+    }
+
+    #[test]
+    fn noisy_localization_reasonable() {
+        let scene = Scene::standard_2d();
+        let truth = Vec2::new(0.2, 1.9);
+        let tag = SimTag::with_seeded_diversity(4)
+            .with_motion(Motion::planar_static(truth, 1.2));
+        let survey = scene.survey(&tag, 10);
+        let bp = BackPos::new(scene.antenna_poses(), scene.region());
+        let est = bp.localize(&survey.per_antenna).unwrap();
+        assert!(est.distance(truth) < 0.5, "error {}", est.distance(truth));
+    }
+
+    #[test]
+    fn too_few_antennas() {
+        let scene = Scene::standard_2d();
+        let bp = BackPos::new(scene.antenna_poses(), scene.region());
+        assert!(matches!(
+            bp.localize(&[Vec::new(), Vec::new(), Vec::new()]),
+            Err(BackPosError::TooFewObservations { usable: 0, .. })
+        ));
+    }
+}

@@ -1,0 +1,336 @@
+//! MobiTagbot-style channel-hopping hologram localization.
+//!
+//! MobiTagbot localizes a tag by testing candidate positions against the
+//! phases observed on every channel: at the true position the measured
+//! phase minus the predicted propagation phase is constant across channels
+//! and antennas, so the coherent sum `Σ cos(θ_meas − θ_pred)` peaks. Like
+//! the original (and unlike RF-Prism) the hypothesis includes **only** the
+//! propagation term plus the tag's one-time bare-tag device calibration:
+//!
+//! ```text
+//! θ_pred(A_i, f_j) = 4π·dist(A_i, x)·f_j / c + θ_device0(f_j)
+//! ```
+//!
+//! Orientation and attached-material terms are unmodelled; they shift the
+//! measured phases per antenna / tilt them per channel, which drags the
+//! hologram peak away from the truth — the effect the paper quantifies in
+//! Figs. 14–16.
+
+use rfp_core::model::{extract_observation, AntennaObservation, ExtractConfig, ExtractError};
+use rfp_dsp::preprocess::RawRead;
+use rfp_geom::{angle, AntennaPose, Region2, Vec2};
+use rfp_phys::propagation;
+use std::collections::BTreeMap;
+
+/// Configuration of the hologram search.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MobiTagbotConfig {
+    /// Coarse grid step, metres.
+    pub coarse_step: f64,
+    /// Number of refinement rounds (each shrinks the step 5×).
+    pub refinement_rounds: usize,
+}
+
+impl Default for MobiTagbotConfig {
+    fn default() -> Self {
+        MobiTagbotConfig { coarse_step: 0.05, refinement_rounds: 2 }
+    }
+}
+
+/// Errors from [`MobiTagbot::localize`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum MobiTagbotError {
+    /// Observation extraction failed on too many antennas.
+    TooFewObservations {
+        /// Usable antennas.
+        usable: usize,
+        /// First extraction failure, if any.
+        first_error: Option<ExtractError>,
+    },
+}
+
+impl std::fmt::Display for MobiTagbotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MobiTagbotError::TooFewObservations { usable, .. } => {
+                write!(f, "only {usable} usable antennas; hologram needs at least 2")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MobiTagbotError {}
+
+/// MobiTagbot's one-time in-situ calibration: the per-antenna, per-channel
+/// phase offset left after removing propagation at a *known* reference
+/// position. Crucially, this bakes in whatever orientation/device/material
+/// state the tag had during calibration — MobiTagbot has no model to
+/// separate them, which is exactly the limitation the paper exploits.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MobiTagbotCalibration {
+    /// `offsets[antenna][channel] = wrapped residual phase`.
+    offsets: Vec<BTreeMap<usize, f64>>,
+}
+
+/// The MobiTagbot baseline localizer.
+#[derive(Debug, Clone)]
+pub struct MobiTagbot {
+    poses: Vec<AntennaPose>,
+    region: Region2,
+    calibration: Option<MobiTagbotCalibration>,
+    config: MobiTagbotConfig,
+}
+
+impl MobiTagbot {
+    /// Creates a hologram localizer for antennas at `poses` searching over
+    /// `region`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than 2 poses are supplied (the original system used
+    /// two antennas).
+    pub fn new(poses: Vec<AntennaPose>, region: Region2) -> Self {
+        assert!(poses.len() >= 2, "MobiTagbot needs at least two antennas");
+        MobiTagbot { poses, region, calibration: None, config: MobiTagbotConfig::default() }
+    }
+
+    /// Performs the one-time in-situ calibration from a hop round taken
+    /// with the tag at `known_position` (in whatever orientation/material
+    /// state it happens to have — MobiTagbot cannot tell).
+    ///
+    /// # Errors
+    ///
+    /// [`MobiTagbotError::TooFewObservations`] if fewer than 2 antennas
+    /// yield observations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `reads_per_antenna.len()` differs from the pose count.
+    pub fn calibrate(
+        &self,
+        reads_per_antenna: &[Vec<RawRead>],
+        known_position: Vec2,
+    ) -> Result<MobiTagbotCalibration, MobiTagbotError> {
+        assert_eq!(
+            reads_per_antenna.len(),
+            self.poses.len(),
+            "one read group per antenna"
+        );
+        let mut offsets = Vec::with_capacity(self.poses.len());
+        let mut usable = 0usize;
+        let mut first_error = None;
+        for (pose, reads) in self.poses.iter().zip(reads_per_antenna) {
+            let mut map = BTreeMap::new();
+            match extract_observation(*pose, reads, &ExtractConfig::paper()) {
+                Ok(obs) => {
+                    usable += 1;
+                    let d = pose.position().distance(known_position.with_z(0.0));
+                    for c in &obs.channels {
+                        let off = c.phase - propagation::phase(d, c.frequency_hz);
+                        map.insert(c.channel, angle::wrap_tau(off));
+                    }
+                }
+                Err(e) => {
+                    if first_error.is_none() {
+                        first_error = Some(e);
+                    }
+                }
+            }
+            offsets.push(map);
+        }
+        if usable < 2 {
+            return Err(MobiTagbotError::TooFewObservations { usable, first_error });
+        }
+        Ok(MobiTagbotCalibration { offsets })
+    }
+
+    /// Supplies a previously collected calibration (standard practice;
+    /// without it even the fixed-everything case is biased by the device
+    /// and orientation terms).
+    pub fn with_calibration(mut self, calibration: MobiTagbotCalibration) -> Self {
+        self.calibration = Some(calibration);
+        self
+    }
+
+    /// Overrides the search configuration.
+    pub fn with_config(mut self, config: MobiTagbotConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Localizes a tag from one hop round of raw reads.
+    ///
+    /// # Errors
+    ///
+    /// [`MobiTagbotError::TooFewObservations`] when fewer than 2 antennas
+    /// yield usable observations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `reads_per_antenna.len()` differs from the pose count.
+    pub fn localize(
+        &self,
+        reads_per_antenna: &[Vec<RawRead>],
+    ) -> Result<Vec2, MobiTagbotError> {
+        assert_eq!(
+            reads_per_antenna.len(),
+            self.poses.len(),
+            "one read group per antenna"
+        );
+        let mut observations = Vec::new();
+        let mut first_error = None;
+        for (pose, reads) in self.poses.iter().zip(reads_per_antenna) {
+            match extract_observation(*pose, reads, &ExtractConfig::paper()) {
+                Ok(o) => observations.push(o),
+                Err(e) => {
+                    if first_error.is_none() {
+                        first_error = Some(e);
+                    }
+                }
+            }
+        }
+        if observations.len() < 2 {
+            return Err(MobiTagbotError::TooFewObservations {
+                usable: observations.len(),
+                first_error,
+            });
+        }
+
+        // Coarse-to-fine hologram search.
+        let mut best = self.region.center();
+        let mut step = self.config.coarse_step;
+        let mut lo = self.region.min();
+        let mut hi = self.region.max();
+        for round in 0..=self.config.refinement_rounds {
+            let nx = ((hi.x - lo.x) / step).ceil() as usize + 1;
+            let ny = ((hi.y - lo.y) / step).ceil() as usize + 1;
+            let mut best_score = f64::NEG_INFINITY;
+            for iy in 0..ny {
+                for ix in 0..nx {
+                    let cand = Vec2::new(lo.x + ix as f64 * step, lo.y + iy as f64 * step);
+                    let s = self.score(&observations, cand);
+                    if s > best_score {
+                        best_score = s;
+                        best = cand;
+                    }
+                }
+            }
+            // Shrink the window around the winner for the next round.
+            let half = step * 2.0;
+            lo = Vec2::new(best.x - half, best.y - half);
+            hi = Vec2::new(best.x + half, best.y + half);
+            step /= 5.0;
+            let _ = round;
+        }
+        Ok(best)
+    }
+
+    /// Hologram coherence of a candidate position.
+    fn score(&self, observations: &[AntennaObservation], candidate: Vec2) -> f64 {
+        let mut s = 0.0;
+        for (ai, obs) in observations.iter().enumerate() {
+            let d = obs.pose.position().distance(candidate.with_z(0.0));
+            for (c, &inlier) in obs.channels.iter().zip(&obs.channel_inliers) {
+                if !inlier {
+                    continue;
+                }
+                let offset = self
+                    .calibration
+                    .as_ref()
+                    .and_then(|cal| cal.offsets.get(ai))
+                    .and_then(|m| m.get(&c.channel).copied())
+                    .unwrap_or(0.0);
+                let predicted = propagation::phase(d, c.frequency_hz) + offset;
+                s += (c.phase - predicted).cos();
+            }
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rfp_phys::Material;
+    use rfp_sim::{Motion, NoiseModel, ReaderConfig, Scene, SimTag};
+
+    fn calibration_for(
+        scene: &Scene,
+        tag: &SimTag,
+        mtb: &MobiTagbot,
+        seed: u64,
+    ) -> MobiTagbotCalibration {
+        let pos = Vec2::new(0.5, 1.0);
+        let bare = tag.with_motion(Motion::planar_static(pos, 0.0));
+        let survey = scene.survey(&bare, seed);
+        mtb.calibrate(&survey.per_antenna, pos).unwrap()
+    }
+
+    #[test]
+    fn localizes_fixed_everything_accurately() {
+        // Fig. 14 regime: fixed orientation + plastic carrier — MobiTagbot
+        // should be in RF-Prism's ballpark.
+        let scene = Scene::standard_2d()
+            .with_noise(NoiseModel::clean())
+            .with_reader(ReaderConfig::ideal());
+        let tag = SimTag::nominal(1);
+        let mtb0 = MobiTagbot::new(scene.antenna_poses(), scene.region());
+        let cal = calibration_for(&scene, &tag, &mtb0, 1);
+        let truth = Vec2::new(0.6, 1.7);
+        let placed = tag.with_motion(Motion::planar_static(truth, 0.0));
+        let survey = scene.survey(&placed, 2);
+        let mtb = mtb0.with_calibration(cal);
+        let est = mtb.localize(&survey.per_antenna).unwrap();
+        let err_cm = est.distance(truth) * 100.0;
+        assert!(err_cm < 20.0, "error {err_cm} cm");
+    }
+
+    #[test]
+    fn material_change_biases_hologram() {
+        // Fig. 16 regime: attaching a strongly-loading material without
+        // re-calibration must hurt MobiTagbot badly.
+        let scene = Scene::standard_2d()
+            .with_noise(NoiseModel::clean())
+            .with_reader(ReaderConfig::ideal());
+        // Calibrated in the same state the paper's main experiments use —
+        // tag on its plastic carrier.
+        let tag = SimTag::nominal(1).attached_to(Material::Plastic);
+        let mtb0 = MobiTagbot::new(scene.antenna_poses(), scene.region());
+        let cal = calibration_for(&scene, &tag, &mtb0, 3);
+        let truth = Vec2::new(0.6, 1.7);
+        let mtb = mtb0.with_calibration(cal);
+
+        let plastic = tag.with_motion(Motion::planar_static(truth, 0.0));
+        let water = tag
+            .attached_to(Material::Water)
+            .with_motion(Motion::planar_static(truth, 0.0));
+        let err = |t: &SimTag, seed| {
+            let survey = scene.survey(t, seed);
+            mtb.localize(&survey.per_antenna).unwrap().distance(truth) * 100.0
+        };
+        let e_plastic = err(&plastic, 4);
+        let e_water = err(&water, 5);
+        assert!(
+            e_water > e_plastic + 5.0,
+            "water {e_water} cm should be much worse than plastic {e_plastic} cm"
+        );
+        assert!(e_water > 15.0, "water error {e_water} cm");
+    }
+
+    #[test]
+    fn too_few_antennas_error() {
+        let scene = Scene::standard_2d();
+        let mtb = MobiTagbot::new(scene.antenna_poses(), scene.region());
+        let err = mtb
+            .localize(&[Vec::new(), Vec::new(), Vec::new()])
+            .unwrap_err();
+        assert!(matches!(err, MobiTagbotError::TooFewObservations { usable: 0, .. }));
+    }
+
+    #[test]
+    #[should_panic]
+    fn single_antenna_panics() {
+        let scene = Scene::standard_2d();
+        let _ = MobiTagbot::new(scene.antenna_poses()[..1].to_vec(), scene.region());
+    }
+}

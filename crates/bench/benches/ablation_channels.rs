@@ -1,0 +1,41 @@
+//! Ablation: how many hop channels does the disentangling actually need?
+//!
+//! The paper (§V-D) notes 50 channels are "more than enough for a linear
+//! fitting"; this sweep quantifies the accuracy cost of narrower plans —
+//! relevant for regions with fewer channels (ETSI: 4) or readers with
+//! custom hop sets.
+
+use rfp_bench::{loc, report};
+use rfp_phys::FrequencyPlan;
+use rfp_sim::Scene;
+
+fn main() {
+    report::header("Ablation", "localization/orientation error vs channel count");
+    println!("{:>9} {:>14} {:>14} {:>10}", "channels", "loc error", "orient error", "trials");
+    let mut results = Vec::new();
+    for &channels in &[50usize, 30, 20, 10, 6] {
+        let scene = Scene::standard_2d().with_reader(
+            rfp_sim::ReaderConfig::impinj_r420()
+                .with_plan(FrequencyPlan::fcc_us_subsampled(channels)),
+        );
+        let specs: Vec<_> =
+            loc::grid_orientation_specs(&scene, 2).into_iter().step_by(3).collect();
+        let outcomes = loc::run_trials(&scene, &specs);
+        let loc_cm = loc::mean_position_error_cm(&outcomes);
+        let orient_deg = loc::mean_orientation_error_deg(&outcomes);
+        println!(
+            "{channels:>9} {:>14} {:>14} {:>10}",
+            report::cm(loc_cm),
+            report::deg(orient_deg),
+            outcomes.len()
+        );
+        results.push((channels, loc_cm));
+    }
+    // Fewer channels → same band span but fewer averaging points → worse.
+    let full = results[0].1;
+    let narrow = results.last().unwrap().1;
+    assert!(
+        narrow > full,
+        "6 channels should be worse than 50 ({narrow} vs {full})"
+    );
+}

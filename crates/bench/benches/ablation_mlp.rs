@@ -1,0 +1,40 @@
+//! Extension (paper §VII): "apply more powerful … methods to improve the
+//! performance of material identification" — an MLP and a random forest on
+//! the same disentangled features, against the paper's decision tree.
+
+use rfp_bench::{matid, report};
+use rfp_core::material::ClassifierKind;
+use rfp_ml::mlp::MlpConfig;
+use rfp_sim::Scene;
+
+fn main() {
+    report::header("Extension", "MLP vs decision tree on disentangled features (§VII)");
+    let scene = Scene::standard_2d();
+    let corpus = matid::build_corpus(&scene, 100, 50);
+    let tree = matid::evaluate_all(&corpus, &ClassifierKind::paper_default());
+    let forest = matid::evaluate_all(
+        &corpus,
+        &ClassifierKind::RandomForest(rfp_ml::forest::ForestConfig {
+            trees: 40,
+            features_per_tree: 12,
+            ..Default::default()
+        }),
+    );
+    let mlp = matid::evaluate_all(
+        &corpus,
+        &ClassifierKind::Mlp(MlpConfig {
+            hidden: 48,
+            epochs: 300,
+            learning_rate: 0.03,
+            ..Default::default()
+        }),
+    );
+    report::row("Decision Tree", "87.9 %", &report::pct(tree.accuracy()));
+    report::row("Random Forest (40)", "future work", &report::pct(forest.accuracy()));
+    report::row("MLP (48 hidden)", "future work", &report::pct(mlp.accuracy()));
+    println!();
+    println!("the paper deliberately avoided neural classifiers to keep the gain of");
+    println!("phase disentangling separable from classifier gains; with disentangled");
+    println!("features the tree is already near the noise ceiling.");
+    assert!(mlp.accuracy() > 0.4, "MLP accuracy {}", mlp.accuracy());
+}

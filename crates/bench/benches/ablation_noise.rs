@@ -1,0 +1,27 @@
+//! Ablation: sensitivity of the whole pipeline to per-read phase noise —
+//! the knob that calibrates the simulator against the paper's testbed
+//! (see DESIGN.md §6 and EXPERIMENTS.md).
+
+use rfp_bench::{loc, report};
+use rfp_sim::{NoiseModel, Scene};
+
+fn main() {
+    report::header("Ablation", "accuracy vs per-read phase noise (reference RSSI)");
+    println!("{:>12} {:>14} {:>14}", "σ (rad)", "loc error", "orient error");
+    let mut rows = Vec::new();
+    for &sigma in &[0.003f64, 0.006, 0.009, 0.018, 0.036, 0.072] {
+        let scene = Scene::standard_2d()
+            .with_noise(NoiseModel::paper_like().with_phase_std(sigma));
+        let specs: Vec<_> =
+            loc::grid_orientation_specs(&scene, 2).into_iter().step_by(3).collect();
+        let outcomes = loc::run_trials(&scene, &specs);
+        let loc_cm = loc::mean_position_error_cm(&outcomes);
+        let orient = loc::mean_orientation_error_deg(&outcomes);
+        println!("{sigma:>12.3} {:>14} {:>14}", report::cm(loc_cm), report::deg(orient));
+        rows.push((sigma, loc_cm, orient));
+    }
+    println!();
+    println!("the paper-like preset (σ = 0.009) reproduces the paper's ~5–8 cm /");
+    println!("~10–20° operating point; errors grow roughly linearly in σ.");
+    assert!(rows.last().unwrap().1 > rows[0].1, "more noise must hurt");
+}

@@ -1,0 +1,61 @@
+//! Ablation: sensing from multiple hop rounds.
+//!
+//! One R420 hop round takes ~10 s (paper §VI-C); applications that can
+//! afford several rounds per decision average the per-round line
+//! parameters before solving. Phase noise shrinks ~1/√K; the floor left
+//! over is the systematic part (device-phase curvature, residual
+//! multipath) that averaging cannot touch.
+
+use rfp_bench::{report, setup};
+use rfp_geom::{angle, Vec2};
+use rfp_sim::{Motion, Scene, SimTag};
+
+fn main() {
+    report::header("Ablation", "accuracy vs number of averaged hop rounds");
+    let scene = Scene::standard_2d();
+    let prism = setup::prism_for(&scene);
+
+    println!("{:>8} {:>14} {:>14} {:>12}", "rounds", "loc error", "orient error", "time cost");
+    let positions: Vec<Vec2> = scene.region().grid(3, 3).collect();
+    let mut results = Vec::new();
+    for &k in &[1usize, 2, 4, 8] {
+        let mut pos_err = Vec::new();
+        let mut orient_err = Vec::new();
+        for (pi, &position) in positions.iter().enumerate() {
+            for trial in 0..4u64 {
+                let alpha = 0.3 + 0.2 * trial as f64;
+                let tag = SimTag::with_seeded_diversity(1 + pi as u64)
+                    .with_motion(Motion::planar_static(position, alpha));
+                let rounds: Vec<_> = (0..k as u64)
+                    .map(|r| {
+                        scene
+                            .survey(&tag, 40_000 + pi as u64 * 100 + trial * 10 + r)
+                            .per_antenna
+                    })
+                    .collect();
+                if let Ok(result) = prism.sense_rounds(&rounds) {
+                    pos_err.push(result.estimate.position.distance(position) * 100.0);
+                    orient_err.push(
+                        angle::dipole_distance(result.estimate.orientation, alpha)
+                            .to_degrees(),
+                    );
+                }
+            }
+        }
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+        println!(
+            "{k:>8} {:>14} {:>14} {:>11}s",
+            report::cm(mean(&pos_err)),
+            report::deg(mean(&orient_err)),
+            k * 10
+        );
+        results.push((k, mean(&pos_err)));
+    }
+    println!();
+    println!("the reader needs ~10 s per round, so averaging trades latency for");
+    println!("accuracy; the gain flattens once systematic error dominates.");
+    assert!(
+        results.last().unwrap().1 < results[0].1,
+        "averaging must help: {results:?}"
+    );
+}

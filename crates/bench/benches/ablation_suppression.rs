@@ -1,0 +1,71 @@
+//! Ablation: multipath suppression strategies compared at the slope level.
+//!
+//! The paper's §V-D suppression is a hard channel-selection. This bench
+//! compares it against plain OLS (no suppression), Theil–Sen (median of
+//! slopes) and Huber IRLS (soft down-weighting) on the same cluttered
+//! surveys, measuring the per-antenna *slope bias* in distance-equivalent
+//! centimetres — the quantity that the solver geometry later amplifies.
+
+use rfp_bench::report;
+use rfp_dsp::linfit;
+use rfp_dsp::preprocess::{preprocess_reads, PreprocessConfig};
+use rfp_dsp::robust::{huber_line_fit, robust_line_fit, RobustFitConfig};
+use rfp_geom::Vec2;
+use rfp_phys::propagation;
+use rfp_sim::{Motion, MultipathEnvironment, Scene, SimTag};
+
+fn main() {
+    report::header(
+        "Ablation",
+        "per-antenna slope bias under multipath, by fitting strategy",
+    );
+    let mut bias = [Vec::new(), Vec::new(), Vec::new(), Vec::new()];
+    let names = ["OLS (none)", "Theil–Sen", "Huber IRLS", "hard reject (§V-D)"];
+
+    for env_seed in 0..14u64 {
+        let scene = Scene::standard_2d()
+            .with_environment(MultipathEnvironment::cluttered(3, 100 + env_seed));
+        let tag = SimTag::with_seeded_diversity(1 + env_seed)
+            .with_motion(Motion::planar_static(Vec2::new(0.6, 1.5), 0.4));
+        let survey = scene.survey(&tag, env_seed);
+        let plan = &scene.reader().plan;
+        let kt = tag.electrical().linearized(plan).kt;
+        for (ai, reads) in survey.per_antenna.iter().enumerate() {
+            let obs = preprocess_reads(reads, &PreprocessConfig::default()).unwrap();
+            let xs: Vec<f64> = obs.iter().map(|o| o.frequency_hz).collect();
+            let ys: Vec<f64> = obs.iter().map(|o| o.phase).collect();
+            let d = scene.antennas()[ai]
+                .pose
+                .distance_to(tag.motion().position(0.0));
+            let k_true = propagation::slope_from_distance(d) + kt;
+            let to_cm =
+                |k: f64| ((k - k_true) * propagation::distance_from_slope(1.0)).abs() * 100.0;
+
+            bias[0].push(to_cm(linfit::ols(&xs, &ys).unwrap().slope));
+            bias[1].push(to_cm(linfit::theil_sen(&xs, &ys).unwrap().slope));
+            bias[2].push(to_cm(huber_line_fit(&xs, &ys, 0.03, 12).unwrap().slope));
+            bias[3].push(to_cm(
+                robust_line_fit(&xs, &ys, &RobustFitConfig::default()).unwrap().fit.slope,
+            ));
+        }
+    }
+
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+    let p90 = |v: &[f64]| {
+        let mut s = v.to_vec();
+        s.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        s[(s.len() as f64 * 0.9) as usize]
+    };
+    println!("{:>22} {:>12} {:>12}", "strategy", "mean bias", "p90 bias");
+    for (name, b) in names.iter().zip(&bias) {
+        println!("{name:>22} {:>12} {:>12}", report::cm(mean(b)), report::cm(p90(b)));
+    }
+    println!();
+    println!("hard channel rejection (the paper's choice) wins on spiky multipath;");
+    println!("Huber trails it because down-weighted spikes still leak, and plain OLS");
+    println!("takes the full hit. Smooth broadband multipath biases all of them alike.");
+    assert!(
+        mean(&bias[3]) <= mean(&bias[0]),
+        "suppression must beat plain OLS"
+    );
+}

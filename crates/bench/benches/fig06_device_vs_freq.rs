@@ -1,0 +1,48 @@
+//! Fig. 6: θ_device vs frequency — attaching different materials (wood /
+//! glass / plastic at 1.5 m) changes the *slope* of the phase line.
+
+use rfp_bench::report;
+use rfp_core::model::{extract_observation, ExtractConfig};
+use rfp_geom::Vec2;
+use rfp_phys::Material;
+use rfp_sim::{Motion, Scene, SimTag};
+
+fn main() {
+    report::header(
+        "Fig. 6",
+        "phase vs frequency with wood / glass / plastic at 1.5 m",
+    );
+    let scene = Scene::standard_2d();
+    let antenna = scene.antenna_poses()[0];
+    let pos = Vec2::new(0.0, 1.5);
+
+    let mut slopes = Vec::new();
+    println!("{:>9} {:>14} {:>12}", "material", "slope (rad/Hz)", "sweep (rad)");
+    for &m in &[Material::Wood, Material::Glass, Material::Plastic] {
+        let tag = SimTag::with_seeded_diversity(1)
+            .attached_to(m)
+            .with_motion(Motion::planar_static(pos, 0.0));
+        let survey = scene.survey(&tag, 6);
+        let obs =
+            extract_observation(antenna, &survey.per_antenna[0], &ExtractConfig::paper())
+                .expect("survey usable");
+        let sweep = obs.slope * scene.reader().plan.span_hz();
+        println!("{:>9} {:>14.4e} {sweep:>12.2}", m.label(), obs.slope);
+        slopes.push((m, obs.slope));
+    }
+
+    println!();
+    println!("paper: the three materials give visibly distinct slopes (total sweeps");
+    println!("of ~12–18 rad across the band); measured sweeps above.");
+    for i in 0..slopes.len() {
+        for j in (i + 1)..slopes.len() {
+            let gap = (slopes[i].1 - slopes[j].1).abs();
+            report::row(
+                &format!("{} vs {}", slopes[i].0.label(), slopes[j].0.label()),
+                "distinct",
+                &format!("{gap:.2e} rad/Hz"),
+            );
+            assert!(gap > 5e-9, "material slopes must be distinct");
+        }
+    }
+}

@@ -1,0 +1,46 @@
+//! Fig. 16: localization error CDF with varying orientation *and material*
+//! — RF-Prism vs MobiTagbot.
+//!
+//! Paper: RF-Prism 7.61 cm (still unchanged) vs MobiTagbot 24.94 cm
+//! (~3.3× worse): the unmodelled material slope drags the hologram peak
+//! far off. Our simulator's material slopes are calibrated against the
+//! paper's Fig. 6 sweep magnitudes, which makes this bias somewhat larger
+//! than the paper's testbed average (see EXPERIMENTS.md).
+
+use rfp_bench::{compare, loc, report, setup};
+use rfp_dsp::stats;
+use rfp_phys::Material;
+use rfp_sim::{MultipathEnvironment, Scene};
+
+fn main() {
+    report::header("Fig. 16", "CDF, varying orientation + material: RF-Prism vs MobiTagbot");
+    // Even a tidy lab has residual multipath; a perfectly clean channel
+    // would let the hologram reach unrealistic carrier-phase precision.
+    let scene = Scene::standard_2d()
+        .with_environment(MultipathEnvironment::cluttered(3, 73));
+    let mut specs = loc::grid_material_specs(&scene, 2);
+    // Rotate through the orientation sweep as well.
+    for (i, s) in specs.iter_mut().enumerate() {
+        s.alpha = setup::evaluation_orientations()[i % 6];
+    }
+    // MobiTagbot calibrated on the bare-carrier (plastic) state.
+    let cmp = compare::mobitagbot_comparison(&scene, &specs, Material::Plastic);
+
+    report::cdf_summary("RF-Prism", &cmp.prism_cm);
+    report::cdf_summary("MobiTagbot", &cmp.mobitagbot_cm);
+    println!();
+    let prism_mean = stats::mean(&cmp.prism_cm).unwrap();
+    let mtb_mean = stats::mean(&cmp.mobitagbot_cm).unwrap();
+    report::row("RF-Prism mean", "7.61 cm", &report::cm(prism_mean));
+    report::row("MobiTagbot mean", "24.94 cm", &report::cm(mtb_mean));
+
+    // Shape: material changes devastate MobiTagbot, not RF-Prism.
+    assert!(
+        mtb_mean > 2.0 * prism_mean,
+        "varying material must cost MobiTagbot dearly ({prism_mean} vs {mtb_mean})"
+    );
+    assert!(
+        prism_mean < 20.0,
+        "RF-Prism must stay in the centimetre regime ({prism_mean} cm)"
+    );
+}

@@ -1,0 +1,68 @@
+//! §VI-C latency: the paper reports data pre-processing + parameter
+//! estimation within 0.06 s and classification "within dozens of
+//! milliseconds"; data gathering (10 s per hop round on the R420)
+//! dominates. Criterion benches for the processing stages.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rfp_bench::{matid, setup};
+use rfp_core::material::ClassifierKind;
+use rfp_core::model::{extract_observation, ExtractConfig};
+use rfp_core::solver::{solve_2d, SolverConfig};
+use rfp_geom::Vec2;
+use rfp_phys::Material;
+use rfp_sim::{Motion, Scene, SimTag};
+use std::hint::black_box;
+
+fn bench_pipeline(c: &mut Criterion) {
+    let scene = Scene::standard_2d();
+    let prism = setup::prism_for(&scene);
+    let tag = SimTag::with_seeded_diversity(1)
+        .attached_to(Material::Glass)
+        .with_motion(Motion::planar_static(Vec2::new(0.4, 1.5), 0.5));
+    let survey = scene.survey(&tag, 1);
+    let poses = scene.antenna_poses();
+
+    c.bench_function("preprocess_and_fit_one_antenna", |b| {
+        b.iter(|| {
+            extract_observation(
+                black_box(poses[0]),
+                black_box(&survey.per_antenna[0]),
+                &ExtractConfig::paper(),
+            )
+            .unwrap()
+        })
+    });
+
+    let observations: Vec<_> = poses
+        .iter()
+        .zip(&survey.per_antenna)
+        .map(|(&p, r)| extract_observation(p, r, &ExtractConfig::paper()).unwrap())
+        .collect();
+    c.bench_function("joint_disentangling_solve", |b| {
+        b.iter(|| {
+            solve_2d(black_box(&observations), scene.region(), &SolverConfig::default())
+                .unwrap()
+        })
+    });
+
+    c.bench_function("full_sense_pipeline", |b| {
+        b.iter(|| prism.sense(black_box(&survey.per_antenna)).unwrap())
+    });
+}
+
+fn bench_classification(c: &mut Criterion) {
+    let scene = Scene::standard_2d();
+    let corpus = matid::build_corpus(&scene, 20, 0);
+    let ds = matid::to_dataset(&corpus.train);
+    let identifier = rfp_core::material::MaterialIdentifier::train(
+        &ds,
+        &ClassifierKind::paper_default(),
+    );
+    let sample = corpus.validation[0].features.clone();
+    c.bench_function("decision_tree_classify", |b| {
+        b.iter(|| identifier.predict_index(black_box(&sample)))
+    });
+}
+
+criterion_group!(benches, bench_pipeline, bench_classification);
+criterion_main!(benches);

@@ -1,0 +1,167 @@
+//! Localization/orientation trial runner (Figs. 8, 9, 12, 14–16).
+
+use crate::setup;
+use rfp_core::SenseError;
+use rfp_geom::{angle, Vec2};
+use rfp_phys::Material;
+use rfp_sim::Scene;
+
+/// Specification of one sensing trial.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrialSpec {
+    /// Tag identity seed (manufacturing diversity).
+    pub tag_seed: u64,
+    /// Attached material.
+    pub material: Material,
+    /// True position.
+    pub position: Vec2,
+    /// True orientation, radians.
+    pub alpha: f64,
+    /// Measurement-noise seed.
+    pub survey_seed: u64,
+}
+
+/// Outcome of one trial.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrialOutcome {
+    /// The spec that produced it.
+    pub spec: TrialSpec,
+    /// Localization error, metres.
+    pub position_error_m: f64,
+    /// Orientation error, radians (dipole distance, `[0, π/2]`).
+    pub orientation_error_rad: f64,
+    /// Estimated material slope `k_t`, rad/Hz.
+    pub kt: f64,
+    /// Distance region index of the true position.
+    pub region: usize,
+}
+
+/// Runs RF-Prism on every spec against `scene`; specs whose window the
+/// error detector rejects are skipped (the paper filters them out too).
+///
+/// # Panics
+///
+/// Panics on pipeline errors other than `TagMoving` — experiment harness
+/// code fails loudly.
+pub fn run_trials(scene: &Scene, specs: &[TrialSpec]) -> Vec<TrialOutcome> {
+    let prism = setup::prism_for(scene);
+    let mut outcomes = Vec::with_capacity(specs.len());
+    for spec in specs {
+        let tag = setup::place_tag(spec.tag_seed, spec.material, spec.position, spec.alpha);
+        let survey = scene.survey(&tag, spec.survey_seed);
+        match prism.sense(&survey.per_antenna) {
+            Ok(result) => outcomes.push(TrialOutcome {
+                spec: *spec,
+                position_error_m: result.estimate.position.distance(spec.position),
+                orientation_error_rad: angle::dipole_distance(
+                    result.estimate.orientation,
+                    spec.alpha,
+                ),
+                kt: result.estimate.kt,
+                region: setup::distance_region(scene, spec.position),
+            }),
+            Err(SenseError::TagMoving { .. }) => continue,
+            Err(e) => panic!("trial {spec:?} failed: {e}"),
+        }
+    }
+    outcomes
+}
+
+/// The paper's Fig. 8 trial set: 25 positions × 6 orientations × `reps`
+/// repetitions, tag on the plastic carrier.
+pub fn grid_orientation_specs(scene: &Scene, reps: u64) -> Vec<TrialSpec> {
+    let mut specs = Vec::new();
+    let mut seed = 0u64;
+    for position in setup::evaluation_grid(scene) {
+        for alpha in setup::evaluation_orientations() {
+            for rep in 0..reps {
+                seed += 1;
+                specs.push(TrialSpec {
+                    tag_seed: 1 + (seed % 5),
+                    material: Material::Plastic,
+                    position,
+                    alpha,
+                    survey_seed: 1000 + seed * 7 + rep,
+                });
+            }
+        }
+    }
+    specs
+}
+
+/// The paper's material sweep: 25 positions × 8 materials, fixed 0°
+/// orientation, `reps` repetitions.
+pub fn grid_material_specs(scene: &Scene, reps: u64) -> Vec<TrialSpec> {
+    let mut specs = Vec::new();
+    let mut seed = 0u64;
+    for position in setup::evaluation_grid(scene) {
+        for material in Material::CLASSES {
+            for rep in 0..reps {
+                seed += 1;
+                specs.push(TrialSpec {
+                    tag_seed: 1 + (seed % 5),
+                    material,
+                    position,
+                    alpha: 0.0,
+                    survey_seed: 50_000 + seed * 11 + rep,
+                });
+            }
+        }
+    }
+    specs
+}
+
+/// Mean localization error in centimetres.
+pub fn mean_position_error_cm(outcomes: &[TrialOutcome]) -> f64 {
+    let sum: f64 = outcomes.iter().map(|o| o.position_error_m).sum();
+    sum / outcomes.len().max(1) as f64 * 100.0
+}
+
+/// Mean orientation error in degrees.
+pub fn mean_orientation_error_deg(outcomes: &[TrialOutcome]) -> f64 {
+    let sum: f64 = outcomes.iter().map(|o| o.orientation_error_rad).sum();
+    (sum / outcomes.len().max(1) as f64).to_degrees()
+}
+
+/// Filters outcomes by a predicate on the spec.
+pub fn filter<'a>(
+    outcomes: &'a [TrialOutcome],
+    mut pred: impl FnMut(&TrialSpec) -> bool + 'a,
+) -> Vec<TrialOutcome> {
+    outcomes.iter().copied().filter(|o| pred(&o.spec)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_builders_have_paper_counts() {
+        let scene = Scene::standard_2d();
+        assert_eq!(grid_orientation_specs(&scene, 5).len(), 25 * 6 * 5);
+        assert_eq!(grid_material_specs(&scene, 2).len(), 25 * 8 * 2);
+    }
+
+    #[test]
+    fn trials_produce_reasonable_errors() {
+        let scene = Scene::standard_2d();
+        // A small slice of the grid for test speed.
+        let specs: Vec<TrialSpec> =
+            grid_orientation_specs(&scene, 1).into_iter().step_by(30).collect();
+        let outcomes = run_trials(&scene, &specs);
+        assert!(!outcomes.is_empty());
+        let mean_cm = mean_position_error_cm(&outcomes);
+        assert!(mean_cm < 40.0, "mean error {mean_cm} cm");
+        let mean_deg = mean_orientation_error_deg(&outcomes);
+        assert!(mean_deg < 40.0, "mean orientation error {mean_deg}°");
+    }
+
+    #[test]
+    fn filter_selects_by_spec() {
+        let scene = Scene::standard_2d();
+        let specs = grid_material_specs(&scene, 1);
+        let outcomes = run_trials(&scene, &specs[..16]);
+        let metal = filter(&outcomes, |s| s.material == Material::Metal);
+        assert!(metal.iter().all(|o| o.spec.material == Material::Metal));
+    }
+}

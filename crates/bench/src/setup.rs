@@ -1,0 +1,124 @@
+//! Common experiment setup: scenes, grids, tags and calibration.
+
+use rfp_core::calibration::DeviceCalibration;
+use rfp_core::model::{extract_observation, AntennaObservation, ExtractConfig};
+use rfp_core::RfPrism;
+use rfp_geom::Vec2;
+use rfp_phys::Material;
+use rfp_sim::{Motion, Scene, SimTag};
+
+/// The paper's 25 evaluation positions: a 5×5 grid over the 2 m × 2 m
+/// working region (Fig. 7).
+pub fn evaluation_grid(scene: &Scene) -> Vec<Vec2> {
+    scene.region().grid(5, 5).collect()
+}
+
+/// The paper's six evaluation orientations: 0°–150° in 30° steps.
+pub fn evaluation_orientations() -> Vec<f64> {
+    (0..6).map(|i| f64::from(i) * 30.0f64.to_radians()).collect()
+}
+
+/// Distance region of a position (paper Fig. 9/10): `0` = near, `1` =
+/// medium, `2` = far, split by mean antenna distance with fixed thresholds
+/// chosen so the 25-point grid divides roughly evenly.
+pub fn distance_region(scene: &Scene, position: Vec2) -> usize {
+    let mean_d: f64 = scene
+        .antennas()
+        .iter()
+        .map(|a| a.pose.distance_to(position.with_z(0.0)))
+        .sum::<f64>()
+        / scene.antennas().len() as f64;
+    if mean_d < 1.6 {
+        0
+    } else if mean_d < 2.2 {
+        1
+    } else {
+        2
+    }
+}
+
+/// Names for [`distance_region`] indices.
+pub const REGION_NAMES: [&str; 3] = ["near", "medium", "far"];
+
+/// The standard sensing pipeline for a scene.
+pub fn prism_for(scene: &Scene) -> RfPrism {
+    RfPrism::new(scene.antenna_poses(), scene.reader().plan.clone())
+        .with_region(scene.region())
+}
+
+/// Builds a static tag with the given identity/material/placement.
+pub fn place_tag(tag_seed: u64, material: Material, position: Vec2, alpha: f64) -> SimTag {
+    SimTag::with_seeded_diversity(tag_seed)
+        .attached_to(material)
+        .with_motion(Motion::planar_static(position, alpha))
+}
+
+/// Extracts per-antenna observations for a survey (panics on failure —
+/// experiment code fails loudly).
+pub fn observations(scene: &Scene, survey: &rfp_sim::HopSurvey) -> Vec<AntennaObservation> {
+    scene
+        .antenna_poses()
+        .iter()
+        .zip(&survey.per_antenna)
+        .map(|(&p, r)| {
+            extract_observation(p, r, &ExtractConfig::paper()).expect("usable survey")
+        })
+        .collect()
+}
+
+/// Performs the one-time device calibration of a tag (paper §V-B): bare
+/// tag at a known position and orientation in the clean calibration booth.
+pub fn calibrate_tag(tag_seed: u64, survey_seed: u64) -> DeviceCalibration {
+    use rfp_sim::{NoiseModel, ReaderConfig};
+    // Calibration happens pre-deployment in a controlled environment.
+    let scene = Scene::standard_2d()
+        .with_noise(NoiseModel::clean())
+        .with_reader(ReaderConfig::ideal());
+    let position = Vec2::new(0.5, 1.0);
+    let alpha = 0.0;
+    let bare = SimTag::with_seeded_diversity(tag_seed)
+        .with_motion(Motion::planar_static(position, alpha));
+    let survey = scene.survey(&bare, survey_seed);
+    let obs = observations(&scene, &survey);
+    DeviceCalibration::from_observations(&obs, position, alpha)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_has_25_points_in_region() {
+        let scene = Scene::standard_2d();
+        let grid = evaluation_grid(&scene);
+        assert_eq!(grid.len(), 25);
+        assert!(grid.iter().all(|&p| scene.region().contains(p)));
+    }
+
+    #[test]
+    fn orientations_match_paper() {
+        let o = evaluation_orientations();
+        assert_eq!(o.len(), 6);
+        assert_eq!(o[0], 0.0);
+        assert!((o[5].to_degrees() - 150.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn regions_cover_all_three_bands() {
+        let scene = Scene::standard_2d();
+        let mut counts = [0usize; 3];
+        for p in evaluation_grid(&scene) {
+            counts[distance_region(&scene, p)] += 1;
+        }
+        assert!(counts.iter().all(|&c| c > 0), "counts {counts:?}");
+        assert_eq!(counts.iter().sum::<usize>(), 25);
+    }
+
+    #[test]
+    fn calibration_is_deterministic() {
+        let a = calibrate_tag(5, 1);
+        let b = calibrate_tag(5, 1);
+        assert_eq!(a.kt0(), b.kt0());
+        assert_eq!(a.channel_count(), 50);
+    }
+}

@@ -1,0 +1,48 @@
+//! The `rf-prism` command-line entry point. All logic lives in
+//! `rfp_cli::commands` so it is unit-testable; this file only routes.
+
+use rfp_cli::commands;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("simulate") => commands::simulate(&args[1..]).map(Output::Stdout),
+        Some("sense") => run_sense(&args[1..]),
+        Some("calibrate") => commands::calibrate(&args[1..]).map(Output::Stdout),
+        Some("help") | None => Ok(Output::Stdout(commands::usage())),
+        Some(other) => Err(commands::CommandError::Usage(format!(
+            "unknown subcommand `{other}`\n\n{}",
+            commands::usage()
+        ))),
+    };
+    match result {
+        Ok(Output::Stdout(text)) => {
+            print!("{text}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+enum Output {
+    Stdout(String),
+}
+
+fn run_sense(args: &[String]) -> Result<Output, commands::CommandError> {
+    let flags = commands::parse_flags(args)?;
+    let log_path = flags
+        .iter()
+        .find(|(k, _)| k == "log")
+        .map(|(_, v)| v.clone())
+        .ok_or_else(|| commands::CommandError::Usage("sense needs --log <file>".into()))?;
+    let log_text = std::fs::read_to_string(&log_path)?;
+    let calib_text = match flags.iter().find(|(k, _)| k == "calib") {
+        Some((_, path)) => Some(std::fs::read_to_string(path)?),
+        None => None,
+    };
+    commands::sense(&log_text, calib_text.as_deref()).map(Output::Stdout)
+}

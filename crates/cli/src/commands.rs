@@ -1,0 +1,324 @@
+//! The CLI subcommands, written as library functions so they are testable
+//! without spawning the binary.
+
+use crate::log::{SurveyLog, TagTruth};
+use rfp_core::calibration::{CalibrationDb, DeviceCalibration};
+use rfp_core::model::{extract_observation, ExtractConfig};
+use rfp_core::{RfPrism, SenseError};
+use rfp_geom::{angle, Region2, Vec2};
+use rfp_phys::Material;
+use rfp_sim::{Motion, Scene, SimTag};
+use std::fmt::Write as _;
+
+/// Errors surfaced to the CLI user.
+#[derive(Debug)]
+pub enum CommandError {
+    /// Bad command-line usage; the string is the usage text to print.
+    Usage(String),
+    /// A file could not be read/written.
+    Io(std::io::Error),
+    /// A survey log failed to parse.
+    Log(crate::log::LogError),
+    /// A calibration database failed to parse.
+    Calibration(rfp_core::calibration::DbParseError),
+}
+
+impl std::fmt::Display for CommandError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CommandError::Usage(u) => write!(f, "{u}"),
+            CommandError::Io(e) => write!(f, "io error: {e}"),
+            CommandError::Log(e) => write!(f, "survey log: {e}"),
+            CommandError::Calibration(e) => write!(f, "calibration db: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CommandError {}
+
+impl From<std::io::Error> for CommandError {
+    fn from(e: std::io::Error) -> Self {
+        CommandError::Io(e)
+    }
+}
+
+impl From<crate::log::LogError> for CommandError {
+    fn from(e: crate::log::LogError) -> Self {
+        CommandError::Log(e)
+    }
+}
+
+/// Tiny flag parser: `--key value` pairs after the subcommand.
+pub fn parse_flags(args: &[String]) -> Result<Vec<(String, String)>, CommandError> {
+    let mut out = Vec::new();
+    let mut it = args.iter();
+    while let Some(k) = it.next() {
+        let Some(key) = k.strip_prefix("--") else {
+            return Err(CommandError::Usage(format!("unexpected argument `{k}`")));
+        };
+        let Some(v) = it.next() else {
+            return Err(CommandError::Usage(format!("flag `--{key}` needs a value")));
+        };
+        out.push((key.to_string(), v.clone()));
+    }
+    Ok(out)
+}
+
+fn flag<'a>(flags: &'a [(String, String)], key: &str) -> Option<&'a str> {
+    flags.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
+}
+
+/// `simulate`: run an inventory round in the standard scene and return the
+/// survey-log text.
+///
+/// Flags: `--tags N` (default 3), `--seed S` (default 1),
+/// `--material <label|mixed>` (default mixed), `--clutter <seed>`
+/// (default: clean room).
+pub fn simulate(args: &[String]) -> Result<String, CommandError> {
+    let flags = parse_flags(args)?;
+    let n_tags: usize = flag(&flags, "tags").unwrap_or("3").parse().map_err(|_| {
+        CommandError::Usage("--tags expects an integer".into())
+    })?;
+    let seed: u64 = flag(&flags, "seed").unwrap_or("1").parse().map_err(|_| {
+        CommandError::Usage("--seed expects an integer".into())
+    })?;
+    let material_arg = flag(&flags, "material").unwrap_or("mixed");
+    if n_tags == 0 {
+        return Err(CommandError::Usage("--tags must be at least 1".into()));
+    }
+
+    let mut scene = Scene::standard_2d();
+    if let Some(clutter) = flag(&flags, "clutter") {
+        let cseed: u64 = clutter
+            .parse()
+            .map_err(|_| CommandError::Usage("--clutter expects an integer seed".into()))?;
+        scene = scene.with_environment(rfp_sim::MultipathEnvironment::cluttered(3, cseed));
+    }
+
+    let material_for = |i: usize| -> Result<Material, CommandError> {
+        if material_arg == "mixed" {
+            Ok(Material::CLASSES[i % Material::CLASSES.len()])
+        } else {
+            Material::CLASSES
+                .iter()
+                .copied()
+                .find(|m| m.label() == material_arg)
+                .ok_or_else(|| {
+                    CommandError::Usage(format!(
+                        "unknown material `{material_arg}` (try: wood plastic glass metal water milk oil alcohol mixed)"
+                    ))
+                })
+        }
+    };
+
+    let grid: Vec<Vec2> = scene.region().grid(4, 4).collect();
+    let tags: Vec<(SimTag, TagTruth)> = (0..n_tags)
+        .map(|i| {
+            let position = grid[(seed as usize + i * 5) % grid.len()];
+            let alpha = (i as f64 * 0.5) % std::f64::consts::PI;
+            let material = material_for(i)?;
+            let tag = SimTag::with_seeded_diversity(i as u64 + 1)
+                .attached_to(material)
+                .with_motion(Motion::planar_static(position, alpha));
+            Ok((tag, TagTruth { position, alpha, material }))
+        })
+        .collect::<Result<_, CommandError>>()?;
+
+    let sim_tags: Vec<SimTag> = tags.iter().map(|(t, _)| t.clone()).collect();
+    let round = scene.survey_inventory(&sim_tags, seed);
+    let mut log = SurveyLog::new(scene.reader().plan.clone(), scene.antenna_poses());
+    for ((tag, truth), (id, survey)) in tags.iter().zip(round.surveys) {
+        debug_assert_eq!(tag.id(), id);
+        log.add_tag(id, survey.per_antenna, Some(*truth));
+    }
+    Ok(log.to_text())
+}
+
+/// `sense`: replay a survey log through the pipeline; returns the report
+/// text.
+pub fn sense(log_text: &str, calibration_db: Option<&str>) -> Result<String, CommandError> {
+    let log = SurveyLog::from_text(log_text)?;
+    let db = match calibration_db {
+        Some(text) => Some(CalibrationDb::from_text(text).map_err(CommandError::Calibration)?),
+        None => None,
+    };
+    let region = default_region(&log);
+    let prism = RfPrism::new(log.poses.clone(), log.plan.clone()).with_region(region);
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:>6} {:>18} {:>9} {:>13} {:>10} {:>12}",
+        "tag", "position (m)", "α (deg)", "k_t (rad/Hz)", "verdict", "truth err"
+    );
+    for (id, record) in &log.tags {
+        match prism.sense(&record.per_antenna) {
+            Ok(result) => {
+                let e = &result.estimate;
+                let truth_err = record
+                    .truth
+                    .map(|t| format!("{:.1} cm", e.position.distance(t.position) * 100.0))
+                    .unwrap_or_else(|| "-".into());
+                let verdict = match result.verdict {
+                    rfp_core::MobilityVerdict::Clean => "clean",
+                    rfp_core::MobilityVerdict::MultipathSuppressed { .. } => "multipath",
+                    rfp_core::MobilityVerdict::Moving { .. } => "moving",
+                };
+                let _ = writeln!(
+                    out,
+                    "{id:>6} ({:+7.3}, {:6.3}) {:>9.1} {:>13.3e} {verdict:>10} {truth_err:>12}",
+                    e.position.x,
+                    e.position.y,
+                    e.orientation.to_degrees(),
+                    e.kt,
+                );
+                if let (Some(db), Some(truth)) = (&db, record.truth) {
+                    if let Some(cal) = db.get(*id) {
+                        let feats = result
+                            .material_features(cal, log.plan.channel_count());
+                        let _ = writeln!(
+                            out,
+                            "{:>6} calibrated material features: k_t_mat {:.3e}, truth {}",
+                            "", feats.kt_material, truth.material
+                        );
+                    }
+                }
+            }
+            Err(SenseError::TagMoving { worst_residual_std }) => {
+                let _ = writeln!(
+                    out,
+                    "{id:>6} window rejected: tag moved (residual {worst_residual_std:.2} rad)"
+                );
+            }
+            Err(e) => {
+                let _ = writeln!(out, "{id:>6} failed: {e}");
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// `calibrate`: simulate the §V-B bare-tag calibration for `tag_seed` and
+/// return the calibration-database text.
+pub fn calibrate(args: &[String]) -> Result<String, CommandError> {
+    let flags = parse_flags(args)?;
+    let tag_seed: u64 = flag(&flags, "tag").unwrap_or("1").parse().map_err(|_| {
+        CommandError::Usage("--tag expects an integer id".into())
+    })?;
+    let scene = Scene::standard_2d()
+        .with_noise(rfp_sim::NoiseModel::clean())
+        .with_reader(rfp_sim::ReaderConfig::ideal());
+    let position = Vec2::new(0.5, 1.0);
+    let alpha = 0.0;
+    let bare = SimTag::with_seeded_diversity(tag_seed)
+        .with_motion(Motion::planar_static(position, alpha));
+    let survey = scene.survey(&bare, 1000 + tag_seed);
+    let observations: Vec<_> = scene
+        .antenna_poses()
+        .iter()
+        .zip(&survey.per_antenna)
+        .map(|(&p, r)| extract_observation(p, r, &ExtractConfig::paper()).expect("clean"))
+        .collect();
+    let cal = DeviceCalibration::from_observations(&observations, position, alpha);
+    let mut db = CalibrationDb::new();
+    db.insert(tag_seed, cal);
+    Ok(db.to_text())
+}
+
+/// Derives the sensing search region from a log: the antennas' bounding
+/// box expanded toward the hemisphere they face (same rule as
+/// `RfPrism::new`, but reproduced here so a log is self-contained).
+fn default_region(log: &SurveyLog) -> Region2 {
+    let _ = &log.poses;
+    // RfPrism::new already computes a sensible default; reuse it.
+    RfPrism::new(log.poses.clone(), log.plan.clone()).region()
+}
+
+/// Top-level usage text.
+pub fn usage() -> String {
+    "rf-prism — RFID phase-disentangling sensing (RF-Prism reproduction)\n\
+     \n\
+     USAGE:\n\
+     \x20 rf-prism simulate [--tags N] [--seed S] [--material LABEL|mixed] [--clutter SEED] > round.log\n\
+     \x20 rf-prism sense --log round.log [--calib tags.cal]\n\
+     \x20 rf-prism calibrate --tag ID > tags.cal\n\
+     \x20 rf-prism help\n"
+        .to_string()
+}
+
+/// Angle helper re-exported for the binary's error messages.
+pub fn wrap_deg(rad: f64) -> f64 {
+    angle::wrap_pi(rad).to_degrees()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn simulate_then_sense_round_trip() {
+        let log_text = simulate(&args(&["--tags", "2", "--seed", "3"])).unwrap();
+        let report = sense(&log_text, None).unwrap();
+        // Two tag rows with truth errors present.
+        assert_eq!(report.matches(" cm").count(), 2, "report:\n{report}");
+        assert!(report.contains("clean") || report.contains("multipath"));
+    }
+
+    #[test]
+    fn simulate_respects_material_flag() {
+        let log_text = simulate(&args(&["--tags", "2", "--material", "water"])).unwrap();
+        assert!(log_text.contains(" water\n"));
+        assert!(!log_text.contains(" wood\n"));
+    }
+
+    #[test]
+    fn simulate_rejects_bad_flags() {
+        assert!(matches!(
+            simulate(&args(&["--tags", "zero"])),
+            Err(CommandError::Usage(_))
+        ));
+        assert!(matches!(
+            simulate(&args(&["--material", "kryptonite"])),
+            Err(CommandError::Usage(_))
+        ));
+        assert!(matches!(simulate(&args(&["stray"])), Err(CommandError::Usage(_))));
+        assert!(matches!(
+            simulate(&args(&["--tags"])),
+            Err(CommandError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn calibrate_emits_db_text() {
+        let text = calibrate(&args(&["--tag", "7"])).unwrap();
+        let db = CalibrationDb::from_text(&text).unwrap();
+        assert_eq!(db.len(), 1);
+        assert!(db.get(7).is_some());
+    }
+
+    #[test]
+    fn sense_with_calibration_prints_material_features() {
+        let log_text = simulate(&args(&["--tags", "1", "--seed", "5"])).unwrap();
+        let cal_text = calibrate(&args(&["--tag", "1"])).unwrap();
+        let report = sense(&log_text, Some(&cal_text)).unwrap();
+        assert!(report.contains("k_t_mat"), "report:\n{report}");
+    }
+
+    #[test]
+    fn sense_propagates_log_errors() {
+        assert!(matches!(sense("garbage", None), Err(CommandError::Log(_))));
+    }
+
+    #[test]
+    fn usage_mentions_all_subcommands() {
+        let u = usage();
+        for cmd in ["simulate", "sense", "calibrate"] {
+            assert!(u.contains(cmd));
+        }
+        assert!((wrap_deg(std::f64::consts::PI * 2.5) - 90.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,21 @@
+//! Library backing the `rf-prism` command-line tool.
+//!
+//! The CLI makes the workspace usable without writing Rust:
+//!
+//! * `rf-prism simulate` — run a simulated inventory round and record it
+//!   to a survey log;
+//! * `rf-prism sense` — replay a survey log through the full RF-Prism
+//!   pipeline and print each tag's disentangled state;
+//! * `rf-prism calibrate` — produce a device-calibration database entry
+//!   for a tag (paper §V-B).
+//!
+//! The survey-log format ([`log`]) is a plain line-oriented text file that
+//! captures everything the sensing side needs (antenna poses, channel
+//! plan, raw reads) plus optional ground truth for scoring — the same
+//! record/replay shape a real deployment would dump from its LLRP client.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod commands;
+pub mod log;

@@ -1,0 +1,69 @@
+//! Property tests: the survey-log format round-trips arbitrary read data.
+
+use proptest::prelude::*;
+use rfp_cli::log::{SurveyLog, TagTruth};
+use rfp_dsp::preprocess::RawRead;
+use rfp_geom::{AntennaPose, Vec2, Vec3};
+use rfp_phys::{FrequencyPlan, Material};
+
+fn poses() -> Vec<AntennaPose> {
+    (0..3)
+        .map(|i| {
+            AntennaPose::looking_at(
+                Vec3::new(0.5 * i as f64, 0.0, 0.4 + 0.3 * i as f64),
+                Vec3::new(0.5, 1.5, 0.0),
+                0.3 * i as f64,
+            )
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn log_round_trips_arbitrary_reads(
+        reads in proptest::collection::vec(
+            (0usize..50, 0.0f64..6.28, -80.0f64..-40.0, 0.0f64..10.0),
+            1..80,
+        ),
+        tag_id in 0u64..1000,
+        truth_x in -0.5f64..1.5,
+        truth_y in 0.5f64..2.5,
+        alpha in 0.0f64..3.14,
+        material_idx in 0usize..8,
+        with_truth in proptest::bool::ANY,
+    ) {
+        let plan = FrequencyPlan::fcc_us();
+        let mut per_antenna = vec![Vec::new(), Vec::new(), Vec::new()];
+        for (i, &(ch, phase, rssi, t)) in reads.iter().enumerate() {
+            per_antenna[i % 3].push(RawRead {
+                channel: ch,
+                frequency_hz: plan.frequency_hz(ch),
+                phase,
+                rssi_dbm: rssi,
+                timestamp_s: t,
+            });
+        }
+        let truth = with_truth.then(|| TagTruth {
+            position: Vec2::new(truth_x, truth_y),
+            alpha,
+            material: Material::from_class_index(material_idx),
+        });
+        let mut log = SurveyLog::new(plan, poses());
+        log.add_tag(tag_id, per_antenna.clone(), truth);
+
+        let parsed = SurveyLog::from_text(&log.to_text()).expect("own format");
+        let record = &parsed.tags[&tag_id];
+        prop_assert_eq!(&record.per_antenna, &per_antenna);
+        match (record.truth, truth) {
+            (Some(a), Some(b)) => {
+                prop_assert!((a.position.x - b.position.x).abs() < 1e-12);
+                prop_assert!((a.alpha - b.alpha).abs() < 1e-12);
+                prop_assert_eq!(a.material, b.material);
+            }
+            (None, None) => {}
+            other => prop_assert!(false, "truth mismatch {:?}", other),
+        }
+    }
+}

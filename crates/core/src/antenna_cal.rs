@@ -1,0 +1,206 @@
+//! Antenna (reader-port) calibration — paper §IV-C.
+//!
+//! Different antenna ports add different constant phases (cables,
+//! front-end paths). Since these offsets "only rely on the hardware
+//! devices … they are determined once the reader and antennas are chosen
+//! and will never be changed", the paper removes them with a one-time
+//! procedure: read a reference tag through every antenna while keeping
+//! everything else fixed, and difference out the per-port constants.
+//!
+//! [`AntennaCalibration::from_reference`] implements exactly that: given
+//! the per-antenna observations of a reference tag at a *known* position
+//! and orientation, the geometric and polarization parts of each intercept
+//! are predicted and subtracted; what remains (relative to antenna 0) is
+//! the port offset. [`AntennaCalibration::corrected`] applies the
+//! corrections to raw reads before the normal pipeline runs.
+
+use crate::model::AntennaObservation;
+use rfp_dsp::preprocess::RawRead;
+use rfp_geom::{angle, Vec2};
+use rfp_phys::polarization::{orientation_phase, planar_dipole};
+
+/// Per-port constant phase corrections, relative to port 0.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AntennaCalibration {
+    /// `offsets[i]` is subtracted from every phase read on antenna `i`.
+    /// `offsets[0] == 0` by construction (only differences are physical).
+    offsets: Vec<f64>,
+}
+
+impl AntennaCalibration {
+    /// Estimates port offsets from per-antenna observations of a reference
+    /// tag at `position` with orientation `alpha`.
+    ///
+    /// The slope of each observation is unaffected by a constant port
+    /// offset, so only intercepts are used: after removing the predicted
+    /// `θ_orient`, the common remainder is the tag's `b_t` — whatever
+    /// varies across antennas beyond that is hardware.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `observations` is empty.
+    pub fn from_reference(
+        observations: &[AntennaObservation],
+        position: Vec2,
+        alpha: f64,
+    ) -> Self {
+        assert!(!observations.is_empty(), "need at least one antenna");
+        let w = planar_dipole(alpha);
+        let _ = position; // distance affects only slopes; intercepts suffice
+        let residual: Vec<f64> = observations
+            .iter()
+            .map(|o| o.intercept - orientation_phase(&o.pose, w))
+            .collect();
+        let offsets = residual
+            .iter()
+            .map(|r| angle::wrap_pi(r - residual[0]))
+            .collect();
+        AntennaCalibration { offsets }
+    }
+
+    /// The per-port corrections (relative to port 0), radians.
+    pub fn offsets(&self) -> &[f64] {
+        &self.offsets
+    }
+
+    /// Number of calibrated ports.
+    pub fn port_count(&self) -> usize {
+        self.offsets.len()
+    }
+
+    /// Returns the reads with each antenna's offset subtracted — feed the
+    /// result to the normal pipeline.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `reads_per_antenna.len()` differs from the port count.
+    pub fn corrected(&self, reads_per_antenna: &[Vec<RawRead>]) -> Vec<Vec<RawRead>> {
+        assert_eq!(
+            reads_per_antenna.len(),
+            self.offsets.len(),
+            "one read group per calibrated port"
+        );
+        reads_per_antenna
+            .iter()
+            .zip(&self.offsets)
+            .map(|(reads, &off)| {
+                reads
+                    .iter()
+                    .map(|r| RawRead { phase: angle::wrap_tau(r.phase - off), ..*r })
+                    .collect()
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{extract_observation, ExtractConfig};
+    use crate::solver::{solve_2d, SolverConfig};
+    use rfp_sim::{Motion, NoiseModel, ReaderConfig, Scene, SimTag};
+
+    fn observations(scene: &Scene, tag: &SimTag, seed: u64) -> Vec<AntennaObservation> {
+        let survey = scene.survey(tag, seed);
+        scene
+            .antenna_poses()
+            .iter()
+            .zip(&survey.per_antenna)
+            .map(|(&p, r)| extract_observation(p, r, &ExtractConfig::paper()).unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn recovers_port_offsets() {
+        let scene = Scene::standard_2d_uncalibrated(7)
+            .with_noise(NoiseModel::clean())
+            .with_reader(ReaderConfig::ideal());
+        let reference_pos = Vec2::new(0.5, 1.2);
+        let tag = SimTag::with_seeded_diversity(1)
+            .with_motion(Motion::planar_static(reference_pos, 0.0));
+        let obs = observations(&scene, &tag, 1);
+        let cal = AntennaCalibration::from_reference(&obs, reference_pos, 0.0);
+        assert_eq!(cal.port_count(), 3);
+        assert_eq!(cal.offsets()[0], 0.0);
+        for i in 1..3 {
+            let truth = angle::wrap_pi(
+                scene.antennas()[i].hardware_phase_offset
+                    - scene.antennas()[0].hardware_phase_offset,
+            );
+            assert!(
+                angle::distance(cal.offsets()[i], truth) < 1e-6,
+                "port {i}: {} vs {truth}",
+                cal.offsets()[i]
+            );
+        }
+    }
+
+    #[test]
+    fn correction_restores_sensing_accuracy() {
+        // Uncalibrated ports corrupt orientation/material; after applying
+        // the §IV-C correction the solve matches the calibrated scene.
+        let scene = Scene::standard_2d_uncalibrated(11);
+        // Calibration happens pre-deployment in controlled conditions: same
+        // hardware offsets (same seed), no measurement noise.
+        let calib_scene = Scene::standard_2d_uncalibrated(11)
+            .with_noise(NoiseModel::clean())
+            .with_reader(ReaderConfig::ideal());
+        let reference_pos = Vec2::new(0.5, 1.2);
+        let reference = SimTag::with_seeded_diversity(1)
+            .with_motion(Motion::planar_static(reference_pos, 0.0));
+        let cal = AntennaCalibration::from_reference(
+            &observations(&calib_scene, &reference, 2),
+            reference_pos,
+            0.0,
+        );
+
+        let truth_pos = Vec2::new(0.9, 1.8);
+        let truth_alpha = 0.9;
+        let tag = SimTag::with_seeded_diversity(2)
+            .with_motion(Motion::planar_static(truth_pos, truth_alpha));
+        let survey = scene.survey(&tag, 3);
+        let corrected = cal.corrected(&survey.per_antenna);
+        let obs: Vec<AntennaObservation> = scene
+            .antenna_poses()
+            .iter()
+            .zip(&corrected)
+            .map(|(&p, r)| extract_observation(p, r, &ExtractConfig::paper()).unwrap())
+            .collect();
+        let est = solve_2d(&obs, scene.region(), &SolverConfig::default()).unwrap();
+        assert!(
+            est.position.distance(truth_pos) < 0.25,
+            "position error {}",
+            est.position.distance(truth_pos)
+        );
+        assert!(
+            angle::dipole_distance(est.orientation, truth_alpha).to_degrees() < 30.0,
+            "orientation error {}°",
+            angle::dipole_distance(est.orientation, truth_alpha).to_degrees()
+        );
+    }
+
+    #[test]
+    fn calibrated_scene_yields_zero_offsets() {
+        let scene = Scene::standard_2d()
+            .with_noise(NoiseModel::clean())
+            .with_reader(ReaderConfig::ideal());
+        let reference_pos = Vec2::new(0.3, 1.4);
+        let tag = SimTag::nominal(1)
+            .with_motion(Motion::planar_static(reference_pos, 0.0));
+        let cal = AntennaCalibration::from_reference(
+            &observations(&scene, &tag, 4),
+            reference_pos,
+            0.0,
+        );
+        for &o in cal.offsets() {
+            assert!(o.abs() < 1e-6, "offset {o}");
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn corrected_checks_port_count() {
+        let cal = AntennaCalibration { offsets: vec![0.0, 0.1] };
+        let _ = cal.corrected(&[Vec::new()]);
+    }
+}

@@ -1,0 +1,406 @@
+//! Material identification from the disentangled parameters (paper §V-B).
+//!
+//! After disentangling, `k_t` and `b_t` are determined by the target
+//! material *and* the reader-tag hardware pair; the hardware part is
+//! removed with the tag's one-time [`DeviceCalibration`]. To further
+//! mitigate frequency-selective fading the per-channel residual
+//! `θ_material(f) = θ_device(f) − θ_device0(f)` joins the feature vector
+//! (paper Eq. 9), giving `F = (k_t, b_t, θ_material(f₁..f₅₀))` — 52
+//! dimensions with the full FCC plan.
+//!
+//! [`MaterialIdentifier`] wraps feature standardization plus one of the
+//! paper's three classifiers (KNN / SVM / Decision Tree, Fig. 13) or the
+//! future-work MLP, and maps predicted class indices back to [`Material`].
+
+use crate::calibration::DeviceCalibration;
+use crate::model::AntennaObservation;
+use crate::solver::TagEstimate2D;
+use rfp_geom::angle;
+use rfp_ml::dataset::Dataset;
+use rfp_ml::forest::{ForestConfig, RandomForest};
+use rfp_ml::knn::KnnClassifier;
+use rfp_ml::mlp::{MlpClassifier, MlpConfig};
+use rfp_ml::scaler::StandardScaler;
+use rfp_ml::svm::{SvmClassifier, SvmConfig};
+use rfp_ml::tree::{DecisionTree, TreeConfig};
+use rfp_ml::Classifier;
+use rfp_phys::polarization::{orientation_phase, planar_dipole};
+use rfp_phys::{propagation, Material};
+
+/// The material feature vector of one sensing pass (paper Eq. 9).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MaterialFeatures {
+    /// Calibrated material slope `k_t − k_t0`, rad/Hz.
+    pub kt_material: f64,
+    /// Calibrated material intercept `wrap(b_t − b_t0)`, radians in
+    /// `(-π, π]`.
+    pub bt_material: f64,
+    /// Per-channel *line-removed* material response, radians, indexed by
+    /// channel (see [`MaterialFeatures::extract`]); channels missing from
+    /// the sensing pass hold `0.0`.
+    pub theta_material: Vec<f64>,
+}
+
+impl MaterialFeatures {
+    /// Extracts features from a solved sensing pass.
+    ///
+    /// For every antenna and inlier channel, the estimated propagation and
+    /// orientation phases plus the calibrated `θ_device0(f)` (unwrapped
+    /// across channels) are subtracted from the measured unwrapped phase.
+    /// The remaining per-channel curves are averaged across antennas and
+    /// then **de-lined**: a straight line over frequency is fitted and
+    /// removed, leaving the curvature of the material response.
+    ///
+    /// De-lining matters: a residual position error `δd` leaks the phase
+    /// `4π·δd·f/c` — a *line* in frequency with ~38 rad per metre of error,
+    /// which would drown the material signature in the raw per-channel
+    /// values. The line component of the material response is already
+    /// carried by `(k_t, b_t)` from the joint solve, so the per-channel
+    /// features keep only the position-error-free curvature (the
+    /// frequency-selective part the paper adds them for).
+    ///
+    /// `channel_count` fixes the feature dimensionality (the classifier
+    /// needs constant-length vectors even if some channels were dropped).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `observations` is empty or `channel_count` is zero.
+    pub fn extract(
+        observations: &[AntennaObservation],
+        estimate: &TagEstimate2D,
+        calibration: &DeviceCalibration,
+        channel_count: usize,
+    ) -> Self {
+        assert!(!observations.is_empty(), "need at least one observation");
+        assert!(channel_count > 0, "channel_count must be positive");
+
+        let kt_material = estimate.kt - calibration.kt0();
+        let bt_material = angle::wrap_pi(estimate.bt - calibration.bt0());
+
+        // Unwrap the stored (mod 2π) calibration curve across channels: the
+        // device response is smooth, ~0.02 rad between adjacent channels.
+        let cal_samples: Vec<(usize, f64, f64)> = calibration.iter().collect();
+        let mut cal_phases: Vec<f64> = cal_samples.iter().map(|&(_, _, v)| v).collect();
+        angle::unwrap_in_place(&mut cal_phases);
+        let device0: std::collections::BTreeMap<usize, f64> = cal_samples
+            .iter()
+            .zip(&cal_phases)
+            .map(|(&(ch, _, _), &v)| (ch, v))
+            .collect();
+
+        let w = planar_dipole(estimate.orientation);
+        let mut acc = vec![0.0f64; channel_count];
+        let mut counts = vec![0usize; channel_count];
+        let mut freqs = vec![0.0f64; channel_count];
+        for obs in observations {
+            let d = obs.pose.position().distance(estimate.position.with_z(0.0));
+            let k_prop = propagation::slope_from_distance(d);
+            let theta_orient = orientation_phase(&obs.pose, w);
+            // This antenna's continuous material curve (arbitrary constant
+            // offset: unwrap constants, orientation error).
+            let mut curve = Vec::with_capacity(obs.channels.len());
+            for (c, &inlier) in obs.channels.iter().zip(&obs.channel_inliers) {
+                if !inlier || c.channel >= channel_count {
+                    continue;
+                }
+                let Some(&dev0) = device0.get(&c.channel) else {
+                    continue;
+                };
+                let v = c.phase - k_prop * c.frequency_hz - theta_orient - dev0;
+                curve.push((c.channel, c.frequency_hz, v));
+            }
+            if curve.is_empty() {
+                continue;
+            }
+            // Remove this antenna's arbitrary constant before accumulating.
+            let mean = curve.iter().map(|&(_, _, v)| v).sum::<f64>() / curve.len() as f64;
+            for (ch, f, v) in curve {
+                acc[ch] += v - mean;
+                counts[ch] += 1;
+                freqs[ch] = f;
+            }
+        }
+
+        // Channel-wise average, then de-line over frequency.
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        let mut averaged = vec![f64::NAN; channel_count];
+        for ch in 0..channel_count {
+            if counts[ch] > 0 {
+                let v = acc[ch] / counts[ch] as f64;
+                averaged[ch] = v;
+                xs.push(freqs[ch]);
+                ys.push(v);
+            }
+        }
+        let theta_material: Vec<f64> = match rfp_dsp::linfit::ols(&xs, &ys) {
+            Ok(fit) => (0..channel_count)
+                .map(|ch| {
+                    if counts[ch] > 0 {
+                        averaged[ch] - fit.predict(freqs[ch])
+                    } else {
+                        0.0
+                    }
+                })
+                .collect(),
+            Err(_) => vec![0.0; channel_count],
+        };
+
+        MaterialFeatures { kt_material, bt_material, theta_material }
+    }
+
+    /// Flattens to the classifier input `(k_t, b_t, θ_material(f₁..fₙ))`.
+    ///
+    /// `k_t` is expressed in rad/MHz (×1e6) so its numeric range is not
+    /// absurdly far from the angular features before standardization.
+    pub fn to_vector(&self) -> Vec<f64> {
+        let mut v = Vec::with_capacity(2 + self.theta_material.len());
+        v.push(self.kt_material * 1.0e6);
+        v.push(self.bt_material);
+        v.extend_from_slice(&self.theta_material);
+        v
+    }
+
+    /// Feature dimensionality.
+    pub fn dim(&self) -> usize {
+        2 + self.theta_material.len()
+    }
+}
+
+/// Which classifier backs a [`MaterialIdentifier`] (paper Fig. 13 + the
+/// §VII MLP extension).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClassifierKind {
+    /// K-Nearest-Neighbour with `k` neighbours.
+    Knn {
+        /// Number of neighbours.
+        k: usize,
+    },
+    /// One-vs-one SVM.
+    Svm(SvmConfig),
+    /// CART decision tree — the paper's best performer.
+    DecisionTree(TreeConfig),
+    /// Random forest (extension: bagged CART).
+    RandomForest(ForestConfig),
+    /// Multi-layer perceptron (future-work extension).
+    Mlp(MlpConfig),
+}
+
+impl ClassifierKind {
+    /// The paper's deployed choice: a decision tree with default
+    /// hyper-parameters.
+    pub fn paper_default() -> Self {
+        ClassifierKind::DecisionTree(TreeConfig::default())
+    }
+}
+
+enum AnyClassifier {
+    Knn(KnnClassifier),
+    Svm(SvmClassifier),
+    Tree(DecisionTree),
+    Forest(RandomForest),
+    Mlp(MlpClassifier),
+}
+
+impl Classifier for AnyClassifier {
+    fn predict(&self, features: &[f64]) -> usize {
+        match self {
+            AnyClassifier::Knn(c) => c.predict(features),
+            AnyClassifier::Svm(c) => c.predict(features),
+            AnyClassifier::Tree(c) => c.predict(features),
+            AnyClassifier::Forest(c) => c.predict(features),
+            AnyClassifier::Mlp(c) => c.predict(features),
+        }
+    }
+}
+
+/// A trained material classifier: standardization + classifier + class
+/// mapping to [`Material`].
+pub struct MaterialIdentifier {
+    scaler: StandardScaler,
+    classifier: AnyClassifier,
+}
+
+impl std::fmt::Debug for MaterialIdentifier {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let kind = match self.classifier {
+            AnyClassifier::Knn(_) => "knn",
+            AnyClassifier::Svm(_) => "svm",
+            AnyClassifier::Tree(_) => "decision-tree",
+            AnyClassifier::Forest(_) => "random-forest",
+            AnyClassifier::Mlp(_) => "mlp",
+        };
+        write!(f, "MaterialIdentifier({kind})")
+    }
+}
+
+impl MaterialIdentifier {
+    /// Trains on a dataset whose labels are [`Material::CLASSES`] indices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dataset is empty (classifier-specific requirements —
+    /// e.g. the SVM needing two classes — also apply).
+    pub fn train(train: &Dataset, kind: &ClassifierKind) -> Self {
+        let scaler = StandardScaler::fit(train);
+        let scaled = scaler.transform_dataset(train);
+        let classifier = match kind {
+            ClassifierKind::Knn { k } => AnyClassifier::Knn(KnnClassifier::fit(&scaled, *k)),
+            ClassifierKind::Svm(cfg) => AnyClassifier::Svm(SvmClassifier::fit(&scaled, cfg)),
+            ClassifierKind::DecisionTree(cfg) => {
+                AnyClassifier::Tree(DecisionTree::fit(&scaled, cfg))
+            }
+            ClassifierKind::RandomForest(cfg) => {
+                AnyClassifier::Forest(RandomForest::fit(&scaled, cfg))
+            }
+            ClassifierKind::Mlp(cfg) => AnyClassifier::Mlp(MlpClassifier::fit(&scaled, cfg)),
+        };
+        MaterialIdentifier { scaler, classifier }
+    }
+
+    /// Predicts a class index for a raw (unscaled) feature vector.
+    pub fn predict_index(&self, features: &[f64]) -> usize {
+        self.classifier.predict(&self.scaler.transform(features))
+    }
+
+    /// Identifies the material for a sensing pass's features.
+    pub fn identify(&self, features: &MaterialFeatures) -> Material {
+        Material::from_class_index(self.predict_index(&features.to_vector()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{extract_observation, ExtractConfig};
+    use crate::solver::{solve_2d, SolverConfig};
+    use rfp_geom::Vec2;
+    use rfp_sim::{Motion, NoiseModel, ReaderConfig, Scene, SimTag};
+
+    fn clean_scene() -> Scene {
+        Scene::standard_2d()
+            .with_noise(NoiseModel::clean())
+            .with_reader(ReaderConfig::ideal())
+    }
+
+    fn observations_for(
+        scene: &Scene,
+        tag: &SimTag,
+        seed: u64,
+    ) -> Vec<AntennaObservation> {
+        let survey = scene.survey(tag, seed);
+        scene
+            .antenna_poses()
+            .iter()
+            .zip(&survey.per_antenna)
+            .map(|(&p, r)| extract_observation(p, r, &ExtractConfig::paper()).unwrap())
+            .collect()
+    }
+
+    /// Full loop: calibrate bare tag, attach material, sense, extract
+    /// features — `k_t` material term must match the physics.
+    #[test]
+    fn features_recover_material_slope() {
+        let scene = clean_scene();
+        let calib_pos = Vec2::new(0.5, 1.0);
+        let bare = SimTag::with_seeded_diversity(7)
+            .with_motion(Motion::planar_static(calib_pos, 0.0));
+        let calib = crate::calibration::DeviceCalibration::from_observations(
+            &observations_for(&scene, &bare, 1),
+            calib_pos,
+            0.0,
+        );
+
+        let loaded = bare
+            .attached_to(Material::Glass)
+            .with_motion(Motion::planar_static(Vec2::new(0.8, 1.8), 0.7));
+        let obs = observations_for(&scene, &loaded, 2);
+        let est = solve_2d(&obs, scene.region(), &SolverConfig::default()).unwrap();
+        let feats = MaterialFeatures::extract(&obs, &est, &calib, 50);
+
+        let plan = &scene.reader().plan;
+        let kt_truth = loaded.electrical().linearized(plan).kt
+            - bare.electrical().linearized(plan).kt;
+        assert!(
+            (feats.kt_material - kt_truth).abs() < 2e-9,
+            "kt_material {} vs truth {kt_truth}",
+            feats.kt_material
+        );
+        assert_eq!(feats.dim(), 52);
+        assert!(feats.theta_material.iter().all(|t| t.is_finite()));
+    }
+
+    #[test]
+    fn free_space_features_are_near_zero() {
+        let scene = clean_scene();
+        let calib_pos = Vec2::new(0.5, 1.0);
+        let bare = SimTag::with_seeded_diversity(8)
+            .with_motion(Motion::planar_static(calib_pos, 0.0));
+        let calib = crate::calibration::DeviceCalibration::from_observations(
+            &observations_for(&scene, &bare, 3),
+            calib_pos,
+            0.0,
+        );
+        // Sense the *same bare tag* somewhere else: material features ≈ 0.
+        let moved = bare.with_motion(Motion::planar_static(Vec2::new(1.2, 2.0), 1.0));
+        let obs = observations_for(&scene, &moved, 4);
+        let est = solve_2d(&obs, scene.region(), &SolverConfig::default()).unwrap();
+        let feats = MaterialFeatures::extract(&obs, &est, &calib, 50);
+        assert!(feats.kt_material.abs() < 2e-9, "kt {}", feats.kt_material);
+        let mean_theta: f64 = feats.theta_material.iter().map(|t| t.abs()).sum::<f64>()
+            / feats.theta_material.len() as f64;
+        assert!(mean_theta < 0.3, "mean |θ_material| {mean_theta}");
+    }
+
+    #[test]
+    fn to_vector_layout() {
+        let f = MaterialFeatures {
+            kt_material: 2.0e-8,
+            bt_material: -0.5,
+            theta_material: vec![0.1, 0.2],
+        };
+        let v = f.to_vector();
+        assert_eq!(v.len(), 4);
+        assert!((v[0] - 0.02).abs() < 1e-12); // rad/MHz scaling
+        assert_eq!(v[1], -0.5);
+        assert_eq!(&v[2..], &[0.1, 0.2]);
+    }
+
+    #[test]
+    fn identifier_trains_and_predicts_each_kind() {
+        // Tiny synthetic two-class problem in 3-D feature space.
+        let mut ds = Dataset::new(8);
+        for i in 0..30 {
+            let x = i as f64 / 30.0;
+            ds.push(vec![x, 1.0, 0.0], 0); // "wood"
+            ds.push(vec![x + 5.0, -1.0, 0.5], 3); // "metal"
+        }
+        for kind in [
+            ClassifierKind::Knn { k: 3 },
+            ClassifierKind::Svm(SvmConfig::default()),
+            ClassifierKind::paper_default(),
+            ClassifierKind::RandomForest(ForestConfig { trees: 9, ..Default::default() }),
+            ClassifierKind::Mlp(MlpConfig { epochs: 50, ..Default::default() }),
+        ] {
+            let id = MaterialIdentifier::train(&ds, &kind);
+            assert_eq!(
+                id.identify(&MaterialFeatures {
+                    kt_material: 0.1e-6,
+                    bt_material: 1.0,
+                    theta_material: vec![0.0],
+                }),
+                Material::Wood,
+                "{kind:?}"
+            );
+            assert_eq!(
+                id.identify(&MaterialFeatures {
+                    kt_material: 5.2e-6,
+                    bt_material: -1.0,
+                    theta_material: vec![0.5],
+                }),
+                Material::Metal,
+                "{kind:?}"
+            );
+        }
+    }
+}

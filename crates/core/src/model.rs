@@ -1,0 +1,319 @@
+//! Per-antenna observation extraction: from raw reads to the fitted line
+//! parameters `(kᵢ, bᵢ)` of the multi-frequency phase model (paper Eq. 6).
+//!
+//! This stage composes the pre-processing of `rfp-dsp` (π-jump correction,
+//! circular averaging, unwrapping) with the robust line fit that implements
+//! the paper's multipath suppression: channels whose phase deviates from
+//! the consensus line are dropped before the slope/intercept are read off.
+
+use rfp_dsp::preprocess::{preprocess_reads, ChannelObservation, PreprocessConfig, RawRead};
+use rfp_dsp::robust::{robust_line_fit, RobustFitConfig};
+use rfp_geom::{angle, AntennaPose};
+
+/// The fitted multi-frequency line of one antenna, plus diagnostics.
+///
+/// `slope` is `kᵢ = 4π dᵢ / c + k_t` (rad/Hz) and `intercept` is
+/// `bᵢ = θ_orient(Aᵢ, α) + b_t` reduced modulo 2π — the unwrapping constant
+/// makes the absolute intercept unobservable, so only its value on the
+/// circle carries information.
+#[derive(Debug, Clone)]
+pub struct AntennaObservation {
+    /// Pose of the antenna that produced this observation.
+    pub pose: AntennaPose,
+    /// Fitted line slope `kᵢ`, rad/Hz.
+    pub slope: f64,
+    /// Fitted line intercept `bᵢ` at f = 0, wrapped to `[0, 2π)`.
+    pub intercept: f64,
+    /// Residual standard deviation of the (inlier) line fit, radians.
+    pub residual_std: f64,
+    /// Residual standard deviation *before* outlier rejection, radians —
+    /// the error detector's mobility indicator.
+    pub raw_residual_std: f64,
+    /// R² of the raw (pre-rejection) fit.
+    pub raw_r_squared: f64,
+    /// Fraction of channels kept as inliers by the multipath suppression.
+    pub inlier_fraction: f64,
+    /// Per-channel observations (all channels, sorted by frequency).
+    pub channels: Vec<ChannelObservation>,
+    /// Parallel to `channels`: whether each survived outlier rejection.
+    pub channel_inliers: Vec<bool>,
+    /// Mean RSSI over inlier channels, dBm.
+    pub mean_rssi_dbm: f64,
+    /// Intercept of the unwrapped fit (not reduced mod 2π); differs from
+    /// `intercept` by a multiple of 2π. Kept private: only residual-curve
+    /// reconstruction needs it.
+    unwrapped_intercept: f64,
+}
+
+impl AntennaObservation {
+    /// Unwrapped phase of channel `j`'s observation predicted by the fitted
+    /// line.
+    pub fn predicted_phase(&self, frequency_hz: f64) -> f64 {
+        // The stored intercept is wrapped; reconstruct the unwrapped line
+        // through the first inlier channel instead.
+        self.slope * frequency_hz + self.unwrapped_intercept()
+    }
+
+    /// The intercept of the actual unwrapped fit (not reduced mod 2π) —
+    /// useful for residual curves; differs from [`Self::intercept`] by a
+    /// multiple of 2π.
+    pub fn unwrapped_intercept(&self) -> f64 {
+        self.unwrapped_intercept
+    }
+
+    /// Number of usable channels.
+    pub fn channel_count(&self) -> usize {
+        self.channels.len()
+    }
+
+    // Private: kept alongside the wrapped intercept.
+    pub(crate) fn with_unwrapped_intercept(mut self, b: f64) -> Self {
+        self.unwrapped_intercept = b;
+        self
+    }
+
+    fn new_empty(pose: AntennaPose) -> Self {
+        AntennaObservation {
+            pose,
+            slope: 0.0,
+            intercept: 0.0,
+            residual_std: 0.0,
+            raw_residual_std: 0.0,
+            raw_r_squared: 0.0,
+            inlier_fraction: 0.0,
+            channels: Vec::new(),
+            channel_inliers: Vec::new(),
+            mean_rssi_dbm: f64::NEG_INFINITY,
+            unwrapped_intercept: 0.0,
+        }
+    }
+}
+
+/// Errors from [`extract_observation`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExtractError {
+    /// Pre-processing could not produce any usable channel.
+    Preprocess(rfp_dsp::preprocess::PreprocessError),
+    /// Too few channels survived to fit a line.
+    TooFewChannels {
+        /// Channels available after pre-processing.
+        available: usize,
+    },
+    /// The line fit itself failed (degenerate input).
+    Fit(rfp_dsp::linfit::FitError),
+}
+
+impl std::fmt::Display for ExtractError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExtractError::Preprocess(e) => write!(f, "pre-processing failed: {e}"),
+            ExtractError::TooFewChannels { available } => {
+                write!(f, "only {available} channels available; need more to fit a line")
+            }
+            ExtractError::Fit(e) => write!(f, "line fit failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ExtractError {}
+
+impl From<rfp_dsp::preprocess::PreprocessError> for ExtractError {
+    fn from(e: rfp_dsp::preprocess::PreprocessError) -> Self {
+        ExtractError::Preprocess(e)
+    }
+}
+
+impl From<rfp_dsp::linfit::FitError> for ExtractError {
+    fn from(e: rfp_dsp::linfit::FitError) -> Self {
+        ExtractError::Fit(e)
+    }
+}
+
+/// Configuration for observation extraction.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ExtractConfig {
+    /// Pre-processing options.
+    pub preprocess: PreprocessConfig,
+    /// Robust-fit (multipath suppression) options.
+    pub robust: RobustFitConfig,
+    /// When false, skip outlier rejection entirely (used by the Fig. 12
+    /// "Multipath without suppression" arm).
+    pub suppress_multipath: bool,
+}
+
+impl ExtractConfig {
+    /// Paper defaults: suppression on.
+    pub fn paper() -> Self {
+        ExtractConfig {
+            preprocess: PreprocessConfig::default(),
+            robust: RobustFitConfig::default(),
+            suppress_multipath: true,
+        }
+    }
+}
+
+/// Extracts one antenna's [`AntennaObservation`] from its raw reads.
+///
+/// # Errors
+///
+/// Returns [`ExtractError`] if pre-processing yields no channels or fewer
+/// than 5 channels survive (a line through so few channels has useless
+/// slope variance for ranging).
+pub fn extract_observation(
+    pose: AntennaPose,
+    reads: &[RawRead],
+    config: &ExtractConfig,
+) -> Result<AntennaObservation, ExtractError> {
+    let channels = preprocess_reads(reads, &config.preprocess)?;
+    if channels.len() < 5 {
+        return Err(ExtractError::TooFewChannels { available: channels.len() });
+    }
+    let xs: Vec<f64> = channels.iter().map(|c| c.frequency_hz).collect();
+    let ys: Vec<f64> = channels.iter().map(|c| c.phase).collect();
+
+    let raw_fit = rfp_dsp::linfit::ols(&xs, &ys)?;
+
+    let (fit, inliers, inlier_fraction) = if config.suppress_multipath {
+        let r = robust_line_fit(&xs, &ys, &config.robust)?;
+        let frac = r.inlier_fraction();
+        (r.fit, r.inliers, frac)
+    } else {
+        (raw_fit, vec![true; xs.len()], 1.0)
+    };
+
+    let kept_rssi: Vec<f64> = channels
+        .iter()
+        .zip(&inliers)
+        .filter(|(_, &k)| k)
+        .map(|(c, _)| c.rssi_dbm)
+        .collect();
+    let mean_rssi = kept_rssi.iter().sum::<f64>() / kept_rssi.len().max(1) as f64;
+
+    let mut obs = AntennaObservation::new_empty(pose);
+    obs.slope = fit.slope;
+    obs.intercept = angle::wrap_tau(fit.intercept);
+    obs.residual_std = fit.residual_std;
+    obs.raw_residual_std = raw_fit.residual_std;
+    obs.raw_r_squared = raw_fit.r_squared;
+    obs.inlier_fraction = inlier_fraction;
+    obs.channels = channels;
+    obs.channel_inliers = inliers;
+    obs.mean_rssi_dbm = mean_rssi;
+    Ok(obs.with_unwrapped_intercept(fit.intercept))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rfp_geom::Vec2;
+    use rfp_phys::propagation;
+    use rfp_sim::{Motion, MultipathEnvironment, NoiseModel, ReaderConfig, Scene, SimTag};
+
+    fn clean_scene() -> Scene {
+        Scene::standard_2d()
+            .with_noise(NoiseModel::clean())
+            .with_reader(ReaderConfig::ideal())
+    }
+
+    #[test]
+    fn extracts_slope_matching_distance() {
+        let scene = clean_scene();
+        let tag =
+            SimTag::nominal(1).with_motion(Motion::planar_static(Vec2::new(0.5, 1.5), 0.0));
+        let survey = scene.survey(&tag, 1);
+        let obs = extract_observation(
+            scene.antenna_poses()[0],
+            &survey.per_antenna[0],
+            &ExtractConfig::paper(),
+        )
+        .unwrap();
+        let d = scene.antenna_poses()[0].distance_to(tag.motion().position(0.0));
+        let kt = tag.electrical().linearized(&scene.reader().plan).kt;
+        let expect = propagation::slope_from_distance(d) + kt;
+        assert!((obs.slope - expect).abs() < 2e-10, "slope {} want {expect}", obs.slope);
+        assert_eq!(obs.channel_count(), 50);
+        assert_eq!(obs.inlier_fraction, 1.0);
+        assert!(obs.residual_std < 0.01);
+    }
+
+    #[test]
+    fn intercept_is_wrapped() {
+        let scene = clean_scene();
+        let tag =
+            SimTag::nominal(2).with_motion(Motion::planar_static(Vec2::new(0.1, 2.0), 0.9));
+        let survey = scene.survey(&tag, 2);
+        let obs = extract_observation(
+            scene.antenna_poses()[1],
+            &survey.per_antenna[1],
+            &ExtractConfig::paper(),
+        )
+        .unwrap();
+        assert!((0.0..std::f64::consts::TAU).contains(&obs.intercept));
+        // Wrapped and unwrapped intercepts agree modulo 2π.
+        let diff = obs.unwrapped_intercept() - obs.intercept;
+        let turns = diff / std::f64::consts::TAU;
+        assert!((turns - turns.round()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn multipath_channels_get_rejected() {
+        let scene = clean_scene().with_environment(MultipathEnvironment::cluttered(3, 5));
+        let tag =
+            SimTag::nominal(3).with_motion(Motion::planar_static(Vec2::new(0.8, 1.2), 0.3));
+        let survey = scene.survey(&tag, 3);
+        let with = extract_observation(
+            scene.antenna_poses()[0],
+            &survey.per_antenna[0],
+            &ExtractConfig::paper(),
+        )
+        .unwrap();
+        let without = extract_observation(
+            scene.antenna_poses()[0],
+            &survey.per_antenna[0],
+            &ExtractConfig { suppress_multipath: false, ..ExtractConfig::paper() },
+        )
+        .unwrap();
+        assert!(with.residual_std <= without.residual_std + 1e-12);
+        assert!(without.inlier_fraction == 1.0);
+    }
+
+    #[test]
+    fn too_few_reads_error() {
+        let pose = clean_scene().antenna_poses()[0];
+        let reads: Vec<RawRead> = (0..3)
+            .map(|c| RawRead {
+                channel: c,
+                frequency_hz: 902.75e6 + c as f64 * 0.5e6,
+                phase: 1.0,
+                rssi_dbm: -50.0,
+                timestamp_s: 0.0,
+            })
+            .collect();
+        match extract_observation(pose, &reads, &ExtractConfig::paper()) {
+            Err(ExtractError::TooFewChannels { available: 3 }) => {}
+            other => panic!("unexpected: {other:?}"),
+        }
+        assert!(matches!(
+            extract_observation(pose, &[], &ExtractConfig::paper()),
+            Err(ExtractError::Preprocess(_))
+        ));
+    }
+
+    #[test]
+    fn predicted_phase_consistent() {
+        let scene = clean_scene();
+        let tag =
+            SimTag::nominal(4).with_motion(Motion::planar_static(Vec2::new(0.4, 1.8), 0.2));
+        let survey = scene.survey(&tag, 4);
+        let obs = extract_observation(
+            scene.antenna_poses()[2],
+            &survey.per_antenna[2],
+            &ExtractConfig::paper(),
+        )
+        .unwrap();
+        for c in &obs.channels {
+            let pred = obs.predicted_phase(c.frequency_hz);
+            assert!((pred - c.phase).abs() < 0.05, "channel {}", c.channel);
+        }
+    }
+}

@@ -1,0 +1,532 @@
+//! The end-to-end RF-Prism pipeline (paper Fig. 2).
+//!
+//! [`RfPrism`] owns everything the sensing side legitimately knows: the
+//! antenna poses (measured at deployment), the reader's channel plan, and
+//! the algorithm configuration. One call to [`RfPrism::sense`] runs
+//! pre-processing → per-antenna line fitting (with multipath suppression) →
+//! error detection → the joint disentangling solve, and returns the tag's
+//! position, orientation and material parameters simultaneously.
+
+use crate::detector::{assess, DetectorConfig, MobilityVerdict};
+use crate::material::MaterialFeatures;
+use crate::model::{extract_observation, AntennaObservation, ExtractConfig, ExtractError};
+use crate::solver::{solve_2d, SolveError, SolverConfig, TagEstimate2D};
+use crate::DeviceCalibration;
+use rfp_dsp::preprocess::RawRead;
+use rfp_geom::{AntennaPose, Region2, Vec2};
+use rfp_phys::FrequencyPlan;
+
+/// Algorithm configuration for the pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct RfPrismConfig {
+    /// Pre-processing + robust fitting options.
+    pub extract: ExtractConfig,
+    /// Joint solver options.
+    pub solver: SolverConfig,
+    /// Error-detector thresholds.
+    pub detector: DetectorConfig,
+    /// When true (default), a `Moving` verdict aborts the solve and
+    /// [`RfPrism::sense`] returns [`SenseError::TagMoving`] — the paper
+    /// filters such windows out. Set false to solve anyway (used by the
+    /// ablation that quantifies how much the detector saves).
+    pub reject_moving: bool,
+}
+
+impl RfPrismConfig {
+    /// Paper defaults.
+    pub fn paper() -> Self {
+        RfPrismConfig {
+            extract: ExtractConfig::paper(),
+            solver: SolverConfig::default(),
+            detector: DetectorConfig::default(),
+            reject_moving: true,
+        }
+    }
+}
+
+/// The result of one sensing pass.
+#[derive(Debug, Clone)]
+pub struct SensingResult {
+    /// Disentangled tag state (position, orientation, `k_t`, `b_t`).
+    pub estimate: TagEstimate2D,
+    /// The per-antenna observations that produced it.
+    pub observations: Vec<AntennaObservation>,
+    /// Error-detector verdict for this window.
+    pub verdict: MobilityVerdict,
+}
+
+impl SensingResult {
+    /// Extracts the material feature vector, given the tag's one-time
+    /// device calibration (paper §V-B).
+    pub fn material_features(
+        &self,
+        calibration: &DeviceCalibration,
+        channel_count: usize,
+    ) -> MaterialFeatures {
+        MaterialFeatures::extract(&self.observations, &self.estimate, calibration, channel_count)
+    }
+}
+
+/// Errors from [`RfPrism::sense`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum SenseError {
+    /// The reads slice length differs from the configured antenna count.
+    AntennaCountMismatch {
+        /// Antennas the pipeline was built with.
+        expected: usize,
+        /// Read groups supplied.
+        got: usize,
+    },
+    /// Too few antennas produced usable observations.
+    TooFewObservations {
+        /// Usable observations.
+        usable: usize,
+        /// First extraction error encountered, if any.
+        first_error: Option<ExtractError>,
+    },
+    /// The error detector flagged tag motion during the hop round.
+    TagMoving {
+        /// Worst post-rejection residual std, radians.
+        worst_residual_std: f64,
+    },
+    /// The joint solver failed.
+    Solve(SolveError),
+}
+
+impl std::fmt::Display for SenseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SenseError::AntennaCountMismatch { expected, got } => {
+                write!(f, "expected reads for {expected} antennas, got {got}")
+            }
+            SenseError::TooFewObservations { usable, .. } => {
+                write!(f, "only {usable} usable antenna observations; need at least 3")
+            }
+            SenseError::TagMoving { worst_residual_std } => write!(
+                f,
+                "tag moved during the hop round (residual {worst_residual_std:.3} rad); window discarded"
+            ),
+            SenseError::Solve(e) => write!(f, "solver failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SenseError {}
+
+impl From<SolveError> for SenseError {
+    fn from(e: SolveError) -> Self {
+        SenseError::Solve(e)
+    }
+}
+
+/// The RF-Prism sensing pipeline.
+///
+/// See the crate-level docs for a full example.
+#[derive(Debug, Clone)]
+pub struct RfPrism {
+    poses: Vec<AntennaPose>,
+    plan: FrequencyPlan,
+    region: Region2,
+    config: RfPrismConfig,
+}
+
+impl RfPrism {
+    /// Creates a pipeline for antennas at `poses` hopping over `plan`.
+    ///
+    /// The multi-start search region defaults to the antennas' bounding box
+    /// expanded by 3 m; narrow it with [`RfPrism::with_region`] when the
+    /// working region is known (it always is in a real deployment — the
+    /// paper measures it at installation time).
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than 3 poses are supplied.
+    pub fn new(poses: Vec<AntennaPose>, plan: FrequencyPlan) -> Self {
+        assert!(poses.len() >= 3, "RF-Prism needs at least 3 antennas in 2-D");
+        let xs: Vec<f64> = poses.iter().map(|p| p.position().x).collect();
+        let ys: Vec<f64> = poses.iter().map(|p| p.position().y).collect();
+        let mut min = Vec2::new(
+            xs.iter().cloned().fold(f64::INFINITY, f64::min),
+            ys.iter().cloned().fold(f64::INFINITY, f64::min),
+        );
+        let mut max = Vec2::new(
+            xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
+            ys.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
+        );
+        let centroid = (min + max) / 2.0;
+        // Degenerate (collinear) antenna layouts still need an area.
+        min -= Vec2::new(0.1, 0.1);
+        max += Vec2::new(0.1, 0.1);
+        min -= Vec2::new(3.0, 3.0);
+        max += Vec2::new(3.0, 3.0);
+        // Distances are mirror-symmetric about the antenna plane, so a tag
+        // behind the rack is indistinguishable from one in front — real
+        // deployments break the tie by knowing which side the working
+        // region is on. Clip the default region to the hemisphere the
+        // antennas face (dominant axis of the mean boresight).
+        let mean_dir: Vec2 = poses
+            .iter()
+            .fold(Vec2::ZERO, |acc, p| acc + p.boresight().xy());
+        if mean_dir.norm() > 1e-6 {
+            let margin = 0.05;
+            if mean_dir.x.abs() >= mean_dir.y.abs() {
+                if mean_dir.x > 0.0 {
+                    min.x = centroid.x - margin;
+                } else {
+                    max.x = centroid.x + margin;
+                }
+            } else if mean_dir.y > 0.0 {
+                min.y = centroid.y - margin;
+            } else {
+                max.y = centroid.y + margin;
+            }
+        }
+        let region = Region2::new(min, max);
+        RfPrism { poses, plan, region, config: RfPrismConfig::paper() }
+    }
+
+    /// Restricts the multi-start search region (builder style).
+    pub fn with_region(mut self, region: Region2) -> Self {
+        self.region = region;
+        self
+    }
+
+    /// Overrides the algorithm configuration (builder style).
+    pub fn with_config(mut self, config: RfPrismConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// The configured antenna poses.
+    pub fn poses(&self) -> &[AntennaPose] {
+        &self.poses
+    }
+
+    /// The configured channel plan.
+    pub fn plan(&self) -> &FrequencyPlan {
+        &self.plan
+    }
+
+    /// The multi-start search region.
+    pub fn region(&self) -> Region2 {
+        self.region
+    }
+
+    /// The algorithm configuration.
+    pub fn config(&self) -> &RfPrismConfig {
+        &self.config
+    }
+
+    /// Runs the full pipeline on one hop round of raw reads
+    /// (`reads_per_antenna[i]` = antenna *i*'s reads).
+    ///
+    /// # Errors
+    ///
+    /// * [`SenseError::AntennaCountMismatch`] — wrong number of read groups;
+    /// * [`SenseError::TooFewObservations`] — fewer than 3 antennas yielded
+    ///   a fit (e.g. the tag was unreadable from some vantage points);
+    /// * [`SenseError::TagMoving`] — the error detector rejected the window
+    ///   (only when `reject_moving` is set);
+    /// * [`SenseError::Solve`] — the joint solve failed.
+    pub fn sense(&self, reads_per_antenna: &[Vec<RawRead>]) -> Result<SensingResult, SenseError> {
+        if reads_per_antenna.len() != self.poses.len() {
+            return Err(SenseError::AntennaCountMismatch {
+                expected: self.poses.len(),
+                got: reads_per_antenna.len(),
+            });
+        }
+        let mut observations = Vec::with_capacity(self.poses.len());
+        let mut first_error = None;
+        for (pose, reads) in self.poses.iter().zip(reads_per_antenna) {
+            match extract_observation(*pose, reads, &self.config.extract) {
+                Ok(obs) => observations.push(obs),
+                Err(e) => {
+                    if first_error.is_none() {
+                        first_error = Some(e);
+                    }
+                }
+            }
+        }
+        if observations.len() < 3 {
+            return Err(SenseError::TooFewObservations {
+                usable: observations.len(),
+                first_error,
+            });
+        }
+
+        let verdict = assess(&observations, &self.config.detector);
+        if self.config.reject_moving {
+            if let MobilityVerdict::Moving { worst_residual_std } = verdict {
+                return Err(SenseError::TagMoving { worst_residual_std });
+            }
+        }
+
+        let estimate = solve_2d(&observations, self.region, &self.config.solver)?;
+        Ok(SensingResult { estimate, observations, verdict })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rfp_geom::angle;
+    use rfp_phys::Material;
+    use rfp_sim::{Motion, MultipathEnvironment, NoiseModel, ReaderConfig, Scene, SimTag};
+
+    fn prism_for(scene: &Scene) -> RfPrism {
+        RfPrism::new(scene.antenna_poses(), scene.reader().plan.clone())
+            .with_region(scene.region())
+    }
+
+    #[test]
+    fn senses_static_tag_accurately() {
+        let scene = Scene::standard_2d();
+        let truth = Vec2::new(0.4, 1.6);
+        let alpha = 1.1;
+        let tag = SimTag::with_seeded_diversity(10)
+            .attached_to(Material::Wood)
+            .with_motion(Motion::planar_static(truth, alpha));
+        let survey = scene.survey(&tag, 31);
+        let result = prism_for(&scene).sense(&survey.per_antenna).unwrap();
+        let err_cm = result.estimate.position.distance(truth) * 100.0;
+        assert!(err_cm < 30.0, "position error {err_cm} cm");
+        let orient_err = angle::dipole_distance(result.estimate.orientation, alpha).to_degrees();
+        assert!(orient_err < 30.0, "orientation error {orient_err}°");
+        assert!(result.verdict.is_usable());
+    }
+
+    #[test]
+    fn clean_conditions_give_millimetre_accuracy() {
+        let scene = Scene::standard_2d()
+            .with_noise(NoiseModel::clean())
+            .with_reader(ReaderConfig::ideal());
+        let truth = Vec2::new(1.1, 2.1);
+        let tag = SimTag::nominal(1).with_motion(Motion::planar_static(truth, 0.3));
+        let survey = scene.survey(&tag, 1);
+        let result = prism_for(&scene).sense(&survey.per_antenna).unwrap();
+        let err_mm = result.estimate.position.distance(truth) * 1000.0;
+        // Only the arctangent curvature of the device phase remains.
+        assert!(err_mm < 40.0, "position error {err_mm} mm");
+    }
+
+    #[test]
+    fn moving_tag_rejected_by_default_allowed_when_configured() {
+        let scene = Scene::standard_2d();
+        let tag = SimTag::nominal(2).with_motion(Motion::planar_linear(
+            Vec2::new(0.3, 1.0),
+            Vec2::new(0.05, 0.05),
+            0.0,
+        ));
+        let survey = scene.survey(&tag, 2);
+        let prism = prism_for(&scene);
+        assert!(matches!(
+            prism.sense(&survey.per_antenna),
+            Err(SenseError::TagMoving { .. })
+        ));
+
+        let permissive = prism
+            .clone()
+            .with_config(RfPrismConfig { reject_moving: false, ..RfPrismConfig::paper() });
+        let r = permissive.sense(&survey.per_antenna).unwrap();
+        assert!(!r.verdict.is_usable());
+    }
+
+    #[test]
+    fn antenna_count_mismatch() {
+        let scene = Scene::standard_2d();
+        let prism = prism_for(&scene);
+        assert!(matches!(
+            prism.sense(&[Vec::new(), Vec::new()]),
+            Err(SenseError::AntennaCountMismatch { expected: 3, got: 2 })
+        ));
+    }
+
+    #[test]
+    fn empty_reads_yield_too_few_observations() {
+        let scene = Scene::standard_2d();
+        let prism = prism_for(&scene);
+        let err = prism
+            .sense(&[Vec::new(), Vec::new(), Vec::new()])
+            .unwrap_err();
+        assert!(matches!(err, SenseError::TooFewObservations { usable: 0, .. }));
+        assert!(!format!("{err}").is_empty());
+    }
+
+    #[test]
+    fn multipath_survey_still_senses() {
+        let scene =
+            Scene::standard_2d().with_environment(MultipathEnvironment::cluttered(3, 17));
+        let truth = Vec2::new(0.7, 1.4);
+        let tag = SimTag::with_seeded_diversity(11)
+            .with_motion(Motion::planar_static(truth, 0.6));
+        let survey = scene.survey(&tag, 3);
+        let result = prism_for(&scene).sense(&survey.per_antenna).unwrap();
+        let err_cm = result.estimate.position.distance(truth) * 100.0;
+        assert!(err_cm < 60.0, "position error {err_cm} cm under multipath");
+    }
+
+    #[test]
+    fn default_region_covers_standard_deployment() {
+        let scene = Scene::standard_2d();
+        // No with_region: the auto region must still contain the tag.
+        let prism = RfPrism::new(scene.antenna_poses(), scene.reader().plan.clone());
+        assert!(prism.region().contains(Vec2::new(0.5, 1.5)));
+        let tag = SimTag::nominal(4)
+            .with_motion(Motion::planar_static(Vec2::new(0.5, 1.5), 0.2));
+        let survey = scene.survey(&tag, 4);
+        let result = prism.sense(&survey.per_antenna).unwrap();
+        let err_cm = result.estimate.position.distance(Vec2::new(0.5, 1.5)) * 100.0;
+        assert!(err_cm < 40.0, "auto-region error {err_cm} cm");
+    }
+}
+
+impl RfPrism {
+    /// Senses from several hop rounds jointly: per-antenna observations are
+    /// extracted per round, rounds the error detector rejects are skipped,
+    /// and the remaining line parameters are averaged (slopes
+    /// arithmetically, intercepts circularly) before one joint solve.
+    ///
+    /// Phase noise averages down roughly as `1/√K` over `K` usable rounds;
+    /// systematic errors (multipath bias) do not — see the
+    /// `ablation_rounds` bench.
+    ///
+    /// # Errors
+    ///
+    /// As [`RfPrism::sense`]; additionally returns
+    /// [`SenseError::TooFewObservations`] if *no* round was usable.
+    pub fn sense_rounds(
+        &self,
+        rounds: &[Vec<Vec<rfp_dsp::preprocess::RawRead>>],
+    ) -> Result<SensingResult, SenseError> {
+        use rfp_geom::angle;
+        let mut per_round: Vec<Vec<AntennaObservation>> = Vec::new();
+        let mut last_moving: Option<f64> = None;
+        for reads in rounds {
+            if reads.len() != self.poses.len() {
+                return Err(SenseError::AntennaCountMismatch {
+                    expected: self.poses.len(),
+                    got: reads.len(),
+                });
+            }
+            let mut observations = Vec::with_capacity(self.poses.len());
+            let mut complete = true;
+            for (pose, r) in self.poses.iter().zip(reads) {
+                match extract_observation(*pose, r, &self.config.extract) {
+                    Ok(o) => observations.push(o),
+                    Err(_) => {
+                        complete = false;
+                        break;
+                    }
+                }
+            }
+            if !complete {
+                continue;
+            }
+            match assess(&observations, &self.config.detector) {
+                MobilityVerdict::Moving { worst_residual_std } if self.config.reject_moving => {
+                    last_moving = Some(worst_residual_std);
+                }
+                _ => per_round.push(observations),
+            }
+        }
+        if per_round.is_empty() {
+            if let Some(worst_residual_std) = last_moving {
+                return Err(SenseError::TagMoving { worst_residual_std });
+            }
+            return Err(SenseError::TooFewObservations { usable: 0, first_error: None });
+        }
+
+        // Merge per antenna across rounds.
+        let mut merged = per_round[0].clone();
+        let k = per_round.len();
+        for (ai, obs) in merged.iter_mut().enumerate() {
+            obs.slope = per_round.iter().map(|r| r[ai].slope).sum::<f64>() / k as f64;
+            obs.intercept = angle::wrap_tau(
+                angle::circular_mean(per_round.iter().map(|r| r[ai].intercept))
+                    .unwrap_or(obs.intercept),
+            );
+        }
+        let verdict = assess(&merged, &self.config.detector);
+        let estimate = solve_2d(&merged, self.region, &self.config.solver)?;
+        Ok(SensingResult { estimate, observations: merged, verdict })
+    }
+}
+
+#[cfg(test)]
+mod multi_round_tests {
+    use super::*;
+    use rfp_geom::Vec2;
+    use rfp_sim::{Motion, Scene, SimTag};
+
+    #[test]
+    fn more_rounds_reduce_error() {
+        let scene = Scene::standard_2d();
+        let prism = RfPrism::new(scene.antenna_poses(), scene.reader().plan.clone())
+            .with_region(scene.region());
+        let truth = Vec2::new(0.8, 1.9);
+        let tag = SimTag::with_seeded_diversity(6)
+            .with_motion(Motion::planar_static(truth, 0.6));
+        let mut one_round = Vec::new();
+        let mut five_rounds = Vec::new();
+        for trial in 0..8u64 {
+            let rounds: Vec<_> = (0..5)
+                .map(|r| scene.survey(&tag, 10_000 + trial * 10 + r).per_antenna)
+                .collect();
+            let e1 = prism
+                .sense_rounds(&rounds[..1])
+                .unwrap()
+                .estimate
+                .position
+                .distance(truth);
+            let e5 = prism
+                .sense_rounds(&rounds)
+                .unwrap()
+                .estimate
+                .position
+                .distance(truth);
+            one_round.push(e1);
+            five_rounds.push(e5);
+        }
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        assert!(
+            mean(&five_rounds) < mean(&one_round),
+            "5 rounds {} m should beat 1 round {} m",
+            mean(&five_rounds),
+            mean(&one_round)
+        );
+    }
+
+    #[test]
+    fn moving_rounds_are_skipped() {
+        let scene = Scene::standard_2d();
+        let prism = RfPrism::new(scene.antenna_poses(), scene.reader().plan.clone())
+            .with_region(scene.region());
+        let truth = Vec2::new(0.4, 1.3);
+        let parked = SimTag::with_seeded_diversity(7)
+            .with_motion(Motion::planar_static(truth, 0.2));
+        let moving = SimTag::with_seeded_diversity(7).with_motion(Motion::planar_linear(
+            truth,
+            Vec2::new(0.05, 0.03),
+            0.2,
+        ));
+        let rounds = vec![
+            scene.survey(&moving, 1).per_antenna,
+            scene.survey(&parked, 2).per_antenna,
+            scene.survey(&moving, 3).per_antenna,
+        ];
+        let result = prism.sense_rounds(&rounds).unwrap();
+        assert!(result.estimate.position.distance(truth) < 0.3);
+
+        // All-moving input surfaces the detector verdict.
+        let all_moving = vec![scene.survey(&moving, 4).per_antenna];
+        assert!(matches!(
+            prism.sense_rounds(&all_moving),
+            Err(SenseError::TagMoving { .. })
+        ));
+        // Empty input errors cleanly.
+        assert!(matches!(
+            prism.sense_rounds(&[]),
+            Err(SenseError::TooFewObservations { usable: 0, .. })
+        ));
+    }
+}

@@ -1,0 +1,269 @@
+//! The 3-D sensing pipeline (paper §VII future work, packaged like the 2-D
+//! [`crate::RfPrism`]).
+//!
+//! With four antennas the 8 fitted line parameters over-determine the 7
+//! unknowns `(x, y, z, dipole axis, k_t, b_t)`; everything else (raw-read
+//! pre-processing, multipath suppression, the error detector) is shared
+//! with the 2-D pipeline.
+
+use crate::detector::{assess, DetectorConfig, MobilityVerdict};
+use crate::model::{extract_observation, AntennaObservation, ExtractConfig, ExtractError};
+use crate::solver3d::{solve_3d, Solve3DError, Solver3DConfig, TagEstimate3D};
+use rfp_dsp::preprocess::RawRead;
+use rfp_geom::{AntennaPose, Region2};
+use rfp_phys::FrequencyPlan;
+
+/// Configuration of the 3-D pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct RfPrism3DConfig {
+    /// Pre-processing + robust fitting options.
+    pub extract: ExtractConfig,
+    /// 3-D solver options.
+    pub solver: Solver3DConfig,
+    /// Error-detector thresholds.
+    pub detector: DetectorConfig,
+    /// Whether a `Moving` verdict aborts the solve (default true).
+    pub reject_moving: bool,
+}
+
+impl RfPrism3DConfig {
+    /// Paper-style defaults.
+    pub fn paper() -> Self {
+        RfPrism3DConfig {
+            extract: ExtractConfig::paper(),
+            solver: Solver3DConfig::default(),
+            detector: DetectorConfig::default(),
+            reject_moving: true,
+        }
+    }
+}
+
+/// Result of one 3-D sensing pass.
+#[derive(Debug, Clone)]
+pub struct Sensing3DResult {
+    /// Disentangled 3-D tag state.
+    pub estimate: TagEstimate3D,
+    /// The per-antenna observations that produced it.
+    pub observations: Vec<AntennaObservation>,
+    /// Error-detector verdict.
+    pub verdict: MobilityVerdict,
+}
+
+/// Errors from [`RfPrism3D::sense`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Sense3DError {
+    /// Wrong number of read groups.
+    AntennaCountMismatch {
+        /// Configured antennas.
+        expected: usize,
+        /// Supplied groups.
+        got: usize,
+    },
+    /// Too few usable observations (need ≥ 4).
+    TooFewObservations {
+        /// Usable observations.
+        usable: usize,
+        /// First extraction error, if any.
+        first_error: Option<ExtractError>,
+    },
+    /// The error detector rejected the window.
+    TagMoving {
+        /// Worst post-rejection residual std, radians.
+        worst_residual_std: f64,
+    },
+    /// Solver failure.
+    Solve(Solve3DError),
+}
+
+impl std::fmt::Display for Sense3DError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Sense3DError::AntennaCountMismatch { expected, got } => {
+                write!(f, "expected reads for {expected} antennas, got {got}")
+            }
+            Sense3DError::TooFewObservations { usable, .. } => {
+                write!(f, "only {usable} usable antenna observations; 3-D needs at least 4")
+            }
+            Sense3DError::TagMoving { worst_residual_std } => write!(
+                f,
+                "tag moved during the hop round (residual {worst_residual_std:.3} rad)"
+            ),
+            Sense3DError::Solve(e) => write!(f, "3-D solver failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for Sense3DError {}
+
+impl From<Solve3DError> for Sense3DError {
+    fn from(e: Solve3DError) -> Self {
+        Sense3DError::Solve(e)
+    }
+}
+
+/// The 3-D RF-Prism pipeline.
+#[derive(Debug, Clone)]
+pub struct RfPrism3D {
+    poses: Vec<AntennaPose>,
+    plan: FrequencyPlan,
+    region: Region2,
+    z_range: (f64, f64),
+    config: RfPrism3DConfig,
+}
+
+impl RfPrism3D {
+    /// Creates a 3-D pipeline; `region` bounds (x, y) and `z_range` bounds
+    /// the height search.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than 4 poses are supplied or `z_range` is empty.
+    pub fn new(
+        poses: Vec<AntennaPose>,
+        plan: FrequencyPlan,
+        region: Region2,
+        z_range: (f64, f64),
+    ) -> Self {
+        assert!(poses.len() >= 4, "3-D disentangling needs at least 4 antennas");
+        assert!(z_range.1 > z_range.0, "empty z range");
+        RfPrism3D { poses, plan, region, z_range, config: RfPrism3DConfig::paper() }
+    }
+
+    /// Overrides the configuration (builder style).
+    pub fn with_config(mut self, config: RfPrism3DConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// The configured channel plan.
+    pub fn plan(&self) -> &FrequencyPlan {
+        &self.plan
+    }
+
+    /// Runs the pipeline on one hop round.
+    ///
+    /// # Errors
+    ///
+    /// See [`Sense3DError`].
+    pub fn sense(
+        &self,
+        reads_per_antenna: &[Vec<RawRead>],
+    ) -> Result<Sensing3DResult, Sense3DError> {
+        if reads_per_antenna.len() != self.poses.len() {
+            return Err(Sense3DError::AntennaCountMismatch {
+                expected: self.poses.len(),
+                got: reads_per_antenna.len(),
+            });
+        }
+        let mut observations = Vec::with_capacity(self.poses.len());
+        let mut first_error = None;
+        for (pose, reads) in self.poses.iter().zip(reads_per_antenna) {
+            match extract_observation(*pose, reads, &self.config.extract) {
+                Ok(o) => observations.push(o),
+                Err(e) => {
+                    if first_error.is_none() {
+                        first_error = Some(e);
+                    }
+                }
+            }
+        }
+        if observations.len() < 4 {
+            return Err(Sense3DError::TooFewObservations {
+                usable: observations.len(),
+                first_error,
+            });
+        }
+        let verdict = assess(&observations, &self.config.detector);
+        if self.config.reject_moving {
+            if let MobilityVerdict::Moving { worst_residual_std } = verdict {
+                return Err(Sense3DError::TagMoving { worst_residual_std });
+            }
+        }
+        let estimate = solve_3d(&observations, self.region, self.z_range, &self.config.solver)?;
+        Ok(Sensing3DResult { estimate, observations, verdict })
+    }
+
+    /// The (x, y) search region.
+    pub fn region(&self) -> Region2 {
+        self.region
+    }
+
+    /// The z search range.
+    pub fn z_range(&self) -> (f64, f64) {
+        self.z_range
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rfp_geom::Vec3;
+    use rfp_phys::Material;
+    use rfp_sim::{Motion, Scene, SimTag};
+
+    fn prism_for(scene: &Scene) -> RfPrism3D {
+        RfPrism3D::new(
+            scene.antenna_poses(),
+            scene.reader().plan.clone(),
+            scene.region(),
+            (0.0, 1.5),
+        )
+    }
+
+    #[test]
+    fn senses_static_tag_in_3d() {
+        let scene = Scene::six_antenna_3d();
+        let truth = Vec3::new(0.8, 1.6, 0.7);
+        let dipole = Vec3::new(0.9, 0.1, 0.5).normalized();
+        let tag = SimTag::with_seeded_diversity(3)
+            .attached_to(Material::Wood)
+            .with_motion(Motion::Static { position: truth, dipole });
+        let survey = scene.survey(&tag, 8);
+        let result = prism_for(&scene).sense(&survey.per_antenna).unwrap();
+        let err = result.estimate.position.distance(truth);
+        assert!(err < 0.35, "3-D error {err} m");
+        assert!(result.verdict.is_usable());
+    }
+
+    #[test]
+    fn moving_tag_rejected() {
+        let scene = Scene::six_antenna_3d();
+        let tag = SimTag::with_seeded_diversity(1).with_motion(Motion::Linear {
+            start: Vec3::new(0.2, 1.0, 0.5),
+            velocity: Vec3::new(0.05, 0.03, 0.0),
+            dipole: Vec3::X,
+        });
+        let survey = scene.survey(&tag, 9);
+        assert!(matches!(
+            prism_for(&scene).sense(&survey.per_antenna),
+            Err(Sense3DError::TagMoving { .. })
+        ));
+    }
+
+    #[test]
+    fn antenna_count_checked() {
+        let scene = Scene::six_antenna_3d();
+        let prism = prism_for(&scene);
+        assert!(matches!(
+            prism.sense(&[Vec::new(), Vec::new()]),
+            Err(Sense3DError::AntennaCountMismatch { expected: 6, got: 2 })
+        ));
+        let err = prism
+            .sense(&vec![Vec::new(); 6])
+            .unwrap_err();
+        assert!(matches!(err, Sense3DError::TooFewObservations { usable: 0, .. }));
+        assert!(!format!("{err}").is_empty());
+    }
+
+    #[test]
+    #[should_panic]
+    fn three_poses_panic() {
+        let scene = Scene::standard_2d();
+        let _ = RfPrism3D::new(
+            scene.antenna_poses(),
+            scene.reader().plan.clone(),
+            scene.region(),
+            (0.0, 1.0),
+        );
+    }
+}

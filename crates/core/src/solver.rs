@@ -1,0 +1,670 @@
+//! The joint disentangling solver (paper §IV-C, §V-A).
+//!
+//! Given N ≥ 3 antenna observations `(kᵢ, bᵢ)`, solve the 2N equations
+//!
+//! ```text
+//! kᵢ = 4π · dist(Aᵢ, (x, y)) / c + k_t
+//! bᵢ = θ_orient(Aᵢ, α) + b_t        (mod 2π)
+//! ```
+//!
+//! for the 5 unknowns `(x, y, α, k_t, b_t)` by weighted nonlinear least
+//! squares. The intercept residuals are *angular* (wrapped into
+//! `(-π, π]`), which makes the cost surface multimodal in `α`; a coarse
+//! multi-start over the working region × orientation grid followed by
+//! Levenberg–Marquardt refinement finds the global optimum reliably.
+//!
+//! Parameter magnitudes differ wildly (`k_t` ~1e-8 rad/Hz vs `x` ~1 m), so
+//! the LM core uses per-parameter step scales, MINPACK style.
+
+use crate::model::AntennaObservation;
+use rfp_geom::{angle, Region2, Vec2};
+use rfp_phys::polarization::{orientation_phase, planar_dipole};
+use rfp_phys::propagation;
+
+/// Configuration of the 2-D disentangling solver.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SolverConfig {
+    /// Expected slope noise (rad/Hz); weights the slope residuals.
+    pub slope_sigma: f64,
+    /// Expected intercept noise (rad); weights the intercept residuals.
+    pub intercept_sigma: f64,
+    /// Multi-start position grid (nx, ny) over the working region.
+    pub position_starts: (usize, usize),
+    /// Multi-start orientation count over `[0, π)`.
+    pub orientation_starts: usize,
+    /// Maximum LM iterations per start.
+    pub max_iterations: usize,
+    /// Relative cost-decrease tolerance for LM convergence.
+    pub tolerance: f64,
+}
+
+impl Default for SolverConfig {
+    fn default() -> Self {
+        SolverConfig {
+            slope_sigma: 1.0e-10,
+            intercept_sigma: 0.08,
+            position_starts: (6, 6),
+            orientation_starts: 6,
+            max_iterations: 60,
+            tolerance: 1e-10,
+        }
+    }
+}
+
+/// The disentangled physical state of one tag in 2-D.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TagEstimate2D {
+    /// Tag coordinates on the surveillance plane, metres.
+    pub position: Vec2,
+    /// Tag dipole orientation, radians in `[0, π)` (dipoles are
+    /// π-symmetric).
+    pub orientation: f64,
+    /// Material/device slope term `k_t`, rad/Hz.
+    pub kt: f64,
+    /// Material/device intercept term `b_t`, radians in `[0, 2π)`.
+    pub bt: f64,
+    /// Final weighted cost (sum of squared sigma-normalized residuals).
+    pub cost: f64,
+    /// RMS of the sigma-normalized residuals (≈1 when the noise model is
+    /// well calibrated, ≫1 when the linear model is violated).
+    pub residual_rms: f64,
+    /// 1-σ position uncertainty from the local curvature of the cost
+    /// surface (Gauss–Newton covariance), metres. A *statistical* bound —
+    /// model violations (multipath bias) are not included.
+    pub position_std_m: f64,
+    /// 1-σ orientation uncertainty, radians (same caveat).
+    pub orientation_std_rad: f64,
+    /// Full 2×2 position covariance `[[σxx², σxy], [σxy, σyy²]]`, m².
+    pub position_cov: [[f64; 2]; 2],
+}
+
+impl TagEstimate2D {
+    /// The 1-σ uncertainty ellipse of the position estimate, if the
+    /// covariance is well-formed.
+    pub fn uncertainty_ellipse(&self) -> Option<rfp_geom::CovarianceEllipse> {
+        rfp_geom::CovarianceEllipse::from_covariance(self.position_cov)
+    }
+}
+
+/// Errors from [`solve_2d`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SolveError {
+    /// Fewer than three antennas: 2N < 5 unknowns.
+    TooFewAntennas {
+        /// Number of observations provided.
+        provided: usize,
+    },
+}
+
+impl std::fmt::Display for SolveError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SolveError::TooFewAntennas { provided } => write!(
+                f,
+                "2-D disentangling needs at least 3 antennas, got {provided}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SolveError {}
+
+/// Solves the 2-D disentangling problem.
+///
+/// `region` bounds the multi-start grid (the paper's known working region);
+/// the refined position may land slightly outside it — it is a seed
+/// region, not a hard constraint.
+///
+/// # Errors
+///
+/// [`SolveError::TooFewAntennas`] when fewer than 3 observations are given.
+pub fn solve_2d(
+    observations: &[AntennaObservation],
+    region: Region2,
+    config: &SolverConfig,
+) -> Result<TagEstimate2D, SolveError> {
+    if observations.len() < 3 {
+        return Err(SolveError::TooFewAntennas { provided: observations.len() });
+    }
+
+    let residual = |p: &[f64], out: &mut Vec<f64>| {
+        residuals_2d(observations, p, config, out);
+    };
+    // Parameter step scales for numeric differentiation and LM damping:
+    // x (m), y (m), α (rad), k_t (rad/Hz), b_t (rad).
+    let steps = [1e-4, 1e-4, 1e-4, 1e-13, 1e-4];
+
+    // The problem separates naturally, which both speeds the solve up and
+    // avoids local minima:
+    //
+    // 1. Position + k_t depend only on the slope equations — a smooth
+    //    3-parameter least-squares problem seeded from a coarse grid.
+    // 2. Given a position candidate, orientation is found by scanning α
+    //    over [0, π) with the closed-form circular-mean b_t — the wrapped
+    //    intercept residuals are multimodal in α, so a scan is the robust
+    //    way in.
+    // 3. A full joint 5-parameter LM refinement from the combined seeds
+    //    lets the two halves inform each other.
+    //
+    // Candidates refining to a point outside the (slightly expanded)
+    // working region are physically impossible deployments — when the
+    // per-antenna observations are inconsistent (multipath bias), the
+    // near-degenerate range direction otherwise lets the unconstrained
+    // optimum drift metres away. Prefer in-region candidates; fall back to
+    // the overall best only if no start stayed inside.
+    let admissible = region.expanded(0.3);
+
+    // Stage 1: slope-only position solve.
+    let slope_residual = |p: &[f64], out: &mut Vec<f64>| {
+        let pos = Vec2::new(p[0], p[1]).with_z(0.0);
+        let kt = p[2];
+        out.clear();
+        for o in observations {
+            let d = o.pose.position().distance(pos);
+            out.push((o.slope - propagation::slope_from_distance(d) - kt) / config.slope_sigma);
+        }
+    };
+    let slope_steps = [1e-4, 1e-4, 1e-13];
+    let (nx, ny) = config.position_starts;
+    let mut position_candidates: Vec<(Vec<f64>, f64)> = Vec::new();
+    for seed_pos in region.grid(nx.max(1), ny.max(1)) {
+        let kt0 = seed_kt(observations, seed_pos);
+        let (p, cost) = levenberg_marquardt(
+            &slope_residual,
+            vec![seed_pos.x, seed_pos.y, kt0],
+            &slope_steps,
+            config.max_iterations,
+            config.tolerance,
+        );
+        position_candidates.push((p, cost));
+    }
+    position_candidates.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite costs"));
+    // Keep the best in-region candidates (plus the overall best as backup).
+    let mut stage1: Vec<Vec<f64>> = position_candidates
+        .iter()
+        .filter(|(p, _)| admissible.contains(Vec2::new(p[0], p[1])))
+        .take(2)
+        .map(|(p, _)| p.clone())
+        .collect();
+    if stage1.is_empty() {
+        stage1.push(position_candidates[0].0.clone());
+    }
+
+    // Stages 2 + 3: α scan then joint refinement.
+    let alpha_steps = (config.orientation_starts.max(1) * 8).max(24);
+    let mut best_inside: Option<(Vec<f64>, f64)> = None;
+    let mut best_any: Option<(Vec<f64>, f64)> = None;
+    let mut scratch = Vec::new();
+    for cand in &stage1 {
+        // Rank α seeds by the intercept-only cost at this position.
+        let mut alpha_ranked: Vec<(f64, f64)> = (0..alpha_steps)
+            .map(|a| {
+                let alpha0 = std::f64::consts::PI * a as f64 / alpha_steps as f64;
+                let bt0 = seed_bt(observations, alpha0);
+                let p = [cand[0], cand[1], alpha0, cand[2], bt0];
+                residuals_2d(observations, &p, config, &mut scratch);
+                let cost: f64 = scratch.iter().map(|v| v * v).sum();
+                (alpha0, cost)
+            })
+            .collect();
+        alpha_ranked.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite costs"));
+        for &(alpha0, _) in alpha_ranked.iter().take(2) {
+            let bt0 = seed_bt(observations, alpha0);
+            let p0 = vec![cand[0], cand[1], alpha0, cand[2], bt0];
+            let (p, cost) = levenberg_marquardt(
+                &residual,
+                p0,
+                &steps,
+                config.max_iterations,
+                config.tolerance,
+            );
+            if admissible.contains(Vec2::new(p[0], p[1]))
+                && best_inside.as_ref().map_or(true, |(_, c)| cost < *c)
+            {
+                best_inside = Some((p.clone(), cost));
+            }
+            if best_any.as_ref().map_or(true, |(_, c)| cost < *c) {
+                best_any = Some((p, cost));
+            }
+        }
+    }
+
+    let (p, cost) = best_inside.or(best_any).expect("at least one start");
+    let n_res = 2 * observations.len();
+    let steps = [1e-4, 1e-4, 1e-4, 1e-13, 1e-4];
+    let (position_std_m, orientation_std_rad, position_cov) =
+        estimate_uncertainty(&residual, &p, &steps);
+    Ok(TagEstimate2D {
+        position: Vec2::new(p[0], p[1]),
+        orientation: p[2].rem_euclid(std::f64::consts::PI),
+        kt: p[3],
+        bt: angle::wrap_tau(p[4]),
+        cost,
+        residual_rms: (cost / n_res as f64).sqrt(),
+        position_std_m,
+        orientation_std_rad,
+        position_cov,
+    })
+}
+
+/// Gauss–Newton covariance at the solution: `(JᵀJ)⁻¹` of the
+/// sigma-normalized residuals. Returns `(position σ, orientation σ,
+/// position 2×2 covariance)`; infinities when the curvature is singular.
+fn estimate_uncertainty<F>(
+    residual: &F,
+    p: &[f64],
+    steps: &[f64],
+) -> (f64, f64, [[f64; 2]; 2])
+where
+    F: Fn(&[f64], &mut Vec<f64>),
+{
+    let n = p.len();
+    let mut r_plus = Vec::new();
+    let mut r_minus = Vec::new();
+    residual(p, &mut r_plus);
+    let m = r_plus.len();
+    let mut jac = vec![vec![0.0; n]; m];
+    let mut work = p.to_vec();
+    for j in 0..n {
+        let h = steps[j];
+        work[j] = p[j] + h;
+        residual(&work, &mut r_plus);
+        work[j] = p[j] - h;
+        residual(&work, &mut r_minus);
+        work[j] = p[j];
+        for i in 0..m {
+            jac[i][j] = (r_plus[i] - r_minus[i]) / (2.0 * h);
+        }
+    }
+    let mut jtj = vec![vec![0.0; n]; n];
+    for i in 0..m {
+        for a in 0..n {
+            for b in 0..n {
+                jtj[a][b] += jac[i][a] * jac[i][b];
+            }
+        }
+    }
+    // Invert by solving against identity columns; keep the full columns so
+    // the position block's off-diagonal is available.
+    let mut cov_cols: Vec<Vec<f64>> = Vec::with_capacity(n);
+    for col in 0..n {
+        let mut e = vec![0.0; n];
+        e[col] = 1.0;
+        match solve_linear(jtj.clone(), e) {
+            Some(x) if x[col].is_finite() && x[col] >= 0.0 => cov_cols.push(x),
+            _ => {
+                let inf = [[f64::INFINITY; 2]; 2];
+                return (f64::INFINITY, f64::INFINITY, inf);
+            }
+        }
+    }
+    let position_cov = [
+        [cov_cols[0][0], cov_cols[1][0]],
+        [cov_cols[0][1], cov_cols[1][1]],
+    ];
+    let position_std = (cov_cols[0][0] + cov_cols[1][1]).sqrt();
+    let orientation_std = cov_cols[2][2].sqrt();
+    (position_std, orientation_std, position_cov)
+}
+
+/// Mean `kᵢ − 4π dᵢ(pos)/c` over antennas — the closed-form `k_t` seed for
+/// a hypothesised position.
+fn seed_kt(observations: &[AntennaObservation], pos: Vec2) -> f64 {
+    let sum: f64 = observations
+        .iter()
+        .map(|o| {
+            let d = o.pose.position().distance(pos.with_z(0.0));
+            o.slope - propagation::slope_from_distance(d)
+        })
+        .sum();
+    sum / observations.len() as f64
+}
+
+/// Circular mean of `bᵢ − θ_orient(Aᵢ, α₀)` — the closed-form `b_t` seed
+/// for a hypothesised orientation.
+fn seed_bt(observations: &[AntennaObservation], alpha0: f64) -> f64 {
+    let w = planar_dipole(alpha0);
+    angle::circular_mean(
+        observations
+            .iter()
+            .map(|o| o.intercept - orientation_phase(&o.pose, w)),
+    )
+    .unwrap_or(0.0)
+}
+
+/// Fills `out` with the 2N sigma-normalized residuals at parameters `p`.
+fn residuals_2d(
+    observations: &[AntennaObservation],
+    p: &[f64],
+    config: &SolverConfig,
+    out: &mut Vec<f64>,
+) {
+    let pos = Vec2::new(p[0], p[1]).with_z(0.0);
+    let w = planar_dipole(p[2]);
+    let (kt, bt) = (p[3], p[4]);
+    out.clear();
+    for o in observations {
+        let d = o.pose.position().distance(pos);
+        let k_model = propagation::slope_from_distance(d) + kt;
+        out.push((o.slope - k_model) / config.slope_sigma);
+        let b_model = orientation_phase(&o.pose, w) + bt;
+        out.push(angle::wrap_pi(o.intercept - b_model) / config.intercept_sigma);
+    }
+}
+
+/// Small dense Levenberg–Marquardt with numeric Jacobian and per-parameter
+/// step scales (MINPACK-style diagonal damping). Returns the refined
+/// parameters and the final cost (sum of squared residuals).
+///
+/// `residual` fills its output vector with the residuals at the supplied
+/// parameters; `steps` gives the finite-difference step per parameter and
+/// must have the same length as `p`. Exposed publicly because the
+/// baselines reuse it for their own small least-squares problems.
+///
+/// # Example
+///
+/// ```
+/// use rfp_core::solver::levenberg_marquardt;
+/// // Fit y = a·x to the points (1, 2), (2, 4).
+/// let residual = |p: &[f64], out: &mut Vec<f64>| {
+///     out.clear();
+///     out.push(2.0 - p[0] * 1.0);
+///     out.push(4.0 - p[0] * 2.0);
+/// };
+/// let (p, cost) = levenberg_marquardt(&residual, vec![0.0], &[1e-6], 50, 1e-14);
+/// assert!((p[0] - 2.0).abs() < 1e-8);
+/// assert!(cost < 1e-12);
+/// ```
+pub fn levenberg_marquardt<F>(
+    residual: &F,
+    mut p: Vec<f64>,
+    steps: &[f64],
+    max_iterations: usize,
+    tolerance: f64,
+) -> (Vec<f64>, f64)
+where
+    F: Fn(&[f64], &mut Vec<f64>),
+{
+    let n = p.len();
+    debug_assert_eq!(steps.len(), n);
+    let mut r = Vec::new();
+    residual(&p, &mut r);
+    let mut cost: f64 = r.iter().map(|v| v * v).sum();
+    let m = r.len();
+
+    let mut lambda = 1e-3;
+    let mut jac = vec![vec![0.0; n]; m];
+    let (mut r_plus, mut r_minus) = (Vec::new(), Vec::new());
+
+    for _ in 0..max_iterations {
+        // Numeric Jacobian (central differences with per-parameter steps).
+        for j in 0..n {
+            let h = steps[j];
+            let saved = p[j];
+            p[j] = saved + h;
+            residual(&p, &mut r_plus);
+            p[j] = saved - h;
+            residual(&p, &mut r_minus);
+            p[j] = saved;
+            for i in 0..m {
+                jac[i][j] = (r_plus[i] - r_minus[i]) / (2.0 * h);
+            }
+        }
+        // Normal equations.
+        let mut jtj = vec![vec![0.0; n]; n];
+        let mut jtr = vec![0.0; n];
+        for i in 0..m {
+            for a in 0..n {
+                jtr[a] += jac[i][a] * r[i];
+                for b in a..n {
+                    jtj[a][b] += jac[i][a] * jac[i][b];
+                }
+            }
+        }
+        for a in 0..n {
+            for b in 0..a {
+                jtj[a][b] = jtj[b][a];
+            }
+        }
+
+        // Damped solve with retry on cost increase.
+        let mut improved = false;
+        for _ in 0..8 {
+            let mut a_mat = jtj.clone();
+            for d in 0..n {
+                a_mat[d][d] += lambda * jtj[d][d].max(1e-12);
+            }
+            let rhs: Vec<f64> = jtr.iter().map(|v| -v).collect();
+            let Some(delta) = solve_linear(a_mat, rhs) else {
+                lambda *= 10.0;
+                continue;
+            };
+            let candidate: Vec<f64> = p.iter().zip(&delta).map(|(a, d)| a + d).collect();
+            residual(&candidate, &mut r_plus);
+            let new_cost: f64 = r_plus.iter().map(|v| v * v).sum();
+            if new_cost < cost {
+                let rel_drop = (cost - new_cost) / cost.max(1e-300);
+                p = candidate;
+                std::mem::swap(&mut r, &mut r_plus);
+                cost = new_cost;
+                lambda = (lambda / 3.0).max(1e-12);
+                improved = true;
+                if rel_drop < tolerance {
+                    return (p, cost);
+                }
+                break;
+            }
+            lambda *= 4.0;
+        }
+        if !improved {
+            break;
+        }
+    }
+    (p, cost)
+}
+
+/// Gaussian elimination with partial pivoting; `None` when singular.
+fn solve_linear(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Option<Vec<f64>> {
+    let n = b.len();
+    for col in 0..n {
+        // Pivot.
+        let mut pivot = col;
+        for row in (col + 1)..n {
+            if a[row][col].abs() > a[pivot][col].abs() {
+                pivot = row;
+            }
+        }
+        if a[pivot][col].abs() < 1e-300 {
+            return None;
+        }
+        a.swap(col, pivot);
+        b.swap(col, pivot);
+        // Eliminate below.
+        for row in (col + 1)..n {
+            let factor = a[row][col] / a[col][col];
+            for k in col..n {
+                a[row][k] -= factor * a[col][k];
+            }
+            b[row] -= factor * b[col];
+        }
+    }
+    // Back substitution.
+    let mut x = vec![0.0; n];
+    for col in (0..n).rev() {
+        let mut s = b[col];
+        for k in (col + 1)..n {
+            s -= a[col][k] * x[k];
+        }
+        x[col] = s / a[col][col];
+    }
+    Some(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{extract_observation, ExtractConfig};
+    use rfp_geom::AntennaPose;
+    use rfp_sim::{Motion, NoiseModel, ReaderConfig, Scene, SimTag};
+
+    /// Builds exact (noise-free) observations straight from the forward
+    /// model, bypassing the simulator.
+    fn synthetic_observations(
+        poses: &[AntennaPose],
+        truth: (Vec2, f64, f64, f64),
+    ) -> Vec<AntennaObservation> {
+        let (pos, alpha, kt, bt) = truth;
+        let scene = Scene::standard_2d()
+            .with_noise(NoiseModel::clean())
+            .with_reader(ReaderConfig::ideal());
+        // Use the simulator only to obtain correctly-shaped observations;
+        // then overwrite slope/intercept with exact values.
+        let tag = SimTag::nominal(0).with_motion(Motion::planar_static(pos, alpha));
+        let survey = scene.survey(&tag, 0);
+        poses
+            .iter()
+            .zip(&survey.per_antenna)
+            .map(|(&pose, reads)| {
+                let mut o =
+                    extract_observation(pose, reads, &ExtractConfig::paper()).unwrap();
+                let d = pose.position().distance(pos.with_z(0.0));
+                o.slope = propagation::slope_from_distance(d) + kt;
+                o.intercept = angle::wrap_tau(
+                    orientation_phase(&pose, planar_dipole(alpha)) + bt,
+                );
+                o
+            })
+            .collect()
+    }
+
+    fn region() -> Region2 {
+        Scene::standard_2d().region()
+    }
+
+    #[test]
+    fn recovers_exact_truth() {
+        let poses = Scene::standard_2d().antenna_poses();
+        let truth_pos = Vec2::new(0.3, 1.7);
+        let obs = synthetic_observations(&poses, (truth_pos, 0.8, -2.5e-8, 1.3));
+        let est = solve_2d(&obs, region(), &SolverConfig::default()).unwrap();
+        assert!(est.position.distance(truth_pos) < 1e-4, "pos {}", est.position);
+        assert!(angle::dipole_distance(est.orientation, 0.8) < 1e-4);
+        assert!((est.kt + 2.5e-8).abs() < 1e-12);
+        assert!(angle::distance(est.bt, 1.3) < 1e-4);
+        assert!(est.residual_rms < 1e-3);
+    }
+
+    #[test]
+    fn orientation_recovered_mod_pi() {
+        let poses = Scene::standard_2d().antenna_poses();
+        // Truth orientation 0.4 + π must come back as 0.4.
+        let obs = synthetic_observations(
+            &poses,
+            (Vec2::new(0.9, 1.1), 0.4 + std::f64::consts::PI, 0.0, 0.2),
+        );
+        let est = solve_2d(&obs, region(), &SolverConfig::default()).unwrap();
+        assert!(angle::dipole_distance(est.orientation, 0.4) < 1e-4);
+        assert!((0.0..std::f64::consts::PI).contains(&est.orientation));
+    }
+
+    #[test]
+    fn corners_of_region_solvable() {
+        let poses = Scene::standard_2d().antenna_poses();
+        for &(x, y) in &[(-0.4, 0.6), (1.4, 0.6), (-0.4, 2.4), (1.4, 2.4)] {
+            let truth = Vec2::new(x, y);
+            let obs = synthetic_observations(&poses, (truth, 1.2, -1e-8, 4.0));
+            let est = solve_2d(&obs, region(), &SolverConfig::default()).unwrap();
+            assert!(
+                est.position.distance(truth) < 1e-3,
+                "corner ({x},{y}): got {}",
+                est.position
+            );
+        }
+    }
+
+    #[test]
+    fn end_to_end_with_noise_lands_near_truth() {
+        let scene = Scene::standard_2d();
+        let truth = Vec2::new(0.6, 1.3);
+        let tag = SimTag::with_seeded_diversity(3)
+            .with_motion(Motion::planar_static(truth, 0.5));
+        let survey = scene.survey(&tag, 11);
+        let obs: Vec<AntennaObservation> = scene
+            .antenna_poses()
+            .iter()
+            .zip(&survey.per_antenna)
+            .map(|(&p, r)| extract_observation(p, r, &ExtractConfig::paper()).unwrap())
+            .collect();
+        let est = solve_2d(&obs, region(), &SolverConfig::default()).unwrap();
+        let err_cm = est.position.distance(truth) * 100.0;
+        assert!(err_cm < 30.0, "error {err_cm} cm");
+        let orient_err = angle::dipole_distance(est.orientation, 0.5).to_degrees();
+        assert!(orient_err < 30.0, "orientation error {orient_err}°");
+    }
+
+    #[test]
+    fn too_few_antennas_rejected() {
+        let poses = Scene::standard_2d().antenna_poses();
+        let obs = synthetic_observations(&poses, (Vec2::new(0.5, 1.5), 0.0, 0.0, 0.0));
+        assert_eq!(
+            solve_2d(&obs[..2], region(), &SolverConfig::default()).unwrap_err(),
+            SolveError::TooFewAntennas { provided: 2 }
+        );
+    }
+
+    #[test]
+    fn lm_minimizes_quadratic() {
+        // Sanity-check the LM core on a known problem: fit y = a·x + b.
+        let data: Vec<(f64, f64)> = (0..10).map(|i| (i as f64, 2.0 * i as f64 - 3.0)).collect();
+        let residual = |p: &[f64], out: &mut Vec<f64>| {
+            out.clear();
+            for (x, y) in &data {
+                out.push(y - (p[0] * x + p[1]));
+            }
+        };
+        let (p, cost) =
+            levenberg_marquardt(&residual, vec![0.0, 0.0], &[1e-5, 1e-5], 100, 1e-14);
+        assert!((p[0] - 2.0).abs() < 1e-6);
+        assert!((p[1] + 3.0).abs() < 1e-6);
+        assert!(cost < 1e-10);
+    }
+
+    #[test]
+    fn uncertainty_reported_and_meaningful() {
+        let scene = Scene::standard_2d();
+        let truth = Vec2::new(0.5, 1.4);
+        let tag = SimTag::with_seeded_diversity(4)
+            .with_motion(Motion::planar_static(truth, 0.7));
+        let survey = scene.survey(&tag, 21);
+        let obs: Vec<AntennaObservation> = scene
+            .antenna_poses()
+            .iter()
+            .zip(&survey.per_antenna)
+            .map(|(&p, r)| extract_observation(p, r, &ExtractConfig::paper()).unwrap())
+            .collect();
+        let est = solve_2d(&obs, region(), &SolverConfig::default()).unwrap();
+        assert!(est.position_std_m.is_finite() && est.position_std_m > 0.0);
+        assert!(est.orientation_std_rad.is_finite() && est.orientation_std_rad > 0.0);
+        // The reported σ should be in the same decade as the actual error
+        // regime (centimetres / ~0.2 rad).
+        assert!(est.position_std_m < 0.5, "σ_pos {}", est.position_std_m);
+        assert!(est.orientation_std_rad < 1.0, "σ_α {}", est.orientation_std_rad);
+        // The ellipse is well-formed and elongated along the weakly
+        // constrained (range) direction — its major axis exceeds its minor.
+        let e = est.uncertainty_ellipse().expect("well-formed covariance");
+        assert!(e.semi_major >= e.semi_minor);
+        assert!(e.semi_major > 0.0 && e.semi_major < 0.5);
+        // Consistency with the scalar summary.
+        let trace = (e.semi_major * e.semi_major + e.semi_minor * e.semi_minor).sqrt();
+        assert!((trace - est.position_std_m).abs() < 1e-9);
+    }
+
+    #[test]
+    fn solve_linear_rejects_singular() {
+        let a = vec![vec![1.0, 2.0], vec![2.0, 4.0]];
+        assert!(solve_linear(a, vec![1.0, 2.0]).is_none());
+        let a = vec![vec![2.0, 0.0], vec![0.0, 0.5]];
+        let x = solve_linear(a, vec![4.0, 1.0]).unwrap();
+        assert!((x[0] - 2.0).abs() < 1e-12 && (x[1] - 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,363 @@
+//! 3-D disentangling (paper §VII future work).
+//!
+//! "One of them is to perform the system in 3D space, which is totally
+//! feasible as long as increasing the number of antenna to 4." — with four
+//! antennas there are 8 fitted parameters against 7 unknowns: position
+//! `(x, y, z)`, the dipole direction (two angles — a dipole is an axis, so
+//! a point on the half-sphere), and the material terms `(k_t, b_t)`.
+//!
+//! The machinery is the 2-D solver's: sigma-weighted residuals, wrapped
+//! intercepts, multi-start + Levenberg–Marquardt.
+
+use crate::model::AntennaObservation;
+use crate::solver::levenberg_marquardt;
+use rfp_geom::{angle, Region2, Vec3};
+use rfp_phys::polarization::orientation_phase;
+use rfp_phys::propagation;
+
+/// Configuration for [`solve_3d`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Solver3DConfig {
+    /// Expected slope noise (rad/Hz).
+    pub slope_sigma: f64,
+    /// Expected intercept noise (rad).
+    pub intercept_sigma: f64,
+    /// Multi-start grid over (x, y).
+    pub position_starts: (usize, usize),
+    /// Multi-start levels over z within `z_range`.
+    pub z_starts: usize,
+    /// Multi-start dipole directions.
+    pub dipole_starts: usize,
+    /// Maximum LM iterations per start.
+    pub max_iterations: usize,
+    /// Relative cost tolerance.
+    pub tolerance: f64,
+}
+
+impl Default for Solver3DConfig {
+    fn default() -> Self {
+        Solver3DConfig {
+            slope_sigma: 1.0e-10,
+            intercept_sigma: 0.08,
+            position_starts: (5, 5),
+            z_starts: 3,
+            dipole_starts: 6,
+            max_iterations: 80,
+            tolerance: 1e-10,
+        }
+    }
+}
+
+/// The disentangled 3-D tag state.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TagEstimate3D {
+    /// Tag position, metres.
+    pub position: Vec3,
+    /// Unit dipole axis, canonicalized to `z ≥ 0` (dipoles are
+    /// π-symmetric).
+    pub dipole: Vec3,
+    /// Material slope term, rad/Hz.
+    pub kt: f64,
+    /// Material intercept term, radians in `[0, 2π)`.
+    pub bt: f64,
+    /// Final weighted cost.
+    pub cost: f64,
+    /// RMS of sigma-normalized residuals.
+    pub residual_rms: f64,
+}
+
+impl TagEstimate3D {
+    /// Angular distance between this estimate's dipole axis and another
+    /// axis, in `[0, π/2]`.
+    pub fn dipole_axis_error(&self, other: Vec3) -> f64 {
+        let dot = self.dipole.dot(other.normalized()).abs().clamp(0.0, 1.0);
+        dot.acos()
+    }
+}
+
+/// Errors from [`solve_3d`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Solve3DError {
+    /// Fewer than four antennas: 2N < 7 unknowns.
+    TooFewAntennas {
+        /// Number of observations provided.
+        provided: usize,
+    },
+}
+
+impl std::fmt::Display for Solve3DError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Solve3DError::TooFewAntennas { provided } => {
+                write!(f, "3-D disentangling needs at least 4 antennas, got {provided}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Solve3DError {}
+
+fn dipole_from_angles(theta: f64, phi: f64) -> Vec3 {
+    let (st, ct) = theta.sin_cos();
+    let (sp, cp) = phi.sin_cos();
+    Vec3::new(st * cp, st * sp, ct)
+}
+
+/// Solves the 3-D disentangling problem over the `region × z_range` box.
+///
+/// # Errors
+///
+/// [`Solve3DError::TooFewAntennas`] with fewer than 4 observations.
+pub fn solve_3d(
+    observations: &[AntennaObservation],
+    region: Region2,
+    z_range: (f64, f64),
+    config: &Solver3DConfig,
+) -> Result<TagEstimate3D, Solve3DError> {
+    if observations.len() < 4 {
+        return Err(Solve3DError::TooFewAntennas { provided: observations.len() });
+    }
+
+    let residual = |p: &[f64], out: &mut Vec<f64>| {
+        let pos = Vec3::new(p[0], p[1], p[2]);
+        let w = dipole_from_angles(p[3], p[4]);
+        let (kt, bt) = (p[5], p[6]);
+        out.clear();
+        for o in observations {
+            let d = o.pose.position().distance(pos);
+            out.push(
+                (o.slope - propagation::slope_from_distance(d) - kt) / config.slope_sigma,
+            );
+            let b_model = orientation_phase(&o.pose, w) + bt;
+            out.push(angle::wrap_pi(o.intercept - b_model) / config.intercept_sigma);
+        }
+    };
+    let steps = [1e-4, 1e-4, 1e-4, 1e-4, 1e-4, 1e-13, 1e-4];
+
+    // Prefer candidates inside the known deployment volume: distances are
+    // mirror-symmetric about the antenna plane and the range direction is
+    // near-degenerate, so unconstrained optima can drift metres away (see
+    // the 2-D solver for the same rule).
+    let admissible_xy = region.expanded(0.3);
+    let (z_lo, z_hi) = z_range;
+    let inside = |p: &[f64]| {
+        admissible_xy.contains(rfp_geom::Vec2::new(p[0], p[1]))
+            && p[2] >= z_lo - 0.3
+            && p[2] <= z_hi + 0.3
+    };
+
+    // Stage 1: slope-only position solve over (x, y, z, k_t) — smooth and
+    // exactly determined with 4 antennas, over-determined with more.
+    let slope_residual = |p: &[f64], out: &mut Vec<f64>| {
+        let pos = Vec3::new(p[0], p[1], p[2]);
+        out.clear();
+        for o in observations {
+            let d = o.pose.position().distance(pos);
+            out.push(
+                (o.slope - propagation::slope_from_distance(d) - p[3]) / config.slope_sigma,
+            );
+        }
+    };
+    let slope_steps = [1e-4, 1e-4, 1e-4, 1e-13];
+    let (nx, ny) = config.position_starts;
+    let mut position_candidates: Vec<(Vec<f64>, f64)> = Vec::new();
+    for seed_pos in region.grid(nx.max(1), ny.max(1)) {
+        for zi in 0..config.z_starts.max(1) {
+            let z = z_lo + (z_hi - z_lo) * (zi as f64 + 0.5) / config.z_starts.max(1) as f64;
+            let pos = seed_pos.with_z(z);
+            let kt0: f64 = observations
+                .iter()
+                .map(|o| {
+                    o.slope
+                        - propagation::slope_from_distance(o.pose.position().distance(pos))
+                })
+                .sum::<f64>()
+                / observations.len() as f64;
+            let (p, cost) = levenberg_marquardt(
+                &slope_residual,
+                vec![seed_pos.x, seed_pos.y, z, kt0],
+                &slope_steps,
+                config.max_iterations,
+                config.tolerance,
+            );
+            position_candidates.push((p, cost));
+        }
+    }
+    position_candidates.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite costs"));
+    // With exactly 4 antennas the slope system is exactly determined, so
+    // several zero-cost position candidates can exist (mirror images,
+    // spurious intersections) — only the intercept equations can tell them
+    // apart. Keep every distinct in-volume candidate (deduplicated to
+    // 10 cm) and let the joint stage pick.
+    let mut stage1: Vec<Vec<f64>> = Vec::new();
+    for (p, _) in position_candidates.iter().filter(|(p, _)| inside(p)) {
+        let pos = Vec3::new(p[0], p[1], p[2]);
+        let duplicate = stage1
+            .iter()
+            .any(|q| Vec3::new(q[0], q[1], q[2]).distance(pos) < 0.10);
+        if !duplicate {
+            stage1.push(p.clone());
+        }
+        if stage1.len() >= 6 {
+            break;
+        }
+    }
+    if stage1.is_empty() {
+        stage1.push(position_candidates[0].0.clone());
+    }
+
+    // Stage 2: dipole scan over the half-sphere with closed-form b_t, then
+    // stage 3: joint 7-parameter refinement from the best seeds.
+    let rings = config.dipole_starts.max(3);
+    let mut best_inside_cand: Option<(Vec<f64>, f64)> = None;
+    let mut best_any: Option<(Vec<f64>, f64)> = None;
+    let mut scratch = Vec::new();
+    for cand in &stage1 {
+        let mut dipole_ranked: Vec<(f64, f64, f64)> = Vec::new();
+        for ti in 0..rings {
+            // Polar rings from near-pole to equator.
+            let theta = std::f64::consts::FRAC_PI_2 * (ti as f64 + 0.5) / rings as f64;
+            for pi in 0..(2 * rings) {
+                let phi = std::f64::consts::TAU * pi as f64 / (2 * rings) as f64;
+                let w0 = dipole_from_angles(theta, phi);
+                let bt0 = angle::circular_mean(
+                    observations
+                        .iter()
+                        .map(|o| o.intercept - orientation_phase(&o.pose, w0)),
+                )
+                .unwrap_or(0.0);
+                let p = [cand[0], cand[1], cand[2], theta, phi, cand[3], bt0];
+                residual(&p, &mut scratch);
+                let cost: f64 = scratch.iter().map(|v| v * v).sum();
+                dipole_ranked.push((theta, phi, cost));
+            }
+        }
+        dipole_ranked
+            .sort_by(|a, b| a.2.partial_cmp(&b.2).expect("finite costs"));
+        for &(theta, phi, _) in dipole_ranked.iter().take(3) {
+            let w0 = dipole_from_angles(theta, phi);
+            let bt0 = angle::circular_mean(
+                observations
+                    .iter()
+                    .map(|o| o.intercept - orientation_phase(&o.pose, w0)),
+            )
+            .unwrap_or(0.0);
+            let p0 = vec![cand[0], cand[1], cand[2], theta, phi, cand[3], bt0];
+            let (p, cost) = levenberg_marquardt(
+                &residual,
+                p0,
+                &steps,
+                config.max_iterations,
+                config.tolerance,
+            );
+            if inside(&p) && best_inside_cand.as_ref().map_or(true, |(_, c)| cost < *c) {
+                best_inside_cand = Some((p.clone(), cost));
+            }
+            if best_any.as_ref().map_or(true, |(_, c)| cost < *c) {
+                best_any = Some((p, cost));
+            }
+        }
+    }
+    let best_inside = best_inside_cand;
+
+    let (p, cost) = best_inside.or(best_any).expect("at least one start");
+    let mut dipole = dipole_from_angles(p[3], p[4]);
+    if dipole.z < 0.0 {
+        dipole = -dipole;
+    }
+    let n_res = 2 * observations.len();
+    Ok(TagEstimate3D {
+        position: Vec3::new(p[0], p[1], p[2]),
+        dipole,
+        kt: p[5],
+        bt: angle::wrap_tau(p[6]),
+        cost,
+        residual_rms: (cost / n_res as f64).sqrt(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{extract_observation, ExtractConfig};
+    use rfp_geom::Vec2;
+    use rfp_sim::{Motion, NoiseModel, ReaderConfig, Scene, SimTag};
+
+    fn observations_3d(
+        scene: &Scene,
+        position: Vec3,
+        dipole: Vec3,
+        seed: u64,
+    ) -> Vec<AntennaObservation> {
+        let tag = SimTag::nominal(1)
+            .with_motion(Motion::Static { position, dipole: dipole.normalized() });
+        let survey = scene.survey(&tag, seed);
+        scene
+            .antenna_poses()
+            .iter()
+            .zip(&survey.per_antenna)
+            .map(|(&p, r)| extract_observation(p, r, &ExtractConfig::paper()).unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn recovers_3d_position_clean() {
+        let scene = Scene::four_antenna_3d()
+            .with_noise(NoiseModel::clean())
+            .with_reader(ReaderConfig::ideal());
+        let truth = Vec3::new(0.3, 1.6, 0.7);
+        let dipole = Vec3::new(1.0, 0.2, 0.4).normalized();
+        let obs = observations_3d(&scene, truth, dipole, 1);
+        let est =
+            solve_3d(&obs, scene.region(), (0.0, 1.0), &Solver3DConfig::default()).unwrap();
+        let err_cm = est.position.distance(truth) * 100.0;
+        assert!(err_cm < 5.0, "3-D position error {err_cm} cm");
+        let axis_err = est.dipole_axis_error(dipole).to_degrees();
+        assert!(axis_err < 8.0, "dipole axis error {axis_err}°");
+    }
+
+    #[test]
+    fn recovers_3d_with_noise() {
+        // Four antennas are identifiable but have zero slope redundancy;
+        // the noisy evaluation uses the six-antenna deployment.
+        let scene = Scene::six_antenna_3d();
+        let truth = Vec3::new(0.8, 1.2, 0.4);
+        let dipole = Vec3::new(0.2, 0.5, 1.0).normalized();
+        let obs = observations_3d(&scene, truth, dipole, 2);
+        let est =
+            solve_3d(&obs, scene.region(), (0.0, 1.5), &Solver3DConfig::default()).unwrap();
+        let err_cm = est.position.distance(truth) * 100.0;
+        assert!(err_cm < 40.0, "noisy 3-D position error {err_cm} cm");
+    }
+
+    #[test]
+    fn dipole_canonicalized_upward() {
+        let scene = Scene::four_antenna_3d()
+            .with_noise(NoiseModel::clean())
+            .with_reader(ReaderConfig::ideal());
+        let truth = Vec3::new(0.5, 1.5, 0.5);
+        let dipole = Vec3::new(0.3, 0.1, -0.9).normalized(); // points down
+        let obs = observations_3d(&scene, truth, dipole, 3);
+        let est =
+            solve_3d(&obs, scene.region(), (0.0, 1.0), &Solver3DConfig::default()).unwrap();
+        assert!(est.dipole.z >= 0.0);
+        assert!(est.dipole_axis_error(dipole).to_degrees() < 10.0);
+    }
+
+    #[test]
+    fn three_antennas_insufficient() {
+        let scene = Scene::four_antenna_3d();
+        let obs = observations_3d(&scene, Vec3::new(0.5, 1.5, 0.5), Vec3::X, 4);
+        assert_eq!(
+            solve_3d(&obs[..3], scene.region(), (0.0, 1.0), &Solver3DConfig::default())
+                .unwrap_err(),
+            Solve3DError::TooFewAntennas { provided: 3 }
+        );
+    }
+
+    #[test]
+    fn region2_used_for_xy_box() {
+        let r = Region2::new(Vec2::new(0.0, 0.0), Vec2::new(1.0, 1.0));
+        assert!(r.contains(Vec2::new(0.5, 0.5)));
+    }
+}

@@ -1,0 +1,310 @@
+//! Tracking across sensing rounds (extension).
+//!
+//! RF-Prism senses one static window at a time; many applications
+//! (conveyor lines, pick-and-place, carts) want a *trajectory*. A
+//! constant-velocity Kalman filter over the per-round position estimates
+//! smooths the centimetre-level round noise and rides through rounds the
+//! error detector rejects (prediction only). State: `[x, y, vx, vy]`.
+
+use rfp_geom::Vec2;
+
+/// Tracker tuning.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrackerConfig {
+    /// Process noise: white acceleration std, m/s².
+    pub acceleration_std: f64,
+    /// Measurement noise: per-round position error std, metres
+    /// (≈ the deployment's localization accuracy).
+    pub measurement_std: f64,
+}
+
+impl Default for TrackerConfig {
+    fn default() -> Self {
+        TrackerConfig { acceleration_std: 0.005, measurement_std: 0.06 }
+    }
+}
+
+/// A constant-velocity Kalman tracker for one tag.
+///
+/// # Example
+///
+/// ```
+/// use rfp_core::tracking::{TagTracker, TrackerConfig};
+/// use rfp_geom::Vec2;
+///
+/// let mut tracker = TagTracker::new(TrackerConfig::default());
+/// tracker.observe(Vec2::new(0.00, 1.0), 0.0);
+/// tracker.observe(Vec2::new(0.11, 1.0), 10.0);
+/// tracker.observe(Vec2::new(0.19, 1.0), 20.0);
+/// let v = tracker.velocity().unwrap();
+/// assert!(v.x > 0.0 && v.x < 0.02); // ~1 cm/s belt
+/// ```
+#[derive(Debug, Clone)]
+pub struct TagTracker {
+    config: TrackerConfig,
+    /// `[x, y, vx, vy]` once initialized.
+    state: Option<[f64; 4]>,
+    /// Row-major 4×4 covariance.
+    cov: [[f64; 4]; 4],
+    last_time_s: f64,
+}
+
+impl TagTracker {
+    /// A tracker with the given tuning, awaiting its first observation.
+    pub fn new(config: TrackerConfig) -> Self {
+        TagTracker { config, state: None, cov: [[0.0; 4]; 4], last_time_s: 0.0 }
+    }
+
+    /// Whether the tracker has been initialized by an observation.
+    pub fn is_initialized(&self) -> bool {
+        self.state.is_some()
+    }
+
+    /// Current position estimate, if initialized.
+    pub fn position(&self) -> Option<Vec2> {
+        self.state.map(|s| Vec2::new(s[0], s[1]))
+    }
+
+    /// Current velocity estimate (m/s), if initialized.
+    pub fn velocity(&self) -> Option<Vec2> {
+        self.state.map(|s| Vec2::new(s[2], s[3]))
+    }
+
+    /// Advances the filter to `time_s` without a measurement (e.g. the
+    /// round was rejected by the error detector). No-op before
+    /// initialization.
+    pub fn predict_to(&mut self, time_s: f64) {
+        let Some(state) = self.state else { return };
+        let dt = (time_s - self.last_time_s).max(0.0);
+        if dt == 0.0 {
+            return;
+        }
+        // x' = F x
+        let predicted = [
+            state[0] + dt * state[2],
+            state[1] + dt * state[3],
+            state[2],
+            state[3],
+        ];
+        // P' = F P Fᵀ + Q (white-acceleration Q, per axis).
+        let f_mul = |m: &[[f64; 4]; 4]| {
+            let mut out = [[0.0; 4]; 4];
+            for c in 0..4 {
+                out[0][c] = m[0][c] + dt * m[2][c];
+                out[1][c] = m[1][c] + dt * m[3][c];
+                out[2][c] = m[2][c];
+                out[3][c] = m[3][c];
+            }
+            out
+        };
+        let p = f_mul(&self.cov);
+        // (F P) Fᵀ — same operation on columns.
+        let mut pf = [[0.0; 4]; 4];
+        for r in 0..4 {
+            pf[r][0] = p[r][0] + dt * p[r][2];
+            pf[r][1] = p[r][1] + dt * p[r][3];
+            pf[r][2] = p[r][2];
+            pf[r][3] = p[r][3];
+        }
+        let q = self.config.acceleration_std * self.config.acceleration_std;
+        let (dt2, dt3, dt4) = (dt * dt, dt * dt * dt, dt * dt * dt * dt);
+        for axis in 0..2 {
+            let (i, j) = (axis, axis + 2);
+            pf[i][i] += q * dt4 / 4.0;
+            pf[i][j] += q * dt3 / 2.0;
+            pf[j][i] += q * dt3 / 2.0;
+            pf[j][j] += q * dt2;
+        }
+        self.cov = pf;
+        self.state = Some(predicted);
+        self.last_time_s = time_s;
+    }
+
+    /// Feeds one per-round position estimate taken at `time_s`.
+    ///
+    /// Returns the filtered position.
+    pub fn observe(&mut self, measurement: Vec2, time_s: f64) -> Vec2 {
+        match self.state {
+            None => {
+                let r = self.config.measurement_std * self.config.measurement_std;
+                self.state = Some([measurement.x, measurement.y, 0.0, 0.0]);
+                self.cov = [[0.0; 4]; 4];
+                self.cov[0][0] = r;
+                self.cov[1][1] = r;
+                self.cov[2][2] = 0.25; // generous initial velocity uncertainty
+                self.cov[3][3] = 0.25;
+                self.last_time_s = time_s;
+                measurement
+            }
+            Some(_) => {
+                self.predict_to(time_s);
+                let state = self.state.expect("initialized");
+                let r = self.config.measurement_std * self.config.measurement_std;
+                // Measurement H = [I2 0]; innovation per axis pair.
+                let y = [measurement.x - state[0], measurement.y - state[1]];
+                // S = H P Hᵀ + R (2×2), K = P Hᵀ S⁻¹ (4×2).
+                let s00 = self.cov[0][0] + r;
+                let s01 = self.cov[0][1];
+                let s10 = self.cov[1][0];
+                let s11 = self.cov[1][1] + r;
+                let det = s00 * s11 - s01 * s10;
+                let inv = [[s11 / det, -s01 / det], [-s10 / det, s00 / det]];
+                let mut k = [[0.0; 2]; 4];
+                for row in 0..4 {
+                    let ph = [self.cov[row][0], self.cov[row][1]];
+                    k[row][0] = ph[0] * inv[0][0] + ph[1] * inv[1][0];
+                    k[row][1] = ph[0] * inv[0][1] + ph[1] * inv[1][1];
+                }
+                let mut new_state = state;
+                for row in 0..4 {
+                    new_state[row] += k[row][0] * y[0] + k[row][1] * y[1];
+                }
+                // P = (I − K H) P.
+                let mut new_cov = [[0.0; 4]; 4];
+                for rrow in 0..4 {
+                    for c in 0..4 {
+                        let kh = k[rrow][0] * self.cov[0][c] + k[rrow][1] * self.cov[1][c];
+                        new_cov[rrow][c] = self.cov[rrow][c] - kh;
+                    }
+                }
+                self.state = Some(new_state);
+                self.cov = new_cov;
+                Vec2::new(new_state[0], new_state[1])
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn starts_uninitialized_then_tracks() {
+        let mut t = TagTracker::new(TrackerConfig::default());
+        assert!(!t.is_initialized());
+        assert_eq!(t.position(), None);
+        t.observe(Vec2::new(1.0, 2.0), 0.0);
+        assert!(t.is_initialized());
+        assert_eq!(t.position(), Some(Vec2::new(1.0, 2.0)));
+    }
+
+    #[test]
+    fn smooths_noisy_linear_trajectory() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let cfg = TrackerConfig { acceleration_std: 0.0002, measurement_std: 0.06 };
+        let mut t = TagTracker::new(cfg);
+        let v = Vec2::new(0.015, -0.008); // 1.7 cm/s cart
+        let mut raw_err = 0.0;
+        let mut filt_err = 0.0;
+        let mut n = 0.0;
+        for round in 0..40 {
+            let time = round as f64 * 10.0;
+            let truth = Vec2::new(0.0, 2.0) + v * time;
+            let noise = Vec2::new(rng.gen_range(-0.1..0.1), rng.gen_range(-0.1..0.1));
+            let filtered = t.observe(truth + noise, time);
+            if round >= 10 {
+                raw_err += noise.norm();
+                filt_err += filtered.distance(truth);
+                n += 1.0;
+            }
+        }
+        assert!(
+            filt_err / n < 0.7 * (raw_err / n),
+            "filter must beat raw: {} vs {}",
+            filt_err / n,
+            raw_err / n
+        );
+        let vel = t.velocity().unwrap();
+        assert!(vel.distance(v) < 0.01, "velocity {vel} vs truth {v}");
+    }
+
+    #[test]
+    fn prediction_bridges_rejected_rounds() {
+        let cfg = TrackerConfig { acceleration_std: 0.001, measurement_std: 0.02 };
+        let mut t = TagTracker::new(cfg);
+        // Learn the velocity from clean rounds.
+        for round in 0..10 {
+            let time = round as f64 * 10.0;
+            t.observe(Vec2::new(0.02 * time, 1.0), time);
+        }
+        // Three rejected rounds: predict only.
+        t.predict_to(120.0);
+        let predicted = t.position().unwrap();
+        assert!((predicted.x - 2.4).abs() < 0.1, "predicted {predicted}");
+        assert!((predicted.y - 1.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn stationary_tag_velocity_near_zero() {
+        let mut t = TagTracker::new(TrackerConfig::default());
+        for round in 0..20 {
+            t.observe(Vec2::new(0.5, 1.5), round as f64 * 10.0);
+        }
+        let v = t.velocity().unwrap();
+        assert!(v.norm() < 1e-6, "velocity {v}");
+    }
+
+    #[test]
+    fn predict_before_init_is_noop() {
+        let mut t = TagTracker::new(TrackerConfig::default());
+        t.predict_to(100.0);
+        assert!(!t.is_initialized());
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// The covariance stays symmetric and positive on the diagonal no
+        /// matter what observation sequence arrives.
+        #[test]
+        fn covariance_stays_well_formed(
+            steps in proptest::collection::vec(
+                (-5.0f64..5.0, -5.0f64..5.0, 0.1f64..30.0), 1..25,
+            ),
+        ) {
+            let mut t = TagTracker::new(TrackerConfig::default());
+            let mut time = 0.0;
+            for (x, y, dt) in steps {
+                time += dt;
+                t.observe(Vec2::new(x, y), time);
+                for i in 0..4 {
+                    prop_assert!(t.cov[i][i] >= -1e-12, "negative variance");
+                    for j in 0..4 {
+                        prop_assert!(
+                            (t.cov[i][j] - t.cov[j][i]).abs() < 1e-9,
+                            "asymmetric covariance"
+                        );
+                    }
+                }
+                let p = t.position().unwrap();
+                prop_assert!(p.is_finite());
+            }
+        }
+
+        /// The filtered position always lies between the prediction and the
+        /// measurement (a convex combination for this observation model).
+        #[test]
+        fn update_moves_toward_measurement(
+            mx in -3.0f64..3.0,
+            my in -3.0f64..3.0,
+        ) {
+            let mut t = TagTracker::new(TrackerConfig::default());
+            t.observe(Vec2::ZERO, 0.0);
+            t.observe(Vec2::ZERO, 10.0);
+            let before = t.position().unwrap();
+            let filtered = t.observe(Vec2::new(mx, my), 20.0);
+            let m = Vec2::new(mx, my);
+            // Distance to the measurement must not grow.
+            prop_assert!(filtered.distance(m) <= before.distance(m) + 1e-9);
+        }
+    }
+}

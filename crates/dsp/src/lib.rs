@@ -1,0 +1,46 @@
+//! Signal pre-processing and robust fitting for RF-Prism.
+//!
+//! This crate implements the paper's *signal pre-processing module*
+//! (Section III) and the estimation primitives used by the disentangler:
+//!
+//! * [`preprocess`] — turning raw per-read reader reports into one clean
+//!   unwrapped phase per channel: π-jump correction (COTS readers flip the
+//!   reported phase by π at random), circular per-channel averaging, and
+//!   2π unwrapping across channels.
+//! * [`linfit`] — ordinary/weighted least-squares and Theil–Sen line fits
+//!   with goodness-of-fit diagnostics. Linear fitting is the workhorse of
+//!   the whole system: the multi-frequency model (paper Eq. 6) reduces each
+//!   antenna's observation to the slope and intercept of a line.
+//! * [`robust`] — iterative outlier-channel rejection, the paper's
+//!   *multipath suppression* (Section V-D): when a minority of channels is
+//!   corrupted by frequency-selective multipath, drop them and keep the
+//!   "clean" line.
+//! * [`stats`] — small statistics helpers (mean, std, median, MAD,
+//!   percentiles, empirical CDFs) shared by the solver and the experiment
+//!   harness.
+//!
+//! # Example: from noisy wrapped samples to a fitted line
+//!
+//! ```
+//! use rfp_dsp::linfit::ols;
+//! use rfp_geom::angle;
+//!
+//! // Wrapped phase samples of a steep line.
+//! let xs: Vec<f64> = (0..50).map(|i| i as f64).collect();
+//! let wrapped: Vec<f64> = xs.iter().map(|x| angle::wrap_tau(0.9 * x + 1.0)).collect();
+//! let unwrapped = angle::unwrapped(&wrapped);
+//! let fit = ols(&xs, &unwrapped).unwrap();
+//! assert!((fit.slope - 0.9).abs() < 1e-9);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod linfit;
+pub mod preprocess;
+pub mod robust;
+pub mod stats;
+
+pub use linfit::{ols, weighted_ols, LineFit};
+pub use preprocess::{preprocess_reads, ChannelObservation, PreprocessConfig, RawRead};
+pub use robust::{huber_line_fit, robust_line_fit, RobustFit, RobustFitConfig};

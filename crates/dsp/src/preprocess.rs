@@ -1,0 +1,335 @@
+//! Raw-read pre-processing: π-jump correction, per-channel aggregation and
+//! cross-channel unwrapping.
+//!
+//! A COTS reader reports, for every successful inventory of a tag, the
+//! channel it was read on, a phase in `[0, 2π)` and an RSSI. Three artifacts
+//! must be repaired before the readings can be fitted to a line
+//! (the paper's *signal pre-processing module*):
+//!
+//! 1. **π jumps** — ImpinJ-class readers resolve the backscatter phase only
+//!    up to π; a random half of the reads come back shifted by exactly π.
+//!    Within one channel the true phase is constant, so the reads form two
+//!    antipodal clusters. We recover the channel phase with the
+//!    double-angle trick (doubling maps both clusters onto one), then pick
+//!    the cluster that holds the **majority** of reads to resolve which of
+//!    `θ` / `θ+π` is the true value. This keeps the *absolute* phase
+//!    correct, which matters because the line intercept carries the
+//!    orientation information.
+//! 2. **Per-channel noise** — multiple reads per 200 ms dwell are averaged
+//!    (circularly) to beat down thermal phase noise.
+//! 3. **2π folding** — across channels the phase walks many turns; standard
+//!    unwrapping restores a continuous line (channel spacing is 500 kHz, so
+//!    the true inter-channel increment is ≪ π for any realistic geometry).
+
+use rfp_geom::angle;
+
+/// One raw read report from the reader.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RawRead {
+    /// Channel index into the session's frequency plan.
+    pub channel: usize,
+    /// Centre frequency of that channel, Hz.
+    pub frequency_hz: f64,
+    /// Reported phase, wrapped into `[0, 2π)` (may contain a π jump).
+    pub phase: f64,
+    /// Reported RSSI, dBm.
+    pub rssi_dbm: f64,
+    /// Read timestamp, seconds since the start of the hop sequence.
+    pub timestamp_s: f64,
+}
+
+/// Aggregated, corrected observation for one channel.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChannelObservation {
+    /// Channel index.
+    pub channel: usize,
+    /// Centre frequency, Hz.
+    pub frequency_hz: f64,
+    /// Unwrapped phase (continuous across channels), radians.
+    pub phase: f64,
+    /// Mean RSSI over the channel's reads, dBm.
+    pub rssi_dbm: f64,
+    /// Number of raw reads aggregated.
+    pub read_count: usize,
+    /// Circular spread of the (π-corrected) reads, radians — a per-channel
+    /// quality indicator.
+    pub phase_spread: f64,
+}
+
+/// Configuration for [`preprocess_reads`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PreprocessConfig {
+    /// Whether to run π-jump correction (on for COTS-reader data).
+    pub correct_pi_jumps: bool,
+    /// Channels with fewer reads than this are dropped.
+    pub min_reads_per_channel: usize,
+}
+
+impl Default for PreprocessConfig {
+    fn default() -> Self {
+        PreprocessConfig { correct_pi_jumps: true, min_reads_per_channel: 1 }
+    }
+}
+
+/// Errors from [`preprocess_reads`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PreprocessError {
+    /// No channel had enough reads.
+    NoUsableChannels,
+}
+
+impl std::fmt::Display for PreprocessError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PreprocessError::NoUsableChannels => {
+                write!(f, "no channel had enough reads to aggregate")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PreprocessError {}
+
+/// Runs the full pre-processing pipeline on one antenna's raw reads and
+/// returns per-channel observations sorted by frequency, with phases
+/// unwrapped across channels.
+///
+/// # Errors
+///
+/// Returns [`PreprocessError::NoUsableChannels`] when every channel has
+/// fewer than `config.min_reads_per_channel` reads.
+///
+/// # Example
+///
+/// ```
+/// use rfp_dsp::preprocess::{preprocess_reads, PreprocessConfig, RawRead};
+///
+/// let reads = vec![
+///     RawRead { channel: 0, frequency_hz: 902.75e6, phase: 1.0, rssi_dbm: -50.0, timestamp_s: 0.0 },
+///     RawRead { channel: 0, frequency_hz: 902.75e6, phase: 1.0 + std::f64::consts::PI, rssi_dbm: -50.0, timestamp_s: 0.01 },
+///     RawRead { channel: 0, frequency_hz: 902.75e6, phase: 1.02, rssi_dbm: -50.0, timestamp_s: 0.02 },
+///     RawRead { channel: 1, frequency_hz: 903.25e6, phase: 1.06, rssi_dbm: -50.0, timestamp_s: 0.2 },
+/// ];
+/// let obs = preprocess_reads(&reads, &PreprocessConfig::default())?;
+/// assert_eq!(obs.len(), 2);
+/// // The π-jumped read was folded back onto the majority cluster:
+/// assert!((obs[0].phase - 1.0).abs() < 0.05);
+/// # Ok::<(), rfp_dsp::preprocess::PreprocessError>(())
+/// ```
+pub fn preprocess_reads(
+    reads: &[RawRead],
+    config: &PreprocessConfig,
+) -> Result<Vec<ChannelObservation>, PreprocessError> {
+    // Group by channel, preserving per-channel read order.
+    let mut by_channel: std::collections::BTreeMap<usize, Vec<&RawRead>> =
+        std::collections::BTreeMap::new();
+    for r in reads {
+        by_channel.entry(r.channel).or_default().push(r);
+    }
+
+    let mut observations = Vec::with_capacity(by_channel.len());
+    let mut per_channel_reads: Vec<Vec<f64>> = Vec::with_capacity(by_channel.len());
+    for (channel, reads) in by_channel {
+        if reads.len() < config.min_reads_per_channel.max(1) {
+            continue;
+        }
+        let phases: Vec<f64> = reads.iter().map(|r| r.phase).collect();
+        let (phase, spread) = if config.correct_pi_jumps {
+            channel_axis(&phases)
+        } else {
+            let mean = angle::circular_mean(phases.iter().copied()).unwrap_or(phases[0]);
+            let spread = angle::circular_std(phases.iter().copied()).unwrap_or(0.0);
+            (mean, spread)
+        };
+        let rssi = reads.iter().map(|r| r.rssi_dbm).sum::<f64>() / reads.len() as f64;
+        observations.push(ChannelObservation {
+            channel,
+            frequency_hz: reads[0].frequency_hz,
+            phase: angle::wrap_tau(phase),
+            rssi_dbm: rssi,
+            read_count: reads.len(),
+            phase_spread: spread,
+        });
+        per_channel_reads.push(phases);
+    }
+    if observations.is_empty() {
+        return Err(PreprocessError::NoUsableChannels);
+    }
+
+    // Sort ascending in frequency (keeping the raw reads aligned).
+    let mut order: Vec<usize> = (0..observations.len()).collect();
+    order.sort_by(|&a, &b| {
+        observations[a]
+            .frequency_hz
+            .partial_cmp(&observations[b].frequency_hz)
+            .expect("finite frequencies")
+    });
+    let mut sorted_obs: Vec<ChannelObservation> =
+        order.iter().map(|&i| observations[i]).collect();
+    let sorted_reads: Vec<&Vec<f64>> =
+        order.iter().map(|&i| &per_channel_reads[i]).collect();
+
+    let mut phases: Vec<f64> = sorted_obs.iter().map(|o| o.phase).collect();
+    if config.correct_pi_jumps {
+        // The per-channel axes are only known modulo π: unwrap them with
+        // period π into a continuous curve, then resolve the single global
+        // π ambiguity by a majority vote over *every* raw read (far more
+        // robust than voting channel by channel).
+        angle::unwrap_in_place_period(&mut phases, std::f64::consts::PI);
+        let mut votes_axis = 0usize;
+        let mut votes_total = 0usize;
+        for (axis, reads) in phases.iter().zip(&sorted_reads) {
+            for &p in reads.iter() {
+                votes_total += 1;
+                if angle::distance(p, *axis) <= std::f64::consts::FRAC_PI_2 {
+                    votes_axis += 1;
+                }
+            }
+        }
+        if 2 * votes_axis < votes_total {
+            for p in &mut phases {
+                *p += std::f64::consts::PI;
+            }
+        }
+    } else {
+        angle::unwrap_in_place(&mut phases);
+    }
+    for (o, p) in sorted_obs.iter_mut().zip(phases) {
+        o.phase = p;
+    }
+    Ok(sorted_obs)
+}
+
+/// Estimates a channel's phase *axis* (the true phase modulo π) from reads
+/// that may each be π-jumped, plus the circular spread of the reads after
+/// folding onto the axis.
+///
+/// The double-angle trick maps both antipodal read clusters onto one:
+/// `circular_mean(2p) / 2` is insensitive to π jumps. Which of
+/// `axis` / `axis + π` is the true phase is decided globally in
+/// [`preprocess_reads`].
+fn channel_axis(phases: &[f64]) -> (f64, f64) {
+    debug_assert!(!phases.is_empty());
+    let doubled_mean = angle::circular_mean(phases.iter().map(|&p| 2.0 * p))
+        .unwrap_or(2.0 * phases[0]);
+    let axis = doubled_mean / 2.0;
+    // Fold every read onto the axis cluster and measure the spread there.
+    let folded: Vec<f64> = phases
+        .iter()
+        .map(|&p| {
+            if angle::distance(p, axis) <= std::f64::consts::FRAC_PI_2 {
+                p
+            } else {
+                p + std::f64::consts::PI
+            }
+        })
+        .collect();
+    let spread = angle::circular_std(folded.iter().copied()).unwrap_or(0.0);
+    (axis, spread)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::PI;
+
+    fn read(channel: usize, phase: f64) -> RawRead {
+        RawRead {
+            channel,
+            frequency_hz: 902.75e6 + channel as f64 * 0.5e6,
+            phase: angle::wrap_tau(phase),
+            rssi_dbm: -55.0,
+            timestamp_s: channel as f64 * 0.2,
+        }
+    }
+
+    #[test]
+    fn aggregates_per_channel() {
+        let reads = vec![read(0, 1.0), read(0, 1.1), read(1, 1.2), read(1, 1.3)];
+        let obs = preprocess_reads(&reads, &PreprocessConfig::default()).unwrap();
+        assert_eq!(obs.len(), 2);
+        assert_eq!(obs[0].read_count, 2);
+        assert!((obs[0].phase - 1.05).abs() < 1e-9);
+        assert_eq!(obs[0].channel, 0);
+        assert!((obs[0].rssi_dbm + 55.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pi_jump_minority_is_folded_back() {
+        // 5 reads, 2 jumped by π: the majority cluster must win.
+        let reads = vec![
+            read(0, 0.5),
+            read(0, 0.52),
+            read(0, 0.5 + PI),
+            read(0, 0.48),
+            read(0, 0.51 + PI),
+        ];
+        let obs = preprocess_reads(&reads, &PreprocessConfig::default()).unwrap();
+        assert!((obs[0].phase - 0.5).abs() < 0.05, "phase={}", obs[0].phase);
+        assert!(obs[0].phase_spread < 0.1);
+    }
+
+    #[test]
+    fn pi_jump_near_wrap_boundary() {
+        // True phase near 0; jumped reads near π. Wrapping must not confuse
+        // the vote.
+        let reads = vec![read(0, 0.02), read(0, -0.03), read(0, 0.01 + PI)];
+        let obs = preprocess_reads(&reads, &PreprocessConfig::default()).unwrap();
+        assert!(
+            angle::distance(obs[0].phase, 0.0) < 0.05,
+            "phase={}",
+            obs[0].phase
+        );
+    }
+
+    #[test]
+    fn unwraps_across_channels() {
+        // Steep line: 1.1 rad per channel, wraps several times over 20 channels.
+        let true_line = |c: usize| 0.3 + 1.1 * c as f64;
+        let reads: Vec<RawRead> = (0..20).map(|c| read(c, true_line(c))).collect();
+        let obs = preprocess_reads(&reads, &PreprocessConfig::default()).unwrap();
+        for w in obs.windows(2) {
+            assert!(
+                ((w[1].phase - w[0].phase) - 1.1).abs() < 1e-6,
+                "increment {}",
+                w[1].phase - w[0].phase
+            );
+        }
+    }
+
+    #[test]
+    fn min_reads_filter_drops_thin_channels() {
+        let reads = vec![read(0, 1.0), read(0, 1.0), read(1, 2.0)];
+        let cfg = PreprocessConfig { min_reads_per_channel: 2, ..Default::default() };
+        let obs = preprocess_reads(&reads, &cfg).unwrap();
+        assert_eq!(obs.len(), 1);
+        assert_eq!(obs[0].channel, 0);
+    }
+
+    #[test]
+    fn empty_input_errors() {
+        assert_eq!(
+            preprocess_reads(&[], &PreprocessConfig::default()).unwrap_err(),
+            PreprocessError::NoUsableChannels
+        );
+    }
+
+    #[test]
+    fn correction_can_be_disabled() {
+        let reads = vec![read(0, 0.5), read(0, 0.5 + PI)];
+        let cfg = PreprocessConfig { correct_pi_jumps: false, ..Default::default() };
+        // With correction off the two antipodal reads average to something
+        // near the midpoint (circular mean undefined-ish); just check we get
+        // an observation and do not crash.
+        let obs = preprocess_reads(&reads, &cfg).unwrap();
+        assert_eq!(obs[0].read_count, 2);
+    }
+
+    #[test]
+    fn channels_sorted_by_frequency() {
+        let reads = vec![read(5, 1.0), read(1, 0.5), read(3, 0.7)];
+        let obs = preprocess_reads(&reads, &PreprocessConfig::default()).unwrap();
+        let freqs: Vec<f64> = obs.iter().map(|o| o.frequency_hz).collect();
+        assert!(freqs.windows(2).all(|w| w[1] > w[0]));
+    }
+}

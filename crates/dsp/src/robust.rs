@@ -1,0 +1,305 @@
+//! Robust line fitting with outlier-channel rejection — the paper's
+//! multipath suppression (Section V-D).
+//!
+//! In a multipath environment the phase readings at different channels
+//! suffer different superpositions of the reflected paths. As long as the
+//! line-of-sight path dominates, *most* channels still lie on the ideal
+//! line while a minority deviate strongly. The paper's insight: 50 channels
+//! are far more than a line fit needs, so detect the deviating channels as
+//! outliers and fit on the clean remainder.
+//!
+//! Algorithm: seed with a Theil–Sen fit (robust to ≲29 % corruption),
+//! compute residuals, estimate their scale with the MAD, drop points whose
+//! residual exceeds `threshold × scale`, refit with OLS, and iterate until
+//! the inlier set stabilizes. A floor on the scale prevents the rejection
+//! from eating legitimate noise when the data is already clean.
+
+use crate::linfit::{self, FitError, LineFit};
+use crate::stats;
+
+/// Configuration for [`robust_line_fit`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RobustFitConfig {
+    /// Residuals beyond `threshold × scale` are outliers (default 2.5).
+    pub threshold: f64,
+    /// Lower bound on the residual scale, radians — protects clean data
+    /// from over-rejection (default 0.012, a few× the per-channel phase
+    /// noise of the paper-like reader configuration).
+    pub scale_floor: f64,
+    /// Maximum reject-refit iterations (default 5).
+    pub max_iterations: usize,
+    /// Never drop below this fraction of the points (default 0.5).
+    pub min_inlier_fraction: f64,
+}
+
+impl Default for RobustFitConfig {
+    fn default() -> Self {
+        RobustFitConfig {
+            threshold: 2.5,
+            scale_floor: 0.012,
+            max_iterations: 5,
+            min_inlier_fraction: 0.5,
+        }
+    }
+}
+
+/// Result of a robust fit: the final OLS fit on the inliers plus the mask of
+/// points that survived.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RobustFit {
+    /// Final fit computed on the inlier subset.
+    pub fit: LineFit,
+    /// `true` for points kept as inliers (same order as the input).
+    pub inliers: Vec<bool>,
+    /// Number of reject-refit iterations performed.
+    pub iterations: usize,
+}
+
+impl RobustFit {
+    /// Number of inlier points.
+    pub fn inlier_count(&self) -> usize {
+        self.inliers.iter().filter(|&&b| b).count()
+    }
+
+    /// Fraction of points kept.
+    pub fn inlier_fraction(&self) -> f64 {
+        self.inlier_count() as f64 / self.inliers.len() as f64
+    }
+}
+
+/// Robust straight-line fit with iterative outlier rejection.
+///
+/// # Errors
+///
+/// Returns [`FitError`] if the initial Theil–Sen fit cannot be computed
+/// (fewer than two points, mismatched lengths, degenerate x).
+///
+/// # Example
+///
+/// ```
+/// use rfp_dsp::robust::{robust_line_fit, RobustFitConfig};
+/// let xs: Vec<f64> = (0..50).map(|i| i as f64).collect();
+/// let mut ys: Vec<f64> = xs.iter().map(|x| 0.2 * x + 1.0).collect();
+/// ys[7] += 2.0; // one multipath-corrupted channel
+/// let r = robust_line_fit(&xs, &ys, &RobustFitConfig::default())?;
+/// assert!(!r.inliers[7]);
+/// assert!((r.fit.slope - 0.2).abs() < 1e-9);
+/// # Ok::<(), rfp_dsp::linfit::FitError>(())
+/// ```
+pub fn robust_line_fit(
+    xs: &[f64],
+    ys: &[f64],
+    config: &RobustFitConfig,
+) -> Result<RobustFit, FitError> {
+    let mut current = linfit::theil_sen(xs, ys)?;
+    let n = xs.len();
+    let min_inliers = ((n as f64 * config.min_inlier_fraction).ceil() as usize).max(2);
+    let mut inliers = vec![true; n];
+    let mut iterations = 0;
+
+    for _ in 0..config.max_iterations {
+        iterations += 1;
+        let residuals: Vec<f64> =
+            xs.iter().zip(ys).map(|(&x, &y)| y - current.predict(x)).collect();
+        let abs_res: Vec<f64> = residuals.iter().map(|r| r.abs()).collect();
+        let scale = (stats::mad(&residuals).unwrap_or(0.0) * stats::MAD_TO_SIGMA)
+            .max(config.scale_floor);
+        let cutoff = config.threshold * scale;
+
+        // Rank points by residual so we can respect the inlier floor even if
+        // many points exceed the cutoff.
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by(|&a, &b| abs_res[a].partial_cmp(&abs_res[b]).expect("finite"));
+        let mut new_inliers = vec![false; n];
+        for (rank, &idx) in order.iter().enumerate() {
+            if rank < min_inliers || abs_res[idx] <= cutoff {
+                new_inliers[idx] = true;
+            }
+        }
+
+        let (sub_x, sub_y): (Vec<f64>, Vec<f64>) = xs
+            .iter()
+            .zip(ys)
+            .zip(&new_inliers)
+            .filter(|(_, &keep)| keep)
+            .map(|((&x, &y), _)| (x, y))
+            .unzip();
+        let refit = linfit::ols(&sub_x, &sub_y)?;
+
+        let converged = new_inliers == inliers;
+        inliers = new_inliers;
+        current = refit;
+        if converged {
+            break;
+        }
+    }
+
+    Ok(RobustFit { fit: current, inliers, iterations })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line(xs: &[f64], slope: f64, intercept: f64) -> Vec<f64> {
+        xs.iter().map(|x| slope * x + intercept).collect()
+    }
+
+    #[test]
+    fn clean_data_keeps_everything() {
+        let xs: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        let ys = line(&xs, 0.13, -2.0);
+        let r = robust_line_fit(&xs, &ys, &RobustFitConfig::default()).unwrap();
+        assert_eq!(r.inlier_count(), 50);
+        assert!((r.fit.slope - 0.13).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_multipath_like_outliers() {
+        let xs: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        let mut ys = line(&xs, 0.1, 0.5);
+        let corrupted = [3usize, 11, 24, 25, 40, 41, 42];
+        for &i in &corrupted {
+            ys[i] += if i % 2 == 0 { 1.5 } else { -2.2 };
+        }
+        let r = robust_line_fit(&xs, &ys, &RobustFitConfig::default()).unwrap();
+        for &i in &corrupted {
+            assert!(!r.inliers[i], "channel {i} should be rejected");
+        }
+        assert!((r.fit.slope - 0.1).abs() < 1e-9);
+        assert!((r.fit.intercept - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn respects_min_inlier_fraction() {
+        // Half the channels corrupted consistently: the fit cannot drop
+        // below the floor.
+        let xs: Vec<f64> = (0..20).map(|i| i as f64).collect();
+        let mut ys = line(&xs, 0.2, 0.0);
+        for i in 0..10 {
+            ys[i * 2] += 5.0;
+        }
+        let cfg = RobustFitConfig { min_inlier_fraction: 0.6, ..Default::default() };
+        let r = robust_line_fit(&xs, &ys, &cfg).unwrap();
+        assert!(r.inlier_fraction() >= 0.6 - 1e-12);
+    }
+
+    #[test]
+    fn scale_floor_prevents_overrejection_of_noise() {
+        // Small Gaussian-ish noise, no outliers: with a sane floor nothing
+        // should be rejected.
+        let xs: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .enumerate()
+            .map(|(i, x)| 0.1 * x + 0.01 * ((i * 7919 % 13) as f64 - 6.0) / 6.0)
+            .collect();
+        let r = robust_line_fit(&xs, &ys, &RobustFitConfig::default()).unwrap();
+        assert_eq!(r.inlier_count(), 50);
+    }
+
+    #[test]
+    fn propagates_fit_errors() {
+        assert!(robust_line_fit(&[1.0], &[1.0], &RobustFitConfig::default()).is_err());
+    }
+
+    #[test]
+    fn iterations_bounded() {
+        let xs: Vec<f64> = (0..30).map(|i| i as f64).collect();
+        let ys = line(&xs, 1.0, 0.0);
+        let cfg = RobustFitConfig { max_iterations: 3, ..Default::default() };
+        let r = robust_line_fit(&xs, &ys, &cfg).unwrap();
+        assert!(r.iterations <= 3);
+    }
+}
+
+/// Huber IRLS line fit: a soft alternative to hard outlier rejection.
+///
+/// Iteratively reweighted least squares with Huber weights
+/// `w = min(1, delta / |r|)`: residuals below `delta` count fully,
+/// larger ones are down-weighted proportionally instead of being dropped.
+/// Softer than [`robust_line_fit`] — it never zeroes a channel, so a
+/// *sharp* outlier still leaks a little bias, but smooth heavy-tailed
+/// noise is handled more gracefully.
+///
+/// # Errors
+///
+/// Propagates [`FitError`] from the underlying weighted fits.
+///
+/// # Example
+///
+/// ```
+/// use rfp_dsp::robust::huber_line_fit;
+/// let xs: Vec<f64> = (0..50).map(|i| i as f64).collect();
+/// let mut ys: Vec<f64> = xs.iter().map(|x| 0.3 * x - 1.0).collect();
+/// ys[10] += 5.0;
+/// let fit = huber_line_fit(&xs, &ys, 0.05, 10)?;
+/// assert!((fit.slope - 0.3).abs() < 0.01);
+/// # Ok::<(), rfp_dsp::linfit::FitError>(())
+/// ```
+pub fn huber_line_fit(
+    xs: &[f64],
+    ys: &[f64],
+    delta: f64,
+    iterations: usize,
+) -> Result<LineFit, FitError> {
+    let mut fit = linfit::ols(xs, ys)?;
+    for _ in 0..iterations {
+        let weights: Vec<f64> = xs
+            .iter()
+            .zip(ys)
+            .map(|(&x, &y)| {
+                let r = (y - fit.predict(x)).abs();
+                if r <= delta {
+                    1.0
+                } else {
+                    delta / r
+                }
+            })
+            .collect();
+        let next = linfit::weighted_ols(xs, ys, &weights)?;
+        let converged = (next.slope - fit.slope).abs() < 1e-15
+            && (next.intercept - fit.intercept).abs() < 1e-12;
+        fit = next;
+        if converged {
+            break;
+        }
+    }
+    Ok(fit)
+}
+
+#[cfg(test)]
+mod huber_tests {
+    use super::*;
+
+    #[test]
+    fn matches_ols_on_clean_data() {
+        let xs: Vec<f64> = (0..30).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| -0.2 * x + 3.0).collect();
+        let h = huber_line_fit(&xs, &ys, 0.05, 10).unwrap();
+        assert!((h.slope + 0.2).abs() < 1e-12);
+        assert!((h.intercept - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn downweights_spikes() {
+        let xs: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        let mut ys: Vec<f64> = xs.iter().map(|x| 0.1 * x).collect();
+        for &i in &[5usize, 30, 44] {
+            ys[i] -= 3.0;
+        }
+        let ols_fit = linfit::ols(&xs, &ys).unwrap();
+        let h = huber_line_fit(&xs, &ys, 0.05, 15).unwrap();
+        assert!(
+            (h.slope - 0.1).abs() < (ols_fit.slope - 0.1).abs() / 3.0,
+            "huber {} vs ols {}",
+            h.slope,
+            ols_fit.slope
+        );
+    }
+
+    #[test]
+    fn propagates_errors() {
+        assert!(huber_line_fit(&[1.0], &[1.0], 0.1, 5).is_err());
+    }
+}

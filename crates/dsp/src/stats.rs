@@ -1,0 +1,171 @@
+//! Small statistics helpers.
+//!
+//! Used by the robust fitting routines (median/MAD), by the solver's
+//! diagnostics and by the experiment harness (means, percentiles, empirical
+//! CDFs for the paper's Figures 14–16).
+
+/// Arithmetic mean. Returns `None` for an empty slice.
+pub fn mean(xs: &[f64]) -> Option<f64> {
+    if xs.is_empty() {
+        None
+    } else {
+        Some(xs.iter().sum::<f64>() / xs.len() as f64)
+    }
+}
+
+/// Population variance. Returns `None` for an empty slice.
+pub fn variance(xs: &[f64]) -> Option<f64> {
+    let m = mean(xs)?;
+    Some(xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64)
+}
+
+/// Population standard deviation. Returns `None` for an empty slice.
+pub fn std_dev(xs: &[f64]) -> Option<f64> {
+    variance(xs).map(f64::sqrt)
+}
+
+/// Median (average of the two central order statistics for even length).
+/// Returns `None` for an empty slice.
+pub fn median(xs: &[f64]) -> Option<f64> {
+    if xs.is_empty() {
+        return None;
+    }
+    let mut v = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("NaN in median input"));
+    let n = v.len();
+    Some(if n % 2 == 1 { v[n / 2] } else { (v[n / 2 - 1] + v[n / 2]) / 2.0 })
+}
+
+/// Median absolute deviation from the median (raw MAD, not scaled to σ).
+/// Returns `None` for an empty slice.
+pub fn mad(xs: &[f64]) -> Option<f64> {
+    let m = median(xs)?;
+    let dev: Vec<f64> = xs.iter().map(|x| (x - m).abs()).collect();
+    median(&dev)
+}
+
+/// Consistency factor that scales a Gaussian sample's MAD to its σ.
+pub const MAD_TO_SIGMA: f64 = 1.4826;
+
+/// Linear-interpolated percentile, `p ∈ [0, 100]`.
+/// Returns `None` for an empty slice.
+///
+/// # Panics
+///
+/// Panics if `p` is outside `[0, 100]`.
+pub fn percentile(xs: &[f64], p: f64) -> Option<f64> {
+    assert!((0.0..=100.0).contains(&p), "percentile {p} out of range");
+    if xs.is_empty() {
+        return None;
+    }
+    let mut v = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("NaN in percentile input"));
+    let rank = p / 100.0 * (v.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    let frac = rank - lo as f64;
+    Some(v[lo] * (1.0 - frac) + v[hi] * frac)
+}
+
+/// Root mean square. Returns `None` for an empty slice.
+pub fn rms(xs: &[f64]) -> Option<f64> {
+    if xs.is_empty() {
+        None
+    } else {
+        Some((xs.iter().map(|x| x * x).sum::<f64>() / xs.len() as f64).sqrt())
+    }
+}
+
+/// Empirical CDF evaluated at `points.len()` equally spaced fractions: for
+/// each sorted sample returns `(value, fraction ≤ value)`. Used to print the
+/// paper's CDF figures.
+pub fn empirical_cdf(xs: &[f64]) -> Vec<(f64, f64)> {
+    let mut v = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("NaN in CDF input"));
+    let n = v.len();
+    v.into_iter()
+        .enumerate()
+        .map(|(i, x)| (x, (i + 1) as f64 / n as f64))
+        .collect()
+}
+
+/// Fraction of samples ≤ `threshold`.
+pub fn fraction_below(xs: &[f64], threshold: f64) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().filter(|&&x| x <= threshold).count() as f64 / xs.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_variance_std() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(mean(&xs), Some(2.5));
+        assert_eq!(variance(&xs), Some(1.25));
+        assert!((std_dev(&xs).unwrap() - 1.25f64.sqrt()).abs() < 1e-15);
+        assert_eq!(mean(&[]), None);
+        assert_eq!(variance(&[]), None);
+    }
+
+    #[test]
+    fn median_odd_even() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), Some(2.0));
+        assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]), Some(2.5));
+        assert_eq!(median(&[]), None);
+    }
+
+    #[test]
+    fn mad_robust_to_outlier() {
+        let clean = [1.0, 1.1, 0.9, 1.05, 0.95];
+        let dirty = [1.0, 1.1, 0.9, 1.05, 100.0];
+        let m_clean = mad(&clean).unwrap();
+        let m_dirty = mad(&dirty).unwrap();
+        assert!(m_dirty < 0.5, "MAD must shrug off one outlier, got {m_dirty}");
+        assert!(m_clean <= m_dirty + 0.2);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let xs = [0.0, 1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&xs, 0.0), Some(0.0));
+        assert_eq!(percentile(&xs, 100.0), Some(4.0));
+        assert_eq!(percentile(&xs, 50.0), Some(2.0));
+        assert_eq!(percentile(&xs, 25.0), Some(1.0));
+        assert_eq!(percentile(&xs, 12.5), Some(0.5));
+        assert_eq!(percentile(&[], 50.0), None);
+    }
+
+    #[test]
+    #[should_panic]
+    fn percentile_out_of_range_panics() {
+        let _ = percentile(&[1.0], 101.0);
+    }
+
+    #[test]
+    fn rms_known_value() {
+        assert!((rms(&[3.0, 4.0]).unwrap() - (12.5f64).sqrt()).abs() < 1e-15);
+        assert_eq!(rms(&[]), None);
+    }
+
+    #[test]
+    fn cdf_monotone_and_complete() {
+        let xs = [3.0, 1.0, 2.0];
+        let cdf = empirical_cdf(&xs);
+        assert_eq!(cdf.len(), 3);
+        assert_eq!(cdf[0], (1.0, 1.0 / 3.0));
+        assert_eq!(cdf[2], (3.0, 1.0));
+        assert!(cdf.windows(2).all(|w| w[1].0 >= w[0].0 && w[1].1 >= w[0].1));
+    }
+
+    #[test]
+    fn fraction_below_basic() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(fraction_below(&xs, 2.5), 0.5);
+        assert_eq!(fraction_below(&xs, 0.0), 0.0);
+        assert_eq!(fraction_below(&[], 1.0), 0.0);
+    }
+}

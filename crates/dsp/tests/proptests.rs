@@ -1,0 +1,146 @@
+//! Property-based tests for the DSP primitives.
+
+use proptest::prelude::*;
+use rfp_dsp::linfit::{ols, theil_sen};
+use rfp_dsp::preprocess::{preprocess_reads, PreprocessConfig, RawRead};
+use rfp_dsp::robust::{robust_line_fit, RobustFitConfig};
+use rfp_dsp::stats;
+
+proptest! {
+    #[test]
+    fn ols_recovers_exact_lines(
+        slope in -100.0f64..100.0,
+        intercept in -100.0f64..100.0,
+        n in 3usize..80,
+    ) {
+        let xs: Vec<f64> = (0..n).map(|i| i as f64 * 0.37).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| slope * x + intercept).collect();
+        let fit = ols(&xs, &ys).unwrap();
+        prop_assert!((fit.slope - slope).abs() < 1e-6 * (1.0 + slope.abs()));
+        prop_assert!((fit.intercept - intercept).abs() < 1e-6 * (1.0 + intercept.abs()));
+        prop_assert!(fit.r_squared > 1.0 - 1e-9);
+    }
+
+    #[test]
+    fn theil_sen_matches_ols_on_clean_lines(
+        slope in -10.0f64..10.0,
+        intercept in -10.0f64..10.0,
+    ) {
+        let xs: Vec<f64> = (0..25).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| slope * x + intercept).collect();
+        let a = ols(&xs, &ys).unwrap();
+        let b = theil_sen(&xs, &ys).unwrap();
+        prop_assert!((a.slope - b.slope).abs() < 1e-9);
+        prop_assert!((a.intercept - b.intercept).abs() < 1e-9);
+    }
+
+    #[test]
+    fn robust_fit_ignores_any_minority_of_outliers(
+        slope in -1.0f64..1.0,
+        outlier_shift in 1.0f64..50.0,
+        positions in proptest::collection::btree_set(0usize..50, 1..12),
+    ) {
+        let xs: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        let mut ys: Vec<f64> = xs.iter().map(|x| slope * x).collect();
+        for &i in &positions {
+            ys[i] += outlier_shift;
+        }
+        let r = robust_line_fit(&xs, &ys, &RobustFitConfig::default()).unwrap();
+        prop_assert!(
+            (r.fit.slope - slope).abs() < 1e-6,
+            "slope {} vs {} with {} outliers",
+            r.fit.slope, slope, positions.len()
+        );
+        for &i in &positions {
+            prop_assert!(!r.inliers[i], "outlier {i} kept");
+        }
+    }
+
+    #[test]
+    fn percentile_monotone_and_bounded(
+        values in proptest::collection::vec(-1e3f64..1e3, 1..60),
+        p1 in 0.0f64..100.0,
+        p2 in 0.0f64..100.0,
+    ) {
+        let (lo, hi) = (p1.min(p2), p1.max(p2));
+        let a = stats::percentile(&values, lo).unwrap();
+        let b = stats::percentile(&values, hi).unwrap();
+        prop_assert!(a <= b + 1e-12);
+        let min = values.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(a >= min - 1e-12 && b <= max + 1e-12);
+    }
+
+    #[test]
+    fn mad_bounded_by_range(values in proptest::collection::vec(-1e3f64..1e3, 1..60)) {
+        let m = stats::mad(&values).unwrap();
+        let min = values.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(m >= 0.0);
+        prop_assert!(m <= (max - min) + 1e-12);
+    }
+
+    #[test]
+    fn preprocess_output_sorted_and_complete(
+        n_channels in 5usize..40,
+        reads_per in 1usize..6,
+        base in 0.0f64..6.0,
+        slope_per_channel in -0.4f64..0.4,
+    ) {
+        let mut reads = Vec::new();
+        for ch in 0..n_channels {
+            for r in 0..reads_per {
+                reads.push(RawRead {
+                    channel: ch,
+                    frequency_hz: 902.75e6 + ch as f64 * 0.5e6,
+                    phase: rfp_geom::angle::wrap_tau(base + slope_per_channel * ch as f64),
+                    rssi_dbm: -50.0,
+                    timestamp_s: (ch * reads_per + r) as f64 * 0.01,
+                });
+            }
+        }
+        let obs = preprocess_reads(&reads, &PreprocessConfig::default()).unwrap();
+        prop_assert_eq!(obs.len(), n_channels);
+        for w in obs.windows(2) {
+            prop_assert!(w[1].frequency_hz > w[0].frequency_hz);
+            // Unwrapped: adjacent increments equal the true slope.
+            prop_assert!(
+                ((w[1].phase - w[0].phase) - slope_per_channel).abs() < 1e-6
+            );
+        }
+        prop_assert!(obs.iter().all(|o| o.read_count == reads_per));
+    }
+
+    #[test]
+    fn preprocess_invariant_to_read_order(
+        seed_perm in proptest::collection::vec(0usize..1000, 30..60),
+    ) {
+        // Build reads, then process them in a permuted order: the output
+        // must be identical (grouping is by channel, not arrival).
+        let mut reads = Vec::new();
+        for ch in 0..10usize {
+            for r in 0..3usize {
+                reads.push(RawRead {
+                    channel: ch,
+                    frequency_hz: 902.75e6 + ch as f64 * 0.5e6,
+                    phase: rfp_geom::angle::wrap_tau(1.0 + 0.2 * ch as f64 + 0.001 * r as f64),
+                    rssi_dbm: -50.0,
+                    timestamp_s: 0.0,
+                });
+            }
+        }
+        let a = preprocess_reads(&reads, &PreprocessConfig::default()).unwrap();
+        // Permute deterministically from the seed.
+        let mut shuffled = reads.clone();
+        for (i, &s) in seed_perm.iter().enumerate() {
+            let j = s % shuffled.len();
+            let i = i % shuffled.len();
+            shuffled.swap(i, j);
+        }
+        let b = preprocess_reads(&shuffled, &PreprocessConfig::default()).unwrap();
+        for (oa, ob) in a.iter().zip(&b) {
+            prop_assert_eq!(oa.channel, ob.channel);
+            prop_assert!((oa.phase - ob.phase).abs() < 1e-9);
+        }
+    }
+}

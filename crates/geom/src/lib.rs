@@ -1,0 +1,46 @@
+//! Geometry and angle arithmetic primitives shared across the RF-Prism
+//! workspace.
+//!
+//! RFID phase sensing is, at its heart, geometry: the propagation phase is a
+//! function of the Euclidean antenna–tag distance, and the polarization phase
+//! is a function of the relative orientation between the reader antenna's
+//! polarization frame and the tag's dipole axis. This crate provides the
+//! small, dependency-free vocabulary used by both the simulator
+//! (`rfp-sim`, the forward direction) and the disentangler (`rfp-core`, the
+//! inverse direction):
+//!
+//! * [`Vec2`] / [`Vec3`] — plain-old-data vectors with the handful of
+//!   operations the models need (dot, cross, norm, rotation).
+//! * [`angle`] — wrapping, angular differences (including the modulo-π
+//!   difference needed for dipole orientations), circular statistics.
+//! * [`pose`] — [`pose::AntennaPose`], the full 3-D pose of a
+//!   circularly-polarized reader antenna: position, boresight and the
+//!   polarization frame `(u, v)` spanned perpendicular to the boresight.
+//! * [`region`] — rectangular working regions and grid iterators used by the
+//!   multi-start solver and the experiment harness.
+//!
+//! # Example
+//!
+//! ```
+//! use rfp_geom::{Vec2, angle};
+//!
+//! let a = Vec2::new(0.0, 0.0);
+//! let b = Vec2::new(3.0, 4.0);
+//! assert_eq!(a.distance(b), 5.0);
+//! // Dipole orientations 10° and 190° are the same physical orientation:
+//! let d = angle::dipole_difference(10f64.to_radians(), 190f64.to_radians());
+//! assert!(d.abs() < 1e-12);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod angle;
+pub mod pose;
+pub mod region;
+mod vec;
+
+pub use pose::AntennaPose;
+pub use region::{Grid2, Region2};
+pub use vec::vec_ellipse::CovarianceEllipse;
+pub use vec::{Vec2, Vec3};

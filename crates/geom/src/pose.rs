@@ -1,0 +1,203 @@
+//! Antenna poses and polarization frames.
+//!
+//! A circularly-polarized reader antenna is described by its position, its
+//! boresight (the direction it faces) and its *roll* about the boresight.
+//! The paper's polarization model (Eq. 4) is written in terms of the
+//! antenna's horizontal and vertical unit vectors `u` and `v`, both
+//! perpendicular to the boresight; rolling the antenna rotates that frame.
+//!
+//! The roll matters: the orientation intercept `θ_orient` observed at antenna
+//! `i` depends on the tag's dipole direction *expressed in antenna i's
+//! `(u, v)` frame*. If every antenna were mounted with the same boresight and
+//! roll, all antennas would observe the same `θ_orient` and the tag
+//! orientation would be unobservable from intercept differences. RF-Prism
+//! therefore mounts its antennas with distinct rolls (see `rfp-sim`'s
+//! standard deployment, 0°/45°/90°).
+
+use crate::{Vec2, Vec3};
+
+/// The pose of a circularly-polarized reader antenna.
+///
+/// Invariants (maintained by the constructors): `boresight`, `u` and `v` are
+/// unit vectors forming a right-handed orthonormal triad `u × v = boresight`.
+///
+/// # Example
+///
+/// ```
+/// use rfp_geom::{AntennaPose, Vec3};
+/// let pose = AntennaPose::looking_at(
+///     Vec3::new(0.0, 0.0, 1.0),
+///     Vec3::new(0.0, 2.0, 1.0),
+///     0.0,
+/// );
+/// assert!((pose.boresight().dot(Vec3::Y) - 1.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AntennaPose {
+    position: Vec3,
+    boresight: Vec3,
+    u: Vec3,
+    v: Vec3,
+    roll: f64,
+}
+
+impl AntennaPose {
+    /// Creates a pose at `position` looking toward `target`, rolled by
+    /// `roll` radians about the boresight.
+    ///
+    /// The un-rolled horizontal axis `u` is chosen perpendicular to both the
+    /// world vertical (+z) and the boresight; when the boresight is within
+    /// ~0.6° of vertical, +y is used as the reference instead so the frame
+    /// stays well-defined.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `position == target` (no boresight direction exists).
+    pub fn looking_at(position: Vec3, target: Vec3, roll: f64) -> Self {
+        let d = target - position;
+        assert!(d.norm() > 0.0, "antenna cannot look at its own position");
+        Self::with_boresight(position, d.normalized(), roll)
+    }
+
+    /// Creates a pose from an explicit (unit) boresight direction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `boresight` is not normalized to within 1e-6.
+    pub fn with_boresight(position: Vec3, boresight: Vec3, roll: f64) -> Self {
+        assert!(
+            (boresight.norm() - 1.0).abs() < 1e-6,
+            "boresight must be a unit vector"
+        );
+        let reference = if boresight.cross(Vec3::Z).norm() < 1e-4 {
+            Vec3::Y
+        } else {
+            Vec3::Z
+        };
+        let u0 = reference.cross(boresight).normalized();
+        let v0 = boresight.cross(u0);
+        let u = u0.rotated_about(boresight, roll);
+        let v = v0.rotated_about(boresight, roll);
+        AntennaPose { position, boresight, u, v, roll }
+    }
+
+    /// Convenience constructor for the planar (2-D) experiments: antenna at
+    /// `position` (a point in the z=0 plane), looking at `target`, rolled by
+    /// `roll`.
+    pub fn planar(position: Vec2, target: Vec2, roll: f64) -> Self {
+        Self::looking_at(position.with_z(0.0), target.with_z(0.0), roll)
+    }
+
+    /// Antenna position in metres.
+    #[inline]
+    pub fn position(&self) -> Vec3 {
+        self.position
+    }
+
+    /// Unit boresight direction.
+    #[inline]
+    pub fn boresight(&self) -> Vec3 {
+        self.boresight
+    }
+
+    /// Horizontal polarization axis `u` (unit).
+    #[inline]
+    pub fn u(&self) -> Vec3 {
+        self.u
+    }
+
+    /// Vertical polarization axis `v` (unit).
+    #[inline]
+    pub fn v(&self) -> Vec3 {
+        self.v
+    }
+
+    /// Roll about the boresight, radians.
+    #[inline]
+    pub fn roll(&self) -> f64 {
+        self.roll
+    }
+
+    /// Euclidean distance from the antenna to a point.
+    #[inline]
+    pub fn distance_to(&self, point: Vec3) -> f64 {
+        self.position.distance(point)
+    }
+
+    /// Returns a copy of this pose with a different roll.
+    pub fn with_roll(&self, roll: f64) -> Self {
+        Self::with_boresight(self.position, self.boresight, roll)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::FRAC_PI_2;
+
+    fn assert_orthonormal(p: &AntennaPose) {
+        assert!((p.u().norm() - 1.0).abs() < 1e-12);
+        assert!((p.v().norm() - 1.0).abs() < 1e-12);
+        assert!((p.boresight().norm() - 1.0).abs() < 1e-12);
+        assert!(p.u().dot(p.v()).abs() < 1e-12);
+        assert!(p.u().dot(p.boresight()).abs() < 1e-12);
+        assert!(p.v().dot(p.boresight()).abs() < 1e-12);
+        // Right-handed: u × v = boresight.
+        assert!(p.u().cross(p.v()).distance(p.boresight()) < 1e-12);
+    }
+
+    #[test]
+    fn looking_at_frame_is_orthonormal() {
+        let p = AntennaPose::looking_at(
+            Vec3::new(0.0, 0.0, 1.0),
+            Vec3::new(1.0, 2.0, 0.5),
+            0.3,
+        );
+        assert_orthonormal(&p);
+    }
+
+    #[test]
+    fn zero_roll_u_is_horizontal() {
+        let p = AntennaPose::looking_at(Vec3::ZERO, Vec3::Y, 0.0);
+        assert!(p.u().z.abs() < 1e-12, "u must lie in the horizontal plane");
+        assert!(p.v().distance(Vec3::Z) < 1e-12, "v points up for a level antenna");
+    }
+
+    #[test]
+    fn roll_rotates_frame() {
+        let p0 = AntennaPose::looking_at(Vec3::ZERO, Vec3::Y, 0.0);
+        let p90 = p0.with_roll(FRAC_PI_2);
+        assert_orthonormal(&p90);
+        // Rolling by 90° maps u onto v.
+        assert!(p90.u().distance(p0.v()) < 1e-12);
+        assert_eq!(p90.roll(), FRAC_PI_2);
+    }
+
+    #[test]
+    fn vertical_boresight_is_well_defined() {
+        let p = AntennaPose::with_boresight(Vec3::ZERO, Vec3::Z, 0.0);
+        assert_orthonormal(&p);
+        let q = AntennaPose::with_boresight(Vec3::ZERO, -Vec3::Z, 0.0);
+        assert_orthonormal(&q);
+    }
+
+    #[test]
+    fn planar_constructor() {
+        let p = AntennaPose::planar(Vec2::new(0.5, 0.0), Vec2::new(0.5, 2.0), 0.0);
+        assert_eq!(p.position(), Vec3::new(0.5, 0.0, 0.0));
+        assert!(p.boresight().distance(Vec3::Y) < 1e-12);
+        assert!((p.distance_to(Vec3::new(0.5, 2.0, 0.0)) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic]
+    fn looking_at_self_panics() {
+        let _ = AntennaPose::looking_at(Vec3::ZERO, Vec3::ZERO, 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn non_unit_boresight_panics() {
+        let _ = AntennaPose::with_boresight(Vec3::ZERO, Vec3::new(0.0, 2.0, 0.0), 0.0);
+    }
+}

@@ -1,0 +1,214 @@
+//! Rectangular working regions and grid sampling.
+//!
+//! The paper deploys tags inside a 2 m × 2 m working region in front of the
+//! antenna rack and evaluates on a 25-point grid. The same abstractions are
+//! reused by the multi-start seeding of the joint solver, which scans a
+//! coarse grid of candidate positions.
+
+use crate::Vec2;
+
+/// An axis-aligned rectangular region of the surveillance plane.
+///
+/// # Example
+///
+/// ```
+/// use rfp_geom::{Region2, Vec2};
+/// let r = Region2::new(Vec2::new(-1.0, 0.5), Vec2::new(1.0, 2.5));
+/// assert!(r.contains(Vec2::new(0.0, 1.0)));
+/// assert_eq!(r.center(), Vec2::new(0.0, 1.5));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Region2 {
+    min: Vec2,
+    max: Vec2,
+}
+
+impl Region2 {
+    /// Creates a region from two opposite corners.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min` is not component-wise strictly below `max`.
+    pub fn new(min: Vec2, max: Vec2) -> Self {
+        assert!(min.x < max.x && min.y < max.y, "degenerate region: {min} .. {max}");
+        Region2 { min, max }
+    }
+
+    /// Lower-left corner.
+    #[inline]
+    pub fn min(&self) -> Vec2 {
+        self.min
+    }
+
+    /// Upper-right corner.
+    #[inline]
+    pub fn max(&self) -> Vec2 {
+        self.max
+    }
+
+    /// Width (x extent) in metres.
+    #[inline]
+    pub fn width(&self) -> f64 {
+        self.max.x - self.min.x
+    }
+
+    /// Height (y extent) in metres.
+    #[inline]
+    pub fn height(&self) -> f64 {
+        self.max.y - self.min.y
+    }
+
+    /// Geometric centre.
+    #[inline]
+    pub fn center(&self) -> Vec2 {
+        (self.min + self.max) / 2.0
+    }
+
+    /// Whether the point lies inside (inclusive of the boundary).
+    #[inline]
+    pub fn contains(&self, p: Vec2) -> bool {
+        p.x >= self.min.x && p.x <= self.max.x && p.y >= self.min.y && p.y <= self.max.y
+    }
+
+    /// Clamps a point into the region.
+    pub fn clamp(&self, p: Vec2) -> Vec2 {
+        Vec2::new(p.x.clamp(self.min.x, self.max.x), p.y.clamp(self.min.y, self.max.y))
+    }
+
+    /// A regular `nx × ny` grid of points spanning the region, inset from the
+    /// boundary by half a cell (so points are cell centres).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nx` or `ny` is zero.
+    pub fn grid(&self, nx: usize, ny: usize) -> Grid2 {
+        assert!(nx > 0 && ny > 0, "grid must have at least one cell per axis");
+        Grid2 { region: *self, nx, ny, i: 0 }
+    }
+
+    /// Expands the region by `margin` metres on every side.
+    pub fn expanded(&self, margin: f64) -> Region2 {
+        Region2::new(
+            self.min - Vec2::new(margin, margin),
+            self.max + Vec2::new(margin, margin),
+        )
+    }
+}
+
+/// Iterator over the cell-centre points of a regular grid on a [`Region2`].
+///
+/// Produced by [`Region2::grid`]; yields points row-major (x fastest).
+#[derive(Debug, Clone)]
+pub struct Grid2 {
+    region: Region2,
+    nx: usize,
+    ny: usize,
+    i: usize,
+}
+
+impl Grid2 {
+    /// Total number of grid points.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.nx * self.ny
+    }
+
+    /// Whether the grid is empty (never true for grids from [`Region2::grid`]).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Iterator for Grid2 {
+    type Item = Vec2;
+
+    fn next(&mut self) -> Option<Vec2> {
+        if self.i >= self.nx * self.ny {
+            return None;
+        }
+        let ix = self.i % self.nx;
+        let iy = self.i / self.nx;
+        self.i += 1;
+        let fx = (ix as f64 + 0.5) / self.nx as f64;
+        let fy = (iy as f64 + 0.5) / self.ny as f64;
+        Some(Vec2::new(
+            self.region.min.x + fx * self.region.width(),
+            self.region.min.y + fy * self.region.height(),
+        ))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rem = self.nx * self.ny - self.i;
+        (rem, Some(rem))
+    }
+}
+
+impl ExactSizeIterator for Grid2 {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit() -> Region2 {
+        Region2::new(Vec2::new(0.0, 0.0), Vec2::new(2.0, 2.0))
+    }
+
+    #[test]
+    fn region_basic_properties() {
+        let r = unit();
+        assert_eq!(r.width(), 2.0);
+        assert_eq!(r.height(), 2.0);
+        assert_eq!(r.center(), Vec2::new(1.0, 1.0));
+        assert!(r.contains(Vec2::new(0.0, 0.0)));
+        assert!(r.contains(Vec2::new(2.0, 2.0)));
+        assert!(!r.contains(Vec2::new(2.1, 1.0)));
+    }
+
+    #[test]
+    fn clamp_moves_outside_points_to_boundary() {
+        let r = unit();
+        assert_eq!(r.clamp(Vec2::new(-1.0, 3.0)), Vec2::new(0.0, 2.0));
+        assert_eq!(r.clamp(Vec2::new(1.0, 1.0)), Vec2::new(1.0, 1.0));
+    }
+
+    #[test]
+    fn grid_count_and_containment() {
+        let r = unit();
+        let pts: Vec<Vec2> = r.grid(5, 5).collect();
+        assert_eq!(pts.len(), 25);
+        assert!(pts.iter().all(|&p| r.contains(p)));
+        // Cell centres: first point is at (0.2, 0.2) for a 5x5 grid on [0,2]².
+        assert!((pts[0].x - 0.2).abs() < 1e-12);
+        assert!((pts[0].y - 0.2).abs() < 1e-12);
+        // Last point mirrors it.
+        assert!((pts[24].x - 1.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn grid_is_exact_size() {
+        let g = unit().grid(3, 4);
+        assert_eq!(g.len(), 12);
+        assert_eq!(g.size_hint(), (12, Some(12)));
+        assert_eq!(g.count(), 12);
+    }
+
+    #[test]
+    fn expanded_grows_all_sides() {
+        let r = unit().expanded(0.5);
+        assert_eq!(r.min(), Vec2::new(-0.5, -0.5));
+        assert_eq!(r.max(), Vec2::new(2.5, 2.5));
+    }
+
+    #[test]
+    #[should_panic]
+    fn degenerate_region_panics() {
+        let _ = Region2::new(Vec2::new(1.0, 0.0), Vec2::new(1.0, 2.0));
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_grid_panics() {
+        let _ = unit().grid(0, 3);
+    }
+}

@@ -1,0 +1,644 @@
+//! Plain 2-D and 3-D vectors.
+//!
+//! These are deliberately minimal: the workspace needs dot products, norms,
+//! a cross product and planar rotation — nothing that would justify pulling
+//! in a linear-algebra dependency.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+/// A 2-D vector (or point) in metres.
+///
+/// Used for tag coordinates on the 2-D surveillance plane and for planar
+/// antenna layouts.
+///
+/// # Example
+///
+/// ```
+/// use rfp_geom::Vec2;
+/// let p = Vec2::new(1.0, 2.0);
+/// let q = Vec2::new(4.0, 6.0);
+/// assert_eq!(p.distance(q), 5.0);
+/// assert_eq!((q - p).norm(), 5.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Vec2 {
+    /// Horizontal coordinate in metres.
+    pub x: f64,
+    /// Depth coordinate in metres.
+    pub y: f64,
+}
+
+impl Vec2 {
+    /// The origin.
+    pub const ZERO: Vec2 = Vec2 { x: 0.0, y: 0.0 };
+
+    /// Creates a vector from its coordinates.
+    #[inline]
+    pub const fn new(x: f64, y: f64) -> Self {
+        Vec2 { x, y }
+    }
+
+    /// Unit vector at angle `theta` radians from the +x axis.
+    ///
+    /// ```
+    /// use rfp_geom::Vec2;
+    /// let v = Vec2::from_angle(std::f64::consts::FRAC_PI_2);
+    /// assert!((v.x).abs() < 1e-15 && (v.y - 1.0).abs() < 1e-15);
+    /// ```
+    #[inline]
+    pub fn from_angle(theta: f64) -> Self {
+        Vec2::new(theta.cos(), theta.sin())
+    }
+
+    /// Dot product.
+    #[inline]
+    pub fn dot(self, rhs: Vec2) -> f64 {
+        self.x * rhs.x + self.y * rhs.y
+    }
+
+    /// Euclidean norm.
+    #[inline]
+    pub fn norm(self) -> f64 {
+        self.dot(self).sqrt()
+    }
+
+    /// Squared Euclidean norm (avoids the square root).
+    #[inline]
+    pub fn norm_sq(self) -> f64 {
+        self.dot(self)
+    }
+
+    /// Euclidean distance to another point.
+    #[inline]
+    pub fn distance(self, other: Vec2) -> f64 {
+        (self - other).norm()
+    }
+
+    /// Returns the unit vector in the same direction.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if the vector is (numerically) zero.
+    #[inline]
+    pub fn normalized(self) -> Vec2 {
+        let n = self.norm();
+        debug_assert!(n > 0.0, "cannot normalize a zero vector");
+        self / n
+    }
+
+    /// The angle of the vector from the +x axis, in `(-π, π]`.
+    #[inline]
+    pub fn angle(self) -> f64 {
+        self.y.atan2(self.x)
+    }
+
+    /// Rotates the vector counter-clockwise by `theta` radians.
+    #[inline]
+    pub fn rotated(self, theta: f64) -> Vec2 {
+        let (s, c) = theta.sin_cos();
+        Vec2::new(c * self.x - s * self.y, s * self.x + c * self.y)
+    }
+
+    /// The perpendicular vector, rotated +90°.
+    #[inline]
+    pub fn perp(self) -> Vec2 {
+        Vec2::new(-self.y, self.x)
+    }
+
+    /// Lifts the planar point into 3-D at height `z`.
+    #[inline]
+    pub fn with_z(self, z: f64) -> Vec3 {
+        Vec3::new(self.x, self.y, z)
+    }
+
+    /// True when every component is finite.
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.x.is_finite() && self.y.is_finite()
+    }
+}
+
+impl fmt::Display for Vec2 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:.4}, {:.4})", self.x, self.y)
+    }
+}
+
+impl Add for Vec2 {
+    type Output = Vec2;
+    #[inline]
+    fn add(self, rhs: Vec2) -> Vec2 {
+        Vec2::new(self.x + rhs.x, self.y + rhs.y)
+    }
+}
+
+impl AddAssign for Vec2 {
+    #[inline]
+    fn add_assign(&mut self, rhs: Vec2) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Vec2 {
+    type Output = Vec2;
+    #[inline]
+    fn sub(self, rhs: Vec2) -> Vec2 {
+        Vec2::new(self.x - rhs.x, self.y - rhs.y)
+    }
+}
+
+impl SubAssign for Vec2 {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Vec2) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<f64> for Vec2 {
+    type Output = Vec2;
+    #[inline]
+    fn mul(self, rhs: f64) -> Vec2 {
+        Vec2::new(self.x * rhs, self.y * rhs)
+    }
+}
+
+impl Mul<Vec2> for f64 {
+    type Output = Vec2;
+    #[inline]
+    fn mul(self, rhs: Vec2) -> Vec2 {
+        rhs * self
+    }
+}
+
+impl Div<f64> for Vec2 {
+    type Output = Vec2;
+    #[inline]
+    fn div(self, rhs: f64) -> Vec2 {
+        Vec2::new(self.x / rhs, self.y / rhs)
+    }
+}
+
+impl Neg for Vec2 {
+    type Output = Vec2;
+    #[inline]
+    fn neg(self) -> Vec2 {
+        Vec2::new(-self.x, -self.y)
+    }
+}
+
+impl From<(f64, f64)> for Vec2 {
+    #[inline]
+    fn from((x, y): (f64, f64)) -> Self {
+        Vec2::new(x, y)
+    }
+}
+
+impl From<Vec2> for (f64, f64) {
+    #[inline]
+    fn from(v: Vec2) -> Self {
+        (v.x, v.y)
+    }
+}
+
+/// A 3-D vector (or point) in metres.
+///
+/// Used for antenna poses, polarization frames and 3-D localization.
+///
+/// # Example
+///
+/// ```
+/// use rfp_geom::Vec3;
+/// let x = Vec3::new(1.0, 0.0, 0.0);
+/// let y = Vec3::new(0.0, 1.0, 0.0);
+/// assert_eq!(x.cross(y), Vec3::new(0.0, 0.0, 1.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Vec3 {
+    /// Horizontal coordinate in metres.
+    pub x: f64,
+    /// Depth coordinate in metres.
+    pub y: f64,
+    /// Height coordinate in metres.
+    pub z: f64,
+}
+
+impl Vec3 {
+    /// The origin.
+    pub const ZERO: Vec3 = Vec3 { x: 0.0, y: 0.0, z: 0.0 };
+    /// Unit +x.
+    pub const X: Vec3 = Vec3 { x: 1.0, y: 0.0, z: 0.0 };
+    /// Unit +y.
+    pub const Y: Vec3 = Vec3 { x: 0.0, y: 1.0, z: 0.0 };
+    /// Unit +z.
+    pub const Z: Vec3 = Vec3 { x: 0.0, y: 0.0, z: 1.0 };
+
+    /// Creates a vector from its coordinates.
+    #[inline]
+    pub const fn new(x: f64, y: f64, z: f64) -> Self {
+        Vec3 { x, y, z }
+    }
+
+    /// Dot product.
+    #[inline]
+    pub fn dot(self, rhs: Vec3) -> f64 {
+        self.x * rhs.x + self.y * rhs.y + self.z * rhs.z
+    }
+
+    /// Cross product (right-handed).
+    #[inline]
+    pub fn cross(self, rhs: Vec3) -> Vec3 {
+        Vec3::new(
+            self.y * rhs.z - self.z * rhs.y,
+            self.z * rhs.x - self.x * rhs.z,
+            self.x * rhs.y - self.y * rhs.x,
+        )
+    }
+
+    /// Euclidean norm.
+    #[inline]
+    pub fn norm(self) -> f64 {
+        self.dot(self).sqrt()
+    }
+
+    /// Squared Euclidean norm.
+    #[inline]
+    pub fn norm_sq(self) -> f64 {
+        self.dot(self)
+    }
+
+    /// Euclidean distance to another point.
+    #[inline]
+    pub fn distance(self, other: Vec3) -> f64 {
+        (self - other).norm()
+    }
+
+    /// Returns the unit vector in the same direction.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if the vector is (numerically) zero.
+    #[inline]
+    pub fn normalized(self) -> Vec3 {
+        let n = self.norm();
+        debug_assert!(n > 0.0, "cannot normalize a zero vector");
+        self / n
+    }
+
+    /// Projects onto the x–y plane, dropping z.
+    #[inline]
+    pub fn xy(self) -> Vec2 {
+        Vec2::new(self.x, self.y)
+    }
+
+    /// Rotates `self` about the (unit) `axis` by `theta` radians using
+    /// Rodrigues' formula.
+    ///
+    /// `axis` must be normalized; this is asserted in debug builds.
+    pub fn rotated_about(self, axis: Vec3, theta: f64) -> Vec3 {
+        debug_assert!((axis.norm() - 1.0).abs() < 1e-9, "axis must be a unit vector");
+        let (s, c) = theta.sin_cos();
+        self * c + axis.cross(self) * s + axis * (axis.dot(self) * (1.0 - c))
+    }
+
+    /// True when every component is finite.
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.x.is_finite() && self.y.is_finite() && self.z.is_finite()
+    }
+}
+
+impl fmt::Display for Vec3 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:.4}, {:.4}, {:.4})", self.x, self.y, self.z)
+    }
+}
+
+impl Add for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn add(self, rhs: Vec3) -> Vec3 {
+        Vec3::new(self.x + rhs.x, self.y + rhs.y, self.z + rhs.z)
+    }
+}
+
+impl AddAssign for Vec3 {
+    #[inline]
+    fn add_assign(&mut self, rhs: Vec3) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn sub(self, rhs: Vec3) -> Vec3 {
+        Vec3::new(self.x - rhs.x, self.y - rhs.y, self.z - rhs.z)
+    }
+}
+
+impl SubAssign for Vec3 {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Vec3) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<f64> for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn mul(self, rhs: f64) -> Vec3 {
+        Vec3::new(self.x * rhs, self.y * rhs, self.z * rhs)
+    }
+}
+
+impl Mul<Vec3> for f64 {
+    type Output = Vec3;
+    #[inline]
+    fn mul(self, rhs: Vec3) -> Vec3 {
+        rhs * self
+    }
+}
+
+impl Div<f64> for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn div(self, rhs: f64) -> Vec3 {
+        Vec3::new(self.x / rhs, self.y / rhs, self.z / rhs)
+    }
+}
+
+impl Neg for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn neg(self) -> Vec3 {
+        Vec3::new(-self.x, -self.y, -self.z)
+    }
+}
+
+impl From<(f64, f64, f64)> for Vec3 {
+    #[inline]
+    fn from((x, y, z): (f64, f64, f64)) -> Self {
+        Vec3::new(x, y, z)
+    }
+}
+
+impl From<Vec3> for (f64, f64, f64) {
+    #[inline]
+    fn from(v: Vec3) -> Self {
+        (v.x, v.y, v.z)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::{FRAC_PI_2, PI};
+
+    #[test]
+    fn vec2_arithmetic() {
+        let a = Vec2::new(1.0, 2.0);
+        let b = Vec2::new(3.0, -1.0);
+        assert_eq!(a + b, Vec2::new(4.0, 1.0));
+        assert_eq!(a - b, Vec2::new(-2.0, 3.0));
+        assert_eq!(a * 2.0, Vec2::new(2.0, 4.0));
+        assert_eq!(2.0 * a, Vec2::new(2.0, 4.0));
+        assert_eq!(a / 2.0, Vec2::new(0.5, 1.0));
+        assert_eq!(-a, Vec2::new(-1.0, -2.0));
+        let mut c = a;
+        c += b;
+        assert_eq!(c, a + b);
+        c -= b;
+        assert_eq!(c, a);
+    }
+
+    #[test]
+    fn vec2_dot_norm_distance() {
+        let a = Vec2::new(3.0, 4.0);
+        assert_eq!(a.dot(a), 25.0);
+        assert_eq!(a.norm(), 5.0);
+        assert_eq!(a.norm_sq(), 25.0);
+        assert_eq!(Vec2::ZERO.distance(a), 5.0);
+    }
+
+    #[test]
+    fn vec2_rotation_and_angle() {
+        let x = Vec2::new(1.0, 0.0);
+        let r = x.rotated(FRAC_PI_2);
+        assert!((r.x).abs() < 1e-15);
+        assert!((r.y - 1.0).abs() < 1e-15);
+        assert!((r.angle() - FRAC_PI_2).abs() < 1e-15);
+        assert_eq!(x.perp(), Vec2::new(0.0, 1.0));
+    }
+
+    #[test]
+    fn vec2_normalized_unit_norm() {
+        let v = Vec2::new(5.0, -12.0).normalized();
+        assert!((v.norm() - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn vec2_from_angle_round_trip() {
+        for deg in [-170, -90, -45, 0, 30, 90, 179] {
+            let theta = f64::from(deg).to_radians();
+            let v = Vec2::from_angle(theta);
+            assert!((v.angle() - theta).abs() < 1e-12, "deg={deg}");
+        }
+    }
+
+    #[test]
+    fn vec2_conversions() {
+        let v: Vec2 = (1.5, 2.5).into();
+        assert_eq!(v, Vec2::new(1.5, 2.5));
+        let t: (f64, f64) = v.into();
+        assert_eq!(t, (1.5, 2.5));
+    }
+
+    #[test]
+    fn vec3_arithmetic() {
+        let a = Vec3::new(1.0, 2.0, 3.0);
+        let b = Vec3::new(-1.0, 0.5, 2.0);
+        assert_eq!(a + b, Vec3::new(0.0, 2.5, 5.0));
+        assert_eq!(a - b, Vec3::new(2.0, 1.5, 1.0));
+        assert_eq!(a * 2.0, Vec3::new(2.0, 4.0, 6.0));
+        assert_eq!(a / 2.0, Vec3::new(0.5, 1.0, 1.5));
+        assert_eq!(-a, Vec3::new(-1.0, -2.0, -3.0));
+        let mut c = a;
+        c += b;
+        c -= b;
+        assert_eq!(c, a);
+    }
+
+    #[test]
+    fn vec3_cross_right_handed() {
+        assert_eq!(Vec3::X.cross(Vec3::Y), Vec3::Z);
+        assert_eq!(Vec3::Y.cross(Vec3::Z), Vec3::X);
+        assert_eq!(Vec3::Z.cross(Vec3::X), Vec3::Y);
+        // Anti-commutative.
+        assert_eq!(Vec3::Y.cross(Vec3::X), -Vec3::Z);
+    }
+
+    #[test]
+    fn vec3_cross_is_orthogonal() {
+        let a = Vec3::new(1.0, 2.0, 3.0);
+        let b = Vec3::new(-2.0, 0.4, 1.1);
+        let c = a.cross(b);
+        assert!(c.dot(a).abs() < 1e-12);
+        assert!(c.dot(b).abs() < 1e-12);
+    }
+
+    #[test]
+    fn vec3_rodrigues_rotation() {
+        // Rotating +x about +z by 90° gives +y.
+        let r = Vec3::X.rotated_about(Vec3::Z, FRAC_PI_2);
+        assert!(r.distance(Vec3::Y) < 1e-15);
+        // A full turn is the identity.
+        let v = Vec3::new(0.3, -1.2, 0.7);
+        let full = v.rotated_about(Vec3::new(0.0, 1.0, 0.0), 2.0 * PI);
+        assert!(full.distance(v) < 1e-12);
+        // Rotation preserves norm.
+        let rot = v.rotated_about(Vec3::X, 1.234);
+        assert!((rot.norm() - v.norm()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn vec3_xy_projection_and_lift() {
+        let v = Vec3::new(1.0, 2.0, 3.0);
+        assert_eq!(v.xy(), Vec2::new(1.0, 2.0));
+        assert_eq!(v.xy().with_z(3.0), v);
+    }
+
+    #[test]
+    fn finite_checks() {
+        assert!(Vec2::new(1.0, 2.0).is_finite());
+        assert!(!Vec2::new(f64::NAN, 0.0).is_finite());
+        assert!(Vec3::new(1.0, 2.0, 3.0).is_finite());
+        assert!(!Vec3::new(0.0, f64::INFINITY, 0.0).is_finite());
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert!(!format!("{}", Vec2::ZERO).is_empty());
+        assert!(!format!("{}", Vec3::ZERO).is_empty());
+    }
+}
+
+/// The principal axes of a 2×2 symmetric covariance matrix — the 1-σ
+/// uncertainty ellipse of a planar estimate.
+///
+/// # Example
+///
+/// ```
+/// use rfp_geom::CovarianceEllipse;
+/// // Elongated along x: σx² = 4, σy² = 1.
+/// let e = CovarianceEllipse::from_covariance([[4.0, 0.0], [0.0, 1.0]]).unwrap();
+/// assert!((e.semi_major - 2.0).abs() < 1e-12);
+/// assert!((e.semi_minor - 1.0).abs() < 1e-12);
+/// assert!(e.orientation.abs() < 1e-12); // major axis along +x
+/// ```
+pub mod vec_ellipse {
+    /// 1-σ uncertainty ellipse parameters.
+    #[derive(Debug, Clone, Copy, PartialEq)]
+    pub struct CovarianceEllipse {
+        /// 1-σ extent along the major axis (√ of the larger eigenvalue).
+        pub semi_major: f64,
+        /// 1-σ extent along the minor axis.
+        pub semi_minor: f64,
+        /// Angle of the major axis from +x, radians in `(-π/2, π/2]`.
+        pub orientation: f64,
+    }
+
+    impl CovarianceEllipse {
+        /// Eigen-decomposes a symmetric 2×2 covariance `[[cxx, cxy], [cxy, cyy]]`.
+        ///
+        /// Returns `None` if the matrix has a negative eigenvalue (not a
+        /// covariance) or non-finite entries.
+        pub fn from_covariance(c: [[f64; 2]; 2]) -> Option<CovarianceEllipse> {
+            let (cxx, cxy, cyy) = (c[0][0], (c[0][1] + c[1][0]) / 2.0, c[1][1]);
+            if !(cxx.is_finite() && cxy.is_finite() && cyy.is_finite()) {
+                return None;
+            }
+            let trace_half = (cxx + cyy) / 2.0;
+            let det = cxx * cyy - cxy * cxy;
+            let disc = (trace_half * trace_half - det).max(0.0).sqrt();
+            let (l1, l2) = (trace_half + disc, trace_half - disc);
+            if l2 < -1e-12 {
+                return None;
+            }
+            let l2 = l2.max(0.0);
+            // Eigenvector of the larger eigenvalue.
+            let orientation = if cxy.abs() < 1e-300 && cxx >= cyy {
+                0.0
+            } else if cxy.abs() < 1e-300 {
+                std::f64::consts::FRAC_PI_2
+            } else {
+                (l1 - cxx).atan2(cxy)
+            };
+            // Wrap into (-π/2, π/2] (an axis, not a direction).
+            let mut o = orientation;
+            if o > std::f64::consts::FRAC_PI_2 {
+                o -= std::f64::consts::PI;
+            } else if o <= -std::f64::consts::FRAC_PI_2 {
+                o += std::f64::consts::PI;
+            }
+            Some(CovarianceEllipse {
+                semi_major: l1.sqrt(),
+                semi_minor: l2.sqrt(),
+                orientation: o,
+            })
+        }
+
+        /// Area of the 1-σ ellipse.
+        pub fn area(&self) -> f64 {
+            std::f64::consts::PI * self.semi_major * self.semi_minor
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn isotropic_covariance_is_a_circle() {
+            let e = CovarianceEllipse::from_covariance([[0.04, 0.0], [0.0, 0.04]]).unwrap();
+            assert!((e.semi_major - 0.2).abs() < 1e-12);
+            assert!((e.semi_minor - 0.2).abs() < 1e-12);
+        }
+
+        #[test]
+        fn rotated_covariance_recovers_angle() {
+            // Build C = R diag(4, 1) Rᵀ for a 30° rotation.
+            let th = 30f64.to_radians();
+            let (s, c) = th.sin_cos();
+            let (l1, l2) = (4.0, 1.0);
+            let cxx = c * c * l1 + s * s * l2;
+            let cyy = s * s * l1 + c * c * l2;
+            let cxy = s * c * (l1 - l2);
+            let e = CovarianceEllipse::from_covariance([[cxx, cxy], [cxy, cyy]]).unwrap();
+            assert!((e.semi_major - 2.0).abs() < 1e-9);
+            assert!((e.semi_minor - 1.0).abs() < 1e-9);
+            assert!((e.orientation - th).abs() < 1e-9, "angle {}", e.orientation);
+        }
+
+        #[test]
+        fn vertical_major_axis() {
+            let e = CovarianceEllipse::from_covariance([[1.0, 0.0], [0.0, 9.0]]).unwrap();
+            assert!((e.semi_major - 3.0).abs() < 1e-12);
+            assert!((e.orientation - std::f64::consts::FRAC_PI_2).abs() < 1e-9);
+        }
+
+        #[test]
+        fn rejects_invalid_matrices() {
+            assert!(CovarianceEllipse::from_covariance([[f64::NAN, 0.0], [0.0, 1.0]])
+                .is_none());
+            assert!(CovarianceEllipse::from_covariance([[-1.0, 0.0], [0.0, -2.0]])
+                .is_none());
+        }
+
+        #[test]
+        fn area_formula() {
+            let e = CovarianceEllipse::from_covariance([[4.0, 0.0], [0.0, 1.0]]).unwrap();
+            assert!((e.area() - std::f64::consts::PI * 2.0).abs() < 1e-12);
+        }
+    }
+}

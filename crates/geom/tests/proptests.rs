@@ -1,0 +1,133 @@
+//! Property-based tests for the geometry/angle primitives.
+
+use proptest::prelude::*;
+use rfp_geom::{angle, AntennaPose, Region2, Vec2, Vec3};
+use std::f64::consts::{PI, TAU};
+
+fn finite_angle() -> impl Strategy<Value = f64> {
+    -1e6f64..1e6f64
+}
+
+proptest! {
+    #[test]
+    fn wrap_tau_is_idempotent_and_in_range(theta in finite_angle()) {
+        let w = angle::wrap_tau(theta);
+        prop_assert!((0.0..TAU).contains(&w));
+        prop_assert!((angle::wrap_tau(w) - w).abs() < 1e-12);
+        // Same point on the circle.
+        let turns = (theta - w) / TAU;
+        prop_assert!((turns - turns.round()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn wrap_pi_in_range_and_equivalent(theta in finite_angle()) {
+        let w = angle::wrap_pi(theta);
+        prop_assert!(w > -PI - 1e-12 && w <= PI + 1e-12);
+        prop_assert!(angle::distance(w, theta) < 1e-6);
+    }
+
+    #[test]
+    fn angular_distance_is_a_metric(a in finite_angle(), b in finite_angle(), c in finite_angle()) {
+        let dab = angle::distance(a, b);
+        let dba = angle::distance(b, a);
+        prop_assert!((dab - dba).abs() < 1e-9, "symmetry");
+        prop_assert!(dab <= PI + 1e-12, "bounded");
+        prop_assert!(angle::distance(a, a) < 1e-12, "identity");
+        // Triangle inequality.
+        prop_assert!(dab <= angle::distance(a, c) + angle::distance(c, b) + 1e-6);
+    }
+
+    #[test]
+    fn dipole_distance_pi_symmetric(a in finite_angle(), b in finite_angle()) {
+        let d1 = angle::dipole_distance(a, b);
+        let d2 = angle::dipole_distance(a + PI, b);
+        let d3 = angle::dipole_distance(a, b + PI);
+        prop_assert!((d1 - d2).abs() < 1e-9);
+        prop_assert!((d1 - d3).abs() < 1e-9);
+        prop_assert!(d1 <= PI / 2.0 + 1e-12);
+    }
+
+    #[test]
+    fn unwrap_recovers_any_gentle_line(slope in -1.0f64..1.0, intercept in finite_angle()) {
+        // Increments below π are recoverable exactly up to a global 2π k.
+        let truth: Vec<f64> = (0..60).map(|i| slope * i as f64 + intercept).collect();
+        let wrapped: Vec<f64> = truth.iter().map(|&p| angle::wrap_tau(p)).collect();
+        let un = angle::unwrapped(&wrapped);
+        let offset = un[0] - truth[0];
+        for (u, t) in un.iter().zip(&truth) {
+            prop_assert!((u - t - offset).abs() < 1e-9);
+        }
+        let turns = offset / TAU;
+        prop_assert!((turns - turns.round()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn circular_mean_of_tight_cluster(center in finite_angle(), spread in 0.0f64..0.3) {
+        let angles: Vec<f64> = (0..10)
+            .map(|i| center + spread * ((i as f64 / 9.0) - 0.5))
+            .collect();
+        let m = angle::circular_mean(angles.iter().copied()).unwrap();
+        prop_assert!(angle::distance(m, center) < spread / 2.0 + 1e-9);
+    }
+
+    #[test]
+    fn rotation_preserves_norm_and_angle_addition(
+        theta in -10.0f64..10.0,
+        x in -5.0f64..5.0,
+        y in -5.0f64..5.0,
+    ) {
+        prop_assume!(x.hypot(y) > 1e-6);
+        let v = Vec2::new(x, y);
+        let r = v.rotated(theta);
+        prop_assert!((r.norm() - v.norm()).abs() < 1e-9);
+        prop_assert!(angle::distance(r.angle(), v.angle() + theta) < 1e-9);
+    }
+
+    #[test]
+    fn rodrigues_preserves_norm(
+        theta in -10.0f64..10.0,
+        vx in -2.0f64..2.0, vy in -2.0f64..2.0, vz in -2.0f64..2.0,
+        ax in -1.0f64..1.0, ay in -1.0f64..1.0, az in -1.0f64..1.0,
+    ) {
+        prop_assume!(Vec3::new(ax, ay, az).norm() > 1e-3);
+        let axis = Vec3::new(ax, ay, az).normalized();
+        let v = Vec3::new(vx, vy, vz);
+        let r = v.rotated_about(axis, theta);
+        prop_assert!((r.norm() - v.norm()).abs() < 1e-9);
+        // Component along the axis is invariant.
+        prop_assert!((r.dot(axis) - v.dot(axis)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn antenna_frames_always_orthonormal(
+        px in -3.0f64..3.0, py in -3.0f64..3.0, pz in 0.0f64..3.0,
+        tx in -3.0f64..3.0, ty in -3.0f64..3.0, tz in 0.0f64..3.0,
+        roll in -10.0f64..10.0,
+    ) {
+        let p = Vec3::new(px, py, pz);
+        let t = Vec3::new(tx, ty, tz);
+        prop_assume!(p.distance(t) > 1e-3);
+        let pose = AntennaPose::looking_at(p, t, roll);
+        prop_assert!((pose.u().norm() - 1.0).abs() < 1e-9);
+        prop_assert!((pose.v().norm() - 1.0).abs() < 1e-9);
+        prop_assert!(pose.u().dot(pose.v()).abs() < 1e-9);
+        prop_assert!(pose.u().cross(pose.v()).distance(pose.boresight()) < 1e-9);
+    }
+
+    #[test]
+    fn region_grid_points_always_inside(
+        x0 in -5.0f64..5.0, y0 in -5.0f64..5.0,
+        w in 0.1f64..10.0, h in 0.1f64..10.0,
+        nx in 1usize..12, ny in 1usize..12,
+    ) {
+        let r = Region2::new(Vec2::new(x0, y0), Vec2::new(x0 + w, y0 + h));
+        let pts: Vec<Vec2> = r.grid(nx, ny).collect();
+        prop_assert_eq!(pts.len(), nx * ny);
+        prop_assert!(pts.iter().all(|&p| r.contains(p)));
+        // Clamp is a projection: idempotent and inside.
+        let q = Vec2::new(x0 - 1.0, y0 + h + 2.0);
+        let c = r.clamp(q);
+        prop_assert!(r.contains(c));
+        prop_assert_eq!(r.clamp(c), c);
+    }
+}

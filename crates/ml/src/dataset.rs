@@ -1,0 +1,252 @@
+//! Labelled feature datasets, splits and cross-validation.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// A dataset of feature vectors with integer class labels.
+///
+/// # Example
+///
+/// ```
+/// use rfp_ml::Dataset;
+/// let mut ds = Dataset::new(3);
+/// ds.push(vec![1.0, 2.0], 0);
+/// ds.push(vec![3.0, 4.0], 2);
+/// assert_eq!(ds.len(), 2);
+/// assert_eq!(ds.feature_dim(), Some(2));
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Dataset {
+    features: Vec<Vec<f64>>,
+    labels: Vec<usize>,
+    n_classes: usize,
+}
+
+impl Dataset {
+    /// Creates an empty dataset expecting labels in `0..n_classes`.
+    pub fn new(n_classes: usize) -> Self {
+        Dataset { features: Vec::new(), labels: Vec::new(), n_classes }
+    }
+
+    /// Appends one sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `label >= n_classes` or if the feature length differs from
+    /// previously pushed samples.
+    pub fn push(&mut self, features: Vec<f64>, label: usize) {
+        assert!(label < self.n_classes, "label {label} >= n_classes {}", self.n_classes);
+        if let Some(first) = self.features.first() {
+            assert_eq!(
+                first.len(),
+                features.len(),
+                "inconsistent feature dimension"
+            );
+        }
+        self.features.push(features);
+        self.labels.push(label);
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.features.len()
+    }
+
+    /// Whether the dataset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.features.is_empty()
+    }
+
+    /// Number of classes declared at construction.
+    pub fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+
+    /// Feature dimensionality, or `None` when empty.
+    pub fn feature_dim(&self) -> Option<usize> {
+        self.features.first().map(Vec::len)
+    }
+
+    /// Feature matrix.
+    pub fn features(&self) -> &[Vec<f64>] {
+        &self.features
+    }
+
+    /// Labels, parallel to [`Dataset::features`].
+    pub fn labels(&self) -> &[usize] {
+        &self.labels
+    }
+
+    /// Sample `(features, label)` at `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of bounds.
+    pub fn sample(&self, index: usize) -> (&[f64], usize) {
+        (&self.features[index], self.labels[index])
+    }
+
+    /// Returns a dataset containing the samples at `indices` (cloned).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of bounds.
+    pub fn subset(&self, indices: &[usize]) -> Dataset {
+        let mut out = Dataset::new(self.n_classes);
+        for &i in indices {
+            out.push(self.features[i].clone(), self.labels[i]);
+        }
+        out
+    }
+
+    /// Per-class sample counts (length `n_classes`).
+    pub fn class_counts(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.n_classes];
+        for &l in &self.labels {
+            counts[l] += 1;
+        }
+        counts
+    }
+
+    /// Splits into `(train, test)` with `train_fraction` of each class in
+    /// the training set (stratified), shuffled with the seeded RNG.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `train_fraction` is outside `(0, 1)`.
+    pub fn stratified_split(&self, train_fraction: f64, seed: u64) -> (Dataset, Dataset) {
+        assert!(
+            train_fraction > 0.0 && train_fraction < 1.0,
+            "train_fraction must be in (0, 1)"
+        );
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut train_idx = Vec::new();
+        let mut test_idx = Vec::new();
+        for class in 0..self.n_classes {
+            let mut idx: Vec<usize> =
+                (0..self.len()).filter(|&i| self.labels[i] == class).collect();
+            idx.shuffle(&mut rng);
+            let cut = (idx.len() as f64 * train_fraction).round() as usize;
+            train_idx.extend_from_slice(&idx[..cut]);
+            test_idx.extend_from_slice(&idx[cut..]);
+        }
+        (self.subset(&train_idx), self.subset(&test_idx))
+    }
+
+    /// Yields `k` (train, validation) folds for cross-validation, shuffled
+    /// with the seeded RNG.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k < 2` or `k > len()`.
+    pub fn k_folds(&self, k: usize, seed: u64) -> Vec<(Dataset, Dataset)> {
+        assert!(k >= 2, "need at least 2 folds");
+        assert!(k <= self.len(), "more folds than samples");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut idx: Vec<usize> = (0..self.len()).collect();
+        idx.shuffle(&mut rng);
+        let mut folds = Vec::with_capacity(k);
+        for f in 0..k {
+            let val: Vec<usize> =
+                idx.iter().copied().skip(f).step_by(k).collect();
+            let train: Vec<usize> =
+                idx.iter().copied().filter(|i| !val.contains(i)).collect();
+            folds.push((self.subset(&train), self.subset(&val)));
+        }
+        folds
+    }
+}
+
+impl Extend<(Vec<f64>, usize)> for Dataset {
+    fn extend<T: IntoIterator<Item = (Vec<f64>, usize)>>(&mut self, iter: T) {
+        for (f, l) in iter {
+            self.push(f, l);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy(n_per_class: usize, classes: usize) -> Dataset {
+        let mut ds = Dataset::new(classes);
+        for c in 0..classes {
+            for i in 0..n_per_class {
+                ds.push(vec![c as f64, i as f64], c);
+            }
+        }
+        ds
+    }
+
+    #[test]
+    fn push_and_introspect() {
+        let ds = toy(3, 2);
+        assert_eq!(ds.len(), 6);
+        assert_eq!(ds.feature_dim(), Some(2));
+        assert_eq!(ds.class_counts(), vec![3, 3]);
+        assert_eq!(ds.sample(4), (&[1.0, 1.0][..], 1));
+    }
+
+    #[test]
+    #[should_panic]
+    fn bad_label_panics() {
+        let mut ds = Dataset::new(2);
+        ds.push(vec![0.0], 2);
+    }
+
+    #[test]
+    #[should_panic]
+    fn inconsistent_dim_panics() {
+        let mut ds = Dataset::new(2);
+        ds.push(vec![0.0], 0);
+        ds.push(vec![0.0, 1.0], 1);
+    }
+
+    #[test]
+    fn stratified_split_preserves_class_balance() {
+        let ds = toy(10, 4);
+        let (train, test) = ds.stratified_split(0.7, 42);
+        assert_eq!(train.class_counts(), vec![7, 7, 7, 7]);
+        assert_eq!(test.class_counts(), vec![3, 3, 3, 3]);
+        assert_eq!(train.len() + test.len(), ds.len());
+    }
+
+    #[test]
+    fn split_is_deterministic_per_seed() {
+        let ds = toy(10, 2);
+        let (a1, _) = ds.stratified_split(0.5, 7);
+        let (a2, _) = ds.stratified_split(0.5, 7);
+        let (b, _) = ds.stratified_split(0.5, 8);
+        assert_eq!(a1, a2);
+        assert_ne!(a1, b);
+    }
+
+    #[test]
+    fn k_folds_partition_everything() {
+        let ds = toy(6, 2);
+        let folds = ds.k_folds(3, 1);
+        assert_eq!(folds.len(), 3);
+        let total_val: usize = folds.iter().map(|(_, v)| v.len()).sum();
+        assert_eq!(total_val, ds.len());
+        for (train, val) in &folds {
+            assert_eq!(train.len() + val.len(), ds.len());
+        }
+    }
+
+    #[test]
+    fn extend_works() {
+        let mut ds = Dataset::new(2);
+        ds.extend(vec![(vec![1.0], 0), (vec![2.0], 1)]);
+        assert_eq!(ds.len(), 2);
+    }
+
+    #[test]
+    fn subset_clones_selected() {
+        let ds = toy(2, 2);
+        let sub = ds.subset(&[0, 3]);
+        assert_eq!(sub.len(), 2);
+        assert_eq!(sub.labels(), &[0, 1]);
+    }
+}

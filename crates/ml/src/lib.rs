@@ -1,0 +1,81 @@
+//! From-scratch machine-learning primitives for RF-Prism.
+//!
+//! The paper identifies the material of a tagged target from the
+//! disentangled feature vector `F = (k_t, b_t, θ_material(f₁..f₅₀))` and
+//! compares three classifiers (Fig. 13): K-Nearest-Neighbour, an SVM and a
+//! Decision Tree, with the tree winning at 87.9 %. The Tagtag baseline
+//! additionally needs Dynamic Time Warping. None of these exist as
+//! maintained pure-Rust crates suitable for this workspace, so they are
+//! implemented here from scratch:
+//!
+//! * [`dataset`] — feature matrices with labels, seeded train/test splits
+//!   and k-fold cross-validation;
+//! * [`scaler`] — per-feature standardization (essential for KNN/SVM on the
+//!   mixed-magnitude RF-Prism features);
+//! * [`metrics`] — accuracy and row-normalized confusion matrices
+//!   (paper Fig. 11);
+//! * [`knn`] — K-Nearest-Neighbour with majority vote;
+//! * [`tree`] — CART decision tree with Gini impurity;
+//! * [`svm`] — soft-margin SVM trained with simplified SMO, linear or RBF
+//!   kernel, one-vs-one multiclass;
+//! * [`dtw`] — Dynamic Time Warping distance and a 1-NN DTW classifier
+//!   (the Tagtag baseline's engine);
+//! * [`forest`] — random forest (bagged CART, an extension beyond the
+//!   paper's classifiers);
+//! * [`modsel`] — k-fold cross-validation and grid search;
+//! * [`mlp`] — a small multi-layer perceptron (the paper's §VII
+//!   "deep-learning methods" future-work extension).
+//!
+//! # Example
+//!
+//! ```
+//! use rfp_ml::dataset::Dataset;
+//! use rfp_ml::tree::DecisionTree;
+//! use rfp_ml::Classifier;
+//!
+//! let mut ds = Dataset::new(2);
+//! for i in 0..20 {
+//!     let x = i as f64 / 10.0;
+//!     ds.push(vec![x, 1.0 - x], usize::from(x >= 1.0));
+//! }
+//! let tree = DecisionTree::fit(&ds, &Default::default());
+//! assert_eq!(tree.predict(&[0.1, 0.9]), 0);
+//! assert_eq!(tree.predict(&[1.9, -0.9]), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dataset;
+pub mod dtw;
+pub mod forest;
+pub mod knn;
+pub mod metrics;
+pub mod mlp;
+pub mod modsel;
+pub mod scaler;
+pub mod svm;
+pub mod tree;
+
+pub use dataset::Dataset;
+pub use metrics::ConfusionMatrix;
+
+/// A trained multi-class classifier mapping a feature vector to a class
+/// index.
+///
+/// All classifiers in this crate implement the trait, so evaluation code
+/// (e.g. the Fig. 13 classifier comparison) can be generic.
+pub trait Classifier {
+    /// Predicts the class index for one feature vector.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if `features` has a different length than
+    /// the training data.
+    fn predict(&self, features: &[f64]) -> usize;
+
+    /// Predicts a batch of feature vectors.
+    fn predict_batch(&self, features: &[Vec<f64>]) -> Vec<usize> {
+        features.iter().map(|f| self.predict(f)).collect()
+    }
+}

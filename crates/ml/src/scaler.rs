@@ -1,0 +1,151 @@
+//! Per-feature standardization.
+//!
+//! The RF-Prism feature vector mixes magnitudes wildly: `k_t` is ~1e-8
+//! rad/Hz while the per-channel `θ_material` values are ~1 rad. Distance-
+//! and margin-based classifiers (KNN, SVM) are meaningless without scaling,
+//! so the evaluation pipeline standardizes features to zero mean / unit
+//! variance using statistics from the *training* set only.
+
+use crate::dataset::Dataset;
+
+/// Zero-mean unit-variance scaler fitted on a training set.
+///
+/// # Example
+///
+/// ```
+/// use rfp_ml::{Dataset, scaler::StandardScaler};
+/// let mut ds = Dataset::new(1);
+/// ds.push(vec![0.0, 100.0], 0);
+/// ds.push(vec![2.0, 300.0], 0);
+/// let s = StandardScaler::fit(&ds);
+/// let t = s.transform(&[1.0, 200.0]);
+/// assert!(t.iter().all(|v| v.abs() < 1e-12)); // both features centred
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct StandardScaler {
+    means: Vec<f64>,
+    stds: Vec<f64>,
+}
+
+impl StandardScaler {
+    /// Fits per-feature mean and standard deviation on `train`.
+    ///
+    /// Features with (numerically) zero variance get a standard deviation of
+    /// 1 so that transform leaves them centred but un-scaled.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `train` is empty.
+    pub fn fit(train: &Dataset) -> Self {
+        assert!(!train.is_empty(), "cannot fit a scaler on an empty dataset");
+        let dim = train.feature_dim().expect("nonempty");
+        let n = train.len() as f64;
+        let mut means = vec![0.0; dim];
+        for f in train.features() {
+            for (m, v) in means.iter_mut().zip(f) {
+                *m += v;
+            }
+        }
+        for m in &mut means {
+            *m /= n;
+        }
+        let mut vars = vec![0.0; dim];
+        for f in train.features() {
+            for ((v, m), x) in vars.iter_mut().zip(&means).zip(f) {
+                *v += (x - m) * (x - m);
+            }
+        }
+        let stds = vars
+            .into_iter()
+            .map(|v| {
+                let s = (v / n).sqrt();
+                if s > 1e-300 {
+                    s
+                } else {
+                    1.0
+                }
+            })
+            .collect();
+        StandardScaler { means, stds }
+    }
+
+    /// Standardizes one feature vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimension does not match the fitted data.
+    pub fn transform(&self, features: &[f64]) -> Vec<f64> {
+        assert_eq!(features.len(), self.means.len(), "dimension mismatch");
+        features
+            .iter()
+            .zip(&self.means)
+            .zip(&self.stds)
+            .map(|((x, m), s)| (x - m) / s)
+            .collect()
+    }
+
+    /// Standardizes a whole dataset (labels preserved).
+    pub fn transform_dataset(&self, ds: &Dataset) -> Dataset {
+        let mut out = Dataset::new(ds.n_classes());
+        for i in 0..ds.len() {
+            let (f, l) = ds.sample(i);
+            out.push(self.transform(f), l);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> Dataset {
+        let mut ds = Dataset::new(2);
+        ds.push(vec![1.0, 1000.0], 0);
+        ds.push(vec![2.0, 2000.0], 0);
+        ds.push(vec![3.0, 3000.0], 1);
+        ds
+    }
+
+    #[test]
+    fn transform_is_zero_mean_unit_var() {
+        let ds = toy();
+        let s = StandardScaler::fit(&ds);
+        let t = s.transform_dataset(&ds);
+        let dim = t.feature_dim().unwrap();
+        for d in 0..dim {
+            let col: Vec<f64> = t.features().iter().map(|f| f[d]).collect();
+            let mean = col.iter().sum::<f64>() / col.len() as f64;
+            let var = col.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>()
+                / col.len() as f64;
+            assert!(mean.abs() < 1e-12);
+            assert!((var - 1.0).abs() < 1e-12);
+        }
+        assert_eq!(t.labels(), ds.labels());
+    }
+
+    #[test]
+    fn constant_feature_stays_finite() {
+        let mut ds = Dataset::new(1);
+        ds.push(vec![5.0], 0);
+        ds.push(vec![5.0], 0);
+        let s = StandardScaler::fit(&ds);
+        let t = s.transform(&[5.0]);
+        assert_eq!(t, vec![0.0]);
+        let t2 = s.transform(&[6.0]);
+        assert!(t2[0].is_finite());
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_fit_panics() {
+        let _ = StandardScaler::fit(&Dataset::new(1));
+    }
+
+    #[test]
+    #[should_panic]
+    fn dim_mismatch_panics() {
+        let s = StandardScaler::fit(&toy());
+        let _ = s.transform(&[1.0]);
+    }
+}

@@ -1,0 +1,51 @@
+//! Physical and regulatory constants.
+
+/// Speed of light in vacuum, m/s.
+pub const SPEED_OF_LIGHT: f64 = 299_792_458.0;
+
+/// Lowest channel centre frequency of the FCC US UHF RFID band, Hz
+/// (channel 1 of the ImpinJ R420 hop set).
+pub const FCC_BAND_START_HZ: f64 = 902.75e6;
+
+/// Highest channel centre frequency of the FCC US UHF RFID band, Hz.
+pub const FCC_BAND_END_HZ: f64 = 927.25e6;
+
+/// Channel spacing of the FCC US hop set, Hz.
+pub const FCC_CHANNEL_SPACING_HZ: f64 = 500e3;
+
+/// Number of channels in the FCC US hop set.
+pub const FCC_CHANNEL_COUNT: usize = 50;
+
+/// Dwell time the ImpinJ R420 spends on each channel, seconds.
+/// (FCC part 15 limits dwell to 400 ms per 10 s; the R420 uses 200 ms.)
+pub const IMPINJ_DWELL_S: f64 = 0.2;
+
+/// Phase quantization step of the ImpinJ R420's reported phase: the LLRP
+/// `PhaseAngle` field is 12-bit over one turn.
+pub const IMPINJ_PHASE_LSB_RAD: f64 = std::f64::consts::TAU / 4096.0;
+
+/// RSSI quantization step reported by the ImpinJ R420, dB.
+pub const IMPINJ_RSSI_LSB_DB: f64 = 0.5;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn band_is_consistent() {
+        let span = FCC_BAND_END_HZ - FCC_BAND_START_HZ;
+        let expected = FCC_CHANNEL_SPACING_HZ * (FCC_CHANNEL_COUNT as f64 - 1.0);
+        assert!((span - expected).abs() < 1.0, "span {span} != {expected}");
+    }
+
+    #[test]
+    fn wavelength_is_about_33cm() {
+        let lambda = SPEED_OF_LIGHT / 915e6;
+        assert!((lambda - 0.3276).abs() < 1e-3);
+    }
+
+    #[test]
+    fn phase_lsb_small() {
+        assert!(IMPINJ_PHASE_LSB_RAD < 0.002);
+    }
+}

@@ -1,0 +1,166 @@
+//! Frequency channel plans.
+//!
+//! A UHF reader avoids interference by hopping over a regulatory channel
+//! set; the ImpinJ R420 used by the paper hops over 50 channels between
+//! 902.75 and 927.25 MHz. The multi-frequency phase model needs the channel
+//! list both to *generate* readings (simulator) and to *fit* the phase line
+//! (disentangler), so the plan lives in this shared crate.
+
+use crate::constants::{
+    FCC_BAND_END_HZ, FCC_BAND_START_HZ, FCC_CHANNEL_COUNT, FCC_CHANNEL_SPACING_HZ,
+};
+
+/// A set of equally spaced channel centre frequencies.
+///
+/// Channels are indexed `0..channel_count()` in ascending frequency order.
+/// (The over-the-air hop *order* is pseudo-random and is decided by the
+/// reader model in `rfp-sim`; the plan itself is just the frequency table.)
+///
+/// # Example
+///
+/// ```
+/// use rfp_phys::FrequencyPlan;
+/// let plan = FrequencyPlan::fcc_us();
+/// assert_eq!(plan.channel_count(), 50);
+/// assert_eq!(plan.frequency_hz(0), 902.75e6);
+/// assert_eq!(plan.frequency_hz(49), 927.25e6);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct FrequencyPlan {
+    start_hz: f64,
+    spacing_hz: f64,
+    count: usize,
+}
+
+impl FrequencyPlan {
+    /// The FCC US plan used by the paper's ImpinJ R420: 50 channels,
+    /// 902.75–927.25 MHz, 500 kHz spacing.
+    pub fn fcc_us() -> Self {
+        FrequencyPlan {
+            start_hz: FCC_BAND_START_HZ,
+            spacing_hz: FCC_CHANNEL_SPACING_HZ,
+            count: FCC_CHANNEL_COUNT,
+        }
+    }
+
+    /// A custom equally spaced plan.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count == 0`, `start_hz <= 0` or `spacing_hz <= 0` (a plan
+    /// with a single channel may pass any positive spacing).
+    pub fn new(start_hz: f64, spacing_hz: f64, count: usize) -> Self {
+        assert!(count > 0, "a plan needs at least one channel");
+        assert!(start_hz > 0.0 && spacing_hz > 0.0, "frequencies must be positive");
+        FrequencyPlan { start_hz, spacing_hz, count }
+    }
+
+    /// A plan with the FCC band edges but only `count` channels — used by the
+    /// channel-count ablation experiments.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count < 2`.
+    pub fn fcc_us_subsampled(count: usize) -> Self {
+        assert!(count >= 2, "need at least two channels to span the band");
+        let spacing = (FCC_BAND_END_HZ - FCC_BAND_START_HZ) / (count as f64 - 1.0);
+        FrequencyPlan { start_hz: FCC_BAND_START_HZ, spacing_hz: spacing, count }
+    }
+
+    /// Number of channels.
+    #[inline]
+    pub fn channel_count(&self) -> usize {
+        self.count
+    }
+
+    /// Centre frequency of channel `index`, Hz.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= channel_count()`.
+    #[inline]
+    pub fn frequency_hz(&self, index: usize) -> f64 {
+        assert!(index < self.count, "channel {index} out of range 0..{}", self.count);
+        self.start_hz + self.spacing_hz * index as f64
+    }
+
+    /// All channel frequencies in ascending order, Hz.
+    pub fn frequencies_hz(&self) -> Vec<f64> {
+        (0..self.count).map(|i| self.frequency_hz(i)).collect()
+    }
+
+    /// Channel spacing, Hz.
+    #[inline]
+    pub fn spacing_hz(&self) -> f64 {
+        self.spacing_hz
+    }
+
+    /// Lowest channel frequency, Hz.
+    #[inline]
+    pub fn start_hz(&self) -> f64 {
+        self.start_hz
+    }
+
+    /// Highest channel frequency, Hz.
+    #[inline]
+    pub fn end_hz(&self) -> f64 {
+        self.frequency_hz(self.count - 1)
+    }
+
+    /// Band span from first to last channel, Hz.
+    #[inline]
+    pub fn span_hz(&self) -> f64 {
+        self.end_hz() - self.start_hz
+    }
+
+    /// Mean of the channel frequencies, Hz.
+    #[inline]
+    pub fn center_hz(&self) -> f64 {
+        (self.start_hz + self.end_hz()) / 2.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fcc_plan_matches_paper() {
+        let p = FrequencyPlan::fcc_us();
+        assert_eq!(p.channel_count(), 50);
+        assert_eq!(p.frequency_hz(0), 902.75e6);
+        assert_eq!(p.frequency_hz(1), 903.25e6);
+        assert_eq!(p.end_hz(), 927.25e6);
+        assert!((p.span_hz() - 24.5e6).abs() < 1.0);
+        assert!((p.center_hz() - 915e6).abs() < 1.0);
+    }
+
+    #[test]
+    fn frequencies_hz_is_sorted_and_complete() {
+        let p = FrequencyPlan::fcc_us();
+        let f = p.frequencies_hz();
+        assert_eq!(f.len(), 50);
+        assert!(f.windows(2).all(|w| w[1] > w[0]));
+    }
+
+    #[test]
+    fn subsampled_plan_keeps_band_edges() {
+        let p = FrequencyPlan::fcc_us_subsampled(10);
+        assert_eq!(p.channel_count(), 10);
+        assert_eq!(p.frequency_hz(0), 902.75e6);
+        assert!((p.end_hz() - 927.25e6).abs() < 1.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_channel_panics() {
+        let p = FrequencyPlan::fcc_us();
+        let _ = p.frequency_hz(50);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_count_panics() {
+        let _ = FrequencyPlan::new(900e6, 1e6, 0);
+    }
+}

@@ -1,0 +1,62 @@
+//! Shared physical forward models for the RF-Prism workspace.
+//!
+//! This crate holds *the* model of how an RFID phase reading comes to be —
+//! the equations of Section IV of the paper. It is deliberately shared
+//! between the testbed simulator (`rfp-sim`, which runs the model forward and
+//! then corrupts it with noise, quantization, π jumps and multipath) and the
+//! disentangler (`rfp-core`, which inverts the clean model). Keeping one copy
+//! makes the inversion honest: the solver never sees the simulator's noise
+//! internals, only the physics both sides agree on.
+//!
+//! The components, mirroring Eq. (1) of the paper
+//! `θ = (θ_prop + θ_orient + θ_reader + θ_tag) mod 2π`:
+//!
+//! * [`propagation`] — `θ_prop(f) = 4π d f / c` (Eq. 3) plus free-space /
+//!   backscatter path loss for RSSI.
+//! * [`polarization`] — `θ_orient` between a circularly-polarized reader
+//!   antenna and a linearly-polarized tag (Eq. 4).
+//! * [`tag`] — `θ_device(f) = θ_reader + θ_tag`, produced by a resonant
+//!   (RLC) model of the tag antenna whose resonance is detuned by the
+//!   attached material; over the 902–928 MHz band the reflection phase is
+//!   close to linear in `f` (Eq. 5), with material-specific slope `k_t` and
+//!   intercept `b_t`.
+//! * [`material`] — the eight-material database of the paper's evaluation
+//!   (wood, plastic, glass, metal, water, skim milk, edible oil, alcohol).
+//! * [`freq`] — the FCC UHF hopping plan of the ImpinJ R420
+//!   (50 channels, 902.75–927.25 MHz).
+//! * [`rssi`] — received-power model used by the Tagtag baseline.
+//!
+//! # Example: composing a clean phase reading
+//!
+//! ```
+//! use rfp_geom::{AntennaPose, Vec2, Vec3};
+//! use rfp_phys::{freq::FrequencyPlan, polarization, propagation, tag::TagElectrical};
+//! use rfp_phys::material::Material;
+//!
+//! let plan = FrequencyPlan::fcc_us();
+//! let antenna = AntennaPose::planar(Vec2::new(0.0, 0.0), Vec2::new(0.0, 2.0), 0.0);
+//! let tag_pos = Vec3::new(0.3, 1.5, 0.0);
+//! let dipole = Vec3::new(1.0, 0.0, 0.0);
+//! let electrical = TagElectrical::nominal().with_material(Material::Glass);
+//!
+//! let f = plan.frequency_hz(0);
+//! let theta = propagation::phase(antenna.position().distance(tag_pos), f)
+//!     + polarization::orientation_phase(&antenna, dipole)
+//!     + electrical.device_phase(f);
+//! assert!(theta.is_finite());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod constants;
+pub mod freq;
+pub mod material;
+pub mod polarization;
+pub mod propagation;
+pub mod rssi;
+pub mod tag;
+
+pub use freq::FrequencyPlan;
+pub use material::Material;
+pub use tag::TagElectrical;

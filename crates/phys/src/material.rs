@@ -1,0 +1,244 @@
+//! Material database for the paper's eight-class identification task.
+//!
+//! Attaching a tag to a target changes the tag antenna's impedance: the
+//! target's permittivity loads the antenna and detunes its resonance, and
+//! the target's conductivity adds loss. The paper observes (Fig. 6) that the
+//! resulting device phase is close to linear in frequency with a
+//! material-specific slope and intercept, and identifies the material from
+//! those parameters.
+//!
+//! Each material here carries three dielectric parameters:
+//!
+//! * `permittivity` — relative permittivity ε_r of the bulk material at
+//!   ~915 MHz (standard literature values);
+//! * `coupling` — dimensionless near-field coupling coefficient κ ∈ [0, 1]:
+//!   how much of the tag antenna's fringing field actually passes through
+//!   the material (solids touch the tag; liquids sit behind a bottle wall,
+//!   so their effective κ is smaller). The effective loading permittivity is
+//!   `ε_eff = 1 + κ (ε_r − 1)`;
+//! * `loss` — aggregate dissipation factor that divides the resonator's Q
+//!   (`Q_eff = Q / (1 + loss)`) and attenuates the backscatter amplitude.
+//!
+//! The values are tuned so that the *pattern* of the paper holds: water and
+//! skim milk are near-neighbours (the paper's dominant confusion, Fig. 11),
+//! metal detunes hardest and reflects most, oil behaves almost like a dry
+//! solid, and wood/plastic sit close together among the solids.
+
+use std::fmt;
+
+/// One of the eight target materials of the paper's evaluation, or the bare
+/// (unattached) tag used for device calibration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Material {
+    /// Bare tag in free space (calibration reference; not a class).
+    FreeSpace,
+    /// Solid wood block.
+    Wood,
+    /// Solid plastic (the paper's "does not affect the signal" carrier).
+    Plastic,
+    /// Glass.
+    Glass,
+    /// Metal box (tag separated by two sheets of paper, as in the paper).
+    Metal,
+    /// Tap water in a glass bottle.
+    Water,
+    /// Skim milk in a glass bottle.
+    SkimMilk,
+    /// Edible oil in a glass bottle.
+    EdibleOil,
+    /// 75 % medical alcohol in a glass bottle.
+    Alcohol,
+}
+
+impl Material {
+    /// The eight classification targets, in the paper's presentation order
+    /// (four solids, then four liquids). Excludes [`Material::FreeSpace`].
+    pub const CLASSES: [Material; 8] = [
+        Material::Wood,
+        Material::Plastic,
+        Material::Glass,
+        Material::Metal,
+        Material::Water,
+        Material::SkimMilk,
+        Material::EdibleOil,
+        Material::Alcohol,
+    ];
+
+    /// Class index in [`Material::CLASSES`], or `None` for
+    /// [`Material::FreeSpace`].
+    pub fn class_index(self) -> Option<usize> {
+        Material::CLASSES.iter().position(|&m| m == self)
+    }
+
+    /// Inverse of [`Material::class_index`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 8`.
+    pub fn from_class_index(index: usize) -> Material {
+        Material::CLASSES[index]
+    }
+
+    /// Relative permittivity ε_r at ~915 MHz.
+    pub fn permittivity(self) -> f64 {
+        match self {
+            Material::FreeSpace => 1.0,
+            Material::Wood => 2.0,
+            Material::Plastic => 2.3,
+            Material::Glass => 5.5,
+            // Not a dielectric constant in the usual sense: stands in for the
+            // strong reactive loading of a conductor behind a thin spacer.
+            Material::Metal => 15.0,
+            Material::Water => 78.0,
+            Material::SkimMilk => 70.0,
+            Material::EdibleOil => 3.0,
+            Material::Alcohol => 30.0,
+        }
+    }
+
+    /// Near-field coupling coefficient κ (see module docs).
+    pub fn coupling(self) -> f64 {
+        match self {
+            Material::FreeSpace => 0.0,
+            Material::Wood => 0.100,
+            Material::Plastic => 0.031,
+            Material::Glass => 0.056,
+            Material::Metal => 0.064,
+            Material::Water => 0.0078,
+            Material::SkimMilk => 0.0080,
+            Material::EdibleOil => 0.085,
+            Material::Alcohol => 0.0145,
+        }
+    }
+
+    /// Effective loading permittivity `ε_eff = 1 + κ (ε_r − 1)` seen by the
+    /// tag antenna's fringing field.
+    pub fn effective_permittivity(self) -> f64 {
+        1.0 + self.coupling() * (self.permittivity() - 1.0)
+    }
+
+    /// Aggregate dissipation factor (divides the resonator Q).
+    pub fn loss(self) -> f64 {
+        match self {
+            Material::FreeSpace => 0.0,
+            Material::Wood => 0.10,
+            Material::Plastic => 0.02,
+            Material::Glass => 0.05,
+            Material::Metal => 2.0,
+            Material::Water => 1.5,
+            Material::SkimMilk => 1.6,
+            Material::EdibleOil => 0.10,
+            Material::Alcohol => 2.5,
+        }
+    }
+
+    /// Whether the material is electrically conductive enough to visibly
+    /// disturb localization (the paper's Fig. 8/9 discussion: metal and the
+    /// conductive liquids fare slightly worse).
+    pub fn is_conductive(self) -> bool {
+        self.loss() >= 1.0
+    }
+
+    /// Whether this is one of the four liquid classes.
+    pub fn is_liquid(self) -> bool {
+        matches!(
+            self,
+            Material::Water | Material::SkimMilk | Material::EdibleOil | Material::Alcohol
+        )
+    }
+
+    /// Short lowercase label matching the paper's figures.
+    pub fn label(self) -> &'static str {
+        match self {
+            Material::FreeSpace => "free-space",
+            Material::Wood => "wood",
+            Material::Plastic => "plastic",
+            Material::Glass => "glass",
+            Material::Metal => "metal",
+            Material::Water => "water",
+            Material::SkimMilk => "milk",
+            Material::EdibleOil => "oil",
+            Material::Alcohol => "alcohol",
+        }
+    }
+}
+
+impl fmt::Display for Material {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eight_classes_in_paper_order() {
+        assert_eq!(Material::CLASSES.len(), 8);
+        assert_eq!(Material::CLASSES[0], Material::Wood);
+        assert_eq!(Material::CLASSES[7], Material::Alcohol);
+    }
+
+    #[test]
+    fn class_index_round_trip() {
+        for (i, &m) in Material::CLASSES.iter().enumerate() {
+            assert_eq!(m.class_index(), Some(i));
+            assert_eq!(Material::from_class_index(i), m);
+        }
+        assert_eq!(Material::FreeSpace.class_index(), None);
+    }
+
+    #[test]
+    fn free_space_is_neutral() {
+        assert_eq!(Material::FreeSpace.effective_permittivity(), 1.0);
+        assert_eq!(Material::FreeSpace.loss(), 0.0);
+    }
+
+    #[test]
+    fn effective_permittivity_ordering_matches_design() {
+        // Metal detunes hardest, then the conductive liquids, then glass/oil,
+        // then wood, then plastic.
+        let e = |m: Material| m.effective_permittivity();
+        assert!(e(Material::Metal) > e(Material::Water));
+        assert!(e(Material::Water) > e(Material::Glass));
+        assert!(e(Material::Glass) > e(Material::Wood));
+        assert!(e(Material::Wood) > e(Material::Plastic));
+        assert!(e(Material::Plastic) > 1.0);
+    }
+
+    #[test]
+    fn water_and_milk_are_near_neighbours() {
+        // The paper's dominant confusion pair must be close in loading.
+        let d = (Material::Water.effective_permittivity()
+            - Material::SkimMilk.effective_permittivity())
+        .abs();
+        assert!(d < 0.06, "water/milk loading gap {d} too large");
+    }
+
+    #[test]
+    fn conductive_set_matches_paper_discussion() {
+        assert!(Material::Metal.is_conductive());
+        assert!(Material::Water.is_conductive());
+        assert!(Material::SkimMilk.is_conductive());
+        assert!(Material::Alcohol.is_conductive());
+        assert!(!Material::Wood.is_conductive());
+        assert!(!Material::EdibleOil.is_conductive());
+    }
+
+    #[test]
+    fn liquids() {
+        let liquids: Vec<_> =
+            Material::CLASSES.iter().filter(|m| m.is_liquid()).collect();
+        assert_eq!(liquids.len(), 4);
+    }
+
+    #[test]
+    fn labels_unique_and_nonempty() {
+        let mut labels: Vec<_> = Material::CLASSES.iter().map(|m| m.label()).collect();
+        labels.sort();
+        labels.dedup();
+        assert_eq!(labels.len(), 8);
+        assert_eq!(format!("{}", Material::SkimMilk), "milk");
+    }
+}

@@ -1,0 +1,137 @@
+//! Round-trip propagation phase (Eq. 3 of the paper) and distance/slope
+//! conversions.
+//!
+//! `θ_prop(f) = (2π · 2 d f / c) mod 2π` — the signal travels the antenna–tag
+//! distance `d` twice. For a fixed `d` the *unwrapped* phase is linear in
+//! frequency with slope `4π d / c`; this is the key that lets RF-Prism read
+//! the distance off the slope of the phase-vs-frequency line and so escape
+//! the per-wavelength phase ambiguity.
+
+use crate::constants::SPEED_OF_LIGHT;
+use rfp_geom::angle::wrap_tau;
+
+/// Unwrapped round-trip propagation phase for antenna–tag distance `d`
+/// (metres) at carrier frequency `f` (Hz), radians.
+///
+/// This is the physical (unwrapped) value; use [`phase_wrapped`] for what a
+/// reader would report before any other component is added.
+#[inline]
+pub fn phase(d: f64, f: f64) -> f64 {
+    4.0 * std::f64::consts::PI * d * f / SPEED_OF_LIGHT
+}
+
+/// Propagation phase wrapped into `[0, 2π)`.
+#[inline]
+pub fn phase_wrapped(d: f64, f: f64) -> f64 {
+    wrap_tau(phase(d, f))
+}
+
+/// Slope of the phase-vs-frequency line for distance `d`, rad/Hz
+/// (`4π d / c`, Eq. 6 of the paper).
+///
+/// ```
+/// use rfp_phys::propagation::{slope_from_distance, distance_from_slope};
+/// let k = slope_from_distance(1.5);
+/// assert!((distance_from_slope(k) - 1.5).abs() < 1e-12);
+/// ```
+#[inline]
+pub fn slope_from_distance(d: f64) -> f64 {
+    4.0 * std::f64::consts::PI * d / SPEED_OF_LIGHT
+}
+
+/// Inverse of [`slope_from_distance`]: distance (metres) corresponding to a
+/// phase-vs-frequency slope `k` (rad/Hz).
+#[inline]
+pub fn distance_from_slope(k: f64) -> f64 {
+    k * SPEED_OF_LIGHT / (4.0 * std::f64::consts::PI)
+}
+
+/// Carrier wavelength, metres.
+#[inline]
+pub fn wavelength(f: f64) -> f64 {
+    SPEED_OF_LIGHT / f
+}
+
+/// One-way free-space path loss in dB between isotropic antennas at
+/// distance `d` metres, frequency `f` Hz (Friis).
+///
+/// # Panics
+///
+/// Panics in debug builds if `d <= 0` or `f <= 0`.
+pub fn free_space_path_loss_db(d: f64, f: f64) -> f64 {
+    debug_assert!(d > 0.0 && f > 0.0);
+    20.0 * (4.0 * std::f64::consts::PI * d * f / SPEED_OF_LIGHT).log10()
+}
+
+/// Round-trip (backscatter) path loss in dB: the tag re-radiates, so the
+/// received power falls as `d⁴` — twice the one-way Friis loss.
+pub fn backscatter_path_loss_db(d: f64, f: f64) -> f64 {
+    2.0 * free_space_path_loss_db(d, f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::PI;
+
+    #[test]
+    fn phase_is_linear_in_distance_and_frequency() {
+        let f = 915e6;
+        assert_eq!(phase(0.0, f), 0.0);
+        let p1 = phase(1.0, f);
+        assert!((phase(2.0, f) - 2.0 * p1).abs() < 1e-9);
+        assert!((phase(1.0, 2.0 * f) - 2.0 * p1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn half_wavelength_advances_one_turn() {
+        // Round trip: moving the tag λ/2 farther adds exactly 2π.
+        let f = 915e6;
+        let lambda = wavelength(f);
+        let d = 1.0;
+        let diff = phase(d + lambda / 2.0, f) - phase(d, f);
+        assert!((diff - 2.0 * PI).abs() < 1e-9);
+    }
+
+    #[test]
+    fn wrapped_phase_in_range() {
+        for d in [0.1, 0.5, 1.0, 2.5, 7.3] {
+            let w = phase_wrapped(d, 915e6);
+            assert!((0.0..2.0 * PI).contains(&w));
+        }
+    }
+
+    #[test]
+    fn slope_round_trip() {
+        for d in [0.25, 0.5, 1.5, 2.5, 3.0] {
+            let k = slope_from_distance(d);
+            assert!((distance_from_slope(k) - d).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn slope_magnitude_matches_paper_band() {
+        // Over the 24.5 MHz FCC band a 2.5 m distance sweeps ~2.6 rad.
+        let k = slope_from_distance(2.5);
+        let sweep = k * 24.5e6;
+        assert!((sweep - 2.567).abs() < 0.01, "sweep={sweep}");
+    }
+
+    #[test]
+    fn path_loss_monotone_in_distance() {
+        let f = 915e6;
+        assert!(free_space_path_loss_db(2.0, f) > free_space_path_loss_db(1.0, f));
+        // Doubling distance adds ~6 dB one-way, ~12 dB round trip.
+        let one = free_space_path_loss_db(2.0, f) - free_space_path_loss_db(1.0, f);
+        assert!((one - 6.02).abs() < 0.01);
+        let rt = backscatter_path_loss_db(2.0, f) - backscatter_path_loss_db(1.0, f);
+        assert!((rt - 12.04).abs() < 0.02);
+    }
+
+    #[test]
+    fn friis_at_one_meter_915mhz() {
+        // Known value: FSPL(1 m, 915 MHz) ≈ 31.7 dB.
+        let l = free_space_path_loss_db(1.0, 915e6);
+        assert!((l - 31.67).abs() < 0.1, "l={l}");
+    }
+}

@@ -1,0 +1,416 @@
+//! Tag electrical model: the `θ_tag` component and its material dependence.
+//!
+//! A passive UHF tag is a resonant structure (antenna + matching network +
+//! chip). We model it as a single resonator with resonant frequency `f₀`
+//! and quality factor `Q`. The phase of its backscatter reflection
+//! coefficient near resonance follows the classic resonator curve
+//!
+//! ```text
+//! φ(f) = −2 · atan(x) + b₀,   x = 2 Q_eff (f − f₀ₘ) / f₀ₘ
+//! ```
+//!
+//! Attaching the tag to a material loads the antenna's fringing field:
+//!
+//! * the resonance shifts down, `f₀ₘ = f₀ / sqrt(ε_eff)` with
+//!   `ε_eff = 1 + κ (ε_r − 1)` (see [`crate::material`]);
+//! * the Q drops, `Q_eff = Q / (1 + loss)`;
+//! * the backscatter amplitude shrinks (detuning + dissipation).
+//!
+//! On top of the resonator sits a **group-delay** term: the reader's SAW
+//! filters and the tag's matching network add tens of nanoseconds of
+//! electrical delay, i.e. a phase slope `−2π τ f`. This is what makes the
+//! paper's Figs. 4–6 sweep ~10 rad across the 24.5 MHz band where bare
+//! propagation would account for a fraction of that. Material loading
+//! lengthens the tag's effective electrical path, so the delay is
+//! material-dependent: `τ = τ₀ + τ_scale · (sqrt(ε_eff) − 1)` — the
+//! dominant contribution to the material-specific slope `k_t` of Eq. (5).
+//!
+//! Over the 24.5 MHz FCC band the arctangent is gently curved, so the phase
+//! is *close to linear in f* — exactly the paper's empirical Eq. (5),
+//! `θ_device(f) = k_t f + b_t`, with material-specific `k_t` and `b_t`. The
+//! [`TagElectrical::linearized`] helper extracts those ground-truth
+//! parameters by least squares over a channel plan; the residual curvature
+//! is a small, honest model error that the disentangler has to live with —
+//! and, after calibration, a secondary material signature.
+
+use crate::freq::FrequencyPlan;
+use crate::material::Material;
+
+/// Electrical state of one tag, including manufacturing diversity and the
+/// attached material.
+///
+/// # Example
+///
+/// ```
+/// use rfp_phys::{FrequencyPlan, Material, TagElectrical};
+/// let bare = TagElectrical::nominal();
+/// let on_glass = bare.with_material(Material::Glass);
+/// let plan = FrequencyPlan::fcc_us();
+/// let lin_bare = bare.linearized(&plan);
+/// let lin_glass = on_glass.linearized(&plan);
+/// // Attaching glass detunes the tag and changes the phase-line slope:
+/// assert!((lin_bare.kt - lin_glass.kt).abs() > 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TagElectrical {
+    /// Free-space resonant frequency of this tag instance, Hz.
+    resonance_hz: f64,
+    /// Unloaded quality factor.
+    q: f64,
+    /// Constant phase offset of the chip's modulator, radians.
+    base_phase: f64,
+    /// Base (unloaded) group delay of this reader-tag chain, seconds.
+    group_delay_s: f64,
+    /// Attached material.
+    material: Material,
+}
+
+/// Ground-truth linearization of a tag's device phase over a band:
+/// `θ_device(f) ≈ kt·f + bt` (paper Eq. 5).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinearizedDevice {
+    /// Slope, rad/Hz.
+    pub kt: f64,
+    /// Intercept at f = 0, radians (meaningful modulo 2π).
+    pub bt: f64,
+    /// RMS residual of the linear fit, radians — the curvature the linear
+    /// model cannot capture.
+    pub rms_residual: f64,
+}
+
+/// Nominal free-space resonance of an EPC Gen2 tag tuned for the US band, Hz.
+pub const NOMINAL_RESONANCE_HZ: f64 = 915.0e6;
+
+/// Nominal unloaded quality factor.
+pub const NOMINAL_Q: f64 = 8.0;
+
+/// Nominal base group delay of the reader + tag chain, seconds. Produces
+/// the ~9 rad device-phase sweep across the FCC band visible in the
+/// paper's Figs. 4–6.
+pub const NOMINAL_GROUP_DELAY_S: f64 = 60e-9;
+
+/// Material sensitivity of the group delay, seconds per unit of
+/// `sqrt(ε_eff) − 1`: loading lengthens the tag's effective electrical
+/// path.
+pub const MATERIAL_DELAY_SCALE_S: f64 = 100e-9;
+
+impl TagElectrical {
+    /// A nominal tag: resonance 915 MHz, Q = 8, zero modulator offset, no
+    /// attached material.
+    pub fn nominal() -> Self {
+        TagElectrical {
+            resonance_hz: NOMINAL_RESONANCE_HZ,
+            q: NOMINAL_Q,
+            base_phase: 0.0,
+            group_delay_s: NOMINAL_GROUP_DELAY_S,
+            material: Material::FreeSpace,
+        }
+    }
+
+    /// A tag with explicit manufacturing diversity: resonance shifted by
+    /// `delta_f0_hz`, Q scaled by `q_scale`, and modulator phase offset
+    /// `base_phase` radians.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q_scale` is not positive or the shifted resonance is not
+    /// positive.
+    pub fn with_manufacturing(delta_f0_hz: f64, q_scale: f64, base_phase: f64) -> Self {
+        assert!(q_scale > 0.0, "q_scale must be positive");
+        let resonance_hz = NOMINAL_RESONANCE_HZ + delta_f0_hz;
+        assert!(resonance_hz > 0.0, "resonance must stay positive");
+        TagElectrical {
+            resonance_hz,
+            q: NOMINAL_Q * q_scale,
+            base_phase,
+            group_delay_s: NOMINAL_GROUP_DELAY_S,
+            material: Material::FreeSpace,
+        }
+    }
+
+    /// Returns a copy with a different base group delay (manufacturing
+    /// diversity of the matching network / reader chain).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `group_delay_s` is negative.
+    pub fn with_group_delay(&self, group_delay_s: f64) -> Self {
+        assert!(group_delay_s >= 0.0, "group delay cannot be negative");
+        TagElectrical { group_delay_s, ..*self }
+    }
+
+    /// Returns a copy of this tag attached to `material`.
+    ///
+    /// Manufacturing diversity is preserved; only the loading changes.
+    pub fn with_material(&self, material: Material) -> Self {
+        TagElectrical { material, ..*self }
+    }
+
+    /// The attached material.
+    #[inline]
+    pub fn material(&self) -> Material {
+        self.material
+    }
+
+    /// Free-space resonant frequency of this tag instance, Hz.
+    #[inline]
+    pub fn resonance_hz(&self) -> f64 {
+        self.resonance_hz
+    }
+
+    /// Loaded resonant frequency `f₀ₘ = f₀ / sqrt(ε_eff)`, Hz.
+    pub fn loaded_resonance_hz(&self) -> f64 {
+        self.resonance_hz / self.material.effective_permittivity().sqrt()
+    }
+
+    /// Loaded quality factor `Q_eff = Q / (1 + loss)`.
+    pub fn loaded_q(&self) -> f64 {
+        self.q / (1.0 + self.material.loss())
+    }
+
+    /// Normalized detuning `x = 2 Q_eff (f − f₀ₘ) / f₀ₘ` at frequency `f` Hz.
+    pub fn detuning(&self, f: f64) -> f64 {
+        let f0 = self.loaded_resonance_hz();
+        2.0 * self.loaded_q() * (f - f0) / f0
+    }
+
+    /// Total (loaded) group delay, seconds.
+    pub fn loaded_group_delay_s(&self) -> f64 {
+        self.group_delay_s
+            + MATERIAL_DELAY_SCALE_S
+                * (self.material.effective_permittivity().sqrt() - 1.0)
+    }
+
+    /// Device phase `θ_tag(f)` in radians (unwrapped; not reduced mod 2π):
+    /// group-delay slope + resonator phase + modulator offset.
+    ///
+    /// This is the tag-side part of `θ_device`; per-antenna reader offsets
+    /// `θ_reader` are added by the simulator and removed by the antenna
+    /// calibration step (paper §IV-C).
+    pub fn device_phase(&self, f: f64) -> f64 {
+        -std::f64::consts::TAU * self.loaded_group_delay_s() * f
+            - 2.0 * self.detuning(f).atan()
+            + self.base_phase
+    }
+
+    /// Linear-scale backscatter amplitude factor in `(0, 1]`: the resonator's
+    /// magnitude response at `f`, including dissipation loss.
+    ///
+    /// 1.0 for a nominal tag read exactly at resonance; smaller when detuned
+    /// (e.g. by an attached high-permittivity material) or lossy.
+    pub fn amplitude_factor(&self, f: f64) -> f64 {
+        let x = self.detuning(f);
+        let resonance_gain = 1.0 / (1.0 + x * x).sqrt();
+        let dissipation = 1.0 / (1.0 + 0.5 * self.material.loss());
+        resonance_gain * dissipation
+    }
+
+    /// Least-squares linearization of [`TagElectrical::device_phase`] over
+    /// the channels of `plan` — the ground-truth `(k_t, b_t)` of Eq. (5).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan has fewer than 2 channels.
+    pub fn linearized(&self, plan: &FrequencyPlan) -> LinearizedDevice {
+        let n = plan.channel_count();
+        assert!(n >= 2, "need at least two channels to fit a line");
+        let fs = plan.frequencies_hz();
+        let ph: Vec<f64> = fs.iter().map(|&f| self.device_phase(f)).collect();
+        let fbar = fs.iter().sum::<f64>() / n as f64;
+        let pbar = ph.iter().sum::<f64>() / n as f64;
+        let (mut sxy, mut sxx) = (0.0, 0.0);
+        for (f, p) in fs.iter().zip(&ph) {
+            sxy += (f - fbar) * (p - pbar);
+            sxx += (f - fbar) * (f - fbar);
+        }
+        let kt = sxy / sxx;
+        let bt = pbar - kt * fbar;
+        let rms = (fs
+            .iter()
+            .zip(&ph)
+            .map(|(f, p)| {
+                let r = p - (kt * f + bt);
+                r * r
+            })
+            .sum::<f64>()
+            / n as f64)
+            .sqrt();
+        LinearizedDevice { kt, bt, rms_residual: rms }
+    }
+}
+
+impl Default for TagElectrical {
+    fn default() -> Self {
+        Self::nominal()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plan() -> FrequencyPlan {
+        FrequencyPlan::fcc_us()
+    }
+
+    #[test]
+    fn nominal_tag_at_resonance() {
+        let t = TagElectrical::nominal();
+        assert_eq!(t.detuning(NOMINAL_RESONANCE_HZ), 0.0);
+        // At resonance only the group-delay slope remains.
+        let expect = -std::f64::consts::TAU * NOMINAL_GROUP_DELAY_S * NOMINAL_RESONANCE_HZ;
+        assert!((t.device_phase(NOMINAL_RESONANCE_HZ) - expect).abs() < 1e-9);
+        assert!((t.amplitude_factor(NOMINAL_RESONANCE_HZ) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn device_sweep_matches_paper_figures() {
+        // Figs. 4–6 of the paper show total phase sweeps of ~8–16 rad over
+        // the 24.5 MHz band; most of it is the device response.
+        let p = plan();
+        let t = TagElectrical::nominal();
+        let sweep = (t.device_phase(p.end_hz()) - t.device_phase(p.start_hz())).abs();
+        assert!((5.0..20.0).contains(&sweep), "device sweep {sweep} rad");
+    }
+
+    #[test]
+    fn material_detunes_downward() {
+        let bare = TagElectrical::nominal();
+        for m in Material::CLASSES {
+            let loaded = bare.with_material(m);
+            assert!(
+                loaded.loaded_resonance_hz() < bare.loaded_resonance_hz(),
+                "{m} must lower the resonance"
+            );
+            assert!(loaded.loaded_q() <= bare.loaded_q());
+        }
+    }
+
+    #[test]
+    fn device_phase_monotone_decreasing_in_f() {
+        // −2·atan(x) is strictly decreasing in f.
+        let t = TagElectrical::nominal().with_material(Material::Wood);
+        let fs = plan().frequencies_hz();
+        for w in fs.windows(2) {
+            assert!(t.device_phase(w[1]) < t.device_phase(w[0]));
+        }
+    }
+
+    #[test]
+    fn linearization_is_accurate_over_band() {
+        // The curvature left over after the linear fit must be small relative
+        // to typical phase noise (~0.1 rad) — that is what justifies Eq. (5).
+        for m in Material::CLASSES {
+            let t = TagElectrical::nominal().with_material(m);
+            let lin = t.linearized(&plan());
+            assert!(
+                lin.rms_residual < 0.06,
+                "{m}: rms residual {}",
+                lin.rms_residual
+            );
+        }
+    }
+
+    #[test]
+    fn material_slopes_are_distinct() {
+        // Fig. 6 of the paper: different materials → distinct slopes; the
+        // water/milk pair is the closest (the paper's Fig. 11 confusion).
+        let p = plan();
+        let kt = |m: Material| TagElectrical::nominal().with_material(m).linearized(&p).kt;
+        let classes = Material::CLASSES;
+        let mut min_gap = f64::INFINITY;
+        let mut min_pair = (classes[0], classes[0]);
+        for (i, &a) in classes.iter().enumerate() {
+            for &b in &classes[i + 1..] {
+                let d = (kt(a) - kt(b)).abs();
+                if d < min_gap {
+                    min_gap = d;
+                    min_pair = (a, b);
+                }
+                if !((a, b) == (Material::Water, Material::SkimMilk)) {
+                    assert!(d > 2.0e-9, "{a} vs {b}: slope gap {d:.3e} too small");
+                }
+            }
+        }
+        // Water/milk must be among the tightest pairs (their curvature is
+        // also near-identical, which is what drives the paper's Fig. 11
+        // confusion); wood/plastic is the other close pair.
+        let wm_gap = (kt(Material::Water) - kt(Material::SkimMilk)).abs();
+        assert!(wm_gap < 1.5e-8, "water/milk gap {wm_gap:.3e} too wide");
+        let _ = (min_gap, min_pair);
+    }
+
+    #[test]
+    fn slope_magnitude_in_physical_range() {
+        // Fig. 6 shows device slopes comparable to several metres of
+        // propagation slope (~1e-7 rad/Hz per 2.4 m).
+        let p = plan();
+        for m in Material::CLASSES {
+            let kt = TagElectrical::nominal().with_material(m).linearized(&p).kt;
+            assert!(kt < 0.0, "{m}: device phase slope is negative");
+            assert!(kt.abs() < 1e-6, "{m}: |kt| = {} out of range", kt.abs());
+        }
+    }
+
+    #[test]
+    fn group_delay_loading_ordering() {
+        let t = TagElectrical::nominal();
+        let d = |m: Material| t.with_material(m).loaded_group_delay_s();
+        assert!(d(Material::Metal) > d(Material::Water));
+        assert!(d(Material::Water) > d(Material::SkimMilk));
+        assert!(d(Material::SkimMilk) > d(Material::Alcohol));
+        assert!(d(Material::Plastic) > d(Material::FreeSpace));
+        assert_eq!(d(Material::FreeSpace), NOMINAL_GROUP_DELAY_S);
+    }
+
+    #[test]
+    #[should_panic]
+    fn negative_group_delay_panics() {
+        let _ = TagElectrical::nominal().with_group_delay(-1e-9);
+    }
+
+    #[test]
+    fn manufacturing_diversity_shifts_phase_line() {
+        let p = plan();
+        let a = TagElectrical::with_manufacturing(0.0, 1.0, 0.0).linearized(&p);
+        let b = TagElectrical::with_manufacturing(3e6, 0.9, 0.4).linearized(&p);
+        assert!((a.kt - b.kt).abs() > 1e-10);
+        assert!((a.bt - b.bt).abs() > 1e-3);
+    }
+
+    #[test]
+    fn base_phase_moves_intercept_not_slope() {
+        let p = plan();
+        let a = TagElectrical::with_manufacturing(0.0, 1.0, 0.0).linearized(&p);
+        let b = TagElectrical::with_manufacturing(0.0, 1.0, 1.0).linearized(&p);
+        assert!((a.kt - b.kt).abs() < 1e-15);
+        assert!((b.bt - a.bt - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn amplitude_factor_bounded() {
+        for m in Material::CLASSES {
+            let t = TagElectrical::nominal().with_material(m);
+            for &f in &plan().frequencies_hz() {
+                let a = t.amplitude_factor(f);
+                assert!(a > 0.0 && a <= 1.0, "{m}: amplitude {a}");
+            }
+        }
+    }
+
+    #[test]
+    fn metal_reflects_least_through_tag() {
+        // Metal's strong detuning + loss makes the *tag-modulated* signal
+        // weakest, consistent with the paper's localization discussion.
+        let f = 915e6;
+        let metal = TagElectrical::nominal().with_material(Material::Metal);
+        let wood = TagElectrical::nominal().with_material(Material::Wood);
+        assert!(metal.amplitude_factor(f) < wood.amplitude_factor(f));
+    }
+
+    #[test]
+    #[should_panic]
+    fn non_positive_q_scale_panics() {
+        let _ = TagElectrical::with_manufacturing(0.0, 0.0, 0.0);
+    }
+}

@@ -1,0 +1,106 @@
+//! Property-based tests for the physical forward models.
+
+use proptest::prelude::*;
+use rfp_geom::{AntennaPose, Vec3};
+use rfp_phys::polarization::{orientation_phase, projection_magnitude};
+use rfp_phys::{propagation, FrequencyPlan, Material, TagElectrical};
+
+proptest! {
+    #[test]
+    fn slope_distance_round_trip(d in 0.01f64..50.0) {
+        let k = propagation::slope_from_distance(d);
+        prop_assert!((propagation::distance_from_slope(k) - d).abs() < 1e-9);
+        prop_assert!(k > 0.0);
+    }
+
+    #[test]
+    fn propagation_phase_additive_in_distance(
+        d1 in 0.1f64..10.0, d2 in 0.1f64..10.0, f in 800e6f64..1000e6,
+    ) {
+        let p = propagation::phase(d1 + d2, f);
+        prop_assert!((p - propagation::phase(d1, f) - propagation::phase(d2, f)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn path_loss_monotone(d1 in 0.1f64..10.0, extra in 0.01f64..10.0) {
+        let f = 915e6;
+        prop_assert!(
+            propagation::free_space_path_loss_db(d1 + extra, f)
+                > propagation::free_space_path_loss_db(d1, f)
+        );
+    }
+
+    #[test]
+    fn orientation_phase_is_scale_invariant_and_pi_symmetric(
+        wx in -1.0f64..1.0, wy in -1.0f64..1.0, wz in -1.0f64..1.0,
+        scale in 0.1f64..10.0,
+        roll in -3.0f64..3.0,
+    ) {
+        let w = Vec3::new(wx, wy, wz);
+        prop_assume!(w.norm() > 1e-3);
+        let pose = AntennaPose::looking_at(Vec3::ZERO, Vec3::new(0.3, 2.0, -0.4), roll);
+        prop_assume!(projection_magnitude(&pose, w.normalized()) > 1e-3);
+        let th = orientation_phase(&pose, w);
+        prop_assert!((orientation_phase(&pose, w * scale) - th).abs() < 1e-9);
+        prop_assert!(
+            rfp_geom::angle::distance(orientation_phase(&pose, -w), th) < 1e-9
+        );
+    }
+
+    #[test]
+    fn roll_shifts_orientation_phase_by_minus_two_roll(
+        wx in -1.0f64..1.0, wz in -1.0f64..1.0,
+        roll in -1.5f64..1.5,
+    ) {
+        let w = Vec3::new(wx, 0.0, wz);
+        prop_assume!(w.norm() > 1e-2);
+        let p0 = AntennaPose::looking_at(Vec3::ZERO, Vec3::Y, 0.0);
+        let pr = p0.with_roll(roll);
+        let d = rfp_geom::angle::difference(
+            orientation_phase(&pr, w),
+            orientation_phase(&p0, w),
+        );
+        prop_assert!(rfp_geom::angle::distance(d, -2.0 * roll) < 1e-9);
+    }
+
+    #[test]
+    fn device_phase_linearization_residual_small(
+        material_idx in 0usize..8,
+        delta_f0 in -3e6f64..3e6,
+        q_scale in 0.85f64..1.15,
+    ) {
+        let plan = FrequencyPlan::fcc_us();
+        let tag = TagElectrical::with_manufacturing(delta_f0, q_scale, 0.0)
+            .with_material(Material::from_class_index(material_idx));
+        let lin = tag.linearized(&plan);
+        // Eq. (5) of the paper: the device phase is near-linear in f.
+        prop_assert!(lin.rms_residual < 0.08, "residual {}", lin.rms_residual);
+        // The fit must actually describe the curve.
+        for &f in plan.frequencies_hz().iter().step_by(7) {
+            let err = (tag.device_phase(f) - (lin.kt * f + lin.bt)).abs();
+            prop_assert!(err < 0.2, "pointwise error {err}");
+        }
+    }
+
+    #[test]
+    fn amplitude_factor_in_unit_interval(
+        material_idx in 0usize..8,
+        f in 902e6f64..928e6,
+        delta_f0 in -3e6f64..3e6,
+    ) {
+        let tag = TagElectrical::with_manufacturing(delta_f0, 1.0, 0.0)
+            .with_material(Material::from_class_index(material_idx));
+        let a = tag.amplitude_factor(f);
+        prop_assert!(a > 0.0 && a <= 1.0);
+    }
+
+    #[test]
+    fn rssi_monotone_decreasing_in_distance(
+        d in 0.1f64..5.0, extra in 0.05f64..5.0, proj in 0.05f64..1.0,
+    ) {
+        use rfp_phys::rssi::rssi_dbm;
+        let t = TagElectrical::nominal();
+        let f = 915e6;
+        prop_assert!(rssi_dbm(d + extra, f, &t, proj) < rssi_dbm(d, f, &t, proj));
+    }
+}

@@ -1,0 +1,47 @@
+//! Reader antennas with per-port hardware phase offsets.
+//!
+//! Each antenna port of a real reader adds its own constant phase
+//! (`θ_reader(Aⁱ)` in the paper, §IV-C): cable lengths and front-end paths
+//! differ. The paper removes these by a one-time pre-deployment
+//! calibration; `rfp-core::calibration` implements that procedure against
+//! this model.
+
+use rfp_geom::AntennaPose;
+
+/// One reader antenna: pose plus the port's constant hardware phase offset.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Antenna {
+    /// Physical pose (position, boresight, polarization frame).
+    pub pose: AntennaPose,
+    /// Constant hardware phase offset of this port + cable, radians.
+    /// Invariant once the system is assembled (paper §IV-C).
+    pub hardware_phase_offset: f64,
+}
+
+impl Antenna {
+    /// An antenna with the given pose and offset.
+    pub fn new(pose: AntennaPose, hardware_phase_offset: f64) -> Self {
+        Antenna { pose, hardware_phase_offset }
+    }
+
+    /// An antenna with a perfectly calibrated (zero) port offset.
+    pub fn calibrated(pose: AntennaPose) -> Self {
+        Antenna { pose, hardware_phase_offset: 0.0 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rfp_geom::{Vec2, Vec3};
+
+    #[test]
+    fn constructors() {
+        let pose = AntennaPose::planar(Vec2::new(0.0, 0.0), Vec2::new(0.0, 1.0), 0.2);
+        let a = Antenna::new(pose, 0.7);
+        assert_eq!(a.hardware_phase_offset, 0.7);
+        assert_eq!(a.pose.position(), Vec3::new(0.0, 0.0, 0.0));
+        let c = Antenna::calibrated(pose);
+        assert_eq!(c.hardware_phase_offset, 0.0);
+    }
+}

@@ -1,0 +1,90 @@
+//! Transient RF interference.
+//!
+//! The paper's §VI-C notes that interference from other RF devices "can
+//! also impact greatly the system performance since phase measurements may
+//! be inaccurate or even inaccessible. But different from the multipath
+//! effect, noises are usually transient so RF-Prism is more likely to
+//! filter out them just like in the mobility error case."
+//!
+//! This model captures exactly that: an interferer (another reader, a
+//! Wi-Fi burst) is active during a random subset of the hop dwells. Reads
+//! taken during an active burst get large extra phase error and an RSSI
+//! hit (some are lost outright below the sensitivity floor). Because a
+//! burst corrupts *whole dwells*, the damage lands on a few channels —
+//! which the robust line fit then rejects, exactly like multipath
+//! outliers.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A transient interferer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InterferenceModel {
+    /// Probability that the interferer is active during any given dwell.
+    pub dwell_probability: f64,
+    /// Extra phase noise std while active, radians.
+    pub phase_std_rad: f64,
+    /// RSSI degradation while active, dB (raises the chance reads are
+    /// lost).
+    pub rssi_drop_db: f64,
+}
+
+impl InterferenceModel {
+    /// No interference.
+    pub fn none() -> Self {
+        InterferenceModel { dwell_probability: 0.0, phase_std_rad: 0.0, rssi_drop_db: 0.0 }
+    }
+
+    /// An occasional strong interferer: active on ~10 % of dwells, 0.8 rad
+    /// extra phase noise, 12 dB RSSI hit.
+    pub fn occasional() -> Self {
+        InterferenceModel { dwell_probability: 0.10, phase_std_rad: 0.8, rssi_drop_db: 12.0 }
+    }
+
+    /// Whether any interference can occur.
+    pub fn is_active_model(&self) -> bool {
+        self.dwell_probability > 0.0
+    }
+
+    /// Draws the per-dwell activity pattern for a hop round of
+    /// `dwell_count` dwells, deterministically from `seed`.
+    pub fn dwell_pattern(&self, dwell_count: usize, seed: u64) -> Vec<bool> {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x1e7f_3a11);
+        (0..dwell_count).map(|_| rng.gen::<f64>() < self.dwell_probability).collect()
+    }
+}
+
+impl Default for InterferenceModel {
+    fn default() -> Self {
+        Self::none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_is_silent() {
+        let m = InterferenceModel::none();
+        assert!(!m.is_active_model());
+        assert!(m.dwell_pattern(50, 1).iter().all(|&b| !b));
+    }
+
+    #[test]
+    fn occasional_hits_a_minority_of_dwells() {
+        let m = InterferenceModel::occasional();
+        let hits: usize = (0..50u64)
+            .map(|s| m.dwell_pattern(50, s).iter().filter(|&&b| b).count())
+            .sum();
+        let rate = hits as f64 / (50.0 * 50.0);
+        assert!((rate - 0.10).abs() < 0.03, "rate {rate}");
+    }
+
+    #[test]
+    fn pattern_deterministic_per_seed() {
+        let m = InterferenceModel::occasional();
+        assert_eq!(m.dwell_pattern(50, 7), m.dwell_pattern(50, 7));
+        assert_ne!(m.dwell_pattern(50, 7), m.dwell_pattern(50, 8));
+    }
+}

@@ -1,0 +1,138 @@
+//! Multi-tag inventory rounds.
+//!
+//! Every scenario the paper motivates (chemical shelves, supermarkets,
+//! production lines — Fig. 1) holds *many* tags. An EPC Gen2 reader
+//! time-shares its inventory slots among the tags in the field: with `n`
+//! responding tags, each tag is read roughly `1/n` as often per dwell, and
+//! the slotted-ALOHA anti-collision loses a further fraction of slots when
+//! the population grows.
+//!
+//! [`Scene::survey_inventory`] models exactly that: the per-channel read
+//! budget is divided among the tags (with a collision-efficiency factor),
+//! and each tag gets its own [`HopSurvey`] assembled from the same
+//! deterministic round.
+
+use crate::measure::HopSurvey;
+use crate::scene::Scene;
+use crate::tag::SimTag;
+
+/// Result of one inventory round over multiple tags.
+#[derive(Debug, Clone)]
+pub struct InventoryRound {
+    /// Per-tag surveys, in the order the tags were supplied.
+    pub surveys: Vec<(u64, HopSurvey)>,
+    /// Effective reads per channel per antenna each tag received.
+    pub reads_per_tag: usize,
+}
+
+/// Slotted-ALOHA efficiency: the fraction of inventory slots that produce
+/// a successful singulation as the population grows (ideal framed ALOHA
+/// approaches 1/e ≈ 0.37 for large populations; small populations do much
+/// better because the reader adapts its Q parameter).
+pub fn aloha_efficiency(n_tags: usize) -> f64 {
+    match n_tags {
+        0 | 1 => 1.0,
+        2..=4 => 0.85,
+        5..=16 => 0.65,
+        _ => 0.45,
+    }
+}
+
+impl Scene {
+    /// Runs one hop round over a population of tags.
+    ///
+    /// Each tag receives `max(1, reads_per_channel × efficiency / n)` reads
+    /// per channel per antenna; the surveys are otherwise generated exactly
+    /// like single-tag rounds (deterministic per `(scene, tag, seed)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tags` is empty.
+    pub fn survey_inventory(&self, tags: &[SimTag], seed: u64) -> InventoryRound {
+        assert!(!tags.is_empty(), "inventory needs at least one tag");
+        let budget = self.reader().reads_per_channel as f64;
+        let eff = aloha_efficiency(tags.len());
+        let reads_per_tag =
+            ((budget * eff / tags.len() as f64).floor() as usize).max(1);
+        let scene = self
+            .clone()
+            .with_reader(self.reader().with_reads_per_channel(reads_per_tag));
+        let surveys = tags
+            .iter()
+            .map(|t| (t.id(), scene.survey(t, seed.wrapping_add(t.id()))))
+            .collect();
+        InventoryRound { surveys, reads_per_tag }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::motion::Motion;
+    use rfp_geom::Vec2;
+    use rfp_phys::Material;
+
+    fn population(n: usize) -> Vec<SimTag> {
+        (0..n)
+            .map(|i| {
+                SimTag::with_seeded_diversity(i as u64 + 1)
+                    .attached_to(Material::CLASSES[i % 8])
+                    .with_motion(Motion::planar_static(
+                        Vec2::new(-0.4 + 0.12 * i as f64, 1.0 + 0.08 * i as f64),
+                        0.2 * i as f64,
+                    ))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn read_budget_is_shared() {
+        let scene = Scene::standard_2d();
+        let solo = scene.survey_inventory(&population(1), 1);
+        let crowd = scene.survey_inventory(&population(8), 1);
+        assert!(solo.reads_per_tag > crowd.reads_per_tag);
+        assert!(crowd.reads_per_tag >= 1);
+        assert_eq!(crowd.surveys.len(), 8);
+        // Each tag's survey has correspondingly fewer reads.
+        assert!(
+            solo.surveys[0].1.total_reads() > crowd.surveys[0].1.total_reads()
+        );
+    }
+
+    #[test]
+    fn surveys_keyed_by_tag_id() {
+        let scene = Scene::standard_2d();
+        let tags = population(4);
+        let round = scene.survey_inventory(&tags, 2);
+        for (tag, (id, survey)) in tags.iter().zip(&round.surveys) {
+            assert_eq!(tag.id(), *id);
+            assert_eq!(survey.truth_material, tag.material());
+        }
+    }
+
+    #[test]
+    fn aloha_efficiency_monotone() {
+        assert_eq!(aloha_efficiency(1), 1.0);
+        assert!(aloha_efficiency(3) > aloha_efficiency(10));
+        assert!(aloha_efficiency(10) > aloha_efficiency(100));
+        assert!(aloha_efficiency(100) > 0.0);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let scene = Scene::standard_2d();
+        let tags = population(3);
+        let a = scene.survey_inventory(&tags, 7);
+        let b = scene.survey_inventory(&tags, 7);
+        for ((ia, sa), (ib, sb)) in a.surveys.iter().zip(&b.surveys) {
+            assert_eq!(ia, ib);
+            assert_eq!(sa, sb);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_population_panics() {
+        let _ = Scene::standard_2d().survey_inventory(&[], 1);
+    }
+}

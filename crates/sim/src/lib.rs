@@ -1,0 +1,61 @@
+//! COTS RFID testbed simulator for RF-Prism.
+//!
+//! The paper evaluates on an ImpinJ Speedway R420 reader, three Laird
+//! circularly-polarized antennas and Alien EPC Gen2 tags. Reproducing that
+//! hardware is impossible in software, so this crate builds the closest
+//! synthetic equivalent that exercises the same code paths: a reader model
+//! that hops the FCC channel plan and reports `(channel, phase, RSSI,
+//! timestamp)` tuples with all the artifacts the real reader has —
+//!
+//! * thermal phase/RSSI noise and per-channel multi-read,
+//! * 12-bit phase quantization and random π jumps (ImpinJ behaviour),
+//! * per-antenna hardware phase offsets (`θ_reader(Aⁱ)`, paper §IV-C),
+//! * frequency-selective multipath from discrete scatterers (§V-D),
+//! * tag mobility during the hop sequence (§V-C),
+//! * dropped reads below the sensitivity floor.
+//!
+//! The clean phase itself comes from the shared forward models in
+//! [`rfp_phys`] — the simulator only adds the corruption, so the
+//! disentangler in `rfp-core` is inverting real physics, not a lookup
+//! table.
+//!
+//! # Example: one hop survey of a static tag
+//!
+//! ```
+//! use rfp_geom::Vec2;
+//! use rfp_phys::Material;
+//! use rfp_sim::{Motion, Scene, SimTag};
+//!
+//! let scene = Scene::standard_2d();
+//! let tag = SimTag::with_seeded_diversity(7)
+//!     .attached_to(Material::Glass)
+//!     .with_motion(Motion::planar_static(Vec2::new(0.3, 1.5), 0.6));
+//! let survey = scene.survey(&tag, 42);
+//! assert_eq!(survey.per_antenna.len(), 3);
+//! assert!(survey.per_antenna[0].len() > 100); // 50 channels × reads
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod antenna;
+pub mod interference;
+pub mod inventory;
+pub mod measure;
+pub mod motion;
+pub mod multipath;
+pub mod noise;
+pub mod reader;
+pub mod scene;
+pub mod tag;
+
+pub use antenna::Antenna;
+pub use interference::InterferenceModel;
+pub use inventory::InventoryRound;
+pub use measure::HopSurvey;
+pub use motion::Motion;
+pub use multipath::{MultipathEnvironment, Scatterer};
+pub use noise::NoiseModel;
+pub use reader::ReaderConfig;
+pub use scene::Scene;
+pub use tag::SimTag;

@@ -1,0 +1,141 @@
+//! Tag motion models.
+//!
+//! RF-Prism assumes the tag is static over one 10 s hop round and detects
+//! violations with the error detector (paper §V-C). The simulator therefore
+//! needs tags that move or rotate *during* the hop sequence so that the
+//! detector has something to catch.
+
+use rfp_geom::{Vec2, Vec3};
+use rfp_phys::polarization::planar_dipole;
+
+/// A tag's kinematic state over time: position and dipole direction as a
+/// function of the time since the hop round started.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Motion {
+    /// Stationary tag.
+    Static {
+        /// Tag position, metres.
+        position: Vec3,
+        /// Unit dipole direction.
+        dipole: Vec3,
+    },
+    /// Constant-velocity translation (e.g. conveyor belt).
+    Linear {
+        /// Position at t = 0, metres.
+        start: Vec3,
+        /// Velocity, m/s.
+        velocity: Vec3,
+        /// Unit dipole direction (constant).
+        dipole: Vec3,
+    },
+    /// In-place rotation of the dipole about an axis.
+    Rotating {
+        /// Tag position, metres (constant).
+        position: Vec3,
+        /// Dipole direction at t = 0 (unit).
+        dipole0: Vec3,
+        /// Rotation axis (unit).
+        axis: Vec3,
+        /// Angular rate, rad/s.
+        omega: f64,
+    },
+}
+
+impl Motion {
+    /// A static tag on the z = 0 surveillance plane with planar dipole
+    /// orientation `alpha` (radians from +x) — the 2-D experiment setup.
+    pub fn planar_static(position: Vec2, alpha: f64) -> Self {
+        Motion::Static { position: position.with_z(0.0), dipole: planar_dipole(alpha) }
+    }
+
+    /// A tag translating in the surveillance plane at `velocity` m/s.
+    pub fn planar_linear(start: Vec2, velocity: Vec2, alpha: f64) -> Self {
+        Motion::Linear {
+            start: start.with_z(0.0),
+            velocity: velocity.with_z(0.0),
+            dipole: planar_dipole(alpha),
+        }
+    }
+
+    /// A tag spinning on its mounting face at `omega` rad/s starting from
+    /// orientation `alpha0` (rotation about the face normal, +y).
+    pub fn planar_rotating(position: Vec2, alpha0: f64, omega: f64) -> Self {
+        Motion::Rotating {
+            position: position.with_z(0.0),
+            dipole0: planar_dipole(alpha0),
+            axis: -Vec3::Y,
+            omega,
+        }
+    }
+
+    /// Position at time `t` seconds.
+    pub fn position(&self, t: f64) -> Vec3 {
+        match *self {
+            Motion::Static { position, .. } => position,
+            Motion::Linear { start, velocity, .. } => start + velocity * t,
+            Motion::Rotating { position, .. } => position,
+        }
+    }
+
+    /// Dipole direction at time `t` seconds (unit vector).
+    pub fn dipole(&self, t: f64) -> Vec3 {
+        match *self {
+            Motion::Static { dipole, .. } => dipole,
+            Motion::Linear { dipole, .. } => dipole,
+            Motion::Rotating { dipole0, axis, omega, .. } => {
+                dipole0.rotated_about(axis, omega * t)
+            }
+        }
+    }
+
+    /// Whether the tag is truly static (used by tests and ground truth).
+    pub fn is_static(&self) -> bool {
+        match *self {
+            Motion::Static { .. } => true,
+            Motion::Linear { velocity, .. } => velocity.norm() == 0.0,
+            Motion::Rotating { omega, .. } => omega == 0.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::FRAC_PI_2;
+
+    #[test]
+    fn static_tag_never_moves() {
+        let m = Motion::planar_static(Vec2::new(1.0, 2.0), 0.3);
+        assert_eq!(m.position(0.0), m.position(100.0));
+        assert_eq!(m.dipole(0.0), m.dipole(100.0));
+        assert!(m.is_static());
+    }
+
+    #[test]
+    fn linear_motion_advances() {
+        let m = Motion::planar_linear(Vec2::ZERO, Vec2::new(0.1, 0.0), 0.0);
+        assert_eq!(m.position(10.0), Vec3::new(1.0, 0.0, 0.0));
+        assert!(!m.is_static());
+        let frozen = Motion::planar_linear(Vec2::ZERO, Vec2::ZERO, 0.0);
+        assert!(frozen.is_static());
+    }
+
+    #[test]
+    fn rotation_spins_dipole_only() {
+        let m = Motion::planar_rotating(Vec2::new(0.5, 0.5), 0.0, FRAC_PI_2);
+        assert_eq!(m.position(0.0), m.position(3.0));
+        let d1 = m.dipole(1.0);
+        // After 1 s at π/2 rad/s the dipole points along +z (rotated in the
+        // facing plane).
+        assert!(d1.distance(Vec3::Z) < 1e-12, "d1 = {d1}");
+        assert!(!m.is_static());
+    }
+
+    #[test]
+    fn planar_dipole_orientation_matches_alpha() {
+        let m = Motion::planar_static(Vec2::ZERO, 0.7);
+        let d = m.dipole(0.0);
+        assert!((d.z.atan2(d.x) - 0.7).abs() < 1e-12);
+        assert_eq!(d.y, 0.0);
+    }
+}

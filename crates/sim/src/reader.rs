@@ -1,0 +1,169 @@
+//! Reader model: channel hopping schedule, dwell timing, quantization.
+//!
+//! Models the ImpinJ Speedway R420 used by the paper: 50-channel FCC hop
+//! set, 200 ms dwell per channel, pseudo-random hop order, several tag
+//! reads per dwell per antenna (the R420 time-multiplexes its four antenna
+//! ports within a dwell), 12-bit phase reports and 0.5 dB RSSI reports.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rfp_phys::constants::{IMPINJ_DWELL_S, IMPINJ_PHASE_LSB_RAD, IMPINJ_RSSI_LSB_DB};
+use rfp_phys::FrequencyPlan;
+
+/// Reader configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReaderConfig {
+    /// Channel plan the reader hops over.
+    pub plan: FrequencyPlan,
+    /// Dwell time per channel, seconds.
+    pub dwell_s: f64,
+    /// Reads of the target tag per channel *per antenna*.
+    pub reads_per_channel: usize,
+    /// Whether to quantize reported phase to the 12-bit LLRP grid.
+    pub quantize_phase: bool,
+    /// Whether to quantize reported RSSI to 0.5 dB.
+    pub quantize_rssi: bool,
+    /// Hop order: pseudo-random (true, FCC-compliant) or ascending (false).
+    pub randomize_hop_order: bool,
+}
+
+impl ReaderConfig {
+    /// The paper's R420 configuration.
+    pub fn impinj_r420() -> Self {
+        ReaderConfig {
+            plan: FrequencyPlan::fcc_us(),
+            dwell_s: IMPINJ_DWELL_S,
+            reads_per_channel: 8,
+            quantize_phase: true,
+            quantize_rssi: true,
+            randomize_hop_order: true,
+        }
+    }
+
+    /// An idealized reader for model-validation benches: ascending hop
+    /// order, no quantization.
+    pub fn ideal() -> Self {
+        ReaderConfig {
+            plan: FrequencyPlan::fcc_us(),
+            dwell_s: IMPINJ_DWELL_S,
+            reads_per_channel: 8,
+            quantize_phase: false,
+            quantize_rssi: false,
+            randomize_hop_order: false,
+        }
+    }
+
+    /// Returns a copy with a different channel plan (ablation sweeps).
+    pub fn with_plan(&self, plan: FrequencyPlan) -> Self {
+        ReaderConfig { plan, ..self.clone() }
+    }
+
+    /// Returns a copy with a different per-channel read count.
+    pub fn with_reads_per_channel(&self, reads: usize) -> Self {
+        ReaderConfig { reads_per_channel: reads, ..self.clone() }
+    }
+
+    /// The sequence of channel indices for one full hop round.
+    ///
+    /// Pseudo-random (seeded, FCC style) when `randomize_hop_order` is set,
+    /// ascending otherwise.
+    pub fn hop_order(&self, seed: u64) -> Vec<usize> {
+        let mut order: Vec<usize> = (0..self.plan.channel_count()).collect();
+        if self.randomize_hop_order {
+            let mut rng = StdRng::seed_from_u64(seed ^ 0x484f_5050);
+            order.shuffle(&mut rng);
+        }
+        order
+    }
+
+    /// Total duration of one hop round, seconds (paper §VI-C: 10 s for the
+    /// R420's 50 × 200 ms).
+    pub fn round_duration_s(&self) -> f64 {
+        self.dwell_s * self.plan.channel_count() as f64
+    }
+
+    /// Applies phase quantization if enabled.
+    pub fn quantized_phase(&self, phase: f64) -> f64 {
+        if self.quantize_phase {
+            (phase / IMPINJ_PHASE_LSB_RAD).round() * IMPINJ_PHASE_LSB_RAD
+        } else {
+            phase
+        }
+    }
+
+    /// Applies RSSI quantization if enabled.
+    pub fn quantized_rssi(&self, rssi: f64) -> f64 {
+        if self.quantize_rssi {
+            (rssi / IMPINJ_RSSI_LSB_DB).round() * IMPINJ_RSSI_LSB_DB
+        } else {
+            rssi
+        }
+    }
+}
+
+impl Default for ReaderConfig {
+    fn default() -> Self {
+        Self::impinj_r420()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn r420_round_takes_ten_seconds() {
+        let cfg = ReaderConfig::impinj_r420();
+        assert!((cfg.round_duration_s() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hop_order_is_a_permutation() {
+        let cfg = ReaderConfig::impinj_r420();
+        let mut order = cfg.hop_order(3);
+        assert_eq!(order.len(), 50);
+        order.sort_unstable();
+        assert_eq!(order, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn hop_order_deterministic_per_seed_and_random_across_seeds() {
+        let cfg = ReaderConfig::impinj_r420();
+        assert_eq!(cfg.hop_order(1), cfg.hop_order(1));
+        assert_ne!(cfg.hop_order(1), cfg.hop_order(2));
+    }
+
+    #[test]
+    fn ideal_reader_hops_ascending() {
+        let cfg = ReaderConfig::ideal();
+        assert_eq!(cfg.hop_order(99), (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn phase_quantization_grid() {
+        let cfg = ReaderConfig::impinj_r420();
+        let q = cfg.quantized_phase(1.0);
+        assert!((q - 1.0).abs() <= IMPINJ_PHASE_LSB_RAD / 2.0 + 1e-15);
+        let steps = q / IMPINJ_PHASE_LSB_RAD;
+        assert!((steps - steps.round()).abs() < 1e-9);
+        // Disabled on the ideal reader.
+        assert_eq!(ReaderConfig::ideal().quantized_phase(1.0), 1.0);
+    }
+
+    #[test]
+    fn rssi_quantization_half_db() {
+        let cfg = ReaderConfig::impinj_r420();
+        assert_eq!(cfg.quantized_rssi(-53.26), -53.5);
+        assert_eq!(cfg.quantized_rssi(-53.24), -53.0);
+    }
+
+    #[test]
+    fn with_helpers_override() {
+        let cfg = ReaderConfig::impinj_r420()
+            .with_plan(FrequencyPlan::fcc_us_subsampled(10))
+            .with_reads_per_channel(3);
+        assert_eq!(cfg.plan.channel_count(), 10);
+        assert_eq!(cfg.reads_per_channel, 3);
+    }
+}

@@ -1,0 +1,259 @@
+//! Deployment scenes: antennas + reader + noise + environment + region.
+//!
+//! [`Scene::standard_2d`] mirrors the paper's Fig. 7 setup: three
+//! circularly-polarized antennas in a row with 0.5 m spacing, facing a
+//! 2 m × 2 m working region. The antennas are mounted with distinct rolls
+//! (0°/45°/90°) so their polarization frames differ — the paper's "45°"
+//! mounting — which is what makes the tag orientation observable from the
+//! intercept differences (see `rfp-geom::pose`).
+
+use crate::antenna::Antenna;
+use crate::interference::InterferenceModel;
+use crate::measure::HopSurvey;
+use crate::multipath::MultipathEnvironment;
+use crate::noise::NoiseModel;
+use crate::reader::ReaderConfig;
+use crate::tag::SimTag;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rfp_geom::{AntennaPose, Region2, Vec2, Vec3};
+
+/// A complete simulated deployment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scene {
+    antennas: Vec<Antenna>,
+    reader: ReaderConfig,
+    noise: NoiseModel,
+    environment: MultipathEnvironment,
+    interference: InterferenceModel,
+    region: Region2,
+}
+
+impl Scene {
+    /// The paper's 2-D evaluation deployment: three antennas spaced 0.5 m
+    /// apart on a rack, all aimed at the centre of the 2 m × 2 m working
+    /// region `[-0.5, 1.5] × [0.5, 2.5]`; ImpinJ R420 reader, paper-like
+    /// noise, clean space, antenna port offsets already calibrated out
+    /// (paper §IV-C does this once, pre-deployment).
+    ///
+    /// The antennas sit at *different heights* (0.2/1.0/1.8 m) and carry
+    /// different rolls (0°/45°/90°, the "45°" of the paper's Fig. 7). Both
+    /// matter for orientation sensing: each antenna must view the tag's
+    /// dipole from a genuinely different transverse frame, otherwise every
+    /// intercept shifts identically with α and the orientation aliases into
+    /// the material term `b_t` (see `rfp-core::solver`).
+    pub fn standard_2d() -> Self {
+        let region = Region2::new(Vec2::new(-0.5, 0.5), Vec2::new(1.5, 2.5));
+        let target = region.center().with_z(0.0);
+        let rolls = [0.0, std::f64::consts::FRAC_PI_4, std::f64::consts::FRAC_PI_2];
+        let heights = [0.2, 1.0, 1.8];
+        let antennas = (0..3)
+            .map(|i| {
+                let pos = Vec3::new(0.5 * i as f64, 0.0, heights[i]);
+                Antenna::calibrated(AntennaPose::looking_at(pos, target, rolls[i]))
+            })
+            .collect();
+        Scene {
+            antennas,
+            reader: ReaderConfig::impinj_r420(),
+            noise: NoiseModel::paper_like(),
+            environment: MultipathEnvironment::clean(3),
+            interference: InterferenceModel::none(),
+            region,
+        }
+    }
+
+    /// As [`Scene::standard_2d`] but with *uncalibrated* antenna ports:
+    /// each port gets a random constant phase offset drawn from `seed`.
+    /// Used to demonstrate the paper's §IV-C antenna calibration.
+    pub fn standard_2d_uncalibrated(seed: u64) -> Self {
+        let mut scene = Self::standard_2d();
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x414e_5401);
+        for a in &mut scene.antennas {
+            a.hardware_phase_offset = rng.gen_range(0.0..std::f64::consts::TAU);
+        }
+        scene
+    }
+
+    /// A four-antenna deployment for 3-D localization (paper §VII future
+    /// work): antennas at the corners of a 1 m square on the x–z plane,
+    /// rolls 0°/45°/90°/135°, facing the region centre at y = 1.5.
+    pub fn four_antenna_3d() -> Self {
+        let region = Region2::new(Vec2::new(-0.5, 0.5), Vec2::new(1.5, 2.5));
+        let target = Vec3::new(0.5, 1.5, 0.5);
+        let positions = [
+            Vec3::new(0.0, 0.0, 0.0),
+            Vec3::new(1.0, 0.0, 0.0),
+            Vec3::new(0.0, 0.0, 1.0),
+            Vec3::new(1.0, 0.0, 1.0),
+        ];
+        let antennas = positions
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| {
+                let roll = i as f64 * std::f64::consts::FRAC_PI_4;
+                Antenna::calibrated(AntennaPose::looking_at(p, target, roll))
+            })
+            .collect();
+        Scene {
+            antennas,
+            reader: ReaderConfig::impinj_r420(),
+            noise: NoiseModel::paper_like(),
+            environment: MultipathEnvironment::clean(4),
+            interference: InterferenceModel::none(),
+            region,
+        }
+    }
+
+    /// A six-antenna 3-D deployment with a 2 m × 2 m aperture. Four
+    /// antennas give the 3-D problem *identifiability* (8 equations, 7
+    /// unknowns) but zero redundancy in the slope subsystem — millimetre
+    /// ranging noise then dilutes into metres of position error. Two extra
+    /// antennas restore the redundancy; this is the deployment the 3-D
+    /// evaluation uses.
+    pub fn six_antenna_3d() -> Self {
+        let region = Region2::new(Vec2::new(0.0, 0.5), Vec2::new(2.0, 2.5));
+        let target = Vec3::new(1.0, 1.5, 0.75);
+        let positions = [
+            Vec3::new(0.0, 0.0, 0.0),
+            Vec3::new(2.0, 0.0, 0.0),
+            Vec3::new(0.0, 0.0, 2.0),
+            Vec3::new(2.0, 0.0, 2.0),
+            Vec3::new(1.0, 0.0, 0.3),
+            Vec3::new(1.0, 0.0, 1.7),
+        ];
+        let antennas = positions
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| {
+                let roll = i as f64 * std::f64::consts::PI / 6.0;
+                Antenna::calibrated(AntennaPose::looking_at(p, target, roll))
+            })
+            .collect();
+        Scene {
+            antennas,
+            reader: ReaderConfig::impinj_r420(),
+            noise: NoiseModel::paper_like(),
+            environment: MultipathEnvironment::clean(6),
+            interference: InterferenceModel::none(),
+            region,
+        }
+    }
+
+    /// Replaces the noise model (builder style).
+    pub fn with_noise(mut self, noise: NoiseModel) -> Self {
+        self.noise = noise;
+        self
+    }
+
+    /// Replaces the reader configuration.
+    pub fn with_reader(mut self, reader: ReaderConfig) -> Self {
+        self.reader = reader;
+        self
+    }
+
+    /// Replaces the multipath environment.
+    pub fn with_environment(mut self, environment: MultipathEnvironment) -> Self {
+        self.environment = environment;
+        self
+    }
+
+    /// Replaces the transient-interference model.
+    pub fn with_interference(mut self, interference: InterferenceModel) -> Self {
+        self.interference = interference;
+        self
+    }
+
+    /// Transient-interference model.
+    pub fn interference(&self) -> &InterferenceModel {
+        &self.interference
+    }
+
+    /// The antennas.
+    pub fn antennas(&self) -> &[Antenna] {
+        &self.antennas
+    }
+
+    /// Just the antenna poses (what the disentangler is given — it never
+    /// sees hardware offsets or the environment).
+    pub fn antenna_poses(&self) -> Vec<AntennaPose> {
+        self.antennas.iter().map(|a| a.pose).collect()
+    }
+
+    /// Reader configuration.
+    pub fn reader(&self) -> &ReaderConfig {
+        &self.reader
+    }
+
+    /// Noise model.
+    pub fn noise(&self) -> &NoiseModel {
+        &self.noise
+    }
+
+    /// Multipath environment.
+    pub fn environment(&self) -> &MultipathEnvironment {
+        &self.environment
+    }
+
+    /// The working region tags are deployed in.
+    pub fn region(&self) -> Region2 {
+        self.region
+    }
+
+    /// Runs one full hop round over `tag` and returns the raw reads per
+    /// antenna. Deterministic for a given `(scene, tag, seed)`.
+    pub fn survey(&self, tag: &SimTag, seed: u64) -> HopSurvey {
+        crate::measure::run_survey(self, tag, seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_scene_geometry() {
+        let s = Scene::standard_2d();
+        assert_eq!(s.antennas().len(), 3);
+        // 0.5 m horizontal spacing, staggered heights.
+        let p: Vec<Vec3> = s.antennas().iter().map(|a| a.pose.position()).collect();
+        assert!((p[1].x - p[0].x - 0.5).abs() < 1e-12);
+        assert!((p[2].x - p[1].x - 0.5).abs() < 1e-12);
+        assert!(p[0].z < p[1].z && p[1].z < p[2].z);
+        // 2 m × 2 m region.
+        assert_eq!(s.region().width(), 2.0);
+        assert_eq!(s.region().height(), 2.0);
+        // Distinct rolls.
+        let rolls: Vec<f64> = s.antennas().iter().map(|a| a.pose.roll()).collect();
+        assert!(rolls[0] != rolls[1] && rolls[1] != rolls[2]);
+        // Calibrated ports.
+        assert!(s.antennas().iter().all(|a| a.hardware_phase_offset == 0.0));
+    }
+
+    #[test]
+    fn uncalibrated_scene_has_distinct_offsets() {
+        let s = Scene::standard_2d_uncalibrated(3);
+        let o: Vec<f64> = s.antennas().iter().map(|a| a.hardware_phase_offset).collect();
+        assert!(o[0] != o[1] && o[1] != o[2]);
+        // Deterministic per seed.
+        assert_eq!(s, Scene::standard_2d_uncalibrated(3));
+    }
+
+    #[test]
+    fn four_antenna_scene() {
+        let s = Scene::four_antenna_3d();
+        assert_eq!(s.antennas().len(), 4);
+        assert!(!s.environment().has_multipath());
+    }
+
+    #[test]
+    fn six_antenna_scene() {
+        let s = Scene::six_antenna_3d();
+        assert_eq!(s.antennas().len(), 6);
+        // Spread in both x and z for 3-D observability.
+        let xs: Vec<f64> = s.antennas().iter().map(|a| a.pose.position().x).collect();
+        let zs: Vec<f64> = s.antennas().iter().map(|a| a.pose.position().z).collect();
+        assert!(xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max) - xs.iter().cloned().fold(f64::INFINITY, f64::min) >= 2.0 - 1e-9);
+        assert!(zs.iter().cloned().fold(f64::NEG_INFINITY, f64::max) - zs.iter().cloned().fold(f64::INFINITY, f64::min) >= 2.0 - 1e-9);
+    }
+}

@@ -1,0 +1,59 @@
+//! Quickstart: sense a tag's position, orientation and material parameters
+//! from one hop round.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use rf_prism::prelude::*;
+
+fn main() {
+    // The simulated stand-in for the paper's testbed: an ImpinJ-R420-class
+    // reader, three circularly-polarized antennas on a rack, a 2 m × 2 m
+    // working region.
+    let scene = Scene::standard_2d();
+
+    // A tag with manufacturing diversity, attached to a glass bottle,
+    // placed somewhere in the region at a 40° orientation.
+    let truth_position = Vec2::new(0.35, 1.45);
+    let truth_alpha = 40.0f64.to_radians();
+    let tag = SimTag::with_seeded_diversity(2024)
+        .attached_to(Material::Glass)
+        .with_motion(Motion::planar_static(truth_position, truth_alpha));
+
+    // One full hop round: 50 channels × 8 reads per antenna, ~10 s on real
+    // hardware, instantaneous here.
+    let survey = scene.survey(&tag, 1);
+    println!(
+        "collected {} reads over {} channels on {} antennas",
+        survey.total_reads(),
+        scene.reader().plan.channel_count(),
+        survey.antenna_count()
+    );
+
+    // The sensing side knows only the antenna poses (measured at
+    // deployment) and the channel plan.
+    let prism = RfPrism::new(scene.antenna_poses(), scene.reader().plan.clone())
+        .with_region(scene.region());
+    let result = prism.sense(&survey.per_antenna).expect("static tag, clean window");
+
+    let est = &result.estimate;
+    println!();
+    println!("disentangled state:");
+    println!(
+        "  position     ({:.3}, {:.3}) m   [truth ({:.3}, {:.3}), error {:.1} cm]",
+        est.position.x,
+        est.position.y,
+        truth_position.x,
+        truth_position.y,
+        est.position.distance(truth_position) * 100.0
+    );
+    println!(
+        "  orientation  {:.1}°              [truth {:.1}°]",
+        est.orientation.to_degrees(),
+        truth_alpha.to_degrees()
+    );
+    println!("  k_t          {:.3e} rad/Hz   (material + device slope)", est.kt);
+    println!("  b_t          {:.3} rad          (material + device intercept)", est.bt);
+    println!("  verdict      {:?}", result.verdict);
+}
