@@ -122,7 +122,7 @@ impl BackPos {
         for seed in self.region.grid(5, 5) {
             let (p, cost) = lm(&residual, vec![seed.x, seed.y], &[1e-4, 1e-4], 60, 1e-12);
             let inside = self.region.expanded(0.3).contains(Vec2::new(p[0], p[1]));
-            if inside && best.as_ref().map_or(true, |(_, c)| cost < *c) {
+            if inside && best.as_ref().is_none_or(|(_, c)| cost < *c) {
                 best = Some((p, cost));
             }
         }

@@ -30,10 +30,7 @@ fn main() {
         let tag = SimTag::with_seeded_diversity(i)
             .with_motion(Motion::planar_linear(start, v, 0.4));
         let survey = scene.survey(&tag, 500 + i);
-        match prism.sense(&survey.per_antenna) {
-            Err(SenseError::TagMoving { .. }) => detected += 1,
-            _ => {}
-        }
+        if let Err(SenseError::TagMoving { .. }) = prism.sense(&survey.per_antenna) { detected += 1 }
         if let Ok(r) = permissive.sense(&survey.per_antenna) {
             // Error against the mid-round position, capped at 3 m: a
             // garbage fit can land arbitrarily far outside the region.

@@ -11,7 +11,6 @@ use rfp_ml::knn::KnnClassifier;
 use rfp_ml::modsel::grid_search;
 use rfp_ml::scaler::StandardScaler;
 use rfp_ml::tree::{DecisionTree, TreeConfig};
-use rfp_ml::Classifier;
 use rfp_sim::Scene;
 
 fn main() {

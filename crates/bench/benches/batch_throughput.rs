@@ -1,0 +1,52 @@
+//! Batch sensing throughput: tags/second on a 256-tag scene at 1, 2, 4
+//! and 8 workers.
+//!
+//! The per-tag disentangling solves are independent, so throughput should
+//! scale with the worker count up to the machine's core count; the `jobs=1`
+//! row doubles as the sequential baseline (it runs inline, no pool). On a
+//! single-core container every row collapses to the same rate — the
+//! speedup column is only meaningful on multicore hardware.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rfp_bench::setup;
+use rfp_sim::{Motion, Scene, SimTag};
+use rfp_geom::Vec2;
+use rfp_phys::Material;
+
+const TAGS: usize = 256;
+
+fn batch_throughput(c: &mut Criterion) {
+    let scene = Scene::standard_2d();
+    let prism = setup::prism_for(&scene);
+    let materials = [Material::FreeSpace, Material::Wood, Material::Glass, Material::Water];
+    let region = scene.region();
+    let mut rng = StdRng::seed_from_u64(256);
+    let tags: Vec<_> = (0..TAGS as u64)
+        .map(|i| {
+            let pos = Vec2::new(
+                rng.gen_range(region.min().x..region.max().x),
+                rng.gen_range(region.min().y..region.max().y),
+            );
+            let alpha = rng.gen_range(0.0..std::f64::consts::PI);
+            let tag = SimTag::with_seeded_diversity(i)
+                .attached_to(materials[(i % 4) as usize])
+                .with_motion(Motion::planar_static(pos, alpha));
+            scene.survey(&tag, i.wrapping_mul(0x9e37_79b9)).per_antenna
+        })
+        .collect();
+    let cache = prism.batch_cache();
+
+    let mut group = c.benchmark_group("batch_throughput_256_tags");
+    group.throughput(Throughput::Elements(TAGS as u64));
+    for jobs in [1usize, 2, 4, 8] {
+        group.bench_function(format!("jobs_{jobs}"), |b| {
+            b.iter(|| prism.sense_batch_with(&cache, &tags, jobs));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, batch_throughput);
+criterion_main!(benches);

@@ -16,11 +16,11 @@ fn main() {
     let outcomes = loc::run_trials(&scene, &specs);
     let paper = ["8.59°", "10.40°", "10.50°"];
     let mut region_means = Vec::new();
-    for r in 0..3 {
+    for (r, paper_row) in paper.iter().enumerate() {
         let subset: Vec<_> =
             outcomes.iter().copied().filter(|o| o.region == r).collect();
         let mean = loc::mean_orientation_error_deg(&subset);
-        report::row(setup::REGION_NAMES[r], paper[r], &report::deg(mean));
+        report::row(setup::REGION_NAMES[r], paper_row, &report::deg(mean));
         region_means.push(mean);
     }
     let overall = loc::mean_orientation_error_deg(&outcomes);

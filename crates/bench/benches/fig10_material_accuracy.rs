@@ -16,9 +16,9 @@ fn main() {
     report::header("Fig. 10 (top)", "material accuracy by distance region");
     let paper = ["88.6 %", "87.5 %", "87.5 %"];
     let mut region_acc = Vec::new();
-    for r in 0..3 {
+    for (r, paper_row) in paper.iter().enumerate() {
         let cm = matid::evaluate(&corpus, &kind, |s| s.region == r);
-        report::row(setup::REGION_NAMES[r], paper[r], &report::pct(cm.accuracy()));
+        report::row(setup::REGION_NAMES[r], paper_row, &report::pct(cm.accuracy()));
         region_acc.push(cm.accuracy());
     }
 

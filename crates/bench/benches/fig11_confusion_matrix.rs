@@ -28,10 +28,10 @@ fn main() {
     assert!(cm.accuracy() > 0.8, "overall accuracy {}", cm.accuracy());
     let mut worst_offdiag = 0.0f64;
     let mut worst_pair = (0usize, 0usize);
-    for t in 0..8 {
-        for p in 0..8 {
-            if t != p && norm[t][p] > worst_offdiag {
-                worst_offdiag = norm[t][p];
+    for (t, row) in norm.iter().enumerate() {
+        for (p, &v) in row.iter().enumerate() {
+            if t != p && v > worst_offdiag {
+                worst_offdiag = v;
                 worst_pair = (t, p);
             }
         }

@@ -44,5 +44,13 @@ fn run_sense(args: &[String]) -> Result<Output, commands::CommandError> {
         Some((_, path)) => Some(std::fs::read_to_string(path)?),
         None => None,
     };
-    commands::sense(&log_text, calib_text.as_deref()).map(Output::Stdout)
+    let jobs: usize = match flags.iter().find(|(k, _)| k == "jobs") {
+        Some((_, v)) => v.parse().map_err(|_| {
+            commands::CommandError::Usage(
+                "--jobs expects a worker count (0 = all CPUs)".into(),
+            )
+        })?,
+        None => 1,
+    };
+    commands::sense(&log_text, calib_text.as_deref(), jobs).map(Output::Stdout)
 }

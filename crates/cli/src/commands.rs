@@ -136,7 +136,15 @@ pub fn simulate(args: &[String]) -> Result<String, CommandError> {
 
 /// `sense`: replay a survey log through the pipeline; returns the report
 /// text.
-pub fn sense(log_text: &str, calibration_db: Option<&str>) -> Result<String, CommandError> {
+///
+/// `jobs` is the worker-thread count for the batched solve (`0` = one per
+/// CPU, `1` = sequential); tags are solved in parallel but reported in log
+/// order, and the report is identical at every `jobs` value.
+pub fn sense(
+    log_text: &str,
+    calibration_db: Option<&str>,
+    jobs: usize,
+) -> Result<String, CommandError> {
     let log = SurveyLog::from_text(log_text)?;
     let db = match calibration_db {
         Some(text) => Some(CalibrationDb::from_text(text).map_err(CommandError::Calibration)?),
@@ -145,14 +153,20 @@ pub fn sense(log_text: &str, calibration_db: Option<&str>) -> Result<String, Com
     let region = default_region(&log);
     let prism = RfPrism::new(log.poses.clone(), log.plan.clone()).with_region(region);
 
+    // Fan the per-tag solves across the worker pool; results come back in
+    // log order, so the report below is byte-identical at any `jobs`.
+    let reads: Vec<&Vec<Vec<rfp_dsp::preprocess::RawRead>>> =
+        log.tags.values().map(|record| &record.per_antenna).collect();
+    let results = prism.sense_batch(&reads, jobs);
+
     let mut out = String::new();
     let _ = writeln!(
         out,
         "{:>6} {:>18} {:>9} {:>13} {:>10} {:>12}",
         "tag", "position (m)", "α (deg)", "k_t (rad/Hz)", "verdict", "truth err"
     );
-    for (id, record) in &log.tags {
-        match prism.sense(&record.per_antenna) {
+    for ((id, record), result) in log.tags.iter().zip(results) {
+        match result {
             Ok(result) => {
                 let e = &result.estimate;
                 let truth_err = record
@@ -240,7 +254,8 @@ pub fn usage() -> String {
      \n\
      USAGE:\n\
      \x20 rf-prism simulate [--tags N] [--seed S] [--material LABEL|mixed] [--clutter SEED] > round.log\n\
-     \x20 rf-prism sense --log round.log [--calib tags.cal]\n\
+     \x20 rf-prism sense --log round.log [--calib tags.cal] [--jobs N]\n\
+     \x20     (--jobs: worker threads for the batched solve; 0 = all CPUs, default 1)\n\
      \x20 rf-prism calibrate --tag ID > tags.cal\n\
      \x20 rf-prism help\n"
         .to_string()
@@ -262,7 +277,7 @@ mod tests {
     #[test]
     fn simulate_then_sense_round_trip() {
         let log_text = simulate(&args(&["--tags", "2", "--seed", "3"])).unwrap();
-        let report = sense(&log_text, None).unwrap();
+        let report = sense(&log_text, None, 1).unwrap();
         // Two tag rows with truth errors present.
         assert_eq!(report.matches(" cm").count(), 2, "report:\n{report}");
         assert!(report.contains("clean") || report.contains("multipath"));
@@ -304,13 +319,21 @@ mod tests {
     fn sense_with_calibration_prints_material_features() {
         let log_text = simulate(&args(&["--tags", "1", "--seed", "5"])).unwrap();
         let cal_text = calibrate(&args(&["--tag", "1"])).unwrap();
-        let report = sense(&log_text, Some(&cal_text)).unwrap();
+        let report = sense(&log_text, Some(&cal_text), 1).unwrap();
         assert!(report.contains("k_t_mat"), "report:\n{report}");
     }
 
     #[test]
+    fn sense_report_identical_at_any_jobs() {
+        let log_text = simulate(&args(&["--tags", "3", "--seed", "2"])).unwrap();
+        let sequential = sense(&log_text, None, 1).unwrap();
+        assert_eq!(sequential, sense(&log_text, None, 2).unwrap());
+        assert_eq!(sequential, sense(&log_text, None, 0).unwrap());
+    }
+
+    #[test]
     fn sense_propagates_log_errors() {
-        assert!(matches!(sense("garbage", None), Err(CommandError::Log(_))));
+        assert!(matches!(sense("garbage", None, 1), Err(CommandError::Log(_))));
     }
 
     #[test]

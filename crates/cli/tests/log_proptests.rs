@@ -24,13 +24,13 @@ proptest! {
     #[test]
     fn log_round_trips_arbitrary_reads(
         reads in proptest::collection::vec(
-            (0usize..50, 0.0f64..6.28, -80.0f64..-40.0, 0.0f64..10.0),
+            (0usize..50, 0.0f64..std::f64::consts::TAU, -80.0f64..-40.0, 0.0f64..10.0),
             1..80,
         ),
         tag_id in 0u64..1000,
         truth_x in -0.5f64..1.5,
         truth_y in 0.5f64..2.5,
-        alpha in 0.0f64..3.14,
+        alpha in 0.0f64..std::f64::consts::PI,
         material_idx in 0usize..8,
         with_truth in proptest::bool::ANY,
     ) {

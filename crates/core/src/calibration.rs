@@ -228,7 +228,7 @@ impl CalibrationDb {
             for _ in 0..n {
                 let (sln, sline) =
                     lines.next().ok_or(DbParseError::Malformed { line: ln + 1 })?;
-                let mut p = sline.trim().split_whitespace();
+                let mut p = sline.split_whitespace();
                 let ch: usize = p
                     .next()
                     .and_then(|v| v.parse().ok())

@@ -53,6 +53,7 @@
 #![warn(missing_docs)]
 
 pub mod antenna_cal;
+pub mod batch;
 pub mod calibration;
 pub mod detector;
 pub mod inventory;
@@ -65,6 +66,7 @@ pub mod solver3d;
 pub mod tracking;
 
 pub use antenna_cal::AntennaCalibration;
+pub use batch::{BatchCache, BatchCache3D, TagReads, TagRounds};
 pub use calibration::{CalibrationDb, DeviceCalibration};
 pub use detector::{DetectorConfig, MobilityVerdict};
 pub use inventory::{InventorySensor, ItemOutcome, ItemReport};

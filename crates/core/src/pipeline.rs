@@ -10,7 +10,9 @@
 use crate::detector::{assess, DetectorConfig, MobilityVerdict};
 use crate::material::MaterialFeatures;
 use crate::model::{extract_observation, AntennaObservation, ExtractConfig, ExtractError};
-use crate::solver::{solve_2d, SolveError, SolverConfig, TagEstimate2D};
+use crate::solver::{
+    solve_2d_seeded, SolveError, SolveSeeds, SolverConfig, SolverWorkspace, TagEstimate2D,
+};
 use crate::DeviceCalibration;
 use rfp_dsp::preprocess::RawRead;
 use rfp_geom::{AntennaPose, Region2, Vec2};
@@ -229,6 +231,27 @@ impl RfPrism {
     ///   (only when `reject_moving` is set);
     /// * [`SenseError::Solve`] — the joint solve failed.
     pub fn sense(&self, reads_per_antenna: &[Vec<RawRead>]) -> Result<SensingResult, SenseError> {
+        let seeds = self.solve_seeds();
+        let mut workspace = SolverWorkspace::default();
+        self.sense_with(reads_per_antenna, &seeds, &mut workspace)
+    }
+
+    /// The per-scene solver seeds for this pipeline's `(region, config)` —
+    /// built once per batch by the batch engine and shared read-only across
+    /// workers (see `crate::batch`).
+    pub(crate) fn solve_seeds(&self) -> SolveSeeds {
+        SolveSeeds::new(self.region, &self.config.solver)
+    }
+
+    /// [`RfPrism::sense`] against precomputed seeds and a reusable
+    /// workspace; bit-identical results, no per-call allocation of the
+    /// multi-start grid.
+    pub(crate) fn sense_with(
+        &self,
+        reads_per_antenna: &[Vec<RawRead>],
+        seeds: &SolveSeeds,
+        workspace: &mut SolverWorkspace,
+    ) -> Result<SensingResult, SenseError> {
         if reads_per_antenna.len() != self.poses.len() {
             return Err(SenseError::AntennaCountMismatch {
                 expected: self.poses.len(),
@@ -261,7 +284,7 @@ impl RfPrism {
             }
         }
 
-        let estimate = solve_2d(&observations, self.region, &self.config.solver)?;
+        let estimate = solve_2d_seeded(&observations, seeds, &self.config.solver, workspace)?;
         Ok(SensingResult { estimate, observations, verdict })
     }
 }
@@ -398,6 +421,19 @@ impl RfPrism {
         &self,
         rounds: &[Vec<Vec<rfp_dsp::preprocess::RawRead>>],
     ) -> Result<SensingResult, SenseError> {
+        let seeds = self.solve_seeds();
+        let mut workspace = SolverWorkspace::default();
+        self.sense_rounds_with(rounds, &seeds, &mut workspace)
+    }
+
+    /// [`RfPrism::sense_rounds`] against precomputed seeds and a reusable
+    /// workspace; bit-identical results (see `crate::batch`).
+    pub(crate) fn sense_rounds_with(
+        &self,
+        rounds: &[Vec<Vec<rfp_dsp::preprocess::RawRead>>],
+        seeds: &SolveSeeds,
+        workspace: &mut SolverWorkspace,
+    ) -> Result<SensingResult, SenseError> {
         use rfp_geom::angle;
         let mut per_round: Vec<Vec<AntennaObservation>> = Vec::new();
         let mut last_moving: Option<f64> = None;
@@ -447,7 +483,7 @@ impl RfPrism {
             );
         }
         let verdict = assess(&merged, &self.config.detector);
-        let estimate = solve_2d(&merged, self.region, &self.config.solver)?;
+        let estimate = solve_2d_seeded(&merged, seeds, &self.config.solver, workspace)?;
         Ok(SensingResult { estimate, observations: merged, verdict })
     }
 }

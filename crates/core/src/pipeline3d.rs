@@ -8,7 +8,10 @@
 
 use crate::detector::{assess, DetectorConfig, MobilityVerdict};
 use crate::model::{extract_observation, AntennaObservation, ExtractConfig, ExtractError};
-use crate::solver3d::{solve_3d, Solve3DError, Solver3DConfig, TagEstimate3D};
+use crate::solver3d::{
+    solve_3d_seeded, Solve3DError, Solve3DSeeds, Solver3DConfig, Solver3DWorkspace,
+    TagEstimate3D,
+};
 use rfp_dsp::preprocess::RawRead;
 use rfp_geom::{AntennaPose, Region2};
 use rfp_phys::FrequencyPlan;
@@ -149,6 +152,24 @@ impl RfPrism3D {
         &self,
         reads_per_antenna: &[Vec<RawRead>],
     ) -> Result<Sensing3DResult, Sense3DError> {
+        let seeds = self.solve_seeds();
+        let mut workspace = Solver3DWorkspace::default();
+        self.sense_with(reads_per_antenna, &seeds, &mut workspace)
+    }
+
+    /// The per-scene 3-D solver seeds (see `crate::batch`).
+    pub(crate) fn solve_seeds(&self) -> Solve3DSeeds {
+        Solve3DSeeds::new(self.region, self.z_range, &self.config.solver)
+    }
+
+    /// [`RfPrism3D::sense`] against precomputed seeds and a reusable
+    /// workspace; bit-identical results (see `crate::batch`).
+    pub(crate) fn sense_with(
+        &self,
+        reads_per_antenna: &[Vec<RawRead>],
+        seeds: &Solve3DSeeds,
+        workspace: &mut Solver3DWorkspace,
+    ) -> Result<Sensing3DResult, Sense3DError> {
         if reads_per_antenna.len() != self.poses.len() {
             return Err(Sense3DError::AntennaCountMismatch {
                 expected: self.poses.len(),
@@ -179,7 +200,7 @@ impl RfPrism3D {
                 return Err(Sense3DError::TagMoving { worst_residual_std });
             }
         }
-        let estimate = solve_3d(&observations, self.region, self.z_range, &self.config.solver)?;
+        let estimate = solve_3d_seeded(&observations, seeds, &self.config.solver, workspace)?;
         Ok(Sensing3DResult { estimate, observations, verdict })
     }
 

@@ -18,8 +18,45 @@
 
 use crate::model::AntennaObservation;
 use rfp_geom::{angle, Region2, Vec2};
-use rfp_phys::polarization::{orientation_phase, planar_dipole};
+use rfp_phys::polarization::{orientation_phase, planar_dipole, projection_magnitude};
 use rfp_phys::propagation;
+
+/// Per-scene constants of the 2-D solve, computed once and shared
+/// read-only by every solve against the same `(region, config)` pair —
+/// the batch engine builds one of these per scene and hands it to all
+/// workers (see `crate::batch`).
+#[derive(Debug, Clone)]
+pub struct SolveSeeds {
+    /// Multi-start position grid over the working region.
+    position_starts: Vec<Vec2>,
+    /// Number of α seeds scanned per position candidate.
+    alpha_steps: usize,
+    /// Region candidates must refine into to be preferred.
+    admissible: Region2,
+}
+
+impl SolveSeeds {
+    /// Precomputes the multi-start seeds for `region` under `config`.
+    pub fn new(region: Region2, config: &SolverConfig) -> Self {
+        let (nx, ny) = config.position_starts;
+        SolveSeeds {
+            position_starts: region.grid(nx.max(1), ny.max(1)).collect(),
+            alpha_steps: (config.orientation_starts.max(1) * 8).max(24),
+            admissible: region.expanded(0.3),
+        }
+    }
+}
+
+/// Reusable scratch buffers for repeated 2-D solves. All contents are
+/// overwritten by each solve; reusing one workspace across calls only
+/// avoids reallocation, it never changes results.
+#[derive(Debug, Default)]
+pub struct SolverWorkspace {
+    lm: LmWorkspace,
+    scratch: Vec<f64>,
+    position_candidates: Vec<(Vec<f64>, f64)>,
+    alpha_ranked: Vec<(f64, f64)>,
+}
 
 /// Configuration of the 2-D disentangling solver.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -36,6 +73,12 @@ pub struct SolverConfig {
     pub max_iterations: usize,
     /// Relative cost-decrease tolerance for LM convergence.
     pub tolerance: f64,
+    /// Expected RSSI noise (dB) used when ranking candidate modes by
+    /// polarization-mismatch consistency. The wrapped intercept equations
+    /// admit near-twin `α` solutions with 3 antennas; the per-antenna RSSI
+    /// pattern (`20·log10` of the dipole projection) breaks the tie. Set to
+    /// `f64::INFINITY` to disable and rank by phase cost alone.
+    pub rssi_sigma_db: f64,
 }
 
 impl Default for SolverConfig {
@@ -47,6 +90,7 @@ impl Default for SolverConfig {
             orientation_starts: 6,
             max_iterations: 60,
             tolerance: 1e-10,
+            rssi_sigma_db: 1.0,
         }
     }
 }
@@ -123,6 +167,24 @@ pub fn solve_2d(
     region: Region2,
     config: &SolverConfig,
 ) -> Result<TagEstimate2D, SolveError> {
+    let seeds = SolveSeeds::new(region, config);
+    let mut workspace = SolverWorkspace::default();
+    solve_2d_seeded(observations, &seeds, config, &mut workspace)
+}
+
+/// [`solve_2d`] against precomputed [`SolveSeeds`] and a reusable
+/// [`SolverWorkspace`] — the hot-path entry used by the batch engine.
+/// Produces bit-identical results to [`solve_2d`] with the same inputs.
+///
+/// # Errors
+///
+/// [`SolveError::TooFewAntennas`] when fewer than 3 observations are given.
+pub fn solve_2d_seeded(
+    observations: &[AntennaObservation],
+    seeds: &SolveSeeds,
+    config: &SolverConfig,
+    workspace: &mut SolverWorkspace,
+) -> Result<TagEstimate2D, SolveError> {
     if observations.len() < 3 {
         return Err(SolveError::TooFewAntennas { provided: observations.len() });
     }
@@ -152,7 +214,7 @@ pub fn solve_2d(
     // near-degenerate range direction otherwise lets the unconstrained
     // optimum drift metres away. Prefer in-region candidates; fall back to
     // the overall best only if no start stayed inside.
-    let admissible = region.expanded(0.3);
+    let admissible = seeds.admissible;
 
     // Stage 1: slope-only position solve.
     let slope_residual = |p: &[f64], out: &mut Vec<f64>| {
@@ -165,11 +227,12 @@ pub fn solve_2d(
         }
     };
     let slope_steps = [1e-4, 1e-4, 1e-13];
-    let (nx, ny) = config.position_starts;
-    let mut position_candidates: Vec<(Vec<f64>, f64)> = Vec::new();
-    for seed_pos in region.grid(nx.max(1), ny.max(1)) {
+    let position_candidates = &mut workspace.position_candidates;
+    position_candidates.clear();
+    for &seed_pos in &seeds.position_starts {
         let kt0 = seed_kt(observations, seed_pos);
-        let (p, cost) = levenberg_marquardt(
+        let (p, cost) = levenberg_marquardt_with(
+            &mut workspace.lm,
             &slope_residual,
             vec![seed_pos.x, seed_pos.y, kt0],
             &slope_steps,
@@ -190,46 +253,68 @@ pub fn solve_2d(
         stage1.push(position_candidates[0].0.clone());
     }
 
-    // Stages 2 + 3: α scan then joint refinement.
-    let alpha_steps = (config.orientation_starts.max(1) * 8).max(24);
-    let mut best_inside: Option<(Vec<f64>, f64)> = None;
-    let mut best_any: Option<(Vec<f64>, f64)> = None;
-    let mut scratch = Vec::new();
+    // Stages 2 + 3: α scan then joint refinement. Final candidates are
+    // ranked by phase cost *plus* the RSSI mode penalty: the wrapped
+    // intercept system admits near-twin α solutions (3 antennas, 2
+    // intercept unknowns), and the per-antenna polarization-mismatch
+    // pattern in the RSSI is the physical tie-breaker.
+    let alpha_steps = seeds.alpha_steps;
+    let mut best_inside: Option<(Vec<f64>, f64, f64)> = None;
+    let mut best_any: Option<(Vec<f64>, f64, f64)> = None;
+    let scratch = &mut workspace.scratch;
     for cand in &stage1 {
         // Rank α seeds by the intercept-only cost at this position.
-        let mut alpha_ranked: Vec<(f64, f64)> = (0..alpha_steps)
-            .map(|a| {
-                let alpha0 = std::f64::consts::PI * a as f64 / alpha_steps as f64;
-                let bt0 = seed_bt(observations, alpha0);
-                let p = [cand[0], cand[1], alpha0, cand[2], bt0];
-                residuals_2d(observations, &p, config, &mut scratch);
-                let cost: f64 = scratch.iter().map(|v| v * v).sum();
-                (alpha0, cost)
-            })
-            .collect();
+        let alpha_ranked = &mut workspace.alpha_ranked;
+        alpha_ranked.clear();
+        for a in 0..alpha_steps {
+            let alpha0 = std::f64::consts::PI * a as f64 / alpha_steps as f64;
+            let bt0 = seed_bt(observations, alpha0);
+            let p = [cand[0], cand[1], alpha0, cand[2], bt0];
+            residuals_2d(observations, &p, config, scratch);
+            let mut cost: f64 = scratch.iter().map(|v| v * v).sum();
+            // Rank with the RSSI mode penalty already applied: spurious
+            // twin-α basins often fit the phases *better* than the true
+            // mode under noise, and would otherwise crowd truth out of
+            // the refinement short-list entirely.
+            cost += rssi_mode_penalty(
+                observations,
+                Vec2::new(cand[0], cand[1]),
+                alpha0,
+                config.rssi_sigma_db,
+            );
+            alpha_ranked.push((alpha0, cost));
+        }
         alpha_ranked.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite costs"));
-        for &(alpha0, _) in alpha_ranked.iter().take(2) {
+        for &(alpha0, _) in alpha_ranked.iter().take(4) {
             let bt0 = seed_bt(observations, alpha0);
             let p0 = vec![cand[0], cand[1], alpha0, cand[2], bt0];
-            let (p, cost) = levenberg_marquardt(
+            let (p, cost) = levenberg_marquardt_with(
+                &mut workspace.lm,
                 &residual,
                 p0,
                 &steps,
                 config.max_iterations,
                 config.tolerance,
             );
+            let key = cost
+                + rssi_mode_penalty(
+                    observations,
+                    Vec2::new(p[0], p[1]),
+                    p[2],
+                    config.rssi_sigma_db,
+                );
             if admissible.contains(Vec2::new(p[0], p[1]))
-                && best_inside.as_ref().map_or(true, |(_, c)| cost < *c)
+                && best_inside.as_ref().is_none_or(|&(_, _, k)| key < k)
             {
-                best_inside = Some((p.clone(), cost));
+                best_inside = Some((p.clone(), cost, key));
             }
-            if best_any.as_ref().map_or(true, |(_, c)| cost < *c) {
-                best_any = Some((p, cost));
+            if best_any.as_ref().is_none_or(|&(_, _, k)| key < k) {
+                best_any = Some((p, cost, key));
             }
         }
     }
 
-    let (p, cost) = best_inside.or(best_any).expect("at least one start");
+    let (p, cost, _) = best_inside.or(best_any).expect("at least one start");
     let n_res = 2 * observations.len();
     let steps = [1e-4, 1e-4, 1e-4, 1e-13, 1e-4];
     let (position_std_m, orientation_std_rad, position_cov) =
@@ -250,6 +335,8 @@ pub fn solve_2d(
 /// Gauss–Newton covariance at the solution: `(JᵀJ)⁻¹` of the
 /// sigma-normalized residuals. Returns `(position σ, orientation σ,
 /// position 2×2 covariance)`; infinities when the curvature is singular.
+// Index loops mirror the matrix math; iterator forms obscure the kernels.
+#[allow(clippy::needless_range_loop)]
 fn estimate_uncertainty<F>(
     residual: &F,
     p: &[f64],
@@ -320,6 +407,65 @@ fn seed_kt(observations: &[AntennaObservation], pos: Vec2) -> f64 {
     sum / observations.len() as f64
 }
 
+/// RSSI-consistency penalty of a candidate mode `(pos, α)`: the weighted
+/// variance of `rssiᵢ + 40·log10(dᵢ) − 20·log10(pᵢ(α))` across antennas.
+///
+/// The backscatter link budget (`rfp_phys::rssi`) says that quantity is a
+/// per-tag constant (transmit power + material loss) plus noise, so modes
+/// whose predicted polarization projections `pᵢ(α)` disagree with the
+/// measured RSSI pattern score high. Returns 0 when disabled
+/// (`sigma_db = ∞`) or when any observation lacks a finite RSSI.
+pub(crate) fn rssi_mode_penalty(
+    observations: &[AntennaObservation],
+    pos: Vec2,
+    alpha: f64,
+    sigma_db: f64,
+) -> f64 {
+    if !sigma_db.is_finite() || sigma_db <= 0.0 {
+        return 0.0;
+    }
+    let w = planar_dipole(alpha);
+    rssi_pattern_penalty(observations, |o| {
+        let d = o.pose.position().distance(pos.with_z(0.0));
+        (d, projection_magnitude(&o.pose, w))
+    }, sigma_db)
+}
+
+/// Shared core of the 2-D and 3-D RSSI mode penalties: `predict` returns
+/// each observation's `(distance, projection magnitude)` under the
+/// candidate mode.
+pub(crate) fn rssi_pattern_penalty<F>(
+    observations: &[AntennaObservation],
+    predict: F,
+    sigma_db: f64,
+) -> f64
+where
+    F: Fn(&AntennaObservation) -> (f64, f64),
+{
+    if !sigma_db.is_finite() || sigma_db <= 0.0 {
+        return 0.0;
+    }
+    let mut sum = 0.0;
+    let mut sum_sq = 0.0;
+    let n = observations.len() as f64;
+    for o in observations {
+        if !o.mean_rssi_dbm.is_finite() {
+            return 0.0;
+        }
+        let (d, proj) = predict(o);
+        if proj < 1e-3 || d <= 0.0 {
+            // The mode predicts an unreadable antenna that in fact read the
+            // tag: strongly implausible.
+            return 1e6;
+        }
+        let m = o.mean_rssi_dbm + 40.0 * d.log10() - 20.0 * proj.log10();
+        sum += m;
+        sum_sq += m * m;
+    }
+    let variance = (sum_sq - sum * sum / n).max(0.0);
+    variance / (sigma_db * sigma_db)
+}
+
 /// Circular mean of `bᵢ − θ_orient(Aᵢ, α₀)` — the closed-form `b_t` seed
 /// for a hypothesised orientation.
 fn seed_bt(observations: &[AntennaObservation], alpha0: f64) -> f64 {
@@ -377,6 +523,38 @@ fn residuals_2d(
 /// ```
 pub fn levenberg_marquardt<F>(
     residual: &F,
+    p: Vec<f64>,
+    steps: &[f64],
+    max_iterations: usize,
+    tolerance: f64,
+) -> (Vec<f64>, f64)
+where
+    F: Fn(&[f64], &mut Vec<f64>),
+{
+    let mut workspace = LmWorkspace::default();
+    levenberg_marquardt_with(&mut workspace, residual, p, steps, max_iterations, tolerance)
+}
+
+/// Reusable buffers for [`levenberg_marquardt_with`]: the residual and
+/// Jacobian storage whose allocation otherwise dominates small repeated
+/// solves. Contents are fully overwritten by every call.
+#[derive(Debug, Default)]
+pub struct LmWorkspace {
+    r: Vec<f64>,
+    r_plus: Vec<f64>,
+    r_minus: Vec<f64>,
+    /// Row-major `m × n` Jacobian.
+    jac: Vec<f64>,
+}
+
+/// [`levenberg_marquardt`] with caller-owned scratch buffers; produces
+/// bit-identical results. This is the hot-path entry for the batch engine,
+/// where one [`LmWorkspace`] per worker thread is reused across every
+/// solve that worker performs.
+#[allow(clippy::needless_range_loop)]
+pub fn levenberg_marquardt_with<F>(
+    workspace: &mut LmWorkspace,
+    residual: &F,
     mut p: Vec<f64>,
     steps: &[f64],
     max_iterations: usize,
@@ -387,14 +565,14 @@ where
 {
     let n = p.len();
     debug_assert_eq!(steps.len(), n);
-    let mut r = Vec::new();
-    residual(&p, &mut r);
+    let LmWorkspace { r, r_plus, r_minus, jac } = workspace;
+    residual(&p, r);
     let mut cost: f64 = r.iter().map(|v| v * v).sum();
     let m = r.len();
 
     let mut lambda = 1e-3;
-    let mut jac = vec![vec![0.0; n]; m];
-    let (mut r_plus, mut r_minus) = (Vec::new(), Vec::new());
+    jac.clear();
+    jac.resize(m * n, 0.0);
 
     for _ in 0..max_iterations {
         // Numeric Jacobian (central differences with per-parameter steps).
@@ -402,12 +580,12 @@ where
             let h = steps[j];
             let saved = p[j];
             p[j] = saved + h;
-            residual(&p, &mut r_plus);
+            residual(&p, r_plus);
             p[j] = saved - h;
-            residual(&p, &mut r_minus);
+            residual(&p, r_minus);
             p[j] = saved;
             for i in 0..m {
-                jac[i][j] = (r_plus[i] - r_minus[i]) / (2.0 * h);
+                jac[i * n + j] = (r_plus[i] - r_minus[i]) / (2.0 * h);
             }
         }
         // Normal equations.
@@ -415,9 +593,9 @@ where
         let mut jtr = vec![0.0; n];
         for i in 0..m {
             for a in 0..n {
-                jtr[a] += jac[i][a] * r[i];
+                jtr[a] += jac[i * n + a] * r[i];
                 for b in a..n {
-                    jtj[a][b] += jac[i][a] * jac[i][b];
+                    jtj[a][b] += jac[i * n + a] * jac[i * n + b];
                 }
             }
         }
@@ -440,12 +618,12 @@ where
                 continue;
             };
             let candidate: Vec<f64> = p.iter().zip(&delta).map(|(a, d)| a + d).collect();
-            residual(&candidate, &mut r_plus);
+            residual(&candidate, r_plus);
             let new_cost: f64 = r_plus.iter().map(|v| v * v).sum();
             if new_cost < cost {
                 let rel_drop = (cost - new_cost) / cost.max(1e-300);
                 p = candidate;
-                std::mem::swap(&mut r, &mut r_plus);
+                std::mem::swap(r, r_plus);
                 cost = new_cost;
                 lambda = (lambda / 3.0).max(1e-12);
                 improved = true;
@@ -464,6 +642,7 @@ where
 }
 
 /// Gaussian elimination with partial pivoting; `None` when singular.
+#[allow(clippy::needless_range_loop)]
 fn solve_linear(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Option<Vec<f64>> {
     let n = b.len();
     for col in 0..n {

@@ -10,9 +10,9 @@
 //! intercepts, multi-start + Levenberg–Marquardt.
 
 use crate::model::AntennaObservation;
-use crate::solver::levenberg_marquardt;
+use crate::solver::{levenberg_marquardt_with, rssi_pattern_penalty, LmWorkspace};
 use rfp_geom::{angle, Region2, Vec3};
-use rfp_phys::polarization::orientation_phase;
+use rfp_phys::polarization::{orientation_phase, projection_magnitude};
 use rfp_phys::propagation;
 
 /// Configuration for [`solve_3d`].
@@ -32,6 +32,11 @@ pub struct Solver3DConfig {
     pub max_iterations: usize,
     /// Relative cost tolerance.
     pub tolerance: f64,
+    /// Expected RSSI noise (dB) for ranking candidate modes by
+    /// polarization-mismatch consistency (see
+    /// [`SolverConfig::rssi_sigma_db`](crate::solver::SolverConfig)).
+    /// `f64::INFINITY` disables the penalty.
+    pub rssi_sigma_db: f64,
 }
 
 impl Default for Solver3DConfig {
@@ -44,8 +49,58 @@ impl Default for Solver3DConfig {
             dipole_starts: 6,
             max_iterations: 80,
             tolerance: 1e-10,
+            rssi_sigma_db: 1.0,
         }
     }
+}
+
+/// Per-scene constants of the 3-D solve (multi-start seeds + admissible
+/// volume), computed once per `(region, z_range, config)` and shared
+/// read-only across solves — the 3-D analogue of
+/// [`SolveSeeds`](crate::solver::SolveSeeds).
+#[derive(Debug, Clone)]
+pub struct Solve3DSeeds {
+    /// Multi-start positions: (x, y) grid × z levels, in grid-major order.
+    position_starts: Vec<Vec3>,
+    /// Polar ring count of the dipole half-sphere scan.
+    rings: usize,
+    /// Horizontal region candidates must refine into to be preferred.
+    admissible_xy: Region2,
+    /// Expanded vertical bounds of the admissible volume.
+    z_bounds: (f64, f64),
+}
+
+impl Solve3DSeeds {
+    /// Precomputes the multi-start seeds for the `region × z_range` box.
+    pub fn new(region: Region2, z_range: (f64, f64), config: &Solver3DConfig) -> Self {
+        let (nx, ny) = config.position_starts;
+        let (z_lo, z_hi) = z_range;
+        let z_starts = config.z_starts.max(1);
+        let mut position_starts =
+            Vec::with_capacity(nx.max(1) * ny.max(1) * z_starts);
+        for seed_pos in region.grid(nx.max(1), ny.max(1)) {
+            for zi in 0..z_starts {
+                let z = z_lo + (z_hi - z_lo) * (zi as f64 + 0.5) / z_starts as f64;
+                position_starts.push(seed_pos.with_z(z));
+            }
+        }
+        Solve3DSeeds {
+            position_starts,
+            rings: config.dipole_starts.max(3),
+            admissible_xy: region.expanded(0.3),
+            z_bounds: (z_lo - 0.3, z_hi + 0.3),
+        }
+    }
+}
+
+/// Reusable scratch buffers for repeated 3-D solves; contents are fully
+/// overwritten by each solve, so reuse never changes results.
+#[derive(Debug, Default)]
+pub struct Solver3DWorkspace {
+    lm: LmWorkspace,
+    scratch: Vec<f64>,
+    position_candidates: Vec<(Vec<f64>, f64)>,
+    dipole_ranked: Vec<(f64, f64, f64)>,
 }
 
 /// The disentangled 3-D tag state.
@@ -114,6 +169,24 @@ pub fn solve_3d(
     z_range: (f64, f64),
     config: &Solver3DConfig,
 ) -> Result<TagEstimate3D, Solve3DError> {
+    let seeds = Solve3DSeeds::new(region, z_range, config);
+    let mut workspace = Solver3DWorkspace::default();
+    solve_3d_seeded(observations, &seeds, config, &mut workspace)
+}
+
+/// [`solve_3d`] against precomputed [`Solve3DSeeds`] and a reusable
+/// [`Solver3DWorkspace`] — the hot-path entry used by the batch engine.
+/// Produces bit-identical results to [`solve_3d`] with the same inputs.
+///
+/// # Errors
+///
+/// [`Solve3DError::TooFewAntennas`] with fewer than 4 observations.
+pub fn solve_3d_seeded(
+    observations: &[AntennaObservation],
+    seeds: &Solve3DSeeds,
+    config: &Solver3DConfig,
+    workspace: &mut Solver3DWorkspace,
+) -> Result<TagEstimate3D, Solve3DError> {
     if observations.len() < 4 {
         return Err(Solve3DError::TooFewAntennas { provided: observations.len() });
     }
@@ -138,12 +211,21 @@ pub fn solve_3d(
     // mirror-symmetric about the antenna plane and the range direction is
     // near-degenerate, so unconstrained optima can drift metres away (see
     // the 2-D solver for the same rule).
-    let admissible_xy = region.expanded(0.3);
-    let (z_lo, z_hi) = z_range;
+    let admissible_xy = seeds.admissible_xy;
+    let (z_lo_adm, z_hi_adm) = seeds.z_bounds;
     let inside = |p: &[f64]| {
         admissible_xy.contains(rfp_geom::Vec2::new(p[0], p[1]))
-            && p[2] >= z_lo - 0.3
-            && p[2] <= z_hi + 0.3
+            && p[2] >= z_lo_adm
+            && p[2] <= z_hi_adm
+    };
+    // RSSI-consistency penalty of a candidate 3-D mode, shared with the
+    // 2-D solver (see `solver::rssi_pattern_penalty`).
+    let mode_penalty = |pos: Vec3, w: Vec3| {
+        rssi_pattern_penalty(
+            observations,
+            |o| (o.pose.position().distance(pos), projection_magnitude(&o.pose, w)),
+            config.rssi_sigma_db,
+        )
     };
 
     // Stage 1: slope-only position solve over (x, y, z, k_t) — smooth and
@@ -159,29 +241,26 @@ pub fn solve_3d(
         }
     };
     let slope_steps = [1e-4, 1e-4, 1e-4, 1e-13];
-    let (nx, ny) = config.position_starts;
-    let mut position_candidates: Vec<(Vec<f64>, f64)> = Vec::new();
-    for seed_pos in region.grid(nx.max(1), ny.max(1)) {
-        for zi in 0..config.z_starts.max(1) {
-            let z = z_lo + (z_hi - z_lo) * (zi as f64 + 0.5) / config.z_starts.max(1) as f64;
-            let pos = seed_pos.with_z(z);
-            let kt0: f64 = observations
-                .iter()
-                .map(|o| {
-                    o.slope
-                        - propagation::slope_from_distance(o.pose.position().distance(pos))
-                })
-                .sum::<f64>()
-                / observations.len() as f64;
-            let (p, cost) = levenberg_marquardt(
-                &slope_residual,
-                vec![seed_pos.x, seed_pos.y, z, kt0],
-                &slope_steps,
-                config.max_iterations,
-                config.tolerance,
-            );
-            position_candidates.push((p, cost));
-        }
+    let position_candidates = &mut workspace.position_candidates;
+    position_candidates.clear();
+    for &pos in &seeds.position_starts {
+        let kt0: f64 = observations
+            .iter()
+            .map(|o| {
+                o.slope
+                    - propagation::slope_from_distance(o.pose.position().distance(pos))
+            })
+            .sum::<f64>()
+            / observations.len() as f64;
+        let (p, cost) = levenberg_marquardt_with(
+            &mut workspace.lm,
+            &slope_residual,
+            vec![pos.x, pos.y, pos.z, kt0],
+            &slope_steps,
+            config.max_iterations,
+            config.tolerance,
+        );
+        position_candidates.push((p, cost));
     }
     position_candidates.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite costs"));
     // With exactly 4 antennas the slope system is exactly determined, so
@@ -207,13 +286,18 @@ pub fn solve_3d(
     }
 
     // Stage 2: dipole scan over the half-sphere with closed-form b_t, then
-    // stage 3: joint 7-parameter refinement from the best seeds.
-    let rings = config.dipole_starts.max(3);
-    let mut best_inside_cand: Option<(Vec<f64>, f64)> = None;
-    let mut best_any: Option<(Vec<f64>, f64)> = None;
-    let mut scratch = Vec::new();
+    // stage 3: joint 7-parameter refinement from the best seeds. As in the
+    // 2-D solver, candidates are ranked by phase cost *plus* the RSSI mode
+    // penalty so spurious twin-dipole modes neither crowd truth out of the
+    // refinement short-list nor win the final selection.
+    let rings = seeds.rings;
+    let mut best_inside_cand: Option<(Vec<f64>, f64, f64)> = None;
+    let mut best_any: Option<(Vec<f64>, f64, f64)> = None;
+    let scratch = &mut workspace.scratch;
     for cand in &stage1 {
-        let mut dipole_ranked: Vec<(f64, f64, f64)> = Vec::new();
+        let cand_pos = Vec3::new(cand[0], cand[1], cand[2]);
+        let dipole_ranked = &mut workspace.dipole_ranked;
+        dipole_ranked.clear();
         for ti in 0..rings {
             // Polar rings from near-pole to equator.
             let theta = std::f64::consts::FRAC_PI_2 * (ti as f64 + 0.5) / rings as f64;
@@ -227,8 +311,9 @@ pub fn solve_3d(
                 )
                 .unwrap_or(0.0);
                 let p = [cand[0], cand[1], cand[2], theta, phi, cand[3], bt0];
-                residual(&p, &mut scratch);
-                let cost: f64 = scratch.iter().map(|v| v * v).sum();
+                residual(&p, scratch);
+                let cost: f64 = scratch.iter().map(|v| v * v).sum::<f64>()
+                    + mode_penalty(cand_pos, w0);
                 dipole_ranked.push((theta, phi, cost));
             }
         }
@@ -243,24 +328,32 @@ pub fn solve_3d(
             )
             .unwrap_or(0.0);
             let p0 = vec![cand[0], cand[1], cand[2], theta, phi, cand[3], bt0];
-            let (p, cost) = levenberg_marquardt(
+            let (p, cost) = levenberg_marquardt_with(
+                &mut workspace.lm,
                 &residual,
                 p0,
                 &steps,
                 config.max_iterations,
                 config.tolerance,
             );
-            if inside(&p) && best_inside_cand.as_ref().map_or(true, |(_, c)| cost < *c) {
-                best_inside_cand = Some((p.clone(), cost));
+            let key = cost
+                + mode_penalty(
+                    Vec3::new(p[0], p[1], p[2]),
+                    dipole_from_angles(p[3], p[4]),
+                );
+            if inside(&p)
+                && best_inside_cand.as_ref().is_none_or(|&(_, _, k)| key < k)
+            {
+                best_inside_cand = Some((p.clone(), cost, key));
             }
-            if best_any.as_ref().map_or(true, |(_, c)| cost < *c) {
-                best_any = Some((p, cost));
+            if best_any.as_ref().is_none_or(|&(_, _, k)| key < k) {
+                best_any = Some((p, cost, key));
             }
         }
     }
     let best_inside = best_inside_cand;
 
-    let (p, cost) = best_inside.or(best_any).expect("at least one start");
+    let (p, cost, _) = best_inside.or(best_any).expect("at least one start");
     let mut dipole = dipole_from_angles(p[3], p[4]);
     if dipole.z < 0.0 {
         dipole = -dipole;

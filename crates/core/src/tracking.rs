@@ -123,6 +123,8 @@ impl TagTracker {
     /// Feeds one per-round position estimate taken at `time_s`.
     ///
     /// Returns the filtered position.
+    // Index loops mirror the Kalman matrix math.
+    #[allow(clippy::needless_range_loop)]
     pub fn observe(&mut self, measurement: Vec2, time_s: f64) -> Vec2 {
         match self.state {
             None => {

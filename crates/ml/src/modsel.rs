@@ -162,7 +162,7 @@ mod tests {
     fn grid_search_reports_all_scores() {
         let ds = blobs(20, 0.5);
         let grid = [TreeConfig { max_depth: 1, ..Default::default() }, TreeConfig::default()];
-        let result = grid_search(&ds, 4, 4, &grid, |train, cfg| DecisionTree::fit(train, cfg));
+        let result = grid_search(&ds, 4, 4, &grid, DecisionTree::fit);
         assert_eq!(result.scores.len(), 2);
         assert!(result.scores.iter().all(|&s| (0.0..=1.0).contains(&s)));
     }

@@ -177,7 +177,7 @@ fn find_best_split(
             let weighted =
                 (split as f64 * g_left + (n - split) as f64 * g_right) / n as f64;
             let decrease = parent_gini - weighted;
-            if best.map_or(true, |(_, _, d, _)| decrease > d) {
+            if best.is_none_or(|(_, _, d, _)| decrease > d) {
                 best = Some((feature, (x_prev + x_next) / 2.0, decrease, split));
             }
         }

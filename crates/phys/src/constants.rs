@@ -46,6 +46,7 @@ mod tests {
 
     #[test]
     fn phase_lsb_small() {
-        assert!(IMPINJ_PHASE_LSB_RAD < 0.002);
+        let lsb = IMPINJ_PHASE_LSB_RAD;
+        assert!(lsb < 0.002, "12-bit phase LSB {lsb} too coarse");
     }
 }

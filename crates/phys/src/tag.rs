@@ -327,7 +327,7 @@ mod tests {
                     min_gap = d;
                     min_pair = (a, b);
                 }
-                if !((a, b) == (Material::Water, Material::SkimMilk)) {
+                if (a, b) != (Material::Water, Material::SkimMilk) {
                     assert!(d > 2.0e-9, "{a} vs {b}: slope gap {d:.3e} too small");
                 }
             }

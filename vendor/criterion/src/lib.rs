@@ -1,0 +1,217 @@
+//! Offline API-compatible subset of the `criterion` crate.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the slice of `criterion` its benches use: [`Criterion`],
+//! [`Criterion::bench_function`], benchmark groups with throughput, and
+//! the [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Timing is intentionally simple — warm-up followed by timed batches,
+//! reporting the median per-iteration time — with none of upstream's
+//! statistical machinery. It is enough to compare configurations of the
+//! same workload within one process (the only way the repo's benches are
+//! consumed).
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Measurement settings + reporting for one bench binary.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    warm_up: Duration,
+    measure: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            warm_up: Duration::from_millis(300),
+            measure: Duration::from_millis(1500),
+        }
+    }
+}
+
+impl Criterion {
+    /// Accepts (and ignores) CLI arguments, mirroring upstream's builder.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Overrides the warm-up time.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Overrides the measurement time.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measure = d;
+        self
+    }
+
+    /// Runs one benchmark and prints its median iteration time.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::new(self.warm_up, self.measure);
+        f(&mut b);
+        b.report(id, None);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group: {name}");
+        BenchmarkGroup { criterion: self, throughput: None }
+    }
+
+    /// Finalizes reporting (upstream prints summaries; the stub has
+    /// nothing buffered).
+    pub fn final_summary(&mut self) {}
+}
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Number of logical elements processed per iteration.
+    Elements(u64),
+    /// Number of bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A group of related benchmarks sharing throughput settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-iteration throughput used in reports.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F>(&mut self, id: impl AsRef<str>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::new(self.criterion.warm_up, self.criterion.measure);
+        f(&mut b);
+        b.report(id.as_ref(), self.throughput);
+        self
+    }
+
+    /// Closes the group.
+    pub fn finish(self) {}
+}
+
+/// Handed to each benchmark closure; runs and times the hot loop.
+pub struct Bencher {
+    warm_up: Duration,
+    measure: Duration,
+    samples: Vec<f64>,
+    iters_done: u64,
+}
+
+impl Bencher {
+    fn new(warm_up: Duration, measure: Duration) -> Self {
+        Bencher { warm_up, measure, samples: Vec::new(), iters_done: 0 }
+    }
+
+    /// Times `routine`, discarding its output.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        // Warm-up: also calibrates the per-iteration cost.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.warm_up {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters.max(1) as f64;
+
+        // Aim for ~32 samples inside the measurement budget.
+        let budget = self.measure.as_secs_f64();
+        let batch = ((budget / 32.0 / per_iter.max(1e-12)).ceil() as u64).max(1);
+        let deadline = Instant::now() + self.measure;
+        while Instant::now() < deadline || self.samples.is_empty() {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            self.samples.push(t0.elapsed().as_secs_f64() / batch as f64);
+            self.iters_done += batch;
+        }
+    }
+
+    fn median(&self) -> f64 {
+        let mut s = self.samples.clone();
+        s.sort_by(|a, b| a.partial_cmp(b).expect("finite sample times"));
+        s[s.len() / 2]
+    }
+
+    fn report(&self, id: &str, throughput: Option<Throughput>) {
+        if self.samples.is_empty() {
+            println!("{id:<40} (no samples)");
+            return;
+        }
+        let med = self.median();
+        match throughput {
+            Some(Throughput::Elements(n)) => {
+                let rate = n as f64 / med;
+                println!(
+                    "{id:<40} {:>12} /iter   {rate:>14.1} elem/s",
+                    format_time(med)
+                );
+            }
+            Some(Throughput::Bytes(n)) => {
+                let rate = n as f64 / med;
+                println!(
+                    "{id:<40} {:>12} /iter   {rate:>14.1} B/s",
+                    format_time(med)
+                );
+            }
+            None => println!("{id:<40} {:>12} /iter", format_time(med)),
+        }
+    }
+}
+
+fn format_time(seconds: f64) -> String {
+    if seconds >= 1.0 {
+        format!("{seconds:.3} s")
+    } else if seconds >= 1e-3 {
+        format!("{:.3} ms", seconds * 1e3)
+    } else if seconds >= 1e-6 {
+        format!("{:.3} µs", seconds * 1e6)
+    } else {
+        format!("{:.1} ns", seconds * 1e9)
+    }
+}
+
+/// Declares a group of bench functions, mirroring upstream.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench `main`, mirroring upstream.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,125 @@
+//! The case runner: configuration, the per-test RNG, and case outcomes.
+
+use rand::rngs::StdRng;
+use rand::{Rng as _, SeedableRng as _};
+
+/// Runner configuration (subset of upstream's `ProptestConfig`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProptestConfig {
+    /// Number of successful cases required for the property to pass.
+    pub cases: u32,
+    /// Maximum number of `prop_assume!` rejections tolerated across the
+    /// whole run before the test aborts.
+    pub max_global_rejects: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` successful cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases, ..Default::default() }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64, max_global_rejects: 4096 }
+    }
+}
+
+/// Why a single case did not succeed.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// An assertion failed: the property is falsified.
+    Fail(String),
+    /// The case was discarded by `prop_assume!`.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// A failed-assertion outcome.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError::Fail(message.into())
+    }
+
+    /// A discarded-case outcome.
+    pub fn reject(reason: impl Into<String>) -> Self {
+        TestCaseError::Reject(reason.into())
+    }
+}
+
+/// The RNG handed to strategies. Deterministic per test name.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    inner: StdRng,
+}
+
+impl TestRng {
+    fn for_test(name: &str) -> Self {
+        // FNV-1a over the test name: stable across runs and platforms.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1_0000_01b3);
+        }
+        TestRng { inner: StdRng::seed_from_u64(h) }
+    }
+
+    /// Uniform `f64` in `[low, high)`.
+    pub fn gen_f64(&mut self, low: f64, high: f64) -> f64 {
+        self.inner.gen_range(low..high)
+    }
+
+    /// Uniform `u64` in `[low, high)`.
+    pub fn gen_u64(&mut self, low: u64, high: u64) -> u64 {
+        self.inner.gen_range(low..high)
+    }
+
+    /// Uniform `usize` in `[low, high)`.
+    pub fn gen_usize(&mut self, low: usize, high: usize) -> usize {
+        self.inner.gen_range(low..high)
+    }
+
+    /// Fair coin flip.
+    pub fn gen_bool(&mut self) -> bool {
+        self.inner.gen::<f64>() < 0.5
+    }
+}
+
+/// Drives one property: repeatedly samples arguments and evaluates the
+/// body until `config.cases` cases succeed.
+///
+/// # Panics
+///
+/// Panics when a case fails (with the assertion message and case index) or
+/// when `prop_assume!` rejects more than `config.max_global_rejects`
+/// cases.
+pub fn run<F>(config: ProptestConfig, name: &str, mut case: F)
+where
+    F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+{
+    let mut rng = TestRng::for_test(name);
+    let mut passed: u32 = 0;
+    let mut rejected: u32 = 0;
+    let mut attempt: u32 = 0;
+    while passed < config.cases {
+        match case(&mut rng) {
+            Ok(()) => passed += 1,
+            Err(TestCaseError::Reject(reason)) => {
+                rejected += 1;
+                if rejected > config.max_global_rejects {
+                    panic!(
+                        "property `{name}`: too many prop_assume! rejections \
+                         ({rejected}) — last: {reason}"
+                    );
+                }
+            }
+            Err(TestCaseError::Fail(message)) => {
+                panic!(
+                    "property `{name}` falsified at case {attempt} \
+                     ({passed} passed, {rejected} rejected): {message}"
+                );
+            }
+        }
+        attempt += 1;
+    }
+}
