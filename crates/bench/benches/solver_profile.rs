@@ -1,0 +1,194 @@
+//! Solver profile: what one disentangling solve costs, and what the
+//! analytic Jacobian buys over the numeric fallback (DESIGN.md §6).
+//!
+//! For the 2-D (5-parameter) and 3-D (7-parameter) solves this reports,
+//! per [`JacobianMode`], the single-solve p50 latency and the LM work
+//! counters ([`SolveStats`]): residual-vector evaluations, Jacobian
+//! evaluations and iterations. The numeric core charges its
+//! central-difference sweeps (2 per parameter per iteration) to
+//! `residual_evals` — exactly the cost the fused analytic evaluation
+//! removes, so the eval ratio is the machine-independent half of the
+//! story and the p50 the machine-dependent half.
+//!
+//! Writes a `BENCH_solver.json` snapshot at the repo root so the solver
+//! perf trajectory is recorded PR over PR.
+
+use rfp_bench::report;
+use rfp_core::model::{extract_observation, AntennaObservation, ExtractConfig};
+use rfp_core::solver::{
+    solve_2d_seeded, JacobianMode, SolveSeeds, SolveStats, SolverConfig, SolverWorkspace,
+};
+use rfp_core::solver3d::{
+    solve_3d_seeded, Solve3DSeeds, Solver3DConfig, Solver3DWorkspace,
+};
+use rfp_geom::Vec2;
+use rfp_phys::Material;
+use rfp_sim::{Motion, Scene, SimTag};
+use std::hint::black_box;
+use std::time::Instant;
+
+/// One profiled configuration: p50 latency plus per-solve work counters.
+#[derive(Debug, Clone, Copy)]
+struct Profile {
+    p50_us: f64,
+    stats: SolveStats,
+}
+
+/// Times `solve` over `repeats` runs (after `warmup` unrecorded runs) and
+/// returns the p50 latency with the per-solve [`SolveStats`] of the final
+/// run.
+fn profile<F>(mut solve: F, warmup: usize, repeats: usize) -> Profile
+where
+    F: FnMut() -> SolveStats,
+{
+    for _ in 0..warmup {
+        solve();
+    }
+    let mut samples_us = Vec::with_capacity(repeats);
+    let mut stats = SolveStats::default();
+    for _ in 0..repeats {
+        let t0 = Instant::now();
+        stats = solve();
+        samples_us.push(t0.elapsed().as_secs_f64() * 1e6);
+    }
+    samples_us.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
+    Profile { p50_us: samples_us[samples_us.len() / 2], stats }
+}
+
+fn observations_2d(scene: &Scene) -> Vec<AntennaObservation> {
+    let tag = SimTag::with_seeded_diversity(7)
+        .attached_to(Material::Glass)
+        .with_motion(Motion::planar_static(Vec2::new(0.45, 1.55), 0.7));
+    let survey = scene.survey(&tag, 41);
+    scene
+        .antenna_poses()
+        .iter()
+        .zip(&survey.per_antenna)
+        .map(|(&p, r)| extract_observation(p, r, &ExtractConfig::paper()).expect("usable"))
+        .collect()
+}
+
+fn observations_3d(scene: &Scene) -> Vec<AntennaObservation> {
+    let tag = SimTag::with_seeded_diversity(11)
+        .attached_to(Material::Wood)
+        .with_motion(Motion::Static {
+            position: rfp_geom::Vec3::new(0.8, 1.3, 0.6),
+            dipole: rfp_geom::Vec3::new(0.6, 0.3, 0.8).normalized(),
+        });
+    let survey = scene.survey(&tag, 43);
+    scene
+        .antenna_poses()
+        .iter()
+        .zip(&survey.per_antenna)
+        .map(|(&p, r)| extract_observation(p, r, &ExtractConfig::paper()).expect("usable"))
+        .collect()
+}
+
+fn profile_2d(mode: JacobianMode) -> Profile {
+    let scene = Scene::standard_2d();
+    let obs = observations_2d(&scene);
+    let config = SolverConfig { jacobian: mode, ..SolverConfig::default() };
+    let seeds = SolveSeeds::for_scene(scene.region(), &config, &scene.antenna_poses());
+    let mut ws = SolverWorkspace::default();
+    profile(
+        || {
+            black_box(
+                solve_2d_seeded(black_box(&obs), &seeds, &config, &mut ws)
+                    .expect("solvable"),
+            );
+            ws.take_stats()
+        },
+        20,
+        200,
+    )
+}
+
+fn profile_3d(mode: JacobianMode) -> Profile {
+    let scene = Scene::six_antenna_3d();
+    let obs = observations_3d(&scene);
+    let config = Solver3DConfig { jacobian: mode, ..Solver3DConfig::default() };
+    let seeds =
+        Solve3DSeeds::for_scene(scene.region(), (0.0, 1.5), &config, &scene.antenna_poses());
+    let mut ws = Solver3DWorkspace::default();
+    profile(
+        || {
+            black_box(
+                solve_3d_seeded(black_box(&obs), &seeds, &config, &mut ws)
+                    .expect("solvable"),
+            );
+            ws.take_stats()
+        },
+        5,
+        60,
+    )
+}
+
+fn print_rows(label: &str, analytic: Profile, numeric: Profile) {
+    report::section(label);
+    for (name, p) in [("analytic", analytic), ("numeric", numeric)] {
+        println!(
+            "  {name:<10} p50 {:>9.1} µs   residual evals {:>6}   jacobian evals {:>5}   iterations {:>5}",
+            p.p50_us, p.stats.residual_evals, p.stats.jacobian_evals, p.stats.iterations
+        );
+    }
+    println!(
+        "  speedup p50 ×{:.2}   residual-eval ratio ×{:.2}",
+        numeric.p50_us / analytic.p50_us,
+        numeric.stats.residual_evals as f64 / analytic.stats.residual_evals as f64
+    );
+}
+
+fn json_entry(p: Profile) -> String {
+    format!(
+        "{{\"p50_us\": {:.2}, \"residual_evals\": {}, \"jacobian_evals\": {}, \"iterations\": {}}}",
+        p.p50_us, p.stats.residual_evals, p.stats.jacobian_evals, p.stats.iterations
+    )
+}
+
+fn write_snapshot(a2: Profile, n2: Profile, a3: Profile, n3: Profile) {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_solver.json");
+    let json = format!(
+        "{{\n  \"bench\": \"solver_profile\",\n  \"units\": {{\"latency\": \"microseconds (single-solve p50)\", \"counters\": \"per solve, all LM starts\"}},\n  \"solve_2d\": {{\n    \"analytic\": {},\n    \"numeric\": {},\n    \"p50_speedup\": {:.2},\n    \"residual_eval_ratio\": {:.2}\n  }},\n  \"solve_3d\": {{\n    \"analytic\": {},\n    \"numeric\": {},\n    \"p50_speedup\": {:.2},\n    \"residual_eval_ratio\": {:.2}\n  }}\n}}\n",
+        json_entry(a2),
+        json_entry(n2),
+        n2.p50_us / a2.p50_us,
+        n2.stats.residual_evals as f64 / a2.stats.residual_evals as f64,
+        json_entry(a3),
+        json_entry(n3),
+        n3.p50_us / a3.p50_us,
+        n3.stats.residual_evals as f64 / a3.stats.residual_evals as f64,
+    );
+    match std::fs::write(path, json) {
+        Ok(()) => println!("\nsnapshot written to BENCH_solver.json"),
+        Err(e) => println!("\ncould not write BENCH_solver.json: {e}"),
+    }
+}
+
+fn main() {
+    report::header("solver_profile", "single-solve cost, analytic vs numeric Jacobian");
+
+    let analytic_2d = profile_2d(JacobianMode::Analytic);
+    let numeric_2d = profile_2d(JacobianMode::Numeric);
+    print_rows("2-D (5 parameters, 3 antennas)", analytic_2d, numeric_2d);
+
+    let analytic_3d = profile_3d(JacobianMode::Analytic);
+    let numeric_3d = profile_3d(JacobianMode::Numeric);
+    print_rows("3-D (7 parameters, 6 antennas)", analytic_3d, numeric_3d);
+
+    write_snapshot(analytic_2d, numeric_2d, analytic_3d, numeric_3d);
+
+    // The headline claim of the analytic path: at least 2× fewer residual
+    // evaluations per solve, in both dimensions.
+    assert!(
+        analytic_2d.stats.residual_evals * 2 <= numeric_2d.stats.residual_evals,
+        "2-D analytic {} evals vs numeric {}",
+        analytic_2d.stats.residual_evals,
+        numeric_2d.stats.residual_evals
+    );
+    assert!(
+        analytic_3d.stats.residual_evals * 2 <= numeric_3d.stats.residual_evals,
+        "3-D analytic {} evals vs numeric {}",
+        analytic_3d.stats.residual_evals,
+        numeric_3d.stats.residual_evals
+    );
+}

@@ -9,7 +9,9 @@
 //! Three kinds of state are involved, with different lifetimes:
 //!
 //! * **Per scene** — antenna poses, the frequency plan and the multi-start
-//!   solver seeds ([`SolveSeeds`]). Built once, shared *read-only* by all
+//!   solver seeds ([`SolveSeeds`]), including the precomputed per-seed
+//!   per-antenna geometry tables (grid-point distances, α-seed trig — see
+//!   [`SolveSeeds::for_scene`]). Built once, shared *read-only* by all
 //!   workers; this is the [`BatchCache`]. The pipeline itself (`&RfPrism`)
 //!   is part of this tier — workers borrow it, nothing is cloned.
 //! * **Per worker** — the solver scratch buffers ([`SolverWorkspace`] /
@@ -41,8 +43,9 @@ pub type TagReads = Vec<Vec<RawRead>>;
 pub type TagRounds = Vec<Vec<Vec<RawRead>>>;
 
 /// Per-scene precomputation for batched 2-D sensing: the multi-start
-/// solver seeds, built once from the pipeline's `(region, solver config)`
-/// and shared read-only by every worker. Reusable across any number of
+/// solver seeds with their per-antenna geometry tables, built once from
+/// the pipeline's `(region, solver config, poses)` and shared read-only
+/// by every worker. Reusable across any number of
 /// [`RfPrism::sense_batch_with`] calls as long as the pipeline's region
 /// and configuration are unchanged.
 #[derive(Debug, Clone)]

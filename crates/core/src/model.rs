@@ -72,6 +72,19 @@ impl AntennaObservation {
         self
     }
 
+    /// An observation carrying only a fitted line `(slope, intercept)` —
+    /// no channel detail, no RSSI (`mean_rssi_dbm` is `-∞`, which
+    /// disables the solver's RSSI mode penalty). Intended for synthetic
+    /// observations built straight from the forward model in tests and
+    /// benches; real observations come from [`extract_observation`].
+    pub fn from_line(pose: AntennaPose, slope: f64, intercept: f64) -> Self {
+        let mut o = Self::new_empty(pose);
+        o.slope = slope;
+        o.intercept = angle::wrap_tau(intercept);
+        o.unwrapped_intercept = intercept;
+        o
+    }
+
     fn new_empty(pose: AntennaPose) -> Self {
         AntennaObservation {
             pose,

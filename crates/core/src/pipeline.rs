@@ -238,9 +238,12 @@ impl RfPrism {
 
     /// The per-scene solver seeds for this pipeline's `(region, config)` —
     /// built once per batch by the batch engine and shared read-only across
-    /// workers (see `crate::batch`).
+    /// workers (see `crate::batch`). The pipeline knows its antenna poses,
+    /// so the per-seed per-antenna geometry tables are precomputed here
+    /// too; solves where extraction dropped an antenna fall back to direct
+    /// evaluation with bit-identical results.
     pub(crate) fn solve_seeds(&self) -> SolveSeeds {
-        SolveSeeds::new(self.region, &self.config.solver)
+        SolveSeeds::for_scene(self.region, &self.config.solver, &self.poses)
     }
 
     /// [`RfPrism::sense`] against precomputed seeds and a reusable

@@ -157,9 +157,10 @@ impl RfPrism3D {
         self.sense_with(reads_per_antenna, &seeds, &mut workspace)
     }
 
-    /// The per-scene 3-D solver seeds (see `crate::batch`).
+    /// The per-scene 3-D solver seeds, with the per-antenna geometry
+    /// tables for this pipeline's deployment (see `crate::batch`).
     pub(crate) fn solve_seeds(&self) -> Solve3DSeeds {
-        Solve3DSeeds::new(self.region, self.z_range, &self.config.solver)
+        Solve3DSeeds::for_scene(self.region, self.z_range, &self.config.solver, &self.poses)
     }
 
     /// [`RfPrism3D::sense`] against precomputed seeds and a reusable

@@ -13,18 +13,74 @@
 //! multi-start over the working region × orientation grid followed by
 //! Levenberg–Marquardt refinement finds the global optimum reliably.
 //!
-//! Parameter magnitudes differ wildly (`k_t` ~1e-8 rad/Hz vs `x` ~1 m), so
-//! the LM core uses per-parameter step scales, MINPACK style.
+//! Two LM cores share the damping/retry policy:
+//!
+//! * [`levenberg_marquardt_analytic_with`] — the default hot path. The
+//!   residuals of Eq. 6 are closed-form differentiable, so each iteration
+//!   evaluates the residuals *and* the exact Jacobian in one fused pass
+//!   (DESIGN.md §6 derives ∂r/∂p) and solves the SPD normal equations
+//!   `(JᵀJ + λD)δ = −Jᵀr` by Cholesky, re-damping only the diagonal across
+//!   the λ-adaptation retries of an iteration.
+//! * [`levenberg_marquardt_with`] — the numeric fallback and test oracle:
+//!   central-difference Jacobian (2 residual sweeps per parameter per
+//!   iteration) with per-parameter step scales, MINPACK style, selected
+//!   with [`JacobianMode::Numeric`]. Parameter magnitudes differ wildly
+//!   (`k_t` ~1e-8 rad/Hz vs `x` ~1 m), hence the per-parameter steps.
+//!
+//! [`SolveSeeds`] additionally precomputes per-scene geometry (per-seed
+//! per-antenna slopes, per-α-seed orientation/projection tables) once, so
+//! the stage-1/stage-2 seeding of every tag against the same scene stops
+//! recomputing `dist(Aᵢ, seed)` and `θ_orient(Aᵢ, α₀)` from scratch.
 
 use crate::model::AntennaObservation;
-use rfp_geom::{angle, Region2, Vec2};
+use rfp_geom::{angle, AntennaPose, Region2, Vec2, Vec3};
 use rfp_phys::polarization::{orientation_phase, planar_dipole, projection_magnitude};
 use rfp_phys::propagation;
+
+/// How the LM refinements obtain the Jacobian of the residuals.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum JacobianMode {
+    /// Closed-form ∂r/∂p (DESIGN.md §6), evaluated fused with the
+    /// residuals, normal equations solved by Cholesky — the default.
+    #[default]
+    Analytic,
+    /// Central-difference Jacobian through the numeric
+    /// [`levenberg_marquardt_with`] core — the config-selectable fallback
+    /// and the oracle the analytic path is verified against in tests.
+    Numeric,
+}
+
+/// Work counters of the LM cores, for profiling (see the `solver_profile`
+/// bench): evaluations performed since the counters were last taken with
+/// [`LmWorkspace::take_stats`] (or the workspace-level `take_stats`).
+///
+/// The numeric core charges each finite-difference sweep as one residual
+/// evaluation — exactly the cost the analytic path removes.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SolveStats {
+    /// Residual-vector evaluations (each is a full pass over the
+    /// residuals).
+    pub residual_evals: u64,
+    /// Jacobian evaluations. Analytic: fused with one residual pass.
+    /// Numeric: assembled from `2·n_params` sweeps, charged to
+    /// `residual_evals`.
+    pub jacobian_evals: u64,
+    /// LM iterations across all starts.
+    pub iterations: u64,
+}
 
 /// Per-scene constants of the 2-D solve, computed once and shared
 /// read-only by every solve against the same `(region, config)` pair —
 /// the batch engine builds one of these per scene and hands it to all
 /// workers (see `crate::batch`).
+///
+/// [`SolveSeeds::for_scene`] additionally precomputes the per-seed
+/// per-antenna slope table and the α-seed orientation/projection tables
+/// for a known antenna deployment, hoisting that geometry out of the
+/// per-tag loop entirely. Solves against observations whose poses differ
+/// from the cached deployment (an antenna dropped by extraction, say)
+/// transparently fall back to direct evaluation with bit-identical
+/// results.
 #[derive(Debug, Clone)]
 pub struct SolveSeeds {
     /// Multi-start position grid over the working region.
@@ -33,17 +89,80 @@ pub struct SolveSeeds {
     alpha_steps: usize,
     /// Region candidates must refine into to be preferred.
     admissible: Region2,
+    /// Precomputed per-antenna geometry tables (only with
+    /// [`SolveSeeds::for_scene`]).
+    geometry: Option<SeedGeometry>,
+}
+
+/// The hoisted per-scene geometry: everything in the stage-1/stage-2
+/// seeding that depends only on `(antenna poses, seed grids)`, not on the
+/// tag. Entries are computed by exactly the expressions the fallback path
+/// uses, so table lookups are bit-identical to direct evaluation.
+#[derive(Debug, Clone)]
+struct SeedGeometry {
+    /// The deployment the tables were built for; tables are valid only
+    /// when the observations' poses match these exactly.
+    poses: Vec<AntennaPose>,
+    /// `seed_slopes[s·n + i]` = `4π·dist(Aᵢ, seedₛ)/c` — the model slope
+    /// of antenna *i* for grid seed *s*.
+    seed_slopes: Vec<f64>,
+    /// `orient[a·n + i]` = `θ_orient(Aᵢ, α₀(a))` for α-seed index *a*.
+    orient: Vec<f64>,
+    /// `proj[a·n + i]` = dipole projection magnitude at antenna *i* for
+    /// α-seed index *a* (feeds the RSSI mode penalty).
+    proj: Vec<f64>,
+}
+
+impl SeedGeometry {
+    /// The tables describe `observations` only if the poses agree exactly
+    /// (same antennas, same order) — extraction can drop antennas.
+    fn matches(&self, observations: &[AntennaObservation]) -> bool {
+        self.poses.len() == observations.len()
+            && self.poses.iter().zip(observations).all(|(p, o)| *p == o.pose)
+    }
 }
 
 impl SolveSeeds {
-    /// Precomputes the multi-start seeds for `region` under `config`.
+    /// Precomputes the multi-start seeds for `region` under `config`
+    /// without geometry tables (no antenna deployment known yet); the
+    /// solver evaluates seed geometry directly.
     pub fn new(region: Region2, config: &SolverConfig) -> Self {
         let (nx, ny) = config.position_starts;
         SolveSeeds {
             position_starts: region.grid(nx.max(1), ny.max(1)).collect(),
             alpha_steps: (config.orientation_starts.max(1) * 8).max(24),
             admissible: region.expanded(0.3),
+            geometry: None,
         }
+    }
+
+    /// [`SolveSeeds::new`] plus the per-antenna geometry tables for a known
+    /// deployment `poses` — the per-scene precomputation the pipelines and
+    /// the batch engine use. Results are bit-identical to the table-free
+    /// seeds; only the per-tag seeding cost changes.
+    pub fn for_scene(region: Region2, config: &SolverConfig, poses: &[AntennaPose]) -> Self {
+        let mut seeds = Self::new(region, config);
+        let n = poses.len();
+        let mut seed_slopes = Vec::with_capacity(seeds.position_starts.len() * n);
+        for &seed in &seeds.position_starts {
+            for pose in poses {
+                let d = pose.position().distance(seed.with_z(0.0));
+                seed_slopes.push(propagation::slope_from_distance(d));
+            }
+        }
+        let mut orient = Vec::with_capacity(seeds.alpha_steps * n);
+        let mut proj = Vec::with_capacity(seeds.alpha_steps * n);
+        for a in 0..seeds.alpha_steps {
+            let alpha0 = std::f64::consts::PI * a as f64 / seeds.alpha_steps as f64;
+            let w = planar_dipole(alpha0);
+            for pose in poses {
+                orient.push(orientation_phase(pose, w));
+                proj.push(projection_magnitude(pose, w));
+            }
+        }
+        seeds.geometry =
+            Some(SeedGeometry { poses: poses.to_vec(), seed_slopes, orient, proj });
+        seeds
     }
 }
 
@@ -53,9 +172,25 @@ impl SolveSeeds {
 #[derive(Debug, Default)]
 pub struct SolverWorkspace {
     lm: LmWorkspace,
-    scratch: Vec<f64>,
     position_candidates: Vec<(Vec<f64>, f64)>,
-    alpha_ranked: Vec<(f64, f64)>,
+    /// `(α₀, b_t seed, ranking cost)` per α scan step.
+    alpha_ranked: Vec<(f64, f64, f64)>,
+    /// Per-antenna distances of the current stage-2 candidate.
+    dists: Vec<f64>,
+    /// Per-antenna `θ_orient` / projection rows when no geometry table
+    /// applies.
+    orient_row: Vec<f64>,
+    proj_row: Vec<f64>,
+    /// Stage-3 refined candidates; the winner is extracted by index.
+    refined: Vec<(Vec<f64>, f64)>,
+}
+
+impl SolverWorkspace {
+    /// Returns the work counters accumulated by solves run against this
+    /// workspace since the last call, and resets them (see [`SolveStats`]).
+    pub fn take_stats(&mut self) -> SolveStats {
+        self.lm.take_stats()
+    }
 }
 
 /// Configuration of the 2-D disentangling solver.
@@ -79,6 +214,9 @@ pub struct SolverConfig {
     /// pattern (`20·log10` of the dipole projection) breaks the tie. Set to
     /// `f64::INFINITY` to disable and rank by phase cost alone.
     pub rssi_sigma_db: f64,
+    /// Jacobian mode of the LM refinements: closed-form (default) or the
+    /// central-difference fallback (see [`JacobianMode`]).
+    pub jacobian: JacobianMode,
 }
 
 impl Default for SolverConfig {
@@ -91,6 +229,7 @@ impl Default for SolverConfig {
             max_iterations: 60,
             tolerance: 1e-10,
             rssi_sigma_db: 1.0,
+            jacobian: JacobianMode::Analytic,
         }
     }
 }
@@ -167,7 +306,8 @@ pub fn solve_2d(
     region: Region2,
     config: &SolverConfig,
 ) -> Result<TagEstimate2D, SolveError> {
-    let seeds = SolveSeeds::new(region, config);
+    let poses: Vec<AntennaPose> = observations.iter().map(|o| o.pose).collect();
+    let seeds = SolveSeeds::for_scene(region, config, &poses);
     let mut workspace = SolverWorkspace::default();
     solve_2d_seeded(observations, &seeds, config, &mut workspace)
 }
@@ -188,13 +328,17 @@ pub fn solve_2d_seeded(
     if observations.len() < 3 {
         return Err(SolveError::TooFewAntennas { provided: observations.len() });
     }
-
-    let residual = |p: &[f64], out: &mut Vec<f64>| {
-        residuals_2d(observations, p, config, out);
-    };
-    // Parameter step scales for numeric differentiation and LM damping:
-    // x (m), y (m), α (rad), k_t (rad/Hz), b_t (rad).
-    let steps = [1e-4, 1e-4, 1e-4, 1e-13, 1e-4];
+    let n_obs = observations.len();
+    let geometry = seeds.geometry.as_ref().filter(|g| g.matches(observations));
+    let SolverWorkspace {
+        lm,
+        position_candidates,
+        alpha_ranked,
+        dists,
+        orient_row,
+        proj_row,
+        refined,
+    } = workspace;
 
     // The problem separates naturally, which both speeds the solve up and
     // avoids local minima:
@@ -217,40 +361,40 @@ pub fn solve_2d_seeded(
     let admissible = seeds.admissible;
 
     // Stage 1: slope-only position solve.
-    let slope_residual = |p: &[f64], out: &mut Vec<f64>| {
-        let pos = Vec2::new(p[0], p[1]).with_z(0.0);
-        let kt = p[2];
-        out.clear();
-        for o in observations {
-            let d = o.pose.position().distance(pos);
-            out.push((o.slope - propagation::slope_from_distance(d) - kt) / config.slope_sigma);
-        }
-    };
-    let slope_steps = [1e-4, 1e-4, 1e-13];
-    let position_candidates = &mut workspace.position_candidates;
     position_candidates.clear();
-    for &seed_pos in &seeds.position_starts {
-        let kt0 = seed_kt(observations, seed_pos);
-        let (p, cost) = levenberg_marquardt_with(
-            &mut workspace.lm,
-            &slope_residual,
-            vec![seed_pos.x, seed_pos.y, kt0],
-            &slope_steps,
-            config.max_iterations,
-            config.tolerance,
-        );
+    for (s, &seed_pos) in seeds.position_starts.iter().enumerate() {
+        let kt0 = match geometry {
+            Some(g) => {
+                let base = s * n_obs;
+                let sum: f64 = observations
+                    .iter()
+                    .enumerate()
+                    .map(|(i, o)| o.slope - g.seed_slopes[base + i])
+                    .sum();
+                sum / n_obs as f64
+            }
+            None => seed_kt(observations, seed_pos),
+        };
+        let (p, cost) =
+            refine_slope_2d(lm, observations, config, vec![seed_pos.x, seed_pos.y, kt0]);
         position_candidates.push((p, cost));
     }
     position_candidates.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite costs"));
-    // Keep the best in-region candidates (plus the overall best as backup).
-    let mut stage1: Vec<Vec<f64>> = position_candidates
-        .iter()
-        .filter(|(p, _)| admissible.contains(Vec2::new(p[0], p[1])))
-        .take(2)
-        .map(|(p, _)| p.clone())
-        .collect();
-    if stage1.is_empty() {
-        stage1.push(position_candidates[0].0.clone());
+    // Keep the best in-region candidates by index (the overall best, at
+    // index 0 after the sort, is the backup if none stayed inside).
+    let mut stage1 = [0usize; 2];
+    let mut stage1_len = 0usize;
+    for (i, (p, _)) in position_candidates.iter().enumerate() {
+        if admissible.contains(Vec2::new(p[0], p[1])) {
+            stage1[stage1_len] = i;
+            stage1_len += 1;
+            if stage1_len == stage1.len() {
+                break;
+            }
+        }
+    }
+    if stage1_len == 0 {
+        stage1_len = 1;
     }
 
     // Stages 2 + 3: α scan then joint refinement. Final candidates are
@@ -259,43 +403,68 @@ pub fn solve_2d_seeded(
     // intercept unknowns), and the per-antenna polarization-mismatch
     // pattern in the RSSI is the physical tie-breaker.
     let alpha_steps = seeds.alpha_steps;
-    let mut best_inside: Option<(Vec<f64>, f64, f64)> = None;
-    let mut best_any: Option<(Vec<f64>, f64, f64)> = None;
-    let scratch = &mut workspace.scratch;
-    for cand in &stage1 {
-        // Rank α seeds by the intercept-only cost at this position.
-        let alpha_ranked = &mut workspace.alpha_ranked;
+    refined.clear();
+    let mut best_inside: Option<(usize, f64)> = None;
+    let mut best_any: Option<(usize, f64)> = None;
+    for &ci in &stage1[..stage1_len] {
+        let (cx, cy, ckt) = {
+            let p = &position_candidates[ci].0;
+            (p[0], p[1], p[2])
+        };
+        // Everything α-independent is hoisted out of the scan: the
+        // per-antenna distances and the slope half of the cost are the
+        // same for all `alpha_steps` seeds at this position.
+        let cand_pos = Vec2::new(cx, cy).with_z(0.0);
+        dists.clear();
+        let mut slope_cost = 0.0;
+        for o in observations {
+            let d = o.pose.position().distance(cand_pos);
+            let rs =
+                (o.slope - propagation::slope_from_distance(d) - ckt) / config.slope_sigma;
+            slope_cost += rs * rs;
+            dists.push(d);
+        }
+        // Rank α seeds by full cost at this position; spurious twin-α
+        // basins often fit the phases *better* than the true mode under
+        // noise, so the RSSI mode penalty is applied already in the
+        // ranking — otherwise they crowd truth out of the refinement
+        // short-list entirely.
         alpha_ranked.clear();
         for a in 0..alpha_steps {
             let alpha0 = std::f64::consts::PI * a as f64 / alpha_steps as f64;
-            let bt0 = seed_bt(observations, alpha0);
-            let p = [cand[0], cand[1], alpha0, cand[2], bt0];
-            residuals_2d(observations, &p, config, scratch);
-            let mut cost: f64 = scratch.iter().map(|v| v * v).sum();
-            // Rank with the RSSI mode penalty already applied: spurious
-            // twin-α basins often fit the phases *better* than the true
-            // mode under noise, and would otherwise crowd truth out of
-            // the refinement short-list entirely.
-            cost += rssi_mode_penalty(
-                observations,
-                Vec2::new(cand[0], cand[1]),
-                alpha0,
-                config.rssi_sigma_db,
-            );
-            alpha_ranked.push((alpha0, cost));
+            let (orow, prow): (&[f64], &[f64]) = match geometry {
+                Some(g) => (
+                    &g.orient[a * n_obs..(a + 1) * n_obs],
+                    &g.proj[a * n_obs..(a + 1) * n_obs],
+                ),
+                None => {
+                    let w = planar_dipole(alpha0);
+                    orient_row.clear();
+                    proj_row.clear();
+                    for o in observations {
+                        orient_row.push(orientation_phase(&o.pose, w));
+                        proj_row.push(projection_magnitude(&o.pose, w));
+                    }
+                    (orient_row.as_slice(), proj_row.as_slice())
+                }
+            };
+            // Closed-form b_t seed: circular mean of `bᵢ − θ_orient`.
+            let bt0 = angle::circular_mean(
+                observations.iter().zip(orow).map(|(o, &th)| o.intercept - th),
+            )
+            .unwrap_or(0.0);
+            let mut cost = slope_cost;
+            for (o, &th) in observations.iter().zip(orow) {
+                let rb = angle::wrap_pi(o.intercept - th - bt0) / config.intercept_sigma;
+                cost += rb * rb;
+            }
+            cost += rssi_penalty_precomputed(observations, dists, prow, config.rssi_sigma_db);
+            alpha_ranked.push((alpha0, bt0, cost));
         }
-        alpha_ranked.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite costs"));
-        for &(alpha0, _) in alpha_ranked.iter().take(4) {
-            let bt0 = seed_bt(observations, alpha0);
-            let p0 = vec![cand[0], cand[1], alpha0, cand[2], bt0];
-            let (p, cost) = levenberg_marquardt_with(
-                &mut workspace.lm,
-                &residual,
-                p0,
-                &steps,
-                config.max_iterations,
-                config.tolerance,
-            );
+        alpha_ranked.sort_by(|a, b| a.2.partial_cmp(&b.2).expect("finite costs"));
+        for &(alpha0, bt0, _) in alpha_ranked.iter().take(4) {
+            let p0 = vec![cx, cy, alpha0, ckt, bt0];
+            let (p, cost) = refine_joint_2d(lm, observations, config, p0);
             let key = cost
                 + rssi_mode_penalty(
                     observations,
@@ -303,22 +472,24 @@ pub fn solve_2d_seeded(
                     p[2],
                     config.rssi_sigma_db,
                 );
+            let idx = refined.len();
             if admissible.contains(Vec2::new(p[0], p[1]))
-                && best_inside.as_ref().is_none_or(|&(_, _, k)| key < k)
+                && best_inside.is_none_or(|(_, k)| key < k)
             {
-                best_inside = Some((p.clone(), cost, key));
+                best_inside = Some((idx, key));
             }
-            if best_any.as_ref().is_none_or(|&(_, _, k)| key < k) {
-                best_any = Some((p, cost, key));
+            if best_any.is_none_or(|(_, k)| key < k) {
+                best_any = Some((idx, key));
             }
+            refined.push((p, cost));
         }
     }
 
-    let (p, cost, _) = best_inside.or(best_any).expect("at least one start");
+    let (best_idx, _) = best_inside.or(best_any).expect("at least one start");
+    let (p, cost) = refined.swap_remove(best_idx);
     let n_res = 2 * observations.len();
-    let steps = [1e-4, 1e-4, 1e-4, 1e-13, 1e-4];
     let (position_std_m, orientation_std_rad, position_cov) =
-        estimate_uncertainty(&residual, &p, &steps);
+        estimate_uncertainty(observations, &p, config);
     Ok(TagEstimate2D {
         position: Vec2::new(p[0], p[1]),
         orientation: p[2].rem_euclid(std::f64::consts::PI),
@@ -332,65 +503,147 @@ pub fn solve_2d_seeded(
     })
 }
 
+/// Finite-difference steps of the numeric-fallback joint solve:
+/// x (m), y (m), α (rad), k_t (rad/Hz), b_t (rad).
+const JOINT_STEPS_2D: [f64; 5] = [1e-4, 1e-4, 1e-4, 1e-13, 1e-4];
+/// Steps of the numeric-fallback slope-only (stage-1) solve: x, y, k_t.
+const SLOPE_STEPS_2D: [f64; 3] = [1e-4, 1e-4, 1e-13];
+
+/// Joint 5-parameter LM refinement, dispatched on the configured
+/// [`JacobianMode`].
+fn refine_joint_2d(
+    lm: &mut LmWorkspace,
+    observations: &[AntennaObservation],
+    config: &SolverConfig,
+    p0: Vec<f64>,
+) -> (Vec<f64>, f64) {
+    match config.jacobian {
+        JacobianMode::Analytic => levenberg_marquardt_analytic_with(
+            lm,
+            &|p: &[f64], r: &mut Vec<f64>, jac: Option<&mut Vec<f64>>| {
+                residuals_and_jacobian_2d(observations, p, config, r, jac)
+            },
+            p0,
+            config.max_iterations,
+            config.tolerance,
+        ),
+        JacobianMode::Numeric => levenberg_marquardt_with(
+            lm,
+            &|p: &[f64], out: &mut Vec<f64>| residuals_2d(observations, p, config, out),
+            p0,
+            &JOINT_STEPS_2D,
+            config.max_iterations,
+            config.tolerance,
+        ),
+    }
+}
+
+/// Stage-1 slope-only LM refinement over `(x, y, k_t)`, dispatched on the
+/// configured [`JacobianMode`].
+fn refine_slope_2d(
+    lm: &mut LmWorkspace,
+    observations: &[AntennaObservation],
+    config: &SolverConfig,
+    p0: Vec<f64>,
+) -> (Vec<f64>, f64) {
+    match config.jacobian {
+        JacobianMode::Analytic => levenberg_marquardt_analytic_with(
+            lm,
+            &|p: &[f64], r: &mut Vec<f64>, jac: Option<&mut Vec<f64>>| {
+                slope_residuals_and_jacobian_2d(observations, p, config, r, jac)
+            },
+            p0,
+            config.max_iterations,
+            config.tolerance,
+        ),
+        JacobianMode::Numeric => levenberg_marquardt_with(
+            lm,
+            &|p: &[f64], out: &mut Vec<f64>| {
+                slope_residuals_and_jacobian_2d(observations, p, config, out, None)
+            },
+            p0,
+            &SLOPE_STEPS_2D,
+            config.max_iterations,
+            config.tolerance,
+        ),
+    }
+}
+
 /// Gauss–Newton covariance at the solution: `(JᵀJ)⁻¹` of the
-/// sigma-normalized residuals. Returns `(position σ, orientation σ,
-/// position 2×2 covariance)`; infinities when the curvature is singular.
+/// sigma-normalized residuals, with the Jacobian evaluated per the
+/// configured [`JacobianMode`]. `JᵀJ` is factored by Cholesky **once**
+/// and each covariance column obtained by back-substituting one unit
+/// right-hand side. Returns `(position σ, orientation σ, position 2×2
+/// covariance)`; infinities when the curvature is singular.
 // Index loops mirror the matrix math; iterator forms obscure the kernels.
 #[allow(clippy::needless_range_loop)]
-fn estimate_uncertainty<F>(
-    residual: &F,
+fn estimate_uncertainty(
+    observations: &[AntennaObservation],
     p: &[f64],
-    steps: &[f64],
-) -> (f64, f64, [[f64; 2]; 2])
-where
-    F: Fn(&[f64], &mut Vec<f64>),
-{
+    config: &SolverConfig,
+) -> (f64, f64, [[f64; 2]; 2]) {
     let n = p.len();
-    let mut r_plus = Vec::new();
-    let mut r_minus = Vec::new();
-    residual(p, &mut r_plus);
-    let m = r_plus.len();
-    let mut jac = vec![vec![0.0; n]; m];
-    let mut work = p.to_vec();
-    for j in 0..n {
-        let h = steps[j];
-        work[j] = p[j] + h;
-        residual(&work, &mut r_plus);
-        work[j] = p[j] - h;
-        residual(&work, &mut r_minus);
-        work[j] = p[j];
-        for i in 0..m {
-            jac[i][j] = (r_plus[i] - r_minus[i]) / (2.0 * h);
+    let mut r = Vec::new();
+    let mut jac = Vec::new();
+    match config.jacobian {
+        JacobianMode::Analytic => {
+            residuals_and_jacobian_2d(observations, p, config, &mut r, Some(&mut jac));
+        }
+        JacobianMode::Numeric => {
+            // Central differences with the same steps as the numeric core.
+            let mut r_minus = Vec::new();
+            residuals_2d(observations, p, config, &mut r);
+            let m = r.len();
+            jac.resize(m * n, 0.0);
+            let mut work = p.to_vec();
+            for j in 0..n {
+                let h = JOINT_STEPS_2D[j];
+                work[j] = p[j] + h;
+                residuals_2d(observations, &work, config, &mut r);
+                work[j] = p[j] - h;
+                residuals_2d(observations, &work, config, &mut r_minus);
+                work[j] = p[j];
+                for i in 0..m {
+                    jac[i * n + j] = (r[i] - r_minus[i]) / (2.0 * h);
+                }
+            }
         }
     }
-    let mut jtj = vec![vec![0.0; n]; n];
+    let m = jac.len() / n;
+    let mut jtj = vec![0.0; n * n];
     for i in 0..m {
+        let row = &jac[i * n..(i + 1) * n];
         for a in 0..n {
-            for b in 0..n {
-                jtj[a][b] += jac[i][a] * jac[i][b];
+            for b in a..n {
+                jtj[a * n + b] += row[a] * row[b];
             }
         }
     }
-    // Invert by solving against identity columns; keep the full columns so
-    // the position block's off-diagonal is available.
-    let mut cov_cols: Vec<Vec<f64>> = Vec::with_capacity(n);
+    for a in 0..n {
+        for b in 0..a {
+            jtj[a * n + b] = jtj[b * n + a];
+        }
+    }
+    let singular = (f64::INFINITY, f64::INFINITY, [[f64::INFINITY; 2]; 2]);
+    // Factor once; every covariance column is one pair of triangular
+    // substitutions against a unit right-hand side.
+    if !cholesky_factor(&mut jtj, n) {
+        return singular;
+    }
+    let mut cov = vec![0.0; n * n];
+    let mut e = vec![0.0; n];
     for col in 0..n {
-        let mut e = vec![0.0; n];
+        e.fill(0.0);
         e[col] = 1.0;
-        match solve_linear(jtj.clone(), e) {
-            Some(x) if x[col].is_finite() && x[col] >= 0.0 => cov_cols.push(x),
-            _ => {
-                let inf = [[f64::INFINITY; 2]; 2];
-                return (f64::INFINITY, f64::INFINITY, inf);
-            }
+        cholesky_solve(&jtj, n, &mut e);
+        if !(e[col].is_finite() && e[col] >= 0.0) {
+            return singular;
         }
+        cov[col * n..(col + 1) * n].copy_from_slice(&e);
     }
-    let position_cov = [
-        [cov_cols[0][0], cov_cols[1][0]],
-        [cov_cols[0][1], cov_cols[1][1]],
-    ];
-    let position_std = (cov_cols[0][0] + cov_cols[1][1]).sqrt();
-    let orientation_std = cov_cols[2][2].sqrt();
+    let position_cov = [[cov[0], cov[n]], [cov[1], cov[n + 1]]];
+    let position_std = (cov[0] + cov[n + 1]).sqrt();
+    let orientation_std = cov[2 * n + 2].sqrt();
     (position_std, orientation_std, position_cov)
 }
 
@@ -425,10 +678,14 @@ pub(crate) fn rssi_mode_penalty(
         return 0.0;
     }
     let w = planar_dipole(alpha);
-    rssi_pattern_penalty(observations, |o| {
-        let d = o.pose.position().distance(pos.with_z(0.0));
-        (d, projection_magnitude(&o.pose, w))
-    }, sigma_db)
+    rssi_pattern_penalty(
+        observations,
+        |o| {
+            let d = o.pose.position().distance(pos.with_z(0.0));
+            (d, projection_magnitude(&o.pose, w))
+        },
+        sigma_db,
+    )
 }
 
 /// Shared core of the 2-D and 3-D RSSI mode penalties: `predict` returns
@@ -442,32 +699,69 @@ pub(crate) fn rssi_pattern_penalty<F>(
 where
     F: Fn(&AntennaObservation) -> (f64, f64),
 {
+    rssi_penalty_core(
+        observations.iter().map(|o| {
+            let (d, proj) = predict(o);
+            (o.mean_rssi_dbm, d, proj)
+        }),
+        sigma_db,
+    )
+}
+
+/// [`rssi_pattern_penalty`] over distances and projections that are
+/// already in hand (the stage-2 scan hoists both out of the α loop).
+pub(crate) fn rssi_penalty_precomputed(
+    observations: &[AntennaObservation],
+    dists: &[f64],
+    projs: &[f64],
+    sigma_db: f64,
+) -> f64 {
+    rssi_penalty_core(
+        observations
+            .iter()
+            .zip(dists)
+            .zip(projs)
+            .map(|((o, &d), &proj)| (o.mean_rssi_dbm, d, proj)),
+        sigma_db,
+    )
+}
+
+/// The penalty kernel over `(rssi dBm, distance, projection)` triples; see
+/// [`rssi_mode_penalty`] for the physics.
+fn rssi_penalty_core<I>(items: I, sigma_db: f64) -> f64
+where
+    I: Iterator<Item = (f64, f64, f64)>,
+{
     if !sigma_db.is_finite() || sigma_db <= 0.0 {
         return 0.0;
     }
     let mut sum = 0.0;
     let mut sum_sq = 0.0;
-    let n = observations.len() as f64;
-    for o in observations {
-        if !o.mean_rssi_dbm.is_finite() {
+    let mut n = 0usize;
+    for (rssi, d, proj) in items {
+        if !rssi.is_finite() {
             return 0.0;
         }
-        let (d, proj) = predict(o);
         if proj < 1e-3 || d <= 0.0 {
             // The mode predicts an unreadable antenna that in fact read the
             // tag: strongly implausible.
             return 1e6;
         }
-        let m = o.mean_rssi_dbm + 40.0 * d.log10() - 20.0 * proj.log10();
+        let m = rssi + 40.0 * d.log10() - 20.0 * proj.log10();
         sum += m;
         sum_sq += m * m;
+        n += 1;
     }
-    let variance = (sum_sq - sum * sum / n).max(0.0);
+    if n == 0 {
+        return 0.0;
+    }
+    let variance = (sum_sq - sum * sum / n as f64).max(0.0);
     variance / (sigma_db * sigma_db)
 }
 
 /// Circular mean of `bᵢ − θ_orient(Aᵢ, α₀)` — the closed-form `b_t` seed
 /// for a hypothesised orientation.
+#[cfg(test)]
 fn seed_bt(observations: &[AntennaObservation], alpha0: f64) -> f64 {
     let w = planar_dipole(alpha0);
     angle::circular_mean(
@@ -478,23 +772,117 @@ fn seed_bt(observations: &[AntennaObservation], alpha0: f64) -> f64 {
     .unwrap_or(0.0)
 }
 
-/// Fills `out` with the 2N sigma-normalized residuals at parameters `p`.
-fn residuals_2d(
+/// Fills `out` with the 2N sigma-normalized residuals at parameters
+/// `p = (x, y, α, k_t, b_t)` — residual `2i` is antenna *i*'s slope
+/// equation, `2i+1` its wrapped intercept equation.
+pub fn residuals_2d(
     observations: &[AntennaObservation],
     p: &[f64],
     config: &SolverConfig,
     out: &mut Vec<f64>,
 ) {
+    residuals_and_jacobian_2d(observations, p, config, out, None);
+}
+
+/// [`residuals_2d`] plus, when `jac` is given, the row-major `2N × 5`
+/// analytic Jacobian `∂r/∂p` (DESIGN.md §6 derives it):
+///
+/// * slope rows: `∂r/∂(x,y) = −(4π/c)·(pos − Aᵢ)_{x,y}/(dᵢ σ_k)`,
+///   `∂r/∂k_t = −1/σ_k`;
+/// * intercept rows: `∂r/∂α = −θ′_orient/σ_b` with
+///   `θ′_orient = 2(u·w · v·w′ − v·w · u·w′)/((u·w)² + (v·w)²)` and
+///   `w′ = dw/dα`, and `∂r/∂b_t = −1/σ_b` (the `wrap_pi` is a
+///   locally-constant offset, so it differentiates through).
+///
+/// The residual values are identical to calling [`residuals_2d`]; the
+/// fused evaluation exists so the analytic LM core pays one pass for
+/// both.
+pub fn residuals_and_jacobian_2d(
+    observations: &[AntennaObservation],
+    p: &[f64],
+    config: &SolverConfig,
+    r: &mut Vec<f64>,
+    jac: Option<&mut Vec<f64>>,
+) {
     let pos = Vec2::new(p[0], p[1]).with_z(0.0);
-    let w = planar_dipole(p[2]);
+    let alpha = p[2];
+    let w = planar_dipole(alpha);
+    // d/dα of the planar dipole (a rotation in the x–z plane).
+    let dw = Vec3::new(-alpha.sin(), 0.0, alpha.cos());
     let (kt, bt) = (p[3], p[4]);
-    out.clear();
-    for o in observations {
-        let d = o.pose.position().distance(pos);
+    r.clear();
+    let mut jac = jac;
+    if let Some(j) = jac.as_deref_mut() {
+        j.clear();
+        j.resize(observations.len() * 2 * 5, 0.0);
+    }
+    let k1 = propagation::slope_from_distance(1.0); // 4π/c
+    for (i, o) in observations.iter().enumerate() {
+        let ap = o.pose.position();
+        let d = ap.distance(pos);
         let k_model = propagation::slope_from_distance(d) + kt;
-        out.push((o.slope - k_model) / config.slope_sigma);
-        let b_model = orientation_phase(&o.pose, w) + bt;
-        out.push(angle::wrap_pi(o.intercept - b_model) / config.intercept_sigma);
+        r.push((o.slope - k_model) / config.slope_sigma);
+        let uw = o.pose.u().dot(w);
+        let vw = o.pose.v().dot(w);
+        let denom = uw * uw + vw * vw;
+        // Same expression (and guard) as `orientation_phase`, inlined so
+        // the Jacobian reuses the dot products.
+        let theta = if denom < 1e-24 {
+            0.0
+        } else {
+            (2.0 * uw * vw).atan2(uw * uw - vw * vw)
+        };
+        let b_model = theta + bt;
+        r.push(angle::wrap_pi(o.intercept - b_model) / config.intercept_sigma);
+        if let Some(j) = jac.as_deref_mut() {
+            let rs = 2 * i * 5;
+            let g = if d > 1e-12 { -k1 / (d * config.slope_sigma) } else { 0.0 };
+            j[rs] = g * (pos.x - ap.x);
+            j[rs + 1] = g * (pos.y - ap.y);
+            j[rs + 3] = -1.0 / config.slope_sigma;
+            let rb = rs + 5;
+            let dtheta = if denom < 1e-24 {
+                0.0
+            } else {
+                let uwp = o.pose.u().dot(dw);
+                let vwp = o.pose.v().dot(dw);
+                2.0 * (uw * vwp - vw * uwp) / denom
+            };
+            j[rb + 2] = -dtheta / config.intercept_sigma;
+            j[rb + 4] = -1.0 / config.intercept_sigma;
+        }
+    }
+}
+
+/// The N sigma-normalized slope residuals at `p = (x, y, k_t)` and,
+/// when `jac` is given, their row-major `N × 3` analytic Jacobian — the
+/// stage-1 seeding problem.
+fn slope_residuals_and_jacobian_2d(
+    observations: &[AntennaObservation],
+    p: &[f64],
+    config: &SolverConfig,
+    r: &mut Vec<f64>,
+    jac: Option<&mut Vec<f64>>,
+) {
+    let pos = Vec2::new(p[0], p[1]).with_z(0.0);
+    let kt = p[2];
+    r.clear();
+    let mut jac = jac;
+    if let Some(j) = jac.as_deref_mut() {
+        j.clear();
+        j.resize(observations.len() * 3, 0.0);
+    }
+    let k1 = propagation::slope_from_distance(1.0);
+    for (i, o) in observations.iter().enumerate() {
+        let ap = o.pose.position();
+        let d = ap.distance(pos);
+        r.push((o.slope - propagation::slope_from_distance(d) - kt) / config.slope_sigma);
+        if let Some(j) = jac.as_deref_mut() {
+            let g = if d > 1e-12 { -k1 / (d * config.slope_sigma) } else { 0.0 };
+            j[i * 3] = g * (pos.x - ap.x);
+            j[i * 3 + 1] = g * (pos.y - ap.y);
+            j[i * 3 + 2] = -1.0 / config.slope_sigma;
+        }
     }
 }
 
@@ -535,9 +923,10 @@ where
     levenberg_marquardt_with(&mut workspace, residual, p, steps, max_iterations, tolerance)
 }
 
-/// Reusable buffers for [`levenberg_marquardt_with`]: the residual and
-/// Jacobian storage whose allocation otherwise dominates small repeated
-/// solves. Contents are fully overwritten by every call.
+/// Reusable buffers for the LM cores: the residual, Jacobian and
+/// normal-equation storage whose allocation otherwise dominates small
+/// repeated solves. Contents are fully overwritten by every call; the
+/// [`SolveStats`] counters accumulate until [`LmWorkspace::take_stats`].
 #[derive(Debug, Default)]
 pub struct LmWorkspace {
     r: Vec<f64>,
@@ -545,12 +934,32 @@ pub struct LmWorkspace {
     r_minus: Vec<f64>,
     /// Row-major `m × n` Jacobian.
     jac: Vec<f64>,
+    /// Flat `n × n` normal matrix `JᵀJ` (analytic core).
+    jtj: Vec<f64>,
+    /// Gradient `Jᵀr` (analytic core).
+    jtr: Vec<f64>,
+    /// Damped-matrix / Cholesky-factor buffer, recycled across the λ
+    /// retries of one iteration (only the damped diagonal changes).
+    chol: Vec<f64>,
+    /// Step and trial-point buffers (analytic core).
+    delta: Vec<f64>,
+    candidate: Vec<f64>,
+    stats: SolveStats,
+}
+
+impl LmWorkspace {
+    /// Returns the work counters accumulated since the last call and
+    /// resets them to zero.
+    pub fn take_stats(&mut self) -> SolveStats {
+        std::mem::take(&mut self.stats)
+    }
 }
 
 /// [`levenberg_marquardt`] with caller-owned scratch buffers; produces
-/// bit-identical results. This is the hot-path entry for the batch engine,
-/// where one [`LmWorkspace`] per worker thread is reused across every
-/// solve that worker performs.
+/// bit-identical results. This is the numeric-fallback core
+/// ([`JacobianMode::Numeric`]) and the oracle the analytic core is tested
+/// against; the batch engine reuses one [`LmWorkspace`] per worker thread
+/// across every solve that worker performs.
 #[allow(clippy::needless_range_loop)]
 pub fn levenberg_marquardt_with<F>(
     workspace: &mut LmWorkspace,
@@ -565,8 +974,9 @@ where
 {
     let n = p.len();
     debug_assert_eq!(steps.len(), n);
-    let LmWorkspace { r, r_plus, r_minus, jac } = workspace;
+    let LmWorkspace { r, r_plus, r_minus, jac, stats, .. } = workspace;
     residual(&p, r);
+    stats.residual_evals += 1;
     let mut cost: f64 = r.iter().map(|v| v * v).sum();
     let m = r.len();
 
@@ -575,6 +985,7 @@ where
     jac.resize(m * n, 0.0);
 
     for _ in 0..max_iterations {
+        stats.iterations += 1;
         // Numeric Jacobian (central differences with per-parameter steps).
         for j in 0..n {
             let h = steps[j];
@@ -588,6 +999,8 @@ where
                 jac[i * n + j] = (r_plus[i] - r_minus[i]) / (2.0 * h);
             }
         }
+        stats.residual_evals += 2 * n as u64;
+        stats.jacobian_evals += 1;
         // Normal equations.
         let mut jtj = vec![vec![0.0; n]; n];
         let mut jtr = vec![0.0; n];
@@ -619,6 +1032,7 @@ where
             };
             let candidate: Vec<f64> = p.iter().zip(&delta).map(|(a, d)| a + d).collect();
             residual(&candidate, r_plus);
+            stats.residual_evals += 1;
             let new_cost: f64 = r_plus.iter().map(|v| v * v).sum();
             if new_cost < cost {
                 let rel_drop = (cost - new_cost) / cost.max(1e-300);
@@ -641,7 +1055,204 @@ where
     (p, cost)
 }
 
+/// Levenberg–Marquardt with an analytic Jacobian — the hot-path core.
+///
+/// `resjac(p, r, jac)` fills `r` with the residuals at `p` and, when
+/// `jac` is `Some`, the row-major `m × n` Jacobian `∂r/∂p` in the same
+/// pass (the fused evaluation is why this core needs roughly one residual
+/// sweep per iteration where the numeric core needs `2n + 1`). The damping
+/// and retry policy matches [`levenberg_marquardt_with`]; the normal
+/// equations `(JᵀJ + λ·diag(JᵀJ))δ = −Jᵀr` are assembled once per
+/// iteration and solved by Cholesky, with only the damped diagonal
+/// rewritten across the λ-adaptation retries.
+///
+/// # Example
+///
+/// ```
+/// use rfp_core::solver::levenberg_marquardt_analytic;
+/// // Fit y = a·x to the points (1, 2), (2, 4): r_i = y_i − a·x_i, ∂r_i/∂a = −x_i.
+/// let resjac = |p: &[f64], r: &mut Vec<f64>, jac: Option<&mut Vec<f64>>| {
+///     r.clear();
+///     r.push(2.0 - p[0] * 1.0);
+///     r.push(4.0 - p[0] * 2.0);
+///     if let Some(j) = jac {
+///         j.clear();
+///         j.extend_from_slice(&[-1.0, -2.0]);
+///     }
+/// };
+/// let (p, cost) = levenberg_marquardt_analytic(&resjac, vec![0.0], 50, 1e-14);
+/// assert!((p[0] - 2.0).abs() < 1e-8);
+/// assert!(cost < 1e-12);
+/// ```
+pub fn levenberg_marquardt_analytic<F>(
+    resjac: &F,
+    p: Vec<f64>,
+    max_iterations: usize,
+    tolerance: f64,
+) -> (Vec<f64>, f64)
+where
+    F: Fn(&[f64], &mut Vec<f64>, Option<&mut Vec<f64>>),
+{
+    let mut workspace = LmWorkspace::default();
+    levenberg_marquardt_analytic_with(&mut workspace, resjac, p, max_iterations, tolerance)
+}
+
+/// [`levenberg_marquardt_analytic`] with caller-owned scratch buffers
+/// (bit-identical results) — the entry the solver stages and the batch
+/// engine's per-worker workspaces use.
+#[allow(clippy::needless_range_loop)]
+pub fn levenberg_marquardt_analytic_with<F>(
+    workspace: &mut LmWorkspace,
+    resjac: &F,
+    mut p: Vec<f64>,
+    max_iterations: usize,
+    tolerance: f64,
+) -> (Vec<f64>, f64)
+where
+    F: Fn(&[f64], &mut Vec<f64>, Option<&mut Vec<f64>>),
+{
+    let n = p.len();
+    let LmWorkspace { r, r_plus, jac, jtj, jtr, chol, delta, candidate, stats, .. } =
+        workspace;
+    resjac(&p, r, Some(jac));
+    stats.residual_evals += 1;
+    stats.jacobian_evals += 1;
+    let mut cost: f64 = r.iter().map(|v| v * v).sum();
+    let m = r.len();
+    debug_assert_eq!(jac.len(), m * n);
+
+    jtj.clear();
+    jtj.resize(n * n, 0.0);
+    jtr.clear();
+    jtr.resize(n, 0.0);
+    chol.clear();
+    chol.resize(n * n, 0.0);
+    delta.clear();
+    delta.resize(n, 0.0);
+    candidate.clear();
+    candidate.resize(n, 0.0);
+
+    let mut lambda = 1e-3;
+    // The Jacobian from the initial fused evaluation is current; after an
+    // accepted step it goes stale and the next iteration re-fuses.
+    let mut jac_fresh = true;
+
+    for _ in 0..max_iterations {
+        stats.iterations += 1;
+        if !jac_fresh {
+            resjac(&p, r, Some(jac));
+            stats.residual_evals += 1;
+            stats.jacobian_evals += 1;
+            jac_fresh = true;
+        }
+        // Assemble the normal equations once; the λ retries below reuse
+        // them and only re-damp the diagonal.
+        jtj.fill(0.0);
+        jtr.fill(0.0);
+        for i in 0..m {
+            let row = &jac[i * n..(i + 1) * n];
+            for a in 0..n {
+                jtr[a] += row[a] * r[i];
+                for b in a..n {
+                    jtj[a * n + b] += row[a] * row[b];
+                }
+            }
+        }
+        for a in 0..n {
+            for b in 0..a {
+                jtj[a * n + b] = jtj[b * n + a];
+            }
+        }
+
+        let mut improved = false;
+        for _ in 0..8 {
+            chol.copy_from_slice(jtj);
+            for d in 0..n {
+                chol[d * n + d] += lambda * jtj[d * n + d].max(1e-12);
+            }
+            if !cholesky_factor(chol, n) {
+                lambda *= 10.0;
+                continue;
+            }
+            for a in 0..n {
+                delta[a] = -jtr[a];
+            }
+            cholesky_solve(chol, n, delta);
+            for a in 0..n {
+                candidate[a] = p[a] + delta[a];
+            }
+            resjac(candidate, r_plus, None);
+            stats.residual_evals += 1;
+            let new_cost: f64 = r_plus.iter().map(|v| v * v).sum();
+            if new_cost < cost {
+                let rel_drop = (cost - new_cost) / cost.max(1e-300);
+                p.copy_from_slice(candidate);
+                std::mem::swap(r, r_plus);
+                cost = new_cost;
+                lambda = (lambda / 3.0).max(1e-12);
+                improved = true;
+                jac_fresh = false;
+                if rel_drop < tolerance {
+                    return (p, cost);
+                }
+                break;
+            }
+            lambda *= 4.0;
+        }
+        if !improved {
+            break;
+        }
+    }
+    (p, cost)
+}
+
+/// In-place Cholesky factorization `A = LLᵀ` of the flat row-major `n × n`
+/// symmetric matrix in `a`; on success the lower triangle holds `L` (the
+/// strict upper triangle is left untouched). Returns `false` when the
+/// matrix is not (numerically) positive definite.
+#[allow(clippy::needless_range_loop)]
+fn cholesky_factor(a: &mut [f64], n: usize) -> bool {
+    for i in 0..n {
+        for j in 0..=i {
+            let mut s = a[i * n + j];
+            for k in 0..j {
+                s -= a[i * n + k] * a[j * n + k];
+            }
+            if i == j {
+                if !s.is_finite() || s < 1e-300 {
+                    return false;
+                }
+                a[i * n + i] = s.sqrt();
+            } else {
+                a[i * n + j] = s / a[j * n + j];
+            }
+        }
+    }
+    true
+}
+
+/// Solves `LLᵀ x = b` in place (forward then back substitution) against a
+/// factor produced by [`cholesky_factor`].
+fn cholesky_solve(l: &[f64], n: usize, b: &mut [f64]) {
+    for i in 0..n {
+        let mut s = b[i];
+        for k in 0..i {
+            s -= l[i * n + k] * b[k];
+        }
+        b[i] = s / l[i * n + i];
+    }
+    for i in (0..n).rev() {
+        let mut s = b[i];
+        for k in (i + 1)..n {
+            s -= l[k * n + i] * b[k];
+        }
+        b[i] = s / l[i * n + i];
+    }
+}
+
 /// Gaussian elimination with partial pivoting; `None` when singular.
+/// Kept for the numeric-fallback core, which must keep producing the
+/// bit-exact historical results it is the oracle for.
 #[allow(clippy::needless_range_loop)]
 fn solve_linear(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Option<Vec<f64>> {
     let n = b.len();
@@ -793,7 +1404,8 @@ mod tests {
 
     #[test]
     fn lm_minimizes_quadratic() {
-        // Sanity-check the LM core on a known problem: fit y = a·x + b.
+        // Sanity-check the numeric LM core on a known problem:
+        // fit y = a·x + b.
         let data: Vec<(f64, f64)> = (0..10).map(|i| (i as f64, 2.0 * i as f64 - 3.0)).collect();
         let residual = |p: &[f64], out: &mut Vec<f64>| {
             out.clear();
@@ -803,6 +1415,31 @@ mod tests {
         };
         let (p, cost) =
             levenberg_marquardt(&residual, vec![0.0, 0.0], &[1e-5, 1e-5], 100, 1e-14);
+        assert!((p[0] - 2.0).abs() < 1e-6);
+        assert!((p[1] + 3.0).abs() < 1e-6);
+        assert!(cost < 1e-10);
+    }
+
+    #[test]
+    fn analytic_lm_minimizes_quadratic() {
+        // Same fit through the analytic core: r = y − (a·x + b),
+        // ∂r/∂a = −x, ∂r/∂b = −1.
+        let data: Vec<(f64, f64)> = (0..10).map(|i| (i as f64, 2.0 * i as f64 - 3.0)).collect();
+        let resjac = |p: &[f64], r: &mut Vec<f64>, jac: Option<&mut Vec<f64>>| {
+            r.clear();
+            let mut jac = jac;
+            if let Some(j) = jac.as_deref_mut() {
+                j.clear();
+            }
+            for (x, y) in &data {
+                r.push(y - (p[0] * x + p[1]));
+                if let Some(j) = jac.as_deref_mut() {
+                    j.push(-x);
+                    j.push(-1.0);
+                }
+            }
+        };
+        let (p, cost) = levenberg_marquardt_analytic(&resjac, vec![0.0, 0.0], 100, 1e-14);
         assert!((p[0] - 2.0).abs() < 1e-6);
         assert!((p[1] + 3.0).abs() < 1e-6);
         assert!(cost < 1e-10);
@@ -845,5 +1482,142 @@ mod tests {
         let a = vec![vec![2.0, 0.0], vec![0.0, 0.5]];
         let x = solve_linear(a, vec![4.0, 1.0]).unwrap();
         assert!((x[0] - 2.0).abs() < 1e-12 && (x[1] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cholesky_round_trip() {
+        // SPD 3×3: factor, solve, and check A·x = b.
+        let a = [4.0, 2.0, 0.6, 2.0, 5.0, 1.0, 0.6, 1.0, 3.0];
+        let b = [1.0, -2.0, 0.5];
+        let mut l = a;
+        assert!(cholesky_factor(&mut l, 3));
+        let mut x = b;
+        cholesky_solve(&l, 3, &mut x);
+        for i in 0..3 {
+            let ax: f64 = (0..3).map(|j| a[i * 3 + j] * x[j]).sum();
+            assert!((ax - b[i]).abs() < 1e-12, "row {i}: {ax} vs {}", b[i]);
+        }
+    }
+
+    #[test]
+    fn cholesky_rejects_indefinite() {
+        let mut a = [1.0, 2.0, 2.0, 1.0]; // eigenvalues 3, −1
+        assert!(!cholesky_factor(&mut a, 2));
+        let mut z = [0.0, 0.0, 0.0, 0.0]; // singular
+        assert!(!cholesky_factor(&mut z, 2));
+    }
+
+    #[test]
+    fn analytic_jacobian_matches_central_differences() {
+        let poses = Scene::standard_2d().antenna_poses();
+        let obs = synthetic_observations(&poses, (Vec2::new(0.45, 1.62), 0.9, -1.5e-8, 0.7));
+        let config = SolverConfig::default();
+        // Slightly off truth, where all residuals are small and far from
+        // the wrap_pi discontinuity.
+        let p = [0.46, 1.60, 0.93, -1.52e-8, 0.72];
+        let mut r = Vec::new();
+        let mut jac = Vec::new();
+        residuals_and_jacobian_2d(&obs, &p, &config, &mut r, Some(&mut jac));
+        let n = 5;
+        let m = r.len();
+        let mut r_plus = Vec::new();
+        let mut r_minus = Vec::new();
+        let mut work = p.to_vec();
+        for j in 0..n {
+            let h = JOINT_STEPS_2D[j];
+            work[j] = p[j] + h;
+            residuals_2d(&obs, &work, &config, &mut r_plus);
+            work[j] = p[j] - h;
+            residuals_2d(&obs, &work, &config, &mut r_minus);
+            work[j] = p[j];
+            for i in 0..m {
+                let num = (r_plus[i] - r_minus[i]) / (2.0 * h);
+                let ana = jac[i * n + j];
+                let tol = 1e-6 * (1.0 + ana.abs().max(num.abs()));
+                assert!(
+                    (ana - num).abs() <= tol,
+                    "entry ({i},{j}): analytic {ana} vs numeric {num}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn numeric_fallback_converges_to_analytic_result() {
+        let poses = Scene::standard_2d().antenna_poses();
+        let truth_pos = Vec2::new(0.7, 1.9);
+        let obs = synthetic_observations(&poses, (truth_pos, 1.1, -2.0e-8, 2.4));
+        let analytic = solve_2d(&obs, region(), &SolverConfig::default()).unwrap();
+        let numeric_cfg =
+            SolverConfig { jacobian: JacobianMode::Numeric, ..SolverConfig::default() };
+        let numeric = solve_2d(&obs, region(), &numeric_cfg).unwrap();
+        // On a clean synthetic scene both modes must land on the same
+        // optimum — the exact truth — to well below a nanometre.
+        assert!(analytic.position.distance(numeric.position) < 1e-9);
+        assert!((analytic.orientation - numeric.orientation).abs() < 1e-9);
+        assert!((analytic.kt - numeric.kt).abs() < 1e-15);
+        assert!(angle::distance(analytic.bt, numeric.bt) < 1e-9);
+        assert!(analytic.position.distance(truth_pos) < 1e-9);
+        assert!(numeric.position.distance(truth_pos) < 1e-9);
+    }
+
+    #[test]
+    fn analytic_path_needs_far_fewer_residual_evaluations() {
+        let poses = Scene::standard_2d().antenna_poses();
+        let obs = synthetic_observations(&poses, (Vec2::new(0.5, 1.5), 0.6, -1e-8, 1.0));
+        let config = SolverConfig::default();
+        let seeds = SolveSeeds::for_scene(region(), &config, &poses);
+        let mut ws = SolverWorkspace::default();
+        solve_2d_seeded(&obs, &seeds, &config, &mut ws).unwrap();
+        let analytic = ws.take_stats();
+        let numeric_cfg =
+            SolverConfig { jacobian: JacobianMode::Numeric, ..SolverConfig::default() };
+        solve_2d_seeded(&obs, &seeds, &numeric_cfg, &mut ws).unwrap();
+        let numeric = ws.take_stats();
+        assert!(analytic.residual_evals > 0 && numeric.residual_evals > 0);
+        assert!(
+            analytic.residual_evals * 2 <= numeric.residual_evals,
+            "analytic {} evals vs numeric {}",
+            analytic.residual_evals,
+            numeric.residual_evals
+        );
+    }
+
+    #[test]
+    fn seed_geometry_is_bit_identical_to_direct_evaluation() {
+        let poses = Scene::standard_2d().antenna_poses();
+        let obs = synthetic_observations(&poses, (Vec2::new(0.8, 1.2), 1.3, -3e-8, 0.4));
+        let config = SolverConfig::default();
+        let plain = SolveSeeds::new(region(), &config);
+        let with_geo = SolveSeeds::for_scene(region(), &config, &poses);
+        let mut ws_a = SolverWorkspace::default();
+        let mut ws_b = SolverWorkspace::default();
+        let a = solve_2d_seeded(&obs, &plain, &config, &mut ws_a).unwrap();
+        let b = solve_2d_seeded(&obs, &with_geo, &config, &mut ws_b).unwrap();
+        assert_eq!(a.position.x.to_bits(), b.position.x.to_bits());
+        assert_eq!(a.position.y.to_bits(), b.position.y.to_bits());
+        assert_eq!(a.orientation.to_bits(), b.orientation.to_bits());
+        assert_eq!(a.kt.to_bits(), b.kt.to_bits());
+        assert_eq!(a.bt.to_bits(), b.bt.to_bits());
+        assert_eq!(a.cost.to_bits(), b.cost.to_bits());
+    }
+
+    #[test]
+    fn stage2_tables_match_seed_bt() {
+        // The hoisted α-scan's closed-form b_t (computed from the orient
+        // row) must equal the classic per-α `seed_bt`.
+        let poses = Scene::standard_2d().antenna_poses();
+        let obs = synthetic_observations(&poses, (Vec2::new(0.4, 1.8), 0.35, 0.0, 1.9));
+        for a in 0..24 {
+            let alpha0 = std::f64::consts::PI * a as f64 / 24.0;
+            let w = planar_dipole(alpha0);
+            let row: Vec<f64> =
+                obs.iter().map(|o| orientation_phase(&o.pose, w)).collect();
+            let bt_row = angle::circular_mean(
+                obs.iter().zip(&row).map(|(o, &th)| o.intercept - th),
+            )
+            .unwrap_or(0.0);
+            assert_eq!(bt_row.to_bits(), seed_bt(&obs, alpha0).to_bits());
+        }
     }
 }

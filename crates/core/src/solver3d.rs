@@ -7,11 +7,16 @@
 //! a point on the half-sphere), and the material terms `(k_t, b_t)`.
 //!
 //! The machinery is the 2-D solver's: sigma-weighted residuals, wrapped
-//! intercepts, multi-start + Levenberg–Marquardt.
+//! intercepts, multi-start + Levenberg–Marquardt with the analytic
+//! Jacobian of DESIGN.md §6 (spherical-angle dipole parameterization) and
+//! the same numeric fallback knob.
 
 use crate::model::AntennaObservation;
-use crate::solver::{levenberg_marquardt_with, rssi_pattern_penalty, LmWorkspace};
-use rfp_geom::{angle, Region2, Vec3};
+use crate::solver::{
+    levenberg_marquardt_analytic_with, levenberg_marquardt_with, rssi_pattern_penalty,
+    rssi_penalty_precomputed, JacobianMode, LmWorkspace, SolveStats,
+};
+use rfp_geom::{angle, AntennaPose, Region2, Vec3};
 use rfp_phys::polarization::{orientation_phase, projection_magnitude};
 use rfp_phys::propagation;
 
@@ -37,6 +42,9 @@ pub struct Solver3DConfig {
     /// [`SolverConfig::rssi_sigma_db`](crate::solver::SolverConfig)).
     /// `f64::INFINITY` disables the penalty.
     pub rssi_sigma_db: f64,
+    /// Jacobian mode of the LM refinements: closed-form (default) or the
+    /// central-difference fallback (see [`JacobianMode`]).
+    pub jacobian: JacobianMode,
 }
 
 impl Default for Solver3DConfig {
@@ -50,6 +58,7 @@ impl Default for Solver3DConfig {
             max_iterations: 80,
             tolerance: 1e-10,
             rssi_sigma_db: 1.0,
+            jacobian: JacobianMode::Analytic,
         }
     }
 }
@@ -58,6 +67,12 @@ impl Default for Solver3DConfig {
 /// volume), computed once per `(region, z_range, config)` and shared
 /// read-only across solves — the 3-D analogue of
 /// [`SolveSeeds`](crate::solver::SolveSeeds).
+///
+/// [`Solve3DSeeds::for_scene`] additionally hoists the per-seed
+/// per-antenna slope table and the dipole-scan orientation/projection
+/// tables for a known antenna deployment out of the per-tag loop; solves
+/// against observations whose poses differ fall back transparently with
+/// bit-identical results.
 #[derive(Debug, Clone)]
 pub struct Solve3DSeeds {
     /// Multi-start positions: (x, y) grid × z levels, in grid-major order.
@@ -68,10 +83,36 @@ pub struct Solve3DSeeds {
     admissible_xy: Region2,
     /// Expanded vertical bounds of the admissible volume.
     z_bounds: (f64, f64),
+    /// Precomputed per-antenna geometry tables (only with
+    /// [`Solve3DSeeds::for_scene`]).
+    geometry: Option<SeedGeometry3D>,
+}
+
+/// The hoisted per-scene geometry of the 3-D seeding, built with exactly
+/// the expressions the fallback path uses (bit-identical lookups).
+#[derive(Debug, Clone)]
+struct SeedGeometry3D {
+    /// The deployment the tables were built for.
+    poses: Vec<AntennaPose>,
+    /// `seed_slopes[s·n + i]` = model slope of antenna *i* at grid seed *s*.
+    seed_slopes: Vec<f64>,
+    /// `orient[dir·n + i]` = `θ_orient(Aᵢ, w(θ, φ))` for dipole-scan
+    /// direction index `dir = ti·2·rings + pi`.
+    orient: Vec<f64>,
+    /// `proj[dir·n + i]` = dipole projection magnitude (RSSI penalty).
+    proj: Vec<f64>,
+}
+
+impl SeedGeometry3D {
+    fn matches(&self, observations: &[AntennaObservation]) -> bool {
+        self.poses.len() == observations.len()
+            && self.poses.iter().zip(observations).all(|(p, o)| *p == o.pose)
+    }
 }
 
 impl Solve3DSeeds {
-    /// Precomputes the multi-start seeds for the `region × z_range` box.
+    /// Precomputes the multi-start seeds for the `region × z_range` box
+    /// without geometry tables (no antenna deployment known yet).
     pub fn new(region: Region2, z_range: (f64, f64), config: &Solver3DConfig) -> Self {
         let (nx, ny) = config.position_starts;
         let (z_lo, z_hi) = z_range;
@@ -89,7 +130,45 @@ impl Solve3DSeeds {
             rings: config.dipole_starts.max(3),
             admissible_xy: region.expanded(0.3),
             z_bounds: (z_lo - 0.3, z_hi + 0.3),
+            geometry: None,
         }
+    }
+
+    /// [`Solve3DSeeds::new`] plus the per-antenna geometry tables for a
+    /// known deployment `poses` — the per-scene precomputation the 3-D
+    /// pipeline and the batch engine use.
+    pub fn for_scene(
+        region: Region2,
+        z_range: (f64, f64),
+        config: &Solver3DConfig,
+        poses: &[AntennaPose],
+    ) -> Self {
+        let mut seeds = Self::new(region, z_range, config);
+        let n = poses.len();
+        let mut seed_slopes = Vec::with_capacity(seeds.position_starts.len() * n);
+        for &seed in &seeds.position_starts {
+            for pose in poses {
+                let d = pose.position().distance(seed);
+                seed_slopes.push(propagation::slope_from_distance(d));
+            }
+        }
+        let rings = seeds.rings;
+        let mut orient = Vec::with_capacity(rings * 2 * rings * n);
+        let mut proj = Vec::with_capacity(rings * 2 * rings * n);
+        for ti in 0..rings {
+            let theta = std::f64::consts::FRAC_PI_2 * (ti as f64 + 0.5) / rings as f64;
+            for pi in 0..(2 * rings) {
+                let phi = std::f64::consts::TAU * pi as f64 / (2 * rings) as f64;
+                let w = dipole_from_angles(theta, phi);
+                for pose in poses {
+                    orient.push(orientation_phase(pose, w));
+                    proj.push(projection_magnitude(pose, w));
+                }
+            }
+        }
+        seeds.geometry =
+            Some(SeedGeometry3D { poses: poses.to_vec(), seed_slopes, orient, proj });
+        seeds
     }
 }
 
@@ -98,9 +177,25 @@ impl Solve3DSeeds {
 #[derive(Debug, Default)]
 pub struct Solver3DWorkspace {
     lm: LmWorkspace,
-    scratch: Vec<f64>,
     position_candidates: Vec<(Vec<f64>, f64)>,
-    dipole_ranked: Vec<(f64, f64, f64)>,
+    /// `(θ, φ, b_t seed, ranking cost)` per dipole scan direction.
+    dipole_ranked: Vec<(f64, f64, f64, f64)>,
+    /// Per-antenna distances of the current stage-2 candidate.
+    dists: Vec<f64>,
+    /// Per-antenna `θ_orient` / projection rows when no geometry table
+    /// applies.
+    orient_row: Vec<f64>,
+    proj_row: Vec<f64>,
+    /// Stage-3 refined candidates; the winner is extracted by index.
+    refined: Vec<(Vec<f64>, f64)>,
+}
+
+impl Solver3DWorkspace {
+    /// Returns the work counters accumulated by solves run against this
+    /// workspace since the last call, and resets them (see [`SolveStats`]).
+    pub fn take_stats(&mut self) -> SolveStats {
+        self.lm.take_stats()
+    }
 }
 
 /// The disentangled 3-D tag state.
@@ -158,6 +253,187 @@ fn dipole_from_angles(theta: f64, phi: f64) -> Vec3 {
     Vec3::new(st * cp, st * sp, ct)
 }
 
+/// Fills `out` with the 2N sigma-normalized residuals at parameters
+/// `p = (x, y, z, θ, φ, k_t, b_t)` (dipole `w = (sinθ cosφ, sinθ sinφ,
+/// cosθ)`) — residual `2i` is antenna *i*'s slope equation, `2i+1` its
+/// wrapped intercept equation.
+pub fn residuals_3d(
+    observations: &[AntennaObservation],
+    p: &[f64],
+    config: &Solver3DConfig,
+    out: &mut Vec<f64>,
+) {
+    residuals_and_jacobian_3d(observations, p, config, out, None);
+}
+
+/// [`residuals_3d`] plus, when `jac` is given, the row-major `2N × 7`
+/// analytic Jacobian (DESIGN.md §6): the slope rows differentiate the
+/// distance through all three position coordinates, and the intercept
+/// rows apply the `θ′_orient` chain rule against `∂w/∂θ = (cosθ cosφ,
+/// cosθ sinφ, −sinθ)` and `∂w/∂φ = (−sinθ sinφ, sinθ cosφ, 0)`.
+pub fn residuals_and_jacobian_3d(
+    observations: &[AntennaObservation],
+    p: &[f64],
+    config: &Solver3DConfig,
+    r: &mut Vec<f64>,
+    jac: Option<&mut Vec<f64>>,
+) {
+    let pos = Vec3::new(p[0], p[1], p[2]);
+    let (st, ct) = p[3].sin_cos();
+    let (sp, cp) = p[4].sin_cos();
+    // Same expression as `dipole_from_angles`, inlined so the Jacobian
+    // shares the sin/cos evaluations.
+    let w = Vec3::new(st * cp, st * sp, ct);
+    let wt = Vec3::new(ct * cp, ct * sp, -st);
+    let wp = Vec3::new(-st * sp, st * cp, 0.0);
+    let (kt, bt) = (p[5], p[6]);
+    r.clear();
+    let mut jac = jac;
+    if let Some(j) = jac.as_deref_mut() {
+        j.clear();
+        j.resize(observations.len() * 2 * 7, 0.0);
+    }
+    let k1 = propagation::slope_from_distance(1.0); // 4π/c
+    for (i, o) in observations.iter().enumerate() {
+        let ap = o.pose.position();
+        let d = ap.distance(pos);
+        r.push((o.slope - propagation::slope_from_distance(d) - kt) / config.slope_sigma);
+        let uw = o.pose.u().dot(w);
+        let vw = o.pose.v().dot(w);
+        let denom = uw * uw + vw * vw;
+        // Same expression (and guard) as `orientation_phase`.
+        let theta = if denom < 1e-24 {
+            0.0
+        } else {
+            (2.0 * uw * vw).atan2(uw * uw - vw * vw)
+        };
+        r.push(angle::wrap_pi(o.intercept - theta - bt) / config.intercept_sigma);
+        if let Some(j) = jac.as_deref_mut() {
+            let rs = 2 * i * 7;
+            let g = if d > 1e-12 { -k1 / (d * config.slope_sigma) } else { 0.0 };
+            j[rs] = g * (pos.x - ap.x);
+            j[rs + 1] = g * (pos.y - ap.y);
+            j[rs + 2] = g * (pos.z - ap.z);
+            j[rs + 5] = -1.0 / config.slope_sigma;
+            let rb = rs + 7;
+            let (dtheta_t, dtheta_p) = if denom < 1e-24 {
+                (0.0, 0.0)
+            } else {
+                let uwt = o.pose.u().dot(wt);
+                let vwt = o.pose.v().dot(wt);
+                let uwp = o.pose.u().dot(wp);
+                let vwp = o.pose.v().dot(wp);
+                (
+                    2.0 * (uw * vwt - vw * uwt) / denom,
+                    2.0 * (uw * vwp - vw * uwp) / denom,
+                )
+            };
+            j[rb + 3] = -dtheta_t / config.intercept_sigma;
+            j[rb + 4] = -dtheta_p / config.intercept_sigma;
+            j[rb + 6] = -1.0 / config.intercept_sigma;
+        }
+    }
+}
+
+/// The N sigma-normalized slope residuals at `p = (x, y, z, k_t)` and,
+/// when `jac` is given, their row-major `N × 4` analytic Jacobian — the
+/// stage-1 seeding problem.
+fn slope_residuals_and_jacobian_3d(
+    observations: &[AntennaObservation],
+    p: &[f64],
+    config: &Solver3DConfig,
+    r: &mut Vec<f64>,
+    jac: Option<&mut Vec<f64>>,
+) {
+    let pos = Vec3::new(p[0], p[1], p[2]);
+    let kt = p[3];
+    r.clear();
+    let mut jac = jac;
+    if let Some(j) = jac.as_deref_mut() {
+        j.clear();
+        j.resize(observations.len() * 4, 0.0);
+    }
+    let k1 = propagation::slope_from_distance(1.0);
+    for (i, o) in observations.iter().enumerate() {
+        let ap = o.pose.position();
+        let d = ap.distance(pos);
+        r.push((o.slope - propagation::slope_from_distance(d) - kt) / config.slope_sigma);
+        if let Some(j) = jac.as_deref_mut() {
+            let g = if d > 1e-12 { -k1 / (d * config.slope_sigma) } else { 0.0 };
+            j[i * 4] = g * (pos.x - ap.x);
+            j[i * 4 + 1] = g * (pos.y - ap.y);
+            j[i * 4 + 2] = g * (pos.z - ap.z);
+            j[i * 4 + 3] = -1.0 / config.slope_sigma;
+        }
+    }
+}
+
+/// Finite-difference steps of the numeric-fallback joint solve:
+/// x, y, z (m), θ, φ (rad), k_t (rad/Hz), b_t (rad).
+const JOINT_STEPS_3D: [f64; 7] = [1e-4, 1e-4, 1e-4, 1e-4, 1e-4, 1e-13, 1e-4];
+/// Steps of the numeric-fallback slope-only (stage-1) solve: x, y, z, k_t.
+const SLOPE_STEPS_3D: [f64; 4] = [1e-4, 1e-4, 1e-4, 1e-13];
+
+/// Joint 7-parameter LM refinement, dispatched on the configured
+/// [`JacobianMode`].
+fn refine_joint_3d(
+    lm: &mut LmWorkspace,
+    observations: &[AntennaObservation],
+    config: &Solver3DConfig,
+    p0: Vec<f64>,
+) -> (Vec<f64>, f64) {
+    match config.jacobian {
+        JacobianMode::Analytic => levenberg_marquardt_analytic_with(
+            lm,
+            &|p: &[f64], r: &mut Vec<f64>, jac: Option<&mut Vec<f64>>| {
+                residuals_and_jacobian_3d(observations, p, config, r, jac)
+            },
+            p0,
+            config.max_iterations,
+            config.tolerance,
+        ),
+        JacobianMode::Numeric => levenberg_marquardt_with(
+            lm,
+            &|p: &[f64], out: &mut Vec<f64>| residuals_3d(observations, p, config, out),
+            p0,
+            &JOINT_STEPS_3D,
+            config.max_iterations,
+            config.tolerance,
+        ),
+    }
+}
+
+/// Stage-1 slope-only LM refinement over `(x, y, z, k_t)`, dispatched on
+/// the configured [`JacobianMode`].
+fn refine_slope_3d(
+    lm: &mut LmWorkspace,
+    observations: &[AntennaObservation],
+    config: &Solver3DConfig,
+    p0: Vec<f64>,
+) -> (Vec<f64>, f64) {
+    match config.jacobian {
+        JacobianMode::Analytic => levenberg_marquardt_analytic_with(
+            lm,
+            &|p: &[f64], r: &mut Vec<f64>, jac: Option<&mut Vec<f64>>| {
+                slope_residuals_and_jacobian_3d(observations, p, config, r, jac)
+            },
+            p0,
+            config.max_iterations,
+            config.tolerance,
+        ),
+        JacobianMode::Numeric => levenberg_marquardt_with(
+            lm,
+            &|p: &[f64], out: &mut Vec<f64>| {
+                slope_residuals_and_jacobian_3d(observations, p, config, out, None)
+            },
+            p0,
+            &SLOPE_STEPS_3D,
+            config.max_iterations,
+            config.tolerance,
+        ),
+    }
+}
+
 /// Solves the 3-D disentangling problem over the `region × z_range` box.
 ///
 /// # Errors
@@ -169,7 +445,8 @@ pub fn solve_3d(
     z_range: (f64, f64),
     config: &Solver3DConfig,
 ) -> Result<TagEstimate3D, Solve3DError> {
-    let seeds = Solve3DSeeds::new(region, z_range, config);
+    let poses: Vec<AntennaPose> = observations.iter().map(|o| o.pose).collect();
+    let seeds = Solve3DSeeds::for_scene(region, z_range, config, &poses);
     let mut workspace = Solver3DWorkspace::default();
     solve_3d_seeded(observations, &seeds, config, &mut workspace)
 }
@@ -190,22 +467,17 @@ pub fn solve_3d_seeded(
     if observations.len() < 4 {
         return Err(Solve3DError::TooFewAntennas { provided: observations.len() });
     }
-
-    let residual = |p: &[f64], out: &mut Vec<f64>| {
-        let pos = Vec3::new(p[0], p[1], p[2]);
-        let w = dipole_from_angles(p[3], p[4]);
-        let (kt, bt) = (p[5], p[6]);
-        out.clear();
-        for o in observations {
-            let d = o.pose.position().distance(pos);
-            out.push(
-                (o.slope - propagation::slope_from_distance(d) - kt) / config.slope_sigma,
-            );
-            let b_model = orientation_phase(&o.pose, w) + bt;
-            out.push(angle::wrap_pi(o.intercept - b_model) / config.intercept_sigma);
-        }
-    };
-    let steps = [1e-4, 1e-4, 1e-4, 1e-4, 1e-4, 1e-13, 1e-4];
+    let n_obs = observations.len();
+    let geometry = seeds.geometry.as_ref().filter(|g| g.matches(observations));
+    let Solver3DWorkspace {
+        lm,
+        position_candidates,
+        dipole_ranked,
+        dists,
+        orient_row,
+        proj_row,
+        refined,
+    } = workspace;
 
     // Prefer candidates inside the known deployment volume: distances are
     // mirror-symmetric about the antenna plane and the range direction is
@@ -230,36 +502,33 @@ pub fn solve_3d_seeded(
 
     // Stage 1: slope-only position solve over (x, y, z, k_t) — smooth and
     // exactly determined with 4 antennas, over-determined with more.
-    let slope_residual = |p: &[f64], out: &mut Vec<f64>| {
-        let pos = Vec3::new(p[0], p[1], p[2]);
-        out.clear();
-        for o in observations {
-            let d = o.pose.position().distance(pos);
-            out.push(
-                (o.slope - propagation::slope_from_distance(d) - p[3]) / config.slope_sigma,
-            );
-        }
-    };
-    let slope_steps = [1e-4, 1e-4, 1e-4, 1e-13];
-    let position_candidates = &mut workspace.position_candidates;
     position_candidates.clear();
-    for &pos in &seeds.position_starts {
-        let kt0: f64 = observations
-            .iter()
-            .map(|o| {
-                o.slope
-                    - propagation::slope_from_distance(o.pose.position().distance(pos))
-            })
-            .sum::<f64>()
-            / observations.len() as f64;
-        let (p, cost) = levenberg_marquardt_with(
-            &mut workspace.lm,
-            &slope_residual,
-            vec![pos.x, pos.y, pos.z, kt0],
-            &slope_steps,
-            config.max_iterations,
-            config.tolerance,
-        );
+    for (s, &pos) in seeds.position_starts.iter().enumerate() {
+        let kt0 = match geometry {
+            Some(g) => {
+                let base = s * n_obs;
+                observations
+                    .iter()
+                    .enumerate()
+                    .map(|(i, o)| o.slope - g.seed_slopes[base + i])
+                    .sum::<f64>()
+                    / n_obs as f64
+            }
+            None => {
+                observations
+                    .iter()
+                    .map(|o| {
+                        o.slope
+                            - propagation::slope_from_distance(
+                                o.pose.position().distance(pos),
+                            )
+                    })
+                    .sum::<f64>()
+                    / n_obs as f64
+            }
+        };
+        let (p, cost) =
+            refine_slope_3d(lm, observations, config, vec![pos.x, pos.y, pos.z, kt0]);
         position_candidates.push((p, cost));
     }
     position_candidates.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite costs"));
@@ -267,22 +536,28 @@ pub fn solve_3d_seeded(
     // several zero-cost position candidates can exist (mirror images,
     // spurious intersections) — only the intercept equations can tell them
     // apart. Keep every distinct in-volume candidate (deduplicated to
-    // 10 cm) and let the joint stage pick.
-    let mut stage1: Vec<Vec<f64>> = Vec::new();
-    for (p, _) in position_candidates.iter().filter(|(p, _)| inside(p)) {
-        let pos = Vec3::new(p[0], p[1], p[2]);
-        let duplicate = stage1
-            .iter()
-            .any(|q| Vec3::new(q[0], q[1], q[2]).distance(pos) < 0.10);
-        if !duplicate {
-            stage1.push(p.clone());
+    // 10 cm, by index — no cloning) and let the joint stage pick.
+    let mut stage1 = [0usize; 6];
+    let mut stage1_len = 0usize;
+    for (i, (p, _)) in position_candidates.iter().enumerate() {
+        if !inside(p) {
+            continue;
         }
-        if stage1.len() >= 6 {
-            break;
+        let pos = Vec3::new(p[0], p[1], p[2]);
+        let duplicate = stage1[..stage1_len].iter().any(|&j| {
+            let q = &position_candidates[j].0;
+            Vec3::new(q[0], q[1], q[2]).distance(pos) < 0.10
+        });
+        if !duplicate {
+            stage1[stage1_len] = i;
+            stage1_len += 1;
+            if stage1_len == stage1.len() {
+                break;
+            }
         }
     }
-    if stage1.is_empty() {
-        stage1.push(position_candidates[0].0.clone());
+    if stage1_len == 0 {
+        stage1_len = 1;
     }
 
     // Stage 2: dipole scan over the half-sphere with closed-form b_t, then
@@ -291,69 +566,91 @@ pub fn solve_3d_seeded(
     // penalty so spurious twin-dipole modes neither crowd truth out of the
     // refinement short-list nor win the final selection.
     let rings = seeds.rings;
-    let mut best_inside_cand: Option<(Vec<f64>, f64, f64)> = None;
-    let mut best_any: Option<(Vec<f64>, f64, f64)> = None;
-    let scratch = &mut workspace.scratch;
-    for cand in &stage1 {
-        let cand_pos = Vec3::new(cand[0], cand[1], cand[2]);
-        let dipole_ranked = &mut workspace.dipole_ranked;
+    refined.clear();
+    let mut best_inside: Option<(usize, f64)> = None;
+    let mut best_any: Option<(usize, f64)> = None;
+    for &ci in &stage1[..stage1_len] {
+        let (cx, cy, cz, ckt) = {
+            let p = &position_candidates[ci].0;
+            (p[0], p[1], p[2], p[3])
+        };
+        // Everything direction-independent is hoisted out of the scan: the
+        // per-antenna distances and the slope half of the cost are the same
+        // for all scan directions at this position.
+        let cand_pos = Vec3::new(cx, cy, cz);
+        dists.clear();
+        let mut slope_cost = 0.0;
+        for o in observations {
+            let d = o.pose.position().distance(cand_pos);
+            let rs =
+                (o.slope - propagation::slope_from_distance(d) - ckt) / config.slope_sigma;
+            slope_cost += rs * rs;
+            dists.push(d);
+        }
         dipole_ranked.clear();
         for ti in 0..rings {
             // Polar rings from near-pole to equator.
             let theta = std::f64::consts::FRAC_PI_2 * (ti as f64 + 0.5) / rings as f64;
             for pi in 0..(2 * rings) {
                 let phi = std::f64::consts::TAU * pi as f64 / (2 * rings) as f64;
-                let w0 = dipole_from_angles(theta, phi);
+                let dir = ti * 2 * rings + pi;
+                let (orow, prow): (&[f64], &[f64]) = match geometry {
+                    Some(g) => (
+                        &g.orient[dir * n_obs..(dir + 1) * n_obs],
+                        &g.proj[dir * n_obs..(dir + 1) * n_obs],
+                    ),
+                    None => {
+                        let w0 = dipole_from_angles(theta, phi);
+                        orient_row.clear();
+                        proj_row.clear();
+                        for o in observations {
+                            orient_row.push(orientation_phase(&o.pose, w0));
+                            proj_row.push(projection_magnitude(&o.pose, w0));
+                        }
+                        (orient_row.as_slice(), proj_row.as_slice())
+                    }
+                };
                 let bt0 = angle::circular_mean(
-                    observations
-                        .iter()
-                        .map(|o| o.intercept - orientation_phase(&o.pose, w0)),
+                    observations.iter().zip(orow).map(|(o, &th)| o.intercept - th),
                 )
                 .unwrap_or(0.0);
-                let p = [cand[0], cand[1], cand[2], theta, phi, cand[3], bt0];
-                residual(&p, scratch);
-                let cost: f64 = scratch.iter().map(|v| v * v).sum::<f64>()
-                    + mode_penalty(cand_pos, w0);
-                dipole_ranked.push((theta, phi, cost));
+                let mut cost = slope_cost;
+                for (o, &th) in observations.iter().zip(orow) {
+                    let rb =
+                        angle::wrap_pi(o.intercept - th - bt0) / config.intercept_sigma;
+                    cost += rb * rb;
+                }
+                cost += rssi_penalty_precomputed(
+                    observations,
+                    dists,
+                    prow,
+                    config.rssi_sigma_db,
+                );
+                dipole_ranked.push((theta, phi, bt0, cost));
             }
         }
-        dipole_ranked
-            .sort_by(|a, b| a.2.partial_cmp(&b.2).expect("finite costs"));
-        for &(theta, phi, _) in dipole_ranked.iter().take(3) {
-            let w0 = dipole_from_angles(theta, phi);
-            let bt0 = angle::circular_mean(
-                observations
-                    .iter()
-                    .map(|o| o.intercept - orientation_phase(&o.pose, w0)),
-            )
-            .unwrap_or(0.0);
-            let p0 = vec![cand[0], cand[1], cand[2], theta, phi, cand[3], bt0];
-            let (p, cost) = levenberg_marquardt_with(
-                &mut workspace.lm,
-                &residual,
-                p0,
-                &steps,
-                config.max_iterations,
-                config.tolerance,
-            );
+        dipole_ranked.sort_by(|a, b| a.3.partial_cmp(&b.3).expect("finite costs"));
+        for &(theta, phi, bt0, _) in dipole_ranked.iter().take(3) {
+            let p0 = vec![cx, cy, cz, theta, phi, ckt, bt0];
+            let (p, cost) = refine_joint_3d(lm, observations, config, p0);
             let key = cost
                 + mode_penalty(
                     Vec3::new(p[0], p[1], p[2]),
                     dipole_from_angles(p[3], p[4]),
                 );
-            if inside(&p)
-                && best_inside_cand.as_ref().is_none_or(|&(_, _, k)| key < k)
-            {
-                best_inside_cand = Some((p.clone(), cost, key));
+            let idx = refined.len();
+            if inside(&p) && best_inside.is_none_or(|(_, k)| key < k) {
+                best_inside = Some((idx, key));
             }
-            if best_any.as_ref().is_none_or(|&(_, _, k)| key < k) {
-                best_any = Some((p, cost, key));
+            if best_any.is_none_or(|(_, k)| key < k) {
+                best_any = Some((idx, key));
             }
+            refined.push((p, cost));
         }
     }
-    let best_inside = best_inside_cand;
 
-    let (p, cost, _) = best_inside.or(best_any).expect("at least one start");
+    let (best_idx, _) = best_inside.or(best_any).expect("at least one start");
+    let (p, cost) = refined.swap_remove(best_idx);
     let mut dipole = dipole_from_angles(p[3], p[4]);
     if dipole.z < 0.0 {
         dipole = -dipole;
@@ -452,5 +749,89 @@ mod tests {
     fn region2_used_for_xy_box() {
         let r = Region2::new(Vec2::new(0.0, 0.0), Vec2::new(1.0, 1.0));
         assert!(r.contains(Vec2::new(0.5, 0.5)));
+    }
+
+    #[test]
+    fn analytic_jacobian_3d_matches_central_differences() {
+        let scene = Scene::four_antenna_3d()
+            .with_noise(NoiseModel::clean())
+            .with_reader(ReaderConfig::ideal());
+        let truth = Vec3::new(0.6, 1.4, 0.5);
+        let dipole = Vec3::new(0.7, 0.3, 0.6).normalized();
+        let obs = observations_3d(&scene, truth, dipole, 9);
+        let config = Solver3DConfig::default();
+        let p = [0.61, 1.39, 0.52, 0.65, 0.42, -1.1e-8, 0.5];
+        let mut r = Vec::new();
+        let mut jac = Vec::new();
+        residuals_and_jacobian_3d(&obs, &p, &config, &mut r, Some(&mut jac));
+        let n = 7;
+        let m = r.len();
+        let mut r_plus = Vec::new();
+        let mut r_minus = Vec::new();
+        let mut work = p.to_vec();
+        for j in 0..n {
+            let h = JOINT_STEPS_3D[j];
+            work[j] = p[j] + h;
+            residuals_3d(&obs, &work, &config, &mut r_plus);
+            work[j] = p[j] - h;
+            residuals_3d(&obs, &work, &config, &mut r_minus);
+            work[j] = p[j];
+            for i in 0..m {
+                let num = (r_plus[i] - r_minus[i]) / (2.0 * h);
+                let ana = jac[i * n + j];
+                let tol = 1e-6 * (1.0 + ana.abs().max(num.abs()));
+                assert!(
+                    (ana - num).abs() <= tol,
+                    "entry ({i},{j}): analytic {ana} vs numeric {num}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn numeric_fallback_3d_converges_to_analytic_result() {
+        let scene = Scene::four_antenna_3d()
+            .with_noise(NoiseModel::clean())
+            .with_reader(ReaderConfig::ideal());
+        let truth = Vec3::new(0.4, 1.7, 0.6);
+        let dipole = Vec3::new(0.5, 0.6, 0.8).normalized();
+        let obs = observations_3d(&scene, truth, dipole, 5);
+        let analytic =
+            solve_3d(&obs, scene.region(), (0.0, 1.0), &Solver3DConfig::default()).unwrap();
+        let numeric_cfg =
+            Solver3DConfig { jacobian: JacobianMode::Numeric, ..Solver3DConfig::default() };
+        let numeric = solve_3d(&obs, scene.region(), (0.0, 1.0), &numeric_cfg).unwrap();
+        assert!(analytic.position.distance(numeric.position) < 1e-6);
+        assert!(analytic.dipole_axis_error(numeric.dipole) < 1e-6);
+        assert!((analytic.kt - numeric.kt).abs() < 1e-13);
+        assert!(angle::distance(analytic.bt, numeric.bt) < 1e-6);
+    }
+
+    #[test]
+    fn seed_geometry_3d_is_bit_identical_to_direct_evaluation() {
+        let scene = Scene::four_antenna_3d()
+            .with_noise(NoiseModel::clean())
+            .with_reader(ReaderConfig::ideal());
+        let poses = scene.antenna_poses();
+        let obs = observations_3d(
+            &scene,
+            Vec3::new(0.7, 1.3, 0.6),
+            Vec3::new(0.9, 0.1, 0.5).normalized(),
+            7,
+        );
+        let config = Solver3DConfig::default();
+        let plain = Solve3DSeeds::new(scene.region(), (0.0, 1.0), &config);
+        let with_geo = Solve3DSeeds::for_scene(scene.region(), (0.0, 1.0), &config, &poses);
+        let mut ws_a = Solver3DWorkspace::default();
+        let mut ws_b = Solver3DWorkspace::default();
+        let a = solve_3d_seeded(&obs, &plain, &config, &mut ws_a).unwrap();
+        let b = solve_3d_seeded(&obs, &with_geo, &config, &mut ws_b).unwrap();
+        assert_eq!(a.position.x.to_bits(), b.position.x.to_bits());
+        assert_eq!(a.position.y.to_bits(), b.position.y.to_bits());
+        assert_eq!(a.position.z.to_bits(), b.position.z.to_bits());
+        assert_eq!(a.dipole.x.to_bits(), b.dipole.x.to_bits());
+        assert_eq!(a.kt.to_bits(), b.kt.to_bits());
+        assert_eq!(a.bt.to_bits(), b.bt.to_bits());
+        assert_eq!(a.cost.to_bits(), b.cost.to_bits());
     }
 }

@@ -1,0 +1,218 @@
+//! Analytic-Jacobian verification (DESIGN.md §6): across random scenes,
+//! poses and evaluation points, the closed-form `∂r/∂p` of the 2-D and
+//! 3-D residuals must agree with central differences to ≤ 1e-6
+//! elementwise, and the analytic and numeric-fallback LM paths must
+//! converge to the same optimum on clean synthetic scenes.
+
+use proptest::prelude::*;
+use rfp_core::model::AntennaObservation;
+use rfp_core::solver::{
+    residuals_2d, residuals_and_jacobian_2d, solve_2d, JacobianMode, SolverConfig,
+};
+use rfp_core::solver3d::{
+    residuals_3d, residuals_and_jacobian_3d, solve_3d, Solver3DConfig,
+};
+use rfp_geom::{angle, AntennaPose, Vec2, Vec3};
+use rfp_phys::polarization::{orientation_phase, planar_dipole};
+use rfp_phys::propagation;
+use rfp_sim::Scene;
+
+/// Central-difference steps matching the solver's numeric fallback.
+const STEPS_2D: [f64; 5] = [1e-4, 1e-4, 1e-4, 1e-13, 1e-4];
+const STEPS_3D: [f64; 7] = [1e-4, 1e-4, 1e-4, 1e-4, 1e-4, 1e-13, 1e-4];
+
+/// Exact observations straight from the forward model (no simulator, no
+/// RSSI — the mode penalty is disabled by the `-∞` RSSI of `from_line`).
+fn observations_from_truth(
+    poses: &[AntennaPose],
+    pos: Vec3,
+    w: Vec3,
+    kt: f64,
+    bt: f64,
+) -> Vec<AntennaObservation> {
+    poses
+        .iter()
+        .map(|&pose| {
+            let d = pose.position().distance(pos);
+            AntennaObservation::from_line(
+                pose,
+                propagation::slope_from_distance(d) + kt,
+                orientation_phase(&pose, w) + bt,
+            )
+        })
+        .collect()
+}
+
+/// Asserts elementwise agreement of an analytic Jacobian with central
+/// differences of the residual function.
+fn assert_jacobian_matches<R>(residual: R, jac: &[f64], p: &[f64], steps: &[f64], m: usize)
+where
+    R: Fn(&[f64], &mut Vec<f64>),
+{
+    let n = p.len();
+    let mut r_plus = Vec::new();
+    let mut r_minus = Vec::new();
+    let mut work = p.to_vec();
+    for j in 0..n {
+        let h = steps[j];
+        work[j] = p[j] + h;
+        residual(&work, &mut r_plus);
+        work[j] = p[j] - h;
+        residual(&work, &mut r_minus);
+        work[j] = p[j];
+        for i in 0..m {
+            let num = (r_plus[i] - r_minus[i]) / (2.0 * h);
+            let ana = jac[i * n + j];
+            let tol = 1e-6 * (1.0 + ana.abs().max(num.abs()));
+            assert!(
+                (ana - num).abs() <= tol,
+                "Jacobian entry ({i},{j}): analytic {ana} vs central-diff {num}"
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// 2-D: the analytic Jacobian agrees with central differences at
+    /// random evaluation points near random truths.
+    #[test]
+    fn analytic_jacobian_2d_matches_central_differences(
+        x in -0.4f64..1.4,
+        y in 0.6f64..2.4,
+        alpha in 0.0f64..std::f64::consts::PI,
+        kt in -5e-8f64..5e-8,
+        bt in 0.0f64..std::f64::consts::TAU,
+        dx in -0.05f64..0.05,
+        dy in -0.05f64..0.05,
+        dalpha in -0.05f64..0.05,
+        dbt in -0.05f64..0.05,
+    ) {
+        let poses = Scene::standard_2d().antenna_poses();
+        let obs = observations_from_truth(
+            &poses,
+            Vec2::new(x, y).with_z(0.0),
+            planar_dipole(alpha),
+            kt,
+            bt,
+        );
+        let config = SolverConfig::default();
+        let p = [x + dx, y + dy, alpha + dalpha, kt, bt + dbt];
+        let mut r = Vec::new();
+        let mut jac = Vec::new();
+        residuals_and_jacobian_2d(&obs, &p, &config, &mut r, Some(&mut jac));
+        assert_jacobian_matches(
+            |q: &[f64], out: &mut Vec<f64>| residuals_2d(&obs, q, &config, out),
+            &jac,
+            &p,
+            &STEPS_2D,
+            r.len(),
+        );
+    }
+
+    /// 3-D: same agreement for the 7-parameter residuals over random
+    /// positions and dipole directions.
+    #[test]
+    fn analytic_jacobian_3d_matches_central_differences(
+        x in 0.0f64..1.2,
+        y in 0.8f64..2.0,
+        z in 0.1f64..1.2,
+        theta in 0.1f64..1.47,
+        phi in 0.0f64..std::f64::consts::TAU,
+        kt in -5e-8f64..5e-8,
+        bt in 0.0f64..std::f64::consts::TAU,
+        dpos in -0.04f64..0.04,
+        dang in -0.04f64..0.04,
+    ) {
+        let poses = Scene::six_antenna_3d().antenna_poses();
+        let (st, ct) = theta.sin_cos();
+        let (sp, cp) = phi.sin_cos();
+        let w = Vec3::new(st * cp, st * sp, ct);
+        // Near-degenerate polarization geometry (dipole almost parallel to
+        // an antenna's boresight) makes θ_orient vary arbitrarily fast;
+        // central differences are meaningless there, so skip those draws.
+        for pose in &poses {
+            let uw = pose.u().dot(w);
+            let vw = pose.v().dot(w);
+            prop_assume!(uw * uw + vw * vw > 1e-2);
+        }
+        let obs = observations_from_truth(&poses, Vec3::new(x, y, z), w, kt, bt);
+        let config = Solver3DConfig::default();
+        let p = [
+            x + dpos,
+            y - dpos,
+            z + dpos,
+            theta + dang,
+            phi - dang,
+            kt,
+            bt + dang,
+        ];
+        let mut r = Vec::new();
+        let mut jac = Vec::new();
+        residuals_and_jacobian_3d(&obs, &p, &config, &mut r, Some(&mut jac));
+        assert_jacobian_matches(
+            |q: &[f64], out: &mut Vec<f64>| residuals_3d(&obs, q, &config, out),
+            &jac,
+            &p,
+            &STEPS_3D,
+            r.len(),
+        );
+    }
+
+    /// Analytic and numeric LM land on the same optimum — the exact truth —
+    /// to well within 1e-9 on clean synthetic 2-D scenes.
+    #[test]
+    fn analytic_and_numeric_lm_converge_identically_2d(
+        x in -0.3f64..1.3,
+        y in 0.7f64..2.3,
+        alpha in 0.05f64..3.0,
+        kt in -4e-8f64..4e-8,
+        bt in 0.1f64..6.0,
+    ) {
+        let scene = Scene::standard_2d();
+        let poses = scene.antenna_poses();
+        let obs = observations_from_truth(
+            &poses,
+            Vec2::new(x, y).with_z(0.0),
+            planar_dipole(alpha),
+            kt,
+            bt,
+        );
+        let analytic = solve_2d(&obs, scene.region(), &SolverConfig::default()).unwrap();
+        let numeric_cfg =
+            SolverConfig { jacobian: JacobianMode::Numeric, ..SolverConfig::default() };
+        let numeric = solve_2d(&obs, scene.region(), &numeric_cfg).unwrap();
+        prop_assert!(analytic.position.distance(numeric.position) < 1e-9);
+        prop_assert!(angle::dipole_distance(analytic.orientation, numeric.orientation) < 1e-9);
+        prop_assert!((analytic.kt - numeric.kt).abs() < 1e-15);
+        prop_assert!(angle::distance(analytic.bt, numeric.bt) < 1e-9);
+        // And both are at the truth.
+        prop_assert!(analytic.position.distance(Vec2::new(x, y)) < 1e-9);
+    }
+}
+
+/// Pinned (non-random) convergence check, 3-D included: the analytic and
+/// numeric paths agree on a specific clean scene.
+#[test]
+fn pinned_analytic_numeric_agreement_3d() {
+    let scene = Scene::six_antenna_3d();
+    let poses = scene.antenna_poses();
+    let theta = 0.8f64;
+    let phi = 2.1f64;
+    let (st, ct) = theta.sin_cos();
+    let (sp, cp) = phi.sin_cos();
+    let w = Vec3::new(st * cp, st * sp, ct);
+    let obs =
+        observations_from_truth(&poses, Vec3::new(0.6, 1.4, 0.7), w, -2.3e-8, 1.1);
+    let analytic =
+        solve_3d(&obs, scene.region(), (0.0, 1.5), &Solver3DConfig::default()).unwrap();
+    let numeric_cfg =
+        Solver3DConfig { jacobian: JacobianMode::Numeric, ..Solver3DConfig::default() };
+    let numeric = solve_3d(&obs, scene.region(), (0.0, 1.5), &numeric_cfg).unwrap();
+    assert!(analytic.position.distance(numeric.position) < 1e-9);
+    assert!(analytic.dipole_axis_error(numeric.dipole) < 1e-9);
+    assert!((analytic.kt - numeric.kt).abs() < 1e-14);
+    assert!(angle::distance(analytic.bt, numeric.bt) < 1e-9);
+    assert!(analytic.position.distance(Vec3::new(0.6, 1.4, 0.7)) < 1e-9);
+}

@@ -62,9 +62,10 @@ pub use rfp_sim as sim;
 /// One-line import for the common API surface.
 pub mod prelude {
     pub use rfp_core::{
-        BatchCache, BatchCache3D, CalibrationDb, DeviceCalibration, MaterialFeatures,
-        MaterialIdentifier, MobilityVerdict, RfPrism, RfPrismConfig, SenseError,
-        SensingResult, SolverConfig, TagEstimate2D, TagReads, TagRounds,
+        BatchCache, BatchCache3D, CalibrationDb, DeviceCalibration, JacobianMode,
+        MaterialFeatures, MaterialIdentifier, MobilityVerdict, RfPrism, RfPrismConfig,
+        SenseError, SensingResult, SolveStats, SolverConfig, TagEstimate2D, TagReads,
+        TagRounds,
     };
     pub use rfp_geom::{AntennaPose, Region2, Vec2, Vec3};
     pub use rfp_phys::{FrequencyPlan, Material, TagElectrical};
