@@ -6,18 +6,28 @@
 //! row doubles as the sequential baseline (it runs inline, no pool). On a
 //! single-core container every row collapses to the same rate — the
 //! speedup column is only meaningful on multicore hardware.
+//!
+//! Writes a `BENCH_batch.json` snapshot at the repo root through the
+//! shared versioned report writer, so the throughput trajectory is
+//! recorded PR over PR in the same schema as every other snapshot.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use rfp_bench::setup;
-use rfp_sim::{Motion, Scene, SimTag};
+use rfp_bench::{report, setup};
 use rfp_geom::Vec2;
+use rfp_obs::JsonValue;
 use rfp_phys::Material;
+use rfp_sim::{Motion, Scene, SimTag};
+use std::hint::black_box;
+use std::time::Instant;
 
 const TAGS: usize = 256;
+const REPEATS: usize = 3;
+const JOB_LEVELS: [usize; 4] = [1, 2, 4, 8];
 
-fn batch_throughput(c: &mut Criterion) {
+fn main() {
+    report::header("batch_throughput", "parallel batch sensing, 256 tags");
+
     let scene = Scene::standard_2d();
     let prism = setup::prism_for(&scene);
     let materials = [Material::FreeSpace, Material::Wood, Material::Glass, Material::Water];
@@ -38,15 +48,55 @@ fn batch_throughput(c: &mut Criterion) {
         .collect();
     let cache = prism.batch_cache();
 
-    let mut group = c.benchmark_group("batch_throughput_256_tags");
-    group.throughput(Throughput::Elements(TAGS as u64));
-    for jobs in [1usize, 2, 4, 8] {
-        group.bench_function(format!("jobs_{jobs}"), |b| {
-            b.iter(|| prism.sense_batch_with(&cache, &tags, jobs));
-        });
-    }
-    group.finish();
-}
+    // One unrecorded pass to warm caches and fault in the seed tables.
+    black_box(prism.sense_batch_with(&cache, &tags, 1));
 
-criterion_group!(benches, batch_throughput);
-criterion_main!(benches);
+    report::section("tags/second (best of 3 passes)");
+    let mut rows: Vec<JsonValue> = Vec::new();
+    let mut base_rate = 0.0f64;
+    for jobs in JOB_LEVELS {
+        let mut best_secs = f64::INFINITY;
+        for _ in 0..REPEATS {
+            let t0 = Instant::now();
+            black_box(prism.sense_batch_with(&cache, &tags, jobs));
+            best_secs = best_secs.min(t0.elapsed().as_secs_f64());
+        }
+        let rate = TAGS as f64 / best_secs;
+        if jobs == 1 {
+            base_rate = rate;
+        }
+        println!(
+            "  jobs {jobs}   {rate:>8.1} tags/s   {:>8.2} ms/batch   speedup ×{:.2}",
+            best_secs * 1e3,
+            rate / base_rate
+        );
+        let round1 = |x: f64| (x * 10.0).round() / 10.0;
+        rows.push(JsonValue::obj(vec![
+            ("jobs", JsonValue::Num(jobs as f64)),
+            ("tags_per_sec", JsonValue::Num(round1(rate))),
+            ("batch_ms", JsonValue::Num(round1(best_secs * 1e3))),
+            ("speedup", JsonValue::Num((rate / base_rate * 100.0).round() / 100.0)),
+        ]));
+    }
+
+    let value = rfp_obs::report::snapshot(
+        "batch_throughput",
+        vec![
+            ("tags", JsonValue::Num(TAGS as f64)),
+            ("repeats", JsonValue::Num(REPEATS as f64)),
+            (
+                "units",
+                JsonValue::obj(vec![(
+                    "throughput",
+                    JsonValue::Str("tags per second, best of repeats".into()),
+                )]),
+            ),
+            ("levels", JsonValue::Arr(rows)),
+        ],
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_batch.json");
+    match rfp_obs::report::write_json(std::path::Path::new(path), &value) {
+        Ok(()) => println!("\nsnapshot written to BENCH_batch.json"),
+        Err(e) => println!("\ncould not write BENCH_batch.json: {e}"),
+    }
+}

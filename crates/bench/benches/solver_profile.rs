@@ -22,6 +22,7 @@ use rfp_core::solver3d::{
     solve_3d_seeded, Solve3DSeeds, Solver3DConfig, Solver3DWorkspace,
 };
 use rfp_geom::Vec2;
+use rfp_obs::JsonValue;
 use rfp_phys::Material;
 use rfp_sim::{Motion, Scene, SimTag};
 use std::hint::black_box;
@@ -138,27 +139,50 @@ fn print_rows(label: &str, analytic: Profile, numeric: Profile) {
     );
 }
 
-fn json_entry(p: Profile) -> String {
-    format!(
-        "{{\"p50_us\": {:.2}, \"residual_evals\": {}, \"jacobian_evals\": {}, \"iterations\": {}}}",
-        p.p50_us, p.stats.residual_evals, p.stats.jacobian_evals, p.stats.iterations
-    )
+fn json_entry(p: Profile) -> JsonValue {
+    JsonValue::obj(vec![
+        ("p50_us", JsonValue::Num((p.p50_us * 100.0).round() / 100.0)),
+        ("residual_evals", JsonValue::Num(p.stats.residual_evals as f64)),
+        ("jacobian_evals", JsonValue::Num(p.stats.jacobian_evals as f64)),
+        ("iterations", JsonValue::Num(p.stats.iterations as f64)),
+    ])
+}
+
+fn mode_pair(analytic: Profile, numeric: Profile) -> JsonValue {
+    let round2 = |x: f64| (x * 100.0).round() / 100.0;
+    JsonValue::obj(vec![
+        ("analytic", json_entry(analytic)),
+        ("numeric", json_entry(numeric)),
+        ("p50_speedup", JsonValue::Num(round2(numeric.p50_us / analytic.p50_us))),
+        (
+            "residual_eval_ratio",
+            JsonValue::Num(round2(
+                numeric.stats.residual_evals as f64 / analytic.stats.residual_evals as f64,
+            )),
+        ),
+    ])
 }
 
 fn write_snapshot(a2: Profile, n2: Profile, a3: Profile, n3: Profile) {
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_solver.json");
-    let json = format!(
-        "{{\n  \"bench\": \"solver_profile\",\n  \"units\": {{\"latency\": \"microseconds (single-solve p50)\", \"counters\": \"per solve, all LM starts\"}},\n  \"solve_2d\": {{\n    \"analytic\": {},\n    \"numeric\": {},\n    \"p50_speedup\": {:.2},\n    \"residual_eval_ratio\": {:.2}\n  }},\n  \"solve_3d\": {{\n    \"analytic\": {},\n    \"numeric\": {},\n    \"p50_speedup\": {:.2},\n    \"residual_eval_ratio\": {:.2}\n  }}\n}}\n",
-        json_entry(a2),
-        json_entry(n2),
-        n2.p50_us / a2.p50_us,
-        n2.stats.residual_evals as f64 / a2.stats.residual_evals as f64,
-        json_entry(a3),
-        json_entry(n3),
-        n3.p50_us / a3.p50_us,
-        n3.stats.residual_evals as f64 / a3.stats.residual_evals as f64,
+    let value = rfp_obs::report::snapshot(
+        "solver_profile",
+        vec![
+            (
+                "units",
+                JsonValue::obj(vec![
+                    (
+                        "latency",
+                        JsonValue::Str("microseconds (single-solve p50)".into()),
+                    ),
+                    ("counters", JsonValue::Str("per solve, all LM starts".into())),
+                ]),
+            ),
+            ("solve_2d", mode_pair(a2, n2)),
+            ("solve_3d", mode_pair(a3, n3)),
+        ],
     );
-    match std::fs::write(path, json) {
+    match rfp_obs::report::write_json(std::path::Path::new(path), &value) {
         Ok(()) => println!("\nsnapshot written to BENCH_solver.json"),
         Err(e) => println!("\ncould not write BENCH_solver.json: {e}"),
     }

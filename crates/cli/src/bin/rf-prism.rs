@@ -33,7 +33,22 @@ enum Output {
 }
 
 fn run_sense(args: &[String]) -> Result<Output, commands::CommandError> {
-    let flags = commands::parse_flags(args)?;
+    // `--trace` is a bare switch; split it out before the strict
+    // `--key value` parser sees the remainder.
+    let mut trace = false;
+    let rest: Vec<String> = args
+        .iter()
+        .filter(|a| {
+            if a.as_str() == "--trace" {
+                trace = true;
+                false
+            } else {
+                true
+            }
+        })
+        .cloned()
+        .collect();
+    let flags = commands::parse_flags(&rest)?;
     let log_path = flags
         .iter()
         .find(|(k, _)| k == "log")
@@ -52,5 +67,14 @@ fn run_sense(args: &[String]) -> Result<Output, commands::CommandError> {
         })?,
         None => 1,
     };
-    commands::sense(&log_text, calib_text.as_deref(), jobs).map(Output::Stdout)
+    let metrics_path = flags.iter().find(|(k, _)| k == "metrics").map(|(_, v)| v.clone());
+    let (text, run) = commands::sense_observed(&log_text, calib_text.as_deref(), jobs)?;
+    let run = run.with_meta("log", &log_path);
+    if let Some(path) = metrics_path {
+        rfp_obs::report::write_json(std::path::Path::new(&path), &run.to_json())?;
+    }
+    if trace {
+        eprint!("{}", run.summary());
+    }
+    Ok(Output::Stdout(text))
 }

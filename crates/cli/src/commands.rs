@@ -139,8 +139,89 @@ pub fn simulate(args: &[String]) -> Result<String, CommandError> {
 ///
 /// `jobs` is the worker-thread count for the batched solve (`0` = one per
 /// CPU, `1` = sequential); tags are solved in parallel but reported in log
-/// order, and the report is identical at every `jobs` value.
+/// order, and the report is identical at every `jobs` value — the appended
+/// run-counter summary too, because count-type metrics merge
+/// deterministically across workers.
 pub fn sense(
+    log_text: &str,
+    calibration_db: Option<&str>,
+    jobs: usize,
+) -> Result<String, CommandError> {
+    sense_observed(log_text, calibration_db, jobs).map(|(text, _)| text)
+}
+
+/// [`sense`] plus the machine-readable run report it was recorded under —
+/// the entry the binary uses for `--metrics` / `--trace`. The sensing work
+/// runs under a fresh recorder over [`rfp_core::obs::METRICS`]; the
+/// returned [`rfp_obs::RunReport`] carries the per-stage span timings and
+/// every solver/detector/pipeline counter of this invocation.
+pub fn sense_observed(
+    log_text: &str,
+    calibration_db: Option<&str>,
+    jobs: usize,
+) -> Result<(String, rfp_obs::RunReport), CommandError> {
+    let (result, rec) = rfp_obs::recorder::observe(rfp_core::obs::METRICS, || {
+        sense_table(log_text, calibration_db, jobs)
+    });
+    let table = result?;
+    let run = rfp_obs::RunReport::from_recorder("sense", &rec)
+        .with_meta("jobs", &jobs.to_string());
+    let text = format!("{table}{}", counters_footer(&run));
+    Ok((text, run))
+}
+
+/// Renders one counter line of the run summary, resolving names against
+/// the report (missing names read as 0, so the footer never panics).
+fn counters_footer(run: &rfp_obs::RunReport) -> String {
+    let c = |name: &str| {
+        run.counters
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|&(_, v)| v)
+            .unwrap_or(0)
+    };
+    let mut out = String::new();
+    let _ = writeln!(out, "-- run counters --");
+    let _ = writeln!(
+        out,
+        "  pipeline: {} windows, {} ok, {} moving-rejected, {} too-few-obs",
+        c("pipeline.windows_total"),
+        c("pipeline.windows_ok"),
+        c("pipeline.windows_moving_rejected"),
+        c("pipeline.windows_too_few_obs"),
+    );
+    let _ = writeln!(
+        out,
+        "  detector: {} clean, {} multipath ({} channels rejected), {} moving",
+        c("detector.windows_clean"),
+        c("detector.windows_multipath"),
+        c("detector.channels_rejected"),
+        c("detector.windows_moving"),
+    );
+    let _ = writeln!(
+        out,
+        "  solver2d: {} solves, {} iterations, {} residual evals, {} jacobian evals",
+        c("solver2d.solves"),
+        c("solver2d.iterations"),
+        c("solver2d.residual_evals"),
+        c("solver2d.jacobian_evals"),
+    );
+    if c("solver3d.solves") > 0 {
+        let _ = writeln!(
+            out,
+            "  solver3d: {} solves, {} iterations, {} residual evals, {} jacobian evals",
+            c("solver3d.solves"),
+            c("solver3d.iterations"),
+            c("solver3d.residual_evals"),
+            c("solver3d.jacobian_evals"),
+        );
+    }
+    out
+}
+
+/// The tag table of [`sense`] (no counter footer); runs under whatever
+/// recorder the caller installed.
+fn sense_table(
     log_text: &str,
     calibration_db: Option<&str>,
     jobs: usize,
@@ -254,8 +335,9 @@ pub fn usage() -> String {
      \n\
      USAGE:\n\
      \x20 rf-prism simulate [--tags N] [--seed S] [--material LABEL|mixed] [--clutter SEED] > round.log\n\
-     \x20 rf-prism sense --log round.log [--calib tags.cal] [--jobs N]\n\
+     \x20 rf-prism sense --log round.log [--calib tags.cal] [--jobs N] [--metrics out.json] [--trace]\n\
      \x20     (--jobs: worker threads for the batched solve; 0 = all CPUs, default 1)\n\
+     \x20     (--metrics: write the versioned JSON run report; --trace: span/counter summary on stderr)\n\
      \x20 rf-prism calibrate --tag ID > tags.cal\n\
      \x20 rf-prism help\n"
         .to_string()

@@ -26,6 +26,7 @@
 //! same reads, at any worker count (the equivalence test suite in
 //! `tests/batch_equivalence.rs` pins this down to `f64::to_bits`).
 
+use crate::obs;
 use crate::pipeline::{RfPrism, SenseError, SensingResult};
 use crate::pipeline3d::{RfPrism3D, Sense3DError, Sensing3DResult};
 use crate::solver::{SolveSeeds, SolverWorkspace};
@@ -96,6 +97,9 @@ impl RfPrism {
     where
         T: AsRef<[Vec<RawRead>]> + Sync,
     {
+        let _batch_span = obs::span("sense_batch");
+        obs::counter_add(obs::id::BATCH_TAGS, tags.len() as u64);
+        obs::gauge_set(obs::id::BATCH_WORKERS, effective_jobs(jobs, tags.len()) as f64);
         fan_out(tags, jobs, SolverWorkspace::default, |reads, workspace| {
             self.sense_with(reads.as_ref(), &cache.seeds, workspace)
         })
@@ -115,6 +119,9 @@ impl RfPrism {
         T: AsRef<[Vec<Vec<RawRead>>]> + Sync,
     {
         let cache = self.batch_cache();
+        let _batch_span = obs::span("sense_rounds_batch");
+        obs::counter_add(obs::id::BATCH_TAGS, tags.len() as u64);
+        obs::gauge_set(obs::id::BATCH_WORKERS, effective_jobs(jobs, tags.len()) as f64);
         fan_out(tags, jobs, SolverWorkspace::default, |rounds, workspace| {
             self.sense_rounds_with(rounds.as_ref(), &cache.seeds, workspace)
         })
@@ -151,6 +158,9 @@ impl RfPrism3D {
     where
         T: AsRef<[Vec<RawRead>]> + Sync,
     {
+        let _batch_span = obs::span("sense_batch_3d");
+        obs::counter_add(obs::id::BATCH_TAGS, tags.len() as u64);
+        obs::gauge_set(obs::id::BATCH_WORKERS, effective_jobs(jobs, tags.len()) as f64);
         fan_out(tags, jobs, Solver3DWorkspace::default, |reads, workspace| {
             self.sense_with(reads.as_ref(), &cache.seeds, workspace)
         })
@@ -190,32 +200,51 @@ where
         return items.iter().map(|item| work(item, &mut state)).collect();
     }
 
+    // Snapshot the coordinator's observing state before spawning: worker
+    // threads have no recorder of their own, so each gets a fresh one
+    // (over the same metric table) only when the coordinator is recording.
+    let observing = obs::active();
     let next = AtomicUsize::new(0);
     let (tx, rx) = mpsc::channel::<(usize, R)>();
+    let (obs_tx, obs_rx) = mpsc::channel::<(usize, obs::WorkerObs)>();
     std::thread::scope(|scope| {
-        for _ in 0..jobs {
+        for w in 0..jobs {
             let tx = tx.clone();
+            let obs_tx = obs_tx.clone();
             let (next, new_state, work) = (&next, &new_state, &work);
             scope.spawn(move || {
-                let mut state = new_state();
-                loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= items.len() {
-                        break;
+                let ((), worker_obs) = obs::WorkerObs::new(observing).run(|| {
+                    let mut state = new_state();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= items.len() {
+                            break;
+                        }
+                        let result = work(&items[i], &mut state);
+                        if tx.send((i, result)).is_err() {
+                            break;
+                        }
                     }
-                    let result = work(&items[i], &mut state);
-                    if tx.send((i, result)).is_err() {
-                        break;
-                    }
-                }
+                });
+                let _ = obs_tx.send((w, worker_obs));
             });
         }
         drop(tx);
+        drop(obs_tx);
         let mut out: Vec<Option<R>> = Vec::with_capacity(items.len());
         out.resize_with(items.len(), || None);
         for (i, result) in rx {
             debug_assert!(out[i].is_none(), "item {i} solved twice");
             out[i] = Some(result);
+        }
+        // Merge what the workers recorded into the coordinator's recorder
+        // in worker-index order: a fixed merge order plus commutative
+        // counter addition makes every count-type metric identical to a
+        // sequential run, at any worker count. (Timings stay wall-clock.)
+        let mut workers: Vec<(usize, obs::WorkerObs)> = obs_rx.iter().collect();
+        workers.sort_by_key(|&(w, _)| w);
+        for (_, worker_obs) in &workers {
+            worker_obs.absorb_into_current();
         }
         out.into_iter()
             .map(|r| r.expect("every item solved exactly once"))

@@ -58,6 +58,17 @@ impl MobilityVerdict {
     }
 }
 
+/// Total channels the robust per-antenna fits dropped as multipath
+/// outliers, summed across `observations` — the count surfaced by
+/// [`MobilityVerdict::MultipathSuppressed`] and the
+/// `detector.channels_rejected` metric.
+pub fn rejected_channels(observations: &[AntennaObservation]) -> usize {
+    observations
+        .iter()
+        .map(|o| o.channel_inliers.iter().filter(|&&k| !k).count())
+        .sum()
+}
+
 /// Assesses one window's observations.
 ///
 /// # Panics
@@ -79,10 +90,7 @@ pub fn assess(observations: &[AntennaObservation], config: &DetectorConfig) -> M
     {
         return MobilityVerdict::Moving { worst_residual_std: worst_residual };
     }
-    let rejected: usize = observations
-        .iter()
-        .map(|o| o.channel_inliers.iter().filter(|&&k| !k).count())
-        .sum();
+    let rejected = rejected_channels(observations);
     if rejected > 0 {
         MobilityVerdict::MultipathSuppressed { rejected_channels: rejected }
     } else {

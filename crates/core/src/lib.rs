@@ -59,6 +59,7 @@ pub mod detector;
 pub mod inventory;
 pub mod material;
 pub mod model;
+pub mod obs;
 pub mod pipeline;
 pub mod pipeline3d;
 pub mod solver;

@@ -73,6 +73,8 @@ impl MaterialFeatures {
     ) -> Self {
         assert!(!observations.is_empty(), "need at least one observation");
         assert!(channel_count > 0, "channel_count must be positive");
+        let _span = crate::obs::span("material_features");
+        crate::obs::counter_add(crate::obs::id::MATERIAL_FEATURES_EXTRACTED, 1);
 
         let kt_material = estimate.kt - calibration.kt0();
         let bt_material = angle::wrap_pi(estimate.bt - calibration.bt0());

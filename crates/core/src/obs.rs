@@ -1,0 +1,346 @@
+//! Instrumentation probes for the sensing pipeline (feature `obs`).
+//!
+//! Every hook the pipeline, solvers, detector and batch engine use lives
+//! here, in two interchangeable implementations:
+//!
+//! * with the `obs` feature **on**, probes forward to the thread-local
+//!   recorder in [`rfp_obs`] — spans aggregate into a stage tree, counters
+//!   and histograms land in a [`rfp_obs::Registry`] over the [`METRICS`]
+//!   descriptor table, and a caller (the CLI, a bench, a test) collects
+//!   everything via `rfp_obs::recorder::observe`;
+//! * with the feature **off** (the default), every probe is an empty
+//!   `#[inline(always)]` function and [`active`] is a `const false`, so
+//!   guarded snapshot code folds away and the solver hot path compiles to
+//!   exactly the uninstrumented build.
+//!
+//! Either way, probes never affect results: they only read solver state
+//! (work counters, verdicts) and the monotonic clock. The batch-vs-
+//! sequential bit-identity suite runs with the feature on and off to pin
+//! this down.
+//!
+//! Metrics are addressed by the compile-time indices in [`id`]; the
+//! recording hot path does no hashing and no allocation.
+
+/// Indices into [`METRICS`] — the stable metric addresses
+/// the probes use. The table test pins each index to its metric name.
+pub mod id {
+    /// `solver2d.solves` — completed 2-D joint solves.
+    pub const SOLVER2D_SOLVES: usize = 0;
+    /// `solver2d.iterations` — LM iterations across all 2-D starts.
+    pub const SOLVER2D_ITERATIONS: usize = 1;
+    /// `solver2d.residual_evals` — residual-vector evaluations (2-D).
+    pub const SOLVER2D_RESIDUAL_EVALS: usize = 2;
+    /// `solver2d.jacobian_evals` — Jacobian evaluations (2-D).
+    pub const SOLVER2D_JACOBIAN_EVALS: usize = 3;
+    /// `solver3d.solves` — completed 3-D joint solves.
+    pub const SOLVER3D_SOLVES: usize = 4;
+    /// `solver3d.iterations` — LM iterations across all 3-D starts.
+    pub const SOLVER3D_ITERATIONS: usize = 5;
+    /// `solver3d.residual_evals` — residual-vector evaluations (3-D).
+    pub const SOLVER3D_RESIDUAL_EVALS: usize = 6;
+    /// `solver3d.jacobian_evals` — Jacobian evaluations (3-D).
+    pub const SOLVER3D_JACOBIAN_EVALS: usize = 7;
+    /// `pipeline.windows_total` — sensing windows attempted (2-D and 3-D).
+    pub const PIPELINE_WINDOWS_TOTAL: usize = 8;
+    /// `pipeline.windows_ok` — windows that produced an estimate.
+    pub const PIPELINE_WINDOWS_OK: usize = 9;
+    /// `pipeline.windows_moving_rejected` — windows discarded because the
+    /// error detector declared the tag moving.
+    pub const PIPELINE_WINDOWS_MOVING_REJECTED: usize = 10;
+    /// `pipeline.windows_too_few_obs` — windows with fewer usable antenna
+    /// observations than the solve needs.
+    pub const PIPELINE_WINDOWS_TOO_FEW_OBS: usize = 11;
+    /// `pipeline.extract_failures` — per-antenna extraction failures.
+    pub const PIPELINE_EXTRACT_FAILURES: usize = 12;
+    /// `pipeline.rounds_skipped` — hop rounds skipped by the multi-round
+    /// path (incomplete extraction or a moving verdict).
+    pub const PIPELINE_ROUNDS_SKIPPED: usize = 13;
+    /// `detector.windows_clean` — verdicts with every channel kept.
+    pub const DETECTOR_WINDOWS_CLEAN: usize = 14;
+    /// `detector.windows_multipath` — verdicts with multipath-corrupted
+    /// channels suppressed.
+    pub const DETECTOR_WINDOWS_MULTIPATH: usize = 15;
+    /// `detector.windows_moving` — verdicts rejecting the window for
+    /// nonlinearity (tag motion).
+    pub const DETECTOR_WINDOWS_MOVING: usize = 16;
+    /// `detector.channels_rejected` — channels dropped across antennas by
+    /// the robust fits in multipath-suppressed windows.
+    pub const DETECTOR_CHANNELS_REJECTED: usize = 17;
+    /// `material.features_extracted` — material feature vectors built.
+    pub const MATERIAL_FEATURES_EXTRACTED: usize = 18;
+    /// `batch.tags` — tags submitted to the batch engine.
+    pub const BATCH_TAGS: usize = 19;
+    /// `batch.workers` — worker threads of the most recent batch (gauge;
+    /// merges as max).
+    pub const BATCH_WORKERS: usize = 20;
+    /// `sense.latency_us` — end-to-end sensing latency histogram, µs.
+    pub const SENSE_LATENCY_US: usize = 21;
+    /// `solve.latency_us` — joint-solve latency histogram, µs.
+    pub const SOLVE_LATENCY_US: usize = 22;
+}
+
+#[cfg(feature = "obs")]
+mod enabled {
+    use crate::detector::MobilityVerdict;
+    use rfp_obs::{recorder, MetricDef, Recorder};
+
+    /// Log-spaced µs buckets covering sub-100 µs solves up to 100 ms+
+    /// end-to-end windows.
+    const LATENCY_BUCKETS_US: &[f64] = &[
+        50.0, 100.0, 200.0, 500.0, 1_000.0, 2_000.0, 5_000.0, 10_000.0, 20_000.0, 50_000.0,
+        100_000.0,
+    ];
+
+    /// The pipeline's metric descriptor table; entry *i* is the metric
+    /// addressed by index *i* in [`super::id`].
+    pub static METRICS: &[MetricDef] = &[
+        MetricDef::counter("solver2d.solves", "completed 2-D joint solves"),
+        MetricDef::counter("solver2d.iterations", "LM iterations across all 2-D starts"),
+        MetricDef::counter("solver2d.residual_evals", "residual-vector evaluations (2-D)"),
+        MetricDef::counter("solver2d.jacobian_evals", "Jacobian evaluations (2-D)"),
+        MetricDef::counter("solver3d.solves", "completed 3-D joint solves"),
+        MetricDef::counter("solver3d.iterations", "LM iterations across all 3-D starts"),
+        MetricDef::counter("solver3d.residual_evals", "residual-vector evaluations (3-D)"),
+        MetricDef::counter("solver3d.jacobian_evals", "Jacobian evaluations (3-D)"),
+        MetricDef::counter("pipeline.windows_total", "sensing windows attempted"),
+        MetricDef::counter("pipeline.windows_ok", "windows that produced an estimate"),
+        MetricDef::counter(
+            "pipeline.windows_moving_rejected",
+            "windows discarded for tag motion",
+        ),
+        MetricDef::counter(
+            "pipeline.windows_too_few_obs",
+            "windows with too few usable antenna observations",
+        ),
+        MetricDef::counter("pipeline.extract_failures", "per-antenna extraction failures"),
+        MetricDef::counter(
+            "pipeline.rounds_skipped",
+            "hop rounds skipped by the multi-round path",
+        ),
+        MetricDef::counter("detector.windows_clean", "verdicts with every channel kept"),
+        MetricDef::counter(
+            "detector.windows_multipath",
+            "verdicts with multipath channels suppressed",
+        ),
+        MetricDef::counter("detector.windows_moving", "verdicts rejecting the window"),
+        MetricDef::counter(
+            "detector.channels_rejected",
+            "channels dropped by the robust per-antenna fits",
+        ),
+        MetricDef::counter("material.features_extracted", "material feature vectors built"),
+        MetricDef::counter("batch.tags", "tags submitted to the batch engine"),
+        MetricDef::gauge("batch.workers", "worker threads of the most recent batch"),
+        MetricDef::histogram(
+            "sense.latency_us",
+            "end-to-end sensing latency, microseconds",
+            LATENCY_BUCKETS_US,
+        ),
+        MetricDef::histogram(
+            "solve.latency_us",
+            "joint-solve latency, microseconds",
+            LATENCY_BUCKETS_US,
+        ),
+    ];
+
+    pub use recorder::{counter_add, gauge_set, observe_value};
+
+    /// Whether a recorder is installed on this thread.
+    #[inline]
+    pub fn active() -> bool {
+        recorder::active()
+    }
+
+    /// Opens the named stage span on this thread's recorder.
+    #[inline]
+    pub fn span(name: &'static str) -> rfp_obs::SpanGuard {
+        recorder::span(name)
+    }
+
+    /// Starts timing into latency histogram `idx` (µs, recorded on drop).
+    #[inline]
+    pub fn time_histogram(idx: usize) -> rfp_obs::TimerGuard {
+        recorder::time_histogram(idx)
+    }
+
+    /// Records one detector verdict into the `detector.*` counters.
+    pub fn verdict(v: &MobilityVerdict) {
+        match v {
+            MobilityVerdict::Clean => counter_add(super::id::DETECTOR_WINDOWS_CLEAN, 1),
+            MobilityVerdict::MultipathSuppressed { rejected_channels } => {
+                counter_add(super::id::DETECTOR_WINDOWS_MULTIPATH, 1);
+                counter_add(super::id::DETECTOR_CHANNELS_REJECTED, *rejected_channels as u64);
+            }
+            MobilityVerdict::Moving { .. } => {
+                counter_add(super::id::DETECTOR_WINDOWS_MOVING, 1);
+            }
+        }
+    }
+
+    /// One batch worker's recording context: a fresh recorder when the
+    /// coordinator thread was observing at fan-out time, nothing
+    /// otherwise. The coordinator merges worker contexts back in
+    /// worker-index order, keeping count-type metrics deterministic at any
+    /// worker count.
+    #[derive(Debug)]
+    pub struct WorkerObs(Option<Recorder>);
+
+    impl WorkerObs {
+        /// A worker context; records only when `observing` (the
+        /// coordinator's [`active`] at spawn time).
+        pub fn new(observing: bool) -> WorkerObs {
+            WorkerObs(observing.then(|| Recorder::new(METRICS)))
+        }
+
+        /// Runs `f` with this context installed on the current thread,
+        /// returning the result and the (updated) context.
+        pub fn run<R>(self, f: impl FnOnce() -> R) -> (R, WorkerObs) {
+            match self.0 {
+                Some(rec) => {
+                    let (out, rec) = recorder::observe_with(rec, f);
+                    (out, WorkerObs(Some(rec)))
+                }
+                None => (f(), WorkerObs(None)),
+            }
+        }
+
+        /// Merges everything this worker recorded into the coordinator's
+        /// recorder (spans graft under the coordinator's open span).
+        pub fn absorb_into_current(&self) {
+            if let Some(rec) = &self.0 {
+                recorder::absorb(rec);
+            }
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+        use rfp_obs::MetricKind;
+
+        #[test]
+        fn metric_table_matches_id_constants() {
+            use crate::obs::id::*;
+            let by_idx = [
+                (SOLVER2D_SOLVES, "solver2d.solves"),
+                (SOLVER2D_ITERATIONS, "solver2d.iterations"),
+                (SOLVER2D_RESIDUAL_EVALS, "solver2d.residual_evals"),
+                (SOLVER2D_JACOBIAN_EVALS, "solver2d.jacobian_evals"),
+                (SOLVER3D_SOLVES, "solver3d.solves"),
+                (SOLVER3D_ITERATIONS, "solver3d.iterations"),
+                (SOLVER3D_RESIDUAL_EVALS, "solver3d.residual_evals"),
+                (SOLVER3D_JACOBIAN_EVALS, "solver3d.jacobian_evals"),
+                (PIPELINE_WINDOWS_TOTAL, "pipeline.windows_total"),
+                (PIPELINE_WINDOWS_OK, "pipeline.windows_ok"),
+                (PIPELINE_WINDOWS_MOVING_REJECTED, "pipeline.windows_moving_rejected"),
+                (PIPELINE_WINDOWS_TOO_FEW_OBS, "pipeline.windows_too_few_obs"),
+                (PIPELINE_EXTRACT_FAILURES, "pipeline.extract_failures"),
+                (PIPELINE_ROUNDS_SKIPPED, "pipeline.rounds_skipped"),
+                (DETECTOR_WINDOWS_CLEAN, "detector.windows_clean"),
+                (DETECTOR_WINDOWS_MULTIPATH, "detector.windows_multipath"),
+                (DETECTOR_WINDOWS_MOVING, "detector.windows_moving"),
+                (DETECTOR_CHANNELS_REJECTED, "detector.channels_rejected"),
+                (MATERIAL_FEATURES_EXTRACTED, "material.features_extracted"),
+                (BATCH_TAGS, "batch.tags"),
+                (BATCH_WORKERS, "batch.workers"),
+                (SENSE_LATENCY_US, "sense.latency_us"),
+                (SOLVE_LATENCY_US, "solve.latency_us"),
+            ];
+            assert_eq!(by_idx.len(), METRICS.len());
+            for (idx, name) in by_idx {
+                assert_eq!(METRICS[idx].name, name, "index {idx}");
+            }
+            assert_eq!(METRICS[crate::obs::id::BATCH_WORKERS].kind, MetricKind::Gauge);
+            assert_eq!(METRICS[crate::obs::id::SENSE_LATENCY_US].kind, MetricKind::Histogram);
+        }
+
+        #[test]
+        fn verdict_routes_to_the_right_counters() {
+            use crate::obs::id::*;
+            let ((), rec) = recorder::observe(METRICS, || {
+                verdict(&MobilityVerdict::Clean);
+                verdict(&MobilityVerdict::MultipathSuppressed { rejected_channels: 7 });
+                verdict(&MobilityVerdict::Moving { worst_residual_std: 0.9 });
+            });
+            assert_eq!(rec.metrics.counter(DETECTOR_WINDOWS_CLEAN), 1);
+            assert_eq!(rec.metrics.counter(DETECTOR_WINDOWS_MULTIPATH), 1);
+            assert_eq!(rec.metrics.counter(DETECTOR_CHANNELS_REJECTED), 7);
+            assert_eq!(rec.metrics.counter(DETECTOR_WINDOWS_MOVING), 1);
+        }
+    }
+}
+
+#[cfg(not(feature = "obs"))]
+mod disabled {
+    use crate::detector::MobilityVerdict;
+
+    /// Inert stand-in for the recorder's span guard.
+    #[derive(Debug)]
+    pub struct SpanGuard;
+
+    /// Inert stand-in for the recorder's histogram timer guard.
+    #[derive(Debug)]
+    pub struct TimerGuard;
+
+    /// Always `false` without the `obs` feature, so guarded snapshot code
+    /// is dead and folds away.
+    #[inline(always)]
+    pub const fn active() -> bool {
+        false
+    }
+
+    /// No-op counter probe.
+    #[inline(always)]
+    pub fn counter_add(_idx: usize, _n: u64) {}
+
+    /// No-op gauge probe.
+    #[inline(always)]
+    pub fn gauge_set(_idx: usize, _v: f64) {}
+
+    /// No-op histogram probe.
+    #[inline(always)]
+    pub fn observe_value(_idx: usize, _v: f64) {}
+
+    /// No-op span probe.
+    #[inline(always)]
+    pub fn span(_name: &'static str) -> SpanGuard {
+        SpanGuard
+    }
+
+    /// No-op histogram timer probe.
+    #[inline(always)]
+    pub fn time_histogram(_idx: usize) -> TimerGuard {
+        TimerGuard
+    }
+
+    /// No-op verdict probe.
+    #[inline(always)]
+    pub fn verdict(_v: &MobilityVerdict) {}
+
+    /// Inert stand-in for a batch worker's recording context.
+    #[derive(Debug)]
+    pub struct WorkerObs;
+
+    impl WorkerObs {
+        /// Inert context.
+        #[inline(always)]
+        pub fn new(_observing: bool) -> WorkerObs {
+            WorkerObs
+        }
+
+        /// Runs `f` directly.
+        #[inline(always)]
+        pub fn run<R>(self, f: impl FnOnce() -> R) -> (R, WorkerObs) {
+            (f(), WorkerObs)
+        }
+
+        /// No-op merge.
+        #[inline(always)]
+        pub fn absorb_into_current(&self) {}
+    }
+}
+
+#[cfg(feature = "obs")]
+pub use enabled::*;
+
+#[cfg(not(feature = "obs"))]
+pub use disabled::*;

@@ -9,6 +9,7 @@
 
 use crate::detector::{assess, DetectorConfig, MobilityVerdict};
 use crate::material::MaterialFeatures;
+use crate::obs;
 use crate::model::{extract_observation, AntennaObservation, ExtractConfig, ExtractError};
 use crate::solver::{
     solve_2d_seeded, SolveError, SolveSeeds, SolverConfig, SolverWorkspace, TagEstimate2D,
@@ -255,6 +256,9 @@ impl RfPrism {
         seeds: &SolveSeeds,
         workspace: &mut SolverWorkspace,
     ) -> Result<SensingResult, SenseError> {
+        let _sense_span = obs::span("sense");
+        let _sense_timer = obs::time_histogram(obs::id::SENSE_LATENCY_US);
+        obs::counter_add(obs::id::PIPELINE_WINDOWS_TOTAL, 1);
         if reads_per_antenna.len() != self.poses.len() {
             return Err(SenseError::AntennaCountMismatch {
                 expected: self.poses.len(),
@@ -263,17 +267,22 @@ impl RfPrism {
         }
         let mut observations = Vec::with_capacity(self.poses.len());
         let mut first_error = None;
-        for (pose, reads) in self.poses.iter().zip(reads_per_antenna) {
-            match extract_observation(*pose, reads, &self.config.extract) {
-                Ok(obs) => observations.push(obs),
-                Err(e) => {
-                    if first_error.is_none() {
-                        first_error = Some(e);
+        {
+            let _extract_span = obs::span("extract");
+            for (pose, reads) in self.poses.iter().zip(reads_per_antenna) {
+                match extract_observation(*pose, reads, &self.config.extract) {
+                    Ok(obs) => observations.push(obs),
+                    Err(e) => {
+                        obs::counter_add(obs::id::PIPELINE_EXTRACT_FAILURES, 1);
+                        if first_error.is_none() {
+                            first_error = Some(e);
+                        }
                     }
                 }
             }
         }
         if observations.len() < 3 {
+            obs::counter_add(obs::id::PIPELINE_WINDOWS_TOO_FEW_OBS, 1);
             return Err(SenseError::TooFewObservations {
                 usable: observations.len(),
                 first_error,
@@ -281,13 +290,16 @@ impl RfPrism {
         }
 
         let verdict = assess(&observations, &self.config.detector);
+        obs::verdict(&verdict);
         if self.config.reject_moving {
             if let MobilityVerdict::Moving { worst_residual_std } = verdict {
+                obs::counter_add(obs::id::PIPELINE_WINDOWS_MOVING_REJECTED, 1);
                 return Err(SenseError::TagMoving { worst_residual_std });
             }
         }
 
         let estimate = solve_2d_seeded(&observations, seeds, &self.config.solver, workspace)?;
+        obs::counter_add(obs::id::PIPELINE_WINDOWS_OK, 1);
         Ok(SensingResult { estimate, observations, verdict })
     }
 }
@@ -438,6 +450,9 @@ impl RfPrism {
         workspace: &mut SolverWorkspace,
     ) -> Result<SensingResult, SenseError> {
         use rfp_geom::angle;
+        let _sense_span = obs::span("sense_rounds");
+        let _sense_timer = obs::time_histogram(obs::id::SENSE_LATENCY_US);
+        obs::counter_add(obs::id::PIPELINE_WINDOWS_TOTAL, 1);
         let mut per_round: Vec<Vec<AntennaObservation>> = Vec::new();
         let mut last_moving: Option<f64> = None;
         for reads in rounds {
@@ -447,22 +462,26 @@ impl RfPrism {
                     got: reads.len(),
                 });
             }
+            let _extract_span = obs::span("extract");
             let mut observations = Vec::with_capacity(self.poses.len());
             let mut complete = true;
             for (pose, r) in self.poses.iter().zip(reads) {
                 match extract_observation(*pose, r, &self.config.extract) {
                     Ok(o) => observations.push(o),
                     Err(_) => {
+                        obs::counter_add(obs::id::PIPELINE_EXTRACT_FAILURES, 1);
                         complete = false;
                         break;
                     }
                 }
             }
             if !complete {
+                obs::counter_add(obs::id::PIPELINE_ROUNDS_SKIPPED, 1);
                 continue;
             }
             match assess(&observations, &self.config.detector) {
                 MobilityVerdict::Moving { worst_residual_std } if self.config.reject_moving => {
+                    obs::counter_add(obs::id::PIPELINE_ROUNDS_SKIPPED, 1);
                     last_moving = Some(worst_residual_std);
                 }
                 _ => per_round.push(observations),
@@ -470,8 +489,10 @@ impl RfPrism {
         }
         if per_round.is_empty() {
             if let Some(worst_residual_std) = last_moving {
+                obs::counter_add(obs::id::PIPELINE_WINDOWS_MOVING_REJECTED, 1);
                 return Err(SenseError::TagMoving { worst_residual_std });
             }
+            obs::counter_add(obs::id::PIPELINE_WINDOWS_TOO_FEW_OBS, 1);
             return Err(SenseError::TooFewObservations { usable: 0, first_error: None });
         }
 
@@ -486,7 +507,9 @@ impl RfPrism {
             );
         }
         let verdict = assess(&merged, &self.config.detector);
+        obs::verdict(&verdict);
         let estimate = solve_2d_seeded(&merged, seeds, &self.config.solver, workspace)?;
+        obs::counter_add(obs::id::PIPELINE_WINDOWS_OK, 1);
         Ok(SensingResult { estimate, observations: merged, verdict })
     }
 }

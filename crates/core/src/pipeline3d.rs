@@ -8,6 +8,7 @@
 
 use crate::detector::{assess, DetectorConfig, MobilityVerdict};
 use crate::model::{extract_observation, AntennaObservation, ExtractConfig, ExtractError};
+use crate::obs;
 use crate::solver3d::{
     solve_3d_seeded, Solve3DError, Solve3DSeeds, Solver3DConfig, Solver3DWorkspace,
     TagEstimate3D,
@@ -171,6 +172,9 @@ impl RfPrism3D {
         seeds: &Solve3DSeeds,
         workspace: &mut Solver3DWorkspace,
     ) -> Result<Sensing3DResult, Sense3DError> {
+        let _sense_span = obs::span("sense_3d");
+        let _sense_timer = obs::time_histogram(obs::id::SENSE_LATENCY_US);
+        obs::counter_add(obs::id::PIPELINE_WINDOWS_TOTAL, 1);
         if reads_per_antenna.len() != self.poses.len() {
             return Err(Sense3DError::AntennaCountMismatch {
                 expected: self.poses.len(),
@@ -179,29 +183,37 @@ impl RfPrism3D {
         }
         let mut observations = Vec::with_capacity(self.poses.len());
         let mut first_error = None;
-        for (pose, reads) in self.poses.iter().zip(reads_per_antenna) {
-            match extract_observation(*pose, reads, &self.config.extract) {
-                Ok(o) => observations.push(o),
-                Err(e) => {
-                    if first_error.is_none() {
-                        first_error = Some(e);
+        {
+            let _extract_span = obs::span("extract");
+            for (pose, reads) in self.poses.iter().zip(reads_per_antenna) {
+                match extract_observation(*pose, reads, &self.config.extract) {
+                    Ok(o) => observations.push(o),
+                    Err(e) => {
+                        obs::counter_add(obs::id::PIPELINE_EXTRACT_FAILURES, 1);
+                        if first_error.is_none() {
+                            first_error = Some(e);
+                        }
                     }
                 }
             }
         }
         if observations.len() < 4 {
+            obs::counter_add(obs::id::PIPELINE_WINDOWS_TOO_FEW_OBS, 1);
             return Err(Sense3DError::TooFewObservations {
                 usable: observations.len(),
                 first_error,
             });
         }
         let verdict = assess(&observations, &self.config.detector);
+        obs::verdict(&verdict);
         if self.config.reject_moving {
             if let MobilityVerdict::Moving { worst_residual_std } = verdict {
+                obs::counter_add(obs::id::PIPELINE_WINDOWS_MOVING_REJECTED, 1);
                 return Err(Sense3DError::TagMoving { worst_residual_std });
             }
         }
         let estimate = solve_3d_seeded(&observations, seeds, &self.config.solver, workspace)?;
+        obs::counter_add(obs::id::PIPELINE_WINDOWS_OK, 1);
         Ok(Sensing3DResult { estimate, observations, verdict })
     }
 

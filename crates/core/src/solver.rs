@@ -33,6 +33,7 @@
 //! recomputing `dist(Aᵢ, seed)` and `θ_orient(Aᵢ, α₀)` from scratch.
 
 use crate::model::AntennaObservation;
+use crate::obs;
 use rfp_geom::{angle, AntennaPose, Region2, Vec2, Vec3};
 use rfp_phys::polarization::{orientation_phase, planar_dipole, projection_magnitude};
 use rfp_phys::propagation;
@@ -328,6 +329,9 @@ pub fn solve_2d_seeded(
     if observations.len() < 3 {
         return Err(SolveError::TooFewAntennas { provided: observations.len() });
     }
+    let _solve_span = obs::span("solve_2d");
+    let _solve_timer = obs::time_histogram(obs::id::SOLVE_LATENCY_US);
+    let stats_before = if obs::active() { Some(workspace.lm.stats_snapshot()) } else { None };
     let n_obs = observations.len();
     let geometry = seeds.geometry.as_ref().filter(|g| g.matches(observations));
     let SolverWorkspace {
@@ -362,6 +366,7 @@ pub fn solve_2d_seeded(
 
     // Stage 1: slope-only position solve.
     position_candidates.clear();
+    let stage1_span = obs::span("stage1_slope");
     for (s, &seed_pos) in seeds.position_starts.iter().enumerate() {
         let kt0 = match geometry {
             Some(g) => {
@@ -380,6 +385,7 @@ pub fn solve_2d_seeded(
         position_candidates.push((p, cost));
     }
     position_candidates.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite costs"));
+    drop(stage1_span);
     // Keep the best in-region candidates by index (the overall best, at
     // index 0 after the sort, is the backup if none stayed inside).
     let mut stage1 = [0usize; 2];
@@ -430,6 +436,7 @@ pub fn solve_2d_seeded(
         // ranking — otherwise they crowd truth out of the refinement
         // short-list entirely.
         alpha_ranked.clear();
+        let alpha_span = obs::span("alpha_scan");
         for a in 0..alpha_steps {
             let alpha0 = std::f64::consts::PI * a as f64 / alpha_steps as f64;
             let (orow, prow): (&[f64], &[f64]) = match geometry {
@@ -462,6 +469,8 @@ pub fn solve_2d_seeded(
             alpha_ranked.push((alpha0, bt0, cost));
         }
         alpha_ranked.sort_by(|a, b| a.2.partial_cmp(&b.2).expect("finite costs"));
+        drop(alpha_span);
+        let _refine_span = obs::span("joint_refine");
         for &(alpha0, bt0, _) in alpha_ranked.iter().take(4) {
             let p0 = vec![cx, cy, alpha0, ckt, bt0];
             let (p, cost) = refine_joint_2d(lm, observations, config, p0);
@@ -487,6 +496,19 @@ pub fn solve_2d_seeded(
 
     let (best_idx, _) = best_inside.or(best_any).expect("at least one start");
     let (p, cost) = refined.swap_remove(best_idx);
+    if let Some(before) = stats_before {
+        let after = workspace.lm.stats_snapshot();
+        obs::counter_add(obs::id::SOLVER2D_SOLVES, 1);
+        obs::counter_add(obs::id::SOLVER2D_ITERATIONS, after.iterations - before.iterations);
+        obs::counter_add(
+            obs::id::SOLVER2D_RESIDUAL_EVALS,
+            after.residual_evals - before.residual_evals,
+        );
+        obs::counter_add(
+            obs::id::SOLVER2D_JACOBIAN_EVALS,
+            after.jacobian_evals - before.jacobian_evals,
+        );
+    }
     let n_res = 2 * observations.len();
     let (position_std_m, orientation_std_rad, position_cov) =
         estimate_uncertainty(observations, &p, config);
@@ -952,6 +974,14 @@ impl LmWorkspace {
     /// resets them to zero.
     pub fn take_stats(&mut self) -> SolveStats {
         std::mem::take(&mut self.stats)
+    }
+
+    /// Peeks at the accumulated work counters without resetting them —
+    /// the instrumentation layer diffs two snapshots around a solve to
+    /// report per-solve counts while leaving [`LmWorkspace::take_stats`]
+    /// semantics untouched for existing callers.
+    pub(crate) fn stats_snapshot(&self) -> SolveStats {
+        self.stats
     }
 }
 

@@ -12,6 +12,7 @@
 //! the same numeric fallback knob.
 
 use crate::model::AntennaObservation;
+use crate::obs;
 use crate::solver::{
     levenberg_marquardt_analytic_with, levenberg_marquardt_with, rssi_pattern_penalty,
     rssi_penalty_precomputed, JacobianMode, LmWorkspace, SolveStats,
@@ -467,6 +468,9 @@ pub fn solve_3d_seeded(
     if observations.len() < 4 {
         return Err(Solve3DError::TooFewAntennas { provided: observations.len() });
     }
+    let _solve_span = obs::span("solve_3d");
+    let _solve_timer = obs::time_histogram(obs::id::SOLVE_LATENCY_US);
+    let stats_before = if obs::active() { Some(workspace.lm.stats_snapshot()) } else { None };
     let n_obs = observations.len();
     let geometry = seeds.geometry.as_ref().filter(|g| g.matches(observations));
     let Solver3DWorkspace {
@@ -588,6 +592,7 @@ pub fn solve_3d_seeded(
             dists.push(d);
         }
         dipole_ranked.clear();
+        let dipole_span = obs::span("dipole_scan");
         for ti in 0..rings {
             // Polar rings from near-pole to equator.
             let theta = std::f64::consts::FRAC_PI_2 * (ti as f64 + 0.5) / rings as f64;
@@ -630,6 +635,8 @@ pub fn solve_3d_seeded(
             }
         }
         dipole_ranked.sort_by(|a, b| a.3.partial_cmp(&b.3).expect("finite costs"));
+        drop(dipole_span);
+        let _refine_span = obs::span("joint_refine");
         for &(theta, phi, bt0, _) in dipole_ranked.iter().take(3) {
             let p0 = vec![cx, cy, cz, theta, phi, ckt, bt0];
             let (p, cost) = refine_joint_3d(lm, observations, config, p0);
@@ -651,6 +658,19 @@ pub fn solve_3d_seeded(
 
     let (best_idx, _) = best_inside.or(best_any).expect("at least one start");
     let (p, cost) = refined.swap_remove(best_idx);
+    if let Some(before) = stats_before {
+        let after = workspace.lm.stats_snapshot();
+        obs::counter_add(obs::id::SOLVER3D_SOLVES, 1);
+        obs::counter_add(obs::id::SOLVER3D_ITERATIONS, after.iterations - before.iterations);
+        obs::counter_add(
+            obs::id::SOLVER3D_RESIDUAL_EVALS,
+            after.residual_evals - before.residual_evals,
+        );
+        obs::counter_add(
+            obs::id::SOLVER3D_JACOBIAN_EVALS,
+            after.jacobian_evals - before.jacobian_evals,
+        );
+    }
     let mut dipole = dipole_from_angles(p[3], p[4]);
     if dipole.z < 0.0 {
         dipole = -dipole;

@@ -1,0 +1,227 @@
+//! Nested span timing: a tree of named stages with accumulated monotonic
+//! durations.
+//!
+//! A span is entered with [`SpanTree::enter`] and exited with
+//! [`SpanTree::exit`]; nesting follows the call stack, so the tree mirrors
+//! the pipeline's stage structure (`sense` → `extract` → `solve_2d` →
+//! `joint_refine`, …). Repeated entries of the same stage under the same
+//! parent **accumulate** into one node — the tree's size is bounded by the
+//! number of distinct stage paths, not by the number of calls, so the
+//! buffer stops allocating once every path has been seen once.
+//!
+//! The ergonomic way in is the guard-based API on the thread-local
+//! recorder ([`crate::recorder::span`] / the [`crate::span!`] macro);
+//! this module is the underlying data structure.
+
+use std::time::Duration;
+
+/// One aggregated stage in the span tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanNode {
+    /// Stage name as given to `enter`.
+    pub name: &'static str,
+    /// Parent node index (`None` for top-level stages).
+    pub parent: Option<usize>,
+    /// Child node indices, in first-entry order.
+    pub children: Vec<usize>,
+    /// Total time spent inside this stage, nanoseconds (all entries).
+    pub total_ns: u64,
+    /// Number of times the stage was entered and exited.
+    pub count: u64,
+}
+
+/// The aggregated span forest of one recorder. Node 0 does not exist as a
+/// sentinel — top-level stages are listed in [`SpanTree::roots`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SpanTree {
+    nodes: Vec<SpanNode>,
+    roots: Vec<usize>,
+    /// Indices of the currently-open spans, outermost first.
+    stack: Vec<usize>,
+}
+
+impl SpanTree {
+    /// An empty tree.
+    pub fn new() -> Self {
+        SpanTree::default()
+    }
+
+    /// All nodes, in first-entry order (indices are stable).
+    pub fn nodes(&self) -> &[SpanNode] {
+        &self.nodes
+    }
+
+    /// Indices of the top-level stages, in first-entry order.
+    pub fn roots(&self) -> &[usize] {
+        &self.roots
+    }
+
+    /// Index of the innermost currently-open span, if any.
+    pub fn current(&self) -> Option<usize> {
+        self.stack.last().copied()
+    }
+
+    /// Opens stage `name` under the currently-open span (or at top level),
+    /// reusing the node if this path has been seen before. Returns the
+    /// node index, to be passed back to [`SpanTree::exit`].
+    pub fn enter(&mut self, name: &'static str) -> usize {
+        let parent = self.current();
+        let idx = self.find_or_create(parent, name);
+        self.stack.push(idx);
+        idx
+    }
+
+    /// Closes span `idx`, crediting it with `elapsed`. Defensive against
+    /// mismatched exits (a guard outliving a recorder swap): only the
+    /// innermost open span can be closed; anything else is ignored.
+    pub fn exit(&mut self, idx: usize, elapsed: Duration) {
+        if self.stack.last() == Some(&idx) {
+            self.stack.pop();
+            let node = &mut self.nodes[idx];
+            node.total_ns += elapsed.as_nanos().min(u64::MAX as u128) as u64;
+            node.count += 1;
+        }
+    }
+
+    fn find_or_create(&mut self, parent: Option<usize>, name: &'static str) -> usize {
+        let siblings = match parent {
+            Some(p) => &self.nodes[p].children,
+            None => &self.roots,
+        };
+        if let Some(&idx) = siblings.iter().find(|&&i| self.nodes[i].name == name) {
+            return idx;
+        }
+        let idx = self.nodes.len();
+        self.nodes.push(SpanNode { name, parent, children: Vec::new(), total_ns: 0, count: 0 });
+        match parent {
+            Some(p) => self.nodes[p].children.push(idx),
+            None => self.roots.push(idx),
+        }
+        idx
+    }
+
+    /// Adds `total_ns`/`count` directly to the stage `name` under `parent`
+    /// (creating it if needed) without touching the open-span stack — the
+    /// merge primitive.
+    fn credit(&mut self, parent: Option<usize>, name: &'static str, total_ns: u64, count: u64) -> usize {
+        let idx = self.find_or_create(parent, name);
+        self.nodes[idx].total_ns += total_ns;
+        self.nodes[idx].count += count;
+        idx
+    }
+
+    /// Grafts another tree's stages under `at` (or at top level when
+    /// `None`), accumulating into existing same-named stages. Other's
+    /// top-level stages become children of `at`; the structure below them
+    /// is preserved. Merging is pure addition, so merging per-worker trees
+    /// in a fixed order is deterministic in structure and counts (the
+    /// timings themselves are wall-clock and vary run to run).
+    pub fn merge_at(&mut self, at: Option<usize>, other: &SpanTree) {
+        for &root in &other.roots {
+            self.merge_node(at, other, root);
+        }
+    }
+
+    fn merge_node(&mut self, parent: Option<usize>, other: &SpanTree, idx: usize) {
+        let node = &other.nodes[idx];
+        let here = self.credit(parent, node.name, node.total_ns, node.count);
+        for &child in &node.children {
+            self.merge_node(Some(here), other, child);
+        }
+    }
+
+    /// Depth-first walk in first-entry order, calling `f(depth, node)` —
+    /// the traversal every sink uses, so all outputs agree on ordering.
+    pub fn walk<F: FnMut(usize, &SpanNode)>(&self, f: &mut F) {
+        fn rec<F: FnMut(usize, &SpanNode)>(t: &SpanTree, idx: usize, depth: usize, f: &mut F) {
+            f(depth, &t.nodes[idx]);
+            for &c in &t.nodes[idx].children {
+                rec(t, c, depth + 1, f);
+            }
+        }
+        for &r in &self.roots {
+            rec(self, r, 0, f);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(n: u64) -> Duration {
+        Duration::from_millis(n)
+    }
+
+    #[test]
+    fn nesting_builds_paths_and_repeats_accumulate() {
+        let mut t = SpanTree::new();
+        for _ in 0..3 {
+            let outer = t.enter("sense");
+            let inner = t.enter("extract");
+            t.exit(inner, ms(1));
+            let inner = t.enter("solve");
+            t.exit(inner, ms(2));
+            t.exit(outer, ms(4));
+        }
+        // Three iterations collapse into one 3-node tree.
+        assert_eq!(t.nodes().len(), 3);
+        let mut seen = Vec::new();
+        t.walk(&mut |depth, node| seen.push((depth, node.name, node.count, node.total_ns)));
+        assert_eq!(
+            seen,
+            vec![
+                (0, "sense", 3, 3 * 4_000_000),
+                (1, "extract", 3, 3 * 1_000_000),
+                (1, "solve", 3, 3 * 2_000_000),
+            ]
+        );
+    }
+
+    #[test]
+    fn same_name_under_different_parents_is_distinct() {
+        let mut t = SpanTree::new();
+        let a = t.enter("a");
+        let fit = t.enter("fit");
+        t.exit(fit, ms(1));
+        t.exit(a, ms(1));
+        let b = t.enter("b");
+        let fit = t.enter("fit");
+        t.exit(fit, ms(1));
+        t.exit(b, ms(1));
+        assert_eq!(t.nodes().len(), 4);
+        assert_eq!(t.roots().len(), 2);
+    }
+
+    #[test]
+    fn mismatched_exit_is_ignored() {
+        let mut t = SpanTree::new();
+        let outer = t.enter("outer");
+        let inner = t.enter("inner");
+        t.exit(outer, ms(5)); // wrong: inner still open
+        assert_eq!(t.nodes()[outer].count, 0);
+        t.exit(inner, ms(1));
+        t.exit(outer, ms(5));
+        assert_eq!(t.nodes()[outer].count, 1);
+    }
+
+    #[test]
+    fn merge_grafts_under_target() {
+        let mut main = SpanTree::new();
+        let batch = main.enter("batch");
+        let mut worker = SpanTree::new();
+        let s = worker.enter("sense");
+        let e = worker.enter("extract");
+        worker.exit(e, ms(1));
+        worker.exit(s, ms(2));
+        main.merge_at(Some(batch), &worker);
+        main.merge_at(Some(batch), &worker); // second worker, same shape
+        main.exit(batch, ms(10));
+        let mut seen = Vec::new();
+        main.walk(&mut |depth, node| seen.push((depth, node.name, node.count)));
+        assert_eq!(
+            seen,
+            vec![(0, "batch", 1), (1, "sense", 2), (2, "extract", 2)]
+        );
+    }
+}

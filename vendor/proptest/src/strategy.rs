@@ -167,7 +167,7 @@ pub mod collection {
         VecStrategy { element, size }
     }
 
-    /// See [`vec`].
+    /// See [`vec()`].
     #[derive(Debug, Clone, Copy)]
     pub struct VecStrategy<S, Z> {
         element: S,
