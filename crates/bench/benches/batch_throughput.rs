@@ -14,6 +14,7 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rfp_bench::{report, setup};
+use rfp_core::WarmStart;
 use rfp_geom::Vec2;
 use rfp_obs::JsonValue;
 use rfp_phys::Material;
@@ -79,6 +80,36 @@ fn main() {
         ]));
     }
 
+    // Steady state: every tag warm-started from its previous estimate —
+    // the regime of a deployment re-reading the same inventory each round.
+    report::section("warm-started steady state (tags/second, best of 3 passes)");
+    let warms: Vec<Option<WarmStart>> = prism
+        .sense_batch_with(&cache, &tags, 1)
+        .iter()
+        .map(|r| r.as_ref().ok().map(|res| WarmStart::from_estimate(&res.estimate)))
+        .collect();
+    let mut warm_rows: Vec<JsonValue> = Vec::new();
+    for jobs in JOB_LEVELS {
+        let mut best_secs = f64::INFINITY;
+        for _ in 0..REPEATS {
+            let t0 = Instant::now();
+            black_box(prism.sense_batch_warm(&cache, &tags, &warms, jobs));
+            best_secs = best_secs.min(t0.elapsed().as_secs_f64());
+        }
+        let rate = TAGS as f64 / best_secs;
+        println!(
+            "  jobs {jobs}   {rate:>8.1} tags/s   {:>8.2} ms/batch   vs cold ×{:.2}",
+            best_secs * 1e3,
+            rate / base_rate
+        );
+        let round1 = |x: f64| (x * 10.0).round() / 10.0;
+        warm_rows.push(JsonValue::obj(vec![
+            ("jobs", JsonValue::Num(jobs as f64)),
+            ("tags_per_sec", JsonValue::Num(round1(rate))),
+            ("batch_ms", JsonValue::Num(round1(best_secs * 1e3))),
+        ]));
+    }
+
     let value = rfp_obs::report::snapshot(
         "batch_throughput",
         vec![
@@ -92,6 +123,7 @@ fn main() {
                 )]),
             ),
             ("levels", JsonValue::Arr(rows)),
+            ("warm_levels", JsonValue::Arr(warm_rows)),
         ],
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_batch.json");

@@ -1,25 +1,39 @@
-//! Solver profile: what one disentangling solve costs, and what the
-//! analytic Jacobian buys over the numeric fallback (DESIGN.md §6).
+//! Solver profile: what one disentangling solve costs, what the analytic
+//! Jacobian buys over the numeric fallback, and what coarse-to-fine seed
+//! pruning plus warm starts buy over the exhaustive multi-start scan
+//! (DESIGN.md §6).
 //!
 //! For the 2-D (5-parameter) and 3-D (7-parameter) solves this reports,
-//! per [`JacobianMode`], the single-solve p50 latency and the LM work
+//! per configuration, the single-solve p50 latency and the LM work
 //! counters ([`SolveStats`]): residual-vector evaluations, Jacobian
 //! evaluations and iterations. The numeric core charges its
 //! central-difference sweeps (2 per parameter per iteration) to
 //! `residual_evals` — exactly the cost the fused analytic evaluation
-//! removes, so the eval ratio is the machine-independent half of the
-//! story and the p50 the machine-dependent half.
+//! removes — and the seed accounting ([`PruneStats`]) shows how many
+//! multi-start seeds each configuration actually refined.
 //!
-//! Writes a `BENCH_solver.json` snapshot at the repo root so the solver
-//! perf trajectory is recorded PR over PR.
+//! Four configurations per dimension:
+//!
+//! * `analytic`  — the defaults: analytic Jacobian, pruned seed beam;
+//! * `numeric`   — numeric Jacobian, pruned seed beam;
+//! * `exhaustive` — analytic Jacobian, every seed refined (the pre-pruning
+//!   behaviour, bit-for-bit);
+//! * `warm`      — analytic defaults, warm-started from the previous
+//!   solve's estimate (the steady-state regime of a live deployment).
+//!
+//! Writes a `BENCH_solver.json` snapshot at the repo root (override the
+//! path with `SOLVER_PROFILE_OUT`) so the solver perf trajectory is
+//! recorded PR over PR; `scripts/bench_gate` regenerates it with
+//! `SOLVER_PROFILE_QUICK=1` (fewer repeats) and fails CI on regression.
 
 use rfp_bench::report;
 use rfp_core::model::{extract_observation, AntennaObservation, ExtractConfig};
 use rfp_core::solver::{
-    solve_2d_seeded, JacobianMode, SolveSeeds, SolveStats, SolverConfig, SolverWorkspace,
+    solve_2d_seeded_warm, JacobianMode, PruneStats, SolveSeeds, SolveStats, SolverConfig,
+    SolverWorkspace, WarmStart,
 };
 use rfp_core::solver3d::{
-    solve_3d_seeded, Solve3DSeeds, Solver3DConfig, Solver3DWorkspace,
+    solve_3d_seeded_warm, Solve3DSeeds, Solver3DConfig, Solver3DWorkspace, WarmStart3D,
 };
 use rfp_geom::Vec2;
 use rfp_obs::JsonValue;
@@ -33,27 +47,37 @@ use std::time::Instant;
 struct Profile {
     p50_us: f64,
     stats: SolveStats,
+    prune: PruneStats,
+}
+
+/// `SOLVER_PROFILE_QUICK=1` trims the repeat counts so the CI perf gate
+/// finishes in seconds; p50 over fewer samples is noisier but stable
+/// enough for a 15% regression threshold.
+fn quick_mode() -> bool {
+    std::env::var("SOLVER_PROFILE_QUICK")
+        .map(|v| !v.is_empty() && v != "0")
+        .unwrap_or(false)
 }
 
 /// Times `solve` over `repeats` runs (after `warmup` unrecorded runs) and
-/// returns the p50 latency with the per-solve [`SolveStats`] of the final
-/// run.
+/// returns the p50 latency with the per-solve counters of the final run.
 fn profile<F>(mut solve: F, warmup: usize, repeats: usize) -> Profile
 where
-    F: FnMut() -> SolveStats,
+    F: FnMut() -> (SolveStats, PruneStats),
 {
     for _ in 0..warmup {
         solve();
     }
     let mut samples_us = Vec::with_capacity(repeats);
     let mut stats = SolveStats::default();
+    let mut prune = PruneStats::default();
     for _ in 0..repeats {
         let t0 = Instant::now();
-        stats = solve();
+        (stats, prune) = solve();
         samples_us.push(t0.elapsed().as_secs_f64() * 1e6);
     }
     samples_us.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
-    Profile { p50_us: samples_us[samples_us.len() / 2], stats }
+    Profile { p50_us: samples_us[samples_us.len() / 2], stats, prune }
 }
 
 fn observations_2d(scene: &Scene) -> Vec<AntennaObservation> {
@@ -85,58 +109,71 @@ fn observations_3d(scene: &Scene) -> Vec<AntennaObservation> {
         .collect()
 }
 
-fn profile_2d(mode: JacobianMode) -> Profile {
+/// Profiles one 2-D configuration; `warm_from_self` re-seeds each solve
+/// from its own converged estimate (the steady-state warm-start regime).
+fn profile_2d(config: SolverConfig, warm_from_self: bool) -> Profile {
     let scene = Scene::standard_2d();
     let obs = observations_2d(&scene);
-    let config = SolverConfig { jacobian: mode, ..SolverConfig::default() };
     let seeds = SolveSeeds::for_scene(scene.region(), &config, &scene.antenna_poses());
     let mut ws = SolverWorkspace::default();
+    let warm = warm_from_self.then(|| {
+        let est = solve_2d_seeded_warm(&obs, &seeds, &config, &mut ws, None).expect("solvable");
+        WarmStart::from_estimate(&est)
+    });
+    let (warmup, repeats) = if quick_mode() { (5, 50) } else { (20, 200) };
     profile(
         || {
+            let (s0, p0) = (ws.stats(), ws.prune_stats());
             black_box(
-                solve_2d_seeded(black_box(&obs), &seeds, &config, &mut ws)
+                solve_2d_seeded_warm(black_box(&obs), &seeds, &config, &mut ws, warm.as_ref())
                     .expect("solvable"),
             );
-            ws.take_stats()
+            (ws.stats().since(s0), ws.prune_stats().since(p0))
         },
-        20,
-        200,
+        warmup,
+        repeats,
     )
 }
 
-fn profile_3d(mode: JacobianMode) -> Profile {
+/// Profiles one 3-D configuration (see [`profile_2d`]).
+fn profile_3d(config: Solver3DConfig, warm_from_self: bool) -> Profile {
     let scene = Scene::six_antenna_3d();
     let obs = observations_3d(&scene);
-    let config = Solver3DConfig { jacobian: mode, ..Solver3DConfig::default() };
     let seeds =
         Solve3DSeeds::for_scene(scene.region(), (0.0, 1.5), &config, &scene.antenna_poses());
     let mut ws = Solver3DWorkspace::default();
+    let warm = warm_from_self.then(|| {
+        let est = solve_3d_seeded_warm(&obs, &seeds, &config, &mut ws, None).expect("solvable");
+        WarmStart3D::from_estimate(&est)
+    });
+    let (warmup, repeats) = if quick_mode() { (2, 20) } else { (5, 60) };
     profile(
         || {
+            let (s0, p0) = (ws.stats(), ws.prune_stats());
             black_box(
-                solve_3d_seeded(black_box(&obs), &seeds, &config, &mut ws)
+                solve_3d_seeded_warm(black_box(&obs), &seeds, &config, &mut ws, warm.as_ref())
                     .expect("solvable"),
             );
-            ws.take_stats()
+            (ws.stats().since(s0), ws.prune_stats().since(p0))
         },
-        5,
-        60,
+        warmup,
+        repeats,
     )
 }
 
-fn print_rows(label: &str, analytic: Profile, numeric: Profile) {
+fn print_rows(label: &str, rows: &[(&str, Profile)]) {
     report::section(label);
-    for (name, p) in [("analytic", analytic), ("numeric", numeric)] {
+    for (name, p) in rows {
         println!(
-            "  {name:<10} p50 {:>9.1} µs   residual evals {:>6}   jacobian evals {:>5}   iterations {:>5}",
-            p.p50_us, p.stats.residual_evals, p.stats.jacobian_evals, p.stats.iterations
+            "  {name:<10} p50 {:>9.1} µs   residual evals {:>6}   jacobian evals {:>5}   iterations {:>5}   seeds {:>3}/{:<3}",
+            p.p50_us,
+            p.stats.residual_evals,
+            p.stats.jacobian_evals,
+            p.stats.iterations,
+            p.prune.seeds_refined,
+            p.prune.seeds_total,
         );
     }
-    println!(
-        "  speedup p50 ×{:.2}   residual-eval ratio ×{:.2}",
-        numeric.p50_us / analytic.p50_us,
-        numeric.stats.residual_evals as f64 / analytic.stats.residual_evals as f64
-    );
 }
 
 fn json_entry(p: Profile) -> JsonValue {
@@ -145,26 +182,48 @@ fn json_entry(p: Profile) -> JsonValue {
         ("residual_evals", JsonValue::Num(p.stats.residual_evals as f64)),
         ("jacobian_evals", JsonValue::Num(p.stats.jacobian_evals as f64)),
         ("iterations", JsonValue::Num(p.stats.iterations as f64)),
+        ("seeds_total", JsonValue::Num(p.prune.seeds_total as f64)),
+        ("seeds_refined", JsonValue::Num(p.prune.seeds_refined as f64)),
+        ("warm_start_hits", JsonValue::Num(p.prune.warm_start_hits as f64)),
     ])
 }
 
-fn mode_pair(analytic: Profile, numeric: Profile) -> JsonValue {
+/// One dimension's profiles: the pruned analytic defaults (`analytic`),
+/// the pruned numeric fallback, the exhaustive scan and the warm-started
+/// steady state.
+#[derive(Clone, Copy)]
+struct DimProfiles {
+    analytic: Profile,
+    numeric: Profile,
+    exhaustive: Profile,
+    warm: Profile,
+}
+
+fn dim_json(d: DimProfiles) -> JsonValue {
     let round2 = |x: f64| (x * 100.0).round() / 100.0;
     JsonValue::obj(vec![
-        ("analytic", json_entry(analytic)),
-        ("numeric", json_entry(numeric)),
-        ("p50_speedup", JsonValue::Num(round2(numeric.p50_us / analytic.p50_us))),
+        ("analytic", json_entry(d.analytic)),
+        ("numeric", json_entry(d.numeric)),
+        ("exhaustive", json_entry(d.exhaustive)),
+        ("warm", json_entry(d.warm)),
+        ("p50_speedup", JsonValue::Num(round2(d.numeric.p50_us / d.analytic.p50_us))),
         (
             "residual_eval_ratio",
             JsonValue::Num(round2(
-                numeric.stats.residual_evals as f64 / analytic.stats.residual_evals as f64,
+                d.numeric.stats.residual_evals as f64 / d.analytic.stats.residual_evals as f64,
             )),
         ),
+        (
+            "prune_speedup",
+            JsonValue::Num(round2(d.exhaustive.p50_us / d.analytic.p50_us)),
+        ),
+        ("warm_speedup", JsonValue::Num(round2(d.exhaustive.p50_us / d.warm.p50_us))),
     ])
 }
 
-fn write_snapshot(a2: Profile, n2: Profile, a3: Profile, n3: Profile) {
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_solver.json");
+fn write_snapshot(d2: DimProfiles, d3: DimProfiles) {
+    let default_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_solver.json");
+    let path = std::env::var("SOLVER_PROFILE_OUT").unwrap_or_else(|_| default_path.to_string());
     let value = rfp_obs::report::snapshot(
         "solver_profile",
         vec![
@@ -178,41 +237,100 @@ fn write_snapshot(a2: Profile, n2: Profile, a3: Profile, n3: Profile) {
                     ("counters", JsonValue::Str("per solve, all LM starts".into())),
                 ]),
             ),
-            ("solve_2d", mode_pair(a2, n2)),
-            ("solve_3d", mode_pair(a3, n3)),
+            ("solve_2d", dim_json(d2)),
+            ("solve_3d", dim_json(d3)),
         ],
     );
-    match rfp_obs::report::write_json(std::path::Path::new(path), &value) {
-        Ok(()) => println!("\nsnapshot written to BENCH_solver.json"),
-        Err(e) => println!("\ncould not write BENCH_solver.json: {e}"),
+    match rfp_obs::report::write_json(std::path::Path::new(&path), &value) {
+        Ok(()) => println!("\nsnapshot written to {path}"),
+        Err(e) => println!("\ncould not write {path}: {e}"),
     }
 }
 
 fn main() {
-    report::header("solver_profile", "single-solve cost, analytic vs numeric Jacobian");
+    report::header(
+        "solver_profile",
+        "single-solve cost: Jacobian mode × seed pruning × warm starts",
+    );
+    if quick_mode() {
+        println!("(quick mode: reduced repeats)");
+    }
 
-    let analytic_2d = profile_2d(JacobianMode::Analytic);
-    let numeric_2d = profile_2d(JacobianMode::Numeric);
-    print_rows("2-D (5 parameters, 3 antennas)", analytic_2d, numeric_2d);
+    let d2 = DimProfiles {
+        analytic: profile_2d(SolverConfig::default(), false),
+        numeric: profile_2d(
+            SolverConfig { jacobian: JacobianMode::Numeric, ..SolverConfig::default() },
+            false,
+        ),
+        exhaustive: profile_2d(SolverConfig::exhaustive(), false),
+        warm: profile_2d(SolverConfig::default(), true),
+    };
+    print_rows(
+        "2-D (5 parameters, 3 antennas)",
+        &[
+            ("analytic", d2.analytic),
+            ("numeric", d2.numeric),
+            ("exhaustive", d2.exhaustive),
+            ("warm", d2.warm),
+        ],
+    );
 
-    let analytic_3d = profile_3d(JacobianMode::Analytic);
-    let numeric_3d = profile_3d(JacobianMode::Numeric);
-    print_rows("3-D (7 parameters, 6 antennas)", analytic_3d, numeric_3d);
+    let d3 = DimProfiles {
+        analytic: profile_3d(Solver3DConfig::default(), false),
+        numeric: profile_3d(
+            Solver3DConfig { jacobian: JacobianMode::Numeric, ..Solver3DConfig::default() },
+            false,
+        ),
+        exhaustive: profile_3d(Solver3DConfig::exhaustive(), false),
+        warm: profile_3d(Solver3DConfig::default(), true),
+    };
+    print_rows(
+        "3-D (7 parameters, 6 antennas)",
+        &[
+            ("analytic", d3.analytic),
+            ("numeric", d3.numeric),
+            ("exhaustive", d3.exhaustive),
+            ("warm", d3.warm),
+        ],
+    );
 
-    write_snapshot(analytic_2d, numeric_2d, analytic_3d, numeric_3d);
+    for (dim, d) in [("2-D", d2), ("3-D", d3)] {
+        println!(
+            "  {dim} speedups: numeric/analytic ×{:.2}   exhaustive/pruned ×{:.2}   exhaustive/warm ×{:.2}",
+            d.numeric.p50_us / d.analytic.p50_us,
+            d.exhaustive.p50_us / d.analytic.p50_us,
+            d.exhaustive.p50_us / d.warm.p50_us,
+        );
+    }
+
+    write_snapshot(d2, d3);
 
     // The headline claim of the analytic path: at least 2× fewer residual
     // evaluations per solve, in both dimensions.
     assert!(
-        analytic_2d.stats.residual_evals * 2 <= numeric_2d.stats.residual_evals,
+        d2.analytic.stats.residual_evals * 2 <= d2.numeric.stats.residual_evals,
         "2-D analytic {} evals vs numeric {}",
-        analytic_2d.stats.residual_evals,
-        numeric_2d.stats.residual_evals
+        d2.analytic.stats.residual_evals,
+        d2.numeric.stats.residual_evals
     );
     assert!(
-        analytic_3d.stats.residual_evals * 2 <= numeric_3d.stats.residual_evals,
+        d3.analytic.stats.residual_evals * 2 <= d3.numeric.stats.residual_evals,
         "3-D analytic {} evals vs numeric {}",
-        analytic_3d.stats.residual_evals,
-        numeric_3d.stats.residual_evals
+        d3.analytic.stats.residual_evals,
+        d3.numeric.stats.residual_evals
     );
+    // And the headline claim of seed pruning: the pruned defaults are at
+    // least 2× faster than the exhaustive scan, in both dimensions.
+    for (dim, d) in [("2-D", d2), ("3-D", d3)] {
+        assert!(
+            d.analytic.p50_us * 2.0 <= d.exhaustive.p50_us,
+            "{dim} pruned p50 {:.1} µs vs exhaustive {:.1} µs — pruning must halve the solve",
+            d.analytic.p50_us,
+            d.exhaustive.p50_us
+        );
+        assert!(
+            d.warm.prune.warm_start_hits > 0,
+            "{dim} warm profile never hit the warm-start gate"
+        );
+    }
 }

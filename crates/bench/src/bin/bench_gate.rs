@@ -1,0 +1,96 @@
+//! Solver perf gate: compares a freshly measured `BENCH_solver.json`
+//! against the committed snapshot and fails (exit 1) when the default
+//! configuration's single-solve p50 regresses by more than the threshold
+//! in either dimension.
+//!
+//! ```text
+//! bench_gate <committed.json> <fresh.json> [--threshold-pct 15]
+//! ```
+//!
+//! Driven by `scripts/bench_gate`, which regenerates the fresh snapshot
+//! with `SOLVER_PROFILE_QUICK=1`. Absolute latencies vary across machines,
+//! so the gate compares two snapshots from the *same* machine — the
+//! committed file is rewritten by a full `cargo bench` run whenever the
+//! solver's perf profile changes intentionally.
+
+use rfp_obs::JsonValue;
+use std::process::ExitCode;
+
+const DEFAULT_THRESHOLD_PCT: f64 = 15.0;
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("bench_gate: {msg}");
+    ExitCode::FAILURE
+}
+
+/// Reads `<dim>.analytic.p50_us` (the default configuration) out of a
+/// solver snapshot, checking the schema envelope on the way in.
+fn p50_us(snapshot: &JsonValue, dim: &str) -> Result<f64, String> {
+    let version = snapshot
+        .get("schema_version")
+        .and_then(JsonValue::as_u64)
+        .ok_or("missing schema_version")?;
+    if version != 1 {
+        return Err(format!("unsupported schema_version {version} (expected 1)"));
+    }
+    match snapshot.get("name").and_then(JsonValue::as_str) {
+        Some("solver_profile") => {}
+        other => return Err(format!("not a solver_profile snapshot: name {other:?}")),
+    }
+    snapshot
+        .get(dim)
+        .and_then(|d| d.get("analytic"))
+        .and_then(|a| a.get("p50_us"))
+        .and_then(JsonValue::as_f64)
+        .ok_or_else(|| format!("missing {dim}.analytic.p50_us"))
+}
+
+fn load(path: &str) -> Result<JsonValue, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    JsonValue::parse(&text).map_err(|e| format!("parse {path}: {e}"))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut paths = Vec::new();
+    let mut threshold_pct = DEFAULT_THRESHOLD_PCT;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--threshold-pct" {
+            match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => threshold_pct = v,
+                None => return fail("--threshold-pct needs a number"),
+            }
+        } else {
+            paths.push(a.clone());
+        }
+    }
+    let [committed_path, fresh_path] = paths.as_slice() else {
+        return fail("usage: bench_gate <committed.json> <fresh.json> [--threshold-pct 15]");
+    };
+
+    let (committed, fresh) = match (load(committed_path), load(fresh_path)) {
+        (Ok(c), Ok(f)) => (c, f),
+        (Err(e), _) | (_, Err(e)) => return fail(&e),
+    };
+
+    let mut ok = true;
+    for dim in ["solve_2d", "solve_3d"] {
+        let (base, now) = match (p50_us(&committed, dim), p50_us(&fresh, dim)) {
+            (Ok(b), Ok(n)) => (b, n),
+            (Err(e), _) | (_, Err(e)) => return fail(&e),
+        };
+        let delta_pct = (now - base) / base * 100.0;
+        let verdict = if delta_pct > threshold_pct { "REGRESSED" } else { "ok" };
+        println!(
+            "  {dim}: committed {base:.1} µs, fresh {now:.1} µs ({delta_pct:+.1}%) — {verdict}"
+        );
+        ok &= delta_pct <= threshold_pct;
+    }
+    if ok {
+        println!("bench_gate: p50 within {threshold_pct}% of committed snapshot");
+        ExitCode::SUCCESS
+    } else {
+        fail(&format!("p50 regression beyond {threshold_pct}% threshold"))
+    }
+}

@@ -33,18 +33,22 @@ enum Output {
 }
 
 fn run_sense(args: &[String]) -> Result<Output, commands::CommandError> {
-    // `--trace` is a bare switch; split it out before the strict
-    // `--key value` parser sees the remainder.
+    // `--trace` and `--warm` are bare switches; split them out before the
+    // strict `--key value` parser sees the remainder.
     let mut trace = false;
+    let mut warm = false;
     let rest: Vec<String> = args
         .iter()
-        .filter(|a| {
-            if a.as_str() == "--trace" {
+        .filter(|a| match a.as_str() {
+            "--trace" => {
                 trace = true;
                 false
-            } else {
-                true
             }
+            "--warm" => {
+                warm = true;
+                false
+            }
+            _ => true,
         })
         .cloned()
         .collect();
@@ -68,7 +72,7 @@ fn run_sense(args: &[String]) -> Result<Output, commands::CommandError> {
         None => 1,
     };
     let metrics_path = flags.iter().find(|(k, _)| k == "metrics").map(|(_, v)| v.clone());
-    let (text, run) = commands::sense_observed(&log_text, calib_text.as_deref(), jobs)?;
+    let (text, run) = commands::sense_observed(&log_text, calib_text.as_deref(), jobs, warm)?;
     let run = run.with_meta("log", &log_path);
     if let Some(path) = metrics_path {
         rfp_obs::report::write_json(std::path::Path::new(&path), &run.to_json())?;

@@ -29,8 +29,8 @@
 use crate::obs;
 use crate::pipeline::{RfPrism, SenseError, SensingResult};
 use crate::pipeline3d::{RfPrism3D, Sense3DError, Sensing3DResult};
-use crate::solver::{SolveSeeds, SolverWorkspace};
-use crate::solver3d::{Solve3DSeeds, Solver3DWorkspace};
+use crate::solver::{SolveSeeds, SolverWorkspace, WarmStart};
+use crate::solver3d::{Solve3DSeeds, Solver3DWorkspace, WarmStart3D};
 use rfp_dsp::preprocess::RawRead;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
@@ -101,7 +101,41 @@ impl RfPrism {
         obs::counter_add(obs::id::BATCH_TAGS, tags.len() as u64);
         obs::gauge_set(obs::id::BATCH_WORKERS, effective_jobs(jobs, tags.len()) as f64);
         fan_out(tags, jobs, SolverWorkspace::default, |reads, workspace| {
-            self.sense_with(reads.as_ref(), &cache.seeds, workspace)
+            self.sense_with(reads.as_ref(), &cache.seeds, workspace, None)
+        })
+    }
+
+    /// [`RfPrism::sense_batch_with`] with one optional warm-start prior
+    /// per tag (`warms[t]` seeds tag *t*; see [`RfPrism::sense_warm`]).
+    /// Input order is preserved and every output is bit-identical at any
+    /// `jobs`, because each tag's solve depends only on its own reads and
+    /// its own prior.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tags.len() != warms.len()`.
+    pub fn sense_batch_warm<T>(
+        &self,
+        cache: &BatchCache,
+        tags: &[T],
+        warms: &[Option<WarmStart>],
+        jobs: usize,
+    ) -> Vec<Result<SensingResult, SenseError>>
+    where
+        T: AsRef<[Vec<RawRead>]> + Sync,
+    {
+        assert_eq!(
+            tags.len(),
+            warms.len(),
+            "sense_batch_warm needs one (possibly None) warm start per tag"
+        );
+        let _batch_span = obs::span("sense_batch");
+        obs::counter_add(obs::id::BATCH_TAGS, tags.len() as u64);
+        obs::gauge_set(obs::id::BATCH_WORKERS, effective_jobs(jobs, tags.len()) as f64);
+        let items: Vec<(&T, Option<&WarmStart>)> =
+            tags.iter().zip(warms.iter().map(Option::as_ref)).collect();
+        fan_out(&items, jobs, SolverWorkspace::default, |(reads, warm), workspace| {
+            self.sense_with(reads.as_ref(), &cache.seeds, workspace, *warm)
         })
     }
 
@@ -123,7 +157,38 @@ impl RfPrism {
         obs::counter_add(obs::id::BATCH_TAGS, tags.len() as u64);
         obs::gauge_set(obs::id::BATCH_WORKERS, effective_jobs(jobs, tags.len()) as f64);
         fan_out(tags, jobs, SolverWorkspace::default, |rounds, workspace| {
-            self.sense_rounds_with(rounds.as_ref(), &cache.seeds, workspace)
+            self.sense_rounds_with(rounds.as_ref(), &cache.seeds, workspace, None)
+        })
+    }
+
+    /// [`RfPrism::sense_rounds_batch`] with one optional warm-start prior
+    /// per tag (see [`RfPrism::sense_batch_warm`] for the contract).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tags.len() != warms.len()`.
+    pub fn sense_rounds_batch_warm<T>(
+        &self,
+        cache: &BatchCache,
+        tags: &[T],
+        warms: &[Option<WarmStart>],
+        jobs: usize,
+    ) -> Vec<Result<SensingResult, SenseError>>
+    where
+        T: AsRef<[Vec<Vec<RawRead>>]> + Sync,
+    {
+        assert_eq!(
+            tags.len(),
+            warms.len(),
+            "sense_rounds_batch_warm needs one (possibly None) warm start per tag"
+        );
+        let _batch_span = obs::span("sense_rounds_batch");
+        obs::counter_add(obs::id::BATCH_TAGS, tags.len() as u64);
+        obs::gauge_set(obs::id::BATCH_WORKERS, effective_jobs(jobs, tags.len()) as f64);
+        let items: Vec<(&T, Option<&WarmStart>)> =
+            tags.iter().zip(warms.iter().map(Option::as_ref)).collect();
+        fan_out(&items, jobs, SolverWorkspace::default, |(rounds, warm), workspace| {
+            self.sense_rounds_with(rounds.as_ref(), &cache.seeds, workspace, *warm)
         })
     }
 }
@@ -162,7 +227,38 @@ impl RfPrism3D {
         obs::counter_add(obs::id::BATCH_TAGS, tags.len() as u64);
         obs::gauge_set(obs::id::BATCH_WORKERS, effective_jobs(jobs, tags.len()) as f64);
         fan_out(tags, jobs, Solver3DWorkspace::default, |reads, workspace| {
-            self.sense_with(reads.as_ref(), &cache.seeds, workspace)
+            self.sense_with(reads.as_ref(), &cache.seeds, workspace, None)
+        })
+    }
+
+    /// [`RfPrism3D::sense_batch_with`] with one optional warm-start prior
+    /// per tag (see [`RfPrism::sense_batch_warm`] for the contract).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tags.len() != warms.len()`.
+    pub fn sense_batch_warm<T>(
+        &self,
+        cache: &BatchCache3D,
+        tags: &[T],
+        warms: &[Option<WarmStart3D>],
+        jobs: usize,
+    ) -> Vec<Result<Sensing3DResult, Sense3DError>>
+    where
+        T: AsRef<[Vec<RawRead>]> + Sync,
+    {
+        assert_eq!(
+            tags.len(),
+            warms.len(),
+            "sense_batch_warm needs one (possibly None) warm start per tag"
+        );
+        let _batch_span = obs::span("sense_batch_3d");
+        obs::counter_add(obs::id::BATCH_TAGS, tags.len() as u64);
+        obs::gauge_set(obs::id::BATCH_WORKERS, effective_jobs(jobs, tags.len()) as f64);
+        let items: Vec<(&T, Option<&WarmStart3D>)> =
+            tags.iter().zip(warms.iter().map(Option::as_ref)).collect();
+        fan_out(&items, jobs, Solver3DWorkspace::default, |(reads, warm), workspace| {
+            self.sense_with(reads.as_ref(), &cache.seeds, workspace, *warm)
         })
     }
 }

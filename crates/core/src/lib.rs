@@ -75,5 +75,6 @@ pub use material::{MaterialFeatures, MaterialIdentifier};
 pub use model::AntennaObservation;
 pub use pipeline::{RfPrism, RfPrismConfig, SenseError, SensingResult};
 pub use pipeline3d::{RfPrism3D, RfPrism3DConfig, Sense3DError, Sensing3DResult};
-pub use solver::{JacobianMode, SolveStats, SolverConfig, TagEstimate2D};
+pub use solver::{JacobianMode, PruneStats, SolveStats, SolverConfig, TagEstimate2D, WarmStart};
+pub use solver3d::{TagEstimate3D, WarmStart3D};
 pub use tracking::{TagTracker, TrackerConfig};

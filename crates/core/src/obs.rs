@@ -77,6 +77,21 @@ pub mod id {
     pub const SENSE_LATENCY_US: usize = 21;
     /// `solve.latency_us` — joint-solve latency histogram, µs.
     pub const SOLVE_LATENCY_US: usize = 22;
+    /// `solver.seeds_total` — multi-start position seeds considered by the
+    /// coarse-to-fine scan (2-D and 3-D).
+    pub const SOLVER_SEEDS_TOTAL: usize = 23;
+    /// `solver.seeds_refined` — seeds that received a stage-1 LM
+    /// refinement.
+    pub const SOLVER_SEEDS_REFINED: usize = 24;
+    /// `solver.seeds_pruned` — seeds skipped by the coarse ranking / early
+    /// exit (never LM-refined).
+    pub const SOLVER_SEEDS_PRUNED: usize = 25;
+    /// `solver.warm_start_hits` — warm-started refinements accepted by the
+    /// validation gate (multi-start scan skipped).
+    pub const SOLVER_WARM_HITS: usize = 26;
+    /// `solver.warm_start_misses` — warm-start attempts rejected by the
+    /// gate (fell back to the multi-start scan).
+    pub const SOLVER_WARM_MISSES: usize = 27;
 }
 
 #[cfg(feature = "obs")]
@@ -140,6 +155,11 @@ mod enabled {
             "joint-solve latency, microseconds",
             LATENCY_BUCKETS_US,
         ),
+        MetricDef::counter("solver.seeds_total", "multi-start seeds considered"),
+        MetricDef::counter("solver.seeds_refined", "seeds given stage-1 LM refinement"),
+        MetricDef::counter("solver.seeds_pruned", "seeds skipped by the coarse ranking"),
+        MetricDef::counter("solver.warm_start_hits", "warm starts accepted by the gate"),
+        MetricDef::counter("solver.warm_start_misses", "warm starts rejected by the gate"),
     ];
 
     pub use recorder::{counter_add, gauge_set, observe_value};
@@ -244,6 +264,11 @@ mod enabled {
                 (BATCH_WORKERS, "batch.workers"),
                 (SENSE_LATENCY_US, "sense.latency_us"),
                 (SOLVE_LATENCY_US, "solve.latency_us"),
+                (SOLVER_SEEDS_TOTAL, "solver.seeds_total"),
+                (SOLVER_SEEDS_REFINED, "solver.seeds_refined"),
+                (SOLVER_SEEDS_PRUNED, "solver.seeds_pruned"),
+                (SOLVER_WARM_HITS, "solver.warm_start_hits"),
+                (SOLVER_WARM_MISSES, "solver.warm_start_misses"),
             ];
             assert_eq!(by_idx.len(), METRICS.len());
             for (idx, name) in by_idx {

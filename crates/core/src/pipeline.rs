@@ -12,7 +12,8 @@ use crate::material::MaterialFeatures;
 use crate::obs;
 use crate::model::{extract_observation, AntennaObservation, ExtractConfig, ExtractError};
 use crate::solver::{
-    solve_2d_seeded, SolveError, SolveSeeds, SolverConfig, SolverWorkspace, TagEstimate2D,
+    solve_2d_seeded_warm, SolveError, SolveSeeds, SolverConfig, SolverWorkspace, TagEstimate2D,
+    WarmStart,
 };
 use crate::DeviceCalibration;
 use rfp_dsp::preprocess::RawRead;
@@ -234,7 +235,24 @@ impl RfPrism {
     pub fn sense(&self, reads_per_antenna: &[Vec<RawRead>]) -> Result<SensingResult, SenseError> {
         let seeds = self.solve_seeds();
         let mut workspace = SolverWorkspace::default();
-        self.sense_with(reads_per_antenna, &seeds, &mut workspace)
+        self.sense_with(reads_per_antenna, &seeds, &mut workspace, None)
+    }
+
+    /// [`RfPrism::sense`] with a warm-start prior — typically the previous
+    /// round's estimate (via [`WarmStart::from_estimate`]), optionally
+    /// velocity-extrapolated by [`crate::TagTracker::extrapolate`]. The
+    /// prior is refined first; when it passes the solver's validation gate
+    /// the multi-start scan is skipped entirely, otherwise the solver falls
+    /// back to the full (pruned) scan, so a stale prior can degrade speed
+    /// but never accuracy.
+    pub fn sense_warm(
+        &self,
+        reads_per_antenna: &[Vec<RawRead>],
+        warm: Option<&WarmStart>,
+    ) -> Result<SensingResult, SenseError> {
+        let seeds = self.solve_seeds();
+        let mut workspace = SolverWorkspace::default();
+        self.sense_with(reads_per_antenna, &seeds, &mut workspace, warm)
     }
 
     /// The per-scene solver seeds for this pipeline's `(region, config)` —
@@ -255,6 +273,7 @@ impl RfPrism {
         reads_per_antenna: &[Vec<RawRead>],
         seeds: &SolveSeeds,
         workspace: &mut SolverWorkspace,
+        warm: Option<&WarmStart>,
     ) -> Result<SensingResult, SenseError> {
         let _sense_span = obs::span("sense");
         let _sense_timer = obs::time_histogram(obs::id::SENSE_LATENCY_US);
@@ -298,7 +317,8 @@ impl RfPrism {
             }
         }
 
-        let estimate = solve_2d_seeded(&observations, seeds, &self.config.solver, workspace)?;
+        let estimate =
+            solve_2d_seeded_warm(&observations, seeds, &self.config.solver, workspace, warm)?;
         obs::counter_add(obs::id::PIPELINE_WINDOWS_OK, 1);
         Ok(SensingResult { estimate, observations, verdict })
     }
@@ -438,7 +458,19 @@ impl RfPrism {
     ) -> Result<SensingResult, SenseError> {
         let seeds = self.solve_seeds();
         let mut workspace = SolverWorkspace::default();
-        self.sense_rounds_with(rounds, &seeds, &mut workspace)
+        self.sense_rounds_with(rounds, &seeds, &mut workspace, None)
+    }
+
+    /// [`RfPrism::sense_rounds`] with a warm-start prior; see
+    /// [`RfPrism::sense_warm`] for the warm-start contract.
+    pub fn sense_rounds_warm(
+        &self,
+        rounds: &[Vec<Vec<rfp_dsp::preprocess::RawRead>>],
+        warm: Option<&WarmStart>,
+    ) -> Result<SensingResult, SenseError> {
+        let seeds = self.solve_seeds();
+        let mut workspace = SolverWorkspace::default();
+        self.sense_rounds_with(rounds, &seeds, &mut workspace, warm)
     }
 
     /// [`RfPrism::sense_rounds`] against precomputed seeds and a reusable
@@ -448,6 +480,7 @@ impl RfPrism {
         rounds: &[Vec<Vec<rfp_dsp::preprocess::RawRead>>],
         seeds: &SolveSeeds,
         workspace: &mut SolverWorkspace,
+        warm: Option<&WarmStart>,
     ) -> Result<SensingResult, SenseError> {
         use rfp_geom::angle;
         let _sense_span = obs::span("sense_rounds");
@@ -508,7 +541,8 @@ impl RfPrism {
         }
         let verdict = assess(&merged, &self.config.detector);
         obs::verdict(&verdict);
-        let estimate = solve_2d_seeded(&merged, seeds, &self.config.solver, workspace)?;
+        let estimate =
+            solve_2d_seeded_warm(&merged, seeds, &self.config.solver, workspace, warm)?;
         obs::counter_add(obs::id::PIPELINE_WINDOWS_OK, 1);
         Ok(SensingResult { estimate, observations: merged, verdict })
     }

@@ -10,8 +10,8 @@ use crate::detector::{assess, DetectorConfig, MobilityVerdict};
 use crate::model::{extract_observation, AntennaObservation, ExtractConfig, ExtractError};
 use crate::obs;
 use crate::solver3d::{
-    solve_3d_seeded, Solve3DError, Solve3DSeeds, Solver3DConfig, Solver3DWorkspace,
-    TagEstimate3D,
+    solve_3d_seeded_warm, Solve3DError, Solve3DSeeds, Solver3DConfig, Solver3DWorkspace,
+    TagEstimate3D, WarmStart3D,
 };
 use rfp_dsp::preprocess::RawRead;
 use rfp_geom::{AntennaPose, Region2};
@@ -155,7 +155,22 @@ impl RfPrism3D {
     ) -> Result<Sensing3DResult, Sense3DError> {
         let seeds = self.solve_seeds();
         let mut workspace = Solver3DWorkspace::default();
-        self.sense_with(reads_per_antenna, &seeds, &mut workspace)
+        self.sense_with(reads_per_antenna, &seeds, &mut workspace, None)
+    }
+
+    /// [`RfPrism3D::sense`] with a warm-start prior — typically the
+    /// previous round's estimate (via [`WarmStart3D::from_estimate`]). The
+    /// prior is refined first; when it passes the solver's validation gate
+    /// the multi-start scan is skipped, otherwise the solver falls back to
+    /// the full (pruned) scan.
+    pub fn sense_warm(
+        &self,
+        reads_per_antenna: &[Vec<RawRead>],
+        warm: Option<&WarmStart3D>,
+    ) -> Result<Sensing3DResult, Sense3DError> {
+        let seeds = self.solve_seeds();
+        let mut workspace = Solver3DWorkspace::default();
+        self.sense_with(reads_per_antenna, &seeds, &mut workspace, warm)
     }
 
     /// The per-scene 3-D solver seeds, with the per-antenna geometry
@@ -171,6 +186,7 @@ impl RfPrism3D {
         reads_per_antenna: &[Vec<RawRead>],
         seeds: &Solve3DSeeds,
         workspace: &mut Solver3DWorkspace,
+        warm: Option<&WarmStart3D>,
     ) -> Result<Sensing3DResult, Sense3DError> {
         let _sense_span = obs::span("sense_3d");
         let _sense_timer = obs::time_histogram(obs::id::SENSE_LATENCY_US);
@@ -212,7 +228,8 @@ impl RfPrism3D {
                 return Err(Sense3DError::TagMoving { worst_residual_std });
             }
         }
-        let estimate = solve_3d_seeded(&observations, seeds, &self.config.solver, workspace)?;
+        let estimate =
+            solve_3d_seeded_warm(&observations, seeds, &self.config.solver, workspace, warm)?;
         obs::counter_add(obs::id::PIPELINE_WINDOWS_OK, 1);
         Ok(Sensing3DResult { estimate, observations, verdict })
     }

@@ -15,7 +15,7 @@ use crate::model::AntennaObservation;
 use crate::obs;
 use crate::solver::{
     levenberg_marquardt_analytic_with, levenberg_marquardt_with, rssi_pattern_penalty,
-    rssi_penalty_precomputed, JacobianMode, LmWorkspace, SolveStats,
+    rssi_penalty_precomputed, JacobianMode, LmWorkspace, PruneStats, SolveStats,
 };
 use rfp_geom::{angle, AntennaPose, Region2, Vec3};
 use rfp_phys::polarization::{orientation_phase, projection_magnitude};
@@ -46,6 +46,18 @@ pub struct Solver3DConfig {
     /// Jacobian mode of the LM refinements: closed-form (default) or the
     /// central-difference fallback (see [`JacobianMode`]).
     pub jacobian: JacobianMode,
+    /// Stage-1 beam width of the coarse-to-fine scan (see
+    /// [`SolverConfig::refine_top_k`](crate::solver::SolverConfig)); `None`
+    /// refines every `(x, y, z)` seed.
+    pub refine_top_k: Option<usize>,
+    /// Cost-plateau early exit across the seed beam and the joint
+    /// short-list; `0` disables it (see
+    /// [`SolverConfig::early_exit_rel_tol`](crate::solver::SolverConfig)).
+    pub early_exit_rel_tol: f64,
+    /// Warm-start validation gate tolerance against the coarse-scan floor
+    /// (see
+    /// [`SolverConfig::warm_gate_rel_tol`](crate::solver::SolverConfig)).
+    pub warm_gate_rel_tol: f64,
 }
 
 impl Default for Solver3DConfig {
@@ -60,7 +72,70 @@ impl Default for Solver3DConfig {
             tolerance: 1e-10,
             rssi_sigma_db: 1.0,
             jacobian: JacobianMode::Analytic,
+            refine_top_k: Some(16),
+            early_exit_rel_tol: 0.5,
+            warm_gate_rel_tol: 0.25,
         }
+    }
+}
+
+impl Solver3DConfig {
+    /// The exhaustive escape hatch: refine every multi-start seed with no
+    /// early exit, reproducing the pre-pruning solver bit-for-bit.
+    #[must_use]
+    pub fn exhaustive() -> Self {
+        Solver3DConfig {
+            refine_top_k: None,
+            early_exit_rel_tol: 0.0,
+            ..Solver3DConfig::default()
+        }
+    }
+
+    /// True when the multi-start scan runs the legacy exhaustive loop.
+    fn is_exhaustive(&self) -> bool {
+        self.refine_top_k.is_none() && self.early_exit_rel_tol <= 0.0
+    }
+}
+
+/// A cross-round warm-start prior for the 3-D solve: the previous round's
+/// disentangled 7-parameter state.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WarmStart3D {
+    /// Predicted tag position, metres.
+    pub position: Vec3,
+    /// Previous dipole axis (need not be normalized; `z ≥ 0` canonical
+    /// form is fine — dipoles are π-symmetric).
+    pub dipole: Vec3,
+    /// Previous material slope term `k_t`, rad/Hz.
+    pub kt: f64,
+    /// Previous material intercept term `b_t`, radians.
+    pub bt: f64,
+}
+
+impl WarmStart3D {
+    /// The warm start implied by a previous round's estimate.
+    pub fn from_estimate(estimate: &TagEstimate3D) -> Self {
+        WarmStart3D {
+            position: estimate.position,
+            dipole: estimate.dipole,
+            kt: estimate.kt,
+            bt: estimate.bt,
+        }
+    }
+
+    /// Replaces the position prediction while keeping the slow-moving
+    /// dipole axis and material terms.
+    #[must_use]
+    pub fn with_position(mut self, position: Vec3) -> Self {
+        self.position = position;
+        self
+    }
+
+    fn params(&self) -> Vec<f64> {
+        let w = self.dipole.normalized();
+        let theta = w.z.clamp(-1.0, 1.0).acos();
+        let phi = w.y.atan2(w.x);
+        vec![self.position.x, self.position.y, self.position.z, theta, phi, self.kt, self.bt]
     }
 }
 
@@ -178,7 +253,11 @@ impl Solve3DSeeds {
 #[derive(Debug, Default)]
 pub struct Solver3DWorkspace {
     lm: LmWorkspace,
-    position_candidates: Vec<(Vec<f64>, f64)>,
+    /// Stage-1 refined candidates `(params, cost, seed index)`.
+    position_candidates: Vec<(Vec<f64>, f64, usize)>,
+    /// `(coarse cost, seed index, k_t seed)` ranking of the coarse-to-fine
+    /// scan.
+    coarse: Vec<(f64, usize, f64)>,
     /// `(θ, φ, b_t seed, ranking cost)` per dipole scan direction.
     dipole_ranked: Vec<(f64, f64, f64, f64)>,
     /// Per-antenna distances of the current stage-2 candidate.
@@ -189,13 +268,22 @@ pub struct Solver3DWorkspace {
     proj_row: Vec<f64>,
     /// Stage-3 refined candidates; the winner is extracted by index.
     refined: Vec<(Vec<f64>, f64)>,
+    /// Pruning / warm-start effectiveness tallies.
+    prune: PruneStats,
 }
 
 impl Solver3DWorkspace {
-    /// Returns the work counters accumulated by solves run against this
-    /// workspace since the last call, and resets them (see [`SolveStats`]).
-    pub fn take_stats(&mut self) -> SolveStats {
-        self.lm.take_stats()
+    /// Snapshot of the LM work counters accumulated by solves run against
+    /// this workspace (diff two snapshots with [`SolveStats::since`] for
+    /// per-solve counts).
+    pub fn stats(&self) -> SolveStats {
+        self.lm.stats()
+    }
+
+    /// Snapshot of the seed-pruning / warm-start effectiveness counters
+    /// (diff with [`PruneStats::since`]).
+    pub fn prune_stats(&self) -> PruneStats {
+        self.prune
     }
 }
 
@@ -465,22 +553,42 @@ pub fn solve_3d_seeded(
     config: &Solver3DConfig,
     workspace: &mut Solver3DWorkspace,
 ) -> Result<TagEstimate3D, Solve3DError> {
+    solve_3d_seeded_warm(observations, seeds, config, workspace, None)
+}
+
+/// [`solve_3d_seeded`] with an optional cross-round [`WarmStart3D`] prior,
+/// refined first and validated against the coarse-scan floor exactly as in
+/// [`solve_2d_seeded_warm`](crate::solver::solve_2d_seeded_warm) — a
+/// teleported tag fails the gate and falls back to the full scan.
+///
+/// # Errors
+///
+/// [`Solve3DError::TooFewAntennas`] with fewer than 4 observations.
+pub fn solve_3d_seeded_warm(
+    observations: &[AntennaObservation],
+    seeds: &Solve3DSeeds,
+    config: &Solver3DConfig,
+    workspace: &mut Solver3DWorkspace,
+    warm: Option<&WarmStart3D>,
+) -> Result<TagEstimate3D, Solve3DError> {
     if observations.len() < 4 {
         return Err(Solve3DError::TooFewAntennas { provided: observations.len() });
     }
     let _solve_span = obs::span("solve_3d");
     let _solve_timer = obs::time_histogram(obs::id::SOLVE_LATENCY_US);
-    let stats_before = if obs::active() { Some(workspace.lm.stats_snapshot()) } else { None };
+    let stats_before = if obs::active() { Some(workspace.lm.stats()) } else { None };
     let n_obs = observations.len();
     let geometry = seeds.geometry.as_ref().filter(|g| g.matches(observations));
     let Solver3DWorkspace {
         lm,
         position_candidates,
+        coarse,
         dipole_ranked,
         dists,
         orient_row,
         proj_row,
         refined,
+        prune,
     } = workspace;
 
     // Prefer candidates inside the known deployment volume: distances are
@@ -503,39 +611,126 @@ pub fn solve_3d_seeded(
             config.rssi_sigma_db,
         )
     };
+    let total_seeds = seeds.position_starts.len() as u64;
+    let mut seeds_refined: u64 = 0;
+
+    // Coarse ranking of every (x, y, z) seed by its unrefined slope cost —
+    // shared by the pruned stage-1 beam and the warm-start floor.
+    coarse.clear();
+    if warm.is_some() || !config.is_exhaustive() {
+        let _rank_span = obs::span("seed_rank");
+        for (s, &pos) in seeds.position_starts.iter().enumerate() {
+            let (kt0, cost) = coarse_seed_cost_3d(observations, geometry, s, pos, config);
+            coarse.push((cost, s, kt0));
+        }
+        coarse.sort_by(|a, b| {
+            a.0.partial_cmp(&b.0).expect("finite costs").then_with(|| a.1.cmp(&b.1))
+        });
+    }
+
+    // Warm start: refine the prior first and gate against the coarse-scan
+    // floor (best coarse seed stage-1 refined + best dipole-scan cost at
+    // it). See `solve_2d_seeded_warm` for the reasoning.
+    let warm_attempted = warm.is_some();
+    if let Some(w) = warm {
+        let _warm_span = obs::span("warm_start");
+        let (p, cost) = refine_joint_3d(lm, observations, config, w.params());
+        let key = cost
+            + mode_penalty(Vec3::new(p[0], p[1], p[2]), dipole_from_angles(p[3], p[4]));
+        let (_, best_seed, best_kt) = coarse[0];
+        let pos = seeds.position_starts[best_seed];
+        let (sp, _) = refine_slope_3d(
+            lm,
+            observations,
+            config,
+            vec![pos.x, pos.y, pos.z, best_kt],
+        );
+        seeds_refined += 1;
+        scan_dipoles_3d(
+            observations,
+            geometry,
+            config,
+            seeds.rings,
+            (sp[0], sp[1], sp[2], sp[3]),
+            dists,
+            orient_row,
+            proj_row,
+            dipole_ranked,
+        );
+        let floor = dipole_ranked.first().map_or(f64::INFINITY, |&(_, _, _, c)| c);
+        if inside(&p) && key <= floor * (1.0 + config.warm_gate_rel_tol) + 1e-9 {
+            prune.seeds_total += total_seeds;
+            prune.seeds_refined += seeds_refined;
+            prune.warm_start_hits += 1;
+            flush_obs_3d(lm, stats_before, total_seeds, seeds_refined, true, false);
+            return Ok(build_estimate_3d(observations, p, cost));
+        }
+    }
 
     // Stage 1: slope-only position solve over (x, y, z, k_t) — smooth and
     // exactly determined with 4 antennas, over-determined with more.
+    // Exhaustive mode refines every grid seed (the pre-pruning behaviour,
+    // bit-for-bit); the default coarse-to-fine mode refines only the
+    // top-K coarse-ranked seeds with a cost-plateau early exit.
     position_candidates.clear();
-    for (s, &pos) in seeds.position_starts.iter().enumerate() {
-        let kt0 = match geometry {
-            Some(g) => {
-                let base = s * n_obs;
-                observations
-                    .iter()
-                    .enumerate()
-                    .map(|(i, o)| o.slope - g.seed_slopes[base + i])
-                    .sum::<f64>()
-                    / n_obs as f64
+    let stage1_span = obs::span("stage1_slope");
+    if config.is_exhaustive() {
+        for (s, &pos) in seeds.position_starts.iter().enumerate() {
+            let kt0 = match geometry {
+                Some(g) => {
+                    let base = s * n_obs;
+                    observations
+                        .iter()
+                        .enumerate()
+                        .map(|(i, o)| o.slope - g.seed_slopes[base + i])
+                        .sum::<f64>()
+                        / n_obs as f64
+                }
+                None => {
+                    observations
+                        .iter()
+                        .map(|o| {
+                            o.slope
+                                - propagation::slope_from_distance(
+                                    o.pose.position().distance(pos),
+                                )
+                        })
+                        .sum::<f64>()
+                        / n_obs as f64
+                }
+            };
+            let (p, cost) =
+                refine_slope_3d(lm, observations, config, vec![pos.x, pos.y, pos.z, kt0]);
+            position_candidates.push((p, cost, s));
+        }
+        // Stable sort on cost alone: ties keep grid (push) order, which
+        // the pruned branch reproduces via its explicit seed-index key.
+        position_candidates.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite costs"));
+    } else {
+        let beam = config.refine_top_k.unwrap_or(usize::MAX).max(1);
+        let mut best_refined = f64::INFINITY;
+        for (rank, &(coarse_cost, s, kt0)) in coarse.iter().enumerate() {
+            if rank >= beam {
+                break;
             }
-            None => {
-                observations
-                    .iter()
-                    .map(|o| {
-                        o.slope
-                            - propagation::slope_from_distance(
-                                o.pose.position().distance(pos),
-                            )
-                    })
-                    .sum::<f64>()
-                    / n_obs as f64
+            if config.early_exit_rel_tol > 0.0
+                && rank >= 2
+                && coarse_cost > best_refined * (1.0 + config.early_exit_rel_tol)
+            {
+                break;
             }
-        };
-        let (p, cost) =
-            refine_slope_3d(lm, observations, config, vec![pos.x, pos.y, pos.z, kt0]);
-        position_candidates.push((p, cost));
+            let pos = seeds.position_starts[s];
+            let (p, cost) =
+                refine_slope_3d(lm, observations, config, vec![pos.x, pos.y, pos.z, kt0]);
+            best_refined = best_refined.min(cost);
+            position_candidates.push((p, cost, s));
+        }
+        position_candidates.sort_by(|a, b| {
+            a.1.partial_cmp(&b.1).expect("finite costs").then_with(|| a.2.cmp(&b.2))
+        });
     }
-    position_candidates.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite costs"));
+    seeds_refined += position_candidates.len() as u64;
+    drop(stage1_span);
     // With exactly 4 antennas the slope system is exactly determined, so
     // several zero-cost position candidates can exist (mirror images,
     // spurious intersections) — only the intercept equations can tell them
@@ -543,7 +738,7 @@ pub fn solve_3d_seeded(
     // 10 cm, by index — no cloning) and let the joint stage pick.
     let mut stage1 = [0usize; 6];
     let mut stage1_len = 0usize;
-    for (i, (p, _)) in position_candidates.iter().enumerate() {
+    for (i, (p, _, _)) in position_candidates.iter().enumerate() {
         if !inside(p) {
             continue;
         }
@@ -569,7 +764,6 @@ pub fn solve_3d_seeded(
     // 2-D solver, candidates are ranked by phase cost *plus* the RSSI mode
     // penalty so spurious twin-dipole modes neither crowd truth out of the
     // refinement short-list nor win the final selection.
-    let rings = seeds.rings;
     refined.clear();
     let mut best_inside: Option<(usize, f64)> = None;
     let mut best_any: Option<(usize, f64)> = None;
@@ -578,66 +772,31 @@ pub fn solve_3d_seeded(
             let p = &position_candidates[ci].0;
             (p[0], p[1], p[2], p[3])
         };
-        // Everything direction-independent is hoisted out of the scan: the
-        // per-antenna distances and the slope half of the cost are the same
-        // for all scan directions at this position.
-        let cand_pos = Vec3::new(cx, cy, cz);
-        dists.clear();
-        let mut slope_cost = 0.0;
-        for o in observations {
-            let d = o.pose.position().distance(cand_pos);
-            let rs =
-                (o.slope - propagation::slope_from_distance(d) - ckt) / config.slope_sigma;
-            slope_cost += rs * rs;
-            dists.push(d);
-        }
-        dipole_ranked.clear();
-        let dipole_span = obs::span("dipole_scan");
-        for ti in 0..rings {
-            // Polar rings from near-pole to equator.
-            let theta = std::f64::consts::FRAC_PI_2 * (ti as f64 + 0.5) / rings as f64;
-            for pi in 0..(2 * rings) {
-                let phi = std::f64::consts::TAU * pi as f64 / (2 * rings) as f64;
-                let dir = ti * 2 * rings + pi;
-                let (orow, prow): (&[f64], &[f64]) = match geometry {
-                    Some(g) => (
-                        &g.orient[dir * n_obs..(dir + 1) * n_obs],
-                        &g.proj[dir * n_obs..(dir + 1) * n_obs],
-                    ),
-                    None => {
-                        let w0 = dipole_from_angles(theta, phi);
-                        orient_row.clear();
-                        proj_row.clear();
-                        for o in observations {
-                            orient_row.push(orientation_phase(&o.pose, w0));
-                            proj_row.push(projection_magnitude(&o.pose, w0));
-                        }
-                        (orient_row.as_slice(), proj_row.as_slice())
-                    }
-                };
-                let bt0 = angle::circular_mean(
-                    observations.iter().zip(orow).map(|(o, &th)| o.intercept - th),
-                )
-                .unwrap_or(0.0);
-                let mut cost = slope_cost;
-                for (o, &th) in observations.iter().zip(orow) {
-                    let rb =
-                        angle::wrap_pi(o.intercept - th - bt0) / config.intercept_sigma;
-                    cost += rb * rb;
-                }
-                cost += rssi_penalty_precomputed(
-                    observations,
-                    dists,
-                    prow,
-                    config.rssi_sigma_db,
-                );
-                dipole_ranked.push((theta, phi, bt0, cost));
-            }
-        }
-        dipole_ranked.sort_by(|a, b| a.3.partial_cmp(&b.3).expect("finite costs"));
-        drop(dipole_span);
+        scan_dipoles_3d(
+            observations,
+            geometry,
+            config,
+            seeds.rings,
+            (cx, cy, cz, ckt),
+            dists,
+            orient_row,
+            proj_row,
+            dipole_ranked,
+        );
         let _refine_span = obs::span("joint_refine");
-        for &(theta, phi, bt0, _) in dipole_ranked.iter().take(3) {
+        for (rank, &(theta, phi, bt0, scan_cost)) in
+            dipole_ranked.iter().take(3).enumerate()
+        {
+            // Plateau exit across the joint short-list — but always refine
+            // at least two dipole modes per candidate so the twin-mode
+            // disambiguation never degenerates to a single basin.
+            if config.early_exit_rel_tol > 0.0 && rank >= 2 {
+                if let Some((_, k)) = best_any {
+                    if scan_cost > k * (1.0 + config.early_exit_rel_tol) {
+                        break;
+                    }
+                }
+            }
             let p0 = vec![cx, cy, cz, theta, phi, ckt, bt0];
             let (p, cost) = refine_joint_3d(lm, observations, config, p0);
             let key = cost
@@ -658,32 +817,180 @@ pub fn solve_3d_seeded(
 
     let (best_idx, _) = best_inside.or(best_any).expect("at least one start");
     let (p, cost) = refined.swap_remove(best_idx);
-    if let Some(before) = stats_before {
-        let after = workspace.lm.stats_snapshot();
-        obs::counter_add(obs::id::SOLVER3D_SOLVES, 1);
-        obs::counter_add(obs::id::SOLVER3D_ITERATIONS, after.iterations - before.iterations);
-        obs::counter_add(
-            obs::id::SOLVER3D_RESIDUAL_EVALS,
-            after.residual_evals - before.residual_evals,
-        );
-        obs::counter_add(
-            obs::id::SOLVER3D_JACOBIAN_EVALS,
-            after.jacobian_evals - before.jacobian_evals,
-        );
+    prune.seeds_total += total_seeds;
+    prune.seeds_refined += seeds_refined;
+    if warm_attempted {
+        prune.warm_start_misses += 1;
     }
+    flush_obs_3d(lm, stats_before, total_seeds, seeds_refined, false, warm_attempted);
+    Ok(build_estimate_3d(observations, p, cost))
+}
+
+/// The cheap stage-1 score of one 3-D grid seed: closed-form `k_t` and the
+/// unrefined slope cost, from the geometry table when one applies — the
+/// exact expressions of the refinement path.
+fn coarse_seed_cost_3d(
+    observations: &[AntennaObservation],
+    geometry: Option<&SeedGeometry3D>,
+    s: usize,
+    pos: Vec3,
+    config: &Solver3DConfig,
+) -> (f64, f64) {
+    let n_obs = observations.len();
+    let mut cost = 0.0;
+    let kt0 = match geometry {
+        Some(g) => {
+            let base = s * n_obs;
+            let kt0 = observations
+                .iter()
+                .enumerate()
+                .map(|(i, o)| o.slope - g.seed_slopes[base + i])
+                .sum::<f64>()
+                / n_obs as f64;
+            for (i, o) in observations.iter().enumerate() {
+                let rs = (o.slope - g.seed_slopes[base + i] - kt0) / config.slope_sigma;
+                cost += rs * rs;
+            }
+            kt0
+        }
+        None => {
+            let kt0 = observations
+                .iter()
+                .map(|o| {
+                    o.slope
+                        - propagation::slope_from_distance(o.pose.position().distance(pos))
+                })
+                .sum::<f64>()
+                / n_obs as f64;
+            for o in observations {
+                let d = o.pose.position().distance(pos);
+                let rs =
+                    (o.slope - propagation::slope_from_distance(d) - kt0) / config.slope_sigma;
+                cost += rs * rs;
+            }
+            kt0
+        }
+    };
+    (kt0, cost)
+}
+
+/// Stage 2 at one position candidate `(x, y, z, k_t)`: ranks every
+/// half-sphere scan direction by the full cost and leaves `dipole_ranked`
+/// sorted best-first. Everything direction-independent — the per-antenna
+/// distances and the slope half of the cost — is hoisted out of the scan.
+#[allow(clippy::too_many_arguments)]
+fn scan_dipoles_3d(
+    observations: &[AntennaObservation],
+    geometry: Option<&SeedGeometry3D>,
+    config: &Solver3DConfig,
+    rings: usize,
+    candidate: (f64, f64, f64, f64),
+    dists: &mut Vec<f64>,
+    orient_row: &mut Vec<f64>,
+    proj_row: &mut Vec<f64>,
+    dipole_ranked: &mut Vec<(f64, f64, f64, f64)>,
+) {
+    let n_obs = observations.len();
+    let (cx, cy, cz, ckt) = candidate;
+    let cand_pos = Vec3::new(cx, cy, cz);
+    dists.clear();
+    let mut slope_cost = 0.0;
+    for o in observations {
+        let d = o.pose.position().distance(cand_pos);
+        let rs = (o.slope - propagation::slope_from_distance(d) - ckt) / config.slope_sigma;
+        slope_cost += rs * rs;
+        dists.push(d);
+    }
+    dipole_ranked.clear();
+    let _dipole_span = obs::span("dipole_scan");
+    for ti in 0..rings {
+        // Polar rings from near-pole to equator.
+        let theta = std::f64::consts::FRAC_PI_2 * (ti as f64 + 0.5) / rings as f64;
+        for pi in 0..(2 * rings) {
+            let phi = std::f64::consts::TAU * pi as f64 / (2 * rings) as f64;
+            let dir = ti * 2 * rings + pi;
+            let (orow, prow): (&[f64], &[f64]) = match geometry {
+                Some(g) => (
+                    &g.orient[dir * n_obs..(dir + 1) * n_obs],
+                    &g.proj[dir * n_obs..(dir + 1) * n_obs],
+                ),
+                None => {
+                    let w0 = dipole_from_angles(theta, phi);
+                    orient_row.clear();
+                    proj_row.clear();
+                    for o in observations {
+                        orient_row.push(orientation_phase(&o.pose, w0));
+                        proj_row.push(projection_magnitude(&o.pose, w0));
+                    }
+                    (orient_row.as_slice(), proj_row.as_slice())
+                }
+            };
+            let bt0 = angle::circular_mean(
+                observations.iter().zip(orow).map(|(o, &th)| o.intercept - th),
+            )
+            .unwrap_or(0.0);
+            let mut cost = slope_cost;
+            for (o, &th) in observations.iter().zip(orow) {
+                let rb = angle::wrap_pi(o.intercept - th - bt0) / config.intercept_sigma;
+                cost += rb * rb;
+            }
+            cost += rssi_penalty_precomputed(observations, dists, prow, config.rssi_sigma_db);
+            dipole_ranked.push((theta, phi, bt0, cost));
+        }
+    }
+    dipole_ranked.sort_by(|a, b| a.3.partial_cmp(&b.3).expect("finite costs"));
+}
+
+/// Final-estimate assembly shared by the warm-start fast path and the full
+/// scan: dipole canonicalization (`z ≥ 0`) plus wrapping of `b_t`.
+fn build_estimate_3d(
+    observations: &[AntennaObservation],
+    p: Vec<f64>,
+    cost: f64,
+) -> TagEstimate3D {
     let mut dipole = dipole_from_angles(p[3], p[4]);
     if dipole.z < 0.0 {
         dipole = -dipole;
     }
     let n_res = 2 * observations.len();
-    Ok(TagEstimate3D {
+    TagEstimate3D {
         position: Vec3::new(p[0], p[1], p[2]),
         dipole,
         kt: p[5],
         bt: angle::wrap_tau(p[6]),
         cost,
         residual_rms: (cost / n_res as f64).sqrt(),
-    })
+    }
+}
+
+/// Per-solve counter flush of the 3-D solve (active only when the obs
+/// layer is recording; `before` is `None` otherwise).
+fn flush_obs_3d(
+    lm: &LmWorkspace,
+    before: Option<SolveStats>,
+    seeds_total: u64,
+    seeds_refined: u64,
+    warm_hit: bool,
+    warm_miss: bool,
+) {
+    let Some(before) = before else { return };
+    let work = lm.stats().since(before);
+    obs::counter_add(obs::id::SOLVER3D_SOLVES, 1);
+    obs::counter_add(obs::id::SOLVER3D_ITERATIONS, work.iterations);
+    obs::counter_add(obs::id::SOLVER3D_RESIDUAL_EVALS, work.residual_evals);
+    obs::counter_add(obs::id::SOLVER3D_JACOBIAN_EVALS, work.jacobian_evals);
+    obs::counter_add(obs::id::SOLVER_SEEDS_TOTAL, seeds_total);
+    obs::counter_add(obs::id::SOLVER_SEEDS_REFINED, seeds_refined);
+    obs::counter_add(
+        obs::id::SOLVER_SEEDS_PRUNED,
+        seeds_total.saturating_sub(seeds_refined),
+    );
+    if warm_hit {
+        obs::counter_add(obs::id::SOLVER_WARM_HITS, 1);
+    }
+    if warm_miss {
+        obs::counter_add(obs::id::SOLVER_WARM_MISSES, 1);
+    }
 }
 
 #[cfg(test)]
@@ -853,5 +1160,69 @@ mod tests {
         assert_eq!(a.kt.to_bits(), b.kt.to_bits());
         assert_eq!(a.bt.to_bits(), b.bt.to_bits());
         assert_eq!(a.cost.to_bits(), b.cost.to_bits());
+    }
+
+    #[test]
+    fn exhaustive_3d_refines_every_seed_and_pruned_matches() {
+        let scene = Scene::six_antenna_3d();
+        let truth = Vec3::new(0.8, 1.2, 0.4);
+        let dipole = Vec3::new(0.2, 0.5, 1.0).normalized();
+        let obs = observations_3d(&scene, truth, dipole, 2);
+        let exhaustive_cfg = Solver3DConfig::exhaustive();
+        let mut ws = Solver3DWorkspace::default();
+        let seeds =
+            Solve3DSeeds::for_scene(scene.region(), (0.0, 1.5), &exhaustive_cfg, &scene.antenna_poses());
+        let exhaustive = solve_3d_seeded(&obs, &seeds, &exhaustive_cfg, &mut ws).unwrap();
+        let ps = ws.prune_stats();
+        assert_eq!(ps.seeds_total, 75);
+        assert_eq!(ps.seeds_refined, 75);
+
+        let pruned_cfg = Solver3DConfig::default();
+        let mut ws2 = Solver3DWorkspace::default();
+        let pruned = solve_3d_seeded(&obs, &seeds, &pruned_cfg, &mut ws2).unwrap();
+        let ps2 = ws2.prune_stats();
+        assert_eq!(ps2.seeds_total, 75);
+        assert!(ps2.seeds_refined <= 16, "refined {}", ps2.seeds_refined);
+        assert!(pruned.position.distance(exhaustive.position) < 1e-6);
+        assert!((pruned.cost - exhaustive.cost).abs() <= 1e-6 * (1.0 + exhaustive.cost));
+    }
+
+    #[test]
+    fn warm_start_3d_hit_skips_the_scan() {
+        let scene = Scene::four_antenna_3d()
+            .with_noise(NoiseModel::clean())
+            .with_reader(ReaderConfig::ideal());
+        let truth = Vec3::new(0.5, 1.4, 0.6);
+        let dipole = Vec3::new(0.6, 0.3, 0.7).normalized();
+        let obs = observations_3d(&scene, truth, dipole, 13);
+        let config = Solver3DConfig::default();
+        let seeds =
+            Solve3DSeeds::for_scene(scene.region(), (0.0, 1.0), &config, &scene.antenna_poses());
+        let mut ws = Solver3DWorkspace::default();
+        let cold = solve_3d_seeded(&obs, &seeds, &config, &mut ws).unwrap();
+        let before = ws.prune_stats();
+        let warm = WarmStart3D::from_estimate(&cold);
+        let warm_est =
+            solve_3d_seeded_warm(&obs, &seeds, &config, &mut ws, Some(&warm)).unwrap();
+        let ps = ws.prune_stats().since(before);
+        assert_eq!(ps.warm_start_hits, 1, "gate should accept the prior");
+        assert_eq!(ps.seeds_refined, 1);
+        assert!(warm_est.position.distance(cold.position) < 1e-6);
+        assert!((warm_est.cost - cold.cost).abs() <= 1e-6 * (1.0 + cold.cost));
+    }
+
+    #[test]
+    fn warm_start_3d_params_round_trip_dipole() {
+        // θ/φ parameterization must reproduce the dipole axis.
+        let w = Vec3::new(0.3, -0.4, 0.85).normalized();
+        let warm = WarmStart3D {
+            position: Vec3::new(0.5, 1.0, 0.5),
+            dipole: w,
+            kt: 0.0,
+            bt: 0.0,
+        };
+        let p = warm.params();
+        let back = dipole_from_angles(p[3], p[4]);
+        assert!(back.dot(w).abs() > 1.0 - 1e-12);
     }
 }

@@ -70,6 +70,16 @@ impl TagTracker {
         self.state.map(|s| Vec2::new(s[2], s[3]))
     }
 
+    /// Constant-velocity position prediction at `time_s`, without mutating
+    /// the filter — the warm-start position for the next sensing round
+    /// (feed it to [`crate::WarmStart::with_position`]). Times before the
+    /// last observation clamp to it.
+    pub fn extrapolate(&self, time_s: f64) -> Option<Vec2> {
+        let s = self.state?;
+        let dt = (time_s - self.last_time_s).max(0.0);
+        Some(Vec2::new(s[0] + dt * s[2], s[1] + dt * s[3]))
+    }
+
     /// Advances the filter to `time_s` without a measurement (e.g. the
     /// round was rejected by the error detector). No-op before
     /// initialization.
@@ -254,6 +264,23 @@ mod tests {
         let mut t = TagTracker::new(TrackerConfig::default());
         t.predict_to(100.0);
         assert!(!t.is_initialized());
+    }
+
+    #[test]
+    fn extrapolate_projects_without_mutating() {
+        let mut t = TagTracker::new(TrackerConfig::default());
+        assert_eq!(t.extrapolate(5.0), None);
+        for round in 0..10 {
+            let time = round as f64 * 10.0;
+            t.observe(Vec2::new(0.02 * time, 1.0), time);
+        }
+        let before = t.position().unwrap();
+        let ahead = t.extrapolate(120.0).unwrap();
+        assert!((ahead.x - 2.4).abs() < 0.1, "extrapolated {ahead}");
+        assert!((ahead.y - 1.0).abs() < 0.05);
+        // Read-only: filter state unchanged, and past times clamp.
+        assert_eq!(t.position().unwrap(), before);
+        assert_eq!(t.extrapolate(0.0), Some(before));
     }
 }
 

@@ -1,0 +1,110 @@
+//! Steady-state allocation contract of the LM linear-algebra kernel
+//! (DESIGN.md §6): once an [`LmWorkspace`]'s buffers have been sized by a
+//! first solve, further solves against that workspace perform **zero**
+//! heap allocations — the normal equations, factorization, step and trial
+//! point all live in flat caller-owned buffers.
+//!
+//! Measured with a counting `#[global_allocator]`; this lives in an
+//! integration test because the library itself forbids `unsafe` (tests
+//! are a separate crate, so the crate-level `forbid` does not apply).
+
+use rfp_core::model::{extract_observation, AntennaObservation, ExtractConfig};
+use rfp_core::solver::{
+    levenberg_marquardt_analytic_with, levenberg_marquardt_with, residuals_2d,
+    residuals_and_jacobian_2d, LmWorkspace, SolverConfig,
+};
+use rfp_geom::Vec2;
+use rfp_sim::{Motion, Scene, SimTag};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+/// Pass-through allocator that counts alloc/realloc events while armed.
+struct CountingAlloc;
+
+static ARMED: AtomicBool = AtomicBool::new(false);
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if ARMED.load(Ordering::Relaxed) {
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        }
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if ARMED.load(Ordering::Relaxed) {
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        }
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+/// Counts heap allocations performed by `f`.
+fn allocations_during<R>(f: impl FnOnce() -> R) -> (R, u64) {
+    ALLOCATIONS.store(0, Ordering::SeqCst);
+    ARMED.store(true, Ordering::SeqCst);
+    let out = f();
+    ARMED.store(false, Ordering::SeqCst);
+    (out, ALLOCATIONS.load(Ordering::SeqCst))
+}
+
+/// Real solver observations so the kernels run against the production
+/// residual/Jacobian closures, not a toy model.
+fn scene_observations() -> (Vec<AntennaObservation>, SolverConfig) {
+    let scene = Scene::standard_2d();
+    let tag = SimTag::with_seeded_diversity(9)
+        .with_motion(Motion::planar_static(Vec2::new(0.5, 1.5), 0.8));
+    let survey = scene.survey(&tag, 17);
+    let obs = scene
+        .antenna_poses()
+        .iter()
+        .zip(&survey.per_antenna)
+        .map(|(&p, r)| extract_observation(p, r, &ExtractConfig::paper()).expect("usable"))
+        .collect();
+    (obs, SolverConfig::default())
+}
+
+const P0: [f64; 5] = [0.4, 1.4, 0.6, 5.0e-9, 1.0];
+
+#[test]
+fn analytic_core_is_allocation_free_in_steady_state() {
+    let (obs, config) = scene_observations();
+    let resjac = |p: &[f64], r: &mut Vec<f64>, jac: Option<&mut Vec<f64>>| {
+        residuals_and_jacobian_2d(&obs, p, &config, r, jac);
+    };
+    let mut ws = LmWorkspace::default();
+    // First solve sizes every buffer.
+    levenberg_marquardt_analytic_with(&mut ws, &resjac, P0.to_vec(), 60, 1e-12);
+    // The parameter vector is handed in from outside the window; the core
+    // itself must not touch the heap again.
+    let p = P0.to_vec();
+    let ((_, cost), allocs) = allocations_during(|| {
+        levenberg_marquardt_analytic_with(&mut ws, &resjac, p, 60, 1e-12)
+    });
+    assert!(cost.is_finite());
+    assert_eq!(allocs, 0, "analytic LM core allocated {allocs} times in steady state");
+}
+
+#[test]
+fn numeric_core_is_allocation_free_in_steady_state() {
+    let (obs, config) = scene_observations();
+    let residual =
+        |p: &[f64], out: &mut Vec<f64>| residuals_2d(&obs, p, &config, out);
+    let steps = [1e-4, 1e-4, 1e-4, 1e-12, 1e-4];
+    let mut ws = LmWorkspace::default();
+    levenberg_marquardt_with(&mut ws, &residual, P0.to_vec(), &steps, 60, 1e-12);
+    let p = P0.to_vec();
+    let ((_, cost), allocs) = allocations_during(|| {
+        levenberg_marquardt_with(&mut ws, &residual, p, &steps, 60, 1e-12)
+    });
+    assert!(cost.is_finite());
+    assert_eq!(allocs, 0, "numeric LM core allocated {allocs} times in steady state");
+}

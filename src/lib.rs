@@ -63,9 +63,9 @@ pub use rfp_sim as sim;
 pub mod prelude {
     pub use rfp_core::{
         BatchCache, BatchCache3D, CalibrationDb, DeviceCalibration, JacobianMode,
-        MaterialFeatures, MaterialIdentifier, MobilityVerdict, RfPrism, RfPrismConfig,
-        SenseError, SensingResult, SolveStats, SolverConfig, TagEstimate2D, TagReads,
-        TagRounds,
+        MaterialFeatures, MaterialIdentifier, MobilityVerdict, PruneStats, RfPrism,
+        RfPrismConfig, SenseError, SensingResult, SolveStats, SolverConfig, TagEstimate2D,
+        TagReads, TagRounds, WarmStart, WarmStart3D,
     };
     pub use rfp_geom::{AntennaPose, Region2, Vec2, Vec3};
     pub use rfp_phys::{FrequencyPlan, Material, TagElectrical};
