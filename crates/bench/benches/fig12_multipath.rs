@@ -17,7 +17,7 @@ use rfp_sim::{MultipathEnvironment, Scene};
 fn run_localization(scene: &Scene, suppress: bool) -> (f64, f64) {
     let mut config = RfPrismConfig::paper();
     config.extract = ExtractConfig { suppress_multipath: suppress, ..ExtractConfig::paper() };
-    let prism = RfPrism::new(scene.antenna_poses(), scene.reader().plan.clone())
+    let prism = RfPrism::new(scene.antenna_poses(), scene.reader().plan)
         .with_region(scene.region())
         .with_config(config);
     let specs = loc::grid_orientation_specs(scene, 2);

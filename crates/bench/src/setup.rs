@@ -42,7 +42,7 @@ pub const REGION_NAMES: [&str; 3] = ["near", "medium", "far"];
 
 /// The standard sensing pipeline for a scene.
 pub fn prism_for(scene: &Scene) -> RfPrism {
-    RfPrism::new(scene.antenna_poses(), scene.reader().plan.clone())
+    RfPrism::new(scene.antenna_poses(), scene.reader().plan)
         .with_region(scene.region())
 }
 

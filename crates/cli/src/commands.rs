@@ -126,7 +126,7 @@ pub fn simulate(args: &[String]) -> Result<String, CommandError> {
 
     let sim_tags: Vec<SimTag> = tags.iter().map(|(t, _)| t.clone()).collect();
     let round = scene.survey_inventory(&sim_tags, seed);
-    let mut log = SurveyLog::new(scene.reader().plan.clone(), scene.antenna_poses());
+    let mut log = SurveyLog::new(scene.reader().plan, scene.antenna_poses());
     for ((tag, truth), (id, survey)) in tags.iter().zip(round.surveys) {
         debug_assert_eq!(tag.id(), id);
         log.add_tag(id, survey.per_antenna, Some(*truth));
@@ -254,7 +254,7 @@ fn sense_table(
         None => None,
     };
     let region = default_region(&log);
-    let prism = RfPrism::new(log.poses.clone(), log.plan.clone()).with_region(region);
+    let prism = RfPrism::new(log.poses.clone(), log.plan).with_region(region);
 
     // Fan the per-tag solves across the worker pool; results come back in
     // log order, so the report below is byte-identical at any `jobs`.
@@ -360,7 +360,7 @@ pub fn calibrate(args: &[String]) -> Result<String, CommandError> {
 fn default_region(log: &SurveyLog) -> Region2 {
     let _ = &log.poses;
     // RfPrism::new already computes a sensible default; reuse it.
-    RfPrism::new(log.poses.clone(), log.plan.clone()).region()
+    RfPrism::new(log.poses.clone(), log.plan).region()
 }
 
 /// Top-level usage text.

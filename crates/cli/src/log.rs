@@ -276,7 +276,7 @@ mod tests {
 
     fn sample_log() -> SurveyLog {
         let scene = Scene::standard_2d();
-        let mut log = SurveyLog::new(scene.reader().plan.clone(), scene.antenna_poses());
+        let mut log = SurveyLog::new(scene.reader().plan, scene.antenna_poses());
         for (i, &(x, y)) in [(0.2, 1.1), (0.9, 1.8)].iter().enumerate() {
             let tag = SimTag::with_seeded_diversity(i as u64 + 1)
                 .attached_to(Material::Glass)

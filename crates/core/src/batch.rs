@@ -14,23 +14,25 @@
 //!   [`SolveSeeds::for_scene`]). Built once, shared *read-only* by all
 //!   workers; this is the [`BatchCache`]. The pipeline itself (`&RfPrism`)
 //!   is part of this tier — workers borrow it, nothing is cloned.
-//! * **Per worker** — the solver scratch buffers ([`SolverWorkspace`] /
-//!   `LmWorkspace`), reused across every solve a worker performs. Reuse
-//!   only avoids reallocation; it never changes results.
+//! * **Per worker** — the full sensing scratch ([`SenseWorkspace`]: DSP
+//!   front-end columns, solver buffers, recycled observation pools),
+//!   reused across every solve a worker performs. Reuse only avoids
+//!   reallocation; it never changes results.
 //! * **Per tag** — the raw reads in and the [`SensingResult`] out.
 //!
-//! Work is claimed from a shared atomic counter, so the *assignment* of
-//! tags to workers is scheduling-dependent — but each tag's solve reads
-//! only shared immutable state plus its own inputs, so every output is
-//! **bit-identical** to the sequential [`RfPrism::sense`] result for the
-//! same reads, at any worker count (the equivalence test suite in
-//! `tests/batch_equivalence.rs` pins this down to `f64::to_bits`).
+//! Work is claimed in chunks from a shared atomic cursor, so the
+//! *assignment* of tags to workers is scheduling-dependent — but each
+//! tag's solve reads only shared immutable state plus its own inputs, so
+//! every output is **bit-identical** to the sequential [`RfPrism::sense`]
+//! result for the same reads, at any worker count (the equivalence test
+//! suite in `tests/batch_equivalence.rs` pins this down to
+//! `f64::to_bits`).
 
 use crate::obs;
-use crate::pipeline::{RfPrism, SenseError, SensingResult};
-use crate::pipeline3d::{RfPrism3D, Sense3DError, Sensing3DResult};
-use crate::solver::{SolveSeeds, SolverWorkspace, WarmStart};
-use crate::solver3d::{Solve3DSeeds, Solver3DWorkspace, WarmStart3D};
+use crate::pipeline::{RfPrism, SenseError, SenseWorkspace, SensingResult};
+use crate::pipeline3d::{RfPrism3D, Sense3DError, Sense3DWorkspace, Sensing3DResult};
+use crate::solver::{SolveSeeds, WarmStart};
+use crate::solver3d::{Solve3DSeeds, WarmStart3D};
 use rfp_dsp::preprocess::RawRead;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
@@ -54,10 +56,22 @@ pub struct BatchCache {
     seeds: SolveSeeds,
 }
 
+impl BatchCache {
+    pub(crate) fn seeds(&self) -> &SolveSeeds {
+        &self.seeds
+    }
+}
+
 /// Per-scene precomputation for batched 3-D sensing (see [`BatchCache`]).
 #[derive(Debug, Clone)]
 pub struct BatchCache3D {
     seeds: Solve3DSeeds,
+}
+
+impl BatchCache3D {
+    pub(crate) fn seeds(&self) -> &Solve3DSeeds {
+        &self.seeds
+    }
 }
 
 impl RfPrism {
@@ -100,7 +114,7 @@ impl RfPrism {
         let _batch_span = obs::span("sense_batch");
         obs::counter_add(obs::id::BATCH_TAGS, tags.len() as u64);
         obs::gauge_set(obs::id::BATCH_WORKERS, effective_jobs(jobs, tags.len()) as f64);
-        fan_out(tags, jobs, SolverWorkspace::default, |reads, workspace| {
+        fan_out(tags, jobs, SenseWorkspace::default, |reads, workspace| {
             self.sense_with(reads.as_ref(), &cache.seeds, workspace, None)
         })
     }
@@ -134,7 +148,7 @@ impl RfPrism {
         obs::gauge_set(obs::id::BATCH_WORKERS, effective_jobs(jobs, tags.len()) as f64);
         let items: Vec<(&T, Option<&WarmStart>)> =
             tags.iter().zip(warms.iter().map(Option::as_ref)).collect();
-        fan_out(&items, jobs, SolverWorkspace::default, |(reads, warm), workspace| {
+        fan_out(&items, jobs, SenseWorkspace::default, |(reads, warm), workspace| {
             self.sense_with(reads.as_ref(), &cache.seeds, workspace, *warm)
         })
     }
@@ -156,7 +170,7 @@ impl RfPrism {
         let _batch_span = obs::span("sense_rounds_batch");
         obs::counter_add(obs::id::BATCH_TAGS, tags.len() as u64);
         obs::gauge_set(obs::id::BATCH_WORKERS, effective_jobs(jobs, tags.len()) as f64);
-        fan_out(tags, jobs, SolverWorkspace::default, |rounds, workspace| {
+        fan_out(tags, jobs, SenseWorkspace::default, |rounds, workspace| {
             self.sense_rounds_with(rounds.as_ref(), &cache.seeds, workspace, None)
         })
     }
@@ -187,7 +201,7 @@ impl RfPrism {
         obs::gauge_set(obs::id::BATCH_WORKERS, effective_jobs(jobs, tags.len()) as f64);
         let items: Vec<(&T, Option<&WarmStart>)> =
             tags.iter().zip(warms.iter().map(Option::as_ref)).collect();
-        fan_out(&items, jobs, SolverWorkspace::default, |(rounds, warm), workspace| {
+        fan_out(&items, jobs, SenseWorkspace::default, |(rounds, warm), workspace| {
             self.sense_rounds_with(rounds.as_ref(), &cache.seeds, workspace, *warm)
         })
     }
@@ -226,7 +240,7 @@ impl RfPrism3D {
         let _batch_span = obs::span("sense_batch_3d");
         obs::counter_add(obs::id::BATCH_TAGS, tags.len() as u64);
         obs::gauge_set(obs::id::BATCH_WORKERS, effective_jobs(jobs, tags.len()) as f64);
-        fan_out(tags, jobs, Solver3DWorkspace::default, |reads, workspace| {
+        fan_out(tags, jobs, Sense3DWorkspace::default, |reads, workspace| {
             self.sense_with(reads.as_ref(), &cache.seeds, workspace, None)
         })
     }
@@ -257,7 +271,7 @@ impl RfPrism3D {
         obs::gauge_set(obs::id::BATCH_WORKERS, effective_jobs(jobs, tags.len()) as f64);
         let items: Vec<(&T, Option<&WarmStart3D>)> =
             tags.iter().zip(warms.iter().map(Option::as_ref)).collect();
-        fan_out(&items, jobs, Solver3DWorkspace::default, |(reads, warm), workspace| {
+        fan_out(&items, jobs, Sense3DWorkspace::default, |(reads, warm), workspace| {
             self.sense_with(reads.as_ref(), &cache.seeds, workspace, *warm)
         })
     }
@@ -278,11 +292,16 @@ pub fn effective_jobs(jobs: usize, items: usize) -> usize {
 /// giving each worker one `new_state()` value it reuses across all the
 /// items it claims. Returns results in input order.
 ///
-/// Items are claimed from a shared atomic counter (dynamic scheduling —
-/// solves vary in cost, so static chunking would leave workers idle), and
+/// Work is claimed in contiguous chunks from a shared atomic cursor
+/// (dynamic scheduling — solves vary in cost, so purely static chunking
+/// would leave workers idle, while per-item claiming maximizes contention
+/// on the counter and interleaves the workers' cache footprints). The
+/// chunk size targets ~4 claims per worker so the tail stays balanced.
 /// `(index, result)` pairs flow back over an mpsc channel; the caller's
 /// thread reassembles them in order. With `jobs <= 1` everything runs
-/// inline on the calling thread — no spawn, no channel.
+/// inline on the calling thread — no spawn, no channel. Chunking only
+/// changes *which worker* computes an item, never the result — each item
+/// depends only on shared immutable state and its own input.
 fn fan_out<I, R, S, N, F>(items: &[I], jobs: usize, new_state: N, work: F) -> Vec<R>
 where
     I: Sync,
@@ -300,6 +319,7 @@ where
     // threads have no recorder of their own, so each gets a fresh one
     // (over the same metric table) only when the coordinator is recording.
     let observing = obs::active();
+    let chunk = (items.len() / (jobs * 4)).max(1);
     let next = AtomicUsize::new(0);
     let (tx, rx) = mpsc::channel::<(usize, R)>();
     let (obs_tx, obs_rx) = mpsc::channel::<(usize, obs::WorkerObs)>();
@@ -311,14 +331,17 @@ where
             scope.spawn(move || {
                 let ((), worker_obs) = obs::WorkerObs::new(observing).run(|| {
                     let mut state = new_state();
-                    loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        if i >= items.len() {
+                    'claim: loop {
+                        let start = next.fetch_add(chunk, Ordering::Relaxed);
+                        if start >= items.len() {
                             break;
                         }
-                        let result = work(&items[i], &mut state);
-                        if tx.send((i, result)).is_err() {
-                            break;
+                        let end = (start + chunk).min(items.len());
+                        for (i, item) in items[start..end].iter().enumerate() {
+                            let result = work(item, &mut state);
+                            if tx.send((start + i, result)).is_err() {
+                                break 'claim;
+                            }
                         }
                     }
                 });

@@ -149,7 +149,7 @@ mod tests {
             })
             .collect();
         let sensor = InventorySensor::new(
-            RfPrism::new(scene.antenna_poses(), scene.reader().plan.clone())
+            RfPrism::new(scene.antenna_poses(), scene.reader().plan)
                 .with_region(scene.region()),
         );
         let round = round_from_scene(&scene, &tags, 5);
@@ -175,7 +175,7 @@ mod tests {
             )),
         ];
         let sensor = InventorySensor::new(
-            RfPrism::new(scene.antenna_poses(), scene.reader().plan.clone())
+            RfPrism::new(scene.antenna_poses(), scene.reader().plan)
                 .with_region(scene.region()),
         );
         let outcomes = sensor.take_stock(&round_from_scene(&scene, &tags, 6));

@@ -42,7 +42,7 @@
 //! let survey = scene.survey(&tag, 1);
 //!
 //! // The sensing side sees only poses, the channel plan and raw reads.
-//! let prism = RfPrism::new(scene.antenna_poses(), scene.reader().plan.clone());
+//! let prism = RfPrism::new(scene.antenna_poses(), scene.reader().plan);
 //! let result = prism.sense(&survey.per_antenna)?;
 //! let err_cm = result.estimate.position.distance(Vec2::new(0.3, 1.4)) * 100.0;
 //! assert!(err_cm < 40.0, "localization error {err_cm} cm");
@@ -73,8 +73,10 @@ pub use detector::{DetectorConfig, MobilityVerdict};
 pub use inventory::{InventorySensor, ItemOutcome, ItemReport};
 pub use material::{MaterialFeatures, MaterialIdentifier};
 pub use model::AntennaObservation;
-pub use pipeline::{RfPrism, RfPrismConfig, SenseError, SensingResult};
-pub use pipeline3d::{RfPrism3D, RfPrism3DConfig, Sense3DError, Sensing3DResult};
+pub use pipeline::{RfPrism, RfPrismConfig, SenseError, SenseWorkspace, SensingResult};
+pub use pipeline3d::{
+    RfPrism3D, RfPrism3DConfig, Sense3DError, Sense3DWorkspace, Sensing3DResult,
+};
 pub use solver::{JacobianMode, PruneStats, SolveStats, SolverConfig, TagEstimate2D, WarmStart};
 pub use solver3d::{TagEstimate3D, WarmStart3D};
 pub use tracking::{TagTracker, TrackerConfig};

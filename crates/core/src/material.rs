@@ -81,33 +81,39 @@ impl MaterialFeatures {
 
         // Unwrap the stored (mod 2π) calibration curve across channels: the
         // device response is smooth, ~0.02 rad between adjacent channels.
+        // The unwrapped curve lands in a dense per-channel column (indexed
+        // directly below — calibration channels come out of `iter()` in
+        // ascending order, which the unwrap needs).
         let cal_samples: Vec<(usize, f64, f64)> = calibration.iter().collect();
         let mut cal_phases: Vec<f64> = cal_samples.iter().map(|&(_, _, v)| v).collect();
         angle::unwrap_in_place(&mut cal_phases);
-        let device0: std::collections::BTreeMap<usize, f64> = cal_samples
-            .iter()
-            .zip(&cal_phases)
-            .map(|(&(ch, _, _), &v)| (ch, v))
-            .collect();
+        let mut device0 = vec![f64::NAN; channel_count];
+        for (&(ch, _, _), &v) in cal_samples.iter().zip(&cal_phases) {
+            if ch < channel_count {
+                device0[ch] = v;
+            }
+        }
 
         let w = planar_dipole(estimate.orientation);
         let mut acc = vec![0.0f64; channel_count];
         let mut counts = vec![0usize; channel_count];
         let mut freqs = vec![0.0f64; channel_count];
+        let mut curve = Vec::new();
         for obs in observations {
             let d = obs.pose.position().distance(estimate.position.with_z(0.0));
             let k_prop = propagation::slope_from_distance(d);
             let theta_orient = orientation_phase(&obs.pose, w);
             // This antenna's continuous material curve (arbitrary constant
             // offset: unwrap constants, orientation error).
-            let mut curve = Vec::with_capacity(obs.channels.len());
+            curve.clear();
             for (c, &inlier) in obs.channels.iter().zip(&obs.channel_inliers) {
                 if !inlier || c.channel >= channel_count {
                     continue;
                 }
-                let Some(&dev0) = device0.get(&c.channel) else {
+                let dev0 = device0[c.channel];
+                if dev0.is_nan() {
                     continue;
-                };
+                }
                 let v = c.phase - k_prop * c.frequency_hz - theta_orient - dev0;
                 curve.push((c.channel, c.frequency_hz, v));
             }
@@ -116,7 +122,7 @@ impl MaterialFeatures {
             }
             // Remove this antenna's arbitrary constant before accumulating.
             let mean = curve.iter().map(|&(_, _, v)| v).sum::<f64>() / curve.len() as f64;
-            for (ch, f, v) in curve {
+            for &(ch, f, v) in &curve {
                 acc[ch] += v - mean;
                 counts[ch] += 1;
                 freqs[ch] = f;

@@ -6,8 +6,11 @@
 //! the paper's multipath suppression: channels whose phase deviates from
 //! the consensus line are dropped before the slope/intercept are read off.
 
-use rfp_dsp::preprocess::{preprocess_reads, ChannelObservation, PreprocessConfig, RawRead};
-use rfp_dsp::robust::{robust_line_fit, RobustFitConfig};
+use crate::obs::counter_add;
+use crate::obs::id::{FRONTEND_CHANNELS, FRONTEND_READS, FRONTEND_WINDOWS};
+use rfp_dsp::preprocess::{preprocess_reads_with, ChannelObservation, PreprocessConfig, RawRead};
+use rfp_dsp::robust::{robust_line_fit_with, RobustFitConfig};
+use rfp_dsp::workspace::FrontEndWorkspace;
 use rfp_geom::{angle, AntennaPose};
 
 /// The fitted multi-frequency line of one antenna, plus diagnostics.
@@ -66,12 +69,6 @@ impl AntennaObservation {
         self.channels.len()
     }
 
-    // Private: kept alongside the wrapped intercept.
-    pub(crate) fn with_unwrapped_intercept(mut self, b: f64) -> Self {
-        self.unwrapped_intercept = b;
-        self
-    }
-
     /// An observation carrying only a fitted line `(slope, intercept)` —
     /// no channel detail, no RSSI (`mean_rssi_dbm` is `-∞`, which
     /// disables the solver's RSSI mode penalty). Intended for synthetic
@@ -85,7 +82,7 @@ impl AntennaObservation {
         o
     }
 
-    fn new_empty(pose: AntennaPose) -> Self {
+    pub(crate) fn new_empty(pose: AntennaPose) -> Self {
         AntennaObservation {
             pose,
             slope: 0.0,
@@ -177,42 +174,74 @@ pub fn extract_observation(
     reads: &[RawRead],
     config: &ExtractConfig,
 ) -> Result<AntennaObservation, ExtractError> {
-    let channels = preprocess_reads(reads, &config.preprocess)?;
-    if channels.len() < 5 {
-        return Err(ExtractError::TooFewChannels { available: channels.len() });
+    let mut ws = FrontEndWorkspace::default();
+    let mut obs = AntennaObservation::new_empty(pose);
+    extract_observation_into(pose, reads, config, &mut ws, &mut obs)?;
+    Ok(obs)
+}
+
+/// [`extract_observation`] against caller-owned scratch: the SoA front-end
+/// columns live in `ws` and the output observation is rebuilt in place in
+/// `out` (its `channels` / `channel_inliers` buffers are reused), so the
+/// steady-state path performs no heap allocation.
+///
+/// On error `out` is left in an unspecified but valid state; callers should
+/// only use it after an `Ok`.
+///
+/// # Errors
+///
+/// As [`extract_observation`].
+pub fn extract_observation_into(
+    pose: AntennaPose,
+    reads: &[RawRead],
+    config: &ExtractConfig,
+    ws: &mut FrontEndWorkspace,
+    out: &mut AntennaObservation,
+) -> Result<(), ExtractError> {
+    counter_add(FRONTEND_WINDOWS, 1);
+    counter_add(FRONTEND_READS, reads.len() as u64);
+    preprocess_reads_with(ws, reads, &config.preprocess, &mut out.channels)?;
+    if out.channels.len() < 5 {
+        return Err(ExtractError::TooFewChannels { available: out.channels.len() });
     }
-    let xs: Vec<f64> = channels.iter().map(|c| c.frequency_hz).collect();
-    let ys: Vec<f64> = channels.iter().map(|c| c.phase).collect();
+    counter_add(FRONTEND_CHANNELS, out.channels.len() as u64);
 
-    let raw_fit = rfp_dsp::linfit::ols(&xs, &ys)?;
+    // Raw fit from the sums the front end already accumulated while
+    // unwrapping — no second pass over the columns.
+    let raw_fit = ws.raw_fit()?;
 
-    let (fit, inliers, inlier_fraction) = if config.suppress_multipath {
-        let r = robust_line_fit(&xs, &ys, &config.robust)?;
-        let frac = r.inlier_fraction();
-        (r.fit, r.inliers, frac)
+    let (fit, inlier_fraction) = if config.suppress_multipath {
+        let n = out.channels.len();
+        let (xs, ys, fit_ws) = ws.fit_columns();
+        let summary = robust_line_fit_with(fit_ws, xs, ys, &config.robust)?;
+        out.channel_inliers.clear();
+        out.channel_inliers.extend_from_slice(ws.fit.inlier_mask());
+        (summary.fit, summary.inlier_fraction(n))
     } else {
-        (raw_fit, vec![true; xs.len()], 1.0)
+        out.channel_inliers.clear();
+        out.channel_inliers.resize(out.channels.len(), true);
+        (raw_fit, 1.0)
     };
 
-    let kept_rssi: Vec<f64> = channels
-        .iter()
-        .zip(&inliers)
-        .filter(|(_, &k)| k)
-        .map(|(c, _)| c.rssi_dbm)
-        .collect();
-    let mean_rssi = kept_rssi.iter().sum::<f64>() / kept_rssi.len().max(1) as f64;
+    let mut rssi_sum = 0.0;
+    let mut rssi_n = 0usize;
+    for (c, &keep) in out.channels.iter().zip(&out.channel_inliers) {
+        if keep {
+            rssi_sum += c.rssi_dbm;
+            rssi_n += 1;
+        }
+    }
 
-    let mut obs = AntennaObservation::new_empty(pose);
-    obs.slope = fit.slope;
-    obs.intercept = angle::wrap_tau(fit.intercept);
-    obs.residual_std = fit.residual_std;
-    obs.raw_residual_std = raw_fit.residual_std;
-    obs.raw_r_squared = raw_fit.r_squared;
-    obs.inlier_fraction = inlier_fraction;
-    obs.channels = channels;
-    obs.channel_inliers = inliers;
-    obs.mean_rssi_dbm = mean_rssi;
-    Ok(obs.with_unwrapped_intercept(fit.intercept))
+    out.pose = pose;
+    out.slope = fit.slope;
+    out.intercept = angle::wrap_tau(fit.intercept);
+    out.residual_std = fit.residual_std;
+    out.raw_residual_std = raw_fit.residual_std;
+    out.raw_r_squared = raw_fit.r_squared;
+    out.inlier_fraction = inlier_fraction;
+    out.mean_rssi_dbm = rssi_sum / rssi_n.max(1) as f64;
+    out.unwrapped_intercept = fit.intercept;
+    Ok(())
 }
 
 #[cfg(test)]

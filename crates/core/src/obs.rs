@@ -92,6 +92,12 @@ pub mod id {
     /// `solver.warm_start_misses` — warm-start attempts rejected by the
     /// gate (fell back to the multi-start scan).
     pub const SOLVER_WARM_MISSES: usize = 27;
+    /// `frontend.windows` — per-antenna front-end extractions attempted.
+    pub const FRONTEND_WINDOWS: usize = 28;
+    /// `frontend.reads` — raw reader reports consumed by the front end.
+    pub const FRONTEND_READS: usize = 29;
+    /// `frontend.channels` — clean channel observations produced.
+    pub const FRONTEND_CHANNELS: usize = 30;
 }
 
 #[cfg(feature = "obs")]
@@ -160,6 +166,9 @@ mod enabled {
         MetricDef::counter("solver.seeds_pruned", "seeds skipped by the coarse ranking"),
         MetricDef::counter("solver.warm_start_hits", "warm starts accepted by the gate"),
         MetricDef::counter("solver.warm_start_misses", "warm starts rejected by the gate"),
+        MetricDef::counter("frontend.windows", "per-antenna front-end extractions attempted"),
+        MetricDef::counter("frontend.reads", "raw reader reports consumed by the front end"),
+        MetricDef::counter("frontend.channels", "clean channel observations produced"),
     ];
 
     pub use recorder::{counter_add, gauge_set, observe_value};
@@ -269,6 +278,9 @@ mod enabled {
                 (SOLVER_SEEDS_PRUNED, "solver.seeds_pruned"),
                 (SOLVER_WARM_HITS, "solver.warm_start_hits"),
                 (SOLVER_WARM_MISSES, "solver.warm_start_misses"),
+                (FRONTEND_WINDOWS, "frontend.windows"),
+                (FRONTEND_READS, "frontend.reads"),
+                (FRONTEND_CHANNELS, "frontend.channels"),
             ];
             assert_eq!(by_idx.len(), METRICS.len());
             for (idx, name) in by_idx {

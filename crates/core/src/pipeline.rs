@@ -7,16 +7,18 @@
 //! error detection → the joint disentangling solve, and returns the tag's
 //! position, orientation and material parameters simultaneously.
 
+use crate::batch::BatchCache;
 use crate::detector::{assess, DetectorConfig, MobilityVerdict};
 use crate::material::MaterialFeatures;
 use crate::obs;
-use crate::model::{extract_observation, AntennaObservation, ExtractConfig, ExtractError};
+use crate::model::{extract_observation_into, AntennaObservation, ExtractConfig, ExtractError};
 use crate::solver::{
     solve_2d_seeded_warm, SolveError, SolveSeeds, SolverConfig, SolverWorkspace, TagEstimate2D,
     WarmStart,
 };
 use crate::DeviceCalibration;
 use rfp_dsp::preprocess::RawRead;
+use rfp_dsp::workspace::FrontEndWorkspace;
 use rfp_geom::{AntennaPose, Region2, Vec2};
 use rfp_phys::FrequencyPlan;
 
@@ -120,6 +122,53 @@ impl std::error::Error for SenseError {}
 impl From<SolveError> for SenseError {
     fn from(e: SolveError) -> Self {
         SenseError::Solve(e)
+    }
+}
+
+/// Reusable scratch for a full sensing pass: the DSP front-end columns
+/// ([`FrontEndWorkspace`]), the solver scratch ([`SolverWorkspace`]) and
+/// free-lists of recycled [`AntennaObservation`]s and observation vectors.
+///
+/// One `SenseWorkspace` per worker thread makes the whole
+/// raw-reads → estimate path allocation-free in steady state: feed results
+/// back with [`SenseWorkspace::recycle`] once you are done with them and
+/// every buffer — channel columns, inlier masks, observation vectors,
+/// solver candidates — is reused on the next call. Reuse never changes
+/// results; `tests/alloc_free.rs` pins both properties.
+#[derive(Debug, Default)]
+pub struct SenseWorkspace {
+    pub(crate) solver: SolverWorkspace,
+    pub(crate) frontend: FrontEndWorkspace,
+    obs_free: Vec<AntennaObservation>,
+    vec_free: Vec<Vec<AntennaObservation>>,
+}
+
+impl SenseWorkspace {
+    /// Returns a result's buffers to the workspace pools so the next
+    /// [`RfPrism::sense_reusing`] call can reuse them instead of
+    /// allocating. Purely an optimization — dropping the result instead is
+    /// always correct.
+    pub fn recycle(&mut self, result: SensingResult) {
+        self.recycle_observations(result.observations);
+    }
+
+    pub(crate) fn take_observations(&mut self) -> Vec<AntennaObservation> {
+        let mut v = self.vec_free.pop().unwrap_or_default();
+        v.clear();
+        v
+    }
+
+    pub(crate) fn take_slot(&mut self, pose: AntennaPose) -> AntennaObservation {
+        self.obs_free.pop().unwrap_or_else(|| AntennaObservation::new_empty(pose))
+    }
+
+    pub(crate) fn recycle_slot(&mut self, slot: AntennaObservation) {
+        self.obs_free.push(slot);
+    }
+
+    pub(crate) fn recycle_observations(&mut self, mut v: Vec<AntennaObservation>) {
+        self.obs_free.append(&mut v);
+        self.vec_free.push(v);
     }
 }
 
@@ -234,7 +283,7 @@ impl RfPrism {
     /// * [`SenseError::Solve`] — the joint solve failed.
     pub fn sense(&self, reads_per_antenna: &[Vec<RawRead>]) -> Result<SensingResult, SenseError> {
         let seeds = self.solve_seeds();
-        let mut workspace = SolverWorkspace::default();
+        let mut workspace = SenseWorkspace::default();
         self.sense_with(reads_per_antenna, &seeds, &mut workspace, None)
     }
 
@@ -251,8 +300,27 @@ impl RfPrism {
         warm: Option<&WarmStart>,
     ) -> Result<SensingResult, SenseError> {
         let seeds = self.solve_seeds();
-        let mut workspace = SolverWorkspace::default();
+        let mut workspace = SenseWorkspace::default();
         self.sense_with(reads_per_antenna, &seeds, &mut workspace, warm)
+    }
+
+    /// [`RfPrism::sense_warm`] against a prebuilt [`BatchCache`] and a
+    /// reusable [`SenseWorkspace`] — the allocation-free steady-state entry
+    /// point. Results are bit-identical to [`RfPrism::sense`] /
+    /// [`RfPrism::sense_warm`]; pass results back via
+    /// [`SenseWorkspace::recycle`] to keep the buffer pools primed.
+    ///
+    /// # Errors
+    ///
+    /// As [`RfPrism::sense`].
+    pub fn sense_reusing(
+        &self,
+        cache: &BatchCache,
+        reads_per_antenna: &[Vec<RawRead>],
+        warm: Option<&WarmStart>,
+        workspace: &mut SenseWorkspace,
+    ) -> Result<SensingResult, SenseError> {
+        self.sense_with(reads_per_antenna, cache.seeds(), workspace, warm)
     }
 
     /// The per-scene solver seeds for this pipeline's `(region, config)` —
@@ -272,7 +340,7 @@ impl RfPrism {
         &self,
         reads_per_antenna: &[Vec<RawRead>],
         seeds: &SolveSeeds,
-        workspace: &mut SolverWorkspace,
+        workspace: &mut SenseWorkspace,
         warm: Option<&WarmStart>,
     ) -> Result<SensingResult, SenseError> {
         let _sense_span = obs::span("sense");
@@ -284,14 +352,22 @@ impl RfPrism {
                 got: reads_per_antenna.len(),
             });
         }
-        let mut observations = Vec::with_capacity(self.poses.len());
+        let mut observations = workspace.take_observations();
         let mut first_error = None;
         {
             let _extract_span = obs::span("extract");
             for (pose, reads) in self.poses.iter().zip(reads_per_antenna) {
-                match extract_observation(*pose, reads, &self.config.extract) {
-                    Ok(obs) => observations.push(obs),
+                let mut slot = workspace.take_slot(*pose);
+                match extract_observation_into(
+                    *pose,
+                    reads,
+                    &self.config.extract,
+                    &mut workspace.frontend,
+                    &mut slot,
+                ) {
+                    Ok(()) => observations.push(slot),
                     Err(e) => {
+                        workspace.recycle_slot(slot);
                         obs::counter_add(obs::id::PIPELINE_EXTRACT_FAILURES, 1);
                         if first_error.is_none() {
                             first_error = Some(e);
@@ -302,10 +378,9 @@ impl RfPrism {
         }
         if observations.len() < 3 {
             obs::counter_add(obs::id::PIPELINE_WINDOWS_TOO_FEW_OBS, 1);
-            return Err(SenseError::TooFewObservations {
-                usable: observations.len(),
-                first_error,
-            });
+            let usable = observations.len();
+            workspace.recycle_observations(observations);
+            return Err(SenseError::TooFewObservations { usable, first_error });
         }
 
         let verdict = assess(&observations, &self.config.detector);
@@ -313,12 +388,24 @@ impl RfPrism {
         if self.config.reject_moving {
             if let MobilityVerdict::Moving { worst_residual_std } = verdict {
                 obs::counter_add(obs::id::PIPELINE_WINDOWS_MOVING_REJECTED, 1);
+                workspace.recycle_observations(observations);
                 return Err(SenseError::TagMoving { worst_residual_std });
             }
         }
 
-        let estimate =
-            solve_2d_seeded_warm(&observations, seeds, &self.config.solver, workspace, warm)?;
+        let estimate = match solve_2d_seeded_warm(
+            &observations,
+            seeds,
+            &self.config.solver,
+            &mut workspace.solver,
+            warm,
+        ) {
+            Ok(e) => e,
+            Err(e) => {
+                workspace.recycle_observations(observations);
+                return Err(e.into());
+            }
+        };
         obs::counter_add(obs::id::PIPELINE_WINDOWS_OK, 1);
         Ok(SensingResult { estimate, observations, verdict })
     }
@@ -332,7 +419,7 @@ mod tests {
     use rfp_sim::{Motion, MultipathEnvironment, NoiseModel, ReaderConfig, Scene, SimTag};
 
     fn prism_for(scene: &Scene) -> RfPrism {
-        RfPrism::new(scene.antenna_poses(), scene.reader().plan.clone())
+        RfPrism::new(scene.antenna_poses(), scene.reader().plan)
             .with_region(scene.region())
     }
 
@@ -427,7 +514,7 @@ mod tests {
     fn default_region_covers_standard_deployment() {
         let scene = Scene::standard_2d();
         // No with_region: the auto region must still contain the tag.
-        let prism = RfPrism::new(scene.antenna_poses(), scene.reader().plan.clone());
+        let prism = RfPrism::new(scene.antenna_poses(), scene.reader().plan);
         assert!(prism.region().contains(Vec2::new(0.5, 1.5)));
         let tag = SimTag::nominal(4)
             .with_motion(Motion::planar_static(Vec2::new(0.5, 1.5), 0.2));
@@ -457,7 +544,7 @@ impl RfPrism {
         rounds: &[Vec<Vec<rfp_dsp::preprocess::RawRead>>],
     ) -> Result<SensingResult, SenseError> {
         let seeds = self.solve_seeds();
-        let mut workspace = SolverWorkspace::default();
+        let mut workspace = SenseWorkspace::default();
         self.sense_rounds_with(rounds, &seeds, &mut workspace, None)
     }
 
@@ -469,7 +556,7 @@ impl RfPrism {
         warm: Option<&WarmStart>,
     ) -> Result<SensingResult, SenseError> {
         let seeds = self.solve_seeds();
-        let mut workspace = SolverWorkspace::default();
+        let mut workspace = SenseWorkspace::default();
         self.sense_rounds_with(rounds, &seeds, &mut workspace, warm)
     }
 
@@ -479,7 +566,7 @@ impl RfPrism {
         &self,
         rounds: &[Vec<Vec<rfp_dsp::preprocess::RawRead>>],
         seeds: &SolveSeeds,
-        workspace: &mut SolverWorkspace,
+        workspace: &mut SenseWorkspace,
         warm: Option<&WarmStart>,
     ) -> Result<SensingResult, SenseError> {
         use rfp_geom::angle;
@@ -490,18 +577,29 @@ impl RfPrism {
         let mut last_moving: Option<f64> = None;
         for reads in rounds {
             if reads.len() != self.poses.len() {
+                for v in per_round.drain(..) {
+                    workspace.recycle_observations(v);
+                }
                 return Err(SenseError::AntennaCountMismatch {
                     expected: self.poses.len(),
                     got: reads.len(),
                 });
             }
             let _extract_span = obs::span("extract");
-            let mut observations = Vec::with_capacity(self.poses.len());
+            let mut observations = workspace.take_observations();
             let mut complete = true;
             for (pose, r) in self.poses.iter().zip(reads) {
-                match extract_observation(*pose, r, &self.config.extract) {
-                    Ok(o) => observations.push(o),
+                let mut slot = workspace.take_slot(*pose);
+                match extract_observation_into(
+                    *pose,
+                    r,
+                    &self.config.extract,
+                    &mut workspace.frontend,
+                    &mut slot,
+                ) {
+                    Ok(()) => observations.push(slot),
                     Err(_) => {
+                        workspace.recycle_slot(slot);
                         obs::counter_add(obs::id::PIPELINE_EXTRACT_FAILURES, 1);
                         complete = false;
                         break;
@@ -510,12 +608,14 @@ impl RfPrism {
             }
             if !complete {
                 obs::counter_add(obs::id::PIPELINE_ROUNDS_SKIPPED, 1);
+                workspace.recycle_observations(observations);
                 continue;
             }
             match assess(&observations, &self.config.detector) {
                 MobilityVerdict::Moving { worst_residual_std } if self.config.reject_moving => {
                     obs::counter_add(obs::id::PIPELINE_ROUNDS_SKIPPED, 1);
                     last_moving = Some(worst_residual_std);
+                    workspace.recycle_observations(observations);
                 }
                 _ => per_round.push(observations),
             }
@@ -529,20 +629,38 @@ impl RfPrism {
             return Err(SenseError::TooFewObservations { usable: 0, first_error: None });
         }
 
-        // Merge per antenna across rounds.
-        let mut merged = per_round[0].clone();
+        // Merge per antenna across rounds, in place in round 0's
+        // observations (which then *become* the merged set — no clone).
         let k = per_round.len();
-        for (ai, obs) in merged.iter_mut().enumerate() {
-            obs.slope = per_round.iter().map(|r| r[ai].slope).sum::<f64>() / k as f64;
-            obs.intercept = angle::wrap_tau(
+        for ai in 0..per_round[0].len() {
+            let slope = per_round.iter().map(|r| r[ai].slope).sum::<f64>() / k as f64;
+            let intercept = angle::wrap_tau(
                 angle::circular_mean(per_round.iter().map(|r| r[ai].intercept))
-                    .unwrap_or(obs.intercept),
+                    .unwrap_or(per_round[0][ai].intercept),
             );
+            let obs = &mut per_round[0][ai];
+            obs.slope = slope;
+            obs.intercept = intercept;
+        }
+        let merged = per_round.swap_remove(0);
+        for v in per_round.drain(..) {
+            workspace.recycle_observations(v);
         }
         let verdict = assess(&merged, &self.config.detector);
         obs::verdict(&verdict);
-        let estimate =
-            solve_2d_seeded_warm(&merged, seeds, &self.config.solver, workspace, warm)?;
+        let estimate = match solve_2d_seeded_warm(
+            &merged,
+            seeds,
+            &self.config.solver,
+            &mut workspace.solver,
+            warm,
+        ) {
+            Ok(e) => e,
+            Err(e) => {
+                workspace.recycle_observations(merged);
+                return Err(e.into());
+            }
+        };
         obs::counter_add(obs::id::PIPELINE_WINDOWS_OK, 1);
         Ok(SensingResult { estimate, observations: merged, verdict })
     }
@@ -557,7 +675,7 @@ mod multi_round_tests {
     #[test]
     fn more_rounds_reduce_error() {
         let scene = Scene::standard_2d();
-        let prism = RfPrism::new(scene.antenna_poses(), scene.reader().plan.clone())
+        let prism = RfPrism::new(scene.antenna_poses(), scene.reader().plan)
             .with_region(scene.region());
         let truth = Vec2::new(0.8, 1.9);
         let tag = SimTag::with_seeded_diversity(6)
@@ -595,7 +713,7 @@ mod multi_round_tests {
     #[test]
     fn moving_rounds_are_skipped() {
         let scene = Scene::standard_2d();
-        let prism = RfPrism::new(scene.antenna_poses(), scene.reader().plan.clone())
+        let prism = RfPrism::new(scene.antenna_poses(), scene.reader().plan)
             .with_region(scene.region());
         let truth = Vec2::new(0.4, 1.3);
         let parked = SimTag::with_seeded_diversity(7)

@@ -6,14 +6,16 @@
 //! pre-processing, multipath suppression, the error detector) is shared
 //! with the 2-D pipeline.
 
+use crate::batch::BatchCache3D;
 use crate::detector::{assess, DetectorConfig, MobilityVerdict};
-use crate::model::{extract_observation, AntennaObservation, ExtractConfig, ExtractError};
+use crate::model::{extract_observation_into, AntennaObservation, ExtractConfig, ExtractError};
 use crate::obs;
 use crate::solver3d::{
     solve_3d_seeded_warm, Solve3DError, Solve3DSeeds, Solver3DConfig, Solver3DWorkspace,
     TagEstimate3D, WarmStart3D,
 };
 use rfp_dsp::preprocess::RawRead;
+use rfp_dsp::workspace::FrontEndWorkspace;
 use rfp_geom::{AntennaPose, Region2};
 use rfp_phys::FrequencyPlan;
 
@@ -105,6 +107,44 @@ impl From<Solve3DError> for Sense3DError {
     }
 }
 
+/// Reusable scratch for a full 3-D sensing pass — the 3-D analogue of
+/// [`crate::SenseWorkspace`]: DSP front-end columns, 3-D solver scratch and
+/// recycled observation buffers, one per worker thread.
+#[derive(Debug, Default)]
+pub struct Sense3DWorkspace {
+    pub(crate) solver: Solver3DWorkspace,
+    pub(crate) frontend: FrontEndWorkspace,
+    obs_free: Vec<AntennaObservation>,
+    vec_free: Vec<Vec<AntennaObservation>>,
+}
+
+impl Sense3DWorkspace {
+    /// Returns a result's buffers to the workspace pools (see
+    /// [`crate::SenseWorkspace::recycle`]).
+    pub fn recycle(&mut self, result: Sensing3DResult) {
+        self.recycle_observations(result.observations);
+    }
+
+    fn take_observations(&mut self) -> Vec<AntennaObservation> {
+        let mut v = self.vec_free.pop().unwrap_or_default();
+        v.clear();
+        v
+    }
+
+    fn take_slot(&mut self, pose: AntennaPose) -> AntennaObservation {
+        self.obs_free.pop().unwrap_or_else(|| AntennaObservation::new_empty(pose))
+    }
+
+    fn recycle_slot(&mut self, slot: AntennaObservation) {
+        self.obs_free.push(slot);
+    }
+
+    fn recycle_observations(&mut self, mut v: Vec<AntennaObservation>) {
+        self.obs_free.append(&mut v);
+        self.vec_free.push(v);
+    }
+}
+
 /// The 3-D RF-Prism pipeline.
 #[derive(Debug, Clone)]
 pub struct RfPrism3D {
@@ -154,7 +194,7 @@ impl RfPrism3D {
         reads_per_antenna: &[Vec<RawRead>],
     ) -> Result<Sensing3DResult, Sense3DError> {
         let seeds = self.solve_seeds();
-        let mut workspace = Solver3DWorkspace::default();
+        let mut workspace = Sense3DWorkspace::default();
         self.sense_with(reads_per_antenna, &seeds, &mut workspace, None)
     }
 
@@ -169,8 +209,25 @@ impl RfPrism3D {
         warm: Option<&WarmStart3D>,
     ) -> Result<Sensing3DResult, Sense3DError> {
         let seeds = self.solve_seeds();
-        let mut workspace = Solver3DWorkspace::default();
+        let mut workspace = Sense3DWorkspace::default();
         self.sense_with(reads_per_antenna, &seeds, &mut workspace, warm)
+    }
+
+    /// [`RfPrism3D::sense_warm`] against a prebuilt [`BatchCache3D`] and a
+    /// reusable [`Sense3DWorkspace`] — the allocation-free steady-state
+    /// entry point (see [`crate::RfPrism::sense_reusing`]).
+    ///
+    /// # Errors
+    ///
+    /// As [`RfPrism3D::sense`].
+    pub fn sense_reusing(
+        &self,
+        cache: &BatchCache3D,
+        reads_per_antenna: &[Vec<RawRead>],
+        warm: Option<&WarmStart3D>,
+        workspace: &mut Sense3DWorkspace,
+    ) -> Result<Sensing3DResult, Sense3DError> {
+        self.sense_with(reads_per_antenna, cache.seeds(), workspace, warm)
     }
 
     /// The per-scene 3-D solver seeds, with the per-antenna geometry
@@ -185,7 +242,7 @@ impl RfPrism3D {
         &self,
         reads_per_antenna: &[Vec<RawRead>],
         seeds: &Solve3DSeeds,
-        workspace: &mut Solver3DWorkspace,
+        workspace: &mut Sense3DWorkspace,
         warm: Option<&WarmStart3D>,
     ) -> Result<Sensing3DResult, Sense3DError> {
         let _sense_span = obs::span("sense_3d");
@@ -197,14 +254,22 @@ impl RfPrism3D {
                 got: reads_per_antenna.len(),
             });
         }
-        let mut observations = Vec::with_capacity(self.poses.len());
+        let mut observations = workspace.take_observations();
         let mut first_error = None;
         {
             let _extract_span = obs::span("extract");
             for (pose, reads) in self.poses.iter().zip(reads_per_antenna) {
-                match extract_observation(*pose, reads, &self.config.extract) {
-                    Ok(o) => observations.push(o),
+                let mut slot = workspace.take_slot(*pose);
+                match extract_observation_into(
+                    *pose,
+                    reads,
+                    &self.config.extract,
+                    &mut workspace.frontend,
+                    &mut slot,
+                ) {
+                    Ok(()) => observations.push(slot),
                     Err(e) => {
+                        workspace.recycle_slot(slot);
                         obs::counter_add(obs::id::PIPELINE_EXTRACT_FAILURES, 1);
                         if first_error.is_none() {
                             first_error = Some(e);
@@ -215,21 +280,32 @@ impl RfPrism3D {
         }
         if observations.len() < 4 {
             obs::counter_add(obs::id::PIPELINE_WINDOWS_TOO_FEW_OBS, 1);
-            return Err(Sense3DError::TooFewObservations {
-                usable: observations.len(),
-                first_error,
-            });
+            let usable = observations.len();
+            workspace.recycle_observations(observations);
+            return Err(Sense3DError::TooFewObservations { usable, first_error });
         }
         let verdict = assess(&observations, &self.config.detector);
         obs::verdict(&verdict);
         if self.config.reject_moving {
             if let MobilityVerdict::Moving { worst_residual_std } = verdict {
                 obs::counter_add(obs::id::PIPELINE_WINDOWS_MOVING_REJECTED, 1);
+                workspace.recycle_observations(observations);
                 return Err(Sense3DError::TagMoving { worst_residual_std });
             }
         }
-        let estimate =
-            solve_3d_seeded_warm(&observations, seeds, &self.config.solver, workspace, warm)?;
+        let estimate = match solve_3d_seeded_warm(
+            &observations,
+            seeds,
+            &self.config.solver,
+            &mut workspace.solver,
+            warm,
+        ) {
+            Ok(e) => e,
+            Err(e) => {
+                workspace.recycle_observations(observations);
+                return Err(e.into());
+            }
+        };
         obs::counter_add(obs::id::PIPELINE_WINDOWS_OK, 1);
         Ok(Sensing3DResult { estimate, observations, verdict })
     }
@@ -255,7 +331,7 @@ mod tests {
     fn prism_for(scene: &Scene) -> RfPrism3D {
         RfPrism3D::new(
             scene.antenna_poses(),
-            scene.reader().plan.clone(),
+            scene.reader().plan,
             scene.region(),
             (0.0, 1.5),
         )
@@ -312,7 +388,7 @@ mod tests {
         let scene = Scene::standard_2d();
         let _ = RfPrism3D::new(
             scene.antenna_poses(),
-            scene.reader().plan.clone(),
+            scene.reader().plan,
             scene.region(),
             (0.0, 1.0),
         );

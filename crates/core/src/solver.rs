@@ -255,8 +255,35 @@ pub struct SolverWorkspace {
     proj_row: Vec<f64>,
     /// Stage-3 refined candidates; the winner is extracted by index.
     refined: Vec<(Vec<f64>, f64)>,
+    /// Free-list of parameter vectors: candidate vecs from previous solves
+    /// are drained here and reused for the next solve's seeds, so the
+    /// steady state allocates no parameter storage at all.
+    params_pool: Vec<Vec<f64>>,
+    /// Scratch of the Gauss–Newton covariance propagation.
+    uncert: UncertScratch,
     /// Pruning / warm-start effectiveness tallies.
     prune: PruneStats,
+}
+
+/// Scratch buffers of [`estimate_uncertainty`]: residuals, Jacobian and
+/// the normal-equation/covariance matrices, reused across solves.
+#[derive(Debug, Default)]
+struct UncertScratch {
+    r: Vec<f64>,
+    r_minus: Vec<f64>,
+    work: Vec<f64>,
+    jac: Vec<f64>,
+    jtj: Vec<f64>,
+    cov: Vec<f64>,
+    e: Vec<f64>,
+}
+
+/// Pops a recycled parameter vector off the free-list (or makes an empty
+/// one), cleared and ready to be filled with a new seed.
+fn pooled(pool: &mut Vec<Vec<f64>>) -> Vec<f64> {
+    let mut v = pool.pop().unwrap_or_default();
+    v.clear();
+    v
 }
 
 impl SolverWorkspace {
@@ -391,8 +418,15 @@ impl WarmStart {
         self
     }
 
-    fn params(&self) -> Vec<f64> {
-        vec![self.position.x, self.position.y, self.orientation, self.kt, self.bt]
+    fn params_into(&self, out: &mut Vec<f64>) {
+        out.clear();
+        out.extend_from_slice(&[
+            self.position.x,
+            self.position.y,
+            self.orientation,
+            self.kt,
+            self.bt,
+        ]);
     }
 }
 
@@ -528,8 +562,15 @@ pub fn solve_2d_seeded_warm(
         orient_row,
         proj_row,
         refined,
+        params_pool,
+        uncert,
         prune,
     } = workspace;
+
+    // Recycle the previous solve's candidate parameter vectors before
+    // anything claims a seed from the pool.
+    params_pool.extend(position_candidates.drain(..).map(|(v, _, _)| v));
+    params_pool.extend(refined.drain(..).map(|(v, _)| v));
 
     // The problem separates naturally, which both speeds the solve up and
     // avoids local minima:
@@ -556,7 +597,9 @@ pub fn solve_2d_seeded_warm(
     // Coarse ranking: every position seed scored by its *unrefined* slope
     // cost — an O(N) table lookup per seed — shared by the pruned stage-1
     // beam and the warm-start floor. Ties break towards grid order, which
-    // is exactly how the exhaustive path's stable cost sort breaks them.
+    // is exactly how the exhaustive path's cost sort breaks them. The
+    // explicit (cost, index) key makes the ordering total, so the unstable
+    // (allocation-free) sort is deterministic.
     coarse.clear();
     if warm.is_some() || !config.is_exhaustive() {
         let _rank_span = obs::span("seed_rank");
@@ -565,7 +608,7 @@ pub fn solve_2d_seeded_warm(
                 coarse_seed_cost_2d(observations, geometry, s, seed_pos, config);
             coarse.push((cost, s, kt0));
         }
-        coarse.sort_by(|a, b| {
+        coarse.sort_unstable_by(|a, b| {
             a.0.partial_cmp(&b.0).expect("finite costs").then_with(|| a.1.cmp(&b.1))
         });
     }
@@ -578,7 +621,9 @@ pub fn solve_2d_seeded_warm(
     let warm_attempted = warm.is_some();
     if let Some(w) = warm {
         let _warm_span = obs::span("warm_start");
-        let (p, cost) = refine_joint_2d(lm, observations, config, w.params());
+        let mut wp0 = pooled(params_pool);
+        w.params_into(&mut wp0);
+        let (p, cost) = refine_joint_2d(lm, observations, config, wp0);
         let key = cost
             + rssi_mode_penalty(
                 observations,
@@ -588,12 +633,9 @@ pub fn solve_2d_seeded_warm(
             );
         let (_, best_seed, best_kt) = coarse[0];
         let seed_pos = seeds.position_starts[best_seed];
-        let (sp, _) = refine_slope_2d(
-            lm,
-            observations,
-            config,
-            vec![seed_pos.x, seed_pos.y, best_kt],
-        );
+        let mut sp0 = pooled(params_pool);
+        sp0.extend_from_slice(&[seed_pos.x, seed_pos.y, best_kt]);
+        let (sp, _) = refine_slope_2d(lm, observations, config, sp0);
         seeds_refined += 1;
         scan_alphas_2d(
             observations,
@@ -606,6 +648,7 @@ pub fn solve_2d_seeded_warm(
             proj_row,
             alpha_ranked,
         );
+        params_pool.push(sp);
         let floor = alpha_ranked.first().map_or(f64::INFINITY, |&(_, _, c)| c);
         if admissible.contains(Vec2::new(p[0], p[1]))
             && key <= floor * (1.0 + config.warm_gate_rel_tol) + 1e-9
@@ -614,15 +657,17 @@ pub fn solve_2d_seeded_warm(
             prune.seeds_refined += seeds_refined;
             prune.warm_start_hits += 1;
             flush_obs_2d(lm, stats_before, total_seeds, seeds_refined, true, false);
-            return Ok(build_estimate_2d(observations, p, cost, config));
+            let estimate = build_estimate_2d(observations, &p, cost, config, uncert);
+            params_pool.push(p);
+            return Ok(estimate);
         }
+        params_pool.push(p);
     }
 
     // Stage 1: slope-only position solve. Exhaustive mode refines every
     // grid seed (the pre-pruning behaviour, bit-for-bit); the default
     // coarse-to-fine mode refines only the top-K coarse-ranked seeds with
     // a cost-plateau early exit.
-    position_candidates.clear();
     let stage1_span = obs::span("stage1_slope");
     if config.is_exhaustive() {
         for (s, &seed_pos) in seeds.position_starts.iter().enumerate() {
@@ -638,13 +683,18 @@ pub fn solve_2d_seeded_warm(
                 }
                 None => seed_kt(observations, seed_pos),
             };
-            let (p, cost) =
-                refine_slope_2d(lm, observations, config, vec![seed_pos.x, seed_pos.y, kt0]);
+            let mut p0 = pooled(params_pool);
+            p0.extend_from_slice(&[seed_pos.x, seed_pos.y, kt0]);
+            let (p, cost) = refine_slope_2d(lm, observations, config, p0);
             position_candidates.push((p, cost, s));
         }
-        // Stable sort on cost alone: ties keep grid (push) order, which
-        // the pruned branch reproduces via its explicit seed-index key.
-        position_candidates.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite costs"));
+        // Ties on cost keep grid (push) order via the explicit seed-index
+        // key — candidates were pushed in ascending `s`, so this matches
+        // what a stable cost-only sort would produce, while the unstable
+        // sort stays allocation-free.
+        position_candidates.sort_unstable_by(|a, b| {
+            a.1.partial_cmp(&b.1).expect("finite costs").then_with(|| a.2.cmp(&b.2))
+        });
     } else {
         let beam = config.refine_top_k.unwrap_or(usize::MAX).max(1);
         let mut best_refined = f64::INFINITY;
@@ -662,12 +712,13 @@ pub fn solve_2d_seeded_warm(
                 break;
             }
             let seed_pos = seeds.position_starts[s];
-            let (p, cost) =
-                refine_slope_2d(lm, observations, config, vec![seed_pos.x, seed_pos.y, kt0]);
+            let mut p0 = pooled(params_pool);
+            p0.extend_from_slice(&[seed_pos.x, seed_pos.y, kt0]);
+            let (p, cost) = refine_slope_2d(lm, observations, config, p0);
             best_refined = best_refined.min(cost);
             position_candidates.push((p, cost, s));
         }
-        position_candidates.sort_by(|a, b| {
+        position_candidates.sort_unstable_by(|a, b| {
             a.1.partial_cmp(&b.1).expect("finite costs").then_with(|| a.2.cmp(&b.2))
         });
     }
@@ -695,7 +746,6 @@ pub fn solve_2d_seeded_warm(
     // intercept system admits near-twin α solutions (3 antennas, 2
     // intercept unknowns), and the per-antenna polarization-mismatch
     // pattern in the RSSI is the physical tie-breaker.
-    refined.clear();
     let mut best_inside: Option<(usize, f64)> = None;
     let mut best_any: Option<(usize, f64)> = None;
     for &ci in &stage1[..stage1_len] {
@@ -727,7 +777,8 @@ pub fn solve_2d_seeded_warm(
                     }
                 }
             }
-            let p0 = vec![cx, cy, alpha0, ckt, bt0];
+            let mut p0 = pooled(params_pool);
+            p0.extend_from_slice(&[cx, cy, alpha0, ckt, bt0]);
             let (p, cost) = refine_joint_2d(lm, observations, config, p0);
             let key = cost
                 + rssi_mode_penalty(
@@ -757,7 +808,9 @@ pub fn solve_2d_seeded_warm(
         prune.warm_start_misses += 1;
     }
     flush_obs_2d(lm, stats_before, total_seeds, seeds_refined, false, warm_attempted);
-    Ok(build_estimate_2d(observations, p, cost, config))
+    let estimate = build_estimate_2d(observations, &p, cost, config, uncert);
+    params_pool.push(p);
+    Ok(estimate)
 }
 
 /// The cheap stage-1 score of one grid seed: the closed-form `k_t` seed
@@ -869,7 +922,14 @@ fn scan_alphas_2d(
         cost += rssi_penalty_precomputed(observations, dists, prow, config.rssi_sigma_db);
         alpha_ranked.push((alpha0, bt0, cost));
     }
-    alpha_ranked.sort_by(|a, b| a.2.partial_cmp(&b.2).expect("finite costs"));
+    // α seeds were pushed in strictly ascending α, so breaking cost ties
+    // on α reproduces the stable push order while keeping the unstable
+    // sort allocation-free.
+    alpha_ranked.sort_unstable_by(|a, b| {
+        a.2.partial_cmp(&b.2).expect("finite costs").then_with(|| {
+            a.0.partial_cmp(&b.0).expect("finite alphas")
+        })
+    });
 }
 
 /// Final-estimate assembly shared by the warm-start fast path and the
@@ -877,13 +937,14 @@ fn scan_alphas_2d(
 /// angular parameters.
 fn build_estimate_2d(
     observations: &[AntennaObservation],
-    p: Vec<f64>,
+    p: &[f64],
     cost: f64,
     config: &SolverConfig,
+    scratch: &mut UncertScratch,
 ) -> TagEstimate2D {
     let n_res = 2 * observations.len();
     let (position_std_m, orientation_std_rad, position_cov) =
-        estimate_uncertainty(observations, &p, config);
+        estimate_uncertainty(observations, p, config, scratch);
     TagEstimate2D {
         position: Vec2::new(p[0], p[1]),
         orientation: p[2].rem_euclid(std::f64::consts::PI),
@@ -1005,27 +1066,28 @@ fn estimate_uncertainty(
     observations: &[AntennaObservation],
     p: &[f64],
     config: &SolverConfig,
+    scratch: &mut UncertScratch,
 ) -> (f64, f64, [[f64; 2]; 2]) {
     let n = p.len();
-    let mut r = Vec::new();
-    let mut jac = Vec::new();
+    let UncertScratch { r, r_minus, work, jac, jtj, cov, e } = scratch;
+    jac.clear();
     match config.jacobian {
         JacobianMode::Analytic => {
-            residuals_and_jacobian_2d(observations, p, config, &mut r, Some(&mut jac));
+            residuals_and_jacobian_2d(observations, p, config, r, Some(jac));
         }
         JacobianMode::Numeric => {
             // Central differences with the same steps as the numeric core.
-            let mut r_minus = Vec::new();
-            residuals_2d(observations, p, config, &mut r);
+            residuals_2d(observations, p, config, r);
             let m = r.len();
             jac.resize(m * n, 0.0);
-            let mut work = p.to_vec();
+            work.clear();
+            work.extend_from_slice(p);
             for j in 0..n {
                 let h = JOINT_STEPS_2D[j];
                 work[j] = p[j] + h;
-                residuals_2d(observations, &work, config, &mut r);
+                residuals_2d(observations, work, config, r);
                 work[j] = p[j] - h;
-                residuals_2d(observations, &work, config, &mut r_minus);
+                residuals_2d(observations, work, config, r_minus);
                 work[j] = p[j];
                 for i in 0..m {
                     jac[i * n + j] = (r[i] - r_minus[i]) / (2.0 * h);
@@ -1034,7 +1096,8 @@ fn estimate_uncertainty(
         }
     }
     let m = jac.len() / n;
-    let mut jtj = vec![0.0; n * n];
+    jtj.clear();
+    jtj.resize(n * n, 0.0);
     for i in 0..m {
         let row = &jac[i * n..(i + 1) * n];
         for a in 0..n {
@@ -1051,19 +1114,21 @@ fn estimate_uncertainty(
     let singular = (f64::INFINITY, f64::INFINITY, [[f64::INFINITY; 2]; 2]);
     // Factor once; every covariance column is one pair of triangular
     // substitutions against a unit right-hand side.
-    if !cholesky_factor(&mut jtj, n) {
+    if !cholesky_factor(jtj, n) {
         return singular;
     }
-    let mut cov = vec![0.0; n * n];
-    let mut e = vec![0.0; n];
+    cov.clear();
+    cov.resize(n * n, 0.0);
+    e.clear();
+    e.resize(n, 0.0);
     for col in 0..n {
         e.fill(0.0);
         e[col] = 1.0;
-        cholesky_solve(&jtj, n, &mut e);
+        cholesky_solve(jtj, n, e);
         if !(e[col].is_finite() && e[col] >= 0.0) {
             return singular;
         }
-        cov[col * n..(col + 1) * n].copy_from_slice(&e);
+        cov[col * n..(col + 1) * n].copy_from_slice(e);
     }
     let position_cov = [[cov[0], cov[n]], [cov[1], cov[n + 1]]];
     let position_std = (cov[0] + cov[n + 1]).sqrt();

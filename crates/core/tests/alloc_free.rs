@@ -13,6 +13,7 @@ use rfp_core::solver::{
     levenberg_marquardt_analytic_with, levenberg_marquardt_with, residuals_2d,
     residuals_and_jacobian_2d, LmWorkspace, SolverConfig,
 };
+use rfp_core::{RfPrism, SenseWorkspace, WarmStart};
 use rfp_geom::Vec2;
 use rfp_sim::{Motion, Scene, SimTag};
 use std::alloc::{GlobalAlloc, Layout, System};
@@ -107,4 +108,58 @@ fn numeric_core_is_allocation_free_in_steady_state() {
     });
     assert!(cost.is_finite());
     assert_eq!(allocs, 0, "numeric LM core allocated {allocs} times in steady state");
+}
+
+/// The full `sense()` pipeline — preprocessing, line fits, mobility
+/// assessment, the multi-start solve and uncertainty propagation — is
+/// allocation-free in steady state when driven through
+/// [`RfPrism::sense_reusing`] with results recycled back into the
+/// [`SenseWorkspace`] pools.
+#[test]
+fn full_sense_is_allocation_free_in_steady_state() {
+    let scene = Scene::standard_2d();
+    let tag = SimTag::with_seeded_diversity(9)
+        .with_motion(Motion::planar_static(Vec2::new(0.5, 1.5), 0.8));
+    let survey = scene.survey(&tag, 17);
+    let prism =
+        RfPrism::new(scene.antenna_poses(), scene.reader().plan).with_region(scene.region());
+    let cache = prism.batch_cache();
+    let mut ws = SenseWorkspace::default();
+
+    // Warm-up passes size every pool: front-end columns, observation
+    // slots, solver candidate vectors, uncertainty scratch.
+    for _ in 0..3 {
+        let r = prism
+            .sense_reusing(&cache, &survey.per_antenna, None, &mut ws)
+            .expect("usable window");
+        ws.recycle(r);
+    }
+
+    let (result, allocs) =
+        allocations_during(|| prism.sense_reusing(&cache, &survey.per_antenna, None, &mut ws));
+    let result = result.expect("usable window");
+    assert!(result.estimate.position.distance(Vec2::new(0.5, 1.5)) < 0.5);
+    assert_eq!(allocs, 0, "full sense() allocated {allocs} times in steady state");
+    ws.recycle(result);
+
+    // The warm-start fast path must hold the same contract (it is the
+    // tracking loop's steady state).
+    let warm = WarmStart {
+        position: Vec2::new(0.5, 1.5),
+        orientation: 0.8,
+        kt: 0.0,
+        bt: 0.0,
+    };
+    for _ in 0..3 {
+        let r = prism
+            .sense_reusing(&cache, &survey.per_antenna, Some(&warm), &mut ws)
+            .expect("usable window");
+        ws.recycle(r);
+    }
+    let (result, allocs) = allocations_during(|| {
+        prism.sense_reusing(&cache, &survey.per_antenna, Some(&warm), &mut ws)
+    });
+    let result = result.expect("usable window");
+    assert_eq!(allocs, 0, "warm sense() allocated {allocs} times in steady state");
+    ws.recycle(result);
 }

@@ -91,7 +91,7 @@ fn assert_identical(a: &Result<SensingResult, SenseError>, b: &Result<SensingRes
 #[test]
 fn batch_matches_sequential_at_all_worker_counts() {
     let scene = Scene::standard_2d();
-    let prism = RfPrism::new(scene.antenna_poses(), scene.reader().plan.clone())
+    let prism = RfPrism::new(scene.antenna_poses(), scene.reader().plan)
         .with_region(scene.region());
     for scene_seed in [1u64, 42] {
         let tags = random_tag_reads(&scene, 24, scene_seed);
@@ -109,7 +109,7 @@ fn batch_matches_sequential_at_all_worker_counts() {
 #[test]
 fn batch_cache_is_reusable_across_calls() {
     let scene = Scene::standard_2d();
-    let prism = RfPrism::new(scene.antenna_poses(), scene.reader().plan.clone())
+    let prism = RfPrism::new(scene.antenna_poses(), scene.reader().plan)
         .with_region(scene.region());
     let cache = prism.batch_cache();
     let tags = random_tag_reads(&scene, 8, 7);
@@ -123,7 +123,7 @@ fn batch_cache_is_reusable_across_calls() {
 #[test]
 fn rounds_batch_matches_sequential() {
     let scene = Scene::standard_2d();
-    let prism = RfPrism::new(scene.antenna_poses(), scene.reader().plan.clone())
+    let prism = RfPrism::new(scene.antenna_poses(), scene.reader().plan)
         .with_region(scene.region());
     let mut rng = StdRng::seed_from_u64(5);
     let tags: Vec<Vec<_>> = (0..10)
@@ -152,7 +152,7 @@ fn batch_3d_matches_sequential() {
     let scene = Scene::six_antenna_3d();
     let prism = RfPrism3D::new(
         scene.antenna_poses(),
-        scene.reader().plan.clone(),
+        scene.reader().plan,
         scene.region(),
         (0.0, 1.5),
     );
@@ -204,7 +204,7 @@ fn numeric_fallback_batch_matches_sequential() {
         solver: SolverConfig { jacobian: JacobianMode::Numeric, ..SolverConfig::default() },
         ..RfPrismConfig::paper()
     };
-    let prism = RfPrism::new(scene.antenna_poses(), scene.reader().plan.clone())
+    let prism = RfPrism::new(scene.antenna_poses(), scene.reader().plan)
         .with_region(scene.region())
         .with_config(config);
     let tags = random_tag_reads(&scene, 12, 17);
@@ -220,7 +220,7 @@ fn numeric_fallback_batch_matches_sequential() {
 #[test]
 fn errors_surface_at_the_right_index() {
     let scene = Scene::standard_2d();
-    let prism = RfPrism::new(scene.antenna_poses(), scene.reader().plan.clone())
+    let prism = RfPrism::new(scene.antenna_poses(), scene.reader().plan)
         .with_region(scene.region());
     let mut tags = random_tag_reads(&scene, 5, 9);
     tags[2] = vec![Vec::new(), Vec::new()]; // wrong antenna count

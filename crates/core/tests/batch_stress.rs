@@ -49,7 +49,7 @@ fn digest(results: &[Result<SensingResult, SenseError>]) -> u64 {
 #[test]
 fn stress_512_tags_byte_identical_across_runs() {
     let scene = Scene::standard_2d();
-    let prism = RfPrism::new(scene.antenna_poses(), scene.reader().plan.clone())
+    let prism = RfPrism::new(scene.antenna_poses(), scene.reader().plan)
         .with_region(scene.region());
     let materials = [Material::FreeSpace, Material::Wood, Material::Glass, Material::Water];
     let mut rng = StdRng::seed_from_u64(0x5157_5052_4953_4d21);

@@ -46,7 +46,7 @@ fn random_tag_reads(
 }
 
 fn standard_prism(scene: &Scene) -> RfPrism {
-    RfPrism::new(scene.antenna_poses(), scene.reader().plan.clone())
+    RfPrism::new(scene.antenna_poses(), scene.reader().plan)
         .with_region(scene.region())
 }
 

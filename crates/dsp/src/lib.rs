@@ -18,6 +18,12 @@
 //! * [`stats`] — small statistics helpers (mean, std, median, MAD,
 //!   percentiles, empirical CDFs) shared by the solver and the experiment
 //!   harness.
+//! * [`workspace`] — reusable flat scratch buffers
+//!   ([`FrontEndWorkspace`], [`FitWorkspace`]) that make the whole front
+//!   end allocation-free in steady state; the `*_with` kernel variants in
+//!   [`preprocess`], [`linfit`] and [`robust`] run against them.
+//! * [`mod@reference`] — the pre-optimization allocating implementations,
+//!   frozen verbatim as the benchmark baseline and property-test oracle.
 //!
 //! # Example: from noisy wrapped samples to a fitted line
 //!
@@ -38,9 +44,17 @@
 
 pub mod linfit;
 pub mod preprocess;
+pub mod reference;
 pub mod robust;
 pub mod stats;
+pub mod workspace;
 
-pub use linfit::{ols, weighted_ols, LineFit};
-pub use preprocess::{preprocess_reads, ChannelObservation, PreprocessConfig, RawRead};
-pub use robust::{huber_line_fit, robust_line_fit, RobustFit, RobustFitConfig};
+pub use linfit::{ols, theil_sen_with, weighted_ols, LineFit};
+pub use preprocess::{
+    preprocess_reads, preprocess_reads_with, ChannelObservation, PreprocessConfig, RawRead,
+};
+pub use robust::{
+    huber_line_fit, huber_line_fit_with, robust_line_fit, robust_line_fit_with, RobustFit,
+    RobustFitConfig, RobustSummary,
+};
+pub use workspace::{FitWorkspace, FrontEndWorkspace, OlsSums};

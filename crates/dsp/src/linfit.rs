@@ -12,6 +12,7 @@
 //!   channels.
 
 use crate::stats;
+use crate::workspace::{fit_diagnostics, FitWorkspace};
 
 /// Result of a straight-line fit `y ≈ slope · x + intercept`.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -38,8 +39,26 @@ impl LineFit {
     }
 
     /// Residuals `y − prediction` for the given data.
+    ///
+    /// Allocates a fresh vector per call — kept for external callers'
+    /// convenience. Hot paths inside this workspace use
+    /// [`LineFit::residuals_into`] instead.
     pub fn residuals(&self, xs: &[f64], ys: &[f64]) -> Vec<f64> {
         xs.iter().zip(ys).map(|(&x, &y)| y - self.predict(x)).collect()
+    }
+
+    /// Writes the residuals `y − prediction` into `out` without
+    /// allocating. `out` must already have the points' length.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `xs`, `ys` and `out` lengths disagree.
+    pub fn residuals_into(&self, xs: &[f64], ys: &[f64], out: &mut [f64]) {
+        assert_eq!(xs.len(), ys.len(), "xs/ys length mismatch");
+        assert_eq!(xs.len(), out.len(), "output length mismatch");
+        for ((&x, &y), o) in xs.iter().zip(ys).zip(out.iter_mut()) {
+            *o = y - self.predict(x);
+        }
     }
 }
 
@@ -86,8 +105,30 @@ impl std::error::Error for FitError {}
 /// # Ok::<(), rfp_dsp::linfit::FitError>(())
 /// ```
 pub fn ols(xs: &[f64], ys: &[f64]) -> Result<LineFit, FitError> {
-    let w = vec![1.0; xs.len()];
-    weighted_ols(xs, ys, &w)
+    // Streamed unit-weight specialization of [`weighted_ols`]: identical
+    // arithmetic (multiplying by a 1.0 weight is exact), no weight vector.
+    if xs.len() != ys.len() {
+        return Err(FitError::LengthMismatch);
+    }
+    if xs.len() < 2 {
+        return Err(FitError::TooFewPoints);
+    }
+    let wsum = xs.len() as f64;
+    let xbar = xs.iter().sum::<f64>() / wsum;
+    let ybar = ys.iter().sum::<f64>() / wsum;
+    let mut sxx = 0.0;
+    let mut sxy = 0.0;
+    for (&x, &y) in xs.iter().zip(ys) {
+        sxx += (x - xbar) * (x - xbar);
+        sxy += (x - xbar) * (y - ybar);
+    }
+    if sxx <= 0.0 {
+        return Err(FitError::DegenerateX);
+    }
+    let slope = sxy / sxx;
+    let intercept = ybar - slope * xbar;
+    let (r_squared, residual_std) = fit_diagnostics(xs, ys, slope, intercept, ybar);
+    Ok(LineFit { slope, intercept, r_squared, residual_std, n: xs.len() })
 }
 
 /// Weighted least-squares line fit.
@@ -125,19 +166,9 @@ pub fn weighted_ols(xs: &[f64], ys: &[f64], weights: &[f64]) -> Result<LineFit, 
     let intercept = ybar - slope * xbar;
 
     // Unweighted diagnostics over the supplied points (weights affect the
-    // estimate, not the reported residual scale).
-    let residuals: Vec<f64> =
-        xs.iter().zip(ys).map(|(&x, &y)| y - (slope * x + intercept)).collect();
-    let ss_res: f64 = residuals.iter().map(|r| r * r).sum();
-    let ss_tot: f64 = ys.iter().map(|&y| (y - ybar) * (y - ybar)).sum();
-    let r_squared = if ss_tot > 0.0 {
-        (1.0 - ss_res / ss_tot).clamp(0.0, 1.0)
-    } else if ss_res <= f64::EPSILON {
-        1.0
-    } else {
-        0.0
-    };
-    let residual_std = stats::std_dev(&residuals).unwrap_or(0.0);
+    // estimate, not the reported residual scale), streamed without a
+    // residual vector.
+    let (r_squared, residual_std) = fit_diagnostics(xs, ys, slope, intercept, ybar);
     Ok(LineFit { slope, intercept, r_squared, residual_std, n: xs.len() })
 }
 
@@ -152,41 +183,47 @@ pub fn weighted_ols(xs: &[f64], ys: &[f64], weights: &[f64]) -> Result<LineFit, 
 ///
 /// As [`ols`].
 pub fn theil_sen(xs: &[f64], ys: &[f64]) -> Result<LineFit, FitError> {
+    theil_sen_with(&mut FitWorkspace::default(), xs, ys)
+}
+
+/// [`theil_sen`] against caller-owned scratch: the O(n²) pairwise slopes
+/// land in the workspace's slope buffer and the medians are taken by
+/// in-place selection ([`stats::median_in_place`]) — zero allocations once
+/// the buffers are sized. Returns the same fit as [`theil_sen`].
+///
+/// # Errors
+///
+/// As [`theil_sen`].
+pub fn theil_sen_with(
+    ws: &mut FitWorkspace,
+    xs: &[f64],
+    ys: &[f64],
+) -> Result<LineFit, FitError> {
     if xs.len() != ys.len() {
         return Err(FitError::LengthMismatch);
     }
     if xs.len() < 2 {
         return Err(FitError::TooFewPoints);
     }
-    let mut slopes = Vec::with_capacity(xs.len() * (xs.len() - 1) / 2);
+    ws.slopes.clear();
     for i in 0..xs.len() {
         for j in (i + 1)..xs.len() {
             let dx = xs[j] - xs[i];
             if dx.abs() > 0.0 {
-                slopes.push((ys[j] - ys[i]) / dx);
+                ws.slopes.push((ys[j] - ys[i]) / dx);
             }
         }
     }
-    if slopes.is_empty() {
+    if ws.slopes.is_empty() {
         return Err(FitError::DegenerateX);
     }
-    let slope = stats::median(&slopes).expect("nonempty");
-    let offsets: Vec<f64> = xs.iter().zip(ys).map(|(&x, &y)| y - slope * x).collect();
-    let intercept = stats::median(&offsets).expect("nonempty");
+    let slope = stats::median_in_place(&mut ws.slopes).expect("nonempty");
+    ws.scratch.clear();
+    ws.scratch.extend(xs.iter().zip(ys).map(|(&x, &y)| y - slope * x));
+    let intercept = stats::median_in_place(&mut ws.scratch).expect("nonempty");
 
-    let residuals: Vec<f64> =
-        xs.iter().zip(ys).map(|(&x, &y)| y - (slope * x + intercept)).collect();
-    let ss_res: f64 = residuals.iter().map(|r| r * r).sum();
     let ybar = stats::mean(ys).expect("nonempty");
-    let ss_tot: f64 = ys.iter().map(|&y| (y - ybar) * (y - ybar)).sum();
-    let r_squared = if ss_tot > 0.0 {
-        (1.0 - ss_res / ss_tot).clamp(0.0, 1.0)
-    } else if ss_res <= f64::EPSILON {
-        1.0
-    } else {
-        0.0
-    };
-    let residual_std = stats::std_dev(&residuals).unwrap_or(0.0);
+    let (r_squared, residual_std) = fit_diagnostics(xs, ys, slope, intercept, ybar);
     Ok(LineFit { slope, intercept, r_squared, residual_std, n: xs.len() })
 }
 
@@ -293,5 +330,51 @@ mod tests {
         assert!((fit.predict(2.0) - 5.0).abs() < 1e-12);
         let r = fit.residuals(&[0.0, 1.0], &[1.0, 3.0]);
         assert!(r.iter().all(|x| x.abs() < 1e-12));
+    }
+
+    #[test]
+    fn residuals_into_matches_residuals() {
+        let xs = [0.0, 1.0, 2.0, 3.0];
+        let ys = [1.0, 2.9, 5.2, 6.8];
+        let fit = ols(&xs, &ys).unwrap();
+        let alloc = fit.residuals(&xs, &ys);
+        let mut buf = [0.0; 4];
+        fit.residuals_into(&xs, &ys, &mut buf);
+        assert_eq!(alloc.as_slice(), buf.as_slice());
+    }
+
+    #[test]
+    #[should_panic(expected = "output length mismatch")]
+    fn residuals_into_length_checked() {
+        let fit = ols(&[0.0, 1.0], &[1.0, 3.0]).unwrap();
+        let mut buf = [0.0; 3];
+        fit.residuals_into(&[0.0, 1.0], &[1.0, 3.0], &mut buf);
+    }
+
+    #[test]
+    fn streaming_fits_are_bit_identical_to_reference() {
+        let xs: Vec<f64> = (0..37).map(|i| 9.02e8 + 5e5 * i as f64).collect();
+        let ys: Vec<f64> =
+            xs.iter().enumerate().map(|(i, x)| 1.3e-8 * x + ((i * 31 % 7) as f64) * 0.01).collect();
+        assert_eq!(ols(&xs, &ys).unwrap(), crate::reference::ols(&xs, &ys).unwrap());
+        assert_eq!(
+            theil_sen(&xs, &ys).unwrap(),
+            crate::reference::theil_sen(&xs, &ys).unwrap()
+        );
+        let w: Vec<f64> = (0..xs.len()).map(|i| 1.0 + (i % 3) as f64).collect();
+        assert_eq!(
+            weighted_ols(&xs, &ys, &w).unwrap(),
+            crate::reference::weighted_ols(&xs, &ys, &w).unwrap()
+        );
+        // Workspace kernel == allocating API, buffers reused across calls.
+        let mut ws = FitWorkspace::default();
+        for rep in 0..3 {
+            let shift = rep as f64 * 0.25;
+            let ys2: Vec<f64> = ys.iter().map(|y| y + shift).collect();
+            assert_eq!(
+                theil_sen_with(&mut ws, &xs, &ys2).unwrap(),
+                theil_sen(&xs, &ys2).unwrap()
+            );
+        }
     }
 }

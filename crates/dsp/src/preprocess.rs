@@ -21,6 +21,7 @@
 //!    unwrapping restores a continuous line (channel spacing is 500 kHz, so
 //!    the true inter-channel increment is ≪ π for any realistic geometry).
 
+use crate::workspace::FrontEndWorkspace;
 use rfp_geom::angle;
 
 /// One raw read report from the reader.
@@ -120,112 +121,187 @@ pub fn preprocess_reads(
     reads: &[RawRead],
     config: &PreprocessConfig,
 ) -> Result<Vec<ChannelObservation>, PreprocessError> {
-    // Group by channel, preserving per-channel read order.
-    let mut by_channel: std::collections::BTreeMap<usize, Vec<&RawRead>> =
-        std::collections::BTreeMap::new();
+    let mut ws = FrontEndWorkspace::default();
+    let mut out = Vec::new();
+    preprocess_reads_with(&mut ws, reads, config, &mut out)?;
+    Ok(out)
+}
+
+/// [`preprocess_reads`] against caller-owned scratch: per-channel
+/// aggregation runs over the workspace's flat SoA accumulator columns
+/// (two passes over the raw reads — no per-channel `Vec`s, no map), the
+/// unwrap operates in the workspace's phase column, and writing the final
+/// observations simultaneously feeds the fused unwrap+OLS accumulator
+/// ([`FrontEndWorkspace::raw_fit`]) and the fit columns
+/// ([`FrontEndWorkspace::fit_columns`]). `out` is cleared and refilled;
+/// in steady state (buffer capacities reached) the call performs **zero**
+/// heap allocations.
+///
+/// Produces bit-identical observations to [`preprocess_reads`] (which
+/// delegates here): the streamed per-channel circular statistics
+/// accumulate in the same read order, and the order-statistic medians and
+/// unstable index sorts reproduce the original stable orderings exactly.
+///
+/// # Errors
+///
+/// As [`preprocess_reads`].
+pub fn preprocess_reads_with(
+    ws: &mut FrontEndWorkspace,
+    reads: &[RawRead],
+    config: &PreprocessConfig,
+    out: &mut Vec<ChannelObservation>,
+) -> Result<(), PreprocessError> {
+    use std::f64::consts::{FRAC_PI_2, PI};
+
+    ws.reset_channels();
+    out.clear();
+    let min_reads = config.min_reads_per_channel.max(1);
+
+    // Pass 1: per-channel counts, first read, RSSI and circular sums.
+    // Iterating the reads in input order keeps every per-channel
+    // accumulation in that channel's read order — the same summation
+    // order as the per-channel vectors of the reference implementation,
+    // hence bit-identical sums.
     for r in reads {
-        by_channel.entry(r.channel).or_default().push(r);
+        let s = ws.slot(r.channel);
+        if ws.count[s] == 0 {
+            ws.first_freq[s] = r.frequency_hz;
+            ws.first_phase[s] = r.phase;
+        }
+        ws.count[s] += 1;
+        ws.sum_rssi[s] += r.rssi_dbm;
+        if config.correct_pi_jumps {
+            // Double-angle trick: sums of sin/cos of 2p recover the
+            // channel axis modulo π regardless of per-read π jumps.
+            let d = 2.0 * r.phase;
+            ws.acc_sin[s] += d.sin();
+            ws.acc_cos[s] += d.cos();
+        } else {
+            ws.acc_sin[s] += r.phase.sin();
+            ws.acc_cos[s] += r.phase.cos();
+        }
     }
 
-    let mut observations = Vec::with_capacity(by_channel.len());
-    let mut per_channel_reads: Vec<Vec<f64>> = Vec::with_capacity(by_channel.len());
-    for (channel, reads) in by_channel {
-        if reads.len() < config.min_reads_per_channel.max(1) {
+    // Per-slot axis (and, without π correction, the spread too — it comes
+    // from the same resultant vector as the mean).
+    let mut kept = 0usize;
+    for s in 0..ws.slots() {
+        let n = ws.count[s];
+        ws.keep[s] = n >= min_reads;
+        if !ws.keep[s] {
             continue;
         }
-        let phases: Vec<f64> = reads.iter().map(|r| r.phase).collect();
-        let (phase, spread) = if config.correct_pi_jumps {
-            channel_axis(&phases)
+        kept += 1;
+        let (sin, cos) = (ws.acc_sin[s], ws.acc_cos[s]);
+        let r = (sin * sin + cos * cos).sqrt() / n as f64;
+        if config.correct_pi_jumps {
+            // circular_mean(2p).unwrap_or(2·p₀) / 2, streamed.
+            let doubled_mean = if r < 1e-12 { 2.0 * ws.first_phase[s] } else { sin.atan2(cos) };
+            ws.axis[s] = doubled_mean / 2.0;
         } else {
-            let mean = angle::circular_mean(phases.iter().copied()).unwrap_or(phases[0]);
-            let spread = angle::circular_std(phases.iter().copied()).unwrap_or(0.0);
-            (mean, spread)
-        };
-        let rssi = reads.iter().map(|r| r.rssi_dbm).sum::<f64>() / reads.len() as f64;
-        observations.push(ChannelObservation {
-            channel,
-            frequency_hz: reads[0].frequency_hz,
-            phase: angle::wrap_tau(phase),
-            rssi_dbm: rssi,
-            read_count: reads.len(),
-            phase_spread: spread,
-        });
-        per_channel_reads.push(phases);
+            ws.axis[s] = if r < 1e-12 { ws.first_phase[s] } else { sin.atan2(cos) };
+            ws.spread[s] = (-2.0 * r.clamp(1e-300, 1.0).ln()).sqrt();
+        }
     }
-    if observations.is_empty() {
+    if kept == 0 {
         return Err(PreprocessError::NoUsableChannels);
     }
 
-    // Sort ascending in frequency (keeping the raw reads aligned).
-    let mut order: Vec<usize> = (0..observations.len()).collect();
-    order.sort_by(|&a, &b| {
-        observations[a]
-            .frequency_hz
-            .partial_cmp(&observations[b].frequency_hz)
-            .expect("finite frequencies")
-    });
-    let mut sorted_obs: Vec<ChannelObservation> =
-        order.iter().map(|&i| observations[i]).collect();
-    let sorted_reads: Vec<&Vec<f64>> =
-        order.iter().map(|&i| &per_channel_reads[i]).collect();
+    // Pass 2 (π-jump mode): fold every read onto its channel axis and
+    // accumulate the folded resultant for the per-channel spread.
+    if config.correct_pi_jumps {
+        for r in reads {
+            let s = ws.slot_if_seen(r.channel).expect("seen in pass 1");
+            if !ws.keep[s] {
+                continue;
+            }
+            let p = r.phase;
+            let folded =
+                if angle::distance(p, ws.axis[s]) <= FRAC_PI_2 { p } else { p + PI };
+            ws.fold_sin[s] += folded.sin();
+            ws.fold_cos[s] += folded.cos();
+        }
+        for s in 0..ws.slots() {
+            if !ws.keep[s] {
+                continue;
+            }
+            let (sin, cos) = (ws.fold_sin[s], ws.fold_cos[s]);
+            let r = ((sin * sin + cos * cos).sqrt() / ws.count[s] as f64).min(1.0);
+            ws.spread[s] = (-2.0 * r.max(1e-300).ln()).sqrt();
+        }
+    }
 
-    let mut phases: Vec<f64> = sorted_obs.iter().map(|o| o.phase).collect();
+    // Sort the kept slots ascending in frequency. The reference
+    // implementation stable-sorts channels that arrive in ascending
+    // channel-id order (BTreeMap iteration), so (frequency, channel) as an
+    // unstable total order reproduces its ordering exactly.
+    ws.order.clear();
+    ws.order.extend((0..ws.slots()).filter(|&s| ws.keep[s]));
+    {
+        let first_freq = &ws.first_freq;
+        let chan = &ws.chan;
+        ws.order.sort_unstable_by(|&a, &b| {
+            first_freq[a]
+                .partial_cmp(&first_freq[b])
+                .expect("finite frequencies")
+                .then_with(|| chan[a].cmp(&chan[b]))
+        });
+    }
+
+    // Wrapped per-channel phases in sorted order, then cross-channel
+    // unwrap in place.
+    ws.phase_col.clear();
+    for &s in &ws.order {
+        ws.phase_col.push(angle::wrap_tau(ws.axis[s]));
+    }
     if config.correct_pi_jumps {
         // The per-channel axes are only known modulo π: unwrap them with
         // period π into a continuous curve, then resolve the single global
         // π ambiguity by a majority vote over *every* raw read (far more
         // robust than voting channel by channel).
-        angle::unwrap_in_place_period(&mut phases, std::f64::consts::PI);
+        angle::unwrap_in_place_period(&mut ws.phase_col, PI);
+        for (k, &s) in ws.order.iter().enumerate() {
+            ws.unwrapped[s] = ws.phase_col[k];
+        }
         let mut votes_axis = 0usize;
         let mut votes_total = 0usize;
-        for (axis, reads) in phases.iter().zip(&sorted_reads) {
-            for &p in reads.iter() {
-                votes_total += 1;
-                if angle::distance(p, *axis) <= std::f64::consts::FRAC_PI_2 {
-                    votes_axis += 1;
-                }
+        for r in reads {
+            let s = ws.slot_if_seen(r.channel).expect("seen in pass 1");
+            if !ws.keep[s] {
+                continue;
+            }
+            votes_total += 1;
+            if angle::distance(r.phase, ws.unwrapped[s]) <= FRAC_PI_2 {
+                votes_axis += 1;
             }
         }
         if 2 * votes_axis < votes_total {
-            for p in &mut phases {
-                *p += std::f64::consts::PI;
+            for p in &mut ws.phase_col {
+                *p += PI;
             }
         }
     } else {
-        angle::unwrap_in_place(&mut phases);
+        angle::unwrap_in_place(&mut ws.phase_col);
     }
-    for (o, p) in sorted_obs.iter_mut().zip(phases) {
-        o.phase = p;
-    }
-    Ok(sorted_obs)
-}
 
-/// Estimates a channel's phase *axis* (the true phase modulo π) from reads
-/// that may each be π-jumped, plus the circular spread of the reads after
-/// folding onto the axis.
-///
-/// The double-angle trick maps both antipodal read clusters onto one:
-/// `circular_mean(2p) / 2` is insensitive to π jumps. Which of
-/// `axis` / `axis + π` is the true phase is decided globally in
-/// [`preprocess_reads`].
-fn channel_axis(phases: &[f64]) -> (f64, f64) {
-    debug_assert!(!phases.is_empty());
-    let doubled_mean = angle::circular_mean(phases.iter().map(|&p| 2.0 * p))
-        .unwrap_or(2.0 * phases[0]);
-    let axis = doubled_mean / 2.0;
-    // Fold every read onto the axis cluster and measure the spread there.
-    let folded: Vec<f64> = phases
-        .iter()
-        .map(|&p| {
-            if angle::distance(p, axis) <= std::f64::consts::FRAC_PI_2 {
-                p
-            } else {
-                p + std::f64::consts::PI
-            }
-        })
-        .collect();
-    let spread = angle::circular_std(folded.iter().copied()).unwrap_or(0.0);
-    (axis, spread)
+    // Emit the final observations; the same loop feeds the fused
+    // unwrap+OLS accumulator and the (freq, phase) fit columns, so the
+    // raw line fit afterwards needs no further pass over the window.
+    for k in 0..ws.order.len() {
+        let s = ws.order[k];
+        let freq = ws.first_freq[s];
+        let phase = ws.phase_col[k];
+        out.push(ChannelObservation {
+            channel: ws.chan[s],
+            frequency_hz: freq,
+            phase,
+            rssi_dbm: ws.sum_rssi[s] / ws.count[s] as f64,
+            read_count: ws.count[s],
+            phase_spread: ws.spread[s],
+        });
+        ws.emit(freq, phase);
+    }
+    Ok(())
 }
 
 #[cfg(test)]

@@ -16,6 +16,7 @@
 
 use crate::linfit::{self, FitError, LineFit};
 use crate::stats;
+use crate::workspace::{masked_fit_diagnostics, FitWorkspace, OlsSums};
 
 /// Configuration for [`robust_line_fit`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -91,50 +92,126 @@ pub fn robust_line_fit(
     ys: &[f64],
     config: &RobustFitConfig,
 ) -> Result<RobustFit, FitError> {
-    let mut current = linfit::theil_sen(xs, ys)?;
+    let mut ws = FitWorkspace::default();
+    let summary = robust_line_fit_with(&mut ws, xs, ys, config)?;
+    Ok(RobustFit {
+        fit: summary.fit,
+        inliers: ws.inlier_mask().to_vec(),
+        iterations: summary.iterations,
+    })
+}
+
+/// Outcome of [`robust_line_fit_with`]: the final inlier fit plus loop
+/// bookkeeping. The inlier mask itself stays in the workspace
+/// ([`FitWorkspace::inlier_mask`]) so the kernel allocates nothing.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RobustSummary {
+    /// Final fit computed on the inlier subset.
+    pub fit: LineFit,
+    /// Number of reject-refit iterations performed.
+    pub iterations: usize,
+    /// Number of points kept as inliers.
+    pub inlier_count: usize,
+}
+
+impl RobustSummary {
+    /// Fraction of the points kept, given the input length.
+    pub fn inlier_fraction(&self, n: usize) -> f64 {
+        self.inlier_count as f64 / n as f64
+    }
+}
+
+/// [`robust_line_fit`] against caller-owned scratch, with an incremental
+/// refit: the full-set OLS sums (`Σx, Σy, Σxy, Σx²`, anchored at the
+/// first abscissa) are accumulated once, and each rejection round
+/// *downdates* them by the excluded points instead of re-collecting and
+/// refitting the inlier subset from scratch. Zero heap allocations once
+/// the workspace buffers are sized.
+///
+/// The refit solution comes from the downdated normal equations rather
+/// than a freshly centered two-pass OLS, so the result can differ from
+/// the pre-rework implementation in the last couple of ulps (the
+/// `frontend_workspace` property suite bounds the difference); the
+/// allocating [`robust_line_fit`] delegates here, keeping both public
+/// paths bit-identical to each other.
+///
+/// # Errors
+///
+/// As [`robust_line_fit`].
+pub fn robust_line_fit_with(
+    ws: &mut FitWorkspace,
+    xs: &[f64],
+    ys: &[f64],
+    config: &RobustFitConfig,
+) -> Result<RobustSummary, FitError> {
+    let mut current = linfit::theil_sen_with(ws, xs, ys)?;
     let n = xs.len();
     let min_inliers = ((n as f64 * config.min_inlier_fraction).ceil() as usize).max(2);
-    let mut inliers = vec![true; n];
+    ws.inliers.clear();
+    ws.inliers.resize(n, true);
+    let mut inlier_count = n;
     let mut iterations = 0;
+
+    // Full-set sums, downdated per round by the excluded points.
+    let mut all = OlsSums::anchored(xs[0]);
+    for (&x, &y) in xs.iter().zip(ys) {
+        all.add(x, y);
+    }
 
     for _ in 0..config.max_iterations {
         iterations += 1;
-        let residuals: Vec<f64> =
-            xs.iter().zip(ys).map(|(&x, &y)| y - current.predict(x)).collect();
-        let abs_res: Vec<f64> = residuals.iter().map(|r| r.abs()).collect();
-        let scale = (stats::mad(&residuals).unwrap_or(0.0) * stats::MAD_TO_SIGMA)
+        ws.resid.clear();
+        ws.resid.resize(n, 0.0);
+        current.residuals_into(xs, ys, &mut ws.resid);
+        ws.abs_res.clear();
+        ws.abs_res.extend(ws.resid.iter().map(|r| r.abs()));
+        let scale = (stats::mad_with(&ws.resid, &mut ws.scratch).unwrap_or(0.0)
+            * stats::MAD_TO_SIGMA)
             .max(config.scale_floor);
         let cutoff = config.threshold * scale;
 
         // Rank points by residual so we can respect the inlier floor even if
-        // many points exceed the cutoff.
-        let mut order: Vec<usize> = (0..n).collect();
-        order.sort_by(|&a, &b| abs_res[a].partial_cmp(&abs_res[b]).expect("finite"));
-        let mut new_inliers = vec![false; n];
-        for (rank, &idx) in order.iter().enumerate() {
-            if rank < min_inliers || abs_res[idx] <= cutoff {
-                new_inliers[idx] = true;
+        // many points exceed the cutoff. Unstable sort with the index as a
+        // tie-break reproduces the stable ranking without its merge buffer.
+        ws.order.clear();
+        ws.order.extend(0..n);
+        let abs_res = &ws.abs_res;
+        ws.order.sort_unstable_by(|&a, &b| {
+            abs_res[a].partial_cmp(&abs_res[b]).expect("finite").then(a.cmp(&b))
+        });
+        ws.inliers_next.clear();
+        ws.inliers_next.resize(n, false);
+        for (rank, &idx) in ws.order.iter().enumerate() {
+            if rank < min_inliers || ws.abs_res[idx] <= cutoff {
+                ws.inliers_next[idx] = true;
             }
         }
 
-        let (sub_x, sub_y): (Vec<f64>, Vec<f64>) = xs
-            .iter()
-            .zip(ys)
-            .zip(&new_inliers)
-            .filter(|(_, &keep)| keep)
-            .map(|((&x, &y), _)| (x, y))
-            .unzip();
-        let refit = linfit::ols(&sub_x, &sub_y)?;
+        // Incremental refit: subtract the excluded points from the
+        // full-set sums (typically a handful) rather than re-accumulating
+        // the inlier subset.
+        let mut sums = all;
+        for (i, &keep) in ws.inliers_next.iter().enumerate() {
+            if !keep {
+                sums.remove(xs[i], ys[i]);
+            }
+        }
+        let (slope, intercept) = sums.solve()?;
+        let ybar = sums.ybar();
+        let (r_squared, residual_std) =
+            masked_fit_diagnostics(xs, ys, &ws.inliers_next, slope, intercept, ybar);
+        let refit = LineFit { slope, intercept, r_squared, residual_std, n: sums.n };
 
-        let converged = new_inliers == inliers;
-        inliers = new_inliers;
+        let converged = ws.inliers_next == ws.inliers;
+        std::mem::swap(&mut ws.inliers, &mut ws.inliers_next);
+        inlier_count = sums.n;
         current = refit;
         if converged {
             break;
         }
     }
 
-    Ok(RobustFit { fit: current, inliers, iterations })
+    Ok(RobustSummary { fit: current, iterations, inlier_count })
 }
 
 #[cfg(test)]
@@ -211,6 +288,42 @@ mod tests {
         let r = robust_line_fit(&xs, &ys, &cfg).unwrap();
         assert!(r.iterations <= 3);
     }
+
+    #[test]
+    fn workspace_kernel_matches_allocating_api() {
+        let xs: Vec<f64> = (0..50).map(|i| 9.02e8 + 5e5 * i as f64).collect();
+        let mut ys = line(&xs, 1.2e-8, 0.4);
+        for &i in &[4usize, 18, 33] {
+            ys[i] += 1.7;
+        }
+        let mut ws = FitWorkspace::default();
+        for rep in 0..3 {
+            let shift = rep as f64 * 0.1;
+            let ys2: Vec<f64> = ys.iter().map(|y| y + shift).collect();
+            let with = robust_line_fit_with(&mut ws, &xs, &ys2, &RobustFitConfig::default())
+                .unwrap();
+            let alloc = robust_line_fit(&xs, &ys2, &RobustFitConfig::default()).unwrap();
+            assert_eq!(with.fit, alloc.fit);
+            assert_eq!(with.iterations, alloc.iterations);
+            assert_eq!(with.inlier_count, alloc.inlier_count());
+            assert_eq!(ws.inlier_mask(), alloc.inliers.as_slice());
+        }
+    }
+
+    #[test]
+    fn downdated_refit_tracks_reference_implementation() {
+        let xs: Vec<f64> = (0..50).map(|i| 9.02e8 + 5e5 * i as f64).collect();
+        let mut ys = line(&xs, 1.2e-8, 0.4);
+        for &i in &[4usize, 18, 33, 41] {
+            ys[i] += if i % 2 == 0 { 1.7 } else { -2.3 };
+        }
+        let new = robust_line_fit(&xs, &ys, &RobustFitConfig::default()).unwrap();
+        let old = crate::reference::robust_line_fit(&xs, &ys, &RobustFitConfig::default())
+            .unwrap();
+        assert_eq!(new.inliers, old.inliers);
+        assert!((new.fit.slope - old.fit.slope).abs() <= 1e-9 * old.fit.slope.abs().max(1e-12));
+        assert!((new.fit.intercept - old.fit.intercept).abs() <= 1e-6);
+    }
 }
 
 /// Huber IRLS line fit: a soft alternative to hard outlier rejection.
@@ -243,21 +356,35 @@ pub fn huber_line_fit(
     delta: f64,
     iterations: usize,
 ) -> Result<LineFit, FitError> {
+    huber_line_fit_with(&mut FitWorkspace::default(), xs, ys, delta, iterations)
+}
+
+/// [`huber_line_fit`] against caller-owned scratch: the IRLS weight column
+/// lives in the workspace instead of being reallocated every round.
+/// Returns the same fit as [`huber_line_fit`].
+///
+/// # Errors
+///
+/// As [`huber_line_fit`].
+pub fn huber_line_fit_with(
+    ws: &mut FitWorkspace,
+    xs: &[f64],
+    ys: &[f64],
+    delta: f64,
+    iterations: usize,
+) -> Result<LineFit, FitError> {
     let mut fit = linfit::ols(xs, ys)?;
     for _ in 0..iterations {
-        let weights: Vec<f64> = xs
-            .iter()
-            .zip(ys)
-            .map(|(&x, &y)| {
-                let r = (y - fit.predict(x)).abs();
-                if r <= delta {
-                    1.0
-                } else {
-                    delta / r
-                }
-            })
-            .collect();
-        let next = linfit::weighted_ols(xs, ys, &weights)?;
+        ws.weights.clear();
+        ws.weights.extend(xs.iter().zip(ys).map(|(&x, &y)| {
+            let r = (y - fit.predict(x)).abs();
+            if r <= delta {
+                1.0
+            } else {
+                delta / r
+            }
+        }));
+        let next = linfit::weighted_ols(xs, ys, &ws.weights)?;
         let converged = (next.slope - fit.slope).abs() < 1e-15
             && (next.intercept - fit.intercept).abs() < 1e-12;
         fit = next;

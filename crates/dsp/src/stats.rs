@@ -36,12 +36,50 @@ pub fn median(xs: &[f64]) -> Option<f64> {
     Some(if n % 2 == 1 { v[n / 2] } else { (v[n / 2 - 1] + v[n / 2]) / 2.0 })
 }
 
+/// Median computed in place by order-statistic selection
+/// (`select_nth_unstable`) — no allocation, O(n) expected time instead of
+/// the O(n log n) sort in [`median`]. Returns the same value as [`median`]
+/// (selection picks identical order statistics); the slice is left
+/// partially reordered. Returns `None` for an empty slice.
+///
+/// # Panics
+///
+/// Panics on `NaN` input, like [`median`].
+pub fn median_in_place(xs: &mut [f64]) -> Option<f64> {
+    if xs.is_empty() {
+        return None;
+    }
+    let n = xs.len();
+    let cmp = |a: &f64, b: &f64| a.partial_cmp(b).expect("NaN in median input");
+    let (below, mid, _) = xs.select_nth_unstable_by(n / 2, cmp);
+    let mid = *mid;
+    Some(if n % 2 == 1 {
+        mid
+    } else {
+        // The lower central order statistic is the maximum of the left
+        // partition.
+        let lower = below.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        (lower + mid) / 2.0
+    })
+}
+
 /// Median absolute deviation from the median (raw MAD, not scaled to σ).
 /// Returns `None` for an empty slice.
 pub fn mad(xs: &[f64]) -> Option<f64> {
     let m = median(xs)?;
     let dev: Vec<f64> = xs.iter().map(|x| (x - m).abs()).collect();
     median(&dev)
+}
+
+/// MAD of `xs` computed without allocating, using `scratch` (cleared and
+/// refilled; capacity reused). Identical value to [`mad`].
+pub fn mad_with(xs: &[f64], scratch: &mut Vec<f64>) -> Option<f64> {
+    scratch.clear();
+    scratch.extend_from_slice(xs);
+    let m = median_in_place(scratch)?;
+    scratch.clear();
+    scratch.extend(xs.iter().map(|x| (x - m).abs()));
+    median_in_place(scratch)
 }
 
 /// Consistency factor that scales a Gaussian sample's MAD to its σ.
@@ -116,6 +154,37 @@ mod tests {
         assert_eq!(median(&[3.0, 1.0, 2.0]), Some(2.0));
         assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]), Some(2.5));
         assert_eq!(median(&[]), None);
+    }
+
+    #[test]
+    fn median_in_place_matches_sorting_median() {
+        let cases: [&[f64]; 6] = [
+            &[],
+            &[7.5],
+            &[3.0, 1.0],
+            &[3.0, 1.0, 2.0],
+            &[4.0, 1.0, 2.0, 3.0],
+            &[0.5, -1.0, 2.25, 2.25, -3.0, 0.5, 9.0],
+        ];
+        for xs in cases {
+            let mut buf = xs.to_vec();
+            assert_eq!(median_in_place(&mut buf), median(xs), "input {xs:?}");
+        }
+        // Pseudo-random larger case.
+        let xs: Vec<f64> = (0..101).map(|i| ((i * 7919) % 251) as f64 - 125.0).collect();
+        let mut buf = xs.clone();
+        assert_eq!(median_in_place(&mut buf), median(&xs));
+        let xs: Vec<f64> = (0..100).map(|i| ((i * 104729) % 509) as f64).collect();
+        let mut buf = xs.clone();
+        assert_eq!(median_in_place(&mut buf), median(&xs));
+    }
+
+    #[test]
+    fn mad_with_matches_mad() {
+        let xs = [1.0, 1.1, 0.9, 1.05, 100.0, -2.0];
+        let mut scratch = Vec::new();
+        assert_eq!(mad_with(&xs, &mut scratch), mad(&xs));
+        assert_eq!(mad_with(&[], &mut scratch), None);
     }
 
     #[test]

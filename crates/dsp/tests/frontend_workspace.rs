@@ -1,0 +1,156 @@
+//! Property suite pinning the workspace front-end kernels to the frozen
+//! pre-rework implementations in [`rfp_dsp::reference`].
+//!
+//! The public allocating APIs (`preprocess_reads`, `theil_sen`,
+//! `huber_line_fit`, …) delegate to the workspace kernels, so comparing
+//! them against the reference module exercises the optimized paths while
+//! using a genuinely independent oracle. Everything except the robust fit
+//! is required to be **bit-identical** (same summation order, same
+//! order-statistic selection); the robust fit's incremental
+//! downdated-sums refit is algebraically equal but re-associates the
+//! sums, so it gets a tight tolerance with an exactly-equal inlier mask.
+
+use proptest::prelude::*;
+use rfp_dsp::linfit::{ols, theil_sen, weighted_ols};
+use rfp_dsp::preprocess::{preprocess_reads, PreprocessConfig, RawRead};
+use rfp_dsp::reference;
+use rfp_dsp::robust::{huber_line_fit, robust_line_fit, RobustFitConfig};
+use rfp_dsp::FrontEndWorkspace;
+
+/// Read sets covering the degenerate shapes the front end must survive:
+/// sparse channels (below `min_reads`), single-read channels, repeated
+/// identical phases (zero spread), and channel indices far above the
+/// dense-slot range.
+fn arb_reads() -> impl Strategy<Value = Vec<RawRead>> {
+    proptest::collection::vec(
+        (0usize..30, 0.0f64..std::f64::consts::TAU, -80.0f64..-30.0, 0u8..2),
+        0..120,
+    )
+    .prop_map(|tuples| {
+        tuples
+            .into_iter()
+            .enumerate()
+            .map(|(i, (mut ch, phase, rssi, sparse))| {
+                if sparse == 1 {
+                    // A few channels land way outside the dense range.
+                    ch += 900;
+                }
+                RawRead {
+                    channel: ch,
+                    frequency_hz: 902.75e6 + ch as f64 * 0.5e6,
+                    phase,
+                    rssi_dbm: rssi,
+                    timestamp_s: i as f64 * 0.01,
+                }
+            })
+            .collect()
+    })
+}
+
+/// Arbitrary fit data with occasional duplicate x values (zero-dx slope
+/// pairs) and occasional exactly-repeated y values.
+fn arb_fit_data() -> impl Strategy<Value = (Vec<f64>, Vec<f64>)> {
+    proptest::collection::vec((0i32..40, -50.0f64..50.0), 2..60).prop_map(|pts| {
+        let xs: Vec<f64> = pts.iter().map(|&(xi, _)| xi as f64 * 0.37).collect();
+        let ys: Vec<f64> = pts.iter().map(|&(_, y)| y).collect();
+        (xs, ys)
+    })
+}
+
+proptest! {
+    #[test]
+    fn preprocess_matches_reference_exactly(
+        reads in arb_reads(),
+        pi_jumps in proptest::bool::ANY,
+        min_reads in 0usize..3,
+    ) {
+        let config =
+            PreprocessConfig { correct_pi_jumps: pi_jumps, min_reads_per_channel: min_reads };
+        let expected = reference::preprocess_reads(&reads, &config);
+        let actual = preprocess_reads(&reads, &config);
+        // Bit-identical including the error case: `==` on f64 fields.
+        prop_assert_eq!(actual, expected);
+    }
+
+    #[test]
+    fn workspace_carries_no_state_between_calls(
+        first in arb_reads(),
+        second in arb_reads(),
+    ) {
+        let config = PreprocessConfig::default();
+        let mut reused = FrontEndWorkspace::default();
+        let mut out = Vec::new();
+        let _ = rfp_dsp::preprocess_reads_with(&mut reused, &first, &config, &mut out);
+        let reused_result =
+            rfp_dsp::preprocess_reads_with(&mut reused, &second, &config, &mut out)
+                .map(|()| out.clone());
+
+        let mut fresh = FrontEndWorkspace::default();
+        let mut fresh_out = Vec::new();
+        let fresh_result =
+            rfp_dsp::preprocess_reads_with(&mut fresh, &second, &config, &mut fresh_out)
+                .map(|()| fresh_out.clone());
+        prop_assert_eq!(reused_result, fresh_result);
+    }
+
+    #[test]
+    fn ols_matches_reference_exactly(data in arb_fit_data()) {
+        let (xs, ys) = data;
+        prop_assert_eq!(ols(&xs, &ys), reference::ols(&xs, &ys));
+    }
+
+    #[test]
+    fn weighted_ols_matches_reference_exactly(
+        data in arb_fit_data(),
+        wseed in 0u64..1000,
+    ) {
+        let (xs, ys) = data;
+        let weights: Vec<f64> = (0..xs.len())
+            .map(|i| ((i as u64 * 2654435761 + wseed) % 7) as f64)
+            .collect();
+        prop_assert_eq!(
+            weighted_ols(&xs, &ys, &weights),
+            reference::weighted_ols(&xs, &ys, &weights)
+        );
+    }
+
+    #[test]
+    fn theil_sen_matches_reference_exactly(data in arb_fit_data()) {
+        let (xs, ys) = data;
+        prop_assert_eq!(theil_sen(&xs, &ys), reference::theil_sen(&xs, &ys));
+    }
+
+    #[test]
+    fn huber_matches_reference_exactly(
+        data in arb_fit_data(),
+        delta in 0.1f64..5.0,
+        iterations in 1usize..6,
+    ) {
+        let (xs, ys) = data;
+        prop_assert_eq!(
+            huber_line_fit(&xs, &ys, delta, iterations),
+            reference::huber_line_fit(&xs, &ys, delta, iterations)
+        );
+    }
+
+    #[test]
+    fn robust_matches_reference_with_identical_inliers(data in arb_fit_data()) {
+        let (xs, ys) = data;
+        let config = RobustFitConfig::default();
+        let expected = reference::robust_line_fit(&xs, &ys, &config);
+        let actual = robust_line_fit(&xs, &ys, &config);
+        match (actual, expected) {
+            (Ok(a), Ok(e)) => {
+                // The incremental downdated refit re-associates the OLS
+                // sums, so the fit is equal only to rounding.
+                prop_assert!((a.fit.slope - e.fit.slope).abs()
+                    <= 1e-9 * (1.0 + e.fit.slope.abs()));
+                prop_assert!((a.fit.intercept - e.fit.intercept).abs()
+                    <= 1e-9 * (1.0 + e.fit.intercept.abs()));
+                prop_assert_eq!(a.inliers, e.inliers);
+                prop_assert_eq!(a.iterations, e.iterations);
+            }
+            (a, e) => prop_assert_eq!(a.is_err(), e.is_err()),
+        }
+    }
+}

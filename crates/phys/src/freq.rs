@@ -25,7 +25,7 @@ use crate::constants::{
 /// assert_eq!(plan.frequency_hz(0), 902.75e6);
 /// assert_eq!(plan.frequency_hz(49), 927.25e6);
 /// ```
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FrequencyPlan {
     start_hz: f64,
     spacing_hz: f64,

@@ -14,7 +14,7 @@ use rf_prism::prelude::*;
 
 fn main() {
     let scene = Scene::standard_2d();
-    let prism = RfPrism::new(scene.antenna_poses(), scene.reader().plan.clone())
+    let prism = RfPrism::new(scene.antenna_poses(), scene.reader().plan)
         .with_region(scene.region());
     let mut tracker = TagTracker::new(TrackerConfig {
         acceleration_std: 0.002,

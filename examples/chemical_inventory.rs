@@ -22,7 +22,7 @@ struct Slot {
 
 fn main() {
     let scene = Scene::standard_2d();
-    let prism = RfPrism::new(scene.antenna_poses(), scene.reader().plan.clone())
+    let prism = RfPrism::new(scene.antenna_poses(), scene.reader().plan)
         .with_region(scene.region());
     let channel_count = scene.reader().plan.channel_count();
 

@@ -15,7 +15,7 @@ use rf_prism::prelude::*;
 
 fn main() {
     let scene = Scene::standard_2d();
-    let prism = RfPrism::new(scene.antenna_poses(), scene.reader().plan.clone())
+    let prism = RfPrism::new(scene.antenna_poses(), scene.reader().plan)
         .with_region(scene.region());
 
     // A belt crossing the region at 6 cm/s, pausing at the inspection gate.

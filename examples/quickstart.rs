@@ -33,7 +33,7 @@ fn main() {
 
     // The sensing side knows only the antenna poses (measured at
     // deployment) and the channel plan.
-    let prism = RfPrism::new(scene.antenna_poses(), scene.reader().plan.clone())
+    let prism = RfPrism::new(scene.antenna_poses(), scene.reader().plan)
         .with_region(scene.region());
     let result = prism.sense(&survey.per_antenna).expect("static tag, clean window");
 

@@ -25,7 +25,7 @@ fn is_flagged(material: Material) -> bool {
 
 fn main() {
     let scene = Scene::standard_2d();
-    let prism = RfPrism::new(scene.antenna_poses(), scene.reader().plan.clone())
+    let prism = RfPrism::new(scene.antenna_poses(), scene.reader().plan)
         .with_region(scene.region());
     let channel_count = scene.reader().plan.channel_count();
     let gate = Vec2::new(0.5, 1.2);

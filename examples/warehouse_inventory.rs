@@ -22,7 +22,7 @@ fn main() {
     // per-tag budgets after ALOHA sharing.
     let scene = Scene::standard_2d()
         .with_reader(ReaderConfig::impinj_r420().with_reads_per_channel(24));
-    let prism = RfPrism::new(scene.antenna_poses(), scene.reader().plan.clone())
+    let prism = RfPrism::new(scene.antenna_poses(), scene.reader().plan)
         .with_region(scene.region());
     let channel_count = scene.reader().plan.channel_count();
     let calib_pose = (Vec2::new(0.5, 1.0), 0.0);

@@ -36,7 +36,7 @@
 //! let survey = scene.survey(&tag, 7);
 //!
 //! // Sense: position + orientation + material parameters in one shot.
-//! let prism = RfPrism::new(scene.antenna_poses(), scene.reader().plan.clone())
+//! let prism = RfPrism::new(scene.antenna_poses(), scene.reader().plan)
 //!     .with_region(scene.region());
 //! let result = prism.sense(&survey.per_antenna)?;
 //! assert!(result.estimate.position.distance(Vec2::new(0.4, 1.3)) < 0.4);
@@ -64,8 +64,8 @@ pub mod prelude {
     pub use rfp_core::{
         BatchCache, BatchCache3D, CalibrationDb, DeviceCalibration, JacobianMode,
         MaterialFeatures, MaterialIdentifier, MobilityVerdict, PruneStats, RfPrism,
-        RfPrismConfig, SenseError, SensingResult, SolveStats, SolverConfig, TagEstimate2D,
-        TagReads, TagRounds, WarmStart, WarmStart3D,
+        RfPrismConfig, SenseError, SenseWorkspace, SensingResult, SolveStats, SolverConfig,
+        TagEstimate2D, TagReads, TagRounds, WarmStart, WarmStart3D,
     };
     pub use rfp_geom::{AntennaPose, Region2, Vec2, Vec3};
     pub use rfp_phys::{FrequencyPlan, Material, TagElectrical};

@@ -6,7 +6,7 @@ use rf_prism::core::RfPrism;
 use rf_prism::prelude::*;
 
 fn prism_for(scene: &Scene) -> RfPrism {
-    RfPrism::new(scene.antenna_poses(), scene.reader().plan.clone())
+    RfPrism::new(scene.antenna_poses(), scene.reader().plan)
         .with_region(scene.region())
 }
 

@@ -9,7 +9,7 @@ use rf_prism::ml::dataset::Dataset;
 use rf_prism::prelude::*;
 
 fn prism_for(scene: &Scene) -> RfPrism {
-    RfPrism::new(scene.antenna_poses(), scene.reader().plan.clone())
+    RfPrism::new(scene.antenna_poses(), scene.reader().plan)
         .with_region(scene.region())
 }
 
