@@ -17,9 +17,12 @@
 //!   what the code actually costs.
 //! - **frontend** — the fused fit chain (unwrap+OLS fit → robust reject)
 //!   must hold a ≥2× p50 speedup over the frozen pre-rework reference on
-//!   the standard window (`standard_fit_speedup_p50`), and the end-to-end
+//!   the standard window (`standard_fit_speedup_p50`), the table-backed
+//!   preprocess stage must hold its own ≥2× floor on the same window
+//!   (`standard_preprocess_speedup_p50` — the quantized-code trig tables
+//!   breaking the shared libm trig bound), and the end-to-end
 //!   standard-window speedup must not fall beyond the threshold below the
-//!   committed value. Both are same-run fused/reference ratios, so CPU
+//!   committed value. All are same-run fused/reference ratios, so CPU
 //!   steal and machine differences cancel.
 //! - **batch** — the `jobs=8` scaling row of the *fresh* snapshot: ≥3×
 //!   over `jobs=1` when the machine reports ≥8 hardware threads, else a
@@ -38,6 +41,7 @@ use std::process::ExitCode;
 
 const DEFAULT_THRESHOLD_PCT: f64 = 15.0;
 const FRONTEND_FIT_FLOOR: f64 = 2.0;
+const FRONTEND_PREPROCESS_FLOOR: f64 = 2.0;
 const BATCH_SPEEDUP_FLOOR: f64 = 3.0;
 const BATCH_SANITY_FLOOR: f64 = 0.8;
 
@@ -129,6 +133,12 @@ fn check_frontend(
         "  frontend fit chain: ×{fit:.2} (floor ×{FRONTEND_FIT_FLOOR:.1}) — {}",
         if fit_ok { "ok" } else { "BELOW FLOOR" }
     );
+    let pre = frontend_ratio(fresh, "standard_preprocess_speedup_p50")?;
+    let pre_ok = pre >= FRONTEND_PREPROCESS_FLOOR;
+    println!(
+        "  frontend preprocess (table): ×{pre:.2} (floor ×{FRONTEND_PREPROCESS_FLOOR:.1}) — {}",
+        if pre_ok { "ok" } else { "BELOW FLOOR" }
+    );
     // The end-to-end window ratio regresses when the fused path slows
     // relative to the frozen reference (lower = worse, hence the sign).
     let base = frontend_ratio(committed, "standard_window_speedup_p50")?;
@@ -139,7 +149,7 @@ fn check_frontend(
         "  frontend standard window: committed ×{base:.2}, fresh ×{now:.2} ({delta_pct:+.1}% slower) — {}",
         if window_ok { "ok" } else { "REGRESSED" }
     );
-    Ok(fit_ok & window_ok)
+    Ok(fit_ok & pre_ok & window_ok)
 }
 
 fn check_batch(fresh: &JsonValue) -> Result<bool, String> {

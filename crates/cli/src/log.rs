@@ -246,6 +246,10 @@ impl SurveyLog {
                         phase: nums[1],
                         rssi_dbm: nums[2],
                         timestamp_s: nums[3],
+                        // The text format stores phases with exact f64
+                        // round-trip ({:e}), so quantized phases land
+                        // back on the grid and recover their code.
+                        phase_code: rfp_dsp::trig::code_for_phase(nums[1]),
                     });
                 }
                 Some(_) => return Err(LogError::UnknownDirective { line: ln }),

@@ -43,6 +43,7 @@ proptest! {
                 phase,
                 rssi_dbm: rssi,
                 timestamp_s: t,
+                phase_code: rfp_dsp::trig::code_for_phase(phase),
             });
         }
         let truth = with_truth.then(|| TagTruth {

@@ -86,7 +86,18 @@ impl AntennaCalibration {
             .map(|(reads, &off)| {
                 reads
                     .iter()
-                    .map(|r| RawRead { phase: angle::wrap_tau(r.phase - off), ..*r })
+                    .map(|r| {
+                        // Subtracting the offset moves the phase off the
+                        // reader grid, so the stale code must not ride
+                        // along; re-derive (usually None for a continuous
+                        // calibration offset).
+                        let phase = angle::wrap_tau(r.phase - off);
+                        RawRead {
+                            phase,
+                            phase_code: rfp_dsp::trig::code_for_phase(phase),
+                            ..*r
+                        }
+                    })
                     .collect()
             })
             .collect()

@@ -11,6 +11,13 @@
 //! [`MaterialIdentifier`] wraps feature standardization plus one of the
 //! paper's three classifiers (KNN / SVM / Decision Tree, Fig. 13) or the
 //! future-work MLP, and maps predicted class indices back to [`Material`].
+//!
+//! The front-end trig backend (`rfp_dsp::TrigProvider`, selected via
+//! `ExtractConfig::preprocess.trig` or `RfPrismConfig::with_trig`) rides
+//! upstream of this module: material features only see the resulting
+//! [`AntennaObservation`]s. The default `Table` backend is bit-identical
+//! to libm, so feature vectors — and therefore trained classifiers — are
+//! unchanged by the faster path (pinned by a test below).
 
 use crate::calibration::DeviceCalibration;
 use crate::model::AntennaObservation;
@@ -358,6 +365,47 @@ mod tests {
         let mean_theta: f64 = feats.theta_material.iter().map(|t| t.abs()).sum::<f64>()
             / feats.theta_material.len() as f64;
         assert!(mean_theta < 0.3, "mean |θ_material| {mean_theta}");
+    }
+
+    /// Quantized (R420) surveys carry phase codes, so the table backend
+    /// kicks in — and must leave the material feature vector bitwise
+    /// unchanged relative to the libm oracle all the way through
+    /// calibration, solving and de-lining.
+    #[test]
+    fn features_are_invariant_across_trig_backends() {
+        let scene = Scene::standard_2d().with_noise(NoiseModel::clean());
+        let calib_pos = Vec2::new(0.5, 1.0);
+        let bare = SimTag::with_seeded_diversity(7)
+            .with_motion(Motion::planar_static(calib_pos, 0.0));
+        let loaded = bare
+            .attached_to(Material::Glass)
+            .with_motion(Motion::planar_static(Vec2::new(0.8, 1.8), 0.7));
+
+        let features_with = |trig: rfp_dsp::TrigProvider| {
+            let mut config = ExtractConfig::paper();
+            config.preprocess.trig = trig;
+            let obs_for = |tag: &SimTag, seed: u64| -> Vec<AntennaObservation> {
+                let survey = scene.survey(tag, seed);
+                scene
+                    .antenna_poses()
+                    .iter()
+                    .zip(&survey.per_antenna)
+                    .map(|(&p, r)| extract_observation(p, r, &config).unwrap())
+                    .collect()
+            };
+            let calib = crate::calibration::DeviceCalibration::from_observations(
+                &obs_for(&bare, 1),
+                calib_pos,
+                0.0,
+            );
+            let obs = obs_for(&loaded, 2);
+            let est = solve_2d(&obs, scene.region(), &SolverConfig::default()).unwrap();
+            MaterialFeatures::extract(&obs, &est, &calib, 50)
+        };
+
+        let table = features_with(rfp_dsp::TrigProvider::Table);
+        let libm = features_with(rfp_dsp::TrigProvider::Libm);
+        assert_eq!(table, libm, "table backend must not perturb features");
     }
 
     #[test]

@@ -7,7 +7,10 @@
 //! the consensus line are dropped before the slope/intercept are read off.
 
 use crate::obs::counter_add;
-use crate::obs::id::{FRONTEND_CHANNELS, FRONTEND_READS, FRONTEND_WINDOWS};
+use crate::obs::id::{
+    FRONTEND_CHANNELS, FRONTEND_READS, FRONTEND_TRIG_LIBM_READS, FRONTEND_TRIG_POLY_READS,
+    FRONTEND_TRIG_TABLE_READS, FRONTEND_WINDOWS,
+};
 use rfp_dsp::preprocess::{preprocess_reads_with, ChannelObservation, PreprocessConfig, RawRead};
 use rfp_dsp::robust::{robust_line_fit_with, RobustFitConfig};
 use rfp_dsp::workspace::FrontEndWorkspace;
@@ -200,7 +203,13 @@ pub fn extract_observation_into(
 ) -> Result<(), ExtractError> {
     counter_add(FRONTEND_WINDOWS, 1);
     counter_add(FRONTEND_READS, reads.len() as u64);
-    preprocess_reads_with(ws, reads, &config.preprocess, &mut out.channels)?;
+    let preprocessed = preprocess_reads_with(ws, reads, &config.preprocess, &mut out.channels);
+    // Per-backend trig tallies are valid even on error windows.
+    let [table, poly, libm] = ws.trig_hits();
+    counter_add(FRONTEND_TRIG_TABLE_READS, table);
+    counter_add(FRONTEND_TRIG_POLY_READS, poly);
+    counter_add(FRONTEND_TRIG_LIBM_READS, libm);
+    preprocessed?;
     if out.channels.len() < 5 {
         return Err(ExtractError::TooFewChannels { available: out.channels.len() });
     }
@@ -329,6 +338,7 @@ mod tests {
                 phase: 1.0,
                 rssi_dbm: -50.0,
                 timestamp_s: 0.0,
+                phase_code: None,
             })
             .collect();
         match extract_observation(pose, &reads, &ExtractConfig::paper()) {

@@ -98,6 +98,15 @@ pub mod id {
     pub const FRONTEND_READS: usize = 29;
     /// `frontend.channels` — clean channel observations produced.
     pub const FRONTEND_CHANNELS: usize = 30;
+    /// `frontend.trig_table_reads` — per-read phasors served by the
+    /// quantized phase-code tables.
+    pub const FRONTEND_TRIG_TABLE_READS: usize = 31;
+    /// `frontend.trig_poly_reads` — per-read phasors served by the
+    /// bounded-error polynomial backend.
+    pub const FRONTEND_TRIG_POLY_READS: usize = 32;
+    /// `frontend.trig_libm_reads` — per-read phasors served by libm
+    /// (explicit backend or codeless-read fallback).
+    pub const FRONTEND_TRIG_LIBM_READS: usize = 33;
 }
 
 #[cfg(feature = "obs")]
@@ -169,6 +178,18 @@ mod enabled {
         MetricDef::counter("frontend.windows", "per-antenna front-end extractions attempted"),
         MetricDef::counter("frontend.reads", "raw reader reports consumed by the front end"),
         MetricDef::counter("frontend.channels", "clean channel observations produced"),
+        MetricDef::counter(
+            "frontend.trig_table_reads",
+            "per-read phasors served by the quantized phase-code tables",
+        ),
+        MetricDef::counter(
+            "frontend.trig_poly_reads",
+            "per-read phasors served by the bounded-error polynomial",
+        ),
+        MetricDef::counter(
+            "frontend.trig_libm_reads",
+            "per-read phasors served by libm (oracle backend or fallback)",
+        ),
     ];
 
     pub use recorder::{counter_add, gauge_set, observe_value};
@@ -281,6 +302,9 @@ mod enabled {
                 (FRONTEND_WINDOWS, "frontend.windows"),
                 (FRONTEND_READS, "frontend.reads"),
                 (FRONTEND_CHANNELS, "frontend.channels"),
+                (FRONTEND_TRIG_TABLE_READS, "frontend.trig_table_reads"),
+                (FRONTEND_TRIG_POLY_READS, "frontend.trig_poly_reads"),
+                (FRONTEND_TRIG_LIBM_READS, "frontend.trig_libm_reads"),
             ];
             assert_eq!(by_idx.len(), METRICS.len());
             for (idx, name) in by_idx {

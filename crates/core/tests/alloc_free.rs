@@ -9,6 +9,8 @@
 //! are a separate crate, so the crate-level `forbid` does not apply).
 
 use rfp_core::model::{extract_observation, AntennaObservation, ExtractConfig};
+use rfp_dsp::preprocess::{preprocess_reads_with, PreprocessConfig};
+use rfp_dsp::{FrontEndWorkspace, TrigProvider};
 use rfp_core::solver::{
     levenberg_marquardt_analytic_with, levenberg_marquardt_with, residuals_2d,
     residuals_and_jacobian_2d, LmWorkspace, SolverConfig,
@@ -162,4 +164,51 @@ fn full_sense_is_allocation_free_in_steady_state() {
     let result = result.expect("usable window");
     assert_eq!(allocs, 0, "warm sense() allocated {allocs} times in steady state");
     ws.recycle(result);
+}
+
+/// The quantized-code trig tables live inline in a static (`OnceLock`
+/// with in-place storage): building them touches the heap zero times, so
+/// "construction is one-time" holds trivially — there is nothing to free
+/// or grow afterwards either.
+#[test]
+fn trig_table_construction_never_allocates() {
+    let ((), allocs) = allocations_during(rfp_dsp::trig::warm_tables);
+    assert_eq!(allocs, 0, "table build allocated {allocs} times");
+}
+
+/// Steady-state allocation contract of the new trig backends: after a
+/// sizing pass, `preprocess_reads_with` is zero-alloc through the table
+/// path (quantized, code-carrying reads) exactly as it is through libm.
+#[test]
+fn table_preprocess_is_allocation_free_in_steady_state() {
+    assert_preprocess_steady_state_zero_alloc(Scene::standard_2d(), TrigProvider::Table);
+}
+
+/// ... and through the polynomial path (continuous, codeless reads).
+#[test]
+fn polynomial_preprocess_is_allocation_free_in_steady_state() {
+    let scene = Scene::standard_2d().with_reader(rfp_sim::ReaderConfig::ideal());
+    assert_preprocess_steady_state_zero_alloc(scene, TrigProvider::Polynomial);
+}
+
+fn assert_preprocess_steady_state_zero_alloc(scene: Scene, trig: TrigProvider) {
+    let tag = SimTag::with_seeded_diversity(9)
+        .with_motion(Motion::planar_static(Vec2::new(0.5, 1.5), 0.8));
+    let survey = scene.survey(&tag, 17);
+    let reads = &survey.per_antenna[0];
+    let config = PreprocessConfig { trig, ..Default::default() };
+    let mut ws = FrontEndWorkspace::default();
+    let mut out = Vec::new();
+    // Sizing passes: workspace columns, output buffer, trig tables.
+    for _ in 0..2 {
+        preprocess_reads_with(&mut ws, reads, &config, &mut out).expect("usable window");
+    }
+    let (result, allocs) =
+        allocations_during(|| preprocess_reads_with(&mut ws, reads, &config, &mut out));
+    result.expect("usable window");
+    assert!(!out.is_empty());
+    assert_eq!(
+        allocs, 0,
+        "{trig:?} preprocess allocated {allocs} times in steady state"
+    );
 }

@@ -217,6 +217,33 @@ fn numeric_fallback_batch_matches_sequential() {
     }
 }
 
+/// The trig provider rides inside the pipeline config, so the batch
+/// engine threads it to every worker for free — and because the `Table`
+/// backend is bit-identical to libm on quantized (code-carrying) reads,
+/// a table-backed *batch* must reproduce the libm *sequential* results
+/// exactly. This crosses the two equivalence axes (backend × engine) in
+/// one assertion.
+#[test]
+fn table_backed_batch_matches_libm_sequential() {
+    use rfp_core::RfPrismConfig;
+    use rfp_dsp::TrigProvider;
+    let scene = Scene::standard_2d(); // default R420 reader: quantized phases
+    let base = RfPrism::new(scene.antenna_poses(), scene.reader().plan)
+        .with_region(scene.region());
+    let libm_prism =
+        base.clone().with_config(RfPrismConfig::paper().with_trig(TrigProvider::Libm));
+    let table_prism =
+        base.with_config(RfPrismConfig::paper().with_trig(TrigProvider::Table));
+    let tags = random_tag_reads(&scene, 12, 23);
+    let sequential: Vec<_> = tags.iter().map(|reads| libm_prism.sense(reads)).collect();
+    for jobs in [1, 4] {
+        let batch = table_prism.sense_batch(&tags, jobs);
+        for (i, (b, s)) in batch.iter().zip(&sequential).enumerate() {
+            assert_identical(b, s, i);
+        }
+    }
+}
+
 #[test]
 fn errors_surface_at_the_right_index() {
     let scene = Scene::standard_2d();

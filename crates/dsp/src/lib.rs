@@ -18,6 +18,10 @@
 //! * [`stats`] — small statistics helpers (mean, std, median, MAD,
 //!   percentiles, empirical CDFs) shared by the solver and the experiment
 //!   harness.
+//! * [`trig`] — the pre-processing trigonometry backends
+//!   ([`TrigProvider`]): quantized phase-code tables (bit-identical to
+//!   libm, proven exhaustively over all 4096 codes), a bounded-error
+//!   polynomial for continuous phases, and the libm oracle.
 //! * [`workspace`] — reusable flat scratch buffers
 //!   ([`FrontEndWorkspace`], [`FitWorkspace`]) that make the whole front
 //!   end allocation-free in steady state; the `*_with` kernel variants in
@@ -47,6 +51,7 @@ pub mod preprocess;
 pub mod reference;
 pub mod robust;
 pub mod stats;
+pub mod trig;
 pub mod workspace;
 
 pub use linfit::{ols, theil_sen_with, weighted_ols, LineFit};
@@ -57,4 +62,5 @@ pub use robust::{
     huber_line_fit, huber_line_fit_with, robust_line_fit, robust_line_fit_with, RobustFit,
     RobustFitConfig, RobustSummary,
 };
+pub use trig::TrigProvider;
 pub use workspace::{FitWorkspace, FrontEndWorkspace, OlsSums};

@@ -20,7 +20,18 @@
 //! 3. **2π folding** — across channels the phase walks many turns; standard
 //!    unwrapping restores a continuous line (channel spacing is 500 kHz, so
 //!    the true inter-channel increment is ≪ π for any realistic geometry).
+//!
+//! All per-read trigonometry goes through a pluggable backend
+//! ([`TrigProvider`], selected per call via [`PreprocessConfig::trig`]):
+//! quantized phase-**code tables** when the reads carry their 12-bit
+//! reader codes (bit-identical to libm by construction), a bounded-error
+//! **polynomial** for continuous synthetic phases, or plain **libm**. The
+//! per-read phasors are computed in flat lane columns (4-wide unrolled)
+//! before a scalar in-order scatter into the per-channel accumulators, so
+//! the trig work autovectorizes while every per-channel sum keeps the
+//! reference summation order — and hence its bits.
 
+use crate::trig::{self, hit, TrigProvider};
 use crate::workspace::FrontEndWorkspace;
 use rfp_geom::angle;
 
@@ -37,6 +48,14 @@ pub struct RawRead {
     pub rssi_dbm: f64,
     /// Read timestamp, seconds since the start of the hop sequence.
     pub timestamp_s: f64,
+    /// The reader's 12-bit phase code when `phase` sits exactly on the
+    /// LLRP quantization grid (`phase == code · 2π/4096` bitwise), `None`
+    /// for continuous/synthetic phases. Attach via
+    /// [`trig::code_for_phase`](crate::trig::code_for_phase); codes ≥ 4096
+    /// are treated modulo 4096 by the table backend. Carrying the code
+    /// lets [`TrigProvider::Table`] replace every per-read libm call with
+    /// an exact table lookup.
+    pub phase_code: Option<u16>,
 }
 
 /// Aggregated, corrected observation for one channel.
@@ -64,11 +83,20 @@ pub struct PreprocessConfig {
     pub correct_pi_jumps: bool,
     /// Channels with fewer reads than this are dropped.
     pub min_reads_per_channel: usize,
+    /// Trigonometry backend for the per-read phasor computations. The
+    /// default, [`TrigProvider::Table`], is bit-identical to
+    /// [`TrigProvider::Libm`] on every input (table hits for reads with
+    /// phase codes, libm otherwise) and fastest on quantized reader data.
+    pub trig: TrigProvider,
 }
 
 impl Default for PreprocessConfig {
     fn default() -> Self {
-        PreprocessConfig { correct_pi_jumps: true, min_reads_per_channel: 1 }
+        PreprocessConfig {
+            correct_pi_jumps: true,
+            min_reads_per_channel: 1,
+            trig: TrigProvider::default(),
+        }
     }
 }
 
@@ -106,10 +134,10 @@ impl std::error::Error for PreprocessError {}
 /// use rfp_dsp::preprocess::{preprocess_reads, PreprocessConfig, RawRead};
 ///
 /// let reads = vec![
-///     RawRead { channel: 0, frequency_hz: 902.75e6, phase: 1.0, rssi_dbm: -50.0, timestamp_s: 0.0 },
-///     RawRead { channel: 0, frequency_hz: 902.75e6, phase: 1.0 + std::f64::consts::PI, rssi_dbm: -50.0, timestamp_s: 0.01 },
-///     RawRead { channel: 0, frequency_hz: 902.75e6, phase: 1.02, rssi_dbm: -50.0, timestamp_s: 0.02 },
-///     RawRead { channel: 1, frequency_hz: 903.25e6, phase: 1.06, rssi_dbm: -50.0, timestamp_s: 0.2 },
+///     RawRead { channel: 0, frequency_hz: 902.75e6, phase: 1.0, rssi_dbm: -50.0, timestamp_s: 0.0, phase_code: None },
+///     RawRead { channel: 0, frequency_hz: 902.75e6, phase: 1.0 + std::f64::consts::PI, rssi_dbm: -50.0, timestamp_s: 0.01, phase_code: None },
+///     RawRead { channel: 0, frequency_hz: 902.75e6, phase: 1.02, rssi_dbm: -50.0, timestamp_s: 0.02, phase_code: None },
+///     RawRead { channel: 1, frequency_hz: 903.25e6, phase: 1.06, rssi_dbm: -50.0, timestamp_s: 0.2, phase_code: None },
 /// ];
 /// let obs = preprocess_reads(&reads, &PreprocessConfig::default())?;
 /// assert_eq!(obs.len(), 2);
@@ -157,28 +185,74 @@ pub fn preprocess_reads_with(
     out.clear();
     let min_reads = config.min_reads_per_channel.max(1);
 
-    // Pass 1: per-channel counts, first read, RSSI and circular sums.
-    // Iterating the reads in input order keeps every per-channel
-    // accumulation in that channel's read order — the same summation
-    // order as the per-channel vectors of the reference implementation,
-    // hence bit-identical sums.
-    for r in reads {
-        let s = ws.slot(r.channel);
-        if ws.count[s] == 0 {
-            ws.first_freq[s] = r.frequency_hz;
-            ws.first_phase[s] = r.phase;
+    // Pass 1: per-channel counts, first read, RSSI, and the per-read
+    // phasors — sin/cos of the doubled angle in π-jump mode (the
+    // double-angle trick maps both antipodal clusters onto one) or of
+    // the plain phase otherwise — accumulated into the per-channel
+    // circular sums. Iterating the reads in input order keeps every
+    // per-channel accumulation in that channel's read order — the same
+    // summation order as the per-channel vectors of the reference
+    // implementation, hence bit-identical sums. The slot of each read is
+    // recorded so the fold and vote passes skip the branchy slot lookup.
+    //
+    // The table backend fuses lookup and scatter into this single pass
+    // (a table hit is two loads — staging it through lane columns would
+    // cost more memory traffic than it saves); the polynomial and libm
+    // backends compute the phasors into the flat `read_sin`/`read_cos`
+    // lane columns first (4-wide unrolled chunks the compiler can
+    // autovectorize, and libm calls pipeline better without the
+    // bookkeeping interleaved), then scatter in a scalar pass.
+    if config.trig == TrigProvider::Table {
+        let scale = if config.correct_pi_jumps { 2.0 } else { 1.0 };
+        for r in reads.iter() {
+            let s = ws.slot(r.channel);
+            ws.read_slot.push(s as u32);
+            if ws.count[s] == 0 {
+                ws.first_freq[s] = r.frequency_hz;
+                ws.first_phase[s] = r.phase;
+            }
+            ws.count[s] += 1;
+            ws.sum_rssi[s] += r.rssi_dbm;
+            let (sin, cos) = match r.phase_code {
+                Some(code) => {
+                    ws.trig_hits[hit::TABLE] += 1;
+                    if config.correct_pi_jumps {
+                        trig::table_double_sin_cos(code)
+                    } else {
+                        trig::table_sin_cos(code)
+                    }
+                }
+                None => {
+                    // `1.0 · p` is exactly `p`, so one scaled expression
+                    // serves both modes without perturbing bit-identity.
+                    ws.trig_hits[hit::LIBM] += 1;
+                    let x = scale * r.phase;
+                    (x.sin(), x.cos())
+                }
+            };
+            ws.acc_sin[s] += sin;
+            ws.acc_cos[s] += cos;
         }
-        ws.count[s] += 1;
-        ws.sum_rssi[s] += r.rssi_dbm;
-        if config.correct_pi_jumps {
-            // Double-angle trick: sums of sin/cos of 2p recover the
-            // channel axis modulo π regardless of per-read π jumps.
-            let d = 2.0 * r.phase;
-            ws.acc_sin[s] += d.sin();
-            ws.acc_cos[s] += d.cos();
-        } else {
-            ws.acc_sin[s] += r.phase.sin();
-            ws.acc_cos[s] += r.phase.cos();
+    } else {
+        fill_phasors(
+            config.trig,
+            reads,
+            config.correct_pi_jumps,
+            &mut ws.read_sin,
+            &mut ws.read_cos,
+            &mut ws.trig_hits,
+        );
+        for (i, r) in reads.iter().enumerate() {
+            let s = ws.slot(r.channel);
+            ws.read_slot.push(s as u32);
+            if ws.count[s] == 0 {
+                ws.first_freq[s] = r.frequency_hz;
+                ws.first_phase[s] = r.phase;
+            }
+            ws.count[s] += 1;
+            ws.sum_rssi[s] += r.rssi_dbm;
+            ws.acc_sin[s] += ws.read_sin[i];
+            ws.acc_cos[s] += ws.read_cos[i];
         }
     }
 
@@ -208,18 +282,59 @@ pub fn preprocess_reads_with(
     }
 
     // Pass 2 (π-jump mode): fold every read onto its channel axis and
-    // accumulate the folded resultant for the per-channel spread.
+    // accumulate the folded resultant for the per-channel spread. Table
+    // hits resolve to the base or π-shifted table by the fold decision,
+    // fused into the scatter; the polynomial and libm backends compute
+    // the folded phasors into the lane columns first, then scatter in
+    // read order (reads of dropped channels contribute `(0, 0)` lanes
+    // into slots whose fold sums are never read, keeping that scatter
+    // branch-free).
     if config.correct_pi_jumps {
-        for r in reads {
-            let s = ws.slot_if_seen(r.channel).expect("seen in pass 1");
-            if !ws.keep[s] {
-                continue;
+        if config.trig == TrigProvider::Table {
+            // Fused fold for the table backend: decision, lookup and
+            // accumulation in one pass, in input order (bit-identical
+            // sums, as in pass 1).
+            for (i, r) in reads.iter().enumerate() {
+                let s = ws.read_slot[i] as usize;
+                if !ws.keep[s] {
+                    continue;
+                }
+                let p = r.phase;
+                let shift = wrapped_distance(p, ws.axis[s]) > FRAC_PI_2;
+                let (sin, cos) = match r.phase_code {
+                    Some(code) => {
+                        ws.trig_hits[hit::TABLE] += 1;
+                        if shift {
+                            trig::table_shift_sin_cos(code)
+                        } else {
+                            trig::table_sin_cos(code)
+                        }
+                    }
+                    None => {
+                        ws.trig_hits[hit::LIBM] += 1;
+                        let folded = if shift { p + PI } else { p };
+                        (folded.sin(), folded.cos())
+                    }
+                };
+                ws.fold_sin[s] += sin;
+                ws.fold_cos[s] += cos;
             }
-            let p = r.phase;
-            let folded =
-                if angle::distance(p, ws.axis[s]) <= FRAC_PI_2 { p } else { p + PI };
-            ws.fold_sin[s] += folded.sin();
-            ws.fold_cos[s] += folded.cos();
+        } else {
+            fill_fold_phasors(
+                config.trig,
+                reads,
+                &ws.read_slot,
+                &ws.axis,
+                &ws.keep,
+                &mut ws.read_sin,
+                &mut ws.read_cos,
+                &mut ws.trig_hits,
+            );
+            for i in 0..reads.len() {
+                let s = ws.read_slot[i] as usize;
+                ws.fold_sin[s] += ws.read_sin[i];
+                ws.fold_cos[s] += ws.read_cos[i];
+            }
         }
         for s in 0..ws.slots() {
             if !ws.keep[s] {
@@ -265,13 +380,14 @@ pub fn preprocess_reads_with(
         }
         let mut votes_axis = 0usize;
         let mut votes_total = 0usize;
-        for r in reads {
-            let s = ws.slot_if_seen(r.channel).expect("seen in pass 1");
+        for (i, r) in reads.iter().enumerate() {
+            let s = ws.read_slot[i] as usize;
+            debug_assert_eq!(ws.slot_if_seen(r.channel), Some(s), "stale read_slot");
             if !ws.keep[s] {
                 continue;
             }
             votes_total += 1;
-            if angle::distance(r.phase, ws.unwrapped[s]) <= FRAC_PI_2 {
+            if wrapped_distance(r.phase, ws.unwrapped[s]) <= FRAC_PI_2 {
                 votes_axis += 1;
             }
         }
@@ -304,6 +420,180 @@ pub fn preprocess_reads_with(
     Ok(())
 }
 
+/// `angle::distance(a, b)`, fast-pathed for the per-read hot loops.
+///
+/// `angle::distance` reaches `f64::rem_euclid`, whose `%` is a libm
+/// `fmod` call — the single most expensive operation left in the fold and
+/// vote passes once the trig is table-backed. For `|a - b| < τ` (every
+/// real window: raw phases live in `[0, 2π)` and channel axes in
+/// `(-π, π]`) the `rem_euclid` reduces to at most one add of `τ`, which
+/// this helper replays branch by branch:
+///
+/// * `d ∈ [0, τ)`: `fmod(d, τ) = d` exactly, and `rem_euclid` returns it
+///   unchanged — as does the fast path.
+/// * `d ∈ (-τ, 0)`: `fmod(d, τ) = d` exactly (fmod is exact and keeps
+///   the sign), then `rem_euclid` computes the *floating* add `d + τ` —
+///   the identical expression the fast path evaluates, so even when that
+///   add rounds (tiny `|d|` → exactly `τ`) both paths round the same way.
+///
+/// The subsequent `≥ τ` and `> π` adjustments are copied verbatim from
+/// `wrap_tau`/`wrap_pi`, so the fast path is **bit-identical** to
+/// `angle::distance` on its range; anything else (|d| ≥ τ, NaN) falls
+/// back to the real thing. The frozen reference path keeps calling
+/// `angle::distance`, and the bit-identity property suites compare the
+/// two implementations on every window they generate.
+#[inline(always)]
+fn wrapped_distance(a: f64, b: f64) -> f64 {
+    use std::f64::consts::{PI, TAU};
+    let d = a - b;
+    if d > -TAU && d < TAU {
+        let w = if d < 0.0 { d + TAU } else { d };
+        let w = if w >= TAU { w - TAU } else { w };
+        let w = if w > PI { w - TAU } else { w };
+        w.abs()
+    } else {
+        angle::distance(a, b)
+    }
+}
+
+/// Fills the per-read phasor lanes: `(sin_out[i], cos_out[i])` becomes
+/// `sin/cos` of `reads[i].phase` (or of the doubled angle
+/// `2.0 · phase` when `doubled`), computed by the selected backend.
+/// `hits` tallies per-backend evaluations. [`TrigProvider::Table`] never
+/// reaches here — its lookups are fused directly into the caller's
+/// scatter pass (a table hit is two loads; staging it through the lanes
+/// would cost more memory traffic than it saves).
+fn fill_phasors(
+    trig: TrigProvider,
+    reads: &[RawRead],
+    doubled: bool,
+    sin_out: &mut Vec<f64>,
+    cos_out: &mut Vec<f64>,
+    hits: &mut [u64; 3],
+) {
+    let n = reads.len();
+    sin_out.clear();
+    sin_out.resize(n, 0.0);
+    cos_out.clear();
+    cos_out.resize(n, 0.0);
+    // `1.0 · p` is exactly `p`, so one scaled expression serves both the
+    // doubled and plain lanes without perturbing libm bit-identity.
+    let scale = if doubled { 2.0 } else { 1.0 };
+    match trig {
+        TrigProvider::Table => unreachable!("table lookups are fused into the caller"),
+        TrigProvider::Polynomial => {
+            hits[hit::POLY] += n as u64;
+            let mut rs = reads.chunks_exact(4);
+            let mut ss = sin_out.chunks_exact_mut(4);
+            let mut cs = cos_out.chunks_exact_mut(4);
+            for ((r, s), c) in (&mut rs).zip(&mut ss).zip(&mut cs) {
+                let (s0, c0) = trig::poly_sin_cos(scale * r[0].phase);
+                let (s1, c1) = trig::poly_sin_cos(scale * r[1].phase);
+                let (s2, c2) = trig::poly_sin_cos(scale * r[2].phase);
+                let (s3, c3) = trig::poly_sin_cos(scale * r[3].phase);
+                s[0] = s0;
+                s[1] = s1;
+                s[2] = s2;
+                s[3] = s3;
+                c[0] = c0;
+                c[1] = c1;
+                c[2] = c2;
+                c[3] = c3;
+            }
+            let rem = rs.remainder();
+            for ((r, s), c) in rem.iter().zip(ss.into_remainder()).zip(cs.into_remainder()) {
+                let (ps, pc) = trig::poly_sin_cos(scale * r.phase);
+                *s = ps;
+                *c = pc;
+            }
+        }
+        TrigProvider::Libm => {
+            hits[hit::LIBM] += n as u64;
+            for ((r, s), c) in reads.iter().zip(sin_out.iter_mut()).zip(cos_out.iter_mut()) {
+                let x = scale * r.phase;
+                *s = x.sin();
+                *c = x.cos();
+            }
+        }
+    }
+}
+
+/// Fills the fold-pass phasor lanes: for each read of a kept channel,
+/// `(sin_out[i], cos_out[i])` becomes `sin/cos` of the phase folded onto
+/// its channel axis (`p` when within π/2 of the axis, `p + π`
+/// otherwise). Reads of dropped channels get inert `(0, 0)` lanes (their
+/// slots' fold sums are never read). The polynomial and libm backends
+/// stage the folded angles in the cos lane, then transform it;
+/// [`TrigProvider::Table`] never reaches here (fused into the caller's
+/// fold scatter, as in pass 1).
+#[allow(clippy::too_many_arguments)]
+fn fill_fold_phasors(
+    trig: TrigProvider,
+    reads: &[RawRead],
+    read_slot: &[u32],
+    axis: &[f64],
+    keep: &[bool],
+    sin_out: &mut Vec<f64>,
+    cos_out: &mut Vec<f64>,
+    hits: &mut [u64; 3],
+) {
+    use std::f64::consts::{FRAC_PI_2, PI};
+
+    let n = reads.len();
+    sin_out.clear();
+    sin_out.resize(n, 0.0);
+    cos_out.clear();
+    cos_out.resize(n, 0.0);
+    match trig {
+        TrigProvider::Table => unreachable!("table lookups are fused into the caller"),
+        TrigProvider::Polynomial | TrigProvider::Libm => {
+            for i in 0..n {
+                let s = read_slot[i] as usize;
+                let p = reads[i].phase;
+                cos_out[i] = if !keep[s] {
+                    0.0
+                } else if wrapped_distance(p, axis[s]) <= FRAC_PI_2 {
+                    p
+                } else {
+                    p + PI
+                };
+            }
+            if trig == TrigProvider::Polynomial {
+                hits[hit::POLY] += n as u64;
+                let mut i = 0;
+                while i + 4 <= n {
+                    let (s0, c0) = trig::poly_sin_cos(cos_out[i]);
+                    let (s1, c1) = trig::poly_sin_cos(cos_out[i + 1]);
+                    let (s2, c2) = trig::poly_sin_cos(cos_out[i + 2]);
+                    let (s3, c3) = trig::poly_sin_cos(cos_out[i + 3]);
+                    sin_out[i] = s0;
+                    sin_out[i + 1] = s1;
+                    sin_out[i + 2] = s2;
+                    sin_out[i + 3] = s3;
+                    cos_out[i] = c0;
+                    cos_out[i + 1] = c1;
+                    cos_out[i + 2] = c2;
+                    cos_out[i + 3] = c3;
+                    i += 4;
+                }
+                while i < n {
+                    let (ps, pc) = trig::poly_sin_cos(cos_out[i]);
+                    sin_out[i] = ps;
+                    cos_out[i] = pc;
+                    i += 1;
+                }
+            } else {
+                hits[hit::LIBM] += n as u64;
+                for i in 0..n {
+                    let x = cos_out[i];
+                    sin_out[i] = x.sin();
+                    cos_out[i] = x.cos();
+                }
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -316,6 +606,18 @@ mod tests {
             phase: angle::wrap_tau(phase),
             rssi_dbm: -55.0,
             timestamp_s: channel as f64 * 0.2,
+            phase_code: None,
+        }
+    }
+
+    /// A read whose phase is snapped to the reader grid, carrying its code.
+    fn quantized_read(channel: usize, phase: f64) -> RawRead {
+        let lsb = crate::trig::PHASE_LSB_RAD;
+        let snapped = angle::wrap_tau((angle::wrap_tau(phase) / lsb).round() * lsb);
+        RawRead {
+            phase: snapped,
+            phase_code: crate::trig::code_for_phase(snapped),
+            ..read(channel, 0.0)
         }
     }
 
@@ -407,5 +709,94 @@ mod tests {
         let obs = preprocess_reads(&reads, &PreprocessConfig::default()).unwrap();
         let freqs: Vec<f64> = obs.iter().map(|o| o.frequency_hz).collect();
         assert!(freqs.windows(2).all(|w| w[1] > w[0]));
+    }
+
+    /// Window mixing quantized (coded) and continuous reads across both
+    /// π-jump modes: the table backend must be bit-identical to libm.
+    #[test]
+    fn table_backend_is_bit_identical_to_libm() {
+        let mut reads = Vec::new();
+        for c in 0..12usize {
+            for k in 0..5usize {
+                let p = 0.3 + 1.7 * c as f64 + 0.21 * k as f64
+                    + if k % 2 == 1 { PI } else { 0.0 };
+                reads.push(quantized_read(c, p));
+                reads.push(read(c, p + 0.005));
+            }
+        }
+        for &pi_jumps in &[true, false] {
+            let libm_cfg = PreprocessConfig {
+                correct_pi_jumps: pi_jumps,
+                trig: crate::trig::TrigProvider::Libm,
+                ..Default::default()
+            };
+            let table_cfg = PreprocessConfig {
+                trig: crate::trig::TrigProvider::Table,
+                ..libm_cfg
+            };
+            let libm_obs = preprocess_reads(&reads, &libm_cfg).unwrap();
+            let table_obs = preprocess_reads(&reads, &table_cfg).unwrap();
+            assert_eq!(libm_obs, table_obs, "pi_jumps={pi_jumps}");
+        }
+    }
+
+    /// The workspace tallies which backend served each per-read phasor.
+    #[test]
+    fn trig_hit_counters_split_table_and_libm_fallback() {
+        // 3 coded + 2 continuous reads on one channel, π-jump mode: two
+        // phasor passes (double-angle + fold) over every read.
+        let reads = vec![
+            quantized_read(0, 0.4),
+            quantized_read(0, 0.41),
+            quantized_read(0, 0.4 + PI),
+            read(0, 0.42),
+            read(0, 0.43),
+        ];
+        let mut ws = FrontEndWorkspace::default();
+        let mut out = Vec::new();
+        preprocess_reads_with(&mut ws, &reads, &PreprocessConfig::default(), &mut out)
+            .unwrap();
+        assert_eq!(ws.trig_hits(), [6, 0, 4]);
+
+        let poly_cfg = PreprocessConfig {
+            trig: crate::trig::TrigProvider::Polynomial,
+            ..Default::default()
+        };
+        preprocess_reads_with(&mut ws, &reads, &poly_cfg, &mut out).unwrap();
+        assert_eq!(ws.trig_hits(), [0, 10, 0]);
+    }
+
+    /// Polynomial backend stays within its documented error bound end to
+    /// end (continuous phases, steep line, π jumps).
+    #[test]
+    fn polynomial_backend_tracks_libm_closely() {
+        let reads: Vec<RawRead> = (0..20)
+            .flat_map(|c| {
+                (0..4).map(move |k| {
+                    read(c, 0.3 + 1.1 * c as f64 + if k % 2 == 0 { 0.0 } else { PI })
+                })
+            })
+            .collect();
+        let libm_obs = preprocess_reads(
+            &reads,
+            &PreprocessConfig { trig: crate::trig::TrigProvider::Libm, ..Default::default() },
+        )
+        .unwrap();
+        let poly_obs = preprocess_reads(
+            &reads,
+            &PreprocessConfig {
+                trig: crate::trig::TrigProvider::Polynomial,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(libm_obs.len(), poly_obs.len());
+        for (l, p) in libm_obs.iter().zip(&poly_obs) {
+            assert_eq!(l.channel, p.channel);
+            assert!((l.phase - p.phase).abs() < 1e-9, "{} vs {}", l.phase, p.phase);
+            // spread = √(−2 ln r) has unbounded derivative at r → 1, so a
+            // ~1e-14 phasor error can move a near-zero spread by ~1e-7.
+            assert!((l.phase_spread - p.phase_spread).abs() < 1e-6);
+        }
     }
 }

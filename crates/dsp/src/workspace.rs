@@ -279,6 +279,16 @@ pub struct FrontEndWorkspace {
     pub(crate) order: Vec<usize>,
     /// Phase column in sorted order (unwrap operates in place here).
     pub(crate) phase_col: Vec<f64>,
+    /// read index → slot (recorded in pass 1, reused by the fold and
+    /// vote passes instead of re-looking channels up).
+    pub(crate) read_slot: Vec<u32>,
+    /// Per-read phasor lane, sin component (filled by the trig backend,
+    /// then scattered into the per-slot accumulators).
+    pub(crate) read_sin: Vec<f64>,
+    /// Per-read phasor lane, cos component.
+    pub(crate) read_cos: Vec<f64>,
+    /// Per-call trig-backend evaluation tallies: `[table, poly, libm]`.
+    pub(crate) trig_hits: [u64; 3],
     /// Fused unwrap+OLS running sums over the final (freq, phase) points.
     raw: OlsSums,
     /// Frequency column of the final observations (fit abscissa).
@@ -303,6 +313,16 @@ impl FrontEndWorkspace {
     #[inline]
     pub fn raw_sums(&self) -> OlsSums {
         self.raw
+    }
+
+    /// Trig-backend evaluation tallies of the last pre-processing call:
+    /// `[table lookups, polynomial evaluations, libm calls]`, one per
+    /// per-read phasor computed (the π-jump path computes two phasors
+    /// per read: double-angle and fold). Feeds the `frontend.trig_*`
+    /// observability counters.
+    #[inline]
+    pub fn trig_hits(&self) -> [u64; 3] {
+        self.trig_hits
     }
 
     /// Raw (non-robust) line fit over the last pre-processed window,
@@ -342,6 +362,8 @@ impl FrontEndWorkspace {
         self.keep.clear();
         self.order.clear();
         self.phase_col.clear();
+        self.read_slot.clear();
+        self.trig_hits = [0; 3];
         self.fit_x.clear();
         self.fit_y.clear();
         self.raw = OlsSums::default();

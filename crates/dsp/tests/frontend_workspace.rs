@@ -15,6 +15,7 @@ use rfp_dsp::linfit::{ols, theil_sen, weighted_ols};
 use rfp_dsp::preprocess::{preprocess_reads, PreprocessConfig, RawRead};
 use rfp_dsp::reference;
 use rfp_dsp::robust::{huber_line_fit, robust_line_fit, RobustFitConfig};
+use rfp_dsp::trig::{self, TrigProvider};
 use rfp_dsp::FrontEndWorkspace;
 
 /// Read sets covering the degenerate shapes the front end must survive:
@@ -41,10 +42,25 @@ fn arb_reads() -> impl Strategy<Value = Vec<RawRead>> {
                     phase,
                     rssi_dbm: rssi,
                     timestamp_s: i as f64 * 0.01,
+                    phase_code: None,
                 }
             })
             .collect()
     })
+}
+
+/// Snaps every read of `reads` onto the reader's 12-bit grid, attaching
+/// the phase codes — the shape real quantized reader data arrives in.
+fn quantized(reads: &[RawRead]) -> Vec<RawRead> {
+    reads
+        .iter()
+        .map(|r| {
+            let lsb = trig::PHASE_LSB_RAD;
+            let phase =
+                rfp_geom::angle::wrap_tau((r.phase / lsb).round() * lsb);
+            RawRead { phase, phase_code: trig::code_for_phase(phase), ..*r }
+        })
+        .collect()
 }
 
 /// Arbitrary fit data with occasional duplicate x values (zero-dx slope
@@ -63,9 +79,18 @@ proptest! {
         reads in arb_reads(),
         pi_jumps in proptest::bool::ANY,
         min_reads in 0usize..3,
+        quantize in proptest::bool::ANY,
+        use_libm in proptest::bool::ANY,
     ) {
-        let config =
-            PreprocessConfig { correct_pi_jumps: pi_jumps, min_reads_per_channel: min_reads };
+        // Table (the default) must be bit-identical to the reference on
+        // both codeless reads (libm fallback) and quantized, code-carrying
+        // reads (exact table lookups); Libm trivially so.
+        let reads = if quantize { quantized(&reads) } else { reads };
+        let config = PreprocessConfig {
+            correct_pi_jumps: pi_jumps,
+            min_reads_per_channel: min_reads,
+            trig: if use_libm { TrigProvider::Libm } else { TrigProvider::Table },
+        };
         let expected = reference::preprocess_reads(&reads, &config);
         let actual = preprocess_reads(&reads, &config);
         // Bit-identical including the error case: `==` on f64 fields.
@@ -134,6 +159,21 @@ proptest! {
     }
 
     #[test]
+    fn degenerate_channels_match_reference_for_every_backend(
+        quantize in proptest::bool::ANY,
+        pi_jumps in proptest::bool::ANY,
+    ) {
+        // The fixed degenerate shapes below (dropped slots, single-read
+        // channels, identical phases, vanishing double-angle resultant)
+        // run through each backend; proptest just sweeps the four
+        // (quantize, π-jump) corners.
+        for reads in degenerate_windows() {
+            let reads = if quantize { quantized(&reads) } else { reads };
+            check_backends_against_reference(&reads, pi_jumps);
+        }
+    }
+
+    #[test]
     fn robust_matches_reference_with_identical_inliers(data in arb_fit_data()) {
         let (xs, ys) = data;
         let config = RobustFitConfig::default();
@@ -151,6 +191,101 @@ proptest! {
                 prop_assert_eq!(a.iterations, e.iterations);
             }
             (a, e) => prop_assert_eq!(a.is_err(), e.is_err()),
+        }
+    }
+}
+
+/// One raw read with the given channel and phase (codeless; `quantized`
+/// snaps it onto the grid where needed).
+fn plain_read(channel: usize, phase: f64) -> RawRead {
+    RawRead {
+        channel,
+        frequency_hz: 902.75e6 + channel as f64 * 0.5e6,
+        phase: rfp_geom::angle::wrap_tau(phase),
+        rssi_dbm: -55.0,
+        timestamp_s: channel as f64 * 0.2,
+        phase_code: None,
+    }
+}
+
+/// The degenerate channel shapes the reference oracle pins for every
+/// trig backend: a dropped (below-min-reads) channel slot next to kept
+/// ones, single-read channels, a channel whose reads all share one
+/// identical phase (zero spread, unit resultant), and a channel whose
+/// double-angle resultant vanishes (phases π/2 apart — the
+/// `first_phase` fallback axis).
+fn degenerate_windows() -> Vec<Vec<RawRead>> {
+    vec![
+        // Single-read channels only.
+        vec![plain_read(0, 0.4), plain_read(1, 0.6), plain_read(2, 0.8)],
+        // A thin channel (1 read) between full ones — dropped whenever
+        // min_reads_per_channel is 2 (exercised below).
+        vec![
+            plain_read(0, 0.4),
+            plain_read(0, 0.45),
+            plain_read(1, 1.9),
+            plain_read(2, 0.5),
+            plain_read(2, 0.55),
+        ],
+        // All reads of every channel carry the identical phase.
+        vec![
+            plain_read(0, 1.234),
+            plain_read(0, 1.234),
+            plain_read(0, 1.234),
+            plain_read(1, 1.3),
+            plain_read(1, 1.3),
+        ],
+        // Vanishing double-angle resultant: two reads π/2 apart double to
+        // antipodal phasors, forcing the first-phase fallback axis.
+        vec![
+            plain_read(0, 0.7),
+            plain_read(0, 0.7 + std::f64::consts::FRAC_PI_2),
+            plain_read(1, 0.9),
+        ],
+    ]
+}
+
+/// Runs one window through all three backends and both min-read settings,
+/// pinning Table and Libm bitwise to the reference and Polynomial to its
+/// documented tolerance with identical channel structure.
+fn check_backends_against_reference(reads: &[RawRead], pi_jumps: bool) {
+    for min_reads in [1usize, 2] {
+        let base = PreprocessConfig {
+            correct_pi_jumps: pi_jumps,
+            min_reads_per_channel: min_reads,
+            trig: TrigProvider::Libm,
+        };
+        let expected = reference::preprocess_reads(reads, &base);
+        for trig_backend in [TrigProvider::Libm, TrigProvider::Table] {
+            let actual =
+                preprocess_reads(reads, &PreprocessConfig { trig: trig_backend, ..base });
+            assert_eq!(
+                actual, expected,
+                "backend {trig_backend:?}, pi_jumps={pi_jumps}, min_reads={min_reads}"
+            );
+        }
+        let poly = preprocess_reads(
+            reads,
+            &PreprocessConfig { trig: TrigProvider::Polynomial, ..base },
+        );
+        match (&poly, &expected) {
+            (Ok(p), Ok(e)) => {
+                assert_eq!(p.len(), e.len(), "polynomial channel mask diverged");
+                for (a, b) in p.iter().zip(e) {
+                    assert_eq!(a.channel, b.channel);
+                    assert_eq!(a.read_count, b.read_count);
+                    assert!(
+                        (a.phase - b.phase).abs() < 1e-9,
+                        "polynomial phase {} vs libm {} (pi_jumps={pi_jumps})",
+                        a.phase,
+                        b.phase
+                    );
+                    // spread = √(−2 ln r) is ill-conditioned at r → 1
+                    // (identical-phase channels), hence the looser bound.
+                    assert!((a.phase_spread - b.phase_spread).abs() < 1e-6);
+                }
+            }
+            (p, e) => assert_eq!(p.is_err(), e.is_err()),
         }
     }
 }

@@ -96,6 +96,7 @@ proptest! {
                     phase: rfp_geom::angle::wrap_tau(base + slope_per_channel * ch as f64),
                     rssi_dbm: -50.0,
                     timestamp_s: (ch * reads_per + r) as f64 * 0.01,
+                    phase_code: None,
                 });
             }
         }
@@ -126,6 +127,7 @@ proptest! {
                     phase: rfp_geom::angle::wrap_tau(1.0 + 0.2 * ch as f64 + 0.001 * r as f64),
                     rssi_dbm: -50.0,
                     timestamp_s: 0.0,
+                    phase_code: None,
                 });
             }
         }

@@ -1,0 +1,167 @@
+//! Property suite for the trig backends ([`rfp_dsp::trig`]):
+//!
+//! * the polynomial backend's documented max-abs-error bound against
+//!   libm across the full range-reduced input domain, and
+//! * end-to-end `preprocess_reads_with` equivalence per backend —
+//!   quantized (code-carrying) inputs are **bit-identical** to the
+//!   frozen [`rfp_dsp::reference`] oracle through the table path, and
+//!   continuous inputs track it to ≤ 1e-9 through the polynomial path
+//!   with identical π-vote outcomes and channel masks.
+//!
+//! The exhaustive all-4096-codes bit-identity proofs live next to the
+//! tables in `rfp_dsp::trig`'s unit tests; these properties cover the
+//! continuous domain and the integration of the backends into the front
+//! end.
+
+use proptest::prelude::*;
+use rfp_dsp::preprocess::{preprocess_reads_with, PreprocessConfig, RawRead};
+use rfp_dsp::reference;
+use rfp_dsp::trig::{self, TrigProvider, PHASE_LSB_RAD, POLY_MAX_ABS_ERROR};
+use rfp_dsp::FrontEndWorkspace;
+use rfp_geom::angle;
+
+/// Windows over a handful of channels with phases following a noisy
+/// steep line plus π jumps — the shape the π-vote actually has to
+/// resolve. Returns continuous (codeless) reads.
+fn arb_window() -> impl Strategy<Value = Vec<RawRead>> {
+    (
+        2usize..12,
+        1usize..6,
+        0.0f64..std::f64::consts::TAU,
+        -0.9f64..0.9,
+        proptest::collection::vec(0.0f64..1.0, 72),
+    )
+        .prop_map(|(channels, reads_per, base, slope, noise)| {
+            let mut reads = Vec::new();
+            let mut k = 0usize;
+            for c in 0..channels {
+                for _ in 0..reads_per {
+                    let n = noise[k % noise.len()];
+                    k += 1;
+                    let jump = if n > 0.5 { std::f64::consts::PI } else { 0.0 };
+                    let phase = angle::wrap_tau(
+                        base + slope * c as f64 + (n - 0.5) * 0.02 + jump,
+                    );
+                    reads.push(RawRead {
+                        channel: c,
+                        frequency_hz: 902.75e6 + c as f64 * 0.5e6,
+                        phase,
+                        rssi_dbm: -55.0,
+                        timestamp_s: k as f64 * 0.01,
+                        phase_code: None,
+                    });
+                }
+            }
+            reads
+        })
+}
+
+/// Snaps a window onto the 12-bit reader grid, attaching codes.
+fn quantized(reads: &[RawRead]) -> Vec<RawRead> {
+    reads
+        .iter()
+        .map(|r| {
+            let phase = angle::wrap_tau((r.phase / PHASE_LSB_RAD).round() * PHASE_LSB_RAD);
+            RawRead { phase, phase_code: trig::code_for_phase(phase), ..*r }
+        })
+        .collect()
+}
+
+fn run(reads: &[RawRead], trig_backend: TrigProvider) -> Vec<rfp_dsp::ChannelObservation> {
+    let mut ws = FrontEndWorkspace::default();
+    let mut out = Vec::new();
+    preprocess_reads_with(
+        &mut ws,
+        reads,
+        &PreprocessConfig { trig: trig_backend, ..Default::default() },
+        &mut out,
+    )
+    .expect("windows generated non-empty");
+    out
+}
+
+proptest! {
+    /// Polynomial sin/cos stay within the documented bound over the whole
+    /// domain the front end feeds them: phases in [0, 2π), doubled angles
+    /// in [0, 4π), π-shifted folds in [0, 3π), plus negative slack.
+    #[test]
+    fn polynomial_is_within_documented_bound_of_libm(x in -16.0f64..16.0) {
+        let (s, c) = trig::poly_sin_cos(x);
+        prop_assert!(
+            (s - x.sin()).abs() <= POLY_MAX_ABS_ERROR,
+            "sin({x}): poly {s:e}, libm {:e}", x.sin()
+        );
+        prop_assert!(
+            (c - x.cos()).abs() <= POLY_MAX_ABS_ERROR,
+            "cos({x}): poly {c:e}, libm {:e}", x.cos()
+        );
+    }
+
+    /// The bound also holds on the exact quantization grid points (and
+    /// their doubled/shifted images), tying the polynomial and table
+    /// domains together.
+    #[test]
+    fn polynomial_is_within_bound_on_grid_images(code in 0u16..4096) {
+        let p = code as f64 * PHASE_LSB_RAD;
+        for x in [p, 2.0 * p, p + std::f64::consts::PI] {
+            let (s, c) = trig::poly_sin_cos(x);
+            prop_assert!((s - x.sin()).abs() <= POLY_MAX_ABS_ERROR);
+            prop_assert!((c - x.cos()).abs() <= POLY_MAX_ABS_ERROR);
+        }
+    }
+
+    /// Quantized windows through the table path are bit-identical to the
+    /// frozen reference oracle (which knows nothing about codes and calls
+    /// libm on every read).
+    #[test]
+    fn quantized_windows_are_bit_identical_to_reference(reads in arb_window()) {
+        let reads = quantized(&reads);
+        let expected = reference::preprocess_reads(&reads, &PreprocessConfig::default())
+            .expect("non-empty");
+        let actual = run(&reads, TrigProvider::Table);
+        prop_assert_eq!(actual, expected);
+    }
+
+    /// Continuous windows through the polynomial path track the reference
+    /// to ≤ 1e-9 in phase with identical channel masks — and since a π-vote
+    /// flip would shift every phase by π, matching phases prove the vote
+    /// resolved identically.
+    #[test]
+    fn continuous_windows_track_reference_with_identical_vote(reads in arb_window()) {
+        let expected = reference::preprocess_reads(&reads, &PreprocessConfig::default())
+            .expect("non-empty");
+        let actual = run(&reads, TrigProvider::Polynomial);
+        prop_assert_eq!(actual.len(), expected.len(), "channel mask diverged");
+        for (a, e) in actual.iter().zip(&expected) {
+            prop_assert_eq!(a.channel, e.channel);
+            prop_assert_eq!(a.read_count, e.read_count);
+            prop_assert!(
+                (a.phase - e.phase).abs() < 1e-9,
+                "channel {}: poly phase {} vs reference {}", a.channel, a.phase, e.phase
+            );
+            // spread = √(−2 ln r) is ill-conditioned as r → 1, so it gets
+            // a looser (but still tiny) tolerance.
+            prop_assert!((a.phase_spread - e.phase_spread).abs() < 1e-6);
+        }
+    }
+
+    /// Backends only change arithmetic, never the channel structure: the
+    /// table and libm paths agree bitwise on mixed (part-coded) windows.
+    #[test]
+    fn mixed_windows_agree_between_table_and_libm(
+        reads in arb_window(),
+        mask in proptest::collection::vec(proptest::bool::ANY, 72),
+    ) {
+        // Quantize an arbitrary subset of the reads.
+        let q = quantized(&reads);
+        let mixed: Vec<RawRead> = reads
+            .iter()
+            .zip(&q)
+            .enumerate()
+            .map(|(i, (r, qr))| if mask[i % mask.len()] { *qr } else { *r })
+            .collect();
+        let libm = run(&mixed, TrigProvider::Libm);
+        let table = run(&mixed, TrigProvider::Table);
+        prop_assert_eq!(libm, table);
+    }
+}

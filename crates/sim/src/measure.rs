@@ -115,6 +115,11 @@ pub(crate) fn run_survey(scene: &Scene, tag: &SimTag, seed: u64) -> HopSurvey {
                     phase,
                     rssi_dbm: reader.quantized_rssi(rssi),
                     timestamp_s: t,
+                    // Exactly on the 12-bit grid whenever the reader
+                    // quantizes (the quantized-then-wrapped phase is a
+                    // grid point bitwise), None on ideal readers — this
+                    // is what engages the front end's table trig path.
+                    phase_code: rfp_dsp::trig::code_for_phase(phase),
                 });
             }
         }
@@ -210,6 +215,46 @@ mod tests {
         let tag = static_tag(0.7, 2.0, 1.0);
         assert_eq!(scene.survey(&tag, 9), scene.survey(&tag, 9));
         assert_ne!(scene.survey(&tag, 9), scene.survey(&tag, 10));
+    }
+
+    /// rfp-dsp's table grid must be the reader's LLRP grid: the two
+    /// crates define the LSB independently (rfp-dsp does not depend on
+    /// rfp-phys), so pin them bit-equal here where both are visible.
+    #[test]
+    fn dsp_phase_grid_matches_reader_lsb() {
+        assert_eq!(
+            rfp_dsp::trig::PHASE_LSB_RAD.to_bits(),
+            rfp_phys::constants::IMPINJ_PHASE_LSB_RAD.to_bits()
+        );
+        assert_eq!(rfp_dsp::trig::PHASE_CODES, 4096);
+    }
+
+    /// A quantizing reader's survey carries a phase code on every read
+    /// (so the front end's table path engages end to end), and every code
+    /// reproduces its phase exactly; an ideal reader's continuous phases
+    /// carry none.
+    #[test]
+    fn quantized_surveys_carry_phase_codes() {
+        let tag = static_tag(0.6, 1.7, 0.4);
+        let quantized = Scene::standard_2d().survey(&tag, 11);
+        let mut reads = 0usize;
+        for r in quantized.per_antenna.iter().flatten() {
+            reads += 1;
+            let code = r.phase_code.expect("R420 reads are on the 12-bit grid");
+            assert_eq!(
+                (code as f64 * rfp_dsp::trig::PHASE_LSB_RAD).to_bits(),
+                r.phase.to_bits(),
+                "code {code} does not reproduce phase {:e}",
+                r.phase
+            );
+        }
+        assert!(reads > 100, "survey too small to be meaningful: {reads}");
+
+        let ideal = Scene::standard_2d().with_reader(ReaderConfig::ideal()).survey(&tag, 11);
+        assert!(
+            ideal.per_antenna.iter().flatten().all(|r| r.phase_code.is_none()),
+            "continuous phases must not claim grid codes"
+        );
     }
 
     #[test]
