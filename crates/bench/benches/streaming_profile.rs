@@ -1,0 +1,263 @@
+//! Streaming-advance profile: what one sliding-window advance costs
+//! through the incremental engine versus a full batch recompute of the
+//! same window (DESIGN.md §8).
+//!
+//! A `StreamingSession` holds per-(antenna, channel) running accumulators
+//! — circular-statistic phasor sums, fused unwrap+OLS moment sums and the
+//! robust-refit state — that **update** as reads arrive and **downdate**
+//! as reads expire, so advancing the window by one reader dwell (the
+//! cadence at which new channel data lands) costs O(new + expired reads)
+//! plus the warm solve, instead of re-running the whole front end over
+//! every retained read. The baseline is the production batch path
+//! (`RfPrism::sense_reusing`) over the same retained `DEPTH`-round
+//! window, warm-started the same way — what a batch engine must pay to
+//! emit an estimate at the same cadence — so the ratio isolates exactly
+//! what the incremental accumulators save.
+//!
+//! Two scenario rows: the paper's standard quantized reader (`Table` trig
+//! backend — phasors resolved by exact code lookups at push time) and an
+//! ideal continuous-phase reader driven through the `Recurrence` backend
+//! (phasors advanced by complex rotation with periodic renormalization).
+//!
+//! Writes a `BENCH_streaming.json` snapshot at the repo root (override
+//! with `STREAMING_PROFILE_OUT`); `scripts/bench_gate` regenerates it
+//! with `STREAMING_PROFILE_QUICK=1` and enforces the standard row's ≥4×
+//! advance speedup and <5% refit-fallback rate.
+
+use rfp_bench::report;
+use rfp_core::{RfPrism, RfPrismConfig, SenseWorkspace, WarmStart};
+use rfp_geom::Vec2;
+use rfp_obs::JsonValue;
+use rfp_sim::{stream_rounds, Motion, Scene, SimTag, StreamRound};
+use std::hint::black_box;
+use std::time::Instant;
+
+/// `STREAMING_PROFILE_QUICK=1` trims the rounds for the CI perf gate.
+fn quick_mode() -> bool {
+    std::env::var("STREAMING_PROFILE_QUICK")
+        .map(|v| !v.is_empty() && v != "0")
+        .unwrap_or(false)
+}
+
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    sorted[((sorted.len() as f64 * q) as usize).min(sorted.len() - 1)]
+}
+
+/// One scenario row: a reader/trig-backend pairing measured over the same
+/// replayed stream through both engines.
+struct Row {
+    backend: &'static str,
+    advance_p50: f64,
+    advance_p90: f64,
+    batch_p50: f64,
+    speedup: f64,
+    fallback_rate: f64,
+    retained_reads: usize,
+}
+
+impl Row {
+    fn json(&self) -> JsonValue {
+        let round2 = |x: f64| (x * 100.0).round() / 100.0;
+        JsonValue::obj(vec![
+            ("backend", JsonValue::Str(self.backend.into())),
+            ("advance_p50_us", JsonValue::Num(round2(self.advance_p50))),
+            ("advance_p90_us", JsonValue::Num(round2(self.advance_p90))),
+            ("batch_recompute_p50_us", JsonValue::Num(round2(self.batch_p50))),
+            ("advance_speedup_p50", JsonValue::Num(round2(self.speedup))),
+            ("fallback_rate", JsonValue::Num((self.fallback_rate * 1e4).round() / 1e4)),
+            ("retained_reads", JsonValue::Num(self.retained_reads as f64)),
+        ])
+    }
+}
+
+/// The standard-window scenario keeps this many hop rounds of history:
+/// the window always spans `DEPTH` rounds of retained reads, which is
+/// what the batch baseline must recompute on every advance (`O(window)`).
+const DEPTH: usize = 4;
+
+/// Streaming advances per hop round: one per reader dwell, the cadence
+/// at which new channel data actually lands. Each advance pushes/expires
+/// only that dwell's reads (`k ≈ reads-per-dwell × antennas`), so the
+/// incremental engine pays `O(k)` where the batch engine pays the full
+/// `DEPTH`-round recompute to emit an estimate at the same rate.
+const ADVANCES_PER_ROUND: usize = 50;
+
+/// Replays `rounds` through a streaming session (one timed sample per
+/// dwell advance) and through the warm batch path on the same retained
+/// windows, both in steady state after `warmup` rounds.
+fn profile_stream(
+    backend: &'static str,
+    scene: &Scene,
+    config: RfPrismConfig,
+    rounds: &[StreamRound],
+    warmup: usize,
+) -> Row {
+    let prism = RfPrism::new(scene.antenna_poses(), scene.reader().plan)
+        .with_region(scene.region())
+        .with_config(config);
+    let antennas = scene.antenna_poses().len();
+    let span = DEPTH as f64 * scene.reader().round_duration_s();
+
+    // Streaming engine: after each dwell lands, push its reads, advance,
+    // recycle. The push loop is part of the timed advance — it IS the
+    // O(new reads) update work the incremental engine pays.
+    let mut session = prism.sense_streaming(span);
+    let mut advance_us: Vec<f64> = Vec::with_capacity(rounds.len() * ADVANCES_PER_ROUND);
+    let mut fallbacks = 0u64;
+    let mut measured = 0usize;
+    let mut cursors = vec![0usize; antennas];
+    for (i, round) in rounds.iter().enumerate() {
+        let dwell_s =
+            (round.end_time_s - round.start_time_s) / ADVANCES_PER_ROUND as f64;
+        cursors.iter_mut().for_each(|c| *c = 0);
+        for slice in 0..ADVANCES_PER_ROUND {
+            let end_t = round.start_time_s + (slice + 1) as f64 * dwell_s;
+            let t0 = Instant::now();
+            for (antenna, reads) in round.per_antenna.iter().enumerate() {
+                let cursor = &mut cursors[antenna];
+                while *cursor < reads.len()
+                    && (reads[*cursor].timestamp_s < end_t
+                        || slice + 1 == ADVANCES_PER_ROUND)
+                {
+                    session.push(antenna, &reads[*cursor]);
+                    *cursor += 1;
+                }
+            }
+            let result = session.advance(black_box(end_t));
+            let dt = t0.elapsed().as_secs_f64() * 1e6;
+            match result {
+                Ok(result) => {
+                    black_box(&result.estimate);
+                    session.recycle(result);
+                }
+                // The very first round starts from an empty window; until
+                // enough channels have been dwelt on there is nothing to
+                // fit yet.
+                Err(e) => assert_eq!(i, 0, "unusable window: {e}"),
+            }
+            if i >= warmup {
+                advance_us.push(dt);
+                fallbacks += session.last_advance_fallbacks();
+                measured += 1;
+            }
+        }
+    }
+    let retained = session.retained_reads();
+
+    // Batch baseline: full front-end recompute over the same retained
+    // `DEPTH`-round window, warm-started identically (the solve cost
+    // cancels; the front end is the contrast). Assembling the window is
+    // done outside the timer — the baseline is charged only for the
+    // recompute itself, not for buffer management.
+    let cache = prism.batch_cache();
+    let mut ws = SenseWorkspace::default();
+    let mut warm: Option<WarmStart> = None;
+    let mut batch_us: Vec<f64> = Vec::with_capacity(rounds.len());
+    let mut window: Vec<Vec<rfp_dsp::preprocess::RawRead>> = vec![Vec::new(); antennas];
+    for (i, _) in rounds.iter().enumerate() {
+        for (antenna, buf) in window.iter_mut().enumerate() {
+            buf.clear();
+            for round in &rounds[i.saturating_sub(DEPTH - 1)..=i] {
+                buf.extend_from_slice(&round.per_antenna[antenna]);
+            }
+        }
+        let t0 = Instant::now();
+        let result = prism
+            .sense_reusing(&cache, black_box(&window), warm.as_ref(), &mut ws)
+            .expect("usable window");
+        let dt = t0.elapsed().as_secs_f64() * 1e6;
+        warm = Some(WarmStart::from_estimate(&result.estimate));
+        ws.recycle(result);
+        if i >= warmup {
+            batch_us.push(dt);
+        }
+    }
+
+    advance_us.sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite times"));
+    batch_us.sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite times"));
+    let advance_p50 = percentile(&advance_us, 0.5);
+    let batch_p50 = percentile(&batch_us, 0.5);
+    Row {
+        backend,
+        advance_p50,
+        advance_p90: percentile(&advance_us, 0.9),
+        batch_p50,
+        speedup: batch_p50 / advance_p50,
+        // Fallbacks are per antenna window, advances per dwell.
+        fallback_rate: fallbacks as f64 / (measured * antennas) as f64,
+        retained_reads: retained,
+    }
+}
+
+fn main() {
+    report::header(
+        "streaming_profile",
+        "incremental sliding-window advance vs full batch recompute per hop round",
+    );
+    if quick_mode() {
+        println!("(quick mode: reduced rounds)");
+    }
+    let (warmup, measured) = if quick_mode() { (10, 120) } else { (25, 600) };
+    let n_rounds = warmup + measured;
+    let tag = SimTag::with_seeded_diversity(3)
+        .with_motion(Motion::planar_static(Vec2::new(0.4, 1.5), 0.9));
+
+    let mut rows: Vec<Row> = Vec::new();
+
+    // Standard scenario: the paper's quantized R420 reader; push-time
+    // phasors come from the exact phase-code tables.
+    let scene = Scene::standard_2d();
+    let rounds = stream_rounds(&scene, &tag, n_rounds, 31);
+    rows.push(profile_stream("table", &scene, RfPrismConfig::paper(), &rounds, warmup));
+
+    // Continuous-phase scenario: ideal reader, phasor-recurrence backend
+    // (complex rotation with periodic renormalization, no per-read libm).
+    let scene = Scene::standard_2d().with_reader(rfp_sim::ReaderConfig::ideal());
+    let rounds = stream_rounds(&scene, &tag, n_rounds, 31);
+    let config = RfPrismConfig::paper().with_trig(rfp_dsp::TrigProvider::Recurrence);
+    rows.push(profile_stream("recurrence", &scene, config, &rounds, warmup));
+
+    for row in &rows {
+        println!(
+            "  {:<10} advance p50 {:>7.2} p90 {:>7.2}   batch p50 {:>7.2}   speedup ×{:.2}   \
+             fallback rate {:.2}%   ({} retained reads)",
+            row.backend,
+            row.advance_p50,
+            row.advance_p90,
+            row.batch_p50,
+            row.speedup,
+            row.fallback_rate * 100.0,
+            row.retained_reads,
+        );
+    }
+
+    let standard = &rows[0];
+    let value = rfp_obs::report::snapshot(
+        "streaming_profile",
+        vec![
+            (
+                "units",
+                JsonValue::obj(vec![(
+                    "latency",
+                    JsonValue::Str("microseconds per whole-tag window advance (p50/p90)".into()),
+                )]),
+            ),
+            // Gate metrics: the standard (quantized-reader) row's
+            // amortized advance must stay ≥4× under the batch recompute
+            // and its refit-fallback rate under 5%.
+            ("advance_speedup_p50", JsonValue::Num((standard.speedup * 100.0).round() / 100.0)),
+            (
+                "fallback_rate",
+                JsonValue::Num((standard.fallback_rate * 1e4).round() / 1e4),
+            ),
+            ("rows", JsonValue::Arr(rows.iter().map(Row::json).collect())),
+        ],
+    );
+    let default_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_streaming.json");
+    let path =
+        std::env::var("STREAMING_PROFILE_OUT").unwrap_or_else(|_| default_path.to_string());
+    match rfp_obs::report::write_json(std::path::Path::new(&path), &value) {
+        Ok(()) => println!("\nsnapshot written to {path}"),
+        Err(e) => println!("\ncould not write {path}: {e}"),
+    }
+}

@@ -5,6 +5,7 @@
 //! bench_gate --solver <committed.json> <fresh.json>
 //!            [--frontend <committed.json> <fresh.json>]
 //!            [--batch <fresh.json>]
+//!            [--streaming <fresh.json>]
 //!            [--threshold-pct 15]
 //! ```
 //!
@@ -28,7 +29,14 @@
 //!   over `jobs=1` when the machine reports ≥8 hardware threads, else a
 //!   ≥0.8× sanity floor (pool overhead must not make parallel dispatch
 //!   slower than sequential; a single-core container cannot demonstrate
-//!   speedup — see DESIGN.md §7 for the measured ceiling).
+//!   speedup — see DESIGN.md §5 for the measured ceiling).
+//! - **streaming** — the default (table) backend of the *fresh* snapshot:
+//!   the incremental window advance must hold a ≥4× p50 speedup over the
+//!   full batch recompute of the same window
+//!   (`advance_speedup_p50` — a same-run ratio, so CPU steal cancels),
+//!   and the full-recompute fallback rate must stay below 5%
+//!   (`fallback_rate` — fallbacks are correct but forfeit the
+//!   incremental speedup, so a drifting rate is a perf regression).
 //!
 //! Driven by `scripts/bench_gate`, which regenerates the fresh snapshots
 //! in quick mode. Absolute latencies vary across machines, so the solver
@@ -44,6 +52,8 @@ const FRONTEND_FIT_FLOOR: f64 = 2.0;
 const FRONTEND_PREPROCESS_FLOOR: f64 = 2.0;
 const BATCH_SPEEDUP_FLOOR: f64 = 3.0;
 const BATCH_SANITY_FLOOR: f64 = 0.8;
+const STREAMING_ADVANCE_FLOOR: f64 = 4.0;
+const STREAMING_FALLBACK_MAX: f64 = 0.05;
 
 fn fail(msg: &str) -> ExitCode {
     eprintln!("bench_gate: {msg}");
@@ -174,12 +184,38 @@ fn check_batch(fresh: &JsonValue) -> Result<bool, String> {
     Ok(ok)
 }
 
+/// Reads a top-level field out of a streaming snapshot.
+fn streaming_field(snapshot: &JsonValue, field: &str) -> Result<f64, String> {
+    envelope(snapshot, "streaming_profile")?;
+    snapshot.get(field).and_then(JsonValue::as_f64).ok_or_else(|| format!("missing {field}"))
+}
+
+fn check_streaming(fresh: &JsonValue) -> Result<bool, String> {
+    let speedup = streaming_field(fresh, "advance_speedup_p50")?;
+    let speedup_ok = speedup >= STREAMING_ADVANCE_FLOOR;
+    println!(
+        "  streaming advance p50: ×{speedup:.2} over batch recompute \
+         (floor ×{STREAMING_ADVANCE_FLOOR:.1}) — {}",
+        if speedup_ok { "ok" } else { "BELOW FLOOR" }
+    );
+    let fallback = streaming_field(fresh, "fallback_rate")?;
+    let fallback_ok = fallback <= STREAMING_FALLBACK_MAX;
+    println!(
+        "  streaming fallback rate: {:.2}% (max {:.0}%) — {}",
+        fallback * 100.0,
+        STREAMING_FALLBACK_MAX * 100.0,
+        if fallback_ok { "ok" } else { "ABOVE MAX" }
+    );
+    Ok(speedup_ok & fallback_ok)
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut threshold_pct = DEFAULT_THRESHOLD_PCT;
     let mut solver: Option<(String, String)> = None;
     let mut frontend: Option<(String, String)> = None;
     let mut batch: Option<String> = None;
+    let mut streaming: Option<String> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -201,10 +237,15 @@ fn main() -> ExitCode {
                 Some(f) => batch = Some(f.clone()),
                 None => return fail("--batch needs <fresh.json>"),
             },
+            "--streaming" => match it.next() {
+                Some(f) => streaming = Some(f.clone()),
+                None => return fail("--streaming needs <fresh.json>"),
+            },
             other => {
                 return fail(&format!(
                     "unknown argument {other}; usage: bench_gate --solver <committed> <fresh> \
-                     [--frontend <committed> <fresh>] [--batch <fresh>] [--threshold-pct 15]"
+                     [--frontend <committed> <fresh>] [--batch <fresh>] [--streaming <fresh>] \
+                     [--threshold-pct 15]"
                 ))
             }
         }
@@ -233,6 +274,12 @@ fn main() -> ExitCode {
     }
     if let Some(f) = batch {
         match load(&f).and_then(|f| check_batch(&f)) {
+            Ok(pass) => ok &= pass,
+            Err(e) => return fail(&e),
+        }
+    }
+    if let Some(f) = streaming {
+        match load(&f).and_then(|f| check_streaming(&f)) {
             Ok(pass) => ok &= pass,
             Err(e) => return fail(&e),
         }

@@ -9,6 +9,7 @@ fn main() -> ExitCode {
     let result = match args.first().map(String::as_str) {
         Some("simulate") => commands::simulate(&args[1..]).map(Output::Stdout),
         Some("sense") => run_sense(&args[1..]),
+        Some("stream") => commands::stream(&args[1..]).map(Output::Stdout),
         Some("calibrate") => commands::calibrate(&args[1..]).map(Output::Stdout),
         Some("help") | None => Ok(Output::Stdout(commands::usage())),
         Some(other) => Err(commands::CommandError::Usage(format!(

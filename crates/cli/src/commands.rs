@@ -237,7 +237,103 @@ fn counters_footer(run: &rfp_obs::RunReport) -> String {
     if hits + misses > 0 {
         let _ = writeln!(out, "  warm starts: {hits} hits, {misses} misses");
     }
+    let (updates, downdates) = (c("streaming.updates"), c("streaming.downdates"));
+    if updates + downdates > 0 {
+        let _ = writeln!(
+            out,
+            "  streaming: {updates} updates, {downdates} downdates, {} refit fallbacks",
+            c("streaming.refit_fallbacks"),
+        );
+    }
     out
+}
+
+/// `stream`: drive the incremental sliding-window pipeline
+/// ([`RfPrism::sense_streaming`]) over a simulated multi-round read
+/// stream and report one estimate per window advance.
+///
+/// Every round's reads are pushed into the per-antenna sliding windows as
+/// they "arrive"; each advance pays only for the reads that entered or
+/// expired since the last one, and the solver is warm-started from the
+/// tracker's extrapolated position. The footer shows the incremental
+/// engine's update/downdate/fallback counters.
+///
+/// Flags: `--rounds N` (default 5), `--seed S` (default 1),
+/// `--tag SEED` (default 1).
+pub fn stream(args: &[String]) -> Result<String, CommandError> {
+    let flags = parse_flags(args)?;
+    let rounds: usize = flag(&flags, "rounds").unwrap_or("5").parse().map_err(|_| {
+        CommandError::Usage("--rounds expects an integer".into())
+    })?;
+    let seed: u64 = flag(&flags, "seed").unwrap_or("1").parse().map_err(|_| {
+        CommandError::Usage("--seed expects an integer".into())
+    })?;
+    let tag_seed: u64 = flag(&flags, "tag").unwrap_or("1").parse().map_err(|_| {
+        CommandError::Usage("--tag expects an integer seed".into())
+    })?;
+    if rounds == 0 {
+        return Err(CommandError::Usage("--rounds must be at least 1".into()));
+    }
+
+    let scene = Scene::standard_2d();
+    let grid: Vec<Vec2> = scene.region().grid(4, 4).collect();
+    let position = grid[seed as usize % grid.len()];
+    let alpha = (tag_seed as f64 * 0.5) % std::f64::consts::PI;
+    let tag = SimTag::with_seeded_diversity(tag_seed)
+        .with_motion(Motion::planar_static(position, alpha));
+    let stream = rfp_sim::stream_rounds(&scene, &tag, rounds, seed);
+    let prism =
+        RfPrism::new(scene.antenna_poses(), scene.reader().plan).with_region(scene.region());
+
+    let (table, rec) = rfp_obs::recorder::observe(rfp_core::obs::METRICS, || {
+        let mut session = prism.sense_streaming(scene.reader().round_duration_s());
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:>6} {:>18} {:>9} {:>10} {:>10} {:>10}",
+            "round", "position (m)", "α (deg)", "verdict", "truth err", "reads"
+        );
+        for (r, round) in stream.iter().enumerate() {
+            for (antenna, reads) in round.per_antenna.iter().enumerate() {
+                for read in reads {
+                    session.push(antenna, read);
+                }
+            }
+            match session.advance(round.end_time_s) {
+                Ok(result) => {
+                    let e = &result.estimate;
+                    let verdict = match result.verdict {
+                        rfp_core::MobilityVerdict::Clean => "clean",
+                        rfp_core::MobilityVerdict::MultipathSuppressed { .. } => "multipath",
+                        rfp_core::MobilityVerdict::Moving { .. } => "moving",
+                    };
+                    let _ = writeln!(
+                        out,
+                        "{r:>6} ({:+7.3}, {:6.3}) {:>9.1} {verdict:>10} {:>7.1} cm {:>10}",
+                        e.position.x,
+                        e.position.y,
+                        e.orientation.to_degrees(),
+                        e.position.distance(position) * 100.0,
+                        session.retained_reads(),
+                    );
+                    session.recycle(result);
+                }
+                Err(SenseError::TagMoving { worst_residual_std }) => {
+                    let _ = writeln!(
+                        out,
+                        "{r:>6} window rejected: tag moved (residual {worst_residual_std:.2} rad)"
+                    );
+                }
+                Err(e) => {
+                    let _ = writeln!(out, "{r:>6} failed: {e}");
+                }
+            }
+        }
+        out
+    });
+    let run = rfp_obs::RunReport::from_recorder("stream", &rec)
+        .with_meta("rounds", &rounds.to_string());
+    Ok(format!("{table}{}", counters_footer(&run)))
 }
 
 /// The tag table of [`sense`] (no counter footer); runs under whatever
@@ -373,6 +469,8 @@ pub fn usage() -> String {
      \x20     (--jobs: worker threads for the batched solve; 0 = all CPUs, default 1)\n\
      \x20     (--metrics: write the versioned JSON run report; --trace: span/counter summary on stderr)\n\
      \x20     (--warm: sense twice, warm-starting the second pass from the first — steady-state timing)\n\
+     \x20 rf-prism stream [--rounds N] [--seed S] [--tag SEED]\n\
+     \x20     (incremental sliding-window mode: one warm estimate per round, O(new reads) per advance)\n\
      \x20 rf-prism calibrate --tag ID > tags.cal\n\
      \x20 rf-prism help\n"
         .to_string()
@@ -463,6 +561,23 @@ mod tests {
     }
 
     #[test]
+    fn stream_reports_per_round_estimates() {
+        let report = stream(&args(&["--rounds", "3", "--seed", "2"])).unwrap();
+        // One estimate row per round, plus the streaming counter line.
+        assert_eq!(report.matches(" cm").count(), 3, "report:\n{report}");
+        assert!(report.contains("streaming:"), "report:\n{report}");
+        assert!(report.contains("updates"), "report:\n{report}");
+        // Deterministic replay.
+        assert_eq!(report, stream(&args(&["--rounds", "3", "--seed", "2"])).unwrap());
+    }
+
+    #[test]
+    fn stream_rejects_bad_flags() {
+        assert!(matches!(stream(&args(&["--rounds", "0"])), Err(CommandError::Usage(_))));
+        assert!(matches!(stream(&args(&["--rounds", "x"])), Err(CommandError::Usage(_))));
+    }
+
+    #[test]
     fn sense_propagates_log_errors() {
         assert!(matches!(sense("garbage", None, 1, false), Err(CommandError::Log(_))));
     }
@@ -470,7 +585,7 @@ mod tests {
     #[test]
     fn usage_mentions_all_subcommands() {
         let u = usage();
-        for cmd in ["simulate", "sense", "calibrate"] {
+        for cmd in ["simulate", "sense", "stream", "calibrate"] {
             assert!(u.contains(cmd));
         }
         assert!((wrap_deg(std::f64::consts::PI * 2.5) - 90.0).abs() < 1e-9);

@@ -64,6 +64,7 @@ pub mod pipeline;
 pub mod pipeline3d;
 pub mod solver;
 pub mod solver3d;
+pub mod streaming;
 pub mod tracking;
 
 pub use antenna_cal::AntennaCalibration;
@@ -77,6 +78,9 @@ pub use pipeline::{RfPrism, RfPrismConfig, SenseError, SenseWorkspace, SensingRe
 pub use pipeline3d::{
     RfPrism3D, RfPrism3DConfig, Sense3DError, Sense3DWorkspace, Sensing3DResult,
 };
-pub use solver::{JacobianMode, PruneStats, SolveStats, SolverConfig, TagEstimate2D, WarmStart};
+pub use solver::{
+    JacobianMode, PruneStats, SolveStats, SolverConfig, TagEstimate2D, WarmGate, WarmStart,
+};
 pub use solver3d::{TagEstimate3D, WarmStart3D};
+pub use streaming::StreamingSession;
 pub use tracking::{TagTracker, TrackerConfig};

@@ -9,7 +9,7 @@
 use crate::obs::counter_add;
 use crate::obs::id::{
     FRONTEND_CHANNELS, FRONTEND_READS, FRONTEND_TRIG_LIBM_READS, FRONTEND_TRIG_POLY_READS,
-    FRONTEND_TRIG_TABLE_READS, FRONTEND_WINDOWS,
+    FRONTEND_TRIG_RECURRENCE_READS, FRONTEND_TRIG_TABLE_READS, FRONTEND_WINDOWS,
 };
 use rfp_dsp::preprocess::{preprocess_reads_with, ChannelObservation, PreprocessConfig, RawRead};
 use rfp_dsp::robust::{robust_line_fit_with, RobustFitConfig};
@@ -205,10 +205,11 @@ pub fn extract_observation_into(
     counter_add(FRONTEND_READS, reads.len() as u64);
     let preprocessed = preprocess_reads_with(ws, reads, &config.preprocess, &mut out.channels);
     // Per-backend trig tallies are valid even on error windows.
-    let [table, poly, libm] = ws.trig_hits();
+    let [table, poly, libm, recurrence] = ws.trig_hits();
     counter_add(FRONTEND_TRIG_TABLE_READS, table);
     counter_add(FRONTEND_TRIG_POLY_READS, poly);
     counter_add(FRONTEND_TRIG_LIBM_READS, libm);
+    counter_add(FRONTEND_TRIG_RECURRENCE_READS, recurrence);
     preprocessed?;
     if out.channels.len() < 5 {
         return Err(ExtractError::TooFewChannels { available: out.channels.len() });
@@ -231,7 +232,21 @@ pub fn extract_observation_into(
         out.channel_inliers.resize(out.channels.len(), true);
         (raw_fit, 1.0)
     };
+    finish_observation(pose, &raw_fit, &fit, inlier_fraction, out);
+    Ok(())
+}
 
+/// Shared tail of the batch and streaming extraction paths: fills the
+/// fitted-line fields of `out` from the raw fit and the accepted (robust
+/// or raw) fit. `out.channels` and `out.channel_inliers` must already be
+/// populated — the inlier-mean RSSI is computed from them here.
+pub(crate) fn finish_observation(
+    pose: AntennaPose,
+    raw_fit: &rfp_dsp::linfit::LineFit,
+    fit: &rfp_dsp::linfit::LineFit,
+    inlier_fraction: f64,
+    out: &mut AntennaObservation,
+) {
     let mut rssi_sum = 0.0;
     let mut rssi_n = 0usize;
     for (c, &keep) in out.channels.iter().zip(&out.channel_inliers) {
@@ -250,7 +265,6 @@ pub fn extract_observation_into(
     out.inlier_fraction = inlier_fraction;
     out.mean_rssi_dbm = rssi_sum / rssi_n.max(1) as f64;
     out.unwrapped_intercept = fit.intercept;
-    Ok(())
 }
 
 #[cfg(test)]

@@ -107,6 +107,18 @@ pub mod id {
     /// `frontend.trig_libm_reads` — per-read phasors served by libm
     /// (explicit backend or codeless-read fallback).
     pub const FRONTEND_TRIG_LIBM_READS: usize = 33;
+    /// `frontend.trig_recurrence_reads` — per-read phasors served by the
+    /// streaming phasor-recurrence backend (complex rotations).
+    pub const FRONTEND_TRIG_RECURRENCE_READS: usize = 34;
+    /// `streaming.updates` — reads pushed into streaming windows
+    /// (accumulator updates).
+    pub const STREAMING_UPDATES: usize = 35;
+    /// `streaming.downdates` — reads expired out of streaming windows
+    /// (accumulator downdates).
+    pub const STREAMING_DOWNDATES: usize = 36;
+    /// `streaming.refit_fallbacks` — streaming advances that took the
+    /// full batch recompute because downdating would lose precision.
+    pub const STREAMING_REFIT_FALLBACKS: usize = 37;
 }
 
 #[cfg(feature = "obs")]
@@ -189,6 +201,16 @@ mod enabled {
         MetricDef::counter(
             "frontend.trig_libm_reads",
             "per-read phasors served by libm (oracle backend or fallback)",
+        ),
+        MetricDef::counter(
+            "frontend.trig_recurrence_reads",
+            "per-read phasors served by the streaming phasor recurrence",
+        ),
+        MetricDef::counter("streaming.updates", "reads pushed into streaming windows"),
+        MetricDef::counter("streaming.downdates", "reads expired out of streaming windows"),
+        MetricDef::counter(
+            "streaming.refit_fallbacks",
+            "streaming advances that fell back to the full batch recompute",
         ),
     ];
 
@@ -305,6 +327,10 @@ mod enabled {
                 (FRONTEND_TRIG_TABLE_READS, "frontend.trig_table_reads"),
                 (FRONTEND_TRIG_POLY_READS, "frontend.trig_poly_reads"),
                 (FRONTEND_TRIG_LIBM_READS, "frontend.trig_libm_reads"),
+                (FRONTEND_TRIG_RECURRENCE_READS, "frontend.trig_recurrence_reads"),
+                (STREAMING_UPDATES, "streaming.updates"),
+                (STREAMING_DOWNDATES, "streaming.downdates"),
+                (STREAMING_REFIT_FALLBACKS, "streaming.refit_fallbacks"),
             ];
             assert_eq!(by_idx.len(), METRICS.len());
             for (idx, name) in by_idx {

@@ -430,6 +430,66 @@ impl WarmStart {
     }
 }
 
+/// Cross-solve warm-gate state for tracking callers
+/// ([`solve_2d_tracking_warm`]): caches the coarse-scan cost floor the
+/// warm-start gate compares against, so steady-state advances skip the
+/// per-solve stage-1 refinement + α scan that anchors it.
+///
+/// At tracking cadence consecutive windows overlap almost entirely, so
+/// the floor drifts far more slowly than the gate's relative tolerance
+/// ([`SolverConfig::warm_gate_rel_tol`]); re-anchoring it with a full
+/// recomputation every [`reanchor period`](Self::with_period) bounds the
+/// staleness. The cached floor can only *accept* a prior early: a miss
+/// against it triggers an immediate re-anchor and a definitive retest
+/// against the fresh floor — exactly the comparison
+/// [`solve_2d_seeded_warm`] makes — before the multi-start scan is paid
+/// for, and a confirmed miss (the scan path runs) invalidates the cache.
+/// A teleporting tag therefore still fails the gate exactly as in the
+/// ungated solve: its cost sits orders of magnitude above any floor,
+/// stale or fresh.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WarmGate {
+    /// Cached coarse-scan floor; infinite when invalid.
+    floor: f64,
+    /// Warm solves gated against the cached floor since the last anchor.
+    age: u32,
+    /// Full re-anchors happen every this many warm solves.
+    period: u32,
+}
+
+impl WarmGate {
+    /// A gate that re-anchors its cached floor every `period` warm solves
+    /// (clamped to ≥ 1; `1` re-anchors every solve, matching
+    /// [`solve_2d_seeded_warm`] exactly).
+    pub fn with_period(period: u32) -> Self {
+        WarmGate { floor: f64::INFINITY, age: 0, period: period.max(1) }
+    }
+
+    /// The cached floor when it is fresh enough to gate against.
+    fn cached(&self) -> Option<f64> {
+        (self.floor.is_finite() && self.age < self.period).then_some(self.floor)
+    }
+
+    fn anchor(&mut self, floor: f64) {
+        self.floor = floor;
+        self.age = 0;
+    }
+
+    fn invalidate(&mut self) {
+        self.floor = f64::INFINITY;
+        self.age = 0;
+    }
+}
+
+impl Default for WarmGate {
+    /// Re-anchor every 16 warm solves: at the streaming dwell cadence
+    /// (50 advances per hop round, 4-round windows) that is ≲ 1 % window
+    /// turnover per gated solve, far inside the gate tolerance.
+    fn default() -> Self {
+        WarmGate::with_period(16)
+    }
+}
+
 /// The disentangled physical state of one tag in 2-D.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TagEstimate2D {
@@ -545,6 +605,63 @@ pub fn solve_2d_seeded_warm(
     workspace: &mut SolverWorkspace,
     warm: Option<&WarmStart>,
 ) -> Result<TagEstimate2D, SolveError> {
+    solve_2d_gated(observations, seeds, config, workspace, warm, None)
+}
+
+/// [`solve_2d_seeded_warm`] for tracking callers that solve the same
+/// slowly sliding window many times per round: the warm-start gate reuses
+/// the [`WarmGate`]'s cached coarse-scan floor instead of re-anchoring it
+/// (stage-1 refinement + α scan of the best coarse seed) on every solve.
+/// Cold solves, gate misses and periodic re-anchors are unchanged from
+/// [`solve_2d_seeded_warm`]; only the floor's freshness differs, bounded
+/// by the gate's re-anchor period.
+///
+/// # Errors
+///
+/// [`SolveError::TooFewAntennas`] when fewer than 3 observations are given.
+pub fn solve_2d_tracking_warm(
+    observations: &[AntennaObservation],
+    seeds: &SolveSeeds,
+    config: &SolverConfig,
+    workspace: &mut SolverWorkspace,
+    warm: Option<&WarmStart>,
+    gate: &mut WarmGate,
+) -> Result<TagEstimate2D, SolveError> {
+    solve_2d_gated(observations, seeds, config, workspace, warm, Some(gate))
+}
+
+/// Coarse ranking shared by the pruned stage-1 beam and the warm-start
+/// floor: every position seed scored by its *unrefined* slope cost — an
+/// O(N) table lookup per seed. Ties break towards grid order, which is
+/// exactly how the exhaustive path's cost sort breaks them; the explicit
+/// (cost, index) key makes the ordering total, so the unstable
+/// (allocation-free) sort is deterministic.
+fn rank_coarse_2d(
+    observations: &[AntennaObservation],
+    geometry: Option<&SeedGeometry>,
+    seeds: &SolveSeeds,
+    config: &SolverConfig,
+    coarse: &mut Vec<(f64, usize, f64)>,
+) {
+    let _rank_span = obs::span("seed_rank");
+    coarse.clear();
+    for (s, &seed_pos) in seeds.position_starts.iter().enumerate() {
+        let (kt0, cost) = coarse_seed_cost_2d(observations, geometry, s, seed_pos, config);
+        coarse.push((cost, s, kt0));
+    }
+    coarse.sort_unstable_by(|a, b| {
+        a.0.partial_cmp(&b.0).expect("finite costs").then_with(|| a.1.cmp(&b.1))
+    });
+}
+
+fn solve_2d_gated(
+    observations: &[AntennaObservation],
+    seeds: &SolveSeeds,
+    config: &SolverConfig,
+    workspace: &mut SolverWorkspace,
+    warm: Option<&WarmStart>,
+    mut gate: Option<&mut WarmGate>,
+) -> Result<TagEstimate2D, SolveError> {
     if observations.len() < 3 {
         return Err(SolveError::TooFewAntennas { provided: observations.len() });
     }
@@ -594,23 +711,19 @@ pub fn solve_2d_seeded_warm(
     let total_seeds = seeds.position_starts.len() as u64;
     let mut seeds_refined: u64 = 0;
 
-    // Coarse ranking: every position seed scored by its *unrefined* slope
-    // cost — an O(N) table lookup per seed — shared by the pruned stage-1
-    // beam and the warm-start floor. Ties break towards grid order, which
-    // is exactly how the exhaustive path's cost sort breaks them. The
-    // explicit (cost, index) key makes the ordering total, so the unstable
-    // (allocation-free) sort is deterministic.
+    // Coarse ranking (see `rank_coarse_2d`), shared by the pruned stage-1
+    // beam and the warm-start floor. A tracking caller with a fresh cached
+    // floor defers it: when the warm gate accepts — the steady state — the
+    // ranking is never needed at all, and a gate miss ranks lazily below.
+    let cached_floor = match (&gate, warm) {
+        (Some(g), Some(_)) => g.cached(),
+        _ => None,
+    };
     coarse.clear();
-    if warm.is_some() || !config.is_exhaustive() {
-        let _rank_span = obs::span("seed_rank");
-        for (s, &seed_pos) in seeds.position_starts.iter().enumerate() {
-            let (kt0, cost) =
-                coarse_seed_cost_2d(observations, geometry, s, seed_pos, config);
-            coarse.push((cost, s, kt0));
-        }
-        coarse.sort_unstable_by(|a, b| {
-            a.0.partial_cmp(&b.0).expect("finite costs").then_with(|| a.1.cmp(&b.1))
-        });
+    let mut coarse_ready = false;
+    if cached_floor.is_none() && (warm.is_some() || !config.is_exhaustive()) {
+        rank_coarse_2d(observations, geometry, seeds, config, coarse);
+        coarse_ready = true;
     }
 
     // Warm start: refine the prior first and gate the result against the
@@ -631,28 +744,51 @@ pub fn solve_2d_seeded_warm(
                 p[2],
                 config.rssi_sigma_db,
             );
-        let (_, best_seed, best_kt) = coarse[0];
-        let seed_pos = seeds.position_starts[best_seed];
-        let mut sp0 = pooled(params_pool);
-        sp0.extend_from_slice(&[seed_pos.x, seed_pos.y, best_kt]);
-        let (sp, _) = refine_slope_2d(lm, observations, config, sp0);
-        seeds_refined += 1;
-        scan_alphas_2d(
-            observations,
-            geometry,
-            config,
-            seeds.alpha_steps,
-            (sp[0], sp[1], sp[2]),
-            dists,
-            orient_row,
-            proj_row,
-            alpha_ranked,
-        );
-        params_pool.push(sp);
-        let floor = alpha_ranked.first().map_or(f64::INFINITY, |&(_, _, c)| c);
-        if admissible.contains(Vec2::new(p[0], p[1]))
-            && key <= floor * (1.0 + config.warm_gate_rel_tol) + 1e-9
-        {
+        let in_region = admissible.contains(Vec2::new(p[0], p[1]));
+        let gate_ok = |floor: f64| key <= floor * (1.0 + config.warm_gate_rel_tol) + 1e-9;
+        // Fast pre-test against the cached floor, then — only when that
+        // rejects — a fresh re-anchor and the definitive retest. A cached
+        // miss is therefore always confirmed against exactly the floor the
+        // ungated path would have used before the full scan is paid for.
+        let mut accept = match cached_floor {
+            Some(floor) if in_region && gate_ok(floor) => {
+                if let Some(g) = gate.as_deref_mut() {
+                    g.age += 1;
+                }
+                true
+            }
+            _ => false,
+        };
+        if !accept {
+            if !coarse_ready {
+                rank_coarse_2d(observations, geometry, seeds, config, coarse);
+                coarse_ready = true;
+            }
+            let (_, best_seed, best_kt) = coarse[0];
+            let seed_pos = seeds.position_starts[best_seed];
+            let mut sp0 = pooled(params_pool);
+            sp0.extend_from_slice(&[seed_pos.x, seed_pos.y, best_kt]);
+            let (sp, _) = refine_slope_2d(lm, observations, config, sp0);
+            seeds_refined += 1;
+            scan_alphas_2d(
+                observations,
+                geometry,
+                config,
+                seeds.alpha_steps,
+                (sp[0], sp[1], sp[2]),
+                dists,
+                orient_row,
+                proj_row,
+                alpha_ranked,
+            );
+            params_pool.push(sp);
+            let floor = alpha_ranked.first().map_or(f64::INFINITY, |&(_, _, c)| c);
+            if let Some(g) = gate.as_deref_mut() {
+                g.anchor(floor);
+            }
+            accept = in_region && gate_ok(floor);
+        }
+        if accept {
             prune.seeds_total += total_seeds;
             prune.seeds_refined += seeds_refined;
             prune.warm_start_hits += 1;
@@ -662,6 +798,17 @@ pub fn solve_2d_seeded_warm(
             return Ok(estimate);
         }
         params_pool.push(p);
+        // Confirmed gate miss: the scan below recomputes the optimum from
+        // scratch, so drop the cached floor and re-anchor next warm solve.
+        if let Some(g) = gate {
+            g.invalidate();
+        }
+    }
+
+    // A deferred coarse ranking is needed after all (warm gate missed, or
+    // the prior was absent) for the pruned stage-1 beam.
+    if !coarse_ready && !config.is_exhaustive() {
+        rank_coarse_2d(observations, geometry, seeds, config, coarse);
     }
 
     // Stage 1: slope-only position solve. Exhaustive mode refines every

@@ -1,0 +1,326 @@
+//! Streaming sensing sessions: the incremental sliding-window pipeline.
+//!
+//! A [`StreamingSession`] couples one [`rfp_dsp::StreamingWindow`]
+//! per antenna to the warm-started joint solver and the [`TagTracker`].
+//! Reads are [`push`](StreamingSession::push)ed as they arrive; each
+//! [`advance`](StreamingSession::advance) expires reads older than the
+//! window span, re-extracts each antenna's line fit from the *incremental*
+//! per-channel accumulators (O(new + expired reads) instead of a batch
+//! recompute), and feeds the result through the mobility detector into
+//! [`crate::solver::solve_2d_tracking_warm`],
+//! warm-started from the tracker's extrapolated position with a
+//! periodically re-anchored warm-gate floor. Whenever a downdate would lose precision (decision-margin
+//! hazard, inlier-mask flip) the window falls back to a full recompute that
+//! is bit-identical to the batch path — so streaming never changes
+//! results, only cost.
+//!
+//! ```
+//! use rfp_geom::Vec2;
+//! use rfp_sim::{Motion, Scene, SimTag};
+//!
+//! let scene = Scene::standard_2d();
+//! let tag = SimTag::with_seeded_diversity(7)
+//!     .with_motion(Motion::planar_static(Vec2::new(0.4, 1.3), 0.6));
+//! let rounds = rfp_sim::stream_rounds(&scene, &tag, 3, 11);
+//! let span = scene.reader().round_duration_s();
+//!
+//! let prism = rfp_core::RfPrism::new(scene.antenna_poses(), scene.reader().plan)
+//!     .with_region(scene.region());
+//! let mut session = prism.sense_streaming(span);
+//! let mut last = None;
+//! for round in &rounds {
+//!     for (antenna, reads) in round.per_antenna.iter().enumerate() {
+//!         for read in reads {
+//!             session.push(antenna, read);
+//!         }
+//!     }
+//!     let result = session.advance(round.end_time_s)?;
+//!     last = Some(result.estimate.position);
+//!     session.recycle(result);
+//! }
+//! let err_cm = last.unwrap().distance(Vec2::new(0.4, 1.3)) * 100.0;
+//! assert!(err_cm < 40.0, "streaming localization error {err_cm} cm");
+//! # Ok::<(), rfp_core::SenseError>(())
+//! ```
+
+use crate::detector::{assess, MobilityVerdict};
+use crate::model::{finish_observation, AntennaObservation, ExtractError};
+use crate::obs;
+use crate::obs::id::{
+    FRONTEND_CHANNELS, FRONTEND_READS, FRONTEND_TRIG_LIBM_READS, FRONTEND_TRIG_POLY_READS,
+    FRONTEND_TRIG_RECURRENCE_READS, FRONTEND_TRIG_TABLE_READS, FRONTEND_WINDOWS,
+    STREAMING_DOWNDATES, STREAMING_REFIT_FALLBACKS, STREAMING_UPDATES,
+};
+use crate::pipeline::{RfPrism, SenseError, SenseWorkspace, SensingResult};
+use crate::solver::{solve_2d_tracking_warm, SolveSeeds, WarmGate, WarmStart};
+use crate::tracking::{TagTracker, TrackerConfig};
+use rfp_dsp::preprocess::RawRead;
+use rfp_dsp::streaming::{StreamingConfig, StreamingError, StreamingStats, StreamingWindow};
+use rfp_geom::AntennaPose;
+
+/// A long-lived incremental sensing session over one tag.
+///
+/// Created by [`RfPrism::sense_streaming`]; owns one sliding window per
+/// antenna, the solver scratch space, the warm-start state and a
+/// [`TagTracker`]. All steady-state allocations happen in the first few
+/// advances; afterwards [`push`](Self::push)/[`advance`](Self::advance)
+/// are allocation-free as long as results are returned via
+/// [`recycle`](Self::recycle).
+pub struct StreamingSession<'a> {
+    prism: &'a RfPrism,
+    seeds: SolveSeeds,
+    windows: Vec<StreamingWindow>,
+    workspace: SenseWorkspace,
+    tracker: TagTracker,
+    window_span_s: f64,
+    warm_ttl_s: f64,
+    warm: Option<WarmStart>,
+    /// Cached warm-gate floor, re-anchored periodically (tracking solves
+    /// of a slowly sliding window share one coarse-scan floor).
+    gate: WarmGate,
+    stats: StreamingStats,
+    fallbacks_window: u64,
+}
+
+impl RfPrism {
+    /// Opens a streaming sensing session: reads pushed via
+    /// [`StreamingSession::push`] slide through a window of `window_span_s`
+    /// seconds per antenna, and every [`StreamingSession::advance`] pays
+    /// only for the reads that arrived or expired since the previous one.
+    ///
+    /// The per-window front-end configuration (π-jump handling, robust fit,
+    /// trig backend) mirrors this prism's [`ExtractConfig`]
+    /// (`config().extract`), so a streaming extract agrees with the batch
+    /// [`sense`](RfPrism::sense) on the same retained reads.
+    ///
+    /// [`ExtractConfig`]: crate::model::ExtractConfig
+    pub fn sense_streaming(&self, window_span_s: f64) -> StreamingSession<'_> {
+        let extract = &self.config().extract;
+        let window_config = StreamingConfig {
+            preprocess: extract.preprocess,
+            robust: extract.robust,
+            suppress_multipath: extract.suppress_multipath,
+            ..StreamingConfig::default()
+        };
+        StreamingSession {
+            seeds: self.solve_seeds(),
+            windows: self
+                .poses()
+                .iter()
+                .map(|_| StreamingWindow::new(window_config))
+                .collect(),
+            workspace: SenseWorkspace::default(),
+            tracker: TagTracker::new(TrackerConfig::default()),
+            window_span_s,
+            // Hold the kinematic state over a few missed/rejected windows,
+            // then re-acquire from scratch rather than extrapolate stale
+            // velocity across a long gap.
+            warm_ttl_s: 5.0 * window_span_s,
+            warm: None,
+            gate: WarmGate::default(),
+            stats: StreamingStats::default(),
+            fallbacks_window: 0,
+            prism: self,
+        }
+    }
+}
+
+impl<'a> StreamingSession<'a> {
+    /// Appends one read to `antenna`'s sliding window (O(1), no trig on
+    /// later advances: phasors are computed once here).
+    ///
+    /// # Panics
+    ///
+    /// If `antenna` is out of range for the prism's pose list.
+    pub fn push(&mut self, antenna: usize, read: &RawRead) {
+        self.windows[antenna].push(read);
+    }
+
+    /// The sliding-window span in seconds; reads older than
+    /// `now_s - window_span_s` expire on the next [`advance`](Self::advance).
+    pub fn window_span_s(&self) -> f64 {
+        self.window_span_s
+    }
+
+    /// Overrides how long the tracker's kinematic state survives without a
+    /// successful advance before the warm start is dropped (default: five
+    /// window spans).
+    pub fn with_warm_ttl(mut self, ttl_s: f64) -> Self {
+        self.warm_ttl_s = ttl_s;
+        self
+    }
+
+    /// The tag tracker fed by successful advances.
+    pub fn tracker(&self) -> &TagTracker {
+        &self.tracker
+    }
+
+    /// Cumulative incremental-engine statistics over the session's
+    /// lifetime (updates, downdates, refit fallbacks).
+    pub fn stats(&self) -> StreamingStats {
+        self.stats
+    }
+
+    /// Total reads currently retained across all antenna windows.
+    pub fn retained_reads(&self) -> usize {
+        self.windows.iter().map(StreamingWindow::read_count).sum()
+    }
+
+    /// Advances the session to `now_s`: expires reads older than the
+    /// window span, incrementally re-extracts every antenna's line fit,
+    /// and runs detection + the warm-started joint solve.
+    ///
+    /// Tracker coupling: the solver is warm-started from the previous
+    /// estimate with the position replaced by the tracker's constant-
+    /// velocity extrapolation to `now_s`; a successful solve feeds the
+    /// tracker back. Stale tracker state (no success within the warm TTL)
+    /// is evicted first, so a long outage re-acquires cold.
+    ///
+    /// # Errors
+    ///
+    /// As [`RfPrism::sense`]: fewer than 3 usable antennas, a moving tag
+    /// (when rejection is enabled) or a solver failure.
+    pub fn advance(&mut self, now_s: f64) -> Result<SensingResult, SenseError> {
+        let _sense_span = obs::span("sense_streaming");
+        let _sense_timer = obs::time_histogram(obs::id::SENSE_LATENCY_US);
+        obs::counter_add(obs::id::PIPELINE_WINDOWS_TOTAL, 1);
+        let cutoff = now_s - self.window_span_s;
+
+        let mut observations = self.workspace.take_observations();
+        let mut first_error = None;
+        {
+            let _extract_span = obs::span("extract");
+            for (pose, window) in self.prism.poses().iter().zip(&mut self.windows) {
+                window.expire_before(cutoff);
+                let mut slot = self.workspace.take_slot(*pose);
+                match extract_streaming(*pose, window, &mut slot) {
+                    Ok(()) => observations.push(slot),
+                    Err(e) => {
+                        self.workspace.recycle_slot(slot);
+                        obs::counter_add(obs::id::PIPELINE_EXTRACT_FAILURES, 1);
+                        if first_error.is_none() {
+                            first_error = Some(e);
+                        }
+                    }
+                }
+            }
+        }
+        self.drain_window_counters();
+
+        if observations.len() < 3 {
+            obs::counter_add(obs::id::PIPELINE_WINDOWS_TOO_FEW_OBS, 1);
+            let usable = observations.len();
+            self.workspace.recycle_observations(observations);
+            return Err(SenseError::TooFewObservations { usable, first_error });
+        }
+
+        let verdict = assess(&observations, &self.prism.config().detector);
+        obs::verdict(&verdict);
+        if self.prism.config().reject_moving {
+            if let MobilityVerdict::Moving { worst_residual_std } = verdict {
+                obs::counter_add(obs::id::PIPELINE_WINDOWS_MOVING_REJECTED, 1);
+                self.workspace.recycle_observations(observations);
+                // Coast the tracker through the rejected window so the
+                // next successful advance extrapolates from `now_s`.
+                self.tracker.predict_to(now_s);
+                return Err(SenseError::TagMoving { worst_residual_std });
+            }
+        }
+
+        if self.tracker.evict_stale(now_s, self.warm_ttl_s) {
+            self.warm = None;
+        }
+        let warm = match (self.warm, self.tracker.extrapolate(now_s)) {
+            (Some(w), Some(position)) => Some(w.with_position(position)),
+            (w, _) => w,
+        };
+
+        let estimate = match solve_2d_tracking_warm(
+            &observations,
+            &self.seeds,
+            &self.prism.config().solver,
+            &mut self.workspace.solver,
+            warm.as_ref(),
+            &mut self.gate,
+        ) {
+            Ok(e) => e,
+            Err(e) => {
+                self.workspace.recycle_observations(observations);
+                return Err(e.into());
+            }
+        };
+        self.tracker.observe(estimate.position, now_s);
+        self.warm = Some(WarmStart::from_estimate(&estimate));
+        obs::counter_add(obs::id::PIPELINE_WINDOWS_OK, 1);
+        Ok(SensingResult { estimate, observations, verdict })
+    }
+
+    /// Returns a [`SensingResult`]'s buffers to the session pool so the
+    /// next [`advance`](Self::advance) allocates nothing.
+    pub fn recycle(&mut self, result: SensingResult) {
+        self.workspace.recycle(result);
+    }
+
+    /// Refit fallbacks taken by the most recent [`advance`](Self::advance)
+    /// (0 or 1 per antenna window).
+    pub fn last_advance_fallbacks(&self) -> u64 {
+        self.fallbacks_window
+    }
+
+    /// Publishes per-window counters accumulated since the last advance
+    /// and folds them into the session totals.
+    fn drain_window_counters(&mut self) {
+        self.fallbacks_window = 0;
+        for window in &mut self.windows {
+            let StreamingStats { updates, downdates, refit_fallbacks } = window.take_stats();
+            obs::counter_add(STREAMING_UPDATES, updates);
+            obs::counter_add(STREAMING_DOWNDATES, downdates);
+            obs::counter_add(STREAMING_REFIT_FALLBACKS, refit_fallbacks);
+            obs::counter_add(FRONTEND_READS, updates);
+            self.stats.updates += updates;
+            self.stats.downdates += downdates;
+            self.stats.refit_fallbacks += refit_fallbacks;
+            self.fallbacks_window += refit_fallbacks;
+            let [table, poly, libm, recurrence] = window.take_trig_hits();
+            obs::counter_add(FRONTEND_TRIG_TABLE_READS, table);
+            obs::counter_add(FRONTEND_TRIG_POLY_READS, poly);
+            obs::counter_add(FRONTEND_TRIG_LIBM_READS, libm);
+            obs::counter_add(FRONTEND_TRIG_RECURRENCE_READS, recurrence);
+        }
+    }
+}
+
+
+/// The streaming analogue of `extract_observation_into`: pulls the line
+/// fit out of the window's incremental accumulators instead of
+/// re-preprocessing raw reads, then fills `out` through the same shared
+/// tail as the batch path.
+fn extract_streaming(
+    pose: AntennaPose,
+    window: &mut StreamingWindow,
+    out: &mut AntennaObservation,
+) -> Result<(), ExtractError> {
+    obs::counter_add(FRONTEND_WINDOWS, 1);
+    let extract = window.extract_into(&mut out.channels).map_err(|e| match e {
+        StreamingError::Preprocess(e) => ExtractError::Preprocess(e),
+        StreamingError::Fit(e) => ExtractError::Fit(e),
+    })?;
+    if out.channels.len() < 5 {
+        return Err(ExtractError::TooFewChannels { available: out.channels.len() });
+    }
+    obs::counter_add(FRONTEND_CHANNELS, out.channels.len() as u64);
+
+    out.channel_inliers.clear();
+    let (fit, inlier_fraction) = match &extract.robust {
+        Some(summary) => {
+            out.channel_inliers.extend_from_slice(window.inlier_mask());
+            (summary.fit, summary.inlier_fraction(out.channels.len()))
+        }
+        None => {
+            out.channel_inliers.resize(out.channels.len(), true);
+            (extract.raw_fit, 1.0)
+        }
+    };
+    finish_observation(pose, &extract.raw_fit, &fit, inlier_fraction, out);
+    Ok(())
+}

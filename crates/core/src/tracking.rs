@@ -130,6 +130,24 @@ impl TagTracker {
         self.last_time_s = time_s;
     }
 
+    /// Clears the filter when its last observation is older than `ttl_s`
+    /// at `now_s`, returning whether an eviction happened. A long-idle
+    /// tag's extrapolation is unbounded garbage (constant-velocity
+    /// projection over minutes), so callers feeding
+    /// [`extrapolate`](Self::extrapolate) into warm starts should evict
+    /// before reading — an evicted tracker re-initializes from its next
+    /// observation, and the solver falls back to a cold multi-start
+    /// instead of validating (and rejecting) a stale prior every round.
+    pub fn evict_stale(&mut self, now_s: f64, ttl_s: f64) -> bool {
+        if self.state.is_some() && now_s - self.last_time_s > ttl_s {
+            self.state = None;
+            self.cov = [[0.0; 4]; 4];
+            true
+        } else {
+            false
+        }
+    }
+
     /// Feeds one per-round position estimate taken at `time_s`.
     ///
     /// Returns the filtered position.
@@ -257,6 +275,27 @@ mod tests {
         }
         let v = t.velocity().unwrap();
         assert!(v.norm() < 1e-6, "velocity {v}");
+    }
+
+    #[test]
+    fn evict_stale_clears_only_idle_trackers() {
+        let mut t = TagTracker::new(TrackerConfig::default());
+        assert!(!t.evict_stale(1000.0, 30.0), "uninitialized tracker has nothing to evict");
+        for round in 0..5 {
+            let time = round as f64 * 10.0;
+            t.observe(Vec2::new(0.02 * time, 1.0), time);
+        }
+        // Fresh: last observation at t=40, ttl 30 → keep.
+        assert!(!t.evict_stale(60.0, 30.0));
+        assert!(t.is_initialized());
+        // Idle past the ttl: evict; warm priors must disappear.
+        assert!(t.evict_stale(100.0, 30.0));
+        assert!(!t.is_initialized());
+        assert_eq!(t.position(), None);
+        assert_eq!(t.extrapolate(120.0), None);
+        // Re-initializes cleanly from the next observation.
+        t.observe(Vec2::new(3.0, 1.0), 110.0);
+        assert_eq!(t.position(), Some(Vec2::new(3.0, 1.0)));
     }
 
     #[test]

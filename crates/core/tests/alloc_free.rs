@@ -166,6 +166,53 @@ fn full_sense_is_allocation_free_in_steady_state() {
     ws.recycle(result);
 }
 
+/// One full streaming advance — pushing a round of reads into the
+/// per-antenna sliding windows, expiring the old round, the incremental
+/// extracts, mobility assessment and the warm-started solve — allocates
+/// nothing once the session pools are sized, as long as results are
+/// recycled.
+///
+/// Clean noise keeps the per-round read counts constant so the steady
+/// state is exact; with dropouts the per-channel FIFOs still amortize
+/// (a reallocation only when a channel exceeds its high-water mark).
+#[test]
+fn streaming_advance_is_allocation_free_in_steady_state() {
+    let scene = Scene::standard_2d().with_noise(rfp_sim::NoiseModel::clean());
+    let tag = SimTag::with_seeded_diversity(9)
+        .with_motion(Motion::planar_static(Vec2::new(0.5, 1.5), 0.8));
+    let rounds = rfp_sim::stream_rounds(&scene, &tag, 6, 17);
+    let prism =
+        RfPrism::new(scene.antenna_poses(), scene.reader().plan).with_region(scene.region());
+    let mut session = prism.sense_streaming(scene.reader().round_duration_s());
+
+    // Warm-up advances size the window FIFOs (including the transient
+    // two-rounds-deep state between push and expiry), observation slots
+    // and solver pools.
+    for round in &rounds[..5] {
+        for (antenna, reads) in round.per_antenna.iter().enumerate() {
+            for read in reads {
+                session.push(antenna, read);
+            }
+        }
+        let r = session.advance(round.end_time_s).expect("usable window");
+        session.recycle(r);
+    }
+
+    let round = &rounds[5];
+    let (result, allocs) = allocations_during(|| {
+        for (antenna, reads) in round.per_antenna.iter().enumerate() {
+            for read in reads {
+                session.push(antenna, read);
+            }
+        }
+        session.advance(round.end_time_s)
+    });
+    let result = result.expect("usable window");
+    assert!(result.estimate.position.distance(Vec2::new(0.5, 1.5)) < 0.5);
+    assert_eq!(allocs, 0, "streaming advance allocated {allocs} times in steady state");
+    session.recycle(result);
+}
+
 /// The quantized-code trig tables live inline in a static (`OnceLock`
 /// with in-place storage): building them touches the heap zero times, so
 /// "construction is one-time" holds trivially — there is nothing to free

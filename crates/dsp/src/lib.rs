@@ -15,6 +15,12 @@
 //!   *multipath suppression* (Section V-D): when a minority of channels is
 //!   corrupted by frequency-selective multipath, drop them and keep the
 //!   "clean" line.
+//! * [`streaming`] — the incremental sliding-window front end
+//!   ([`StreamingWindow`]): per-channel accumulators that update on read
+//!   arrival and downdate on expiry, so advancing a window by `k` reads
+//!   costs `O(k + channels)` instead of a batch recompute, with a
+//!   bit-identical full-recompute fallback whenever downdating would lose
+//!   precision.
 //! * [`stats`] — small statistics helpers (mean, std, median, MAD,
 //!   percentiles, empirical CDFs) shared by the solver and the experiment
 //!   harness.
@@ -51,6 +57,7 @@ pub mod preprocess;
 pub mod reference;
 pub mod robust;
 pub mod stats;
+pub mod streaming;
 pub mod trig;
 pub mod workspace;
 
@@ -59,8 +66,11 @@ pub use preprocess::{
     preprocess_reads, preprocess_reads_with, ChannelObservation, PreprocessConfig, RawRead,
 };
 pub use robust::{
-    huber_line_fit, huber_line_fit_with, robust_line_fit, robust_line_fit_with, RobustFit,
-    RobustFitConfig, RobustSummary,
+    huber_line_fit, huber_line_fit_with, robust_line_fit, robust_line_fit_with,
+    robust_line_fit_with_sensitivity, RobustFit, RobustFitConfig, RobustSummary,
+};
+pub use streaming::{
+    StreamExtract, StreamingConfig, StreamingError, StreamingStats, StreamingWindow,
 };
 pub use trig::TrigProvider;
 pub use workspace::{FitWorkspace, FrontEndWorkspace, OlsSums};

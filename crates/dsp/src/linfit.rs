@@ -218,6 +218,32 @@ pub fn theil_sen_with(
         return Err(FitError::DegenerateX);
     }
     let slope = stats::median_in_place(&mut ws.slopes).expect("nonempty");
+    theil_sen_from_slope(ws, xs, ys, slope)
+}
+
+/// Completes a Theil–Sen fit from a precomputed median pairwise `slope`:
+/// intercept is the median of `y − slope·x`, diagnostics are the shared
+/// ones. Passing the slope [`theil_sen_with`] would compute on the same
+/// columns yields a bit-identical [`LineFit`] — this is the tail of that
+/// function, split out so incremental callers that maintain the O(n²)
+/// pairwise-slope multiset across sliding-window advances can skip the
+/// pair enumeration without changing a single output bit.
+///
+/// # Errors
+///
+/// As [`ols`] (length mismatch, fewer than two points).
+pub fn theil_sen_from_slope(
+    ws: &mut FitWorkspace,
+    xs: &[f64],
+    ys: &[f64],
+    slope: f64,
+) -> Result<LineFit, FitError> {
+    if xs.len() != ys.len() {
+        return Err(FitError::LengthMismatch);
+    }
+    if xs.len() < 2 {
+        return Err(FitError::TooFewPoints);
+    }
     ws.scratch.clear();
     ws.scratch.extend(xs.iter().zip(ys).map(|(&x, &y)| y - slope * x));
     let intercept = stats::median_in_place(&mut ws.scratch).expect("nonempty");

@@ -51,7 +51,7 @@ pub struct RawRead {
     /// The reader's 12-bit phase code when `phase` sits exactly on the
     /// LLRP quantization grid (`phase == code · 2π/4096` bitwise), `None`
     /// for continuous/synthetic phases. Attach via
-    /// [`trig::code_for_phase`](crate::trig::code_for_phase); codes ≥ 4096
+    /// [`crate::trig::code_for_phase`]; codes ≥ 4096
     /// are treated modulo 4096 by the table backend. Carrying the code
     /// lets [`TrigProvider::Table`] replace every per-read libm call with
     /// an exact table lookup.
@@ -242,17 +242,29 @@ pub fn preprocess_reads_with(
             &mut ws.read_cos,
             &mut ws.trig_hits,
         );
-        for (i, r) in reads.iter().enumerate() {
-            let s = ws.slot(r.channel);
-            ws.read_slot.push(s as u32);
-            if ws.count[s] == 0 {
-                ws.first_freq[s] = r.frequency_hz;
-                ws.first_phase[s] = r.phase;
-            }
-            ws.count[s] += 1;
-            ws.sum_rssi[s] += r.rssi_dbm;
-            ws.acc_sin[s] += ws.read_sin[i];
-            ws.acc_cos[s] += ws.read_cos[i];
+        // Explicit 4-wide lane unroll over the accumulator scatter: the
+        // phasor lanes are loaded four at a time into named registers
+        // before the per-read bookkeeping, matching the lane width of the
+        // fill above. The four element bodies stay *sequential in index
+        // order*, so per-slot sums accumulate in exactly the scalar
+        // order — bit-identical even when a 4-block hits one slot twice.
+        let n = reads.len();
+        let mut i = 0;
+        while i + 4 <= n {
+            let (s0, s1, s2, s3) =
+                (ws.read_sin[i], ws.read_sin[i + 1], ws.read_sin[i + 2], ws.read_sin[i + 3]);
+            let (c0, c1, c2, c3) =
+                (ws.read_cos[i], ws.read_cos[i + 1], ws.read_cos[i + 2], ws.read_cos[i + 3]);
+            scatter_read(ws, &reads[i], s0, c0);
+            scatter_read(ws, &reads[i + 1], s1, c1);
+            scatter_read(ws, &reads[i + 2], s2, c2);
+            scatter_read(ws, &reads[i + 3], s3, c3);
+            i += 4;
+        }
+        while i < n {
+            let (sin, cos) = (ws.read_sin[i], ws.read_cos[i]);
+            scatter_read(ws, &reads[i], sin, cos);
+            i += 1;
         }
     }
 
@@ -330,10 +342,41 @@ pub fn preprocess_reads_with(
                 &mut ws.read_cos,
                 &mut ws.trig_hits,
             );
-            for i in 0..reads.len() {
-                let s = ws.read_slot[i] as usize;
-                ws.fold_sin[s] += ws.read_sin[i];
-                ws.fold_cos[s] += ws.read_cos[i];
+            // Same 4-wide lane unroll as the pass-1 scatter: load four
+            // slot indices and four phasor lanes, then accumulate the
+            // four element bodies sequentially in index order (bit-
+            // identical per-slot sums under intra-block slot collisions).
+            let FrontEndWorkspace {
+                read_slot, read_sin, read_cos, fold_sin, fold_cos, ..
+            } = &mut *ws;
+            let n = reads.len();
+            let mut i = 0;
+            while i + 4 <= n {
+                let (t0, t1, t2, t3) = (
+                    read_slot[i] as usize,
+                    read_slot[i + 1] as usize,
+                    read_slot[i + 2] as usize,
+                    read_slot[i + 3] as usize,
+                );
+                let (s0, s1, s2, s3) =
+                    (read_sin[i], read_sin[i + 1], read_sin[i + 2], read_sin[i + 3]);
+                let (c0, c1, c2, c3) =
+                    (read_cos[i], read_cos[i + 1], read_cos[i + 2], read_cos[i + 3]);
+                fold_sin[t0] += s0;
+                fold_cos[t0] += c0;
+                fold_sin[t1] += s1;
+                fold_cos[t1] += c1;
+                fold_sin[t2] += s2;
+                fold_cos[t2] += c2;
+                fold_sin[t3] += s3;
+                fold_cos[t3] += c3;
+                i += 4;
+            }
+            while i < n {
+                let s = read_slot[i] as usize;
+                fold_sin[s] += read_sin[i];
+                fold_cos[s] += read_cos[i];
+                i += 1;
             }
         }
         for s in 0..ws.slots() {
@@ -443,7 +486,7 @@ pub fn preprocess_reads_with(
 /// `angle::distance`, and the bit-identity property suites compare the
 /// two implementations on every window they generate.
 #[inline(always)]
-fn wrapped_distance(a: f64, b: f64) -> f64 {
+pub(crate) fn wrapped_distance(a: f64, b: f64) -> f64 {
     use std::f64::consts::{PI, TAU};
     let d = a - b;
     if d > -TAU && d < TAU {
@@ -454,6 +497,26 @@ fn wrapped_distance(a: f64, b: f64) -> f64 {
     } else {
         angle::distance(a, b)
     }
+}
+
+/// One element body of the pass-1 accumulator scatter: slot bookkeeping
+/// plus the circular-sum accumulation of one read's phasor. Kept as a
+/// named `#[inline(always)]` body so the 4-wide unrolled scatter and its
+/// scalar remainder loop are the same code by construction (bit-identity
+/// of the lane-unrolled pass is pinned against
+/// [`crate::reference::preprocess_reads`]).
+#[inline(always)]
+fn scatter_read(ws: &mut FrontEndWorkspace, r: &RawRead, sin: f64, cos: f64) {
+    let s = ws.slot(r.channel);
+    ws.read_slot.push(s as u32);
+    if ws.count[s] == 0 {
+        ws.first_freq[s] = r.frequency_hz;
+        ws.first_phase[s] = r.phase;
+    }
+    ws.count[s] += 1;
+    ws.sum_rssi[s] += r.rssi_dbm;
+    ws.acc_sin[s] += sin;
+    ws.acc_cos[s] += cos;
 }
 
 /// Fills the per-read phasor lanes: `(sin_out[i], cos_out[i])` becomes
@@ -469,7 +532,7 @@ fn fill_phasors(
     doubled: bool,
     sin_out: &mut Vec<f64>,
     cos_out: &mut Vec<f64>,
-    hits: &mut [u64; 3],
+    hits: &mut [u64; 4],
 ) {
     let n = reads.len();
     sin_out.clear();
@@ -515,6 +578,19 @@ fn fill_phasors(
                 *c = x.cos();
             }
         }
+        TrigProvider::Recurrence => {
+            // Sequential by construction: each phasor rotates from the
+            // previous read's angle (reads inside one dwell are near-
+            // constant in phase, so most advances are one complex
+            // rotation; dwell hops re-anchor through the polynomial).
+            hits[hit::RECURRENCE] += n as u64;
+            let mut rec = trig::PhasorRecurrence::new();
+            for ((r, s), c) in reads.iter().zip(sin_out.iter_mut()).zip(cos_out.iter_mut()) {
+                let (rs, rc) = rec.advance(scale * r.phase);
+                *s = rs;
+                *c = rc;
+            }
+        }
     }
 }
 
@@ -535,7 +611,7 @@ fn fill_fold_phasors(
     keep: &[bool],
     sin_out: &mut Vec<f64>,
     cos_out: &mut Vec<f64>,
-    hits: &mut [u64; 3],
+    hits: &mut [u64; 4],
 ) {
     use std::f64::consts::{FRAC_PI_2, PI};
 
@@ -546,6 +622,29 @@ fn fill_fold_phasors(
     cos_out.resize(n, 0.0);
     match trig {
         TrigProvider::Table => unreachable!("table lookups are fused into the caller"),
+        TrigProvider::Recurrence => {
+            // The recurrence tracks the *base* phase trajectory and
+            // resolves a fold by negation — `sin/cos(p + π) = −sin/cos p`
+            // exactly — so a π-jumped read costs a sign flip instead of
+            // breaking the rotation chain with a π-sized re-anchor.
+            hits[hit::RECURRENCE] += n as u64;
+            let mut rec = trig::PhasorRecurrence::new();
+            for i in 0..n {
+                let s = read_slot[i] as usize;
+                let p = reads[i].phase;
+                let (bs, bc) = rec.advance(p);
+                if !keep[s] {
+                    continue;
+                }
+                if wrapped_distance(p, axis[s]) <= FRAC_PI_2 {
+                    sin_out[i] = bs;
+                    cos_out[i] = bc;
+                } else {
+                    sin_out[i] = -bs;
+                    cos_out[i] = -bc;
+                }
+            }
+        }
         TrigProvider::Polynomial | TrigProvider::Libm => {
             for i in 0..n {
                 let s = read_slot[i] as usize;
@@ -756,14 +855,21 @@ mod tests {
         let mut out = Vec::new();
         preprocess_reads_with(&mut ws, &reads, &PreprocessConfig::default(), &mut out)
             .unwrap();
-        assert_eq!(ws.trig_hits(), [6, 0, 4]);
+        assert_eq!(ws.trig_hits(), [6, 0, 4, 0]);
 
         let poly_cfg = PreprocessConfig {
             trig: crate::trig::TrigProvider::Polynomial,
             ..Default::default()
         };
         preprocess_reads_with(&mut ws, &reads, &poly_cfg, &mut out).unwrap();
-        assert_eq!(ws.trig_hits(), [0, 10, 0]);
+        assert_eq!(ws.trig_hits(), [0, 10, 0, 0]);
+
+        let rec_cfg = PreprocessConfig {
+            trig: crate::trig::TrigProvider::Recurrence,
+            ..Default::default()
+        };
+        preprocess_reads_with(&mut ws, &reads, &rec_cfg, &mut out).unwrap();
+        assert_eq!(ws.trig_hits(), [0, 0, 0, 10]);
     }
 
     /// Polynomial backend stays within its documented error bound end to
@@ -797,6 +903,77 @@ mod tests {
             // spread = √(−2 ln r) has unbounded derivative at r → 1, so a
             // ~1e-14 phasor error can move a near-zero spread by ~1e-7.
             assert!((l.phase_spread - p.phase_spread).abs() < 1e-6);
+        }
+    }
+
+    /// The stateful phasor-recurrence backend stays within its documented
+    /// error bound end to end on a dwell-like stream (near-constant phase
+    /// within a channel, hops between channels, random π jumps).
+    #[test]
+    fn recurrence_backend_tracks_libm_closely() {
+        let reads: Vec<RawRead> = (0..20)
+            .flat_map(|c| {
+                (0..8).map(move |k| {
+                    read(
+                        c,
+                        0.3 + 1.1 * c as f64
+                            + 0.004 * k as f64
+                            + if (c * 7 + k) % 3 == 0 { PI } else { 0.0 },
+                    )
+                })
+            })
+            .collect();
+        let libm_obs = preprocess_reads(
+            &reads,
+            &PreprocessConfig { trig: crate::trig::TrigProvider::Libm, ..Default::default() },
+        )
+        .unwrap();
+        let rec_obs = preprocess_reads(
+            &reads,
+            &PreprocessConfig {
+                trig: crate::trig::TrigProvider::Recurrence,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(libm_obs.len(), rec_obs.len());
+        for (l, r) in libm_obs.iter().zip(&rec_obs) {
+            assert_eq!(l.channel, r.channel);
+            assert!((l.phase - r.phase).abs() < 1e-9, "{} vs {}", l.phase, r.phase);
+            assert!((l.phase_spread - r.phase_spread).abs() < 1e-6);
+        }
+    }
+
+    /// The 4-wide lane-unrolled scatter passes are bit-identical to the
+    /// frozen reference: odd read counts (remainder loop) and repeated
+    /// same-channel reads *inside* one 4-block (intra-block slot
+    /// collisions) must not perturb a single bit.
+    #[test]
+    fn lane_unrolled_scatter_is_bit_identical_to_reference() {
+        // 3 channels × 7 reads interleaved so most 4-blocks hit the same
+        // slot at least twice; 21 reads total exercises the remainder.
+        let mut reads = Vec::new();
+        for k in 0..7usize {
+            for c in 0..3usize {
+                reads.push(read(c, 0.4 + 1.3 * c as f64 + 0.01 * k as f64
+                    + if (k + c) % 2 == 0 { PI } else { 0.0 }));
+            }
+        }
+        for &pi_jumps in &[true, false] {
+            let cfg = PreprocessConfig {
+                correct_pi_jumps: pi_jumps,
+                trig: crate::trig::TrigProvider::Libm,
+                ..Default::default()
+            };
+            let fused = preprocess_reads(&reads, &cfg).unwrap();
+            let reference = crate::reference::preprocess_reads(&reads, &cfg).unwrap();
+            assert_eq!(fused.len(), reference.len(), "pi_jumps={pi_jumps}");
+            for (f, r) in fused.iter().zip(&reference) {
+                assert_eq!(f.channel, r.channel);
+                assert_eq!(f.phase.to_bits(), r.phase.to_bits(), "pi_jumps={pi_jumps}");
+                assert_eq!(f.phase_spread.to_bits(), r.phase_spread.to_bits());
+                assert_eq!(f.rssi_dbm.to_bits(), r.rssi_dbm.to_bits());
+            }
         }
     }
 }

@@ -32,6 +32,14 @@
 //! * **libm** ([`TrigProvider::Libm`]) — the previous behaviour, kept as
 //!   the oracle the other two backends are tested against and as the
 //!   fallback for codeless reads.
+//! * **Phasor recurrence** ([`TrigProvider::Recurrence`]) — for
+//!   continuous phases arriving at a fixed sample cadence (the streaming
+//!   front end): successive angles within one dwell differ by a small
+//!   step, so `sin/cos` advance by one complex rotation
+//!   (`z ← z · e^{iδ}`) instead of a fresh table/polynomial evaluation,
+//!   with periodic renormalization and re-anchoring bounding the
+//!   accumulated error at [`RECURRENCE_MAX_ABS_ERROR`]. See
+//!   [`PhasorRecurrence`].
 //!
 //! [`Libm`]: TrigProvider::Libm
 
@@ -73,15 +81,20 @@ pub enum TrigProvider {
     Polynomial,
     /// Plain libm `sin`/`cos` — the oracle and historical behaviour.
     Libm,
+    /// Phasor recurrence for continuous phases at a fixed sample cadence
+    /// (streaming): one complex rotation per read instead of a fresh
+    /// evaluation, max abs error ≤ [`RECURRENCE_MAX_ABS_ERROR`].
+    Recurrence,
 }
 
-/// Index of a backend's hit counter in the per-call `[table, poly, libm]`
-/// tallies kept by the workspace (and exported as `frontend.trig_*`
-/// observability counters).
+/// Index of a backend's hit counter in the per-call
+/// `[table, poly, libm, recurrence]` tallies kept by the workspace (and
+/// exported as `frontend.trig_*` observability counters).
 pub(crate) mod hit {
     pub const TABLE: usize = 0;
     pub const POLY: usize = 1;
     pub const LIBM: usize = 2;
+    pub const RECURRENCE: usize = 3;
 }
 
 /// The three table families, one entry per phase code `c`:
@@ -245,6 +258,117 @@ pub fn poly_sin_cos(x: f64) -> (f64, f64) {
     }
 }
 
+/// Documented maximum absolute error of a [`PhasorRecurrence`] stream
+/// against libm, any input sequence.
+///
+/// Budget: each small-step rotation adds one degree-9/10 kernel
+/// truncation (≤ 3e-18 at the [`RECURRENCE_MAX_STEP_RAD`] cap) plus a few
+/// rounding ulps (~5e-16); renormalization every
+/// [`RECURRENCE_RENORM_PERIOD`] steps pins the amplitude, and a full
+/// re-anchor through [`poly_sin_cos`] every [`RECURRENCE_ANCHOR_PERIOD`]
+/// rotations caps the phase random walk at ≈ 4096 · 5e-16 ≈ 2e-12
+/// worst-case, plus the polynomial anchor's own ≤ 1e-12. The bound is
+/// deliberately loose and pinned by the recurrence drift tests.
+pub const RECURRENCE_MAX_ABS_ERROR: f64 = 1e-11;
+
+/// Largest angle step a [`PhasorRecurrence`] advances by rotation; larger
+/// jumps (channel hops, π folds) re-anchor through [`poly_sin_cos`].
+pub const RECURRENCE_MAX_STEP_RAD: f64 = 0.125;
+
+/// A [`PhasorRecurrence`] renormalizes its phasor (`z ← z/|z|`) every
+/// this many rotations, keeping the amplitude at 1 to within a few ulps.
+pub const RECURRENCE_RENORM_PERIOD: u32 = 64;
+
+/// A [`PhasorRecurrence`] re-anchors through [`poly_sin_cos`] after this
+/// many consecutive rotations, bounding the accumulated phase error.
+pub const RECURRENCE_ANCHOR_PERIOD: u32 = 4096;
+
+// Degree-9 sin / degree-10 cos Taylor kernels on |δ| ≤ RECURRENCE_MAX_STEP_RAD:
+// truncation ≤ δ¹¹/11! ≈ 3e-18 (sin), ≤ δ¹²/12! ≈ 3e-20 (cos).
+#[inline(always)]
+fn small_step_sin_cos(d: f64) -> (f64, f64) {
+    let d2 = d * d;
+    let s = d * (1.0 + d2 * (S3 + d2 * (S5 + d2 * (S7 + d2 * S9))));
+    let c = 1.0 + d2 * (C2 + d2 * (C4 + d2 * (C6 + d2 * (C8 + d2 * C10))));
+    (s, c)
+}
+
+/// Streaming `sin`/`cos` generator by complex rotation
+/// ([`TrigProvider::Recurrence`]).
+///
+/// Holds the phasor `z = cos θ + i·sin θ` of the last angle served. For
+/// the next angle, if the step `δ = θ' − θ` is within
+/// [`RECURRENCE_MAX_STEP_RAD`], the phasor advances by one complex
+/// rotation `z ← z · (cos δ + i·sin δ)` with the rotator from a short
+/// Taylor kernel — two multiplies and an add per component instead of a
+/// full range-reduced evaluation. Rotations compound rounding error, so
+/// the phasor is renormalized every [`RECURRENCE_RENORM_PERIOD`] steps
+/// and fully re-anchored through [`poly_sin_cos`] every
+/// [`RECURRENCE_ANCHOR_PERIOD`] rotations — or immediately whenever the
+/// step is too large (a channel hop or π fold). Total error against libm
+/// stays ≤ [`RECURRENCE_MAX_ABS_ERROR`] on any input sequence.
+///
+/// Unlike the other backends this one is *stateful*: the value served
+/// for an angle depends on the angles served before it (within the error
+/// bound). Batch and streaming evaluations of the same window therefore
+/// agree to the bound, not bitwise.
+#[derive(Debug, Clone, Default)]
+pub struct PhasorRecurrence {
+    /// Last angle served (`valid` gates staleness).
+    angle: f64,
+    sin: f64,
+    cos: f64,
+    /// Rotations since the last full re-anchor.
+    rotations: u32,
+    valid: bool,
+}
+
+impl PhasorRecurrence {
+    /// A fresh generator; the first [`advance`](Self::advance) re-anchors.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Forgets the held phasor; the next advance re-anchors.
+    pub fn reset(&mut self) {
+        self.valid = false;
+        self.rotations = 0;
+    }
+
+    /// `(sin, cos)` of `angle`, by rotation from the previous angle when
+    /// the step allows, re-anchoring through [`poly_sin_cos`] otherwise.
+    #[inline]
+    pub fn advance(&mut self, angle: f64) -> (f64, f64) {
+        if self.valid {
+            let delta = angle - self.angle;
+            if delta.abs() <= RECURRENCE_MAX_STEP_RAD
+                && self.rotations < RECURRENCE_ANCHOR_PERIOD
+            {
+                let (ds, dc) = small_step_sin_cos(delta);
+                let mut s = self.sin * dc + self.cos * ds;
+                let mut c = self.cos * dc - self.sin * ds;
+                self.rotations += 1;
+                if self.rotations.is_multiple_of(RECURRENCE_RENORM_PERIOD) {
+                    let inv = 1.0 / (s * s + c * c).sqrt();
+                    s *= inv;
+                    c *= inv;
+                }
+                self.sin = s;
+                self.cos = c;
+                self.angle = angle;
+                return (s, c);
+            }
+        }
+        let (s, c) = poly_sin_cos(angle);
+        self.sin = s;
+        self.cos = c;
+        self.angle = angle;
+        self.rotations = 0;
+        self.valid = true;
+        (s, c)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -386,5 +510,62 @@ mod tests {
         warm_tables();
         let (s, _) = table_sin_cos(1024);
         assert_eq!(s.to_bits(), (1024.0 * PHASE_LSB_RAD).sin().to_bits());
+    }
+
+    /// A long smooth stream — tiny cadence steps, no re-anchor except the
+    /// periodic one — must stay within the documented recurrence bound
+    /// against libm even after tens of thousands of rotations.
+    #[test]
+    fn recurrence_tracks_libm_over_long_smooth_streams() {
+        let mut rec = PhasorRecurrence::new();
+        let mut worst = 0.0f64;
+        let mut angle = 0.37;
+        for i in 0..50_000 {
+            // Drift + jitter, always below the rotation step cap.
+            angle += 0.003 + 0.002 * ((i % 17) as f64 - 8.0) / 8.0;
+            let wrapped = angle % TAU;
+            let (s, c) = rec.advance(wrapped.abs());
+            let x = wrapped.abs();
+            worst = worst.max((s - x.sin()).abs()).max((c - x.cos()).abs());
+        }
+        assert!(
+            worst <= RECURRENCE_MAX_ABS_ERROR,
+            "recurrence drift {worst:e} exceeds bound {RECURRENCE_MAX_ABS_ERROR:e}"
+        );
+    }
+
+    /// Dwell-like streams — near-constant phase within a dwell, big hops
+    /// between dwells — exercise the re-anchor path on every hop.
+    #[test]
+    fn recurrence_handles_channel_hops_and_folds() {
+        let mut rec = PhasorRecurrence::new();
+        let mut worst = 0.0f64;
+        for dwell in 0..500 {
+            let base = (dwell as f64 * 2.13) % TAU;
+            for k in 0..8 {
+                // Within-dwell jitter plus alternating π folds (always a
+                // re-anchor: π exceeds the step cap).
+                let x = base + 0.01 * k as f64 + if k % 2 == 1 { PI } else { 0.0 };
+                let (s, c) = rec.advance(x);
+                worst = worst.max((s - x.sin()).abs()).max((c - x.cos()).abs());
+            }
+        }
+        assert!(
+            worst <= RECURRENCE_MAX_ABS_ERROR,
+            "recurrence hop error {worst:e} exceeds bound {RECURRENCE_MAX_ABS_ERROR:e}"
+        );
+    }
+
+    /// `reset` forgets the held phasor, so the next angle re-anchors and
+    /// the generator never serves a stale rotation after a stream break.
+    #[test]
+    fn recurrence_reset_reanchors() {
+        let mut rec = PhasorRecurrence::new();
+        rec.advance(1.0);
+        rec.reset();
+        let (s, c) = rec.advance(1.05);
+        let (ps, pc) = poly_sin_cos(1.05);
+        assert_eq!(s.to_bits(), ps.to_bits(), "post-reset advance must be a fresh anchor");
+        assert_eq!(c.to_bits(), pc.to_bits());
     }
 }

@@ -287,8 +287,9 @@ pub struct FrontEndWorkspace {
     pub(crate) read_sin: Vec<f64>,
     /// Per-read phasor lane, cos component.
     pub(crate) read_cos: Vec<f64>,
-    /// Per-call trig-backend evaluation tallies: `[table, poly, libm]`.
-    pub(crate) trig_hits: [u64; 3],
+    /// Per-call trig-backend evaluation tallies:
+    /// `[table, poly, libm, recurrence]`.
+    pub(crate) trig_hits: [u64; 4],
     /// Fused unwrap+OLS running sums over the final (freq, phase) points.
     raw: OlsSums,
     /// Frequency column of the final observations (fit abscissa).
@@ -316,12 +317,12 @@ impl FrontEndWorkspace {
     }
 
     /// Trig-backend evaluation tallies of the last pre-processing call:
-    /// `[table lookups, polynomial evaluations, libm calls]`, one per
-    /// per-read phasor computed (the π-jump path computes two phasors
-    /// per read: double-angle and fold). Feeds the `frontend.trig_*`
-    /// observability counters.
+    /// `[table lookups, polynomial evaluations, libm calls, recurrence
+    /// rotations]`, one per per-read phasor computed (the π-jump path
+    /// computes two phasors per read: double-angle and fold). Feeds the
+    /// `frontend.trig_*` observability counters.
     #[inline]
-    pub fn trig_hits(&self) -> [u64; 3] {
+    pub fn trig_hits(&self) -> [u64; 4] {
         self.trig_hits
     }
 
@@ -363,7 +364,7 @@ impl FrontEndWorkspace {
         self.order.clear();
         self.phase_col.clear();
         self.read_slot.clear();
-        self.trig_hits = [0; 3];
+        self.trig_hits = [0; 4];
         self.fit_x.clear();
         self.fit_y.clear();
         self.raw = OlsSums::default();

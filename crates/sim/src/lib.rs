@@ -47,6 +47,7 @@ pub mod multipath;
 pub mod noise;
 pub mod reader;
 pub mod scene;
+pub mod stream;
 pub mod tag;
 
 pub use antenna::Antenna;
@@ -58,4 +59,5 @@ pub use multipath::{MultipathEnvironment, Scatterer};
 pub use noise::NoiseModel;
 pub use reader::ReaderConfig;
 pub use scene::Scene;
+pub use stream::{stream_rounds, StreamRound};
 pub use tag::SimTag;

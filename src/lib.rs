@@ -65,12 +65,12 @@ pub mod prelude {
         BatchCache, BatchCache3D, CalibrationDb, DeviceCalibration, JacobianMode,
         MaterialFeatures, MaterialIdentifier, MobilityVerdict, PruneStats, RfPrism,
         RfPrismConfig, SenseError, SenseWorkspace, SensingResult, SolveStats, SolverConfig,
-        TagEstimate2D, TagReads, TagRounds, WarmStart, WarmStart3D,
+        StreamingSession, TagEstimate2D, TagReads, TagRounds, WarmStart, WarmStart3D,
     };
     pub use rfp_geom::{AntennaPose, Region2, Vec2, Vec3};
     pub use rfp_phys::{FrequencyPlan, Material, TagElectrical};
     pub use rfp_sim::{
-        Antenna, HopSurvey, Motion, MultipathEnvironment, NoiseModel, ReaderConfig, Scene,
-        SimTag,
+        stream_rounds, Antenna, HopSurvey, Motion, MultipathEnvironment, NoiseModel,
+        ReaderConfig, Scene, SimTag, StreamRound,
     };
 }
