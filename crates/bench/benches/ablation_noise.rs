@@ -1,6 +1,6 @@
 //! Ablation: sensitivity of the whole pipeline to per-read phase noise —
 //! the knob that calibrates the simulator against the paper's testbed
-//! (see DESIGN.md §9 and EXPERIMENTS.md).
+//! (see DESIGN.md §10 and EXPERIMENTS.md).
 
 use rfp_bench::{loc, report};
 use rfp_sim::{NoiseModel, Scene};

@@ -6,6 +6,7 @@
 //!            [--frontend <committed.json> <fresh.json>]
 //!            [--batch <fresh.json>]
 //!            [--streaming <fresh.json>]
+//!            [--history <ledger.jsonl>] [--record]
 //!            [--threshold-pct 15]
 //! ```
 //!
@@ -37,6 +38,15 @@
 //!   and the full-recompute fallback rate must stay below 5%
 //!   (`fallback_rate` — fallbacks are correct but forfeit the
 //!   incremental speedup, so a drifting rate is a perf regression).
+//!   When the snapshot carries `obs_overhead_p50` (profile built with
+//!   `--features obs`), recording continuous telemetry must cost ≤5%
+//!   advance p50 over inert probes.
+//! - **history** (`--history <ledger.jsonl>`) — the fresh streaming
+//!   advance p50 must not regress more than the threshold beyond the
+//!   *best* run ever recorded in the ledger on a machine with the same
+//!   hardware-thread count; `--record` appends this run (one compact
+//!   JSON object per line) after a passing gate, so the ledger
+//!   accumulates best-known-good baselines across runs.
 //!
 //! Driven by `scripts/bench_gate`, which regenerates the fresh snapshots
 //! in quick mode. Absolute latencies vary across machines, so the solver
@@ -54,20 +64,25 @@ const BATCH_SPEEDUP_FLOOR: f64 = 3.0;
 const BATCH_SANITY_FLOOR: f64 = 0.8;
 const STREAMING_ADVANCE_FLOOR: f64 = 4.0;
 const STREAMING_FALLBACK_MAX: f64 = 0.05;
+/// Recording telemetry may cost at most this much advance-p50 overhead.
+const STREAMING_OBS_OVERHEAD_MAX: f64 = 0.05;
 
 fn fail(msg: &str) -> ExitCode {
     eprintln!("bench_gate: {msg}");
     ExitCode::FAILURE
 }
 
-/// Checks the shared snapshot envelope (schema_version + name).
+/// Checks the shared snapshot envelope (schema_version + name). Both
+/// report schema generations are accepted: v1 snapshots (committed before
+/// the telemetry layer) and v2 (adds histogram help/quantiles — nothing
+/// the gate reads moved).
 fn envelope(snapshot: &JsonValue, expected_name: &str) -> Result<(), String> {
     let version = snapshot
         .get("schema_version")
         .and_then(JsonValue::as_u64)
         .ok_or("missing schema_version")?;
-    if version != 1 {
-        return Err(format!("unsupported schema_version {version} (expected 1)"));
+    if !(1..=2).contains(&version) {
+        return Err(format!("unsupported schema_version {version} (expected 1 or 2)"));
     }
     match snapshot.get("name").and_then(JsonValue::as_str) {
         Some(name) if name == expected_name => Ok(()),
@@ -206,7 +221,122 @@ fn check_streaming(fresh: &JsonValue) -> Result<bool, String> {
         STREAMING_FALLBACK_MAX * 100.0,
         if fallback_ok { "ok" } else { "ABOVE MAX" }
     );
-    Ok(speedup_ok & fallback_ok)
+    // Telemetry overhead is present only when the profile was built with
+    // the obs probes compiled in; absent means nothing to check.
+    let mut obs_ok = true;
+    if let Some(overhead) = fresh.get("obs_overhead_p50").and_then(JsonValue::as_f64) {
+        obs_ok = overhead <= STREAMING_OBS_OVERHEAD_MAX;
+        println!(
+            "  streaming telemetry overhead p50: {:+.1}% (max {:.0}%) — {}",
+            overhead * 100.0,
+            STREAMING_OBS_OVERHEAD_MAX * 100.0,
+            if obs_ok { "ok" } else { "ABOVE MAX" }
+        );
+    }
+    Ok(speedup_ok & fallback_ok & obs_ok)
+}
+
+/// The standard (table-backend) row's advance p50 out of a streaming
+/// snapshot — the number the history ledger tracks.
+fn streaming_advance_p50(snapshot: &JsonValue) -> Result<f64, String> {
+    envelope(snapshot, "streaming_profile")?;
+    snapshot
+        .get("rows")
+        .and_then(JsonValue::as_arr)
+        .and_then(|rows| {
+            rows.iter()
+                .find(|r| r.get("backend").and_then(JsonValue::as_str) == Some("table"))
+        })
+        .and_then(|r| r.get("advance_p50_us"))
+        .and_then(JsonValue::as_f64)
+        .ok_or_else(|| "missing table-backend advance_p50_us row".into())
+}
+
+/// Checks the fresh streaming advance p50 against the best (lowest) run
+/// ever recorded in the history ledger **on a machine with the same
+/// hardware-thread count** — absolute latencies are machine-relative, so
+/// cross-machine comparison is restricted to that coarse fingerprint.
+/// An empty or missing ledger passes (nothing to regress against).
+fn check_history(
+    path: &str,
+    fresh: &JsonValue,
+    threads: u64,
+    threshold_pct: f64,
+) -> Result<bool, String> {
+    let now = streaming_advance_p50(fresh)?;
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+            println!("  history: {path} not found — first recorded run, nothing to compare");
+            return Ok(true);
+        }
+        Err(e) => return Err(format!("read {path}: {e}")),
+    };
+    let mut best: Option<f64> = None;
+    let mut comparable = 0usize;
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let entry = JsonValue::parse(line)
+            .map_err(|e| format!("parse {path}:{}: {e}", i + 1))?;
+        if entry.get("hardware_threads").and_then(JsonValue::as_u64) != Some(threads) {
+            continue;
+        }
+        if let Some(p50) = entry.get("advance_p50_us").and_then(JsonValue::as_f64) {
+            comparable += 1;
+            best = Some(best.map_or(p50, |b: f64| b.min(p50)));
+        }
+    }
+    let Some(best) = best else {
+        println!(
+            "  history: no prior runs at {threads} hardware threads in {path} — nothing to compare"
+        );
+        return Ok(true);
+    };
+    let delta_pct = (now - best) / best * 100.0;
+    let ok = delta_pct <= threshold_pct;
+    println!(
+        "  history: advance p50 {now:.1} µs vs best recorded {best:.1} µs over {comparable} \
+         comparable runs ({delta_pct:+.1}%) — {}",
+        if ok { "ok" } else { "REGRESSED" }
+    );
+    Ok(ok)
+}
+
+/// Appends this run's comparable numbers to the history ledger (one
+/// compact JSON object per line).
+fn record_history(path: &str, fresh: &JsonValue, threads: u64) -> Result<(), String> {
+    let unix_s = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let mut pairs = vec![
+        ("schema_version".to_string(), JsonValue::Num(2.0)),
+        ("name".to_string(), JsonValue::Str("bench_history".into())),
+        ("unix_s".to_string(), JsonValue::Num(unix_s as f64)),
+        ("hardware_threads".to_string(), JsonValue::Num(threads as f64)),
+        (
+            "advance_p50_us".to_string(),
+            JsonValue::Num(streaming_advance_p50(fresh)?),
+        ),
+    ];
+    for field in ["advance_speedup_p50", "fallback_rate", "obs_overhead_p50"] {
+        if let Some(v) = fresh.get(field).and_then(JsonValue::as_f64) {
+            pairs.push((field.to_string(), JsonValue::Num(v)));
+        }
+    }
+    let mut line = JsonValue::Obj(pairs).to_compact();
+    line.push('\n');
+    use std::io::Write as _;
+    std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+        .and_then(|mut f| f.write_all(line.as_bytes()))
+        .map_err(|e| format!("append {path}: {e}"))?;
+    println!("  history: recorded this run to {path}");
+    Ok(())
 }
 
 fn main() -> ExitCode {
@@ -216,6 +346,8 @@ fn main() -> ExitCode {
     let mut frontend: Option<(String, String)> = None;
     let mut batch: Option<String> = None;
     let mut streaming: Option<String> = None;
+    let mut history: Option<String> = None;
+    let mut record = false;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -241,11 +373,16 @@ fn main() -> ExitCode {
                 Some(f) => streaming = Some(f.clone()),
                 None => return fail("--streaming needs <fresh.json>"),
             },
+            "--history" => match it.next() {
+                Some(f) => history = Some(f.clone()),
+                None => return fail("--history needs <ledger.jsonl>"),
+            },
+            "--record" => record = true,
             other => {
                 return fail(&format!(
                     "unknown argument {other}; usage: bench_gate --solver <committed> <fresh> \
                      [--frontend <committed> <fresh>] [--batch <fresh>] [--streaming <fresh>] \
-                     [--threshold-pct 15]"
+                     [--history <ledger.jsonl>] [--record] [--threshold-pct 15]"
                 ))
             }
         }
@@ -278,10 +415,34 @@ fn main() -> ExitCode {
             Err(e) => return fail(&e),
         }
     }
-    if let Some(f) = streaming {
-        match load(&f).and_then(|f| check_streaming(&f)) {
+    if let Some(f) = &streaming {
+        match load(f).and_then(|f| check_streaming(&f)) {
             Ok(pass) => ok &= pass,
             Err(e) => return fail(&e),
+        }
+    }
+    if history.is_some() || record {
+        let Some(streaming_path) = &streaming else {
+            return fail("--history/--record need --streaming <fresh.json> to read from");
+        };
+        let Some(history_path) = &history else {
+            return fail("--record needs --history <ledger.jsonl>");
+        };
+        let threads = std::thread::available_parallelism().map(|n| n.get() as u64).unwrap_or(1);
+        let fresh = match load(streaming_path) {
+            Ok(f) => f,
+            Err(e) => return fail(&e),
+        };
+        match check_history(history_path, &fresh, threads, threshold_pct) {
+            Ok(pass) => ok &= pass,
+            Err(e) => return fail(&e),
+        }
+        // Record only a passing run: the ledger tracks best-known-good
+        // baselines, and the gate already failed loudly otherwise.
+        if record && ok {
+            if let Err(e) = record_history(history_path, &fresh, threads) {
+                return fail(&e);
+            }
         }
     }
 

@@ -260,8 +260,31 @@ fn counters_footer(run: &rfp_obs::RunReport) -> String {
 ///
 /// Flags: `--rounds N` (default 5), `--seed S` (default 1),
 /// `--tag SEED` (default 1).
+///
+/// With `--log FILE` the command switches to **telemetry replay mode**
+/// ([`crate::telemetry::replay`]): the recorded round is streamed through
+/// one session per tag, a [`rfp_obs::TelemetryFrame`] is emitted every
+/// `--every` reads per tag (default 64), and the frames are byte-identical
+/// at any `--jobs`. `--telemetry FILE` writes the JSONL frames, `--prom
+/// FILE` writes the merged Prometheus exposition, the bare `--health`
+/// switch folds the streaming health rules into each frame, and
+/// `--window SECONDS` bounds the sliding window (0 = keep every read).
 pub fn stream(args: &[String]) -> Result<String, CommandError> {
-    let flags = parse_flags(args)?;
+    // `--health` is a bare switch; split it out before pair parsing.
+    let health = args.iter().any(|a| a == "--health");
+    let args: Vec<String> = args.iter().filter(|a| *a != "--health").cloned().collect();
+    let flags = parse_flags(&args)?;
+    if flag(&flags, "log").is_some() {
+        return stream_telemetry(&flags, health);
+    }
+    for key in ["telemetry", "prom", "every", "window", "jobs"] {
+        if flag(&flags, key).is_some() {
+            return Err(CommandError::Usage(format!("--{key} requires --log FILE")));
+        }
+    }
+    if health {
+        return Err(CommandError::Usage("--health requires --log FILE".into()));
+    }
     let rounds: usize = flag(&flags, "rounds").unwrap_or("5").parse().map_err(|_| {
         CommandError::Usage("--rounds expects an integer".into())
     })?;
@@ -334,6 +357,38 @@ pub fn stream(args: &[String]) -> Result<String, CommandError> {
     let run = rfp_obs::RunReport::from_recorder("stream", &rec)
         .with_meta("rounds", &rounds.to_string());
     Ok(format!("{table}{}", counters_footer(&run)))
+}
+
+/// The `--log` arm of [`stream`]: telemetry replay plus its file sinks.
+fn stream_telemetry(flags: &[(String, String)], health: bool) -> Result<String, CommandError> {
+    let log_path = flag(flags, "log").expect("checked by caller");
+    let jobs: usize = flag(flags, "jobs").unwrap_or("1").parse().map_err(|_| {
+        CommandError::Usage("--jobs expects an integer (0 = all CPUs)".into())
+    })?;
+    let every: usize = flag(flags, "every").unwrap_or("64").parse().map_err(|_| {
+        CommandError::Usage("--every expects an integer read count".into())
+    })?;
+    let window_s: f64 = flag(flags, "window").unwrap_or("0").parse().map_err(|_| {
+        CommandError::Usage("--window expects seconds (0 = unbounded)".into())
+    })?;
+    let opts = crate::telemetry::TelemetryOptions { jobs, every, window_s, health };
+
+    let log_text = std::fs::read_to_string(log_path)?;
+    let run = crate::telemetry::replay(&log_text, &opts)?;
+    if let Some(path) = flag(flags, "telemetry") {
+        let jsonl = if run.frames.is_empty() {
+            String::new()
+        } else {
+            let mut text = run.frames.join("\n");
+            text.push('\n');
+            text
+        };
+        std::fs::write(path, jsonl)?;
+    }
+    if let Some(path) = flag(flags, "prom") {
+        std::fs::write(path, run.report.prometheus())?;
+    }
+    Ok(format!("{}{}", run.summary, counters_footer(&run.report)))
 }
 
 /// The tag table of [`sense`] (no counter footer); runs under whatever
@@ -471,6 +526,10 @@ pub fn usage() -> String {
      \x20     (--warm: sense twice, warm-starting the second pass from the first — steady-state timing)\n\
      \x20 rf-prism stream [--rounds N] [--seed S] [--tag SEED]\n\
      \x20     (incremental sliding-window mode: one warm estimate per round, O(new reads) per advance)\n\
+     \x20 rf-prism stream --log round.log [--jobs N] [--every READS] [--window SECS]\n\
+     \x20     [--telemetry frames.jsonl] [--prom metrics.prom] [--health]\n\
+     \x20     (telemetry replay: one JSONL frame per --every reads per tag, byte-identical at any --jobs;\n\
+     \x20      --health adds watchdog verdicts to each frame; --prom writes the merged exposition)\n\
      \x20 rf-prism calibrate --tag ID > tags.cal\n\
      \x20 rf-prism help\n"
         .to_string()
@@ -575,6 +634,72 @@ mod tests {
     fn stream_rejects_bad_flags() {
         assert!(matches!(stream(&args(&["--rounds", "0"])), Err(CommandError::Usage(_))));
         assert!(matches!(stream(&args(&["--rounds", "x"])), Err(CommandError::Usage(_))));
+        // Telemetry flags demand a log to replay.
+        assert!(matches!(stream(&args(&["--health"])), Err(CommandError::Usage(_))));
+        assert!(matches!(
+            stream(&args(&["--telemetry", "out.jsonl"])),
+            Err(CommandError::Usage(_))
+        ));
+        assert!(matches!(stream(&args(&["--jobs", "2"])), Err(CommandError::Usage(_))));
+    }
+
+    #[test]
+    fn stream_telemetry_writes_identical_frames_at_any_jobs() {
+        let log_text = simulate(&args(&["--tags", "2", "--seed", "6"])).unwrap();
+        let dir = std::env::temp_dir().join("rfp-cli-telemetry-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let log_path = dir.join("round.log");
+        std::fs::write(&log_path, &log_text).unwrap();
+
+        let run = |jobs: &str, frames: &std::path::Path| {
+            stream(&args(&[
+                "--log",
+                log_path.to_str().unwrap(),
+                "--jobs",
+                jobs,
+                "--every",
+                "32",
+                "--health",
+                "--telemetry",
+                frames.to_str().unwrap(),
+            ]))
+            .unwrap()
+        };
+        let frames1 = dir.join("frames1.jsonl");
+        let frames2 = dir.join("frames2.jsonl");
+        let summary1 = run("1", &frames1);
+        let summary2 = run("2", &frames2);
+        assert_eq!(summary1, summary2, "summary must not depend on --jobs");
+        let jsonl1 = std::fs::read_to_string(&frames1).unwrap();
+        let jsonl2 = std::fs::read_to_string(&frames2).unwrap();
+        assert_eq!(jsonl1, jsonl2, "frames must be byte-identical across --jobs");
+        assert!(jsonl1.lines().count() > 0);
+        assert!(jsonl1.contains("\"health\""));
+        assert!(summary1.contains("-- telemetry:"), "summary:\n{summary1}");
+        assert!(summary1.contains("health: worst verdict"), "summary:\n{summary1}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stream_telemetry_prom_sink_has_histogram_exposition() {
+        let log_text = simulate(&args(&["--tags", "1", "--seed", "3"])).unwrap();
+        let dir = std::env::temp_dir().join("rfp-cli-telemetry-prom-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let log_path = dir.join("round.log");
+        std::fs::write(&log_path, &log_text).unwrap();
+        let prom_path = dir.join("metrics.prom");
+        stream(&args(&[
+            "--log",
+            log_path.to_str().unwrap(),
+            "--prom",
+            prom_path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let prom = std::fs::read_to_string(&prom_path).unwrap();
+        assert!(prom.contains("# TYPE streaming_advance_latency_us histogram"), "{prom}");
+        assert!(prom.contains("streaming_advance_latency_us_bucket{le=\"+Inf\"}"), "{prom}");
+        assert!(prom.contains("pipeline_windows_total"), "{prom}");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

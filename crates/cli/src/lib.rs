@@ -6,6 +6,10 @@
 //!   to a survey log;
 //! * `rf-prism sense` — replay a survey log through the full RF-Prism
 //!   pipeline and print each tag's disentangled state;
+//! * `rf-prism stream` — drive the incremental sliding-window engine;
+//!   with `--log` it replays a recorded round and emits continuous
+//!   telemetry (JSONL frames, health verdicts, Prometheus exposition) via
+//!   [`telemetry`];
 //! * `rf-prism calibrate` — produce a device-calibration database entry
 //!   for a tag (paper §V-B).
 //!
@@ -19,3 +23,4 @@
 
 pub mod commands;
 pub mod log;
+pub mod telemetry;

@@ -119,6 +119,20 @@ pub mod id {
     /// `streaming.refit_fallbacks` — streaming advances that took the
     /// full batch recompute because downdating would lose precision.
     pub const STREAMING_REFIT_FALLBACKS: usize = 37;
+    /// `streaming.drift_ops` — update/downdate operations absorbed by
+    /// drifted channels (pressure against the drift budget).
+    pub const STREAMING_DRIFT_OPS: usize = 38;
+    /// `streaming.rebuilds` — exact per-channel sum re-accumulations.
+    pub const STREAMING_REBUILDS: usize = 39;
+    /// `streaming.advance_latency_us` — `StreamingSession::advance`
+    /// latency histogram, µs.
+    pub const STREAMING_ADVANCE_LATENCY_US: usize = 40;
+    /// `streaming.extract_latency_us` — per-antenna streaming-window
+    /// extraction latency histogram, µs.
+    pub const STREAMING_EXTRACT_LATENCY_US: usize = 41;
+    /// `streaming.stale_tags` — tags whose last telemetry window produced
+    /// no estimate (gauge; set by the replay/serve driver).
+    pub const STREAMING_STALE_TAGS: usize = 42;
 }
 
 #[cfg(feature = "obs")]
@@ -131,6 +145,13 @@ mod enabled {
     const LATENCY_BUCKETS_US: &[f64] = &[
         50.0, 100.0, 200.0, 500.0, 1_000.0, 2_000.0, 5_000.0, 10_000.0, 20_000.0, 50_000.0,
         100_000.0,
+    ];
+
+    /// Finer log-spaced µs buckets for the incremental streaming paths,
+    /// whose steady-state advances sit well under the batch pipeline's
+    /// 50 µs first bucket.
+    const STREAMING_LATENCY_BUCKETS_US: &[f64] = &[
+        5.0, 10.0, 20.0, 50.0, 100.0, 200.0, 500.0, 1_000.0, 2_000.0, 5_000.0, 10_000.0,
     ];
 
     /// The pipeline's metric descriptor table; entry *i* is the metric
@@ -212,14 +233,95 @@ mod enabled {
             "streaming.refit_fallbacks",
             "streaming advances that fell back to the full batch recompute",
         ),
+        MetricDef::counter(
+            "streaming.drift_ops",
+            "update/downdate operations absorbed by drifted channels",
+        ),
+        MetricDef::counter("streaming.rebuilds", "exact per-channel sum re-accumulations"),
+        MetricDef::histogram(
+            "streaming.advance_latency_us",
+            "streaming advance latency, microseconds",
+            STREAMING_LATENCY_BUCKETS_US,
+        ),
+        MetricDef::histogram(
+            "streaming.extract_latency_us",
+            "per-antenna streaming extraction latency, microseconds",
+            STREAMING_LATENCY_BUCKETS_US,
+        ),
+        MetricDef::gauge("streaming.stale_tags", "tags with no estimate in the last window"),
     ];
 
-    pub use recorder::{counter_add, gauge_set, observe_value};
+    pub use recorder::{counter_add, gauge_set, journal_record, journal_tick, observe_value};
 
     /// Whether a recorder is installed on this thread.
     #[inline]
     pub fn active() -> bool {
         recorder::active()
+    }
+
+    /// The streaming engine's watchdog: threshold rules over windowed
+    /// [`METRICS`] deltas, matched to the failure modes the streaming
+    /// design contains (see DESIGN.md §8–§9).
+    ///
+    /// * `fallback_rate` — refit fallbacks per front-end window. The
+    ///   fallback is the bit-exact escape hatch; a rising rate means the
+    ///   incremental path is no longer paying for itself (degraded at 5%,
+    ///   unhealthy at 25% — the bench gate's ceiling).
+    /// * `rebuild_pressure` — exact sum re-accumulations per window;
+    ///   rebuilds are O(window) against the advance's O(hop), so pressure
+    ///   here erodes the streaming speedup (degraded at 50%, unhealthy at
+    ///   2 per window).
+    /// * `warm_miss_rate` — solver warm-start gate misses per attempt;
+    ///   misses re-run the multi-start scan (degraded at 50%, unhealthy
+    ///   at 90%).
+    /// * `stale_tags` — tags whose latest window produced no estimate
+    ///   (gauge set by the serve/replay driver; degraded at 1, unhealthy
+    ///   at 4).
+    /// * `no_estimates` — attempted windows with zero successes for 3
+    ///   (degraded) / 6 (unhealthy) consecutive telemetry windows.
+    ///
+    /// Rate rules guard against near-idle windows with a minimum
+    /// denominator, so a trickle of reads never trips a ratio.
+    pub fn streaming_health() -> rfp_obs::HealthEvaluator {
+        use super::id;
+        rfp_obs::HealthEvaluator::new()
+            .rate(rfp_obs::RateRule {
+                name: "fallback_rate",
+                numerators: vec![id::STREAMING_REFIT_FALLBACKS],
+                denominators: vec![id::FRONTEND_WINDOWS],
+                min_denominator: 8,
+                degraded_at: 0.05,
+                unhealthy_at: 0.25,
+            })
+            .rate(rfp_obs::RateRule {
+                name: "rebuild_pressure",
+                numerators: vec![id::STREAMING_REBUILDS],
+                denominators: vec![id::FRONTEND_WINDOWS],
+                min_denominator: 8,
+                degraded_at: 0.5,
+                unhealthy_at: 2.0,
+            })
+            .rate(rfp_obs::RateRule {
+                name: "warm_miss_rate",
+                numerators: vec![id::SOLVER_WARM_MISSES],
+                denominators: vec![id::SOLVER_WARM_HITS, id::SOLVER_WARM_MISSES],
+                min_denominator: 4,
+                degraded_at: 0.5,
+                unhealthy_at: 0.9,
+            })
+            .gauge(rfp_obs::GaugeRule {
+                name: "stale_tags",
+                gauge: id::STREAMING_STALE_TAGS,
+                degraded_at: 1.0,
+                unhealthy_at: 4.0,
+            })
+            .stall(rfp_obs::StallRule {
+                name: "no_estimates",
+                ok: vec![id::PIPELINE_WINDOWS_OK],
+                attempted: vec![id::PIPELINE_WINDOWS_TOTAL],
+                degraded_after: 3,
+                unhealthy_after: 6,
+            })
     }
 
     /// Opens the named stage span on this thread's recorder.
@@ -331,6 +433,11 @@ mod enabled {
                 (STREAMING_UPDATES, "streaming.updates"),
                 (STREAMING_DOWNDATES, "streaming.downdates"),
                 (STREAMING_REFIT_FALLBACKS, "streaming.refit_fallbacks"),
+                (STREAMING_DRIFT_OPS, "streaming.drift_ops"),
+                (STREAMING_REBUILDS, "streaming.rebuilds"),
+                (STREAMING_ADVANCE_LATENCY_US, "streaming.advance_latency_us"),
+                (STREAMING_EXTRACT_LATENCY_US, "streaming.extract_latency_us"),
+                (STREAMING_STALE_TAGS, "streaming.stale_tags"),
             ];
             assert_eq!(by_idx.len(), METRICS.len());
             for (idx, name) in by_idx {
@@ -338,6 +445,36 @@ mod enabled {
             }
             assert_eq!(METRICS[crate::obs::id::BATCH_WORKERS].kind, MetricKind::Gauge);
             assert_eq!(METRICS[crate::obs::id::SENSE_LATENCY_US].kind, MetricKind::Histogram);
+            assert_eq!(
+                METRICS[crate::obs::id::STREAMING_ADVANCE_LATENCY_US].kind,
+                MetricKind::Histogram
+            );
+            assert_eq!(METRICS[crate::obs::id::STREAMING_STALE_TAGS].kind, MetricKind::Gauge);
+        }
+
+        #[test]
+        fn streaming_health_rules_fold_over_metric_deltas() {
+            use crate::obs::id::*;
+            let mut ev = streaming_health();
+            // A clean window: plenty of work, no fallbacks.
+            let ((), rec) = recorder::observe(METRICS, || {
+                counter_add(FRONTEND_WINDOWS, 100);
+                counter_add(PIPELINE_WINDOWS_TOTAL, 10);
+                counter_add(PIPELINE_WINDOWS_OK, 10);
+            });
+            let report = ev.observe(&rec.metrics.snapshot());
+            assert_eq!(report.verdict, rfp_obs::Health::Healthy);
+
+            // A degrading window: 10% fallback rate.
+            let ((), rec) = recorder::observe(METRICS, || {
+                counter_add(FRONTEND_WINDOWS, 100);
+                counter_add(STREAMING_REFIT_FALLBACKS, 10);
+                counter_add(PIPELINE_WINDOWS_TOTAL, 10);
+                counter_add(PIPELINE_WINDOWS_OK, 10);
+            });
+            let report = ev.observe(&rec.metrics.snapshot());
+            assert_eq!(report.verdict, rfp_obs::Health::Degraded);
+            assert_eq!(report.reasons[0].rule, "fallback_rate");
         }
 
         #[test]
@@ -386,6 +523,14 @@ mod disabled {
     /// No-op histogram probe.
     #[inline(always)]
     pub fn observe_value(_idx: usize, _v: f64) {}
+
+    /// No-op journal event probe.
+    #[inline(always)]
+    pub fn journal_record(_kind: &'static str, _key: u64, _value: u64) {}
+
+    /// No-op journal clock probe.
+    #[inline(always)]
+    pub fn journal_tick(_tick: u64) {}
 
     /// No-op span probe.
     #[inline(always)]

@@ -49,7 +49,8 @@ use crate::obs;
 use crate::obs::id::{
     FRONTEND_CHANNELS, FRONTEND_READS, FRONTEND_TRIG_LIBM_READS, FRONTEND_TRIG_POLY_READS,
     FRONTEND_TRIG_RECURRENCE_READS, FRONTEND_TRIG_TABLE_READS, FRONTEND_WINDOWS,
-    STREAMING_DOWNDATES, STREAMING_REFIT_FALLBACKS, STREAMING_UPDATES,
+    STREAMING_DOWNDATES, STREAMING_DRIFT_OPS, STREAMING_REBUILDS, STREAMING_REFIT_FALLBACKS,
+    STREAMING_UPDATES,
 };
 use crate::pipeline::{RfPrism, SenseError, SenseWorkspace, SensingResult};
 use crate::solver::{solve_2d_tracking_warm, SolveSeeds, WarmGate, WarmStart};
@@ -80,6 +81,9 @@ pub struct StreamingSession<'a> {
     gate: WarmGate,
     stats: StreamingStats,
     fallbacks_window: u64,
+    /// Advances taken so far — the session's deterministic telemetry
+    /// clock (journal events are stamped with it, not wall time).
+    advances: u64,
 }
 
 impl RfPrism {
@@ -120,6 +124,7 @@ impl RfPrism {
             gate: WarmGate::default(),
             stats: StreamingStats::default(),
             fallbacks_window: 0,
+            advances: 0,
             prism: self,
         }
     }
@@ -183,6 +188,9 @@ impl<'a> StreamingSession<'a> {
     pub fn advance(&mut self, now_s: f64) -> Result<SensingResult, SenseError> {
         let _sense_span = obs::span("sense_streaming");
         let _sense_timer = obs::time_histogram(obs::id::SENSE_LATENCY_US);
+        let _advance_timer = obs::time_histogram(obs::id::STREAMING_ADVANCE_LATENCY_US);
+        self.advances += 1;
+        obs::journal_tick(self.advances);
         obs::counter_add(obs::id::PIPELINE_WINDOWS_TOTAL, 1);
         let cutoff = now_s - self.window_span_s;
 
@@ -193,6 +201,7 @@ impl<'a> StreamingSession<'a> {
             for (pose, window) in self.prism.poses().iter().zip(&mut self.windows) {
                 window.expire_before(cutoff);
                 let mut slot = self.workspace.take_slot(*pose);
+                let _extract_timer = obs::time_histogram(obs::id::STREAMING_EXTRACT_LATENCY_US);
                 match extract_streaming(*pose, window, &mut slot) {
                     Ok(()) => observations.push(slot),
                     Err(e) => {
@@ -268,18 +277,32 @@ impl<'a> StreamingSession<'a> {
     }
 
     /// Publishes per-window counters accumulated since the last advance
-    /// and folds them into the session totals.
+    /// and folds them into the session totals. Anomalies — fallbacks and
+    /// rebuilds — additionally land in the structured journal, keyed by
+    /// antenna index and stamped with the advance tick, so a fallback
+    /// storm can be reconstructed per antenna after the fact.
     fn drain_window_counters(&mut self) {
         self.fallbacks_window = 0;
-        for window in &mut self.windows {
-            let StreamingStats { updates, downdates, refit_fallbacks } = window.take_stats();
+        for (antenna, window) in self.windows.iter_mut().enumerate() {
+            let StreamingStats { updates, downdates, refit_fallbacks, drift_ops, rebuilds } =
+                window.take_stats();
             obs::counter_add(STREAMING_UPDATES, updates);
             obs::counter_add(STREAMING_DOWNDATES, downdates);
             obs::counter_add(STREAMING_REFIT_FALLBACKS, refit_fallbacks);
+            obs::counter_add(STREAMING_DRIFT_OPS, drift_ops);
+            obs::counter_add(STREAMING_REBUILDS, rebuilds);
             obs::counter_add(FRONTEND_READS, updates);
+            if refit_fallbacks > 0 {
+                obs::journal_record("refit_fallback", antenna as u64, refit_fallbacks);
+            }
+            if rebuilds > 0 {
+                obs::journal_record("rebuild", antenna as u64, rebuilds);
+            }
             self.stats.updates += updates;
             self.stats.downdates += downdates;
             self.stats.refit_fallbacks += refit_fallbacks;
+            self.stats.drift_ops += drift_ops;
+            self.stats.rebuilds += rebuilds;
             self.fallbacks_window += refit_fallbacks;
             let [table, poly, libm, recurrence] = window.take_trig_hits();
             obs::counter_add(FRONTEND_TRIG_TABLE_READS, table);

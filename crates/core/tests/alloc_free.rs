@@ -213,6 +213,53 @@ fn streaming_advance_is_allocation_free_in_steady_state() {
     session.recycle(result);
 }
 
+/// The allocation contract survives instrumentation: with the `obs`
+/// probes live — a recorder installed, latency histograms timing every
+/// advance, counters draining per window, the journal ticking — the
+/// steady-state streaming advance still touches the heap zero times.
+/// This pins the "continuous telemetry is free" claim: histograms are
+/// fixed-bucket arrays, the journal is a preallocated ring, and span
+/// nodes are reused after the first pass.
+#[test]
+#[cfg(feature = "obs")]
+fn streaming_advance_with_obs_is_allocation_free_in_steady_state() {
+    let scene = Scene::standard_2d().with_noise(rfp_sim::NoiseModel::clean());
+    let tag = SimTag::with_seeded_diversity(9)
+        .with_motion(Motion::planar_static(Vec2::new(0.5, 1.5), 0.8));
+    let rounds = rfp_sim::stream_rounds(&scene, &tag, 6, 17);
+    let prism =
+        RfPrism::new(scene.antenna_poses(), scene.reader().plan).with_region(scene.region());
+
+    let ((), _rec) = rfp_obs::recorder::observe(rfp_core::obs::METRICS, || {
+        let mut session = prism.sense_streaming(scene.reader().round_duration_s());
+        for round in &rounds[..5] {
+            for (antenna, reads) in round.per_antenna.iter().enumerate() {
+                for read in reads {
+                    session.push(antenna, read);
+                }
+            }
+            let r = session.advance(round.end_time_s).expect("usable window");
+            session.recycle(r);
+        }
+
+        let round = &rounds[5];
+        let (result, allocs) = allocations_during(|| {
+            for (antenna, reads) in round.per_antenna.iter().enumerate() {
+                for read in reads {
+                    session.push(antenna, read);
+                }
+            }
+            session.advance(round.end_time_s)
+        });
+        let result = result.expect("usable window");
+        assert_eq!(
+            allocs, 0,
+            "instrumented streaming advance allocated {allocs} times in steady state"
+        );
+        session.recycle(result);
+    });
+}
+
 /// The quantized-code trig tables live inline in a static (`OnceLock`
 /// with in-place storage): building them touches the heap zero times, so
 /// "construction is one-time" holds trivially — there is nothing to free

@@ -98,6 +98,46 @@ proptest! {
         prop_assert_eq!(counters(&seq), counters(&par));
         prop_assert_eq!(histogram_counts(&seq), histogram_counts(&par));
     }
+
+    /// Histogram merges are partition-invariant: round-robin the same
+    /// observation stream across any number of worker registries, merge
+    /// them back in index order, and the result is bucket-for-bucket the
+    /// single-registry histogram. This is the property that makes the
+    /// latency histograms in a merged run report independent of `--jobs`
+    /// (the observed *values* are wall-clock, but for a fixed value
+    /// stream the merged counts are a pure function of the stream; the
+    /// float `sum` is exact only up to addition-order rounding).
+    #[test]
+    fn histogram_merges_are_partition_invariant(
+        values in proptest::collection::vec(0.0f64..20_000.0, 1..120),
+        workers in 1usize..8,
+    ) {
+        use rfp_obs::Registry;
+        let idx = obs::id::STREAMING_ADVANCE_LATENCY_US;
+
+        let mut single = Registry::new(obs::METRICS);
+        for &v in &values {
+            single.observe(idx, v);
+        }
+
+        let mut shards: Vec<Registry> =
+            (0..workers).map(|_| Registry::new(obs::METRICS)).collect();
+        for (i, &v) in values.iter().enumerate() {
+            shards[i % workers].observe(idx, v);
+        }
+        let mut merged = Registry::new(obs::METRICS);
+        for shard in &shards {
+            merged.merge(shard);
+        }
+
+        let m = merged.histogram(idx).unwrap();
+        let s = single.histogram(idx).unwrap();
+        prop_assert_eq!(m.bucket_counts(), s.bucket_counts());
+        prop_assert_eq!(m.count(), s.count());
+        // The sum is a float fold, so partitioning may shuffle the
+        // addition order; it must still agree to machine precision.
+        prop_assert!((m.sum() - s.sum()).abs() <= 1e-9 * s.sum().abs().max(1.0));
+    }
 }
 
 /// The span forest of an observed batch run has the documented taxonomy:

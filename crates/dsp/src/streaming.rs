@@ -116,6 +116,13 @@ pub struct StreamingStats {
     /// Full batch recomputes taken because downdating would have lost
     /// precision (decision-margin hazard, robust-mask flip).
     pub refit_fallbacks: u64,
+    /// Update/downdate operations absorbed by *drifted* channels — the
+    /// pressure against [`StreamingConfig::max_drift_ops`]; a high rate
+    /// means channels churn while carrying downdating drift.
+    pub drift_ops: u64,
+    /// Exact per-channel sum re-accumulations (drift budget exhausted,
+    /// conditioning floor crossed, or post-fallback resync).
+    pub rebuilds: u64,
 }
 
 /// Errors from [`StreamingWindow::extract_into`].
@@ -605,6 +612,7 @@ impl StreamingWindow {
         ch.acc_cos += stored.acc_cos;
         if ch.drifted {
             ch.drift_ops += 1;
+            self.stats.drift_ops += 1;
         }
         ch.dirty = true;
         self.stats.updates += 1;
@@ -642,6 +650,7 @@ impl StreamingWindow {
                 }
                 ch.drifted = true;
                 ch.drift_ops += 1;
+                self.stats.drift_ops += 1;
                 changed = true;
                 removed += 1;
             }
@@ -651,6 +660,7 @@ impl StreamingWindow {
                     ch.reset_exact();
                 } else if ch.drift_ops >= self.config.max_drift_ops {
                     Self::rebuild_channel(ch);
+                    self.stats.rebuilds += 1;
                 }
             }
         }
@@ -688,6 +698,7 @@ impl StreamingWindow {
                 / ch.count as f64;
             if r < self.config.conditioning_floor {
                 Self::rebuild_channel(ch);
+                self.stats.rebuilds += 1;
             }
         }
         let any_drifted = self.channels.iter().any(|c| c.count > 0 && c.drifted);
@@ -987,6 +998,7 @@ impl StreamingWindow {
         for ch in &mut self.channels {
             if ch.count > 0 && ch.drifted {
                 Self::rebuild_channel(ch);
+                self.stats.rebuilds += 1;
             }
         }
         Ok(())
@@ -1272,6 +1284,10 @@ mod tests {
         assert_eq!(stats.updates as usize, reads.len());
         assert!(stats.downdates > 0);
         assert_eq!(stats.refit_fallbacks as usize, fallbacks);
+        // A sliding window keeps channels drifted, so drift ops accrue;
+        // they can never exceed the update+downdate op count.
+        assert!(stats.drift_ops > 0);
+        assert!(stats.drift_ops <= stats.updates + stats.downdates);
     }
 
     /// An impossible decision margin forces the fallback on a downdated

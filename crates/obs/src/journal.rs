@@ -1,0 +1,298 @@
+//! A fixed-capacity structured event journal: the "flight recorder" next
+//! to the metrics registry. Counters tell you *how many* fallbacks or
+//! rebuilds a session took; the journal tells you *which* ones, *when*
+//! (by caller-defined tick), and in what order — enough to reconstruct a
+//! fallback or rebuild storm postmortem without logging on the hot path.
+//!
+//! Design constraints, in order:
+//!
+//! 1. **Zero steady-state allocation.** The ring buffer is sized once at
+//!    construction; [`record`](Journal::record) writes a fixed-size
+//!    [`JournalEvent`] (a `&'static str` kind plus integers) in place.
+//! 2. **Bounded memory, drop-oldest.** When full, the oldest event is
+//!    overwritten and [`dropped`](Journal::dropped) increments, so the
+//!    journal always holds the *most recent* `capacity` events and the
+//!    loss is observable.
+//! 3. **Deterministic merges.** Merging per-worker journals in
+//!    worker-index order re-records events in that order, so the merged
+//!    event sequence (kinds, ticks, payloads, drop counts) is identical
+//!    at any worker count — the same discipline the registry merge uses.
+
+use crate::json::JsonValue;
+
+/// One structured journal entry: a static kind, the caller-defined tick
+/// it happened on, and two integer payload slots (`key` typically names
+/// the entity — an antenna index, a tag slot — and `value` the
+/// magnitude). Fixed-size on purpose: recording never allocates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JournalEvent {
+    /// Monotone sequence number assigned at insertion (gaps never occur;
+    /// `seq` of the oldest retained event is exactly
+    /// [`Journal::dropped`]).
+    pub seq: u64,
+    /// Caller-defined clock (e.g. the streaming advance index) set via
+    /// [`Journal::set_tick`].
+    pub tick: u64,
+    /// Static event kind (e.g. `"refit_fallback"`).
+    pub kind: &'static str,
+    /// Entity payload (antenna index, tag slot, …).
+    pub key: u64,
+    /// Magnitude payload (count, ops, …).
+    pub value: u64,
+}
+
+/// The ring-buffer journal. See the module docs for the contract.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Journal {
+    capacity: usize,
+    /// Ring storage; grows by pushes up to `capacity`, then stays put.
+    events: Vec<JournalEvent>,
+    /// Index of the oldest event once the ring is full.
+    head: usize,
+    next_seq: u64,
+    dropped: u64,
+    tick: u64,
+}
+
+impl Journal {
+    /// Default ring capacity used by the recorder.
+    pub const DEFAULT_CAPACITY: usize = 256;
+
+    /// An empty journal holding at most `capacity` events. All storage is
+    /// reserved here; recording never allocates.
+    pub fn new(capacity: usize) -> Journal {
+        Journal {
+            capacity,
+            events: Vec::with_capacity(capacity),
+            head: 0,
+            next_seq: 0,
+            dropped: 0,
+            tick: 0,
+        }
+    }
+
+    /// The fixed ring capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of events currently retained.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether no events are retained.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Events overwritten because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Total events ever recorded (`len() + dropped()`).
+    pub fn recorded(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Sets the tick stamped onto subsequently recorded events.
+    pub fn set_tick(&mut self, tick: u64) {
+        self.tick = tick;
+    }
+
+    /// The current tick.
+    pub fn tick(&self) -> u64 {
+        self.tick
+    }
+
+    /// Records one event at the current tick. O(1), allocation-free; when
+    /// the ring is full the oldest event is overwritten and the dropped
+    /// counter increments. A zero-capacity journal drops everything.
+    #[inline]
+    pub fn record(&mut self, kind: &'static str, key: u64, value: u64) {
+        self.record_at(self.tick, kind, key, value);
+    }
+
+    /// [`record`](Self::record) with an explicit tick (used by merges to
+    /// preserve the source journal's clock).
+    #[inline]
+    pub fn record_at(&mut self, tick: u64, kind: &'static str, key: u64, value: u64) {
+        if self.capacity == 0 {
+            self.next_seq += 1;
+            self.dropped += 1;
+            return;
+        }
+        let ev = JournalEvent { seq: self.next_seq, tick, kind, key, value };
+        self.next_seq += 1;
+        if self.events.len() < self.capacity {
+            self.events.push(ev);
+        } else {
+            self.events[self.head] = ev;
+            self.head = (self.head + 1) % self.capacity;
+            self.dropped += 1;
+        }
+    }
+
+    /// The retained events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &JournalEvent> {
+        let (tail, front) = self.events.split_at(self.head);
+        front.iter().chain(tail.iter())
+    }
+
+    /// Clears the retained events and drop count (capacity is kept, the
+    /// storage is not released).
+    pub fn clear(&mut self) {
+        self.events.clear();
+        self.head = 0;
+        self.next_seq = 0;
+        self.dropped = 0;
+    }
+
+    /// Re-records every event of `other` (oldest first, keeping its
+    /// ticks) into this journal and adds its drop count. Called in
+    /// worker-index order by the recorder merge, which keeps the merged
+    /// sequence deterministic at any worker count.
+    pub fn merge(&mut self, other: &Journal) {
+        for ev in other.events() {
+            self.record_at(ev.tick, ev.kind, ev.key, ev.value);
+        }
+        self.dropped += other.dropped;
+    }
+
+    /// The journal as a JSON document: capacity, drop count and the
+    /// retained events oldest-first — the postmortem dump format.
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::obj(vec![
+            ("capacity", JsonValue::Num(self.capacity as f64)),
+            ("recorded", JsonValue::Num(self.next_seq as f64)),
+            ("dropped", JsonValue::Num(self.dropped as f64)),
+            (
+                "events",
+                JsonValue::Arr(
+                    self.events()
+                        .map(|e| {
+                            JsonValue::obj(vec![
+                                ("seq", JsonValue::Num(e.seq as f64)),
+                                ("tick", JsonValue::Num(e.tick as f64)),
+                                ("kind", JsonValue::Str(e.kind.to_string())),
+                                ("key", JsonValue::Num(e.key as f64)),
+                                ("value", JsonValue::Num(e.value as f64)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+impl Default for Journal {
+    fn default() -> Self {
+        Journal::new(Journal::DEFAULT_CAPACITY)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_in_order_until_capacity() {
+        let mut j = Journal::new(3);
+        j.set_tick(7);
+        j.record("a", 1, 10);
+        j.record("b", 2, 20);
+        assert_eq!(j.len(), 2);
+        assert_eq!(j.dropped(), 0);
+        let evs: Vec<_> = j.events().collect();
+        assert_eq!(evs[0].kind, "a");
+        assert_eq!(evs[0].seq, 0);
+        assert_eq!(evs[0].tick, 7);
+        assert_eq!(evs[1].kind, "b");
+    }
+
+    #[test]
+    fn wraparound_drops_oldest_and_counts() {
+        let mut j = Journal::new(2);
+        for i in 0..5u64 {
+            j.set_tick(i);
+            j.record("e", i, 0);
+        }
+        assert_eq!(j.len(), 2);
+        assert_eq!(j.dropped(), 3);
+        assert_eq!(j.recorded(), 5);
+        let keys: Vec<u64> = j.events().map(|e| e.key).collect();
+        assert_eq!(keys, vec![3, 4], "retains the most recent events");
+        // seq of the oldest retained event equals the drop count.
+        assert_eq!(j.events().next().unwrap().seq, j.dropped());
+    }
+
+    #[test]
+    fn zero_capacity_drops_everything() {
+        let mut j = Journal::new(0);
+        j.record("e", 0, 0);
+        assert!(j.is_empty());
+        assert_eq!(j.dropped(), 1);
+        assert_eq!(j.recorded(), 1);
+    }
+
+    #[test]
+    fn merge_preserves_order_and_ticks() {
+        let mut a = Journal::new(8);
+        a.set_tick(1);
+        a.record("a", 0, 0);
+        let mut b = Journal::new(8);
+        b.set_tick(9);
+        b.record("b1", 1, 0);
+        b.record("b2", 2, 0);
+        a.merge(&b);
+        let seen: Vec<(&str, u64)> = a.events().map(|e| (e.kind, e.tick)).collect();
+        assert_eq!(seen, vec![("a", 1), ("b1", 9), ("b2", 9)]);
+        // Seqs are reassigned by the destination, still gap-free.
+        let seqs: Vec<u64> = a.events().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn merge_accumulates_drop_counts() {
+        let mut a = Journal::new(1);
+        a.record("a", 0, 0); // retained
+        let mut b = Journal::new(1);
+        b.record("b1", 0, 0);
+        b.record("b2", 0, 0); // b1 dropped
+        a.merge(&b); // a's event dropped by the merge push
+        assert_eq!(a.len(), 1);
+        assert_eq!(a.events().next().unwrap().kind, "b2");
+        // 1 dropped inside b + 1 dropped during merge.
+        assert_eq!(a.dropped(), 2);
+    }
+
+    #[test]
+    fn clear_resets_but_keeps_capacity() {
+        let mut j = Journal::new(2);
+        j.record("a", 0, 0);
+        j.record("b", 0, 0);
+        j.record("c", 0, 0);
+        j.clear();
+        assert!(j.is_empty());
+        assert_eq!(j.dropped(), 0);
+        assert_eq!(j.capacity(), 2);
+        j.record("d", 0, 0);
+        assert_eq!(j.events().next().unwrap().seq, 0);
+    }
+
+    #[test]
+    fn json_dump_carries_events_and_drops() {
+        let mut j = Journal::new(2);
+        for i in 0..3u64 {
+            j.record("e", i, i * 10);
+        }
+        let v = j.to_json();
+        assert_eq!(v.get("dropped").and_then(JsonValue::as_u64), Some(1));
+        assert_eq!(v.get("recorded").and_then(JsonValue::as_u64), Some(3));
+        let evs = v.get("events").and_then(JsonValue::as_arr).unwrap();
+        assert_eq!(evs.len(), 2);
+        assert_eq!(evs[0].get("key").and_then(JsonValue::as_u64), Some(1));
+    }
+}

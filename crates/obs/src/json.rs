@@ -92,6 +92,48 @@ impl JsonValue {
         out
     }
 
+    /// Serializes to a single line with no whitespace (no trailing
+    /// newline) — the canonical form of one JSONL record, e.g. a
+    /// telemetry frame. Same escaping and number formatting as
+    /// [`to_pretty`](Self::to_pretty), so the two forms parse to the same
+    /// value.
+    pub fn to_compact(&self) -> String {
+        let mut out = String::new();
+        self.write_compact(&mut out);
+        out
+    }
+
+    fn write_compact(&self, out: &mut String) {
+        match self {
+            JsonValue::Null => out.push_str("null"),
+            JsonValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            JsonValue::Num(n) => out.push_str(&format_number(*n)),
+            JsonValue::Str(s) => write_escaped(out, s),
+            JsonValue::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write_compact(out);
+                }
+                out.push(']');
+            }
+            JsonValue::Obj(pairs) => {
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(out, k);
+                    out.push(':');
+                    v.write_compact(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
     fn write(&self, out: &mut String, indent: usize) {
         match self {
             JsonValue::Null => out.push_str("null"),
@@ -422,6 +464,24 @@ mod tests {
         assert_eq!(JsonValue::Num(42.0).to_pretty(), "42\n");
         assert_eq!(JsonValue::Num(-7.0).to_pretty(), "-7\n");
         assert_eq!(JsonValue::Num(2.5).to_pretty(), "2.5\n");
+    }
+
+    #[test]
+    fn compact_form_is_one_line_and_parses_to_the_same_value() {
+        let v = JsonValue::obj(vec![
+            ("tick", JsonValue::Num(3.0)),
+            ("name", JsonValue::Str("frame \"x\"".into())),
+            ("counts", JsonValue::Arr(vec![JsonValue::Num(1.0), JsonValue::Num(2.5)])),
+            ("empty", JsonValue::Obj(vec![])),
+            ("none", JsonValue::Null),
+        ]);
+        let line = v.to_compact();
+        assert!(!line.contains('\n'), "compact form must be one line: {line}");
+        assert_eq!(
+            line,
+            "{\"tick\":3,\"name\":\"frame \\\"x\\\"\",\"counts\":[1,2.5],\"empty\":{},\"none\":null}"
+        );
+        assert_eq!(JsonValue::parse(&line).unwrap(), v);
     }
 
     #[test]

@@ -35,20 +35,33 @@
 //! assert_eq!(answer, 42);
 //! let report = RunReport::from_recorder("demo", &rec);
 //! assert_eq!(report.counters[0], ("demo.items".to_string(), 5));
-//! assert!(report.to_json().to_pretty().contains("\"schema_version\": 1"));
+//! assert!(report.to_json().to_pretty().contains("\"schema_version\": 2"));
 //! ```
+//!
+//! For *continuous* (rather than end-of-run) telemetry there are three
+//! more pieces: windowed snapshots ([`Registry::snapshot`] /
+//! [`snapshot::MetricsSnapshot::delta_since`]) feeding periodic
+//! [`TelemetryFrame`] JSONL records, a bounded structured event ring
+//! ([`Journal`]) for postmortems, and a [`HealthEvaluator`] folding
+//! thresholds over snapshot deltas into health verdicts.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod health;
+pub mod journal;
 pub mod json;
 pub mod metrics;
 pub mod recorder;
 pub mod report;
+pub mod snapshot;
 pub mod span;
 
+pub use health::{GaugeRule, Health, HealthEvaluator, HealthReason, HealthReport, RateRule, StallRule};
+pub use journal::{Journal, JournalEvent};
 pub use json::{JsonError, JsonValue};
 pub use metrics::{Histogram, MetricDef, MetricKind, Registry};
 pub use recorder::{Recorder, SpanGuard, TimerGuard};
-pub use report::{HistogramEntry, RunReport, SpanEntry, SCHEMA_VERSION};
+pub use report::{HistogramEntry, RunReport, SpanEntry, TelemetryFrame, MIN_SCHEMA_VERSION, SCHEMA_VERSION};
+pub use snapshot::{HistogramState, MetricsSnapshot};
 pub use span::{SpanNode, SpanTree};

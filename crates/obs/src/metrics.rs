@@ -146,6 +146,48 @@ impl Histogram {
         self.max
     }
 
+    /// Estimates the `q`-quantile (`0.0 ..= 1.0`) from the bucket counts:
+    /// the bucket holding the target rank is found by a cumulative scan,
+    /// then the value is linearly interpolated across that bucket's span.
+    /// The first bucket interpolates from the observed minimum and the
+    /// `+Inf` overflow bucket from its lower bound to the observed
+    /// maximum, so the estimate is always inside `[min, max]`. `None`
+    /// when the histogram is empty.
+    ///
+    /// The estimate is exact at bucket edges and off by at most one
+    /// bucket width elsewhere — with log-spaced latency buckets that is a
+    /// bounded *relative* error, which is what p50/p90/p99 reporting
+    /// needs.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = q * self.count as f64;
+        let mut below = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                below += c;
+                continue;
+            }
+            if (below + c) as f64 >= rank {
+                let lo = if i == 0 { self.min } else { self.bounds[i - 1].max(self.min) };
+                let hi = if i < self.bounds.len() {
+                    self.bounds[i].min(self.max)
+                } else {
+                    self.max
+                };
+                if hi <= lo {
+                    return Some(lo);
+                }
+                let frac = ((rank - below as f64) / c as f64).clamp(0.0, 1.0);
+                return Some(lo + (hi - lo) * frac);
+            }
+            below += c;
+        }
+        Some(self.max)
+    }
+
     /// Element-wise merge of another histogram over the same bounds.
     pub fn merge(&mut self, other: &Histogram) {
         debug_assert!(std::ptr::eq(self.bounds, other.bounds));
@@ -305,6 +347,39 @@ mod tests {
         assert!((h.max() - 1e9).abs() < 1.0);
         let expect_sum: f64 = 0.5 + 1.0 + 1.5 + 10.0 + 99.9 + 100.0 + 100.1 + 1e9;
         assert!((h.sum() - expect_sum).abs() < 1e-6);
+    }
+
+    #[test]
+    fn quantiles_interpolate_within_buckets() {
+        let mut h = Histogram::new(BOUNDS);
+        // 10 observations spread uniformly over (0, 10]: buckets hold
+        // [1] <=1.0 and [9] in (1, 10].
+        for i in 1..=10 {
+            h.observe(i as f64);
+        }
+        // p0 and p100 pin to the observed extremes.
+        assert_eq!(h.quantile(0.0), Some(1.0));
+        assert_eq!(h.quantile(1.0), Some(10.0));
+        // The median rank (5 of 10) lands in the (1, 10] bucket; the
+        // interpolated estimate sits between the bucket edges and within
+        // one bucket of the true median 5.5.
+        let p50 = h.quantile(0.5).unwrap();
+        assert!(p50 > 1.0 && p50 <= 10.0, "p50 = {p50}");
+        let p90 = h.quantile(0.9).unwrap();
+        assert!(p90 >= p50 && p90 <= 10.0, "p90 = {p90}");
+        // Empty histogram has no quantiles.
+        assert_eq!(Histogram::new(BOUNDS).quantile(0.5), None);
+        // A single observation is its own quantile everywhere.
+        let mut one = Histogram::new(BOUNDS);
+        one.observe(42.0);
+        assert_eq!(one.quantile(0.5), Some(42.0));
+        assert_eq!(one.quantile(0.99), Some(42.0));
+        // Overflow-bucket observations interpolate toward the max.
+        let mut over = Histogram::new(BOUNDS);
+        over.observe(500.0);
+        over.observe(900.0);
+        let p99 = over.quantile(0.99).unwrap();
+        assert!((100.0..=900.0).contains(&p99), "p99 = {p99}");
     }
 
     #[test]

@@ -8,15 +8,24 @@
 //! reuse the same serializer through [`snapshot`] / [`write_json`] so every
 //! machine-readable artifact this workspace emits shares one format.
 
+use crate::health::HealthReport;
 use crate::json::{JsonError, JsonValue};
 use crate::metrics::MetricKind;
 use crate::recorder::Recorder;
+use crate::snapshot::MetricsSnapshot;
 use std::io;
 use std::path::Path;
 
 /// Version stamped into every JSON report and bench snapshot. Bump when a
 /// field changes meaning or is removed; adding fields is compatible.
-pub const SCHEMA_VERSION: u64 = 1;
+///
+/// History: v1 = PR 3 (counters/gauges/spans/histograms); v2 adds
+/// histogram `help` + estimated `p50`/`p90`/`p99` and the telemetry-frame
+/// record. Readers accept v1 documents (the added fields default).
+pub const SCHEMA_VERSION: u64 = 2;
+
+/// Oldest schema version [`RunReport::from_json`] still reads.
+pub const MIN_SCHEMA_VERSION: u64 = 1;
 
 /// One aggregated span in a report: its `/`-joined stage path plus the
 /// entry count and total time, in DFS first-entry order.
@@ -35,6 +44,9 @@ pub struct SpanEntry {
 pub struct HistogramEntry {
     /// Metric name.
     pub name: String,
+    /// One-line help text from the descriptor table (empty when read from
+    /// a v1 document, which did not carry it).
+    pub help: String,
     /// Total observation count.
     pub count: u64,
     /// Sum of observations.
@@ -43,6 +55,13 @@ pub struct HistogramEntry {
     pub min: Option<f64>,
     /// Largest observation (`None` when empty).
     pub max: Option<f64>,
+    /// Estimated median (bucket interpolation; `None` when empty or when
+    /// read from a v1 document).
+    pub p50: Option<f64>,
+    /// Estimated 90th percentile.
+    pub p90: Option<f64>,
+    /// Estimated 99th percentile.
+    pub p99: Option<f64>,
     /// Ascending inclusive bucket upper bounds (without `+Inf`).
     pub bounds: Vec<f64>,
     /// Per-bucket counts; one longer than `bounds` (`+Inf` overflow last).
@@ -98,10 +117,14 @@ impl RunReport {
                     let empty = h.count() == 0;
                     histograms.push(HistogramEntry {
                         name: def.name.to_string(),
+                        help: def.help.to_string(),
                         count: h.count(),
                         sum: h.sum(),
                         min: (!empty).then(|| h.min()),
                         max: (!empty).then(|| h.max()),
+                        p50: h.quantile(0.5),
+                        p90: h.quantile(0.9),
+                        p99: h.quantile(0.99),
                         bounds: h.bounds().to_vec(),
                         buckets: h.bucket_counts().to_vec(),
                     });
@@ -147,10 +170,14 @@ impl RunReport {
                 .map(|h| {
                     JsonValue::obj(vec![
                         ("name", JsonValue::Str(h.name.clone())),
+                        ("help", JsonValue::Str(h.help.clone())),
                         ("count", JsonValue::Num(h.count as f64)),
                         ("sum", JsonValue::Num(h.sum)),
                         ("min", h.min.map_or(JsonValue::Null, JsonValue::Num)),
                         ("max", h.max.map_or(JsonValue::Null, JsonValue::Num)),
+                        ("p50", h.p50.map_or(JsonValue::Null, JsonValue::Num)),
+                        ("p90", h.p90.map_or(JsonValue::Null, JsonValue::Num)),
+                        ("p99", h.p99.map_or(JsonValue::Null, JsonValue::Num)),
                         (
                             "bounds",
                             JsonValue::Arr(h.bounds.iter().map(|&b| JsonValue::Num(b)).collect()),
@@ -189,9 +216,9 @@ impl RunReport {
             .get("schema_version")
             .and_then(JsonValue::as_u64)
             .ok_or_else(|| schema_err("missing schema_version"))?;
-        if version != SCHEMA_VERSION {
+        if !(MIN_SCHEMA_VERSION..=SCHEMA_VERSION).contains(&version) {
             return Err(schema_err(&format!(
-                "unsupported schema_version {version} (expected {SCHEMA_VERSION})"
+                "unsupported schema_version {version} (expected {MIN_SCHEMA_VERSION}..={SCHEMA_VERSION})"
             )));
         }
         let name = v
@@ -275,6 +302,13 @@ impl RunReport {
                         .and_then(JsonValue::as_str)
                         .ok_or_else(|| schema_err("histogram missing name"))?
                         .to_string(),
+                    // `help` and the quantile estimates were added in v2;
+                    // v1 documents simply lack them.
+                    help: h
+                        .get("help")
+                        .and_then(JsonValue::as_str)
+                        .unwrap_or_default()
+                        .to_string(),
                     count: h
                         .get("count")
                         .and_then(JsonValue::as_u64)
@@ -285,6 +319,9 @@ impl RunReport {
                         .ok_or_else(|| schema_err("histogram missing sum"))?,
                     min: h.get("min").and_then(JsonValue::as_f64),
                     max: h.get("max").and_then(JsonValue::as_f64),
+                    p50: h.get("p50").and_then(JsonValue::as_f64),
+                    p90: h.get("p90").and_then(JsonValue::as_f64),
+                    p99: h.get("p99").and_then(JsonValue::as_f64),
                     bounds: nums("bounds")?,
                     buckets: nums("buckets")?.into_iter().map(|c| c as u64).collect(),
                 })
@@ -342,10 +379,13 @@ impl RunReport {
             for h in live_hists {
                 let mean = h.sum / h.count as f64;
                 out.push_str(&format!(
-                    "   {}  n={} mean={:.1} min={:.1} max={:.1}\n",
+                    "   {}  n={} mean={:.1} p50={:.1} p90={:.1} p99={:.1} min={:.1} max={:.1}\n",
                     h.name,
                     h.count,
                     mean,
+                    h.p50.unwrap_or(0.0),
+                    h.p90.unwrap_or(0.0),
+                    h.p99.unwrap_or(0.0),
                     h.min.unwrap_or(0.0),
                     h.max.unwrap_or(0.0),
                 ));
@@ -354,9 +394,10 @@ impl RunReport {
         out
     }
 
-    /// Prometheus-style text exposition (`# HELP`-less: names, kinds and
-    /// values only; dots in metric names become underscores). Histograms
-    /// use the conventional cumulative `_bucket{le=...}` / `_sum` /
+    /// Prometheus-style text exposition (dots in metric names become
+    /// underscores). Counters and gauges emit `# TYPE` + value exactly as
+    /// they always have; histograms (added later) also carry a `# HELP`
+    /// line and the conventional cumulative `_bucket{le=...}` / `_sum` /
     /// `_count` triplet.
     pub fn prometheus(&self) -> String {
         let mut out = String::new();
@@ -371,6 +412,9 @@ impl RunReport {
         }
         for h in &self.histograms {
             let name = sanitize(&h.name);
+            if !h.help.is_empty() {
+                out.push_str(&format!("# HELP {name} {}\n", h.help));
+            }
             out.push_str(&format!("# TYPE {name} histogram\n"));
             let mut cumulative = 0u64;
             for (i, &c) in h.buckets.iter().enumerate() {
@@ -384,6 +428,139 @@ impl RunReport {
             out.push_str(&format!("{name}_sum {}\n{name}_count {}\n", h.sum, h.count));
         }
         out
+    }
+}
+
+/// One periodic telemetry record: the windowed counter deltas and gauge
+/// levels between two snapshot ticks, plus an optional health verdict.
+/// Serialized compact, one frame per JSONL line.
+///
+/// Frames deliberately carry **only deterministic data** — counter deltas,
+/// gauge levels, health verdicts computed from them — never wall-clock
+/// histograms or span timings, so replaying the same log produces
+/// byte-identical frames at any worker count. Latency distributions go to
+/// the end-of-run report and the Prometheus sink instead.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TelemetryFrame {
+    /// Frame number within the emitting run, starting at 0.
+    pub seq: u64,
+    /// The deterministic clock this frame closes (e.g. reads processed).
+    pub tick: u64,
+    /// Windowed counter deltas, descriptor-table order, zeros kept.
+    pub counters: Vec<(String, u64)>,
+    /// Gauge levels at the frame boundary, descriptor-table order.
+    pub gauges: Vec<(String, f64)>,
+    /// Health verdict for this window, when an evaluator is attached.
+    pub health: Option<HealthReport>,
+}
+
+impl TelemetryFrame {
+    /// Builds a frame from a windowed snapshot `delta` (counters in the
+    /// delta are the window's change; gauges are current levels).
+    pub fn from_delta(
+        seq: u64,
+        tick: u64,
+        delta: &MetricsSnapshot,
+        health: Option<HealthReport>,
+    ) -> TelemetryFrame {
+        let mut counters = Vec::new();
+        let mut gauges = Vec::new();
+        for (idx, def) in delta.defs().iter().enumerate() {
+            match def.kind {
+                MetricKind::Counter => counters.push((def.name.to_string(), delta.counter(idx))),
+                MetricKind::Gauge => gauges.push((def.name.to_string(), delta.gauge(idx))),
+                MetricKind::Histogram => {} // wall-clock data: excluded by design
+            }
+        }
+        TelemetryFrame { seq, tick, counters, gauges, health }
+    }
+
+    /// The frame as a JSON object (stamped with [`SCHEMA_VERSION`]).
+    pub fn to_json(&self) -> JsonValue {
+        let mut pairs = vec![
+            ("schema_version".to_string(), JsonValue::Num(SCHEMA_VERSION as f64)),
+            ("seq".to_string(), JsonValue::Num(self.seq as f64)),
+            ("tick".to_string(), JsonValue::Num(self.tick as f64)),
+            (
+                "counters".to_string(),
+                JsonValue::Obj(
+                    self.counters
+                        .iter()
+                        .map(|(k, v)| (k.clone(), JsonValue::Num(*v as f64)))
+                        .collect(),
+                ),
+            ),
+            (
+                "gauges".to_string(),
+                JsonValue::Obj(
+                    self.gauges.iter().map(|(k, v)| (k.clone(), JsonValue::Num(*v))).collect(),
+                ),
+            ),
+        ];
+        if let Some(health) = &self.health {
+            pairs.push(("health".to_string(), health.to_json()));
+        }
+        JsonValue::Obj(pairs)
+    }
+
+    /// The frame as one JSONL line (compact form, no trailing newline).
+    pub fn to_jsonl_line(&self) -> String {
+        self.to_json().to_compact()
+    }
+
+    /// Parses one frame from its JSON text (either form).
+    ///
+    /// # Errors
+    ///
+    /// [`JsonError`] on malformed JSON or a frame that does not match the
+    /// schema.
+    pub fn from_json(text: &str) -> Result<TelemetryFrame, JsonError> {
+        let v = JsonValue::parse(text)?;
+        let schema_err = |message: &str| JsonError { offset: 0, message: message.to_string() };
+        let version = v
+            .get("schema_version")
+            .and_then(JsonValue::as_u64)
+            .ok_or_else(|| schema_err("missing schema_version"))?;
+        if !(MIN_SCHEMA_VERSION..=SCHEMA_VERSION).contains(&version) {
+            return Err(schema_err(&format!("unsupported schema_version {version}")));
+        }
+        let seq = v
+            .get("seq")
+            .and_then(JsonValue::as_u64)
+            .ok_or_else(|| schema_err("missing seq"))?;
+        let tick = v
+            .get("tick")
+            .and_then(JsonValue::as_u64)
+            .ok_or_else(|| schema_err("missing tick"))?;
+        let counters = v
+            .get("counters")
+            .and_then(JsonValue::as_obj)
+            .ok_or_else(|| schema_err("missing counters"))?
+            .iter()
+            .map(|(k, val)| {
+                val.as_u64()
+                    .map(|n| (k.clone(), n))
+                    .ok_or_else(|| schema_err("counter deltas must be non-negative integers"))
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        let gauges = v
+            .get("gauges")
+            .and_then(JsonValue::as_obj)
+            .ok_or_else(|| schema_err("missing gauges"))?
+            .iter()
+            .map(|(k, val)| {
+                val.as_f64()
+                    .map(|n| (k.clone(), n))
+                    .ok_or_else(|| schema_err("gauge values must be numbers"))
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        let health = match v.get("health") {
+            Some(h) => {
+                Some(HealthReport::from_json(h).ok_or_else(|| schema_err("malformed health"))?)
+            }
+            None => None,
+        };
+        Ok(TelemetryFrame { seq, tick, counters, gauges, health })
     }
 }
 
@@ -511,10 +688,90 @@ mod tests {
     }
 
     #[test]
+    fn reads_v1_documents_with_defaults() {
+        // A schema-v1 histogram entry: no help, no quantile estimates.
+        let v1 = r#"{
+  "schema_version": 1,
+  "name": "sense",
+  "meta": {},
+  "spans": [],
+  "counters": {"solver.iterations": 3},
+  "gauges": {},
+  "histograms": [
+    {"name": "solve.latency_us", "count": 1, "sum": 40, "min": 40, "max": 40,
+     "bounds": [100, 1000], "buckets": [1, 0, 0]}
+  ]
+}"#;
+        let report = RunReport::from_json(v1).unwrap();
+        assert_eq!(report.counters[0], ("solver.iterations".to_string(), 3));
+        let h = &report.histograms[0];
+        assert_eq!(h.help, "");
+        assert_eq!(h.p50, None);
+        assert_eq!(h.count, 1);
+        // Re-serializing upgrades the stamp to the current version.
+        let v = report.to_json();
+        assert_eq!(v.get("schema_version").and_then(JsonValue::as_u64), Some(SCHEMA_VERSION));
+    }
+
+    #[test]
+    fn report_carries_help_and_quantiles() {
+        let report = sample_report();
+        let h = &report.histograms[0];
+        assert_eq!(h.help, "solve latency");
+        assert!(h.p50.is_some() && h.p90.is_some() && h.p99.is_some());
+        let back = RunReport::from_json(&report.to_json().to_pretty()).unwrap();
+        assert_eq!(back, report);
+    }
+
+    #[test]
+    fn telemetry_frame_round_trips_and_is_one_line() {
+        use crate::health::{Health, HealthReason};
+        static FRAME_DEFS: &[MetricDef] = &[
+            MetricDef::counter("s.windows", "windows"),
+            MetricDef::gauge("s.stale", "stale tags"),
+            MetricDef::histogram("s.lat", "latency", &[10.0]),
+        ];
+        let mut reg = crate::metrics::Registry::new(FRAME_DEFS);
+        reg.add(0, 7);
+        reg.set(1, 2.0);
+        reg.observe(2, 5.0); // histogram: must NOT appear in the frame
+        let frame = TelemetryFrame::from_delta(
+            3,
+            400,
+            &reg.snapshot(),
+            Some(HealthReport {
+                verdict: Health::Degraded,
+                reasons: vec![HealthReason {
+                    rule: "stale_tags".into(),
+                    level: Health::Degraded,
+                    value: 2.0,
+                    threshold: 1.0,
+                }],
+            }),
+        );
+        let line = frame.to_jsonl_line();
+        assert!(!line.contains('\n'));
+        assert!(line.contains("\"s.windows\":7"));
+        assert!(!line.contains("s.lat"), "histograms are excluded from frames");
+        assert!(line.contains("\"verdict\":\"degraded\""));
+        assert_eq!(TelemetryFrame::from_json(&line).unwrap(), frame);
+
+        // Health-less frames omit the key entirely and still round-trip.
+        let bare = TelemetryFrame::from_delta(0, 100, &reg.snapshot(), None);
+        assert!(!bare.to_jsonl_line().contains("health"));
+        assert_eq!(TelemetryFrame::from_json(&bare.to_jsonl_line()).unwrap(), bare);
+    }
+
+    #[test]
     fn prometheus_exposition_is_cumulative() {
         let p = sample_report().prometheus();
         assert!(p.contains("# TYPE solver_iterations counter\nsolver_iterations 17\n"));
         assert!(p.contains("batch_workers 4\n"));
+        // HELP lines exist for histograms only; counters/gauges keep the
+        // original HELP-less format.
+        assert!(p.contains("# HELP solve_latency_us solve latency\n"));
+        assert!(!p.contains("# HELP solver_iterations"));
+        assert!(!p.contains("# HELP batch_workers"));
         assert!(p.contains("solve_latency_us_bucket{le=\"100\"} 1\n"));
         assert!(p.contains("solve_latency_us_bucket{le=\"1000\"} 2\n"));
         assert!(p.contains("solve_latency_us_bucket{le=\"+Inf\"} 2\n"));

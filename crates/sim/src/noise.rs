@@ -8,7 +8,7 @@
 //! The `paper_like` preset is calibrated so that, with the standard reader
 //! configuration (50 channels × 8 reads), the per-antenna slope-ranging
 //! error lands at the few-centimetre level that produces the paper's
-//! ~7.6 cm mean localization error (see DESIGN.md §9).
+//! ~7.6 cm mean localization error (see DESIGN.md §10).
 
 use rand::Rng;
 
