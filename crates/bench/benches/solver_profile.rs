@@ -21,6 +21,12 @@
 //! * `warm`      — analytic defaults, warm-started from the previous
 //!   solve's estimate (the steady-state regime of a live deployment).
 //!
+//! A fifth timing per dimension, `reference`, runs the frozen pre-lane
+//! oracle (`rfp_core::reference`) cold on the same observations in the
+//! same process, yielding the same-run ratios `lane_speedup_p50` /
+//! `lane_speedup_min` — what the const-generic lane core buys over the
+//! twin scalar solvers it replaced, with CPU steal cancelled.
+//!
 //! Writes a `BENCH_solver.json` snapshot at the repo root (override the
 //! path with `SOLVER_PROFILE_OUT`) so the solver perf trajectory is
 //! recorded PR over PR; `scripts/bench_gate` regenerates it with
@@ -28,6 +34,9 @@
 
 use rfp_bench::report;
 use rfp_core::model::{extract_observation, AntennaObservation, ExtractConfig};
+use rfp_core::reference::{
+    solve_2d_reference, solve_3d_reference, Reference2DWorkspace, Reference3DWorkspace,
+};
 use rfp_core::solver::{
     solve_2d_seeded_warm, JacobianMode, PruneStats, SolveSeeds, SolveStats, SolverConfig,
     SolverWorkspace, WarmStart,
@@ -166,6 +175,49 @@ fn profile_3d(config: Solver3DConfig, warm_from_self: bool) -> Profile {
     )
 }
 
+/// Times the frozen 2-D oracle cold on the same scene as [`profile_2d`].
+/// The oracle carries no work counters (deliberately — it predates the
+/// lane telemetry), so only the latencies are meaningful.
+fn profile_2d_reference(config: &SolverConfig) -> Profile {
+    let scene = Scene::standard_2d();
+    let obs = observations_2d(&scene);
+    let seeds = SolveSeeds::for_scene(scene.region(), config, &scene.antenna_poses());
+    let mut ws = Reference2DWorkspace::default();
+    let (warmup, repeats) = if quick_mode() { (5, 50) } else { (20, 200) };
+    profile(
+        || {
+            black_box(
+                solve_2d_reference(black_box(&obs), &seeds, config, &mut ws, None)
+                    .expect("solvable"),
+            );
+            (SolveStats::default(), PruneStats::default())
+        },
+        warmup,
+        repeats,
+    )
+}
+
+/// Times the frozen 3-D oracle cold (see [`profile_2d_reference`]).
+fn profile_3d_reference(config: &Solver3DConfig) -> Profile {
+    let scene = Scene::six_antenna_3d();
+    let obs = observations_3d(&scene);
+    let seeds =
+        Solve3DSeeds::for_scene(scene.region(), (0.0, 1.5), config, &scene.antenna_poses());
+    let mut ws = Reference3DWorkspace::default();
+    let (warmup, repeats) = if quick_mode() { (2, 20) } else { (5, 60) };
+    profile(
+        || {
+            black_box(
+                solve_3d_reference(black_box(&obs), &seeds, config, &mut ws, None)
+                    .expect("solvable"),
+            );
+            (SolveStats::default(), PruneStats::default())
+        },
+        warmup,
+        repeats,
+    )
+}
+
 fn print_rows(label: &str, rows: &[(&str, Profile)]) {
     report::section(label);
     for (name, p) in rows {
@@ -203,6 +255,8 @@ struct DimProfiles {
     numeric: Profile,
     exhaustive: Profile,
     warm: Profile,
+    /// The frozen pre-lane oracle, cold, same run — latencies only.
+    reference: Profile,
 }
 
 fn dim_json(d: DimProfiles) -> JsonValue {
@@ -212,6 +266,21 @@ fn dim_json(d: DimProfiles) -> JsonValue {
         ("numeric", json_entry(d.numeric)),
         ("exhaustive", json_entry(d.exhaustive)),
         ("warm", json_entry(d.warm)),
+        (
+            "reference",
+            JsonValue::obj(vec![
+                ("p50_us", JsonValue::Num(round2(d.reference.p50_us))),
+                ("min_us", JsonValue::Num(round2(d.reference.min_us))),
+            ]),
+        ),
+        (
+            "lane_speedup_p50",
+            JsonValue::Num(round2(d.reference.p50_us / d.analytic.p50_us)),
+        ),
+        (
+            "lane_speedup_min",
+            JsonValue::Num(round2(d.reference.min_us / d.analytic.min_us)),
+        ),
         ("p50_speedup", JsonValue::Num(round2(d.numeric.p50_us / d.analytic.p50_us))),
         (
             "residual_eval_ratio",
@@ -273,6 +342,7 @@ fn main() {
         ),
         exhaustive: profile_2d(SolverConfig::exhaustive(), false),
         warm: profile_2d(SolverConfig::default(), true),
+        reference: profile_2d_reference(&SolverConfig::default()),
     };
     print_rows(
         "2-D (5 parameters, 3 antennas)",
@@ -292,6 +362,7 @@ fn main() {
         ),
         exhaustive: profile_3d(Solver3DConfig::exhaustive(), false),
         warm: profile_3d(Solver3DConfig::default(), true),
+        reference: profile_3d_reference(&Solver3DConfig::default()),
     };
     print_rows(
         "3-D (7 parameters, 6 antennas)",
@@ -309,6 +380,13 @@ fn main() {
             d.numeric.p50_us / d.analytic.p50_us,
             d.exhaustive.p50_us / d.analytic.p50_us,
             d.exhaustive.p50_us / d.warm.p50_us,
+        );
+        println!(
+            "  {dim} lane core vs frozen oracle: reference p50 {:.1} µs → lanes {:.1} µs (×{:.2} p50, ×{:.2} floor)",
+            d.reference.p50_us,
+            d.analytic.p50_us,
+            d.reference.p50_us / d.analytic.p50_us,
+            d.reference.min_us / d.analytic.min_us,
         );
     }
 

@@ -16,7 +16,15 @@
 //!   (`<dim>.analytic.min_us`) must not regress beyond the threshold in
 //!   either dimension. The floor, not p50: co-tenant CPU steal only ever
 //!   *inflates* samples, so the minimum is the steal-robust estimate of
-//!   what the code actually costs.
+//!   what the code actually costs. The *fresh* snapshot must additionally
+//!   hold the lane-core floor: the cold 2-D p50 must stay ≥1.3× under
+//!   the recorded pre-lane baseline (the last pre-lane-core committed
+//!   BENCH_solver.json figure; an absolute latency, so the floor is
+//!   enforced only on the machine class it was recorded on). The
+//!   same-run oracle-vs-facade ratios (`<dim>.lane_speedup_p50`) are
+//!   reported alongside for a machine-independent read — they
+//!   *understate* the end-to-end win, because the frozen oracle also
+//!   lacks the telemetry and warm-gate overhead the facade carries.
 //! - **frontend** — the fused fit chain (unwrap+OLS fit → robust reject)
 //!   must hold a ≥2× p50 speedup over the frozen pre-rework reference on
 //!   the standard window (`standard_fit_speedup_p50`), the table-backed
@@ -41,12 +49,15 @@
 //!   When the snapshot carries `obs_overhead_p50` (profile built with
 //!   `--features obs`), recording continuous telemetry must cost ≤5%
 //!   advance p50 over inert probes.
-//! - **history** (`--history <ledger.jsonl>`) — the fresh streaming
-//!   advance p50 must not regress more than the threshold beyond the
-//!   *best* run ever recorded in the ledger on a machine with the same
-//!   hardware-thread count; `--record` appends this run (one compact
-//!   JSON object per line) after a passing gate, so the ledger
-//!   accumulates best-known-good baselines across runs.
+//! - **history** (`--history <ledger.jsonl>`) — the fresh solver cold
+//!   and warm p50s (both dimensions) and, when `--streaming` is given,
+//!   the streaming advance p50 must not regress more than the threshold
+//!   beyond the *best* run ever recorded in the ledger on a machine with
+//!   the same hardware-thread count; `--record` appends this run (one
+//!   compact JSON object per line) after a passing gate, so the ledger
+//!   accumulates best-known-good baselines across runs. Older
+//!   streaming-only ledger lines simply lack the solver fields and are
+//!   skipped per-metric.
 //!
 //! Driven by `scripts/bench_gate`, which regenerates the fresh snapshots
 //! in quick mode. Absolute latencies vary across machines, so the solver
@@ -63,6 +74,16 @@ const FRONTEND_PREPROCESS_FLOOR: f64 = 2.0;
 const BATCH_SPEEDUP_FLOOR: f64 = 3.0;
 const BATCH_SANITY_FLOOR: f64 = 0.8;
 const STREAMING_ADVANCE_FLOOR: f64 = 4.0;
+/// The cold 2-D solve must stay at least this much faster than the
+/// pre-lane baseline.
+const SOLVER_LANE_SPEEDUP_FLOOR: f64 = 1.3;
+/// Cold 2-D p50 of the last pre-lane-core committed BENCH_solver.json —
+/// the fixed baseline the lane floor divides by.
+const PRE_LANE_COLD_2D_P50_US: f64 = 101.4;
+/// The machine class (hardware-thread count) the pre-lane baseline was
+/// recorded on. The baseline is an absolute latency, so the lane floor is
+/// only enforced when the current machine matches.
+const PRE_LANE_BASELINE_THREADS: u64 = 1;
 const STREAMING_FALLBACK_MAX: f64 = 0.05;
 /// Recording telemetry may cost at most this much advance-p50 overhead.
 const STREAMING_OBS_OVERHEAD_MAX: f64 = 0.05;
@@ -144,7 +165,48 @@ fn check_solver(committed: &JsonValue, fresh: &JsonValue, threshold_pct: f64) ->
         let now = solver_min_us(fresh, dim)?;
         ok &= regression_ok(dim, base, now, threshold_pct);
     }
-    Ok(ok)
+    // Lane-core floor: the fresh cold 2-D p50 against the recorded
+    // pre-lane baseline, enforced only on the baseline's machine class
+    // (the figure is an absolute latency).
+    let threads =
+        std::thread::available_parallelism().map(|n| n.get() as u64).unwrap_or(1);
+    let cold = solver_p50_us(fresh, "solve_2d", "analytic")?;
+    let vs_baseline = PRE_LANE_COLD_2D_P50_US / cold;
+    let lane_ok = if threads == PRE_LANE_BASELINE_THREADS {
+        let pass = vs_baseline >= SOLVER_LANE_SPEEDUP_FLOOR;
+        println!(
+            "  solver 2-D cold p50 {cold:.1} µs vs pre-lane baseline \
+             {PRE_LANE_COLD_2D_P50_US:.1} µs: ×{vs_baseline:.2} \
+             (floor ×{SOLVER_LANE_SPEEDUP_FLOOR:.1}) — {}",
+            if pass { "ok" } else { "BELOW FLOOR" }
+        );
+        pass
+    } else {
+        println!(
+            "  solver lane floor: skipped — {threads} hardware threads, baseline \
+             recorded at {PRE_LANE_BASELINE_THREADS} (×{vs_baseline:.2} informational)"
+        );
+        true
+    };
+    // Same-run oracle-vs-facade ratios: machine-independent, but an
+    // *understatement* of the end-to-end win (the frozen oracle strips
+    // the telemetry and warm-gate bookkeeping the facade carries).
+    // Required in fresh snapshots, so the profile keeps timing the
+    // oracle alongside the facades.
+    let lane = fresh
+        .get("solve_2d")
+        .and_then(|d| d.get("lane_speedup_p50"))
+        .and_then(JsonValue::as_f64)
+        .ok_or("missing solve_2d.lane_speedup_p50 in fresh snapshot")?;
+    println!("  solver 2-D lane facade vs frozen oracle, same run: ×{lane:.2} p50");
+    if let Some(lane3) = fresh
+        .get("solve_3d")
+        .and_then(|d| d.get("lane_speedup_p50"))
+        .and_then(JsonValue::as_f64)
+    {
+        println!("  solver 3-D lane facade vs frozen oracle, same run: ×{lane3:.2} p50");
+    }
+    Ok(ok & lane_ok)
 }
 
 fn check_frontend(
@@ -252,18 +314,52 @@ fn streaming_advance_p50(snapshot: &JsonValue) -> Result<f64, String> {
         .ok_or_else(|| "missing table-backend advance_p50_us row".into())
 }
 
-/// Checks the fresh streaming advance p50 against the best (lowest) run
-/// ever recorded in the history ledger **on a machine with the same
+/// Reads `<dim>.<config>.p50_us` out of a solver snapshot.
+fn solver_p50_us(snapshot: &JsonValue, dim: &str, config: &str) -> Result<f64, String> {
+    envelope(snapshot, "solver_profile")?;
+    snapshot
+        .get(dim)
+        .and_then(|d| d.get(config))
+        .and_then(|a| a.get("p50_us"))
+        .and_then(JsonValue::as_f64)
+        .ok_or_else(|| format!("missing {dim}.{config}.p50_us"))
+}
+
+/// The latency metrics the history ledger tracks, as `(field, value)`
+/// pairs (lower is better for all of them): solver cold and warm p50 in
+/// both dimensions, plus — when a streaming snapshot is in play — the
+/// streaming advance p50.
+fn history_metrics(
+    solver_fresh: &JsonValue,
+    streaming_fresh: Option<&JsonValue>,
+) -> Result<Vec<(String, f64)>, String> {
+    let mut metrics = Vec::new();
+    for (dim, config, field) in [
+        ("solve_2d", "analytic", "solve_2d_cold_p50_us"),
+        ("solve_2d", "warm", "solve_2d_warm_p50_us"),
+        ("solve_3d", "analytic", "solve_3d_cold_p50_us"),
+        ("solve_3d", "warm", "solve_3d_warm_p50_us"),
+    ] {
+        metrics.push((field.to_string(), solver_p50_us(solver_fresh, dim, config)?));
+    }
+    if let Some(streaming) = streaming_fresh {
+        metrics.push(("advance_p50_us".to_string(), streaming_advance_p50(streaming)?));
+    }
+    Ok(metrics)
+}
+
+/// Checks each fresh latency metric against the best (lowest) value ever
+/// recorded in the history ledger **on a machine with the same
 /// hardware-thread count** — absolute latencies are machine-relative, so
 /// cross-machine comparison is restricted to that coarse fingerprint.
-/// An empty or missing ledger passes (nothing to regress against).
+/// An empty or missing ledger passes, as does a metric no comparable
+/// ledger line carries (older ledgers were streaming-only).
 fn check_history(
     path: &str,
-    fresh: &JsonValue,
+    metrics: &[(String, f64)],
     threads: u64,
     threshold_pct: f64,
 ) -> Result<bool, String> {
-    let now = streaming_advance_p50(fresh)?;
     let text = match std::fs::read_to_string(path) {
         Ok(text) => text,
         Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
@@ -272,41 +368,57 @@ fn check_history(
         }
         Err(e) => return Err(format!("read {path}: {e}")),
     };
-    let mut best: Option<f64> = None;
-    let mut comparable = 0usize;
+    let mut entries = Vec::new();
     for (i, line) in text.lines().enumerate() {
         if line.trim().is_empty() {
             continue;
         }
-        let entry = JsonValue::parse(line)
-            .map_err(|e| format!("parse {path}:{}: {e}", i + 1))?;
-        if entry.get("hardware_threads").and_then(JsonValue::as_u64) != Some(threads) {
-            continue;
-        }
-        if let Some(p50) = entry.get("advance_p50_us").and_then(JsonValue::as_f64) {
-            comparable += 1;
-            best = Some(best.map_or(p50, |b: f64| b.min(p50)));
+        let entry =
+            JsonValue::parse(line).map_err(|e| format!("parse {path}:{}: {e}", i + 1))?;
+        if entry.get("hardware_threads").and_then(JsonValue::as_u64) == Some(threads) {
+            entries.push(entry);
         }
     }
-    let Some(best) = best else {
+    if entries.is_empty() {
         println!(
             "  history: no prior runs at {threads} hardware threads in {path} — nothing to compare"
         );
         return Ok(true);
-    };
-    let delta_pct = (now - best) / best * 100.0;
-    let ok = delta_pct <= threshold_pct;
-    println!(
-        "  history: advance p50 {now:.1} µs vs best recorded {best:.1} µs over {comparable} \
-         comparable runs ({delta_pct:+.1}%) — {}",
-        if ok { "ok" } else { "REGRESSED" }
-    );
+    }
+    let mut ok = true;
+    for (field, now) in metrics {
+        let mut best: Option<f64> = None;
+        let mut comparable = 0usize;
+        for entry in &entries {
+            if let Some(v) = entry.get(field).and_then(JsonValue::as_f64) {
+                comparable += 1;
+                best = Some(best.map_or(v, |b: f64| b.min(v)));
+            }
+        }
+        let Some(best) = best else {
+            println!("  history: no prior {field} rows — nothing to compare");
+            continue;
+        };
+        let delta_pct = (now - best) / best * 100.0;
+        let metric_ok = delta_pct <= threshold_pct;
+        println!(
+            "  history: {field} {now:.1} µs vs best recorded {best:.1} µs over {comparable} \
+             comparable runs ({delta_pct:+.1}%) — {}",
+            if metric_ok { "ok" } else { "REGRESSED" }
+        );
+        ok &= metric_ok;
+    }
     Ok(ok)
 }
 
 /// Appends this run's comparable numbers to the history ledger (one
 /// compact JSON object per line).
-fn record_history(path: &str, fresh: &JsonValue, threads: u64) -> Result<(), String> {
+fn record_history(
+    path: &str,
+    metrics: &[(String, f64)],
+    streaming_fresh: Option<&JsonValue>,
+    threads: u64,
+) -> Result<(), String> {
     let unix_s = std::time::SystemTime::now()
         .duration_since(std::time::UNIX_EPOCH)
         .map(|d| d.as_secs())
@@ -316,14 +428,15 @@ fn record_history(path: &str, fresh: &JsonValue, threads: u64) -> Result<(), Str
         ("name".to_string(), JsonValue::Str("bench_history".into())),
         ("unix_s".to_string(), JsonValue::Num(unix_s as f64)),
         ("hardware_threads".to_string(), JsonValue::Num(threads as f64)),
-        (
-            "advance_p50_us".to_string(),
-            JsonValue::Num(streaming_advance_p50(fresh)?),
-        ),
     ];
-    for field in ["advance_speedup_p50", "fallback_rate", "obs_overhead_p50"] {
-        if let Some(v) = fresh.get(field).and_then(JsonValue::as_f64) {
-            pairs.push((field.to_string(), JsonValue::Num(v)));
+    for (field, value) in metrics {
+        pairs.push((field.clone(), JsonValue::Num(*value)));
+    }
+    if let Some(streaming) = streaming_fresh {
+        for field in ["advance_speedup_p50", "fallback_rate", "obs_overhead_p50"] {
+            if let Some(v) = streaming.get(field).and_then(JsonValue::as_f64) {
+                pairs.push((field.to_string(), JsonValue::Num(v)));
+            }
         }
     }
     let mut line = JsonValue::Obj(pairs).to_compact();
@@ -422,25 +535,35 @@ fn main() -> ExitCode {
         }
     }
     if history.is_some() || record {
-        let Some(streaming_path) = &streaming else {
-            return fail("--history/--record need --streaming <fresh.json> to read from");
-        };
         let Some(history_path) = &history else {
             return fail("--record needs --history <ledger.jsonl>");
         };
         let threads = std::thread::available_parallelism().map(|n| n.get() as u64).unwrap_or(1);
-        let fresh = match load(streaming_path) {
+        // The ledger always tracks the solver rows (--solver is required);
+        // the streaming row rides along when --streaming is in play.
+        let solver_snapshot = match load(&solver_fresh) {
             Ok(f) => f,
             Err(e) => return fail(&e),
         };
-        match check_history(history_path, &fresh, threads, threshold_pct) {
+        let streaming_snapshot = match streaming.as_deref().map(load) {
+            Some(Ok(f)) => Some(f),
+            Some(Err(e)) => return fail(&e),
+            None => None,
+        };
+        let metrics = match history_metrics(&solver_snapshot, streaming_snapshot.as_ref()) {
+            Ok(m) => m,
+            Err(e) => return fail(&e),
+        };
+        match check_history(history_path, &metrics, threads, threshold_pct) {
             Ok(pass) => ok &= pass,
             Err(e) => return fail(&e),
         }
         // Record only a passing run: the ledger tracks best-known-good
         // baselines, and the gate already failed loudly otherwise.
         if record && ok {
-            if let Err(e) = record_history(history_path, &fresh, threads) {
+            if let Err(e) =
+                record_history(history_path, &metrics, streaming_snapshot.as_ref(), threads)
+            {
                 return fail(&e);
             }
         }

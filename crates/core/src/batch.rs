@@ -15,9 +15,10 @@
 //!   workers; this is the [`BatchCache`]. The pipeline itself (`&RfPrism`)
 //!   is part of this tier — workers borrow it, nothing is cloned.
 //! * **Per worker** — the full sensing scratch ([`SenseWorkspace`]: DSP
-//!   front-end columns, solver buffers, recycled observation pools),
-//!   reused across every solve a worker performs. Reuse only avoids
-//!   reallocation; it never changes results.
+//!   front-end columns, the solver facade's [`LmCore`](crate::LmCore)
+//!   engines and scratch, recycled observation pools), reused across
+//!   every solve a worker performs. Reuse only avoids reallocation; it
+//!   never changes results.
 //! * **Per tag** — the raw reads in and the [`SensingResult`] out.
 //!
 //! Work is claimed in chunks from a shared atomic cursor, so the

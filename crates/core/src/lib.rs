@@ -57,11 +57,13 @@ pub mod batch;
 pub mod calibration;
 pub mod detector;
 pub mod inventory;
+pub mod lm;
 pub mod material;
 pub mod model;
 pub mod obs;
 pub mod pipeline;
 pub mod pipeline3d;
+pub mod reference;
 pub mod solver;
 pub mod solver3d;
 pub mod streaming;
@@ -72,6 +74,7 @@ pub use batch::{BatchCache, BatchCache3D, TagReads, TagRounds};
 pub use calibration::{CalibrationDb, DeviceCalibration};
 pub use detector::{DetectorConfig, MobilityVerdict};
 pub use inventory::{InventorySensor, ItemOutcome, ItemReport};
+pub use lm::{LaneMode, LaneStats, LmCore, ResidualModel};
 pub use material::{MaterialFeatures, MaterialIdentifier};
 pub use model::AntennaObservation;
 pub use pipeline::{RfPrism, RfPrismConfig, SenseError, SenseWorkspace, SensingResult};

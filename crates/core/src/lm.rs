@@ -1,0 +1,603 @@
+//! Dimension-generic Levenberg–Marquardt core (DESIGN.md §6).
+//!
+//! The 2-D solver fits 5 parameters and the 3-D solver fits 7, but the LM
+//! machinery between them — fused residual+Jacobian evaluation, normal
+//! equations, Cholesky (analytic) or Gaussian elimination (numeric
+//! fallback), the λ damping/retry policy — is byte-for-byte the same
+//! algorithm. [`LmCore`] is that algorithm, const-generic over the
+//! parameter count `P`, with the problem physics abstracted behind
+//! [`ResidualModel`]. Both solvers are thin facades over it, and a new
+//! P-parameter sensing head gets the whole refinement stack by
+//! implementing one trait method.
+//!
+//! Compared with the dynamic [`LmWorkspace`](crate::solver::LmWorkspace)
+//! cores (kept public, frozen — they are the oracle the facades are tested
+//! against), the const-generic core keeps the parameter vector, the `P×P`
+//! normal equations, the factorization scratch and the step/trial buffers
+//! in fixed-size arrays: no bounds checks in the `P`-indexed kernels, no
+//! `clear`/`resize` churn per refinement, and loop trip counts the
+//! compiler can fully unroll. Every floating-point operation runs in the
+//! same order as the dynamic cores, so results are **bit-identical**.
+//!
+//! # Lane accounting
+//!
+//! The residual models evaluate antenna rows in explicit 4-wide lanes
+//! (each lane computes one independent row; rows are written in antenna
+//! order, so the reduction order — and therefore every bit of the result —
+//! matches the scalar loop). The core counts full 4-row blocks and
+//! leftover scalar rows per evaluation into [`LaneStats`]; the solvers
+//! surface the tallies through the `solver.lane_*` observability counters.
+//! [`LaneMode::Scalar`] is the config escape hatch back to the plain loop.
+
+use crate::solver::SolveStats;
+
+/// How the residual models traverse their antenna/channel rows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LaneMode {
+    /// Process rows in explicit 4-wide unrolled lanes (independent rows,
+    /// antenna-order writes — bit-identical to the scalar loop). The
+    /// default.
+    #[default]
+    Wide4,
+    /// The plain scalar loop — the escape hatch, and the reference the
+    /// lane path is pinned against in the equivalence suite.
+    Scalar,
+}
+
+/// Lane-utilization counters of the 4-wide hot paths, accumulated
+/// monotonically (snapshot and diff with [`LaneStats::since`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LaneStats {
+    /// Full 4-seed blocks evaluated by the coarse seed ranking.
+    pub seed_blocks: u64,
+    /// Full 4-row blocks evaluated by residual/Jacobian passes.
+    pub row_blocks: u64,
+    /// Rows (or seeds) processed outside a full 4-wide block — loop
+    /// remainders, plus everything when [`LaneMode::Scalar`] is selected.
+    pub scalar_rows: u64,
+}
+
+impl LaneStats {
+    /// The tallies accumulated since `earlier` was snapshotted.
+    #[must_use]
+    pub fn since(self, earlier: LaneStats) -> LaneStats {
+        LaneStats {
+            seed_blocks: self.seed_blocks - earlier.seed_blocks,
+            row_blocks: self.row_blocks - earlier.row_blocks,
+            scalar_rows: self.scalar_rows - earlier.scalar_rows,
+        }
+    }
+
+    /// Element-wise sum of two tallies (for aggregating a workspace's
+    /// cores into one snapshot).
+    #[must_use]
+    pub fn merged(self, other: LaneStats) -> LaneStats {
+        LaneStats {
+            seed_blocks: self.seed_blocks + other.seed_blocks,
+            row_blocks: self.row_blocks + other.row_blocks,
+            scalar_rows: self.scalar_rows + other.scalar_rows,
+        }
+    }
+}
+
+/// A `P`-parameter nonlinear least-squares model: the problem physics the
+/// dimension-generic [`LmCore`] refines against.
+///
+/// Implementations own (borrow) their observations and configuration; the
+/// core owns the numerics. The solvers implement this for the 2-D joint
+/// (`P = 5`), 2-D slope-only (`P = 3`), 3-D joint (`P = 7`) and 3-D
+/// slope-only (`P = 4`) problems; a new sensing head needs exactly this
+/// one method to inherit the refinement stack.
+pub trait ResidualModel<const P: usize> {
+    /// Fills `r` with the residuals at `p` and, when `jac` is given, the
+    /// row-major `m × P` Jacobian `∂r/∂p` in the same fused pass.
+    ///
+    /// Must fully overwrite both buffers (`clear` + fill). When `jac` is
+    /// `None` only the residuals are needed (trial-point evaluations and
+    /// the numeric fallback's difference sweeps).
+    fn eval(&self, p: &[f64; P], r: &mut Vec<f64>, jac: Option<&mut Vec<f64>>);
+
+    /// The lane mode this model's row loops run under — used by the core's
+    /// lane accounting. Defaults to [`LaneMode::Wide4`].
+    fn lane_mode(&self) -> LaneMode {
+        LaneMode::Wide4
+    }
+}
+
+/// The dimension-generic LM engine: scratch buffers plus the analytic and
+/// numeric refinement loops, const-generic over the parameter count.
+///
+/// The residual and Jacobian buffers grow to the model's row count on the
+/// first refinement and are reused afterwards; everything `P`-sized lives
+/// inline in the struct. A sized core performs **zero** heap allocations
+/// per refinement — the property the counting-allocator suite pins.
+#[derive(Debug, Clone)]
+pub struct LmCore<const P: usize> {
+    r: Vec<f64>,
+    r_plus: Vec<f64>,
+    r_minus: Vec<f64>,
+    /// Row-major `m × P` Jacobian.
+    jac: Vec<f64>,
+    /// Normal matrix `JᵀJ` and its damped factorization scratch.
+    jtj: [[f64; P]; P],
+    chol: [[f64; P]; P],
+    /// Gradient, step and trial-point buffers.
+    jtr: [f64; P],
+    delta: [f64; P],
+    candidate: [f64; P],
+    stats: SolveStats,
+    lanes: LaneStats,
+}
+
+impl<const P: usize> Default for LmCore<P> {
+    fn default() -> Self {
+        LmCore {
+            r: Vec::new(),
+            r_plus: Vec::new(),
+            r_minus: Vec::new(),
+            jac: Vec::new(),
+            jtj: [[0.0; P]; P],
+            chol: [[0.0; P]; P],
+            jtr: [0.0; P],
+            delta: [0.0; P],
+            candidate: [0.0; P],
+            stats: SolveStats::default(),
+            lanes: LaneStats::default(),
+        }
+    }
+}
+
+impl<const P: usize> LmCore<P> {
+    /// Snapshot of the work counters accumulated by every refinement run
+    /// against this core (diff with
+    /// [`SolveStats::since`](crate::solver::SolveStats::since)).
+    pub fn stats(&self) -> SolveStats {
+        self.stats
+    }
+
+    /// Snapshot of the lane-utilization counters (diff with
+    /// [`LaneStats::since`]).
+    pub fn lane_stats(&self) -> LaneStats {
+        self.lanes
+    }
+
+    /// Charges one model evaluation of `rows` residual rows to the lane
+    /// tallies under the model's lane mode.
+    fn charge_lanes(&mut self, mode: LaneMode, rows: usize) {
+        match mode {
+            LaneMode::Wide4 => {
+                self.lanes.row_blocks += (rows / 4) as u64;
+                self.lanes.scalar_rows += (rows % 4) as u64;
+            }
+            LaneMode::Scalar => self.lanes.scalar_rows += rows as u64,
+        }
+    }
+
+    /// Levenberg–Marquardt with the model's fused analytic
+    /// residual+Jacobian — the hot path. The damping/retry policy and
+    /// every floating-point operation match
+    /// [`levenberg_marquardt_analytic_with`](crate::solver::levenberg_marquardt_analytic_with)
+    /// exactly, so results are bit-identical to the dynamic core.
+    #[allow(clippy::needless_range_loop)] // index loops mirror the frozen core verbatim
+    pub fn refine<M: ResidualModel<P>>(
+        &mut self,
+        model: &M,
+        mut p: [f64; P],
+        max_iterations: usize,
+        tolerance: f64,
+    ) -> ([f64; P], f64) {
+        let mode = model.lane_mode();
+        model.eval(&p, &mut self.r, Some(&mut self.jac));
+        self.stats.residual_evals += 1;
+        self.stats.jacobian_evals += 1;
+        let mut cost: f64 = self.r.iter().map(|v| v * v).sum();
+        let m = self.r.len();
+        self.charge_lanes(mode, m);
+        debug_assert_eq!(self.jac.len(), m * P);
+
+        let mut lambda = 1e-3;
+        // The Jacobian from the initial fused evaluation is current; after
+        // an accepted step it goes stale and the next iteration re-fuses.
+        let mut jac_fresh = true;
+
+        for _ in 0..max_iterations {
+            self.stats.iterations += 1;
+            if !jac_fresh {
+                model.eval(&p, &mut self.r, Some(&mut self.jac));
+                self.stats.residual_evals += 1;
+                self.stats.jacobian_evals += 1;
+                self.charge_lanes(mode, m);
+                jac_fresh = true;
+            }
+            // Assemble the normal equations once; the λ retries below
+            // reuse them and only re-damp the diagonal.
+            self.jtj = [[0.0; P]; P];
+            self.jtr = [0.0; P];
+            for i in 0..m {
+                let row = &self.jac[i * P..(i + 1) * P];
+                let ri = self.r[i];
+                for a in 0..P {
+                    self.jtr[a] += row[a] * ri;
+                    for b in a..P {
+                        self.jtj[a][b] += row[a] * row[b];
+                    }
+                }
+            }
+            for a in 0..P {
+                for b in 0..a {
+                    self.jtj[a][b] = self.jtj[b][a];
+                }
+            }
+
+            let mut improved = false;
+            for _ in 0..8 {
+                self.chol = self.jtj;
+                for d in 0..P {
+                    self.chol[d][d] += lambda * self.jtj[d][d].max(1e-12);
+                }
+                if !cholesky_factor(&mut self.chol) {
+                    lambda *= 10.0;
+                    continue;
+                }
+                for a in 0..P {
+                    self.delta[a] = -self.jtr[a];
+                }
+                cholesky_solve(&self.chol, &mut self.delta);
+                for a in 0..P {
+                    self.candidate[a] = p[a] + self.delta[a];
+                }
+                model.eval(&self.candidate, &mut self.r_plus, None);
+                self.stats.residual_evals += 1;
+                self.charge_lanes(mode, m);
+                let new_cost: f64 = self.r_plus.iter().map(|v| v * v).sum();
+                if new_cost < cost {
+                    let rel_drop = (cost - new_cost) / cost.max(1e-300);
+                    p = self.candidate;
+                    std::mem::swap(&mut self.r, &mut self.r_plus);
+                    cost = new_cost;
+                    lambda = (lambda / 3.0).max(1e-12);
+                    improved = true;
+                    jac_fresh = false;
+                    if rel_drop < tolerance {
+                        return (p, cost);
+                    }
+                    break;
+                }
+                lambda *= 4.0;
+            }
+            if !improved {
+                break;
+            }
+        }
+        (p, cost)
+    }
+
+    /// Levenberg–Marquardt with a central-difference Jacobian and
+    /// per-parameter step scales — the numeric fallback. The policy and
+    /// operation order match
+    /// [`levenberg_marquardt_with`](crate::solver::levenberg_marquardt_with)
+    /// exactly (bit-identical results); only residual evaluations
+    /// (`jac: None`) are requested from the model.
+    #[allow(clippy::needless_range_loop)] // index loops mirror the frozen core verbatim
+    pub fn refine_numeric<M: ResidualModel<P>>(
+        &mut self,
+        model: &M,
+        mut p: [f64; P],
+        steps: &[f64; P],
+        max_iterations: usize,
+        tolerance: f64,
+    ) -> ([f64; P], f64) {
+        let mode = model.lane_mode();
+        model.eval(&p, &mut self.r, None);
+        self.stats.residual_evals += 1;
+        let mut cost: f64 = self.r.iter().map(|v| v * v).sum();
+        let m = self.r.len();
+        self.charge_lanes(mode, m);
+
+        let mut lambda = 1e-3;
+        self.jac.clear();
+        self.jac.resize(m * P, 0.0);
+
+        for _ in 0..max_iterations {
+            self.stats.iterations += 1;
+            // Numeric Jacobian (central differences, per-parameter steps).
+            for j in 0..P {
+                let h = steps[j];
+                let saved = p[j];
+                p[j] = saved + h;
+                model.eval(&p, &mut self.r_plus, None);
+                p[j] = saved - h;
+                model.eval(&p, &mut self.r_minus, None);
+                p[j] = saved;
+                for i in 0..m {
+                    self.jac[i * P + j] = (self.r_plus[i] - self.r_minus[i]) / (2.0 * h);
+                }
+            }
+            self.stats.residual_evals += 2 * P as u64;
+            self.stats.jacobian_evals += 1;
+            self.charge_lanes(mode, 2 * P * m);
+            // Normal equations — same accumulation order as the dynamic
+            // numeric core (bit-identical results).
+            self.jtj = [[0.0; P]; P];
+            self.jtr = [0.0; P];
+            for i in 0..m {
+                let row = &self.jac[i * P..(i + 1) * P];
+                let ri = self.r[i];
+                for a in 0..P {
+                    self.jtr[a] += row[a] * ri;
+                    for b in a..P {
+                        self.jtj[a][b] += row[a] * row[b];
+                    }
+                }
+            }
+            for a in 0..P {
+                for b in 0..a {
+                    self.jtj[a][b] = self.jtj[b][a];
+                }
+            }
+
+            // Damped solve with retry on cost increase.
+            let mut improved = false;
+            for _ in 0..8 {
+                self.chol = self.jtj;
+                for d in 0..P {
+                    self.chol[d][d] += lambda * self.jtj[d][d].max(1e-12);
+                }
+                for a in 0..P {
+                    self.delta[a] = -self.jtr[a];
+                }
+                if !gauss_solve(&mut self.chol, &mut self.delta) {
+                    lambda *= 10.0;
+                    continue;
+                }
+                for a in 0..P {
+                    self.candidate[a] = p[a] + self.delta[a];
+                }
+                model.eval(&self.candidate, &mut self.r_plus, None);
+                self.stats.residual_evals += 1;
+                self.charge_lanes(mode, m);
+                let new_cost: f64 = self.r_plus.iter().map(|v| v * v).sum();
+                if new_cost < cost {
+                    let rel_drop = (cost - new_cost) / cost.max(1e-300);
+                    p = self.candidate;
+                    std::mem::swap(&mut self.r, &mut self.r_plus);
+                    cost = new_cost;
+                    lambda = (lambda / 3.0).max(1e-12);
+                    improved = true;
+                    if rel_drop < tolerance {
+                        return (p, cost);
+                    }
+                    break;
+                }
+                lambda *= 4.0;
+            }
+            if !improved {
+                break;
+            }
+        }
+        (p, cost)
+    }
+}
+
+/// In-place Cholesky factorization `A = LLᵀ`; on success the lower
+/// triangle holds `L`. Same expressions (and failure guard) as the
+/// dynamic [`solver`](crate::solver) routine, over fixed-size storage —
+/// bit-identical factors.
+#[allow(clippy::needless_range_loop)] // index loops mirror the frozen core verbatim
+fn cholesky_factor<const P: usize>(a: &mut [[f64; P]; P]) -> bool {
+    for i in 0..P {
+        for j in 0..=i {
+            let mut s = a[i][j];
+            for k in 0..j {
+                s -= a[i][k] * a[j][k];
+            }
+            if i == j {
+                if !s.is_finite() || s < 1e-300 {
+                    return false;
+                }
+                a[i][i] = s.sqrt();
+            } else {
+                a[i][j] = s / a[j][j];
+            }
+        }
+    }
+    true
+}
+
+/// Solves `LLᵀ x = b` in place against a [`cholesky_factor`] factor.
+fn cholesky_solve<const P: usize>(l: &[[f64; P]; P], b: &mut [f64; P]) {
+    for i in 0..P {
+        let mut s = b[i];
+        for k in 0..i {
+            s -= l[i][k] * b[k];
+        }
+        b[i] = s / l[i][i];
+    }
+    for i in (0..P).rev() {
+        let mut s = b[i];
+        for k in (i + 1)..P {
+            s -= l[k][i] * b[k];
+        }
+        b[i] = s / l[i][i];
+    }
+}
+
+/// In-place Gaussian elimination with partial pivoting; pivot selection,
+/// elimination order and back-substitution match the dynamic
+/// `solve_linear_in_place` exactly (the numeric core stays a bit-exact
+/// oracle). Returns `false` when singular.
+#[allow(clippy::needless_range_loop)] // index loops mirror the frozen core verbatim
+fn gauss_solve<const P: usize>(a: &mut [[f64; P]; P], b: &mut [f64; P]) -> bool {
+    for col in 0..P {
+        let mut pivot = col;
+        for row in (col + 1)..P {
+            if a[row][col].abs() > a[pivot][col].abs() {
+                pivot = row;
+            }
+        }
+        if a[pivot][col].abs() < 1e-300 {
+            return false;
+        }
+        if pivot != col {
+            a.swap(col, pivot);
+            b.swap(col, pivot);
+        }
+        for row in (col + 1)..P {
+            let factor = a[row][col] / a[col][col];
+            for k in col..P {
+                a[row][k] -= factor * a[col][k];
+            }
+            b[row] -= factor * b[col];
+        }
+    }
+    for col in (0..P).rev() {
+        let mut s = b[col];
+        for k in (col + 1)..P {
+            s -= a[col][k] * b[k];
+        }
+        b[col] = s / a[col][col];
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solver::{
+        levenberg_marquardt_analytic_with, levenberg_marquardt_with, LmWorkspace,
+    };
+
+    /// Fit y = a·x + b over 10 points — a tiny 2-parameter model whose
+    /// analytic Jacobian is exact.
+    struct Line {
+        data: Vec<(f64, f64)>,
+        mode: LaneMode,
+    }
+
+    impl ResidualModel<2> for Line {
+        fn eval(&self, p: &[f64; 2], r: &mut Vec<f64>, jac: Option<&mut Vec<f64>>) {
+            r.clear();
+            let mut jac = jac;
+            if let Some(j) = jac.as_deref_mut() {
+                j.clear();
+            }
+            for &(x, y) in &self.data {
+                r.push(y - (p[0] * x + p[1]));
+                if let Some(j) = jac.as_deref_mut() {
+                    j.push(-x);
+                    j.push(-1.0);
+                }
+            }
+        }
+
+        fn lane_mode(&self) -> LaneMode {
+            self.mode
+        }
+    }
+
+    fn line_model(mode: LaneMode) -> Line {
+        Line {
+            data: (0..10).map(|i| (i as f64, 2.0 * i as f64 - 3.0)).collect(),
+            mode,
+        }
+    }
+
+    #[test]
+    fn analytic_refine_matches_dynamic_core_bitwise() {
+        let model = line_model(LaneMode::Wide4);
+        let mut core = LmCore::<2>::default();
+        let (p, cost) = core.refine(&model, [0.0, 0.0], 100, 1e-14);
+
+        let mut ws = LmWorkspace::default();
+        let resjac = |p: &[f64], r: &mut Vec<f64>, jac: Option<&mut Vec<f64>>| {
+            let pa = [p[0], p[1]];
+            model.eval(&pa, r, jac);
+        };
+        let (pd, costd) =
+            levenberg_marquardt_analytic_with(&mut ws, &resjac, vec![0.0, 0.0], 100, 1e-14);
+        assert_eq!(p[0].to_bits(), pd[0].to_bits());
+        assert_eq!(p[1].to_bits(), pd[1].to_bits());
+        assert_eq!(cost.to_bits(), costd.to_bits());
+        assert!((p[0] - 2.0).abs() < 1e-8 && (p[1] + 3.0).abs() < 1e-8);
+        // Identical work accounting, too.
+        assert_eq!(core.stats(), ws.stats());
+    }
+
+    #[test]
+    fn numeric_refine_matches_dynamic_core_bitwise() {
+        let model = line_model(LaneMode::Scalar);
+        let mut core = LmCore::<2>::default();
+        let steps = [1e-5, 1e-5];
+        let (p, cost) = core.refine_numeric(&model, [0.0, 0.0], &steps, 100, 1e-14);
+
+        let mut ws = LmWorkspace::default();
+        let residual = |p: &[f64], out: &mut Vec<f64>| {
+            let pa = [p[0], p[1]];
+            model.eval(&pa, out, None);
+        };
+        let (pd, costd) = levenberg_marquardt_with(
+            &mut ws,
+            &residual,
+            vec![0.0, 0.0],
+            &steps,
+            100,
+            1e-14,
+        );
+        assert_eq!(p[0].to_bits(), pd[0].to_bits());
+        assert_eq!(p[1].to_bits(), pd[1].to_bits());
+        assert_eq!(cost.to_bits(), costd.to_bits());
+        assert_eq!(core.stats(), ws.stats());
+    }
+
+    #[test]
+    fn lane_tallies_follow_the_mode() {
+        let wide = line_model(LaneMode::Wide4);
+        let mut core = LmCore::<2>::default();
+        core.refine(&wide, [0.0, 0.0], 100, 1e-14);
+        let lanes = core.lane_stats();
+        // 10 rows per evaluation → 2 full blocks + 2 scalar rows each.
+        assert!(lanes.row_blocks > 0);
+        assert_eq!(lanes.scalar_rows, lanes.row_blocks);
+
+        let scalar = line_model(LaneMode::Scalar);
+        let mut core2 = LmCore::<2>::default();
+        core2.refine(&scalar, [0.0, 0.0], 100, 1e-14);
+        let lanes2 = core2.lane_stats();
+        assert_eq!(lanes2.row_blocks, 0);
+        assert!(lanes2.scalar_rows > 0);
+        // Same evaluations either way: 4·blocks + scalar is conserved.
+        assert_eq!(4 * lanes.row_blocks + lanes.scalar_rows, lanes2.scalar_rows);
+    }
+
+    #[test]
+    fn fixed_size_cholesky_round_trip() {
+        let a = [[4.0, 2.0, 0.6], [2.0, 5.0, 1.0], [0.6, 1.0, 3.0]];
+        let b = [1.0, -2.0, 0.5];
+        let mut l = a;
+        assert!(cholesky_factor(&mut l));
+        let mut x = b;
+        cholesky_solve(&l, &mut x);
+        for i in 0..3 {
+            let ax: f64 = (0..3).map(|j| a[i][j] * x[j]).sum();
+            assert!((ax - b[i]).abs() < 1e-12, "row {i}: {ax} vs {}", b[i]);
+        }
+        let mut indef = [[1.0, 2.0], [2.0, 1.0]];
+        assert!(!cholesky_factor(&mut indef));
+    }
+
+    #[test]
+    fn fixed_size_gauss_pivots_and_rejects_singular() {
+        let a0 = [[0.0, 2.0, 1.0], [1.0, 1.0, 0.5], [3.0, 0.1, 2.0]];
+        let b0 = [1.0, 2.0, 3.0];
+        let mut a = a0;
+        let mut x = b0;
+        assert!(gauss_solve(&mut a, &mut x));
+        for i in 0..3 {
+            let ax: f64 = (0..3).map(|j| a0[i][j] * x[j]).sum();
+            assert!((ax - b0[i]).abs() < 1e-10, "row {i}: {ax} vs {}", b0[i]);
+        }
+        let mut sing = [[1.0, 2.0], [2.0, 4.0]];
+        let mut b = [1.0, 2.0];
+        assert!(!gauss_solve(&mut sing, &mut b));
+    }
+}

@@ -133,6 +133,15 @@ pub mod id {
     /// `streaming.stale_tags` — tags whose last telemetry window produced
     /// no estimate (gauge; set by the replay/serve driver).
     pub const STREAMING_STALE_TAGS: usize = 42;
+    /// `solver.lane_seed_blocks` — 4-seed blocks scored by the wide
+    /// coarse-ranking lanes (2-D and 3-D).
+    pub const SOLVER_LANE_SEED_BLOCKS: usize = 43;
+    /// `solver.lane_row_blocks` — 4-row antenna blocks evaluated by the
+    /// wide residual/Jacobian lanes of the LM cores.
+    pub const SOLVER_LANE_ROW_BLOCKS: usize = 44;
+    /// `solver.lane_scalar_rows` — seeds/rows that fell through to the
+    /// scalar remainder or the scalar escape hatch.
+    pub const SOLVER_LANE_SCALAR_ROWS: usize = 45;
 }
 
 #[cfg(feature = "obs")]
@@ -249,6 +258,18 @@ mod enabled {
             STREAMING_LATENCY_BUCKETS_US,
         ),
         MetricDef::gauge("streaming.stale_tags", "tags with no estimate in the last window"),
+        MetricDef::counter(
+            "solver.lane_seed_blocks",
+            "4-seed blocks scored by the wide coarse-ranking lanes",
+        ),
+        MetricDef::counter(
+            "solver.lane_row_blocks",
+            "4-row antenna blocks evaluated by the wide residual lanes",
+        ),
+        MetricDef::counter(
+            "solver.lane_scalar_rows",
+            "seeds/rows handled by the scalar remainder or escape hatch",
+        ),
     ];
 
     pub use recorder::{counter_add, gauge_set, journal_record, journal_tick, observe_value};
@@ -438,6 +459,9 @@ mod enabled {
                 (STREAMING_ADVANCE_LATENCY_US, "streaming.advance_latency_us"),
                 (STREAMING_EXTRACT_LATENCY_US, "streaming.extract_latency_us"),
                 (STREAMING_STALE_TAGS, "streaming.stale_tags"),
+                (SOLVER_LANE_SEED_BLOCKS, "solver.lane_seed_blocks"),
+                (SOLVER_LANE_ROW_BLOCKS, "solver.lane_row_blocks"),
+                (SOLVER_LANE_SCALAR_ROWS, "solver.lane_scalar_rows"),
             ];
             assert_eq!(by_idx.len(), METRICS.len());
             for (idx, name) in by_idx {

@@ -5,7 +5,10 @@
 //! the algorithm configuration. One call to [`RfPrism::sense`] runs
 //! pre-processing → per-antenna line fitting (with multipath suppression) →
 //! error detection → the joint disentangling solve, and returns the tag's
-//! position, orientation and material parameters simultaneously.
+//! position, orientation and material parameters simultaneously. The
+//! solve runs on the dimension-generic lane core (`rfp_core::lm`,
+//! [`LmCore<5>`](crate::LmCore) behind the [`solve_2d_seeded_warm`]
+//! facade), so pipeline, batch and streaming all share one LM engine.
 
 use crate::batch::BatchCache;
 use crate::detector::{assess, DetectorConfig, MobilityVerdict};

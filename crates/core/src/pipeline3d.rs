@@ -4,7 +4,9 @@
 //! With four antennas the 8 fitted line parameters over-determine the 7
 //! unknowns `(x, y, z, dipole axis, k_t, b_t)`; everything else (raw-read
 //! pre-processing, multipath suppression, the error detector) is shared
-//! with the 2-D pipeline.
+//! with the 2-D pipeline — including the LM engine itself: the 3-D solve
+//! is [`LmCore<7>`](crate::LmCore) behind the [`solve_3d_seeded_warm`]
+//! facade, the same dimension-generic lane core the 2-D path runs on.
 
 use crate::batch::BatchCache3D;
 use crate::detector::{assess, DetectorConfig, MobilityVerdict};

@@ -43,7 +43,19 @@
 //! whenever the result passes a validation gate against the coarse-scan
 //! floor, falling back to the full scan otherwise so a stale prior never
 //! captures the solve (see [`solve_2d_seeded_warm`]).
+//!
+//! Since the lane-core refactor this module is a thin *facade*: the LM
+//! refinement engine lives in the dimension-generic
+//! [`LmCore`] (`LmCore<5>` for the joint problem,
+//! `LmCore<3>` for stage 1), the problem physics sits behind
+//! [`ResidualModel`] implementations, and the
+//! residual/seed-ranking hot loops run in explicit 4-wide lanes
+//! ([`LaneMode`], escape hatch
+//! [`SolverConfig::lane_mode`]). The pre-refactor solver is frozen
+//! verbatim in [`crate::reference`] as the bit-exact oracle the facade is
+//! pinned against (see DESIGN.md §6).
 
+use crate::lm::{LaneMode, LaneStats, LmCore, ResidualModel};
 use crate::model::AntennaObservation;
 use crate::obs;
 use rfp_geom::{angle, AntennaPose, Region2, Vec2, Vec3};
@@ -146,14 +158,14 @@ impl PruneStats {
 #[derive(Debug, Clone)]
 pub struct SolveSeeds {
     /// Multi-start position grid over the working region.
-    position_starts: Vec<Vec2>,
+    pub(crate) position_starts: Vec<Vec2>,
     /// Number of α seeds scanned per position candidate.
-    alpha_steps: usize,
+    pub(crate) alpha_steps: usize,
     /// Region candidates must refine into to be preferred.
-    admissible: Region2,
+    pub(crate) admissible: Region2,
     /// Precomputed per-antenna geometry tables (only with
     /// [`SolveSeeds::for_scene`]).
-    geometry: Option<SeedGeometry>,
+    pub(crate) geometry: Option<SeedGeometry>,
 }
 
 /// The hoisted per-scene geometry: everything in the stage-1/stage-2
@@ -161,24 +173,29 @@ pub struct SolveSeeds {
 /// tag. Entries are computed by exactly the expressions the fallback path
 /// uses, so table lookups are bit-identical to direct evaluation.
 #[derive(Debug, Clone)]
-struct SeedGeometry {
+pub(crate) struct SeedGeometry {
     /// The deployment the tables were built for; tables are valid only
     /// when the observations' poses match these exactly.
-    poses: Vec<AntennaPose>,
+    pub(crate) poses: Vec<AntennaPose>,
     /// `seed_slopes[s·n + i]` = `4π·dist(Aᵢ, seedₛ)/c` — the model slope
     /// of antenna *i* for grid seed *s*.
-    seed_slopes: Vec<f64>,
+    pub(crate) seed_slopes: Vec<f64>,
     /// `orient[a·n + i]` = `θ_orient(Aᵢ, α₀(a))` for α-seed index *a*.
-    orient: Vec<f64>,
+    pub(crate) orient: Vec<f64>,
     /// `proj[a·n + i]` = dipole projection magnitude at antenna *i* for
     /// α-seed index *a* (feeds the RSSI mode penalty).
-    proj: Vec<f64>,
+    pub(crate) proj: Vec<f64>,
+    /// `proj_db[a·n + i]` = `20·log10(proj[a·n + i])` — the RSSI penalty's
+    /// projection term, hoisted so the α scan stops paying a `log10` per
+    /// antenna per α step. `proj` stays alongside it because the penalty's
+    /// readability guard tests the *linear* projection.
+    pub(crate) proj_db: Vec<f64>,
 }
 
 impl SeedGeometry {
     /// The tables describe `observations` only if the poses agree exactly
     /// (same antennas, same order) — extraction can drop antennas.
-    fn matches(&self, observations: &[AntennaObservation]) -> bool {
+    pub(crate) fn matches(&self, observations: &[AntennaObservation]) -> bool {
         self.poses.len() == observations.len()
             && self.poses.iter().zip(observations).all(|(p, o)| *p == o.pose)
     }
@@ -214,16 +231,24 @@ impl SolveSeeds {
         }
         let mut orient = Vec::with_capacity(seeds.alpha_steps * n);
         let mut proj = Vec::with_capacity(seeds.alpha_steps * n);
+        let mut proj_db = Vec::with_capacity(seeds.alpha_steps * n);
         for a in 0..seeds.alpha_steps {
             let alpha0 = std::f64::consts::PI * a as f64 / seeds.alpha_steps as f64;
             let w = planar_dipole(alpha0);
             for pose in poses {
                 orient.push(orientation_phase(pose, w));
-                proj.push(projection_magnitude(pose, w));
+                let p = projection_magnitude(pose, w);
+                proj.push(p);
+                proj_db.push(20.0 * p.log10());
             }
         }
-        seeds.geometry =
-            Some(SeedGeometry { poses: poses.to_vec(), seed_slopes, orient, proj });
+        seeds.geometry = Some(SeedGeometry {
+            poses: poses.to_vec(),
+            seed_slopes,
+            orient,
+            proj,
+            proj_db,
+        });
         seeds
     }
 
@@ -237,11 +262,20 @@ impl SolveSeeds {
 /// Reusable scratch buffers for repeated 2-D solves. All contents are
 /// overwritten by each solve; reusing one workspace across calls only
 /// avoids reallocation, it never changes results.
+///
+/// Since the lane-core refactor the parameter vectors are fixed-size
+/// arrays (`[f64; 5]` joint, `[f64; 3]` slope-only) living inline in the
+/// candidate lists, so no per-candidate heap storage (and no recycling
+/// pool) exists at all: cold and warm solves are allocation-free once the
+/// buffers are sized (pinned by the counting-allocator suite).
 #[derive(Debug, Default)]
 pub struct SolverWorkspace {
-    lm: LmWorkspace,
+    /// The joint 5-parameter LM engine.
+    joint: LmCore<5>,
+    /// The stage-1 slope-only 3-parameter LM engine.
+    slope: LmCore<3>,
     /// Stage-1 refined candidates `(params, cost, seed index)`.
-    position_candidates: Vec<(Vec<f64>, f64, usize)>,
+    position_candidates: Vec<([f64; 3], f64, usize)>,
     /// `(coarse cost, seed index, k_t seed)` ranking of the coarse-to-fine
     /// scan.
     coarse: Vec<(f64, usize, f64)>,
@@ -249,20 +283,32 @@ pub struct SolverWorkspace {
     alpha_ranked: Vec<(f64, f64, f64)>,
     /// Per-antenna distances of the current stage-2 candidate.
     dists: Vec<f64>,
+    /// Per-antenna `rssiᵢ + 40·log10(dᵢ)` of the current stage-2
+    /// candidate — the α-independent half of the RSSI penalty, hoisted
+    /// out of the α scan.
+    rssi_base: Vec<f64>,
     /// Per-antenna `θ_orient` / projection rows when no geometry table
     /// applies.
     orient_row: Vec<f64>,
     proj_row: Vec<f64>,
+    proj_db_row: Vec<f64>,
+    /// Per-α closed-form `b_t` seeds and squared intercept residuals,
+    /// cached by the first α scan of a solve. Both depend only on the
+    /// observations and the α geometry — not on the position candidate —
+    /// so the second and later scans of the same solve replay them
+    /// instead of recomputing the circular means. Cleared at every solve
+    /// entry (`alpha_bt0.is_empty()` marks the cache cold).
+    alpha_bt0: Vec<f64>,
+    alpha_rb2: Vec<f64>,
     /// Stage-3 refined candidates; the winner is extracted by index.
-    refined: Vec<(Vec<f64>, f64)>,
-    /// Free-list of parameter vectors: candidate vecs from previous solves
-    /// are drained here and reused for the next solve's seeds, so the
-    /// steady state allocates no parameter storage at all.
-    params_pool: Vec<Vec<f64>>,
+    refined: Vec<([f64; 5], f64)>,
     /// Scratch of the Gauss–Newton covariance propagation.
     uncert: UncertScratch,
     /// Pruning / warm-start effectiveness tallies.
     prune: PruneStats,
+    /// Lane tallies of the coarse seed ranking (the LM cores keep their
+    /// own row tallies).
+    lanes: LaneStats,
 }
 
 /// Scratch buffers of [`estimate_uncertainty`]: residuals, Jacobian and
@@ -278,26 +324,34 @@ struct UncertScratch {
     e: Vec<f64>,
 }
 
-/// Pops a recycled parameter vector off the free-list (or makes an empty
-/// one), cleared and ready to be filled with a new seed.
-fn pooled(pool: &mut Vec<Vec<f64>>) -> Vec<f64> {
-    let mut v = pool.pop().unwrap_or_default();
-    v.clear();
-    v
-}
-
 impl SolverWorkspace {
     /// Snapshot of the LM work counters accumulated by solves run against
     /// this workspace (diff two snapshots with [`SolveStats::since`] for
-    /// per-solve counts).
+    /// per-solve counts). Sums the joint and slope cores, so totals match
+    /// the single-workspace accounting of the pre-refactor solver.
     pub fn stats(&self) -> SolveStats {
-        self.lm.stats()
+        let j = self.joint.stats();
+        let s = self.slope.stats();
+        SolveStats {
+            residual_evals: j.residual_evals + s.residual_evals,
+            jacobian_evals: j.jacobian_evals + s.jacobian_evals,
+            iterations: j.iterations + s.iterations,
+        }
     }
 
     /// Snapshot of the seed-pruning / warm-start effectiveness counters
     /// (diff with [`PruneStats::since`]).
     pub fn prune_stats(&self) -> PruneStats {
         self.prune
+    }
+
+    /// Snapshot of the 4-wide lane tallies: the coarse seed-ranking blocks
+    /// plus both LM cores' residual-row blocks (diff with
+    /// [`LaneStats::since`]).
+    pub fn lane_stats(&self) -> LaneStats {
+        self.lanes
+            .merged(self.joint.lane_stats())
+            .merged(self.slope.lane_stats())
     }
 }
 
@@ -343,6 +397,12 @@ pub struct SolverConfig {
     /// refinement and an α scan — a value the scan itself could reach).
     /// Teleporting tags fail the gate and fall back to the full scan.
     pub warm_gate_rel_tol: f64,
+    /// How the hot loops (coarse seed ranking, residual/Jacobian rows)
+    /// traverse their data: explicit 4-wide lanes (default) or the plain
+    /// scalar loop. Both produce bit-identical results — rows are
+    /// independent and written in a fixed order — so this is purely an
+    /// escape hatch / A-B switch (see [`LaneMode`]).
+    pub lane_mode: LaneMode,
 }
 
 impl Default for SolverConfig {
@@ -359,6 +419,7 @@ impl Default for SolverConfig {
             refine_top_k: Some(8),
             early_exit_rel_tol: 0.5,
             warm_gate_rel_tol: 0.25,
+            lane_mode: LaneMode::Wide4,
         }
     }
 }
@@ -377,7 +438,7 @@ impl SolverConfig {
 
     /// True when the multi-start scan runs the legacy exhaustive loop
     /// (every seed refined, grid order, no early exit).
-    fn is_exhaustive(&self) -> bool {
+    pub(crate) fn is_exhaustive(&self) -> bool {
         self.refine_top_k.is_none() && self.early_exit_rel_tol <= 0.0
     }
 }
@@ -418,15 +479,8 @@ impl WarmStart {
         self
     }
 
-    fn params_into(&self, out: &mut Vec<f64>) {
-        out.clear();
-        out.extend_from_slice(&[
-            self.position.x,
-            self.position.y,
-            self.orientation,
-            self.kt,
-            self.bt,
-        ]);
+    pub(crate) fn params(&self) -> [f64; 5] {
+        [self.position.x, self.position.y, self.orientation, self.kt, self.bt]
     }
 }
 
@@ -636,18 +690,66 @@ pub fn solve_2d_tracking_warm(
 /// exactly how the exhaustive path's cost sort breaks them; the explicit
 /// (cost, index) key makes the ordering total, so the unstable
 /// (allocation-free) sort is deterministic.
+///
+/// With geometry tables and [`LaneMode::Wide4`] the ranking evaluates 4
+/// seeds per pass over the slope table: the two per-seed accumulations
+/// (`k_t` seed mean, then the cost) run in 4 independent lanes whose
+/// per-seed operation order over the antennas is exactly the scalar
+/// loop's, so the lane path is bit-identical to
+/// [`coarse_seed_cost_2d`].
 fn rank_coarse_2d(
     observations: &[AntennaObservation],
     geometry: Option<&SeedGeometry>,
     seeds: &SolveSeeds,
     config: &SolverConfig,
     coarse: &mut Vec<(f64, usize, f64)>,
+    lanes: &mut LaneStats,
 ) {
     let _rank_span = obs::span("seed_rank");
     coarse.clear();
-    for (s, &seed_pos) in seeds.position_starts.iter().enumerate() {
-        let (kt0, cost) = coarse_seed_cost_2d(observations, geometry, s, seed_pos, config);
-        coarse.push((cost, s, kt0));
+    match (geometry, config.lane_mode) {
+        (Some(g), LaneMode::Wide4) => {
+            let n = observations.len();
+            let total = seeds.position_starts.len();
+            let mut s = 0usize;
+            while s + 4 <= total {
+                let bases = [s * n, (s + 1) * n, (s + 2) * n, (s + 3) * n];
+                let mut sum = [0.0f64; 4];
+                for (i, o) in observations.iter().enumerate() {
+                    for l in 0..4 {
+                        sum[l] += o.slope - g.seed_slopes[bases[l] + i];
+                    }
+                }
+                let kt0 = sum.map(|v| v / n as f64);
+                let mut cost = [0.0f64; 4];
+                for (i, o) in observations.iter().enumerate() {
+                    for l in 0..4 {
+                        let rs =
+                            (o.slope - g.seed_slopes[bases[l] + i] - kt0[l]) / config.slope_sigma;
+                        cost[l] += rs * rs;
+                    }
+                }
+                for l in 0..4 {
+                    coarse.push((cost[l], s + l, kt0[l]));
+                }
+                lanes.seed_blocks += 1;
+                s += 4;
+            }
+            for (idx, &seed_pos) in seeds.position_starts.iter().enumerate().skip(s) {
+                let (kt0, cost) =
+                    coarse_seed_cost_2d(observations, geometry, idx, seed_pos, config);
+                coarse.push((cost, idx, kt0));
+                lanes.scalar_rows += 1;
+            }
+        }
+        _ => {
+            for (s, &seed_pos) in seeds.position_starts.iter().enumerate() {
+                let (kt0, cost) =
+                    coarse_seed_cost_2d(observations, geometry, s, seed_pos, config);
+                coarse.push((cost, s, kt0));
+            }
+            lanes.scalar_rows += seeds.position_starts.len() as u64;
+        }
     }
     coarse.sort_unstable_by(|a, b| {
         a.0.partial_cmp(&b.0).expect("finite costs").then_with(|| a.1.cmp(&b.1))
@@ -667,27 +769,36 @@ fn solve_2d_gated(
     }
     let _solve_span = obs::span("solve_2d");
     let _solve_timer = obs::time_histogram(obs::id::SOLVE_LATENCY_US);
-    let stats_before = if obs::active() { Some(workspace.lm.stats()) } else { None };
+    let before = if obs::active() {
+        Some((workspace.stats(), workspace.lane_stats()))
+    } else {
+        None
+    };
     let n_obs = observations.len();
     let geometry = seeds.geometry.as_ref().filter(|g| g.matches(observations));
     let SolverWorkspace {
-        lm,
+        joint,
+        slope,
         position_candidates,
         coarse,
         alpha_ranked,
         dists,
+        rssi_base,
         orient_row,
         proj_row,
+        proj_db_row,
+        alpha_bt0,
+        alpha_rb2,
         refined,
-        params_pool,
         uncert,
         prune,
+        lanes,
     } = workspace;
-
-    // Recycle the previous solve's candidate parameter vectors before
-    // anything claims a seed from the pool.
-    params_pool.extend(position_candidates.drain(..).map(|(v, _, _)| v));
-    params_pool.extend(refined.drain(..).map(|(v, _)| v));
+    position_candidates.clear();
+    refined.clear();
+    // The α-scan cache is keyed by the observations of *this* solve.
+    alpha_bt0.clear();
+    alpha_rb2.clear();
 
     // The problem separates naturally, which both speeds the solve up and
     // avoids local minima:
@@ -722,7 +833,7 @@ fn solve_2d_gated(
     coarse.clear();
     let mut coarse_ready = false;
     if cached_floor.is_none() && (warm.is_some() || !config.is_exhaustive()) {
-        rank_coarse_2d(observations, geometry, seeds, config, coarse);
+        rank_coarse_2d(observations, geometry, seeds, config, coarse, lanes);
         coarse_ready = true;
     }
 
@@ -734,9 +845,7 @@ fn solve_2d_gated(
     let warm_attempted = warm.is_some();
     if let Some(w) = warm {
         let _warm_span = obs::span("warm_start");
-        let mut wp0 = pooled(params_pool);
-        w.params_into(&mut wp0);
-        let (p, cost) = refine_joint_2d(lm, observations, config, wp0);
+        let (p, cost) = refine_joint_2d(joint, observations, config, w.params());
         let key = cost
             + rssi_mode_penalty(
                 observations,
@@ -761,14 +870,13 @@ fn solve_2d_gated(
         };
         if !accept {
             if !coarse_ready {
-                rank_coarse_2d(observations, geometry, seeds, config, coarse);
+                rank_coarse_2d(observations, geometry, seeds, config, coarse, lanes);
                 coarse_ready = true;
             }
             let (_, best_seed, best_kt) = coarse[0];
             let seed_pos = seeds.position_starts[best_seed];
-            let mut sp0 = pooled(params_pool);
-            sp0.extend_from_slice(&[seed_pos.x, seed_pos.y, best_kt]);
-            let (sp, _) = refine_slope_2d(lm, observations, config, sp0);
+            let (sp, _) =
+                refine_slope_2d(slope, observations, config, [seed_pos.x, seed_pos.y, best_kt]);
             seeds_refined += 1;
             scan_alphas_2d(
                 observations,
@@ -777,11 +885,14 @@ fn solve_2d_gated(
                 seeds.alpha_steps,
                 (sp[0], sp[1], sp[2]),
                 dists,
+                rssi_base,
                 orient_row,
                 proj_row,
+                proj_db_row,
+                alpha_bt0,
+                alpha_rb2,
                 alpha_ranked,
             );
-            params_pool.push(sp);
             let floor = alpha_ranked.first().map_or(f64::INFINITY, |&(_, _, c)| c);
             if let Some(g) = gate.as_deref_mut() {
                 g.anchor(floor);
@@ -792,12 +903,10 @@ fn solve_2d_gated(
             prune.seeds_total += total_seeds;
             prune.seeds_refined += seeds_refined;
             prune.warm_start_hits += 1;
-            flush_obs_2d(lm, stats_before, total_seeds, seeds_refined, true, false);
+            flush_obs_2d(joint, slope, *lanes, before, total_seeds, seeds_refined, true, false);
             let estimate = build_estimate_2d(observations, &p, cost, config, uncert);
-            params_pool.push(p);
             return Ok(estimate);
         }
-        params_pool.push(p);
         // Confirmed gate miss: the scan below recomputes the optimum from
         // scratch, so drop the cached floor and re-anchor next warm solve.
         if let Some(g) = gate {
@@ -808,7 +917,7 @@ fn solve_2d_gated(
     // A deferred coarse ranking is needed after all (warm gate missed, or
     // the prior was absent) for the pruned stage-1 beam.
     if !coarse_ready && !config.is_exhaustive() {
-        rank_coarse_2d(observations, geometry, seeds, config, coarse);
+        rank_coarse_2d(observations, geometry, seeds, config, coarse, lanes);
     }
 
     // Stage 1: slope-only position solve. Exhaustive mode refines every
@@ -830,9 +939,8 @@ fn solve_2d_gated(
                 }
                 None => seed_kt(observations, seed_pos),
             };
-            let mut p0 = pooled(params_pool);
-            p0.extend_from_slice(&[seed_pos.x, seed_pos.y, kt0]);
-            let (p, cost) = refine_slope_2d(lm, observations, config, p0);
+            let (p, cost) =
+                refine_slope_2d(slope, observations, config, [seed_pos.x, seed_pos.y, kt0]);
             position_candidates.push((p, cost, s));
         }
         // Ties on cost keep grid (push) order via the explicit seed-index
@@ -859,9 +967,8 @@ fn solve_2d_gated(
                 break;
             }
             let seed_pos = seeds.position_starts[s];
-            let mut p0 = pooled(params_pool);
-            p0.extend_from_slice(&[seed_pos.x, seed_pos.y, kt0]);
-            let (p, cost) = refine_slope_2d(lm, observations, config, p0);
+            let (p, cost) =
+                refine_slope_2d(slope, observations, config, [seed_pos.x, seed_pos.y, kt0]);
             best_refined = best_refined.min(cost);
             position_candidates.push((p, cost, s));
         }
@@ -870,6 +977,7 @@ fn solve_2d_gated(
         });
     }
     seeds_refined += position_candidates.len() as u64;
+    #[allow(clippy::drop_non_drop)] // ends the span early; inert unit guard without `obs`
     drop(stage1_span);
     // Keep the best in-region candidates by index (the overall best, at
     // index 0 after the sort, is the backup if none stayed inside).
@@ -907,8 +1015,12 @@ fn solve_2d_gated(
             seeds.alpha_steps,
             (cx, cy, ckt),
             dists,
+            rssi_base,
             orient_row,
             proj_row,
+            proj_db_row,
+            alpha_bt0,
+            alpha_rb2,
             alpha_ranked,
         );
         let _refine_span = obs::span("joint_refine");
@@ -924,9 +1036,8 @@ fn solve_2d_gated(
                     }
                 }
             }
-            let mut p0 = pooled(params_pool);
-            p0.extend_from_slice(&[cx, cy, alpha0, ckt, bt0]);
-            let (p, cost) = refine_joint_2d(lm, observations, config, p0);
+            let (p, cost) =
+                refine_joint_2d(joint, observations, config, [cx, cy, alpha0, ckt, bt0]);
             let key = cost
                 + rssi_mode_penalty(
                     observations,
@@ -954,9 +1065,17 @@ fn solve_2d_gated(
     if warm_attempted {
         prune.warm_start_misses += 1;
     }
-    flush_obs_2d(lm, stats_before, total_seeds, seeds_refined, false, warm_attempted);
+    flush_obs_2d(
+        joint,
+        slope,
+        *lanes,
+        before,
+        total_seeds,
+        seeds_refined,
+        false,
+        warm_attempted,
+    );
     let estimate = build_estimate_2d(observations, &p, cost, config, uncert);
-    params_pool.push(p);
     Ok(estimate)
 }
 
@@ -1007,8 +1126,16 @@ fn coarse_seed_cost_2d(
 /// Stage 2 at one position candidate `(x, y, k_t)`: ranks every α seed by
 /// the full cost (slope + wrapped intercept + RSSI mode penalty) and
 /// leaves `alpha_ranked` sorted best-first. Everything α-independent — the
-/// per-antenna distances and the slope half of the cost — is hoisted out
-/// of the scan.
+/// per-antenna distances, the slope half of the cost and the RSSI
+/// penalty's `rssiᵢ + 40·log10(dᵢ)` base — is hoisted out of the scan,
+/// and the projection `log10` comes from the geometry table
+/// ([`SeedGeometry::proj_db`]) when one applies. Everything
+/// *candidate*-independent — the per-α circular-mean `b_t` seed and the
+/// squared intercept residuals — is computed once per solve and replayed
+/// from `bt0_cache`/`rb2_cache` on later scans. The hoisted penalty
+/// groups the dB terms exactly as the original left-associative
+/// expression and the replayed residuals re-sum in push order, so the
+/// scan stays bit-identical to the frozen reference.
 #[allow(clippy::too_many_arguments)]
 fn scan_alphas_2d(
     observations: &[AntennaObservation],
@@ -1017,8 +1144,12 @@ fn scan_alphas_2d(
     alpha_steps: usize,
     candidate: (f64, f64, f64),
     dists: &mut Vec<f64>,
+    rssi_base: &mut Vec<f64>,
     orient_row: &mut Vec<f64>,
     proj_row: &mut Vec<f64>,
+    proj_db_row: &mut Vec<f64>,
+    bt0_cache: &mut Vec<f64>,
+    rb2_cache: &mut Vec<f64>,
     alpha_ranked: &mut Vec<(f64, f64, f64)>,
 ) {
     let n_obs = observations.len();
@@ -1032,41 +1163,86 @@ fn scan_alphas_2d(
         slope_cost += rs * rs;
         dists.push(d);
     }
+    // The α-independent half of the RSSI penalty. Entries for unreadable
+    // distances may be NaN/−∞, but the penalty's guards return before
+    // reading them — exactly as the unhoisted kernel returned before
+    // computing the term at all.
+    let rssi_active = config.rssi_sigma_db.is_finite() && config.rssi_sigma_db > 0.0;
+    rssi_base.clear();
+    if rssi_active {
+        for (o, &d) in observations.iter().zip(dists.iter()) {
+            rssi_base.push(o.mean_rssi_dbm + 40.0 * d.log10());
+        }
+    }
     // Rank α seeds by full cost at this position; spurious twin-α basins
     // often fit the phases *better* than the true mode under noise, so the
     // RSSI mode penalty is applied already in the ranking — otherwise they
     // crowd truth out of the refinement short-list entirely.
     alpha_ranked.clear();
     let _alpha_span = obs::span("alpha_scan");
+    let cached = !bt0_cache.is_empty();
     for a in 0..alpha_steps {
         let alpha0 = std::f64::consts::PI * a as f64 / alpha_steps as f64;
-        let (orow, prow): (&[f64], &[f64]) = match geometry {
-            Some(g) => (
-                &g.orient[a * n_obs..(a + 1) * n_obs],
-                &g.proj[a * n_obs..(a + 1) * n_obs],
-            ),
-            None => {
-                let w = planar_dipole(alpha0);
-                orient_row.clear();
-                proj_row.clear();
-                for o in observations {
-                    orient_row.push(orientation_phase(&o.pose, w));
-                    proj_row.push(projection_magnitude(&o.pose, w));
+        if !cached {
+            // First scan of the solve: compute the closed-form b_t seed
+            // (circular mean of `bᵢ − θ_orient`) and the squared
+            // intercept residuals, and stash both for replay.
+            let orow: &[f64] = match geometry {
+                Some(g) => &g.orient[a * n_obs..(a + 1) * n_obs],
+                None => {
+                    let w = planar_dipole(alpha0);
+                    orient_row.clear();
+                    for o in observations {
+                        orient_row.push(orientation_phase(&o.pose, w));
+                    }
+                    orient_row.as_slice()
                 }
-                (orient_row.as_slice(), proj_row.as_slice())
+            };
+            let bt0 = angle::circular_mean(
+                observations.iter().zip(orow).map(|(o, &th)| o.intercept - th),
+            )
+            .unwrap_or(0.0);
+            bt0_cache.push(bt0);
+            for (o, &th) in observations.iter().zip(orow) {
+                let rb = angle::wrap_pi(o.intercept - th - bt0) / config.intercept_sigma;
+                rb2_cache.push(rb * rb);
             }
-        };
-        // Closed-form b_t seed: circular mean of `bᵢ − θ_orient`.
-        let bt0 = angle::circular_mean(
-            observations.iter().zip(orow).map(|(o, &th)| o.intercept - th),
-        )
-        .unwrap_or(0.0);
-        let mut cost = slope_cost;
-        for (o, &th) in observations.iter().zip(orow) {
-            let rb = angle::wrap_pi(o.intercept - th - bt0) / config.intercept_sigma;
-            cost += rb * rb;
         }
-        cost += rssi_penalty_precomputed(observations, dists, prow, config.rssi_sigma_db);
+        let bt0 = bt0_cache[a];
+        // Replaying the squared residuals in push order re-associates the
+        // sum exactly as the uncached expression did — bit-identical on
+        // the first scan and every replay.
+        let mut cost = slope_cost;
+        for &rb2 in &rb2_cache[a * n_obs..(a + 1) * n_obs] {
+            cost += rb2;
+        }
+        if rssi_active {
+            let (prow, pdbrow): (&[f64], &[f64]) = match geometry {
+                Some(g) => (
+                    &g.proj[a * n_obs..(a + 1) * n_obs],
+                    &g.proj_db[a * n_obs..(a + 1) * n_obs],
+                ),
+                None => {
+                    let w = planar_dipole(alpha0);
+                    proj_row.clear();
+                    proj_db_row.clear();
+                    for o in observations {
+                        let p = projection_magnitude(&o.pose, w);
+                        proj_row.push(p);
+                        proj_db_row.push(20.0 * p.log10());
+                    }
+                    (proj_row.as_slice(), proj_db_row.as_slice())
+                }
+            };
+            cost += rssi_penalty_hoisted(
+                observations,
+                rssi_base,
+                dists,
+                prow,
+                pdbrow,
+                config.rssi_sigma_db,
+            );
+        }
         alpha_ranked.push((alpha0, bt0, cost));
     }
     // α seeds were pushed in strictly ascending α, so breaking cost ties
@@ -1107,16 +1283,30 @@ fn build_estimate_2d(
 
 /// Per-solve counter flush of the 2-D solve (active only when the obs
 /// layer is recording; `before` is `None` otherwise).
+#[allow(clippy::too_many_arguments)]
 fn flush_obs_2d(
-    lm: &LmWorkspace,
-    before: Option<SolveStats>,
+    joint: &LmCore<5>,
+    slope: &LmCore<3>,
+    rank_lanes: LaneStats,
+    before: Option<(SolveStats, LaneStats)>,
     seeds_total: u64,
     seeds_refined: u64,
     warm_hit: bool,
     warm_miss: bool,
 ) {
-    let Some(before) = before else { return };
-    let work = lm.stats().since(before);
+    let Some((stats_before, lanes_before)) = before else { return };
+    let j = joint.stats();
+    let s = slope.stats();
+    let work = SolveStats {
+        residual_evals: j.residual_evals + s.residual_evals,
+        jacobian_evals: j.jacobian_evals + s.jacobian_evals,
+        iterations: j.iterations + s.iterations,
+    }
+    .since(stats_before);
+    let lane_work = rank_lanes
+        .merged(joint.lane_stats())
+        .merged(slope.lane_stats())
+        .since(lanes_before);
     obs::counter_add(obs::id::SOLVER2D_SOLVES, 1);
     obs::counter_add(obs::id::SOLVER2D_ITERATIONS, work.iterations);
     obs::counter_add(obs::id::SOLVER2D_RESIDUAL_EVALS, work.residual_evals);
@@ -1127,6 +1317,9 @@ fn flush_obs_2d(
         obs::id::SOLVER_SEEDS_PRUNED,
         seeds_total.saturating_sub(seeds_refined),
     );
+    obs::counter_add(obs::id::SOLVER_LANE_SEED_BLOCKS, lane_work.seed_blocks);
+    obs::counter_add(obs::id::SOLVER_LANE_ROW_BLOCKS, lane_work.row_blocks);
+    obs::counter_add(obs::id::SOLVER_LANE_SCALAR_ROWS, lane_work.scalar_rows);
     if warm_hit {
         obs::counter_add(obs::id::SOLVER_WARM_HITS, 1);
     }
@@ -1141,27 +1334,55 @@ const JOINT_STEPS_2D: [f64; 5] = [1e-4, 1e-4, 1e-4, 1e-13, 1e-4];
 /// Steps of the numeric-fallback slope-only (stage-1) solve: x, y, k_t.
 const SLOPE_STEPS_2D: [f64; 3] = [1e-4, 1e-4, 1e-13];
 
-/// Joint 5-parameter LM refinement, dispatched on the configured
-/// [`JacobianMode`].
+/// The joint 5-parameter disentangling problem as a [`ResidualModel`]:
+/// Eq. 6's slope + wrapped-intercept residuals with the fused analytic
+/// Jacobian of [`residuals_and_jacobian_2d`].
+struct Joint2<'a> {
+    observations: &'a [AntennaObservation],
+    config: &'a SolverConfig,
+}
+
+impl ResidualModel<5> for Joint2<'_> {
+    fn eval(&self, p: &[f64; 5], r: &mut Vec<f64>, jac: Option<&mut Vec<f64>>) {
+        residuals_and_jacobian_2d(self.observations, p, self.config, r, jac);
+    }
+
+    fn lane_mode(&self) -> LaneMode {
+        self.config.lane_mode
+    }
+}
+
+/// The stage-1 slope-only `(x, y, k_t)` problem as a [`ResidualModel`].
+struct Slope2<'a> {
+    observations: &'a [AntennaObservation],
+    config: &'a SolverConfig,
+}
+
+impl ResidualModel<3> for Slope2<'_> {
+    fn eval(&self, p: &[f64; 3], r: &mut Vec<f64>, jac: Option<&mut Vec<f64>>) {
+        slope_residuals_and_jacobian_2d(self.observations, p, self.config, r, jac);
+    }
+
+    fn lane_mode(&self) -> LaneMode {
+        self.config.lane_mode
+    }
+}
+
+/// Joint 5-parameter LM refinement through the dimension-generic core,
+/// dispatched on the configured [`JacobianMode`].
 fn refine_joint_2d(
-    lm: &mut LmWorkspace,
+    core: &mut LmCore<5>,
     observations: &[AntennaObservation],
     config: &SolverConfig,
-    p0: Vec<f64>,
-) -> (Vec<f64>, f64) {
+    p0: [f64; 5],
+) -> ([f64; 5], f64) {
+    let model = Joint2 { observations, config };
     match config.jacobian {
-        JacobianMode::Analytic => levenberg_marquardt_analytic_with(
-            lm,
-            &|p: &[f64], r: &mut Vec<f64>, jac: Option<&mut Vec<f64>>| {
-                residuals_and_jacobian_2d(observations, p, config, r, jac)
-            },
-            p0,
-            config.max_iterations,
-            config.tolerance,
-        ),
-        JacobianMode::Numeric => levenberg_marquardt_with(
-            lm,
-            &|p: &[f64], out: &mut Vec<f64>| residuals_2d(observations, p, config, out),
+        JacobianMode::Analytic => {
+            core.refine(&model, p0, config.max_iterations, config.tolerance)
+        }
+        JacobianMode::Numeric => core.refine_numeric(
+            &model,
             p0,
             &JOINT_STEPS_2D,
             config.max_iterations,
@@ -1170,29 +1391,21 @@ fn refine_joint_2d(
     }
 }
 
-/// Stage-1 slope-only LM refinement over `(x, y, k_t)`, dispatched on the
-/// configured [`JacobianMode`].
+/// Stage-1 slope-only LM refinement over `(x, y, k_t)` through the
+/// dimension-generic core, dispatched on the configured [`JacobianMode`].
 fn refine_slope_2d(
-    lm: &mut LmWorkspace,
+    core: &mut LmCore<3>,
     observations: &[AntennaObservation],
     config: &SolverConfig,
-    p0: Vec<f64>,
-) -> (Vec<f64>, f64) {
+    p0: [f64; 3],
+) -> ([f64; 3], f64) {
+    let model = Slope2 { observations, config };
     match config.jacobian {
-        JacobianMode::Analytic => levenberg_marquardt_analytic_with(
-            lm,
-            &|p: &[f64], r: &mut Vec<f64>, jac: Option<&mut Vec<f64>>| {
-                slope_residuals_and_jacobian_2d(observations, p, config, r, jac)
-            },
-            p0,
-            config.max_iterations,
-            config.tolerance,
-        ),
-        JacobianMode::Numeric => levenberg_marquardt_with(
-            lm,
-            &|p: &[f64], out: &mut Vec<f64>| {
-                slope_residuals_and_jacobian_2d(observations, p, config, out, None)
-            },
+        JacobianMode::Analytic => {
+            core.refine(&model, p0, config.max_iterations, config.tolerance)
+        }
+        JacobianMode::Numeric => core.refine_numeric(
+            &model,
             p0,
             &SLOPE_STEPS_2D,
             config.max_iterations,
@@ -1344,22 +1557,44 @@ where
     )
 }
 
-/// [`rssi_pattern_penalty`] over distances and projections that are
-/// already in hand (the stage-2 scan hoists both out of the α loop).
-pub(crate) fn rssi_penalty_precomputed(
+/// The RSSI mode penalty with both dB terms precomputed: `rssi_base[i]` =
+/// `rssiᵢ + 40·log10(dᵢ)` (hoisted out of the α scan) and `proj_dbs[i]` =
+/// `20·log10(projs[i])` (a geometry-table lookup). The caller has already
+/// checked `sigma_db` is active. Guard order and the grouping of the dB
+/// sum match [`rssi_penalty_core`]'s left-associative
+/// `rssi + 40·log10(d) − 20·log10(proj)` exactly, so the hoisted form is
+/// bit-identical — `rssi_base`/`proj_dbs` entries behind a triggered
+/// guard are never read.
+pub(crate) fn rssi_penalty_hoisted(
     observations: &[AntennaObservation],
+    rssi_base: &[f64],
     dists: &[f64],
     projs: &[f64],
+    proj_dbs: &[f64],
     sigma_db: f64,
 ) -> f64 {
-    rssi_penalty_core(
-        observations
-            .iter()
-            .zip(dists)
-            .zip(projs)
-            .map(|((o, &d), &proj)| (o.mean_rssi_dbm, d, proj)),
-        sigma_db,
-    )
+    let mut sum = 0.0;
+    let mut sum_sq = 0.0;
+    let mut n = 0usize;
+    for (i, o) in observations.iter().enumerate() {
+        if !o.mean_rssi_dbm.is_finite() {
+            return 0.0;
+        }
+        if projs[i] < 1e-3 || dists[i] <= 0.0 {
+            // The mode predicts an unreadable antenna that in fact read the
+            // tag: strongly implausible.
+            return 1e6;
+        }
+        let m = rssi_base[i] - proj_dbs[i];
+        sum += m;
+        sum_sq += m * m;
+        n += 1;
+    }
+    if n == 0 {
+        return 0.0;
+    }
+    let variance = (sum_sq - sum * sum / n as f64).max(0.0);
+    variance / (sigma_db * sigma_db)
 }
 
 /// The penalty kernel over `(rssi dBm, distance, projection)` triples; see
@@ -1443,8 +1678,10 @@ pub fn residuals_and_jacobian_2d(
     let pos = Vec2::new(p[0], p[1]).with_z(0.0);
     let alpha = p[2];
     let w = planar_dipole(alpha);
-    // d/dα of the planar dipole (a rotation in the x–z plane).
-    let dw = Vec3::new(-alpha.sin(), 0.0, alpha.cos());
+    // d/dα of the planar dipole (a rotation in the x–z plane): the same
+    // sine/cosine pair as `w`, so the derivative costs no further trig —
+    // `-w.z` and `w.x` are bit-identical to `-alpha.sin()` / `alpha.cos()`.
+    let dw = Vec3::new(-w.z, 0.0, w.x);
     let (kt, bt) = (p[3], p[4]);
     r.clear();
     let mut jac = jac;
@@ -1452,41 +1689,86 @@ pub fn residuals_and_jacobian_2d(
         j.clear();
         j.resize(observations.len() * 2 * 5, 0.0);
     }
+    let mut jac: Option<&mut [f64]> = jac.map(Vec::as_mut_slice);
     let k1 = propagation::slope_from_distance(1.0); // 4π/c
-    for (i, o) in observations.iter().enumerate() {
-        let ap = o.pose.position();
-        let d = ap.distance(pos);
-        let k_model = propagation::slope_from_distance(d) + kt;
-        r.push((o.slope - k_model) / config.slope_sigma);
-        let uw = o.pose.u().dot(w);
-        let vw = o.pose.v().dot(w);
-        let denom = uw * uw + vw * vw;
-        // Same expression (and guard) as `orientation_phase`, inlined so
-        // the Jacobian reuses the dot products.
-        let theta = if denom < 1e-24 {
+    match config.lane_mode {
+        LaneMode::Wide4 => {
+            // Four independent antenna rows per pass. Each lane writes its
+            // own residual/Jacobian rows and rows are emitted in antenna
+            // order, so the unrolled path is bit-identical to the scalar
+            // loop — there is no cross-lane reduction to reorder.
+            let mut chunks = observations.chunks_exact(4);
+            let mut i = 0usize;
+            for c in chunks.by_ref() {
+                joint_row_2d(&c[0], i, pos, w, dw, kt, bt, k1, config, r, jac.as_deref_mut());
+                joint_row_2d(&c[1], i + 1, pos, w, dw, kt, bt, k1, config, r, jac.as_deref_mut());
+                joint_row_2d(&c[2], i + 2, pos, w, dw, kt, bt, k1, config, r, jac.as_deref_mut());
+                joint_row_2d(&c[3], i + 3, pos, w, dw, kt, bt, k1, config, r, jac.as_deref_mut());
+                i += 4;
+            }
+            for o in chunks.remainder() {
+                joint_row_2d(o, i, pos, w, dw, kt, bt, k1, config, r, jac.as_deref_mut());
+                i += 1;
+            }
+        }
+        LaneMode::Scalar => {
+            for (i, o) in observations.iter().enumerate() {
+                joint_row_2d(o, i, pos, w, dw, kt, bt, k1, config, r, jac.as_deref_mut());
+            }
+        }
+    }
+}
+
+/// One antenna's slope + wrapped-intercept rows (and, when `jac` is given,
+/// their Jacobian rows) of the joint 2-D problem — the body shared by the
+/// 4-wide lanes and the scalar loop of [`residuals_and_jacobian_2d`].
+#[allow(clippy::too_many_arguments)]
+#[inline(always)]
+fn joint_row_2d(
+    o: &AntennaObservation,
+    i: usize,
+    pos: Vec3,
+    w: Vec3,
+    dw: Vec3,
+    kt: f64,
+    bt: f64,
+    k1: f64,
+    config: &SolverConfig,
+    r: &mut Vec<f64>,
+    jac: Option<&mut [f64]>,
+) {
+    let ap = o.pose.position();
+    let d = ap.distance(pos);
+    let k_model = propagation::slope_from_distance(d) + kt;
+    r.push((o.slope - k_model) / config.slope_sigma);
+    let uw = o.pose.u().dot(w);
+    let vw = o.pose.v().dot(w);
+    let denom = uw * uw + vw * vw;
+    // Same expression (and guard) as `orientation_phase`, inlined so the
+    // Jacobian reuses the dot products.
+    let theta = if denom < 1e-24 {
+        0.0
+    } else {
+        (2.0 * uw * vw).atan2(uw * uw - vw * vw)
+    };
+    let b_model = theta + bt;
+    r.push(angle::wrap_pi(o.intercept - b_model) / config.intercept_sigma);
+    if let Some(j) = jac {
+        let rs = 2 * i * 5;
+        let g = if d > 1e-12 { -k1 / (d * config.slope_sigma) } else { 0.0 };
+        j[rs] = g * (pos.x - ap.x);
+        j[rs + 1] = g * (pos.y - ap.y);
+        j[rs + 3] = -1.0 / config.slope_sigma;
+        let rb = rs + 5;
+        let dtheta = if denom < 1e-24 {
             0.0
         } else {
-            (2.0 * uw * vw).atan2(uw * uw - vw * vw)
+            let uwp = o.pose.u().dot(dw);
+            let vwp = o.pose.v().dot(dw);
+            2.0 * (uw * vwp - vw * uwp) / denom
         };
-        let b_model = theta + bt;
-        r.push(angle::wrap_pi(o.intercept - b_model) / config.intercept_sigma);
-        if let Some(j) = jac.as_deref_mut() {
-            let rs = 2 * i * 5;
-            let g = if d > 1e-12 { -k1 / (d * config.slope_sigma) } else { 0.0 };
-            j[rs] = g * (pos.x - ap.x);
-            j[rs + 1] = g * (pos.y - ap.y);
-            j[rs + 3] = -1.0 / config.slope_sigma;
-            let rb = rs + 5;
-            let dtheta = if denom < 1e-24 {
-                0.0
-            } else {
-                let uwp = o.pose.u().dot(dw);
-                let vwp = o.pose.v().dot(dw);
-                2.0 * (uw * vwp - vw * uwp) / denom
-            };
-            j[rb + 2] = -dtheta / config.intercept_sigma;
-            j[rb + 4] = -1.0 / config.intercept_sigma;
-        }
+        j[rb + 2] = -dtheta / config.intercept_sigma;
+        j[rb + 4] = -1.0 / config.intercept_sigma;
     }
 }
 
@@ -1508,17 +1790,57 @@ fn slope_residuals_and_jacobian_2d(
         j.clear();
         j.resize(observations.len() * 3, 0.0);
     }
+    let mut jac: Option<&mut [f64]> = jac.map(Vec::as_mut_slice);
     let k1 = propagation::slope_from_distance(1.0);
-    for (i, o) in observations.iter().enumerate() {
-        let ap = o.pose.position();
-        let d = ap.distance(pos);
-        r.push((o.slope - propagation::slope_from_distance(d) - kt) / config.slope_sigma);
-        if let Some(j) = jac.as_deref_mut() {
-            let g = if d > 1e-12 { -k1 / (d * config.slope_sigma) } else { 0.0 };
-            j[i * 3] = g * (pos.x - ap.x);
-            j[i * 3 + 1] = g * (pos.y - ap.y);
-            j[i * 3 + 2] = -1.0 / config.slope_sigma;
+    match config.lane_mode {
+        LaneMode::Wide4 => {
+            // See `residuals_and_jacobian_2d`: independent rows in antenna
+            // order, bit-identical to the scalar loop.
+            let mut chunks = observations.chunks_exact(4);
+            let mut i = 0usize;
+            for c in chunks.by_ref() {
+                slope_row_2d(&c[0], i, pos, kt, k1, config, r, jac.as_deref_mut());
+                slope_row_2d(&c[1], i + 1, pos, kt, k1, config, r, jac.as_deref_mut());
+                slope_row_2d(&c[2], i + 2, pos, kt, k1, config, r, jac.as_deref_mut());
+                slope_row_2d(&c[3], i + 3, pos, kt, k1, config, r, jac.as_deref_mut());
+                i += 4;
+            }
+            for o in chunks.remainder() {
+                slope_row_2d(o, i, pos, kt, k1, config, r, jac.as_deref_mut());
+                i += 1;
+            }
         }
+        LaneMode::Scalar => {
+            for (i, o) in observations.iter().enumerate() {
+                slope_row_2d(o, i, pos, kt, k1, config, r, jac.as_deref_mut());
+            }
+        }
+    }
+}
+
+/// One antenna's slope row (and Jacobian row) of the stage-1 problem —
+/// the body shared by the 4-wide lanes and the scalar loop of
+/// [`slope_residuals_and_jacobian_2d`].
+#[allow(clippy::too_many_arguments)]
+#[inline(always)]
+fn slope_row_2d(
+    o: &AntennaObservation,
+    i: usize,
+    pos: Vec3,
+    kt: f64,
+    k1: f64,
+    config: &SolverConfig,
+    r: &mut Vec<f64>,
+    jac: Option<&mut [f64]>,
+) {
+    let ap = o.pose.position();
+    let d = ap.distance(pos);
+    r.push((o.slope - propagation::slope_from_distance(d) - kt) / config.slope_sigma);
+    if let Some(j) = jac {
+        let g = if d > 1e-12 { -k1 / (d * config.slope_sigma) } else { 0.0 };
+        j[i * 3] = g * (pos.x - ap.x);
+        j[i * 3 + 1] = g * (pos.y - ap.y);
+        j[i * 3 + 2] = -1.0 / config.slope_sigma;
     }
 }
 

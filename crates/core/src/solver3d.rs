@@ -10,12 +10,20 @@
 //! intercepts, multi-start + Levenberg–Marquardt with the analytic
 //! Jacobian of DESIGN.md §6 (spherical-angle dipole parameterization) and
 //! the same numeric fallback knob.
+//!
+//! Like the 2-D solver, this module is a thin facade over the
+//! dimension-generic [`LmCore`]: the joint 7-parameter
+//! and stage-1 4-parameter problems are [`ResidualModel`] implementations
+//! refined by `LmCore<7>` / `LmCore<4>`, the residual kernels run 4-wide
+//! antenna-row lanes (see [`LaneMode`] and
+//! [`Solver3DConfig::lane_mode`]), and the pre-refactor solver is frozen
+//! verbatim in [`crate::reference`] as the bit-identity oracle.
 
+use crate::lm::{LaneMode, LaneStats, LmCore, ResidualModel};
 use crate::model::AntennaObservation;
 use crate::obs;
 use crate::solver::{
-    levenberg_marquardt_analytic_with, levenberg_marquardt_with, rssi_pattern_penalty,
-    rssi_penalty_precomputed, JacobianMode, LmWorkspace, PruneStats, SolveStats,
+    rssi_pattern_penalty, rssi_penalty_hoisted, JacobianMode, PruneStats, SolveStats,
 };
 use rfp_geom::{angle, AntennaPose, Region2, Vec3};
 use rfp_phys::polarization::{orientation_phase, projection_magnitude};
@@ -58,6 +66,12 @@ pub struct Solver3DConfig {
     /// (see
     /// [`SolverConfig::warm_gate_rel_tol`](crate::solver::SolverConfig)).
     pub warm_gate_rel_tol: f64,
+    /// Lane width of the hot loops: [`LaneMode::Wide4`] (default) runs the
+    /// coarse seed ranking and the residual/Jacobian kernels in explicit
+    /// 4-wide lanes; [`LaneMode::Scalar`] is the escape hatch back to the
+    /// plain loops. Both orders are bit-identical (see
+    /// [`SolverConfig::lane_mode`](crate::solver::SolverConfig)).
+    pub lane_mode: LaneMode,
 }
 
 impl Default for Solver3DConfig {
@@ -75,6 +89,7 @@ impl Default for Solver3DConfig {
             refine_top_k: Some(16),
             early_exit_rel_tol: 0.5,
             warm_gate_rel_tol: 0.25,
+            lane_mode: LaneMode::Wide4,
         }
     }
 }
@@ -92,7 +107,7 @@ impl Solver3DConfig {
     }
 
     /// True when the multi-start scan runs the legacy exhaustive loop.
-    fn is_exhaustive(&self) -> bool {
+    pub(crate) fn is_exhaustive(&self) -> bool {
         self.refine_top_k.is_none() && self.early_exit_rel_tol <= 0.0
     }
 }
@@ -131,11 +146,11 @@ impl WarmStart3D {
         self
     }
 
-    fn params(&self) -> Vec<f64> {
+    pub(crate) fn params(&self) -> [f64; 7] {
         let w = self.dipole.normalized();
         let theta = w.z.clamp(-1.0, 1.0).acos();
         let phi = w.y.atan2(w.x);
-        vec![self.position.x, self.position.y, self.position.z, theta, phi, self.kt, self.bt]
+        [self.position.x, self.position.y, self.position.z, theta, phi, self.kt, self.bt]
     }
 }
 
@@ -152,35 +167,38 @@ impl WarmStart3D {
 #[derive(Debug, Clone)]
 pub struct Solve3DSeeds {
     /// Multi-start positions: (x, y) grid × z levels, in grid-major order.
-    position_starts: Vec<Vec3>,
+    pub(crate) position_starts: Vec<Vec3>,
     /// Polar ring count of the dipole half-sphere scan.
-    rings: usize,
+    pub(crate) rings: usize,
     /// Horizontal region candidates must refine into to be preferred.
-    admissible_xy: Region2,
+    pub(crate) admissible_xy: Region2,
     /// Expanded vertical bounds of the admissible volume.
-    z_bounds: (f64, f64),
+    pub(crate) z_bounds: (f64, f64),
     /// Precomputed per-antenna geometry tables (only with
     /// [`Solve3DSeeds::for_scene`]).
-    geometry: Option<SeedGeometry3D>,
+    pub(crate) geometry: Option<SeedGeometry3D>,
 }
 
 /// The hoisted per-scene geometry of the 3-D seeding, built with exactly
 /// the expressions the fallback path uses (bit-identical lookups).
 #[derive(Debug, Clone)]
-struct SeedGeometry3D {
+pub(crate) struct SeedGeometry3D {
     /// The deployment the tables were built for.
-    poses: Vec<AntennaPose>,
+    pub(crate) poses: Vec<AntennaPose>,
     /// `seed_slopes[s·n + i]` = model slope of antenna *i* at grid seed *s*.
-    seed_slopes: Vec<f64>,
+    pub(crate) seed_slopes: Vec<f64>,
     /// `orient[dir·n + i]` = `θ_orient(Aᵢ, w(θ, φ))` for dipole-scan
     /// direction index `dir = ti·2·rings + pi`.
-    orient: Vec<f64>,
+    pub(crate) orient: Vec<f64>,
     /// `proj[dir·n + i]` = dipole projection magnitude (RSSI penalty).
-    proj: Vec<f64>,
+    pub(crate) proj: Vec<f64>,
+    /// `proj_db[dir·n + i]` = `20·log10(proj[dir·n + i])` — the hoisted dB
+    /// half of the RSSI penalty.
+    pub(crate) proj_db: Vec<f64>,
 }
 
 impl SeedGeometry3D {
-    fn matches(&self, observations: &[AntennaObservation]) -> bool {
+    pub(crate) fn matches(&self, observations: &[AntennaObservation]) -> bool {
         self.poses.len() == observations.len()
             && self.poses.iter().zip(observations).all(|(p, o)| *p == o.pose)
     }
@@ -231,6 +249,7 @@ impl Solve3DSeeds {
         let rings = seeds.rings;
         let mut orient = Vec::with_capacity(rings * 2 * rings * n);
         let mut proj = Vec::with_capacity(rings * 2 * rings * n);
+        let mut proj_db = Vec::with_capacity(rings * 2 * rings * n);
         for ti in 0..rings {
             let theta = std::f64::consts::FRAC_PI_2 * (ti as f64 + 0.5) / rings as f64;
             for pi in 0..(2 * rings) {
@@ -238,12 +257,19 @@ impl Solve3DSeeds {
                 let w = dipole_from_angles(theta, phi);
                 for pose in poses {
                     orient.push(orientation_phase(pose, w));
-                    proj.push(projection_magnitude(pose, w));
+                    let p = projection_magnitude(pose, w);
+                    proj.push(p);
+                    proj_db.push(20.0 * p.log10());
                 }
             }
         }
-        seeds.geometry =
-            Some(SeedGeometry3D { poses: poses.to_vec(), seed_slopes, orient, proj });
+        seeds.geometry = Some(SeedGeometry3D {
+            poses: poses.to_vec(),
+            seed_slopes,
+            orient,
+            proj,
+            proj_db,
+        });
         seeds
     }
 }
@@ -252,9 +278,12 @@ impl Solve3DSeeds {
 /// overwritten by each solve, so reuse never changes results.
 #[derive(Debug, Default)]
 pub struct Solver3DWorkspace {
-    lm: LmWorkspace,
+    /// Joint 7-parameter LM core.
+    joint: LmCore<7>,
+    /// Stage-1 slope-only 4-parameter LM core.
+    slope: LmCore<4>,
     /// Stage-1 refined candidates `(params, cost, seed index)`.
-    position_candidates: Vec<(Vec<f64>, f64, usize)>,
+    position_candidates: Vec<([f64; 4], f64, usize)>,
     /// `(coarse cost, seed index, k_t seed)` ranking of the coarse-to-fine
     /// scan.
     coarse: Vec<(f64, usize, f64)>,
@@ -262,28 +291,51 @@ pub struct Solver3DWorkspace {
     dipole_ranked: Vec<(f64, f64, f64, f64)>,
     /// Per-antenna distances of the current stage-2 candidate.
     dists: Vec<f64>,
+    /// Per-antenna `rssiᵢ + 40·log10(dᵢ)` — the direction-independent half
+    /// of the RSSI penalty, hoisted out of the dipole scan.
+    rssi_base: Vec<f64>,
     /// Per-antenna `θ_orient` / projection rows when no geometry table
     /// applies.
     orient_row: Vec<f64>,
     proj_row: Vec<f64>,
+    proj_db_row: Vec<f64>,
     /// Stage-3 refined candidates; the winner is extracted by index.
-    refined: Vec<(Vec<f64>, f64)>,
+    refined: Vec<([f64; 7], f64)>,
     /// Pruning / warm-start effectiveness tallies.
     prune: PruneStats,
+    /// Lane tallies of the coarse seed ranking (the LM cores keep their
+    /// own row tallies).
+    lanes: LaneStats,
 }
 
 impl Solver3DWorkspace {
     /// Snapshot of the LM work counters accumulated by solves run against
     /// this workspace (diff two snapshots with [`SolveStats::since`] for
-    /// per-solve counts).
+    /// per-solve counts). Sums the joint and slope cores, so totals match
+    /// the single-workspace accounting of the pre-refactor solver.
     pub fn stats(&self) -> SolveStats {
-        self.lm.stats()
+        let j = self.joint.stats();
+        let s = self.slope.stats();
+        SolveStats {
+            residual_evals: j.residual_evals + s.residual_evals,
+            jacobian_evals: j.jacobian_evals + s.jacobian_evals,
+            iterations: j.iterations + s.iterations,
+        }
     }
 
     /// Snapshot of the seed-pruning / warm-start effectiveness counters
     /// (diff with [`PruneStats::since`]).
     pub fn prune_stats(&self) -> PruneStats {
         self.prune
+    }
+
+    /// Snapshot of the 4-wide lane tallies: the coarse seed-ranking blocks
+    /// plus both LM cores' residual-row blocks (diff with
+    /// [`LaneStats::since`]).
+    pub fn lane_stats(&self) -> LaneStats {
+        self.lanes
+            .merged(self.joint.lane_stats())
+            .merged(self.slope.lane_stats())
     }
 }
 
@@ -382,45 +434,90 @@ pub fn residuals_and_jacobian_3d(
         j.clear();
         j.resize(observations.len() * 2 * 7, 0.0);
     }
+    let mut jac: Option<&mut [f64]> = jac.map(Vec::as_mut_slice);
     let k1 = propagation::slope_from_distance(1.0); // 4π/c
-    for (i, o) in observations.iter().enumerate() {
-        let ap = o.pose.position();
-        let d = ap.distance(pos);
-        r.push((o.slope - propagation::slope_from_distance(d) - kt) / config.slope_sigma);
-        let uw = o.pose.u().dot(w);
-        let vw = o.pose.v().dot(w);
-        let denom = uw * uw + vw * vw;
-        // Same expression (and guard) as `orientation_phase`.
-        let theta = if denom < 1e-24 {
-            0.0
-        } else {
-            (2.0 * uw * vw).atan2(uw * uw - vw * vw)
-        };
-        r.push(angle::wrap_pi(o.intercept - theta - bt) / config.intercept_sigma);
-        if let Some(j) = jac.as_deref_mut() {
-            let rs = 2 * i * 7;
-            let g = if d > 1e-12 { -k1 / (d * config.slope_sigma) } else { 0.0 };
-            j[rs] = g * (pos.x - ap.x);
-            j[rs + 1] = g * (pos.y - ap.y);
-            j[rs + 2] = g * (pos.z - ap.z);
-            j[rs + 5] = -1.0 / config.slope_sigma;
-            let rb = rs + 7;
-            let (dtheta_t, dtheta_p) = if denom < 1e-24 {
-                (0.0, 0.0)
-            } else {
-                let uwt = o.pose.u().dot(wt);
-                let vwt = o.pose.v().dot(wt);
-                let uwp = o.pose.u().dot(wp);
-                let vwp = o.pose.v().dot(wp);
-                (
-                    2.0 * (uw * vwt - vw * uwt) / denom,
-                    2.0 * (uw * vwp - vw * uwp) / denom,
-                )
-            };
-            j[rb + 3] = -dtheta_t / config.intercept_sigma;
-            j[rb + 4] = -dtheta_p / config.intercept_sigma;
-            j[rb + 6] = -1.0 / config.intercept_sigma;
+    match config.lane_mode {
+        LaneMode::Wide4 => {
+            // Four independent antenna rows per pass; rows are emitted in
+            // antenna order with no cross-lane reduction, so the unrolled
+            // path is bit-identical to the scalar loop.
+            let mut chunks = observations.chunks_exact(4);
+            let mut i = 0usize;
+            for c in chunks.by_ref() {
+                joint_row_3d(&c[0], i, pos, w, wt, wp, kt, bt, k1, config, r, jac.as_deref_mut());
+                joint_row_3d(&c[1], i + 1, pos, w, wt, wp, kt, bt, k1, config, r, jac.as_deref_mut());
+                joint_row_3d(&c[2], i + 2, pos, w, wt, wp, kt, bt, k1, config, r, jac.as_deref_mut());
+                joint_row_3d(&c[3], i + 3, pos, w, wt, wp, kt, bt, k1, config, r, jac.as_deref_mut());
+                i += 4;
+            }
+            for o in chunks.remainder() {
+                joint_row_3d(o, i, pos, w, wt, wp, kt, bt, k1, config, r, jac.as_deref_mut());
+                i += 1;
+            }
         }
+        LaneMode::Scalar => {
+            for (i, o) in observations.iter().enumerate() {
+                joint_row_3d(o, i, pos, w, wt, wp, kt, bt, k1, config, r, jac.as_deref_mut());
+            }
+        }
+    }
+}
+
+/// One antenna's slope + wrapped-intercept rows (and, when `jac` is given,
+/// their Jacobian rows) of the joint 3-D problem — the body shared by the
+/// 4-wide lanes and the scalar loop of [`residuals_and_jacobian_3d`].
+#[allow(clippy::too_many_arguments)]
+#[inline(always)]
+fn joint_row_3d(
+    o: &AntennaObservation,
+    i: usize,
+    pos: Vec3,
+    w: Vec3,
+    wt: Vec3,
+    wp: Vec3,
+    kt: f64,
+    bt: f64,
+    k1: f64,
+    config: &Solver3DConfig,
+    r: &mut Vec<f64>,
+    jac: Option<&mut [f64]>,
+) {
+    let ap = o.pose.position();
+    let d = ap.distance(pos);
+    r.push((o.slope - propagation::slope_from_distance(d) - kt) / config.slope_sigma);
+    let uw = o.pose.u().dot(w);
+    let vw = o.pose.v().dot(w);
+    let denom = uw * uw + vw * vw;
+    // Same expression (and guard) as `orientation_phase`.
+    let theta = if denom < 1e-24 {
+        0.0
+    } else {
+        (2.0 * uw * vw).atan2(uw * uw - vw * vw)
+    };
+    r.push(angle::wrap_pi(o.intercept - theta - bt) / config.intercept_sigma);
+    if let Some(j) = jac {
+        let rs = 2 * i * 7;
+        let g = if d > 1e-12 { -k1 / (d * config.slope_sigma) } else { 0.0 };
+        j[rs] = g * (pos.x - ap.x);
+        j[rs + 1] = g * (pos.y - ap.y);
+        j[rs + 2] = g * (pos.z - ap.z);
+        j[rs + 5] = -1.0 / config.slope_sigma;
+        let rb = rs + 7;
+        let (dtheta_t, dtheta_p) = if denom < 1e-24 {
+            (0.0, 0.0)
+        } else {
+            let uwt = o.pose.u().dot(wt);
+            let vwt = o.pose.v().dot(wt);
+            let uwp = o.pose.u().dot(wp);
+            let vwp = o.pose.v().dot(wp);
+            (
+                2.0 * (uw * vwt - vw * uwt) / denom,
+                2.0 * (uw * vwp - vw * uwp) / denom,
+            )
+        };
+        j[rb + 3] = -dtheta_t / config.intercept_sigma;
+        j[rb + 4] = -dtheta_p / config.intercept_sigma;
+        j[rb + 6] = -1.0 / config.intercept_sigma;
     }
 }
 
@@ -442,18 +539,58 @@ fn slope_residuals_and_jacobian_3d(
         j.clear();
         j.resize(observations.len() * 4, 0.0);
     }
+    let mut jac: Option<&mut [f64]> = jac.map(Vec::as_mut_slice);
     let k1 = propagation::slope_from_distance(1.0);
-    for (i, o) in observations.iter().enumerate() {
-        let ap = o.pose.position();
-        let d = ap.distance(pos);
-        r.push((o.slope - propagation::slope_from_distance(d) - kt) / config.slope_sigma);
-        if let Some(j) = jac.as_deref_mut() {
-            let g = if d > 1e-12 { -k1 / (d * config.slope_sigma) } else { 0.0 };
-            j[i * 4] = g * (pos.x - ap.x);
-            j[i * 4 + 1] = g * (pos.y - ap.y);
-            j[i * 4 + 2] = g * (pos.z - ap.z);
-            j[i * 4 + 3] = -1.0 / config.slope_sigma;
+    match config.lane_mode {
+        LaneMode::Wide4 => {
+            // See `residuals_and_jacobian_3d`: independent rows in antenna
+            // order, bit-identical to the scalar loop.
+            let mut chunks = observations.chunks_exact(4);
+            let mut i = 0usize;
+            for c in chunks.by_ref() {
+                slope_row_3d(&c[0], i, pos, kt, k1, config, r, jac.as_deref_mut());
+                slope_row_3d(&c[1], i + 1, pos, kt, k1, config, r, jac.as_deref_mut());
+                slope_row_3d(&c[2], i + 2, pos, kt, k1, config, r, jac.as_deref_mut());
+                slope_row_3d(&c[3], i + 3, pos, kt, k1, config, r, jac.as_deref_mut());
+                i += 4;
+            }
+            for o in chunks.remainder() {
+                slope_row_3d(o, i, pos, kt, k1, config, r, jac.as_deref_mut());
+                i += 1;
+            }
         }
+        LaneMode::Scalar => {
+            for (i, o) in observations.iter().enumerate() {
+                slope_row_3d(o, i, pos, kt, k1, config, r, jac.as_deref_mut());
+            }
+        }
+    }
+}
+
+/// One antenna's slope row (and Jacobian row) of the 3-D stage-1 problem —
+/// the body shared by the 4-wide lanes and the scalar loop of
+/// [`slope_residuals_and_jacobian_3d`].
+#[allow(clippy::too_many_arguments)]
+#[inline(always)]
+fn slope_row_3d(
+    o: &AntennaObservation,
+    i: usize,
+    pos: Vec3,
+    kt: f64,
+    k1: f64,
+    config: &Solver3DConfig,
+    r: &mut Vec<f64>,
+    jac: Option<&mut [f64]>,
+) {
+    let ap = o.pose.position();
+    let d = ap.distance(pos);
+    r.push((o.slope - propagation::slope_from_distance(d) - kt) / config.slope_sigma);
+    if let Some(j) = jac {
+        let g = if d > 1e-12 { -k1 / (d * config.slope_sigma) } else { 0.0 };
+        j[i * 4] = g * (pos.x - ap.x);
+        j[i * 4 + 1] = g * (pos.y - ap.y);
+        j[i * 4 + 2] = g * (pos.z - ap.z);
+        j[i * 4 + 3] = -1.0 / config.slope_sigma;
     }
 }
 
@@ -463,27 +600,55 @@ const JOINT_STEPS_3D: [f64; 7] = [1e-4, 1e-4, 1e-4, 1e-4, 1e-4, 1e-13, 1e-4];
 /// Steps of the numeric-fallback slope-only (stage-1) solve: x, y, z, k_t.
 const SLOPE_STEPS_3D: [f64; 4] = [1e-4, 1e-4, 1e-4, 1e-13];
 
-/// Joint 7-parameter LM refinement, dispatched on the configured
-/// [`JacobianMode`].
+/// The joint 7-parameter disentangling problem as a [`ResidualModel`]:
+/// slope + wrapped-intercept residuals with the fused analytic Jacobian of
+/// [`residuals_and_jacobian_3d`].
+struct Joint3<'a> {
+    observations: &'a [AntennaObservation],
+    config: &'a Solver3DConfig,
+}
+
+impl ResidualModel<7> for Joint3<'_> {
+    fn eval(&self, p: &[f64; 7], r: &mut Vec<f64>, jac: Option<&mut Vec<f64>>) {
+        residuals_and_jacobian_3d(self.observations, p, self.config, r, jac);
+    }
+
+    fn lane_mode(&self) -> LaneMode {
+        self.config.lane_mode
+    }
+}
+
+/// The stage-1 slope-only `(x, y, z, k_t)` problem as a [`ResidualModel`].
+struct Slope3<'a> {
+    observations: &'a [AntennaObservation],
+    config: &'a Solver3DConfig,
+}
+
+impl ResidualModel<4> for Slope3<'_> {
+    fn eval(&self, p: &[f64; 4], r: &mut Vec<f64>, jac: Option<&mut Vec<f64>>) {
+        slope_residuals_and_jacobian_3d(self.observations, p, self.config, r, jac);
+    }
+
+    fn lane_mode(&self) -> LaneMode {
+        self.config.lane_mode
+    }
+}
+
+/// Joint 7-parameter LM refinement through the dimension-generic core,
+/// dispatched on the configured [`JacobianMode`].
 fn refine_joint_3d(
-    lm: &mut LmWorkspace,
+    core: &mut LmCore<7>,
     observations: &[AntennaObservation],
     config: &Solver3DConfig,
-    p0: Vec<f64>,
-) -> (Vec<f64>, f64) {
+    p0: [f64; 7],
+) -> ([f64; 7], f64) {
+    let model = Joint3 { observations, config };
     match config.jacobian {
-        JacobianMode::Analytic => levenberg_marquardt_analytic_with(
-            lm,
-            &|p: &[f64], r: &mut Vec<f64>, jac: Option<&mut Vec<f64>>| {
-                residuals_and_jacobian_3d(observations, p, config, r, jac)
-            },
-            p0,
-            config.max_iterations,
-            config.tolerance,
-        ),
-        JacobianMode::Numeric => levenberg_marquardt_with(
-            lm,
-            &|p: &[f64], out: &mut Vec<f64>| residuals_3d(observations, p, config, out),
+        JacobianMode::Analytic => {
+            core.refine(&model, p0, config.max_iterations, config.tolerance)
+        }
+        JacobianMode::Numeric => core.refine_numeric(
+            &model,
             p0,
             &JOINT_STEPS_3D,
             config.max_iterations,
@@ -492,29 +657,21 @@ fn refine_joint_3d(
     }
 }
 
-/// Stage-1 slope-only LM refinement over `(x, y, z, k_t)`, dispatched on
-/// the configured [`JacobianMode`].
+/// Stage-1 slope-only LM refinement over `(x, y, z, k_t)` through the
+/// dimension-generic core, dispatched on the configured [`JacobianMode`].
 fn refine_slope_3d(
-    lm: &mut LmWorkspace,
+    core: &mut LmCore<4>,
     observations: &[AntennaObservation],
     config: &Solver3DConfig,
-    p0: Vec<f64>,
-) -> (Vec<f64>, f64) {
+    p0: [f64; 4],
+) -> ([f64; 4], f64) {
+    let model = Slope3 { observations, config };
     match config.jacobian {
-        JacobianMode::Analytic => levenberg_marquardt_analytic_with(
-            lm,
-            &|p: &[f64], r: &mut Vec<f64>, jac: Option<&mut Vec<f64>>| {
-                slope_residuals_and_jacobian_3d(observations, p, config, r, jac)
-            },
-            p0,
-            config.max_iterations,
-            config.tolerance,
-        ),
-        JacobianMode::Numeric => levenberg_marquardt_with(
-            lm,
-            &|p: &[f64], out: &mut Vec<f64>| {
-                slope_residuals_and_jacobian_3d(observations, p, config, out, None)
-            },
+        JacobianMode::Analytic => {
+            core.refine(&model, p0, config.max_iterations, config.tolerance)
+        }
+        JacobianMode::Numeric => core.refine_numeric(
+            &model,
             p0,
             &SLOPE_STEPS_3D,
             config.max_iterations,
@@ -576,19 +733,27 @@ pub fn solve_3d_seeded_warm(
     }
     let _solve_span = obs::span("solve_3d");
     let _solve_timer = obs::time_histogram(obs::id::SOLVE_LATENCY_US);
-    let stats_before = if obs::active() { Some(workspace.lm.stats()) } else { None };
+    let before = if obs::active() {
+        Some((workspace.stats(), workspace.lane_stats()))
+    } else {
+        None
+    };
     let n_obs = observations.len();
     let geometry = seeds.geometry.as_ref().filter(|g| g.matches(observations));
     let Solver3DWorkspace {
-        lm,
+        joint,
+        slope,
         position_candidates,
         coarse,
         dipole_ranked,
         dists,
+        rssi_base,
         orient_row,
         proj_row,
+        proj_db_row,
         refined,
         prune,
+        lanes,
     } = workspace;
 
     // Prefer candidates inside the known deployment volume: distances are
@@ -618,14 +783,7 @@ pub fn solve_3d_seeded_warm(
     // shared by the pruned stage-1 beam and the warm-start floor.
     coarse.clear();
     if warm.is_some() || !config.is_exhaustive() {
-        let _rank_span = obs::span("seed_rank");
-        for (s, &pos) in seeds.position_starts.iter().enumerate() {
-            let (kt0, cost) = coarse_seed_cost_3d(observations, geometry, s, pos, config);
-            coarse.push((cost, s, kt0));
-        }
-        coarse.sort_by(|a, b| {
-            a.0.partial_cmp(&b.0).expect("finite costs").then_with(|| a.1.cmp(&b.1))
-        });
+        rank_coarse_3d(observations, geometry, seeds, config, coarse, lanes);
     }
 
     // Warm start: refine the prior first and gate against the coarse-scan
@@ -634,16 +792,16 @@ pub fn solve_3d_seeded_warm(
     let warm_attempted = warm.is_some();
     if let Some(w) = warm {
         let _warm_span = obs::span("warm_start");
-        let (p, cost) = refine_joint_3d(lm, observations, config, w.params());
+        let (p, cost) = refine_joint_3d(joint, observations, config, w.params());
         let key = cost
             + mode_penalty(Vec3::new(p[0], p[1], p[2]), dipole_from_angles(p[3], p[4]));
         let (_, best_seed, best_kt) = coarse[0];
         let pos = seeds.position_starts[best_seed];
         let (sp, _) = refine_slope_3d(
-            lm,
+            slope,
             observations,
             config,
-            vec![pos.x, pos.y, pos.z, best_kt],
+            [pos.x, pos.y, pos.z, best_kt],
         );
         seeds_refined += 1;
         scan_dipoles_3d(
@@ -653,8 +811,10 @@ pub fn solve_3d_seeded_warm(
             seeds.rings,
             (sp[0], sp[1], sp[2], sp[3]),
             dists,
+            rssi_base,
             orient_row,
             proj_row,
+            proj_db_row,
             dipole_ranked,
         );
         let floor = dipole_ranked.first().map_or(f64::INFINITY, |&(_, _, _, c)| c);
@@ -662,8 +822,8 @@ pub fn solve_3d_seeded_warm(
             prune.seeds_total += total_seeds;
             prune.seeds_refined += seeds_refined;
             prune.warm_start_hits += 1;
-            flush_obs_3d(lm, stats_before, total_seeds, seeds_refined, true, false);
-            return Ok(build_estimate_3d(observations, p, cost));
+            flush_obs_3d(joint, slope, *lanes, before, total_seeds, seeds_refined, true, false);
+            return Ok(build_estimate_3d(observations, &p, cost));
         }
     }
 
@@ -700,12 +860,15 @@ pub fn solve_3d_seeded_warm(
                 }
             };
             let (p, cost) =
-                refine_slope_3d(lm, observations, config, vec![pos.x, pos.y, pos.z, kt0]);
+                refine_slope_3d(slope, observations, config, [pos.x, pos.y, pos.z, kt0]);
             position_candidates.push((p, cost, s));
         }
-        // Stable sort on cost alone: ties keep grid (push) order, which
-        // the pruned branch reproduces via its explicit seed-index key.
-        position_candidates.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite costs"));
+        // Seeds were pushed in grid order, so breaking cost ties on the
+        // seed index reproduces the frozen stable sort's order while
+        // keeping the unstable sort allocation-free.
+        position_candidates.sort_unstable_by(|a, b| {
+            a.1.partial_cmp(&b.1).expect("finite costs").then_with(|| a.2.cmp(&b.2))
+        });
     } else {
         let beam = config.refine_top_k.unwrap_or(usize::MAX).max(1);
         let mut best_refined = f64::INFINITY;
@@ -721,15 +884,16 @@ pub fn solve_3d_seeded_warm(
             }
             let pos = seeds.position_starts[s];
             let (p, cost) =
-                refine_slope_3d(lm, observations, config, vec![pos.x, pos.y, pos.z, kt0]);
+                refine_slope_3d(slope, observations, config, [pos.x, pos.y, pos.z, kt0]);
             best_refined = best_refined.min(cost);
             position_candidates.push((p, cost, s));
         }
-        position_candidates.sort_by(|a, b| {
+        position_candidates.sort_unstable_by(|a, b| {
             a.1.partial_cmp(&b.1).expect("finite costs").then_with(|| a.2.cmp(&b.2))
         });
     }
     seeds_refined += position_candidates.len() as u64;
+    #[allow(clippy::drop_non_drop)] // ends the span early; inert unit guard without `obs`
     drop(stage1_span);
     // With exactly 4 antennas the slope system is exactly determined, so
     // several zero-cost position candidates can exist (mirror images,
@@ -779,8 +943,10 @@ pub fn solve_3d_seeded_warm(
             seeds.rings,
             (cx, cy, cz, ckt),
             dists,
+            rssi_base,
             orient_row,
             proj_row,
+            proj_db_row,
             dipole_ranked,
         );
         let _refine_span = obs::span("joint_refine");
@@ -797,8 +963,8 @@ pub fn solve_3d_seeded_warm(
                     }
                 }
             }
-            let p0 = vec![cx, cy, cz, theta, phi, ckt, bt0];
-            let (p, cost) = refine_joint_3d(lm, observations, config, p0);
+            let p0 = [cx, cy, cz, theta, phi, ckt, bt0];
+            let (p, cost) = refine_joint_3d(joint, observations, config, p0);
             let key = cost
                 + mode_penalty(
                     Vec3::new(p[0], p[1], p[2]),
@@ -822,8 +988,75 @@ pub fn solve_3d_seeded_warm(
     if warm_attempted {
         prune.warm_start_misses += 1;
     }
-    flush_obs_3d(lm, stats_before, total_seeds, seeds_refined, false, warm_attempted);
-    Ok(build_estimate_3d(observations, p, cost))
+    flush_obs_3d(joint, slope, *lanes, before, total_seeds, seeds_refined, false, warm_attempted);
+    Ok(build_estimate_3d(observations, &p, cost))
+}
+
+/// Coarse ranking of every `(x, y, z)` seed by its unrefined slope cost —
+/// the 3-D analogue of the 2-D solver's coarse rank, with the same 4-wide
+/// lane layout: with geometry tables and [`LaneMode::Wide4`], 4 seeds are
+/// scored per pass over the slope table with the per-seed accumulation
+/// order of [`coarse_seed_cost_3d`] preserved exactly (bit-identical).
+/// Ties break towards grid order via the explicit (cost, index) key, which
+/// makes the allocation-free unstable sort deterministic and equal to the
+/// frozen stable sort.
+fn rank_coarse_3d(
+    observations: &[AntennaObservation],
+    geometry: Option<&SeedGeometry3D>,
+    seeds: &Solve3DSeeds,
+    config: &Solver3DConfig,
+    coarse: &mut Vec<(f64, usize, f64)>,
+    lanes: &mut LaneStats,
+) {
+    let _rank_span = obs::span("seed_rank");
+    coarse.clear();
+    match (geometry, config.lane_mode) {
+        (Some(g), LaneMode::Wide4) => {
+            let n = observations.len();
+            let total = seeds.position_starts.len();
+            let mut s = 0usize;
+            while s + 4 <= total {
+                let bases = [s * n, (s + 1) * n, (s + 2) * n, (s + 3) * n];
+                let mut sum = [0.0f64; 4];
+                for (i, o) in observations.iter().enumerate() {
+                    for l in 0..4 {
+                        sum[l] += o.slope - g.seed_slopes[bases[l] + i];
+                    }
+                }
+                let kt0 = sum.map(|v| v / n as f64);
+                let mut cost = [0.0f64; 4];
+                for (i, o) in observations.iter().enumerate() {
+                    for l in 0..4 {
+                        let rs =
+                            (o.slope - g.seed_slopes[bases[l] + i] - kt0[l]) / config.slope_sigma;
+                        cost[l] += rs * rs;
+                    }
+                }
+                for l in 0..4 {
+                    coarse.push((cost[l], s + l, kt0[l]));
+                }
+                lanes.seed_blocks += 1;
+                s += 4;
+            }
+            for (idx, &seed_pos) in seeds.position_starts.iter().enumerate().skip(s) {
+                let (kt0, cost) =
+                    coarse_seed_cost_3d(observations, geometry, idx, seed_pos, config);
+                coarse.push((cost, idx, kt0));
+                lanes.scalar_rows += 1;
+            }
+        }
+        _ => {
+            for (s, &seed_pos) in seeds.position_starts.iter().enumerate() {
+                let (kt0, cost) =
+                    coarse_seed_cost_3d(observations, geometry, s, seed_pos, config);
+                coarse.push((cost, s, kt0));
+            }
+            lanes.scalar_rows += seeds.position_starts.len() as u64;
+        }
+    }
+    coarse.sort_unstable_by(|a, b| {
+        a.0.partial_cmp(&b.0).expect("finite costs").then_with(|| a.1.cmp(&b.1))
+    });
 }
 
 /// The cheap stage-1 score of one 3-D grid seed: closed-form `k_t` and the
@@ -877,7 +1110,8 @@ fn coarse_seed_cost_3d(
 /// Stage 2 at one position candidate `(x, y, z, k_t)`: ranks every
 /// half-sphere scan direction by the full cost and leaves `dipole_ranked`
 /// sorted best-first. Everything direction-independent — the per-antenna
-/// distances and the slope half of the cost — is hoisted out of the scan.
+/// distances, the slope half of the cost and the `rssiᵢ + 40·log10(dᵢ)`
+/// half of the RSSI penalty — is hoisted out of the scan.
 #[allow(clippy::too_many_arguments)]
 fn scan_dipoles_3d(
     observations: &[AntennaObservation],
@@ -886,8 +1120,10 @@ fn scan_dipoles_3d(
     rings: usize,
     candidate: (f64, f64, f64, f64),
     dists: &mut Vec<f64>,
+    rssi_base: &mut Vec<f64>,
     orient_row: &mut Vec<f64>,
     proj_row: &mut Vec<f64>,
+    proj_db_row: &mut Vec<f64>,
     dipole_ranked: &mut Vec<(f64, f64, f64, f64)>,
 ) {
     let n_obs = observations.len();
@@ -901,6 +1137,17 @@ fn scan_dipoles_3d(
         slope_cost += rs * rs;
         dists.push(d);
     }
+    // The direction-independent half of the RSSI penalty. Entries for
+    // unreadable distances may be NaN/−∞, but the penalty's guards return
+    // before reading them — exactly as the unhoisted kernel returned
+    // before computing the term at all.
+    let rssi_active = config.rssi_sigma_db.is_finite() && config.rssi_sigma_db > 0.0;
+    rssi_base.clear();
+    if rssi_active {
+        for (o, &d) in observations.iter().zip(dists.iter()) {
+            rssi_base.push(o.mean_rssi_dbm + 40.0 * d.log10());
+        }
+    }
     dipole_ranked.clear();
     let _dipole_span = obs::span("dipole_scan");
     for ti in 0..rings {
@@ -909,20 +1156,24 @@ fn scan_dipoles_3d(
         for pi in 0..(2 * rings) {
             let phi = std::f64::consts::TAU * pi as f64 / (2 * rings) as f64;
             let dir = ti * 2 * rings + pi;
-            let (orow, prow): (&[f64], &[f64]) = match geometry {
+            let (orow, prow, pdbrow): (&[f64], &[f64], &[f64]) = match geometry {
                 Some(g) => (
                     &g.orient[dir * n_obs..(dir + 1) * n_obs],
                     &g.proj[dir * n_obs..(dir + 1) * n_obs],
+                    &g.proj_db[dir * n_obs..(dir + 1) * n_obs],
                 ),
                 None => {
                     let w0 = dipole_from_angles(theta, phi);
                     orient_row.clear();
                     proj_row.clear();
+                    proj_db_row.clear();
                     for o in observations {
                         orient_row.push(orientation_phase(&o.pose, w0));
-                        proj_row.push(projection_magnitude(&o.pose, w0));
+                        let p = projection_magnitude(&o.pose, w0);
+                        proj_row.push(p);
+                        proj_db_row.push(20.0 * p.log10());
                     }
-                    (orient_row.as_slice(), proj_row.as_slice())
+                    (orient_row.as_slice(), proj_row.as_slice(), proj_db_row.as_slice())
                 }
             };
             let bt0 = angle::circular_mean(
@@ -934,18 +1185,35 @@ fn scan_dipoles_3d(
                 let rb = angle::wrap_pi(o.intercept - th - bt0) / config.intercept_sigma;
                 cost += rb * rb;
             }
-            cost += rssi_penalty_precomputed(observations, dists, prow, config.rssi_sigma_db);
+            if rssi_active {
+                cost += rssi_penalty_hoisted(
+                    observations,
+                    rssi_base,
+                    dists,
+                    prow,
+                    pdbrow,
+                    config.rssi_sigma_db,
+                );
+            }
             dipole_ranked.push((theta, phi, bt0, cost));
         }
     }
-    dipole_ranked.sort_by(|a, b| a.3.partial_cmp(&b.3).expect("finite costs"));
+    // Directions were pushed in (θ ring, φ) lexicographic ascending order,
+    // so breaking cost ties on (θ, φ) reproduces the frozen stable sort's
+    // push order while keeping the unstable sort allocation-free.
+    dipole_ranked.sort_unstable_by(|a, b| {
+        a.3.partial_cmp(&b.3)
+            .expect("finite costs")
+            .then_with(|| a.0.partial_cmp(&b.0).expect("finite angles"))
+            .then_with(|| a.1.partial_cmp(&b.1).expect("finite angles"))
+    });
 }
 
 /// Final-estimate assembly shared by the warm-start fast path and the full
 /// scan: dipole canonicalization (`z ≥ 0`) plus wrapping of `b_t`.
 fn build_estimate_3d(
     observations: &[AntennaObservation],
-    p: Vec<f64>,
+    p: &[f64],
     cost: f64,
 ) -> TagEstimate3D {
     let mut dipole = dipole_from_angles(p[3], p[4]);
@@ -965,16 +1233,30 @@ fn build_estimate_3d(
 
 /// Per-solve counter flush of the 3-D solve (active only when the obs
 /// layer is recording; `before` is `None` otherwise).
+#[allow(clippy::too_many_arguments)]
 fn flush_obs_3d(
-    lm: &LmWorkspace,
-    before: Option<SolveStats>,
+    joint: &LmCore<7>,
+    slope: &LmCore<4>,
+    rank_lanes: LaneStats,
+    before: Option<(SolveStats, LaneStats)>,
     seeds_total: u64,
     seeds_refined: u64,
     warm_hit: bool,
     warm_miss: bool,
 ) {
-    let Some(before) = before else { return };
-    let work = lm.stats().since(before);
+    let Some((stats_before, lanes_before)) = before else { return };
+    let j = joint.stats();
+    let s = slope.stats();
+    let work = SolveStats {
+        residual_evals: j.residual_evals + s.residual_evals,
+        jacobian_evals: j.jacobian_evals + s.jacobian_evals,
+        iterations: j.iterations + s.iterations,
+    }
+    .since(stats_before);
+    let lane_work = rank_lanes
+        .merged(joint.lane_stats())
+        .merged(slope.lane_stats())
+        .since(lanes_before);
     obs::counter_add(obs::id::SOLVER3D_SOLVES, 1);
     obs::counter_add(obs::id::SOLVER3D_ITERATIONS, work.iterations);
     obs::counter_add(obs::id::SOLVER3D_RESIDUAL_EVALS, work.residual_evals);
@@ -985,6 +1267,9 @@ fn flush_obs_3d(
         obs::id::SOLVER_SEEDS_PRUNED,
         seeds_total.saturating_sub(seeds_refined),
     );
+    obs::counter_add(obs::id::SOLVER_LANE_SEED_BLOCKS, lane_work.seed_blocks);
+    obs::counter_add(obs::id::SOLVER_LANE_ROW_BLOCKS, lane_work.row_blocks);
+    obs::counter_add(obs::id::SOLVER_LANE_SCALAR_ROWS, lane_work.scalar_rows);
     if warm_hit {
         obs::counter_add(obs::id::SOLVER_WARM_HITS, 1);
     }
@@ -1160,6 +1445,35 @@ mod tests {
         assert_eq!(a.kt.to_bits(), b.kt.to_bits());
         assert_eq!(a.bt.to_bits(), b.bt.to_bits());
         assert_eq!(a.cost.to_bits(), b.cost.to_bits());
+    }
+
+    #[test]
+    fn lane_modes_are_bit_identical_3d() {
+        let scene = Scene::six_antenna_3d();
+        let truth = Vec3::new(0.7, 1.1, 0.5);
+        let dipole = Vec3::new(0.4, 0.6, 0.9).normalized();
+        let obs = observations_3d(&scene, truth, dipole, 21);
+        let wide = Solver3DConfig::default();
+        let scalar = Solver3DConfig { lane_mode: LaneMode::Scalar, ..wide };
+        let seeds_w =
+            Solve3DSeeds::for_scene(scene.region(), (0.0, 1.5), &wide, &scene.antenna_poses());
+        let seeds_s =
+            Solve3DSeeds::for_scene(scene.region(), (0.0, 1.5), &scalar, &scene.antenna_poses());
+        let mut ws_w = Solver3DWorkspace::default();
+        let mut ws_s = Solver3DWorkspace::default();
+        let a = solve_3d_seeded(&obs, &seeds_w, &wide, &mut ws_w).unwrap();
+        let b = solve_3d_seeded(&obs, &seeds_s, &scalar, &mut ws_s).unwrap();
+        assert_eq!(a.position.x.to_bits(), b.position.x.to_bits());
+        assert_eq!(a.position.y.to_bits(), b.position.y.to_bits());
+        assert_eq!(a.position.z.to_bits(), b.position.z.to_bits());
+        assert_eq!(a.dipole.x.to_bits(), b.dipole.x.to_bits());
+        assert_eq!(a.kt.to_bits(), b.kt.to_bits());
+        assert_eq!(a.bt.to_bits(), b.bt.to_bits());
+        assert_eq!(a.cost.to_bits(), b.cost.to_bits());
+        // The wide path actually ran in lanes and the scalar one did not.
+        assert!(ws_w.lane_stats().seed_blocks > 0 || ws_w.lane_stats().row_blocks > 0);
+        assert_eq!(ws_s.lane_stats().seed_blocks, 0);
+        assert_eq!(ws_s.lane_stats().row_blocks, 0);
     }
 
     #[test]

@@ -7,7 +7,8 @@
 //! window span, re-extracts each antenna's line fit from the *incremental*
 //! per-channel accumulators (O(new + expired reads) instead of a batch
 //! recompute), and feeds the result through the mobility detector into
-//! [`crate::solver::solve_2d_tracking_warm`],
+//! [`crate::solver::solve_2d_tracking_warm`] (an [`LmCore<5>`](crate::LmCore)
+//! lane-core facade, so warm streaming solves stay allocation-free),
 //! warm-started from the tracker's extrapolated position with a
 //! periodically re-anchored warm-gate floor. Whenever a downdate would lose precision (decision-margin
 //! hazard, inlier-mask flip) the window falls back to a full recompute that

@@ -260,6 +260,89 @@ fn streaming_advance_with_obs_is_allocation_free_in_steady_state() {
     });
 }
 
+/// The lane-parallel facades hold the same contract as the old twin
+/// solvers: once a [`rfp_core::solver::SolverWorkspace`]'s pools are
+/// sized by a first pass, a full **cold** multi-seed solve — coarse
+/// 4-wide seed ranking over the geometry tables, α scan, LM refinement
+/// in 4-wide row lanes, uncertainty propagation — runs with zero heap
+/// allocations, and so does the warm-start fast path.
+#[test]
+fn lane_solve_2d_is_allocation_free_cold_and_warm() {
+    let scene = Scene::standard_2d();
+    let tag = SimTag::with_seeded_diversity(9)
+        .with_motion(Motion::planar_static(Vec2::new(0.5, 1.5), 0.8));
+    let survey = scene.survey(&tag, 17);
+    let obs: Vec<AntennaObservation> = scene
+        .antenna_poses()
+        .iter()
+        .zip(&survey.per_antenna)
+        .map(|(&p, r)| extract_observation(p, r, &ExtractConfig::paper()).expect("usable"))
+        .collect();
+    let config = SolverConfig::default();
+    let seeds =
+        rfp_core::solver::SolveSeeds::for_scene(scene.region(), &config, &scene.antenna_poses());
+    let mut ws = rfp_core::solver::SolverWorkspace::default();
+
+    // Sizing pass.
+    rfp_core::solver::solve_2d_seeded_warm(&obs, &seeds, &config, &mut ws, None)
+        .expect("solvable");
+
+    let (cold, allocs) = allocations_during(|| {
+        rfp_core::solver::solve_2d_seeded_warm(&obs, &seeds, &config, &mut ws, None)
+    });
+    let cold = cold.expect("solvable");
+    assert_eq!(allocs, 0, "cold 2-D lane solve allocated {allocs} times in steady state");
+
+    let warm = WarmStart::from_estimate(&cold);
+    rfp_core::solver::solve_2d_seeded_warm(&obs, &seeds, &config, &mut ws, Some(&warm))
+        .expect("solvable");
+    let (result, allocs) = allocations_during(|| {
+        rfp_core::solver::solve_2d_seeded_warm(&obs, &seeds, &config, &mut ws, Some(&warm))
+    });
+    result.expect("solvable");
+    assert_eq!(allocs, 0, "warm 2-D lane solve allocated {allocs} times in steady state");
+}
+
+/// Same contract for the 7-parameter 3-D facade (`LmCore<7>`): cold
+/// dipole-ranked scans and warm re-solves are zero-alloc once the
+/// [`rfp_core::solver3d::Solver3DWorkspace`] pools are sized.
+#[test]
+fn lane_solve_3d_is_allocation_free_cold_and_warm() {
+    use rfp_core::solver3d::{
+        solve_3d_seeded_warm, Solve3DSeeds, Solver3DConfig, Solver3DWorkspace, WarmStart3D,
+    };
+    let scene = Scene::six_antenna_3d();
+    let tag = SimTag::nominal(1).with_motion(Motion::Static {
+        position: rfp_geom::Vec3::new(0.7, 1.1, 0.5),
+        dipole: rfp_geom::Vec3::new(0.4, 0.6, 0.9).normalized(),
+    });
+    let survey = scene.survey(&tag, 21);
+    let obs: Vec<AntennaObservation> = scene
+        .antenna_poses()
+        .iter()
+        .zip(&survey.per_antenna)
+        .map(|(&p, r)| extract_observation(p, r, &ExtractConfig::paper()).expect("usable"))
+        .collect();
+    let config = Solver3DConfig::default();
+    let seeds =
+        Solve3DSeeds::for_scene(scene.region(), (0.0, 1.0), &config, &scene.antenna_poses());
+    let mut ws = Solver3DWorkspace::default();
+
+    solve_3d_seeded_warm(&obs, &seeds, &config, &mut ws, None).expect("solvable");
+    let (cold, allocs) =
+        allocations_during(|| solve_3d_seeded_warm(&obs, &seeds, &config, &mut ws, None));
+    let cold = cold.expect("solvable");
+    assert_eq!(allocs, 0, "cold 3-D lane solve allocated {allocs} times in steady state");
+
+    let warm = WarmStart3D::from_estimate(&cold);
+    solve_3d_seeded_warm(&obs, &seeds, &config, &mut ws, Some(&warm)).expect("solvable");
+    let (result, allocs) = allocations_during(|| {
+        solve_3d_seeded_warm(&obs, &seeds, &config, &mut ws, Some(&warm))
+    });
+    result.expect("solvable");
+    assert_eq!(allocs, 0, "warm 3-D lane solve allocated {allocs} times in steady state");
+}
+
 /// The quantized-code trig tables live inline in a static (`OnceLock`
 /// with in-place storage): building them touches the heap zero times, so
 /// "construction is one-time" holds trivially — there is nothing to free
