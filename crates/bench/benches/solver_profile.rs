@@ -12,14 +12,24 @@
 //! removes — and the seed accounting ([`PruneStats`]) shows how many
 //! multi-start seeds each configuration actually refined.
 //!
-//! Four configurations per dimension:
+//! Five configurations per dimension:
 //!
 //! * `analytic`  — the defaults: analytic Jacobian, pruned seed beam;
 //! * `numeric`   — numeric Jacobian, pruned seed beam;
 //! * `exhaustive` — analytic Jacobian, every seed refined (the pre-pruning
 //!   behaviour, bit-for-bit);
 //! * `warm`      — analytic defaults, warm-started from the previous
-//!   solve's estimate (the steady-state regime of a live deployment).
+//!   solve's estimate (the steady-state regime of a live deployment);
+//! * `tuned`     — the perf backends: the cached tridiagonal step solver
+//!   (O(P²) λ-resolves) plus, in 2-D, the padded row lanes with
+//!   polynomial trig. Pinned ≤1e-9 against the defaults by the
+//!   `step_solver` proptest suite.
+//!
+//! Each entry also carries the damped-step counters ([`StepStats`]):
+//! λ retries beyond each iteration's first attempt, Cholesky rejections
+//! and cached O(P²) resolves — the work the cached backend moves off the
+//! O(P³) path. A `step_micro` section times the step stage in isolation
+//! (full Cholesky refactor per λ vs cached resolve, P=5 and P=7).
 //!
 //! A fifth timing per dimension, `reference`, runs the frozen pre-lane
 //! oracle (`rfp_core::reference`) cold on the same observations in the
@@ -37,6 +47,7 @@ use rfp_core::model::{extract_observation, AntennaObservation, ExtractConfig};
 use rfp_core::reference::{
     solve_2d_reference, solve_3d_reference, Reference2DWorkspace, Reference3DWorkspace,
 };
+use rfp_core::lm::{damped_step_cholesky, CachedStep, LaneMode, StepSolver, StepStats};
 use rfp_core::solver::{
     solve_2d_seeded_warm, JacobianMode, PruneStats, SolveSeeds, SolveStats, SolverConfig,
     SolverWorkspace, WarmStart,
@@ -62,6 +73,7 @@ struct Profile {
     min_us: f64,
     stats: SolveStats,
     prune: PruneStats,
+    steps: StepStats,
 }
 
 /// `SOLVER_PROFILE_QUICK=1` trims the repeat counts so the CI perf gate
@@ -77,7 +89,7 @@ fn quick_mode() -> bool {
 /// returns the p50 latency with the per-solve counters of the final run.
 fn profile<F>(mut solve: F, warmup: usize, repeats: usize) -> Profile
 where
-    F: FnMut() -> (SolveStats, PruneStats),
+    F: FnMut() -> (SolveStats, PruneStats, StepStats),
 {
     for _ in 0..warmup {
         solve();
@@ -85,13 +97,20 @@ where
     let mut samples_us = Vec::with_capacity(repeats);
     let mut stats = SolveStats::default();
     let mut prune = PruneStats::default();
+    let mut steps = StepStats::default();
     for _ in 0..repeats {
         let t0 = Instant::now();
-        (stats, prune) = solve();
+        (stats, prune, steps) = solve();
         samples_us.push(t0.elapsed().as_secs_f64() * 1e6);
     }
     samples_us.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
-    Profile { p50_us: samples_us[samples_us.len() / 2], min_us: samples_us[0], stats, prune }
+    Profile {
+        p50_us: samples_us[samples_us.len() / 2],
+        min_us: samples_us[0],
+        stats,
+        prune,
+        steps,
+    }
 }
 
 fn observations_2d(scene: &Scene) -> Vec<AntennaObservation> {
@@ -137,12 +156,12 @@ fn profile_2d(config: SolverConfig, warm_from_self: bool) -> Profile {
     let (warmup, repeats) = if quick_mode() { (5, 50) } else { (20, 200) };
     profile(
         || {
-            let (s0, p0) = (ws.stats(), ws.prune_stats());
+            let (s0, p0, t0) = (ws.stats(), ws.prune_stats(), ws.step_stats());
             black_box(
                 solve_2d_seeded_warm(black_box(&obs), &seeds, &config, &mut ws, warm.as_ref())
                     .expect("solvable"),
             );
-            (ws.stats().since(s0), ws.prune_stats().since(p0))
+            (ws.stats().since(s0), ws.prune_stats().since(p0), ws.step_stats().since(t0))
         },
         warmup,
         repeats,
@@ -163,12 +182,12 @@ fn profile_3d(config: Solver3DConfig, warm_from_self: bool) -> Profile {
     let (warmup, repeats) = if quick_mode() { (2, 20) } else { (5, 60) };
     profile(
         || {
-            let (s0, p0) = (ws.stats(), ws.prune_stats());
+            let (s0, p0, t0) = (ws.stats(), ws.prune_stats(), ws.step_stats());
             black_box(
                 solve_3d_seeded_warm(black_box(&obs), &seeds, &config, &mut ws, warm.as_ref())
                     .expect("solvable"),
             );
-            (ws.stats().since(s0), ws.prune_stats().since(p0))
+            (ws.stats().since(s0), ws.prune_stats().since(p0), ws.step_stats().since(t0))
         },
         warmup,
         repeats,
@@ -190,7 +209,7 @@ fn profile_2d_reference(config: &SolverConfig) -> Profile {
                 solve_2d_reference(black_box(&obs), &seeds, config, &mut ws, None)
                     .expect("solvable"),
             );
-            (SolveStats::default(), PruneStats::default())
+            (SolveStats::default(), PruneStats::default(), StepStats::default())
         },
         warmup,
         repeats,
@@ -211,11 +230,84 @@ fn profile_3d_reference(config: &Solver3DConfig) -> Profile {
                 solve_3d_reference(black_box(&obs), &seeds, config, &mut ws, None)
                     .expect("solvable"),
             );
-            (SolveStats::default(), PruneStats::default())
+            (SolveStats::default(), PruneStats::default(), StepStats::default())
         },
         warmup,
         repeats,
     )
+}
+
+/// Times the damped-step stage in isolation for one parameter count: the
+/// full copy+damp+Cholesky path per λ attempt versus a cached O(P²)
+/// tridiagonal resolve, on a deterministic well-conditioned SPD system.
+/// These are the per-retry costs the cached backend changes; the one-off
+/// tridiagonalization is reported alongside (paid once per LM iteration,
+/// not once per λ attempt).
+fn step_micro<const P: usize>() -> JsonValue {
+    // Deterministic dense SPD system: MᵀM + P·I from an integer pattern.
+    let mut m = [[0.0f64; P]; P];
+    for (i, row) in m.iter_mut().enumerate() {
+        for (j, v) in row.iter_mut().enumerate() {
+            *v = ((i * P + j) % 7) as f64 * 0.3 - 0.8;
+        }
+    }
+    let mut jtj = [[0.0f64; P]; P];
+    for a in 0..P {
+        for b in 0..P {
+            let mut s = 0.0;
+            for row in &m {
+                s += row[a] * row[b];
+            }
+            jtj[a][b] = s + if a == b { P as f64 } else { 0.0 };
+        }
+    }
+    let mut jtr = [0.0f64; P];
+    for (i, v) in jtr.iter_mut().enumerate() {
+        *v = (i as f64) * 0.7 - 1.1;
+    }
+
+    let lambdas = [1e-3, 1e-2, 1e-1, 1.0];
+    let reps = if quick_mode() { 20_000 } else { 200_000 };
+    let mut scratch = [[0.0f64; P]; P];
+    let mut delta = [0.0f64; P];
+
+    let t0 = Instant::now();
+    for r in 0..reps {
+        let lambda = lambdas[r % lambdas.len()];
+        assert!(damped_step_cholesky(black_box(&jtj), &jtr, lambda, &mut scratch, &mut delta));
+        black_box(&delta);
+    }
+    let chol_ns = t0.elapsed().as_secs_f64() * 1e9 / reps as f64;
+
+    let mut cached = CachedStep::<P>::default();
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        cached.factor(black_box(&jtj), &jtr);
+        black_box(&cached);
+    }
+    let factor_ns = t0.elapsed().as_secs_f64() * 1e9 / reps as f64;
+
+    cached.factor(&jtj, &jtr);
+    let t0 = Instant::now();
+    for r in 0..reps {
+        let lambda = lambdas[r % lambdas.len()];
+        assert!(cached.solve(lambda, &mut delta));
+        black_box(&delta);
+    }
+    let resolve_ns = t0.elapsed().as_secs_f64() * 1e9 / reps as f64;
+
+    println!(
+        "  P={P}: cholesky step {chol_ns:.1} ns/λ   cached resolve {resolve_ns:.1} ns/λ \
+         (×{:.2})   tridiagonal factor {factor_ns:.1} ns once per iteration",
+        chol_ns / resolve_ns
+    );
+    let round1 = |x: f64| (x * 10.0).round() / 10.0;
+    JsonValue::obj(vec![
+        ("cholesky_step_ns", JsonValue::Num(round1(chol_ns))),
+        ("cached_resolve_ns", JsonValue::Num(round1(resolve_ns))),
+        ("cached_factor_ns", JsonValue::Num(round1(factor_ns))),
+        ("resolve_speedup", JsonValue::Num((chol_ns / resolve_ns * 100.0).round() / 100.0)),
+    ])
 }
 
 fn print_rows(label: &str, rows: &[(&str, Profile)]) {
@@ -243,18 +335,23 @@ fn json_entry(p: Profile) -> JsonValue {
         ("seeds_total", JsonValue::Num(p.prune.seeds_total as f64)),
         ("seeds_refined", JsonValue::Num(p.prune.seeds_refined as f64)),
         ("warm_start_hits", JsonValue::Num(p.prune.warm_start_hits as f64)),
+        ("lambda_retries", JsonValue::Num(p.steps.lambda_retries as f64)),
+        ("chol_failures", JsonValue::Num(p.steps.chol_failures as f64)),
+        ("cached_solves", JsonValue::Num(p.steps.cached_solves as f64)),
     ])
 }
 
 /// One dimension's profiles: the pruned analytic defaults (`analytic`),
-/// the pruned numeric fallback, the exhaustive scan and the warm-started
-/// steady state.
+/// the pruned numeric fallback, the exhaustive scan, the warm-started
+/// steady state and the tuned step/lane backends.
 #[derive(Clone, Copy)]
 struct DimProfiles {
     analytic: Profile,
     numeric: Profile,
     exhaustive: Profile,
     warm: Profile,
+    /// Cached step solver (+ padded lanes in 2-D) — the perf backends.
+    tuned: Profile,
     /// The frozen pre-lane oracle, cold, same run — latencies only.
     reference: Profile,
 }
@@ -266,6 +363,7 @@ fn dim_json(d: DimProfiles) -> JsonValue {
         ("numeric", json_entry(d.numeric)),
         ("exhaustive", json_entry(d.exhaustive)),
         ("warm", json_entry(d.warm)),
+        ("tuned", json_entry(d.tuned)),
         (
             "reference",
             JsonValue::obj(vec![
@@ -280,6 +378,14 @@ fn dim_json(d: DimProfiles) -> JsonValue {
         (
             "lane_speedup_min",
             JsonValue::Num(round2(d.reference.min_us / d.analytic.min_us)),
+        ),
+        (
+            "tuned_speedup_p50",
+            JsonValue::Num(round2(d.analytic.p50_us / d.tuned.p50_us)),
+        ),
+        (
+            "tuned_speedup_min",
+            JsonValue::Num(round2(d.analytic.min_us / d.tuned.min_us)),
         ),
         ("p50_speedup", JsonValue::Num(round2(d.numeric.p50_us / d.analytic.p50_us))),
         (
@@ -296,7 +402,7 @@ fn dim_json(d: DimProfiles) -> JsonValue {
     ])
 }
 
-fn write_snapshot(d2: DimProfiles, d3: DimProfiles) {
+fn write_snapshot(d2: DimProfiles, d3: DimProfiles, micro5: JsonValue, micro7: JsonValue) {
     let default_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_solver.json");
     let path = std::env::var("SOLVER_PROFILE_OUT").unwrap_or_else(|_| default_path.to_string());
     let value = rfp_obs::report::snapshot(
@@ -317,6 +423,10 @@ fn write_snapshot(d2: DimProfiles, d3: DimProfiles) {
             ),
             ("solve_2d", dim_json(d2)),
             ("solve_3d", dim_json(d3)),
+            (
+                "step_micro",
+                JsonValue::obj(vec![("p5", micro5), ("p7", micro7)]),
+            ),
         ],
     );
     match rfp_obs::report::write_json(std::path::Path::new(&path), &value) {
@@ -342,6 +452,14 @@ fn main() {
         ),
         exhaustive: profile_2d(SolverConfig::exhaustive(), false),
         warm: profile_2d(SolverConfig::default(), true),
+        tuned: profile_2d(
+            SolverConfig {
+                step_solver: StepSolver::Cached,
+                lane_mode: LaneMode::Padded4,
+                ..SolverConfig::default()
+            },
+            false,
+        ),
         reference: profile_2d_reference(&SolverConfig::default()),
     };
     print_rows(
@@ -351,6 +469,7 @@ fn main() {
             ("numeric", d2.numeric),
             ("exhaustive", d2.exhaustive),
             ("warm", d2.warm),
+            ("tuned", d2.tuned),
         ],
     );
 
@@ -362,6 +481,12 @@ fn main() {
         ),
         exhaustive: profile_3d(Solver3DConfig::exhaustive(), false),
         warm: profile_3d(Solver3DConfig::default(), true),
+        // Padded4 has no dedicated 3-D kernels (it runs the Wide4 path),
+        // so the tuned 3-D row is the cached step solver alone.
+        tuned: profile_3d(
+            Solver3DConfig { step_solver: StepSolver::Cached, ..Solver3DConfig::default() },
+            false,
+        ),
         reference: profile_3d_reference(&Solver3DConfig::default()),
     };
     print_rows(
@@ -371,6 +496,7 @@ fn main() {
             ("numeric", d3.numeric),
             ("exhaustive", d3.exhaustive),
             ("warm", d3.warm),
+            ("tuned", d3.tuned),
         ],
     );
 
@@ -388,9 +514,22 @@ fn main() {
             d.reference.p50_us / d.analytic.p50_us,
             d.reference.min_us / d.analytic.min_us,
         );
+        println!(
+            "  {dim} tuned backends vs defaults: {:.1} µs → {:.1} µs (×{:.2} p50), \
+             {} of {} λ retries resolved from the step cache per solve",
+            d.analytic.p50_us,
+            d.tuned.p50_us,
+            d.analytic.p50_us / d.tuned.p50_us,
+            d.tuned.steps.cached_solves,
+            d.tuned.steps.lambda_retries,
+        );
     }
 
-    write_snapshot(d2, d3);
+    report::section("damped-step stage in isolation (per λ attempt)");
+    let micro5 = step_micro::<5>();
+    let micro7 = step_micro::<7>();
+
+    write_snapshot(d2, d3, micro5, micro7);
 
     // The headline claim of the analytic path: at least 2× fewer residual
     // evaluations per solve, in both dimensions.
@@ -422,6 +561,13 @@ fn main() {
         assert!(
             d.warm.prune.warm_start_hits > 0,
             "{dim} warm profile never hit the warm-start gate"
+        );
+        // The cache is a retry-ladder device: the tuned row may
+        // legitimately never enter a ladder (0 cached solves), but the
+        // default backend must never touch the cache at all.
+        assert_eq!(
+            d.analytic.steps.cached_solves, 0,
+            "{dim} default profile must not touch the step cache"
         );
     }
 }

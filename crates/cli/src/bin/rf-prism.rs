@@ -34,10 +34,11 @@ enum Output {
 }
 
 fn run_sense(args: &[String]) -> Result<Output, commands::CommandError> {
-    // `--trace` and `--warm` are bare switches; split them out before the
-    // strict `--key value` parser sees the remainder.
+    // `--trace`, `--warm` and `--tuned` are bare switches; split them out
+    // before the strict `--key value` parser sees the remainder.
     let mut trace = false;
     let mut warm = false;
+    let mut tuned = false;
     let rest: Vec<String> = args
         .iter()
         .filter(|a| match a.as_str() {
@@ -47,6 +48,10 @@ fn run_sense(args: &[String]) -> Result<Output, commands::CommandError> {
             }
             "--warm" => {
                 warm = true;
+                false
+            }
+            "--tuned" => {
+                tuned = true;
                 false
             }
             _ => true,
@@ -73,7 +78,7 @@ fn run_sense(args: &[String]) -> Result<Output, commands::CommandError> {
         None => 1,
     };
     let metrics_path = flags.iter().find(|(k, _)| k == "metrics").map(|(_, v)| v.clone());
-    let (text, run) = commands::sense_observed(&log_text, calib_text.as_deref(), jobs, warm)?;
+    let (text, run) = commands::sense_observed(&log_text, calib_text.as_deref(), jobs, warm, tuned)?;
     let run = run.with_meta("log", &log_path);
     if let Some(path) = metrics_path {
         rfp_obs::report::write_json(std::path::Path::new(&path), &run.to_json())?;

@@ -55,10 +55,11 @@
 //! verbatim in [`crate::reference`] as the bit-exact oracle the facade is
 //! pinned against (see DESIGN.md §6).
 
-use crate::lm::{LaneMode, LaneStats, LmCore, ResidualModel};
+use crate::lm::{LaneMode, LaneStats, LmCore, ResidualModel, StepSolver, StepStats};
 use crate::model::AntennaObservation;
 use crate::obs;
 use rfp_geom::{angle, AntennaPose, Region2, Vec2, Vec3};
+use rfp_dsp::trig::{poly_atan2x4, poly_sin_cos};
 use rfp_phys::polarization::{orientation_phase, planar_dipole, projection_magnitude};
 use rfp_phys::propagation;
 
@@ -353,6 +354,13 @@ impl SolverWorkspace {
             .merged(self.joint.lane_stats())
             .merged(self.slope.lane_stats())
     }
+
+    /// Snapshot of the damped-step tallies — λ retries, factorization
+    /// failures, cached λ-resolves — summed over both LM cores (diff with
+    /// [`StepStats::since`]).
+    pub fn step_stats(&self) -> StepStats {
+        self.joint.step_stats().merged(self.slope.step_stats())
+    }
 }
 
 /// Configuration of the 2-D disentangling solver.
@@ -403,6 +411,12 @@ pub struct SolverConfig {
     /// independent and written in a fixed order — so this is purely an
     /// escape hatch / A-B switch (see [`LaneMode`]).
     pub lane_mode: LaneMode,
+    /// How each damped LM step `(JᵀJ + λD)δ = −Jᵀr` is solved: a fresh
+    /// Cholesky factorization per λ attempt (default, the frozen
+    /// bit-identity reference) or the tridiagonal cache that factors
+    /// `JᵀJ` once per λ ladder and resolves further retries in O(P²)
+    /// (see [`StepSolver`], pinned ≤1e-9 against the default).
+    pub step_solver: StepSolver,
 }
 
 impl Default for SolverConfig {
@@ -420,6 +434,7 @@ impl Default for SolverConfig {
             early_exit_rel_tol: 0.5,
             warm_gate_rel_tol: 0.25,
             lane_mode: LaneMode::Wide4,
+            step_solver: StepSolver::Cholesky,
         }
     }
 }
@@ -708,7 +723,7 @@ fn rank_coarse_2d(
     let _rank_span = obs::span("seed_rank");
     coarse.clear();
     match (geometry, config.lane_mode) {
-        (Some(g), LaneMode::Wide4) => {
+        (Some(g), LaneMode::Wide4 | LaneMode::Padded4) => {
             let n = observations.len();
             let total = seeds.position_starts.len();
             let mut s = 0usize;
@@ -770,7 +785,7 @@ fn solve_2d_gated(
     let _solve_span = obs::span("solve_2d");
     let _solve_timer = obs::time_histogram(obs::id::SOLVE_LATENCY_US);
     let before = if obs::active() {
-        Some((workspace.stats(), workspace.lane_stats()))
+        Some((workspace.stats(), workspace.lane_stats(), workspace.step_stats()))
     } else {
         None
     };
@@ -1288,13 +1303,13 @@ fn flush_obs_2d(
     joint: &LmCore<5>,
     slope: &LmCore<3>,
     rank_lanes: LaneStats,
-    before: Option<(SolveStats, LaneStats)>,
+    before: Option<(SolveStats, LaneStats, StepStats)>,
     seeds_total: u64,
     seeds_refined: u64,
     warm_hit: bool,
     warm_miss: bool,
 ) {
-    let Some((stats_before, lanes_before)) = before else { return };
+    let Some((stats_before, lanes_before, steps_before)) = before else { return };
     let j = joint.stats();
     let s = slope.stats();
     let work = SolveStats {
@@ -1307,6 +1322,7 @@ fn flush_obs_2d(
         .merged(joint.lane_stats())
         .merged(slope.lane_stats())
         .since(lanes_before);
+    let step_work = joint.step_stats().merged(slope.step_stats()).since(steps_before);
     obs::counter_add(obs::id::SOLVER2D_SOLVES, 1);
     obs::counter_add(obs::id::SOLVER2D_ITERATIONS, work.iterations);
     obs::counter_add(obs::id::SOLVER2D_RESIDUAL_EVALS, work.residual_evals);
@@ -1320,6 +1336,9 @@ fn flush_obs_2d(
     obs::counter_add(obs::id::SOLVER_LANE_SEED_BLOCKS, lane_work.seed_blocks);
     obs::counter_add(obs::id::SOLVER_LANE_ROW_BLOCKS, lane_work.row_blocks);
     obs::counter_add(obs::id::SOLVER_LANE_SCALAR_ROWS, lane_work.scalar_rows);
+    obs::counter_add(obs::id::SOLVER_LAMBDA_RETRIES, step_work.lambda_retries);
+    obs::counter_add(obs::id::SOLVER_CHOL_FAILURES, step_work.chol_failures);
+    obs::counter_add(obs::id::SOLVER_STEP_CACHED_SOLVES, step_work.cached_solves);
     if warm_hit {
         obs::counter_add(obs::id::SOLVER_WARM_HITS, 1);
     }
@@ -1378,9 +1397,13 @@ fn refine_joint_2d(
 ) -> ([f64; 5], f64) {
     let model = Joint2 { observations, config };
     match config.jacobian {
-        JacobianMode::Analytic => {
-            core.refine(&model, p0, config.max_iterations, config.tolerance)
-        }
+        JacobianMode::Analytic => core.refine_with(
+            &model,
+            p0,
+            config.max_iterations,
+            config.tolerance,
+            config.step_solver,
+        ),
         JacobianMode::Numeric => core.refine_numeric(
             &model,
             p0,
@@ -1401,9 +1424,13 @@ fn refine_slope_2d(
 ) -> ([f64; 3], f64) {
     let model = Slope2 { observations, config };
     match config.jacobian {
-        JacobianMode::Analytic => {
-            core.refine(&model, p0, config.max_iterations, config.tolerance)
-        }
+        JacobianMode::Analytic => core.refine_with(
+            &model,
+            p0,
+            config.max_iterations,
+            config.tolerance,
+            config.step_solver,
+        ),
         JacobianMode::Numeric => core.refine_numeric(
             &model,
             p0,
@@ -1677,7 +1704,16 @@ pub fn residuals_and_jacobian_2d(
 ) {
     let pos = Vec2::new(p[0], p[1]).with_z(0.0);
     let alpha = p[2];
-    let w = planar_dipole(alpha);
+    // The padded polynomial mode also evaluates the dipole preamble with
+    // the polynomial (sin, cos) — one pair per residual evaluation, paid
+    // on every λ attempt, so it rides the same ≲1e-12 trig budget as the
+    // per-row polynomial atan2 (pinned ≤1e-9 on full solves).
+    let w = if config.lane_mode == LaneMode::Padded4 {
+        let (s, c) = poly_sin_cos(alpha);
+        Vec3::new(c, 0.0, s)
+    } else {
+        planar_dipole(alpha)
+    };
     // d/dα of the planar dipole (a rotation in the x–z plane): the same
     // sine/cosine pair as `w`, so the derivative costs no further trig —
     // `-w.z` and `w.x` are bit-identical to `-alpha.sin()` / `alpha.cos()`.
@@ -1709,6 +1745,38 @@ pub fn residuals_and_jacobian_2d(
             for o in chunks.remainder() {
                 joint_row_2d(o, i, pos, w, dw, kt, bt, k1, config, r, jac.as_deref_mut());
                 i += 1;
+            }
+        }
+        LaneMode::Padded4 => {
+            // Every pass works on a full 4-lane block: the trailing block
+            // is padded by repeating the last antenna and the padded
+            // lanes' outputs discarded, so a 6-row 2-D scene fills two
+            // wide passes instead of one wide + two scalar rows. The
+            // orientation phase runs through the polynomial `atan2`
+            // lanes — the one place this mode differs numerically from
+            // the bit-identity modes (≲1e-13 per row, pinned ≤1e-9 on
+            // full solves).
+            let n = observations.len();
+            let mut i = 0usize;
+            while i < n {
+                let live = (n - i).min(4);
+                let at = |l: usize| &observations[i + l.min(live - 1)];
+                let obs4 = [at(0), at(1), at(2), at(3)];
+                joint_rows_padded_2d(
+                    &obs4,
+                    live,
+                    i,
+                    pos,
+                    w,
+                    dw,
+                    kt,
+                    bt,
+                    k1,
+                    config,
+                    r,
+                    jac.as_deref_mut(),
+                );
+                i += live;
             }
         }
         LaneMode::Scalar => {
@@ -1772,6 +1840,77 @@ fn joint_row_2d(
     }
 }
 
+/// The [`LaneMode::Padded4`] block kernel of
+/// [`residuals_and_jacobian_2d`]: four antennas' scalars gathered into
+/// lane arrays, the orientation phase evaluated through the 4-lane
+/// polynomial [`poly_atan2x4`], and the `live` real rows emitted in
+/// antenna order (padded lanes compute and are discarded). All row
+/// expressions besides `θ = atan2(2·uw·vw, uw² − vw²)` are the exact
+/// scalar ones, so only the polynomial `atan2` separates this mode from
+/// the bit-identity paths.
+#[allow(clippy::too_many_arguments)]
+#[inline(always)]
+fn joint_rows_padded_2d(
+    obs4: &[&AntennaObservation; 4],
+    live: usize,
+    base: usize,
+    pos: Vec3,
+    w: Vec3,
+    dw: Vec3,
+    kt: f64,
+    bt: f64,
+    k1: f64,
+    config: &SolverConfig,
+    r: &mut Vec<f64>,
+    jac: Option<&mut [f64]>,
+) {
+    let mut d = [0.0f64; 4];
+    let mut uw = [0.0f64; 4];
+    let mut vw = [0.0f64; 4];
+    let mut ty = [0.0f64; 4];
+    let mut tx = [0.0f64; 4];
+    for l in 0..4 {
+        let o = obs4[l];
+        d[l] = o.pose.position().distance(pos);
+        uw[l] = o.pose.u().dot(w);
+        vw[l] = o.pose.v().dot(w);
+        ty[l] = 2.0 * uw[l] * vw[l];
+        tx[l] = uw[l] * uw[l] - vw[l] * vw[l];
+    }
+    let th = poly_atan2x4(ty, tx);
+    for l in 0..live {
+        let o = obs4[l];
+        let k_model = propagation::slope_from_distance(d[l]) + kt;
+        r.push((o.slope - k_model) / config.slope_sigma);
+        let denom = uw[l] * uw[l] + vw[l] * vw[l];
+        // Same degenerate-dipole guard as the scalar row.
+        let theta = if denom < 1e-24 { 0.0 } else { th[l] };
+        r.push(angle::wrap_pi(o.intercept - (theta + bt)) / config.intercept_sigma);
+    }
+    if let Some(j) = jac {
+        for l in 0..live {
+            let o = obs4[l];
+            let ap = o.pose.position();
+            let rs = 2 * (base + l) * 5;
+            let g = if d[l] > 1e-12 { -k1 / (d[l] * config.slope_sigma) } else { 0.0 };
+            j[rs] = g * (pos.x - ap.x);
+            j[rs + 1] = g * (pos.y - ap.y);
+            j[rs + 3] = -1.0 / config.slope_sigma;
+            let rb = rs + 5;
+            let denom = uw[l] * uw[l] + vw[l] * vw[l];
+            let dtheta = if denom < 1e-24 {
+                0.0
+            } else {
+                let uwp = o.pose.u().dot(dw);
+                let vwp = o.pose.v().dot(dw);
+                2.0 * (uw[l] * vwp - vw[l] * uwp) / denom
+            };
+            j[rb + 2] = -dtheta / config.intercept_sigma;
+            j[rb + 4] = -1.0 / config.intercept_sigma;
+        }
+    }
+}
+
 /// The N sigma-normalized slope residuals at `p = (x, y, k_t)` and,
 /// when `jac` is given, their row-major `N × 3` analytic Jacobian — the
 /// stage-1 seeding problem.
@@ -1810,10 +1949,63 @@ fn slope_residuals_and_jacobian_2d(
                 i += 1;
             }
         }
+        LaneMode::Padded4 => {
+            // Padded full blocks, as in `residuals_and_jacobian_2d`. The
+            // slope rows involve no trig, so this arm is bit-identical to
+            // the scalar loop — padding only changes which lanes are
+            // discarded.
+            let n = observations.len();
+            let mut i = 0usize;
+            while i < n {
+                let live = (n - i).min(4);
+                let at = |l: usize| &observations[i + l.min(live - 1)];
+                let obs4 = [at(0), at(1), at(2), at(3)];
+                slope_rows_padded_2d(&obs4, live, i, pos, kt, k1, config, r, jac.as_deref_mut());
+                i += live;
+            }
+        }
         LaneMode::Scalar => {
             for (i, o) in observations.iter().enumerate() {
                 slope_row_2d(o, i, pos, kt, k1, config, r, jac.as_deref_mut());
             }
+        }
+    }
+}
+
+/// The [`LaneMode::Padded4`] block kernel of
+/// [`slope_residuals_and_jacobian_2d`]: four antenna distances per pass
+/// (trailing block padded with the last antenna), `live` real rows
+/// emitted in antenna order. Expressions are exactly the scalar row's,
+/// so the padded slope path is bit-identical.
+#[allow(clippy::too_many_arguments)]
+#[inline(always)]
+fn slope_rows_padded_2d(
+    obs4: &[&AntennaObservation; 4],
+    live: usize,
+    base: usize,
+    pos: Vec3,
+    kt: f64,
+    k1: f64,
+    config: &SolverConfig,
+    r: &mut Vec<f64>,
+    jac: Option<&mut [f64]>,
+) {
+    let mut d = [0.0f64; 4];
+    for l in 0..4 {
+        d[l] = obs4[l].pose.position().distance(pos);
+    }
+    for l in 0..live {
+        let o = obs4[l];
+        r.push((o.slope - propagation::slope_from_distance(d[l]) - kt) / config.slope_sigma);
+    }
+    if let Some(j) = jac {
+        for l in 0..live {
+            let ap = obs4[l].pose.position();
+            let i = base + l;
+            let g = if d[l] > 1e-12 { -k1 / (d[l] * config.slope_sigma) } else { 0.0 };
+            j[i * 3] = g * (pos.x - ap.x);
+            j[i * 3 + 1] = g * (pos.y - ap.y);
+            j[i * 3 + 2] = -1.0 / config.slope_sigma;
         }
     }
 }

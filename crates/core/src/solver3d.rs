@@ -19,7 +19,7 @@
 //! [`Solver3DConfig::lane_mode`]), and the pre-refactor solver is frozen
 //! verbatim in [`crate::reference`] as the bit-identity oracle.
 
-use crate::lm::{LaneMode, LaneStats, LmCore, ResidualModel};
+use crate::lm::{LaneMode, LaneStats, LmCore, ResidualModel, StepSolver, StepStats};
 use crate::model::AntennaObservation;
 use crate::obs;
 use crate::solver::{
@@ -71,7 +71,14 @@ pub struct Solver3DConfig {
     /// 4-wide lanes; [`LaneMode::Scalar`] is the escape hatch back to the
     /// plain loops. Both orders are bit-identical (see
     /// [`SolverConfig::lane_mode`](crate::solver::SolverConfig)).
+    /// [`LaneMode::Padded4`] has no dedicated 3-D kernels (six antennas
+    /// already fill wide blocks plus a cheap remainder) and runs the
+    /// `Wide4` path.
     pub lane_mode: LaneMode,
+    /// Damped-step backend of the LM refinements (see
+    /// [`SolverConfig::step_solver`](crate::solver::SolverConfig)):
+    /// per-attempt Cholesky (default) or the O(P²) λ-retry cache.
+    pub step_solver: StepSolver,
 }
 
 impl Default for Solver3DConfig {
@@ -90,6 +97,7 @@ impl Default for Solver3DConfig {
             early_exit_rel_tol: 0.5,
             warm_gate_rel_tol: 0.25,
             lane_mode: LaneMode::Wide4,
+            step_solver: StepSolver::Cholesky,
         }
     }
 }
@@ -337,6 +345,13 @@ impl Solver3DWorkspace {
             .merged(self.joint.lane_stats())
             .merged(self.slope.lane_stats())
     }
+
+    /// Snapshot of the damped-step tallies — λ retries, factorization
+    /// failures, cached λ-resolves — summed over both LM cores (diff with
+    /// [`StepStats::since`]).
+    pub fn step_stats(&self) -> StepStats {
+        self.joint.step_stats().merged(self.slope.step_stats())
+    }
 }
 
 /// The disentangled 3-D tag state.
@@ -437,7 +452,10 @@ pub fn residuals_and_jacobian_3d(
     let mut jac: Option<&mut [f64]> = jac.map(Vec::as_mut_slice);
     let k1 = propagation::slope_from_distance(1.0); // 4π/c
     match config.lane_mode {
-        LaneMode::Wide4 => {
+        // `Padded4` keeps the wide path in 3-D: six antennas already fill
+        // one wide block and the remainder is cheap, so there is no padded
+        // kernel to win with (documented on `Solver3DConfig::lane_mode`).
+        LaneMode::Wide4 | LaneMode::Padded4 => {
             // Four independent antenna rows per pass; rows are emitted in
             // antenna order with no cross-lane reduction, so the unrolled
             // path is bit-identical to the scalar loop.
@@ -542,7 +560,8 @@ fn slope_residuals_and_jacobian_3d(
     let mut jac: Option<&mut [f64]> = jac.map(Vec::as_mut_slice);
     let k1 = propagation::slope_from_distance(1.0);
     match config.lane_mode {
-        LaneMode::Wide4 => {
+        // As in `residuals_and_jacobian_3d`, `Padded4` runs the wide path.
+        LaneMode::Wide4 | LaneMode::Padded4 => {
             // See `residuals_and_jacobian_3d`: independent rows in antenna
             // order, bit-identical to the scalar loop.
             let mut chunks = observations.chunks_exact(4);
@@ -644,9 +663,13 @@ fn refine_joint_3d(
 ) -> ([f64; 7], f64) {
     let model = Joint3 { observations, config };
     match config.jacobian {
-        JacobianMode::Analytic => {
-            core.refine(&model, p0, config.max_iterations, config.tolerance)
-        }
+        JacobianMode::Analytic => core.refine_with(
+            &model,
+            p0,
+            config.max_iterations,
+            config.tolerance,
+            config.step_solver,
+        ),
         JacobianMode::Numeric => core.refine_numeric(
             &model,
             p0,
@@ -667,9 +690,13 @@ fn refine_slope_3d(
 ) -> ([f64; 4], f64) {
     let model = Slope3 { observations, config };
     match config.jacobian {
-        JacobianMode::Analytic => {
-            core.refine(&model, p0, config.max_iterations, config.tolerance)
-        }
+        JacobianMode::Analytic => core.refine_with(
+            &model,
+            p0,
+            config.max_iterations,
+            config.tolerance,
+            config.step_solver,
+        ),
         JacobianMode::Numeric => core.refine_numeric(
             &model,
             p0,
@@ -734,7 +761,7 @@ pub fn solve_3d_seeded_warm(
     let _solve_span = obs::span("solve_3d");
     let _solve_timer = obs::time_histogram(obs::id::SOLVE_LATENCY_US);
     let before = if obs::active() {
-        Some((workspace.stats(), workspace.lane_stats()))
+        Some((workspace.stats(), workspace.lane_stats(), workspace.step_stats()))
     } else {
         None
     };
@@ -1011,7 +1038,7 @@ fn rank_coarse_3d(
     let _rank_span = obs::span("seed_rank");
     coarse.clear();
     match (geometry, config.lane_mode) {
-        (Some(g), LaneMode::Wide4) => {
+        (Some(g), LaneMode::Wide4 | LaneMode::Padded4) => {
             let n = observations.len();
             let total = seeds.position_starts.len();
             let mut s = 0usize;
@@ -1238,13 +1265,13 @@ fn flush_obs_3d(
     joint: &LmCore<7>,
     slope: &LmCore<4>,
     rank_lanes: LaneStats,
-    before: Option<(SolveStats, LaneStats)>,
+    before: Option<(SolveStats, LaneStats, StepStats)>,
     seeds_total: u64,
     seeds_refined: u64,
     warm_hit: bool,
     warm_miss: bool,
 ) {
-    let Some((stats_before, lanes_before)) = before else { return };
+    let Some((stats_before, lanes_before, steps_before)) = before else { return };
     let j = joint.stats();
     let s = slope.stats();
     let work = SolveStats {
@@ -1257,6 +1284,7 @@ fn flush_obs_3d(
         .merged(joint.lane_stats())
         .merged(slope.lane_stats())
         .since(lanes_before);
+    let step_work = joint.step_stats().merged(slope.step_stats()).since(steps_before);
     obs::counter_add(obs::id::SOLVER3D_SOLVES, 1);
     obs::counter_add(obs::id::SOLVER3D_ITERATIONS, work.iterations);
     obs::counter_add(obs::id::SOLVER3D_RESIDUAL_EVALS, work.residual_evals);
@@ -1270,6 +1298,9 @@ fn flush_obs_3d(
     obs::counter_add(obs::id::SOLVER_LANE_SEED_BLOCKS, lane_work.seed_blocks);
     obs::counter_add(obs::id::SOLVER_LANE_ROW_BLOCKS, lane_work.row_blocks);
     obs::counter_add(obs::id::SOLVER_LANE_SCALAR_ROWS, lane_work.scalar_rows);
+    obs::counter_add(obs::id::SOLVER_LAMBDA_RETRIES, step_work.lambda_retries);
+    obs::counter_add(obs::id::SOLVER_CHOL_FAILURES, step_work.chol_failures);
+    obs::counter_add(obs::id::SOLVER_STEP_CACHED_SOLVES, step_work.cached_solves);
     if warm_hit {
         obs::counter_add(obs::id::SOLVER_WARM_HITS, 1);
     }
